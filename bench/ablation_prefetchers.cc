@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Prefetcher-family comparison beyond the paper's two contenders: the
+ * historical designs of paper §3 (next-line, demand Markov, Jouppi
+ * sequential buffers) against PC-stride buffers and the PSB, across
+ * all six workloads. Quantifies how much of the PSB's win comes from
+ * running ahead (vs the one-shot demand Markov prefetcher, which uses
+ * the same kind of table without re-feeding predictions).
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "util/table_printer.hh"
+#include "workloads/workload.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace psb;
+    using namespace psb::bench;
+    BenchOptions opts = parseOptions(argc, argv);
+    if (opts.instructions > 500'000)
+        opts.instructions = 500'000;
+
+    std::puts("=== prefetcher family comparison (speedup over base) "
+              "===\n");
+
+    struct Extra
+    {
+        const char *label;
+        PrefetcherKind kind;
+    };
+    const Extra extras[] = {
+        {"NextLine", PrefetcherKind::NextLine},
+        {"MarkovDemand", PrefetcherKind::MarkovDemand},
+        {"Sequential", PrefetcherKind::Sequential},
+        {"MinDelta", PrefetcherKind::MinDelta},
+    };
+
+    TablePrinter table;
+    table.addRow({"program", "NextLine", "MarkovDemand", "Sequential",
+                  "MinDelta", "PCStride", "PSB(CA-Pri)"});
+    for (const std::string &name : workloadNames()) {
+        SimResult base = runSim(name, PaperConfig::Base, opts);
+        std::vector<std::string> row{name};
+        for (const Extra &e : extras) {
+            SimResult r = runSim(
+                name, PaperConfig::Base, opts,
+                std::string("pf=") + e.label,
+                [&](SimConfig &cfg) { cfg.prefetcher = e.kind; });
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%+.1f%%",
+                          speedupPct(r.ipc, base.ipc));
+            row.push_back(buf);
+        }
+        for (PaperConfig cfg :
+             {PaperConfig::PcStride, PaperConfig::ConfAllocPriority}) {
+            SimResult r = runSim(name, cfg, opts);
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%+.1f%%",
+                          speedupPct(r.ipc, base.ipc));
+            row.push_back(buf);
+        }
+        table.addRow(row);
+    }
+    table.print();
+    std::puts("\nexpected: the one-shot demand Markov prefetcher "
+              "captures the same\ntransitions as the PSB but cannot "
+              "run ahead, so the PSB wins on the\npointer programs; "
+              "the minimum-delta scheme is uniformly outperformed\nby "
+              "PC-stride, as the paper found (its global per-chunk "
+              "history is\nconfused by interleaved streams).");
+    return 0;
+}

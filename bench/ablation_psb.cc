@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Ablations of the PSB design choices DESIGN.md calls out, beyond the
+ * paper's own sweep:
+ *
+ *  1. predictor choice inside the PSB (SFM vs stride-only vs
+ *     Markov-only) — how much of the win is the hybrid;
+ *  2. priority-counter aging period (paper uses 10 misses);
+ *  3. confidence-allocation threshold (paper uses 1);
+ *  4. stream-buffer geometry (buffers x entries; paper uses 8 x 4);
+ *  5. Markov table size and delta width (paper: 2K x 16 bits).
+ *
+ * Run on the two most prefetch-sensitive pointer analogs plus the
+ * thrash-prone one (health, burg, sis).
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "util/table_printer.hh"
+
+namespace
+{
+
+using namespace psb;
+using namespace psb::bench;
+
+const char *const programs[] = {"health", "burg", "sis"};
+
+void
+predictorChoice(const BenchOptions &opts)
+{
+    std::puts("--- ablation 1: predictor directing the PSB ---");
+    TablePrinter table;
+    table.addRow({"program", "SFM (paper)", "stride-only",
+                  "markov-only"});
+    for (const char *name : programs) {
+        SimResult base = runSim(name, PaperConfig::Base, opts);
+        SimResult sfm =
+            runSim(name, PaperConfig::ConfAllocPriority, opts);
+        SimResult stride_only = runSim(
+            name, PaperConfig::ConfAllocPriority, opts, "strideonly",
+            [](SimConfig &cfg) { cfg.sfm.mode = SfmMode::StrideOnly; });
+        SimResult markov_only = runSim(
+            name, PaperConfig::ConfAllocPriority, opts, "markovonly",
+            [](SimConfig &cfg) { cfg.sfm.mode = SfmMode::MarkovOnly; });
+        auto pct = [&](const SimResult &r) {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%+.1f%%",
+                          speedupPct(r.ipc, base.ipc));
+            return std::string(buf);
+        };
+        table.addRow({name, pct(sfm), pct(stride_only),
+                      pct(markov_only)});
+    }
+    table.print();
+    std::puts("expected: the hybrid at least matches either half "
+              "alone.\n");
+}
+
+void
+agingPeriod(const BenchOptions &opts)
+{
+    std::puts("--- ablation 2: priority aging period (paper: 10) ---");
+    TablePrinter table;
+    table.addRow({"program", "2", "5", "10", "20", "100"});
+    for (const char *name : programs) {
+        std::vector<std::string> row{name};
+        for (unsigned period : {2u, 5u, 10u, 20u, 100u}) {
+            SimResult r = runSim(
+                name, PaperConfig::ConfAllocPriority, opts,
+                "aging=" + std::to_string(period),
+                [&](SimConfig &cfg) {
+                    cfg.psb.buffers.agingPeriod = period;
+                });
+            row.push_back(TablePrinter::fmt(r.ipc, 3));
+        }
+        table.addRow(row);
+    }
+    table.print();
+    std::puts("");
+}
+
+void
+confThreshold(const BenchOptions &opts)
+{
+    std::puts("--- ablation 3: confidence allocation threshold "
+              "(paper: 1) ---");
+    TablePrinter table;
+    table.addRow({"program", "0", "1", "3", "5", "7"});
+    for (const char *name : programs) {
+        std::vector<std::string> row{name};
+        for (unsigned thr : {0u, 1u, 3u, 5u, 7u}) {
+            SimResult r = runSim(
+                name, PaperConfig::ConfAllocPriority, opts,
+                "thr=" + std::to_string(thr), [&](SimConfig &cfg) {
+                    cfg.psb.buffers.allocConfThreshold = thr;
+                });
+            row.push_back(TablePrinter::fmt(r.ipc, 3));
+        }
+        table.addRow(row);
+    }
+    table.print();
+    std::puts("");
+}
+
+void
+bufferGeometry(const BenchOptions &opts)
+{
+    std::puts("--- ablation 4: stream-buffer geometry (paper: 8x4) "
+              "---");
+    TablePrinter table;
+    table.addRow({"program", "2x4", "4x4", "8x4", "16x4", "8x2",
+                  "8x8"});
+    for (const char *name : programs) {
+        std::vector<std::string> row{name};
+        const std::pair<unsigned, unsigned> shapes[] = {
+            {2, 4}, {4, 4}, {8, 4}, {16, 4}, {8, 2}, {8, 8},
+        };
+        for (auto [bufs, entries] : shapes) {
+            SimResult r = runSim(
+                name, PaperConfig::ConfAllocPriority, opts,
+                "geom=" + std::to_string(bufs) + "x" +
+                    std::to_string(entries),
+                [&, b = bufs, e = entries](SimConfig &cfg) {
+                    cfg.psb.buffers.numBuffers = b;
+                    cfg.psb.buffers.entriesPerBuffer = e;
+                });
+            row.push_back(TablePrinter::fmt(r.ipc, 3));
+        }
+        table.addRow(row);
+    }
+    table.print();
+    std::puts("");
+}
+
+void
+markovTable(const BenchOptions &opts)
+{
+    std::puts("--- ablation 5: Markov table size / delta width "
+              "(paper: 2Kx16b) ---");
+    TablePrinter table;
+    table.addRow({"program", "512x16b", "2Kx16b", "8Kx16b", "2Kx8b",
+                  "2Kx32b"});
+    for (const char *name : programs) {
+        std::vector<std::string> row{name};
+        const std::pair<unsigned, unsigned> shapes[] = {
+            {512, 16}, {2048, 16}, {8192, 16}, {2048, 8}, {2048, 32},
+        };
+        for (auto [entries, bits] : shapes) {
+            SimResult r = runSim(
+                name, PaperConfig::ConfAllocPriority, opts,
+                "markov=" + std::to_string(entries) + "x" +
+                    std::to_string(bits),
+                [&, n = entries, b = bits](SimConfig &cfg) {
+                    cfg.sfm.markov.entries = n;
+                    cfg.sfm.markov.deltaBits = b;
+                });
+            row.push_back(TablePrinter::fmt(r.ipc, 3));
+        }
+        table.addRow(row);
+    }
+    table.print();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opts = parseOptions(argc, argv);
+    // Ablations trade region length for breadth.
+    if (opts.instructions > 500'000)
+        opts.instructions = 500'000;
+
+    std::puts("=== PSB design-choice ablations ===\n");
+    predictorChoice(opts);
+    agingPeriod(opts);
+    confThreshold(opts);
+    bufferGeometry(opts);
+    markovTable(opts);
+    return 0;
+}

@@ -1,0 +1,183 @@
+#include "common.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "workloads/workload.hh"
+
+namespace psb::bench
+{
+
+namespace
+{
+
+constexpr const char *cacheFile = "psb_bench_cache.tsv";
+
+/**
+ * Bump when simulator or workload behaviour changes so stale cached
+ * results are never mixed with fresh ones (or simply delete the cache
+ * file).
+ */
+constexpr const char *cacheVersion = "v3";
+
+/** The numbers the harnesses consume, in serialisation order. */
+struct CacheRecord
+{
+    double values[16] = {};
+};
+
+CacheRecord
+toRecord(const SimResult &r)
+{
+    CacheRecord rec;
+    rec.values[0] = double(r.core.instructions);
+    rec.values[1] = double(r.core.cycles);
+    rec.values[2] = r.ipc;
+    rec.values[3] = r.l1dMissRate;
+    rec.values[4] = r.avgLoadLatency;
+    rec.values[5] = r.prefetchAccuracy;
+    rec.values[6] = r.l1L2BusUtil;
+    rec.values[7] = r.l2MemBusUtil;
+    rec.values[8] = r.pctLoads;
+    rec.values[9] = r.pctStores;
+    rec.values[10] = double(r.prefetch.prefetchesIssued);
+    rec.values[11] = double(r.prefetch.prefetchesUsed);
+    rec.values[12] = double(r.core.sbServiced);
+    rec.values[13] = double(r.core.l1dMisses);
+    rec.values[14] = double(r.core.mispredicts);
+    rec.values[15] = double(r.tlbMisses);
+    return rec;
+}
+
+SimResult
+fromRecord(const CacheRecord &rec)
+{
+    SimResult r;
+    r.core.instructions = uint64_t(rec.values[0]);
+    r.core.cycles = uint64_t(rec.values[1]);
+    r.ipc = rec.values[2];
+    r.l1dMissRate = rec.values[3];
+    r.avgLoadLatency = rec.values[4];
+    r.prefetchAccuracy = rec.values[5];
+    r.l1L2BusUtil = rec.values[6];
+    r.l2MemBusUtil = rec.values[7];
+    r.pctLoads = rec.values[8];
+    r.pctStores = rec.values[9];
+    r.prefetch.prefetchesIssued = uint64_t(rec.values[10]);
+    r.prefetch.prefetchesUsed = uint64_t(rec.values[11]);
+    r.core.sbServiced = uint64_t(rec.values[12]);
+    r.core.l1dMisses = uint64_t(rec.values[13]);
+    r.core.mispredicts = uint64_t(rec.values[14]);
+    r.tlbMisses = uint64_t(rec.values[15]);
+    return r;
+}
+
+std::map<std::string, CacheRecord> &
+cache()
+{
+    static std::map<std::string, CacheRecord> instance;
+    static bool loaded = false;
+    if (!loaded) {
+        loaded = true;
+        std::ifstream in(cacheFile);
+        std::string line;
+        while (std::getline(in, line)) {
+            std::istringstream fields(line);
+            std::string key;
+            if (!std::getline(fields, key, '\t'))
+                continue;
+            CacheRecord rec;
+            bool ok = true;
+            for (double &v : rec.values) {
+                std::string cell;
+                if (!std::getline(fields, cell, '\t')) {
+                    ok = false;
+                    break;
+                }
+                v = std::strtod(cell.c_str(), nullptr);
+            }
+            if (ok)
+                instance[key] = rec;
+        }
+    }
+    return instance;
+}
+
+void
+appendToCacheFile(const std::string &key, const CacheRecord &rec)
+{
+    std::ofstream out(cacheFile, std::ios::app);
+    out << key;
+    char buf[32];
+    for (double v : rec.values) {
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        out << '\t' << buf;
+    }
+    out << '\n';
+}
+
+} // namespace
+
+BenchOptions
+parseOptions(int argc, char **argv)
+{
+    BenchOptions opts;
+    if (const char *env = std::getenv("PSB_BENCH_INSTS"))
+        opts.instructions = std::strtoull(env, nullptr, 10);
+    if (const char *env = std::getenv("PSB_BENCH_WARMUP"))
+        opts.warmup = std::strtoull(env, nullptr, 10);
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--insts") == 0)
+            opts.instructions = std::strtoull(argv[i + 1], nullptr, 10);
+        if (std::strcmp(argv[i], "--warmup") == 0)
+            opts.warmup = std::strtoull(argv[i + 1], nullptr, 10);
+    }
+    return opts;
+}
+
+SimResult
+runSim(const std::string &workload, PaperConfig config,
+       const BenchOptions &opts, const std::string &variant,
+       const std::function<void(SimConfig &)> &tweak)
+{
+    std::ostringstream key;
+    key << cacheVersion << '|' << workload << '|'
+        << paperConfigName(config) << '|' << opts.warmup << '|'
+        << opts.instructions << '|' << variant;
+
+    auto it = cache().find(key.str());
+    if (it != cache().end())
+        return fromRecord(it->second);
+
+    auto trace = makeWorkload(workload);
+    if (!trace)
+        fatal("unknown workload '%s'", workload.c_str());
+
+    SimConfig cfg = makePaperConfig(config);
+    cfg.warmupInstructions = opts.warmup;
+    cfg.maxInstructions = opts.instructions;
+    if (tweak)
+        tweak(cfg);
+    cfg.harmonize();
+
+    Simulator sim(cfg, *trace);
+    SimResult result = sim.run();
+
+    CacheRecord rec = toRecord(result);
+    cache()[key.str()] = rec;
+    appendToCacheFile(key.str(), rec);
+    return fromRecord(rec);
+}
+
+double
+speedupPct(double ipc, double base_ipc)
+{
+    return base_ipc > 0.0 ? 100.0 * (ipc / base_ipc - 1.0) : 0.0;
+}
+
+} // namespace psb::bench

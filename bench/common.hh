@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shared infrastructure for the figure/table reproduction harnesses:
+ * a simulation runner with a persistent result cache, so the five
+ * figure binaries that share the same 6-workload x 6-configuration
+ * matrix (Figures 5-9) only simulate it once per parameter set.
+ *
+ * Region lengths default to 250k warm-up + 1M measured instructions
+ * per simulation; override with --insts N / --warmup N or the
+ * PSB_BENCH_INSTS / PSB_BENCH_WARMUP environment variables (the paper
+ * simulated hundreds of millions of instructions per run — see
+ * DESIGN.md §4 on why the synthetic workloads reach steady state much
+ * sooner).
+ */
+
+#ifndef PSB_BENCH_COMMON_HH
+#define PSB_BENCH_COMMON_HH
+
+#include <functional>
+#include <string>
+
+#include "sim/simulator.hh"
+
+namespace psb::bench
+{
+
+/** Region lengths for every simulation a harness runs. */
+struct BenchOptions
+{
+    uint64_t warmup = 250'000;
+    uint64_t instructions = 1'000'000;
+};
+
+/** Parse --insts/--warmup plus the corresponding env variables. */
+BenchOptions parseOptions(int argc, char **argv);
+
+/**
+ * Run (or fetch from cache) one simulation.
+ *
+ * @param workload Benchmark analog name ("health", ...).
+ * @param config One of the paper's six machine configurations.
+ * @param opts Region lengths.
+ * @param variant Extra cache-key describing any tweak (must uniquely
+ *        name what @p tweak does); empty for the stock configuration.
+ * @param tweak Optional mutation of the SimConfig before the run.
+ */
+SimResult runSim(const std::string &workload, PaperConfig config,
+                 const BenchOptions &opts,
+                 const std::string &variant = "",
+                 const std::function<void(SimConfig &)> &tweak = {});
+
+/** Percent speedup of @p ipc over @p base_ipc. */
+double speedupPct(double ipc, double base_ipc);
+
+} // namespace psb::bench
+
+#endif // PSB_BENCH_COMMON_HH

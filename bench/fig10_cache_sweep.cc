@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Reproduces **Figure 10**: percent speedup of PC-stride stream
+ * buffers and the ConfAlloc-Priority PSB over a same-cache baseline,
+ * for 16K 4-way, 32K 2-way, and 32K 4-way L1 data caches.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "util/table_printer.hh"
+#include "workloads/workload.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace psb;
+    using namespace psb::bench;
+    BenchOptions opts = parseOptions(argc, argv);
+
+    std::puts("=== Figure 10: speedup across L1D cache geometries "
+              "===\n");
+
+    struct Geometry
+    {
+        const char *label;
+        uint64_t size;
+        unsigned assoc;
+    };
+    const Geometry geoms[] = {
+        {"16K 4-way", 16 * 1024, 4},
+        {"32K 2-way", 32 * 1024, 2},
+        {"32K 4-way", 32 * 1024, 4},
+    };
+
+    TablePrinter table;
+    table.addRow({"program", "L1D", "PCStride", "ConfAlloc-Pri"});
+    for (const std::string &name : workloadNames()) {
+        for (const Geometry &g : geoms) {
+            auto tweak = [&](SimConfig &cfg) {
+                cfg.memory.l1d.sizeBytes = g.size;
+                cfg.memory.l1d.assoc = g.assoc;
+            };
+            std::string variant = std::string("l1d=") + g.label;
+            SimResult base = runSim(name, PaperConfig::Base, opts,
+                                    variant, tweak);
+            SimResult pcs = runSim(name, PaperConfig::PcStride, opts,
+                                   variant, tweak);
+            SimResult cap = runSim(name, PaperConfig::ConfAllocPriority,
+                                   opts, variant, tweak);
+            char c1[32], c2[32];
+            std::snprintf(c1, sizeof(c1), "%+.1f%%",
+                          speedupPct(pcs.ipc, base.ipc));
+            std::snprintf(c2, sizeof(c2), "%+.1f%%",
+                          speedupPct(cap.ipc, base.ipc));
+            table.addRow({name, g.label, c1, c2});
+        }
+    }
+    table.print();
+    std::puts("\npaper shape: \"the speedup obtained is independent of "
+              "cache size over a\nreasonable set of configurations\" — "
+              "each program's speedups stay in the\nsame band across "
+              "the three geometries.");
+    return 0;
+}

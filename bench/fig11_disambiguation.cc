@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Reproduces **Figure 11**: IPC with and without perfect store sets
+ * (perfect memory disambiguation), for the baseline and the
+ * ConfAlloc-Priority PSB. Also reports the learned store-set
+ * predictor (an extension beyond the paper) as a middle point.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "util/table_printer.hh"
+#include "workloads/workload.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace psb;
+    using namespace psb::bench;
+    BenchOptions opts = parseOptions(argc, argv);
+
+    std::puts("=== Figure 11: IPC with/without perfect disambiguation "
+              "===\n");
+
+    auto nodis = [](SimConfig &cfg) {
+        cfg.core.disambiguation = DisambiguationMode::None;
+    };
+    auto learned = [](SimConfig &cfg) {
+        cfg.core.disambiguation = DisambiguationMode::Learned;
+    };
+
+    TablePrinter table;
+    table.addRow({"program", "Base-NoDis", "Base-Learned", "Base-Dis",
+                  "PSB-NoDis", "PSB-Dis"});
+    for (const std::string &name : workloadNames()) {
+        SimResult base_nodis =
+            runSim(name, PaperConfig::Base, opts, "nodis", nodis);
+        SimResult base_learned =
+            runSim(name, PaperConfig::Base, opts, "learned", learned);
+        SimResult base_dis = runSim(name, PaperConfig::Base, opts);
+        SimResult psb_nodis = runSim(name, PaperConfig::ConfAllocPriority,
+                                     opts, "nodis", nodis);
+        SimResult psb_dis =
+            runSim(name, PaperConfig::ConfAllocPriority, opts);
+        table.addRow({name, TablePrinter::fmt(base_nodis.ipc, 3),
+                      TablePrinter::fmt(base_learned.ipc, 3),
+                      TablePrinter::fmt(base_dis.ipc, 3),
+                      TablePrinter::fmt(psb_nodis.ipc, 3),
+                      TablePrinter::fmt(psb_dis.ipc, 3)});
+    }
+    table.print();
+    std::puts("\npaper shape: perfect store sets help the baseline "
+              "noticeably only on a\ncouple of programs and add little "
+              "once prefetching is on; the learned\npredictor (our "
+              "extension) sits between NoDis and perfect.");
+    return 0;
+}

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Reproduces **Figure 4**: the percent of L1 cache misses that the
+ * Markov *difference* predictor can predict correctly as a function
+ * of the bits used for each table entry.
+ *
+ * Method (mirrors the paper's predictor structure): the committed
+ * load-miss stream of each workload is captured once from a baseline
+ * simulation; for every delta width, the stream is replayed through a
+ * stride-filtered differential Markov predictor of that width, and
+ * the fraction of misses whose next-miss prediction (stride OR
+ * Markov) is correct is reported. Deltas that do not fit the entry
+ * width simply cannot be stored — the coverage loss the figure
+ * quantifies.
+ */
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "common.hh"
+#include "predictors/sfm_predictor.hh"
+#include "sim/simulator.hh"
+#include "util/table_printer.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace psb;
+
+/** One recorded miss. */
+struct Miss
+{
+    Addr pc;
+    Addr addr;
+};
+
+std::vector<Miss>
+captureMissStream(const std::string &workload,
+                  const psb::bench::BenchOptions &opts)
+{
+    auto trace = makeWorkload(workload);
+    SimConfig cfg = makePaperConfig(PaperConfig::Base);
+    cfg.warmupInstructions = opts.warmup;
+    cfg.maxInstructions = opts.instructions;
+    Simulator sim(cfg, *trace);
+    std::vector<Miss> stream;
+    stream.reserve(1 << 20);
+    sim.setMissHook([&](Addr pc, Addr addr) {
+        stream.push_back({pc, addr});
+    });
+    sim.run();
+    return stream;
+}
+
+/** Fraction of misses predicted with a given Markov delta width. */
+double
+coverageAtWidth(const std::vector<Miss> &stream, unsigned delta_bits)
+{
+    SfmConfig cfg;
+    cfg.markov.deltaBits = delta_bits;
+    SfmPredictor sfm(cfg);
+    // Chase one one-entry "stream" per PC, exactly like a buffer that
+    // re-allocates on every miss: predict the next miss, then train.
+    std::map<Addr, StreamState> state;
+    uint64_t predicted = 0, total = 0;
+    for (const Miss &miss : stream) {
+        Addr block = miss.addr & ~Addr(31);
+        auto it = state.find(miss.pc);
+        if (it != state.end()) {
+            ++total;
+            StreamState s = it->second;
+            auto p = sfm.predictNext(s);
+            if (p && *p == block)
+                ++predicted;
+        }
+        sfm.train(miss.pc, miss.addr);
+        state[miss.pc] = sfm.allocateStream(miss.pc, miss.addr);
+    }
+    return total ? double(predicted) / double(total) : 0.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace psb;
+    using namespace psb::bench;
+    BenchOptions opts = parseOptions(argc, argv);
+    // The miss-stream capture is cheap; a shorter region suffices.
+    if (opts.instructions > 500'000)
+        opts.instructions = 500'000;
+
+    std::puts("=== Figure 4: miss coverage vs Markov delta width ===\n");
+
+    const unsigned widths[] = {8, 10, 12, 14, 16, 18, 20, 24, 32};
+
+    TablePrinter table;
+    {
+        std::vector<std::string> header{"program"};
+        for (unsigned w : widths)
+            header.push_back(std::to_string(w) + "b");
+        table.addRow(header);
+    }
+    for (const std::string &name : workloadNames()) {
+        std::vector<Miss> stream = captureMissStream(name, opts);
+        std::vector<std::string> row{name};
+        for (unsigned w : widths) {
+            row.push_back(
+                TablePrinter::fmt(100.0 * coverageAtWidth(stream, w),
+                                  1) + "%");
+        }
+        table.addRow(row);
+    }
+    table.print();
+    std::puts("\npaper shape: coverage saturates by 16 bits — the "
+              "basis for the 4KB\n(2K x 16-bit) differential Markov "
+              "table.");
+    return 0;
+}

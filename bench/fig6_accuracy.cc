@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Reproduces **Figure 6**: prefetch accuracy — prefetches used by the
+ * processor divided by prefetches issued — for the five prefetching
+ * configurations.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "util/table_printer.hh"
+#include "workloads/workload.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace psb;
+    using namespace psb::bench;
+    BenchOptions opts = parseOptions(argc, argv);
+
+    std::puts("=== Figure 6: prefetch accuracy (used / issued) ===\n");
+
+    const PaperConfig configs[] = {
+        PaperConfig::PcStride, PaperConfig::TwoMissRR,
+        PaperConfig::TwoMissPriority, PaperConfig::ConfAllocRR,
+        PaperConfig::ConfAllocPriority,
+    };
+
+    TablePrinter table;
+    table.addRow({"program", "PCStride", "2Miss-RR", "2Miss-Pri",
+                  "ConfAlloc-RR", "ConfAlloc-Pri"});
+    for (const std::string &name : workloadNames()) {
+        std::vector<std::string> row{name};
+        for (PaperConfig cfg : configs) {
+            SimResult r = runSim(name, cfg, opts);
+            row.push_back(
+                TablePrinter::fmt(100.0 * r.prefetchAccuracy, 1) + "%");
+        }
+        table.addRow(row);
+    }
+    table.print();
+    std::puts("\npaper shape: confidence allocation raises accuracy "
+              "substantially on the\npointer programs (deltablue by "
+              "almost 2x) by not wasting prefetches on\nunpredictable "
+              "streams.");
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Reproduces **Figure 7**: data-cache miss rates (an access to a
+ * block not resident in the cache counts as a miss, including blocks
+ * still in flight) for the baseline and the five prefetching
+ * configurations.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "util/table_printer.hh"
+#include "workloads/workload.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace psb;
+    using namespace psb::bench;
+    BenchOptions opts = parseOptions(argc, argv);
+
+    std::puts("=== Figure 7: L1D miss rate (in-flight counts as miss) "
+              "===\n");
+
+    TablePrinter table;
+    table.addRow({"program", "Base", "PCStride", "2Miss-RR",
+                  "2Miss-Pri", "ConfAlloc-RR", "ConfAlloc-Pri"});
+    for (const std::string &name : psb::workloadNames()) {
+        std::vector<std::string> row{name};
+        for (PaperConfig cfg : paperConfigs) {
+            SimResult r = runSim(name, cfg, opts);
+            row.push_back(TablePrinter::fmt(r.l1dMissRate, 4));
+        }
+        table.addRow(row);
+    }
+    table.print();
+    std::puts("\npaper shape: every prefetcher cuts the miss rate; the "
+              "confidence-allocated\nPSB configurations cut it the "
+              "most on the pointer programs.");
+    return 0;
+}

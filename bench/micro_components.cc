@@ -1,0 +1,156 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the hardware-model components:
+ * per-operation cost of the cache tags, prediction tables, stream
+ * buffers, branch predictor, and the end-to-end simulator (simulated
+ * instructions per second). These bound how long the figure harnesses
+ * take and catch accidental algorithmic regressions (e.g., a lookup
+ * becoming O(table size)).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/psb.hh"
+#include "cpu/branch_predictor.hh"
+#include "memory/cache.hh"
+#include "memory/hierarchy.hh"
+#include "predictors/sfm_predictor.hh"
+#include "sim/simulator.hh"
+#include "util/random.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace psb;
+
+void
+BM_CacheTouch(benchmark::State &state)
+{
+    SetAssocCache cache(CacheGeometry{32 * 1024, 4, 32});
+    Xorshift64 rng(1);
+    for (int i = 0; i < 1024; ++i)
+        cache.insert(0x10000 + 32 * rng.below(4096));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.touch(0x10000 + 32 * rng.below(4096)));
+    }
+}
+BENCHMARK(BM_CacheTouch);
+
+void
+BM_CacheInsertEvict(benchmark::State &state)
+{
+    SetAssocCache cache(CacheGeometry{32 * 1024, 4, 32});
+    Addr addr = 0x10000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.insert(addr));
+        addr += 32;
+    }
+}
+BENCHMARK(BM_CacheInsertEvict);
+
+void
+BM_StrideTableTrain(benchmark::State &state)
+{
+    StrideTable table;
+    Addr pc = 0x400000, addr = 0x10000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(table.train(pc, addr));
+        pc = 0x400000 + ((pc + 4) & 0x3ff);
+        addr += 64;
+    }
+}
+BENCHMARK(BM_StrideTableTrain);
+
+void
+BM_SfmTrain(benchmark::State &state)
+{
+    SfmPredictor sfm;
+    Xorshift64 rng(2);
+    for (auto _ : state)
+        sfm.train(0x400000 + 4 * rng.below(64), rng.next() & 0xffffff);
+}
+BENCHMARK(BM_SfmTrain);
+
+void
+BM_SfmPredictNext(benchmark::State &state)
+{
+    SfmPredictor sfm;
+    for (int i = 0; i < 4096; ++i)
+        sfm.train(0x400000, 0x10000 + 64 * i);
+    StreamState s = sfm.allocateStream(0x400000, 0x10000);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sfm.predictNext(s));
+}
+BENCHMARK(BM_SfmPredictNext);
+
+void
+BM_StreamBufferLookup(benchmark::State &state)
+{
+    StreamBufferConfig cfg;
+    StreamBufferFile file(cfg);
+    for (unsigned b = 0; b < cfg.numBuffers; ++b) {
+        file.buffer(b).allocateStream(StreamState{}, 5);
+        for (unsigned e = 0; e < cfg.entriesPerBuffer; ++e) {
+            file.buffer(b).entries()[e].valid = true;
+            file.buffer(b).entries()[e].block =
+                0x10000 + 32 * (b * 4 + e);
+        }
+    }
+    Xorshift64 rng(3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            file.findBlock(0x10000 + 32 * rng.below(64)));
+    }
+}
+BENCHMARK(BM_StreamBufferLookup);
+
+void
+BM_GshareUpdate(benchmark::State &state)
+{
+    GsharePredictor bp;
+    Xorshift64 rng(4);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            bp.update(0x400000 + 4 * rng.below(256), rng.next() & 1,
+                      0x400800));
+    }
+}
+BENCHMARK(BM_GshareUpdate);
+
+void
+BM_HierarchyDemandMiss(benchmark::State &state)
+{
+    MemoryConfig cfg;
+    cfg.tlbMissPenalty = 0;
+    MemoryHierarchy hier(cfg);
+    Addr addr = 0x10000;
+    Cycle now = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(hier.missToL2(addr, now, false));
+        addr += 4096;
+        now += 1000;
+    }
+}
+BENCHMARK(BM_HierarchyDemandMiss);
+
+/** End-to-end: simulated instructions per wall-clock second. */
+void
+BM_SimulatorEndToEnd(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto trace = makeWorkload("health");
+        SimConfig cfg = makePaperConfig(PaperConfig::ConfAllocPriority);
+        cfg.warmupInstructions = 0;
+        cfg.maxInstructions = 50'000;
+        Simulator sim(cfg, *trace);
+        benchmark::DoNotOptimize(sim.run());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) * 50'000);
+}
+BENCHMARK(BM_SimulatorEndToEnd)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * "Any address predictor can be used to guide the predicted prefetch
+ * stream" (paper §7). This example writes a brand-new predictor —
+ * an alternating two-stride predictor that handles A, A+s1, A+s1+s2,
+ * A+2*s1+s2, ... patterns (ping-pong walks of a matrix) — plugs it
+ * into the PSB, and compares it with the built-in predictors on a
+ * workload with exactly that pattern.
+ *
+ * It demonstrates the full extension surface:
+ *  - deriving from AddressPredictor (train / predictNext /
+ *    allocateStream / confidence / twoMissFilterPass);
+ *  - per-stream state carried in StreamState (we stash the phase bit
+ *    in the low bit of StreamState::stride's spare range);
+ *  - constructing PredictorDirectedStreamBuffers around it directly,
+ *    bypassing the SimConfig presets.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "core/psb.hh"
+#include "cpu/ooo_core.hh"
+#include "memory/hierarchy.hh"
+#include "predictors/address_predictor.hh"
+#include "prefetch/stride_stream_buffers.hh"
+#include "sim/simulator.hh"
+#include "trace/trace_builder.hh"
+#include "util/table_printer.hh"
+
+namespace
+{
+
+using namespace psb;
+
+/**
+ * Alternating-stride predictor: learns two strides s1, s2 applied in
+ * alternation. Per-PC state lives in a small map (a real design would
+ * use a tagged table; the interface does not care).
+ */
+class AlternatingStridePredictor : public AddressPredictor
+{
+  public:
+    explicit AlternatingStridePredictor(unsigned block_bytes = 32)
+        : _blockBytes(block_bytes)
+    {}
+
+    void
+    train(Addr pc, Addr addr) override
+    {
+        Addr block = addr & ~Addr(_blockBytes - 1);
+        Entry &e = _table[pc];
+        if (e.touched) {
+            int64_t stride = int64_t(block) - int64_t(e.lastAddr);
+            // Predicted-next uses the *older* stride (alternation).
+            bool correct = (e.strideB == stride);
+            e.conf = correct ? std::min(e.conf + 1, 7u)
+                             : (e.conf ? e.conf - 1 : 0);
+            e.prevCorrect = e.lastCorrect;
+            e.lastCorrect = correct;
+            e.strideB = e.strideA;
+            e.strideA = stride;
+        }
+        e.lastAddr = block;
+        e.touched = true;
+    }
+
+    std::optional<Addr>
+    predictNext(StreamState &state) const override
+    {
+        // Alternate between the two learned strides; the phase lives
+        // in the per-stream history, the strides in the shared table.
+        auto it = _table.find(state.loadPc);
+        if (it == _table.end())
+            return std::nullopt;
+        int64_t s = state.stride ? it->second.strideA
+                                 : it->second.strideB;
+        state.stride = !state.stride; // flip phase
+        state.lastAddr = Addr(int64_t(state.lastAddr) + s)
+            & ~Addr(_blockBytes - 1);
+        return state.lastAddr;
+    }
+
+    StreamState
+    allocateStream(Addr pc, Addr addr) const override
+    {
+        StreamState s;
+        s.loadPc = pc;
+        s.lastAddr = addr & ~Addr(_blockBytes - 1);
+        s.stride = 1; // phase bit: strideA next
+        s.confidence = confidence(pc);
+        return s;
+    }
+
+    uint32_t
+    confidence(Addr pc) const override
+    {
+        auto it = _table.find(pc);
+        return it == _table.end() ? 0 : it->second.conf;
+    }
+
+    bool
+    twoMissFilterPass(Addr pc, Addr) const override
+    {
+        auto it = _table.find(pc);
+        return it != _table.end() && it->second.lastCorrect &&
+               it->second.prevCorrect;
+    }
+
+  private:
+    struct Entry
+    {
+        Addr lastAddr = 0;
+        int64_t strideA = 0;
+        int64_t strideB = 0;
+        unsigned conf = 0;
+        bool lastCorrect = false;
+        bool prevCorrect = false;
+        bool touched = false;
+    };
+
+    unsigned _blockBytes;
+    std::map<Addr, Entry> _table;
+};
+
+/** Ping-pong matrix walk: addr += 40KB, addr -= 39.875KB, repeat. */
+class PingPongWalk : public TraceBuilder
+{
+  protected:
+    bool
+    step() override
+    {
+        constexpr int64_t s1 = 40 * 1024;
+        constexpr int64_t s2 = -(40 * 1024 - 128);
+        emitLoad(0x400000, 1, _addr, 1);
+        emitAlu(0x400004, 2, 1, 2);
+        emitAlu(0x400008, 3, 2);
+        emitBranch(0x40000c, true, 0x400000, 2);
+        _addr = Addr(int64_t(_addr) + (_phase ? s2 : s1));
+        _phase = !_phase;
+        if (_addr > 0x18000000 || _addr < 0x10000000) {
+            _addr = 0x10000000;
+            _phase = false;
+        }
+        return true;
+    }
+
+  private:
+    Addr _addr = 0x10000000;
+    bool _phase = false;
+};
+
+SimResult
+simulate(Prefetcher &prefetcher, MemoryHierarchy &hierarchy)
+{
+    PingPongWalk trace;
+    CoreConfig core_cfg;
+    OoOCore core(core_cfg, hierarchy, prefetcher, trace);
+
+    Cycle now = 0;
+    while (core.stats().instructions < 200'000) {
+        core.tick(now);
+        prefetcher.tick(now);
+        ++now;
+    }
+    core.resetStats();
+    hierarchy.resetStats();
+    prefetcher.resetStats();
+    while (core.stats().instructions < 600'000) {
+        core.tick(now);
+        prefetcher.tick(now);
+        ++now;
+    }
+
+    SimResult r;
+    r.core = core.stats();
+    r.prefetch = prefetcher.stats();
+    r.ipc = r.core.ipc();
+    r.avgLoadLatency = r.core.loadLatency.mean();
+    r.prefetchAccuracy = r.prefetch.accuracy();
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    TablePrinter table;
+    table.addRow({"prefetcher", "IPC", "avg load lat", "accuracy"});
+
+    auto add = [&](const char *label, const SimResult &r) {
+        table.addRow({label, TablePrinter::fmt(r.ipc, 3),
+                      TablePrinter::fmt(r.avgLoadLatency, 2),
+                      TablePrinter::fmt(100.0 * r.prefetchAccuracy, 1) +
+                          "%"});
+    };
+
+    MemoryConfig mem_cfg;
+
+    { // Baseline.
+        MemoryHierarchy hier(mem_cfg);
+        NullPrefetcher none;
+        add("none", simulate(none, hier));
+    }
+    { // PC-stride buffers: a two-delta stride cannot track the
+      // alternation (the stride never repeats twice in a row).
+        MemoryHierarchy hier(mem_cfg);
+        StrideStreamBuffers stride({}, {}, hier);
+        add("PC-stride SB", simulate(stride, hier));
+    }
+    { // PSB directed by the custom alternating-stride predictor.
+        MemoryHierarchy hier(mem_cfg);
+        AlternatingStridePredictor predictor;
+        PsbConfig psb_cfg;
+        PredictorDirectedStreamBuffers psb(psb_cfg, predictor, hier);
+        add("PSB + AlternatingStride", simulate(psb, hier));
+    }
+
+    std::puts("Ping-pong matrix walk (strides +40KB / -39.9KB):\n");
+    table.print();
+    std::puts("\nThe custom predictor plugs into the PSB unchanged and"
+              " captures the\nalternating pattern neither built-in"
+              " predictor can follow.");
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Quickstart: simulate one workload on the paper's baseline machine
+ * and on predictor-directed stream buffers (ConfAlloc-Priority), then
+ * print both reports and the speedup.
+ *
+ * Usage: quickstart [workload] [instructions]
+ *   workload      health | burg | deltablue | gs | sis | turb3d
+ *                 (default: health)
+ *   instructions  measurement-region length (default: 500000)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/report.hh"
+#include "sim/simulator.hh"
+#include "workloads/workload.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::string workload = argc > 1 ? argv[1] : "health";
+    uint64_t instructions = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+                                     : 500'000;
+
+    auto run = [&](psb::PaperConfig cfg) {
+        auto trace = psb::makeWorkload(workload);
+        if (!trace) {
+            std::fprintf(stderr, "unknown workload '%s'\n",
+                         workload.c_str());
+            std::exit(1);
+        }
+        psb::SimConfig sim_cfg = psb::makePaperConfig(cfg);
+        sim_cfg.maxInstructions = instructions;
+        psb::Simulator sim(sim_cfg, *trace);
+        return sim.run();
+    };
+
+    psb::SimResult base = run(psb::PaperConfig::Base);
+    psb::SimResult psb_result = run(psb::PaperConfig::ConfAllocPriority);
+
+    psb::printReport(workload + " / baseline (no prefetching)", base);
+    psb::printReport(workload + " / PSB ConfAlloc-Priority", psb_result);
+
+    double speedup = base.ipc > 0.0
+        ? 100.0 * (psb_result.ipc / base.ipc - 1.0) : 0.0;
+    std::printf("\nPSB speedup over baseline: %+.1f%%\n", speedup);
+    return 0;
+}

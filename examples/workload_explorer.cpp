@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Run every synthetic benchmark analog on every paper configuration
+ * and print a compact matrix — a one-binary tour of the evaluation.
+ *
+ * Usage: workload_explorer [instructions] [workload...]
+ *   instructions  per-simulation measurement length (default 300000)
+ *   workload...   subset of workloads (default: all six)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "util/table_printer.hh"
+#include "workloads/workload.hh"
+
+int
+main(int argc, char **argv)
+{
+    uint64_t instructions =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 300'000;
+
+    std::vector<std::string> names;
+    for (int i = 2; i < argc; ++i)
+        names.push_back(argv[i]);
+    if (names.empty())
+        names = psb::workloadNames();
+
+    psb::TablePrinter table;
+    table.addRow({"workload", "config", "IPC", "L1D MR", "load lat",
+                  "pf acc", "bus util"});
+
+    for (const std::string &name : names) {
+        for (psb::PaperConfig cfg : psb::paperConfigs) {
+            auto trace = psb::makeWorkload(name);
+            if (!trace) {
+                std::fprintf(stderr, "unknown workload '%s'\n",
+                             name.c_str());
+                return 1;
+            }
+            psb::SimConfig sim_cfg = psb::makePaperConfig(cfg);
+            sim_cfg.maxInstructions = instructions;
+            psb::Simulator sim(sim_cfg, *trace);
+            psb::SimResult r = sim.run();
+
+            table.addRow({name, psb::paperConfigName(cfg),
+                          psb::TablePrinter::fmt(r.ipc, 3),
+                          psb::TablePrinter::fmt(r.l1dMissRate, 4),
+                          psb::TablePrinter::fmt(r.avgLoadLatency, 2),
+                          psb::TablePrinter::fmt(
+                              100.0 * r.prefetchAccuracy, 1) + "%",
+                          psb::TablePrinter::fmt(
+                              100.0 * r.l1L2BusUtil, 1) + "%"});
+        }
+    }
+    table.print();
+    return 0;
+}

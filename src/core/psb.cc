@@ -1,0 +1,250 @@
+#include "core/psb.hh"
+
+#include "util/logging.hh"
+
+namespace psb
+{
+
+const char *
+allocPolicyName(AllocPolicy policy)
+{
+    switch (policy) {
+      case AllocPolicy::TwoMiss:    return "2Miss";
+      case AllocPolicy::Confidence: return "ConfAlloc";
+      case AllocPolicy::Always:     return "Always";
+    }
+    return "Unknown";
+}
+
+PredictorDirectedStreamBuffers::PredictorDirectedStreamBuffers(
+    const PsbConfig &cfg, AddressPredictor &predictor,
+    MemoryHierarchy &hierarchy)
+    : _cfg(cfg),
+      _predictor(predictor),
+      _hierarchy(hierarchy),
+      _file(cfg.buffers),
+      _predictSched(cfg.sched, cfg.buffers.numBuffers),
+      _prefetchSched(cfg.sched, cfg.buffers.numBuffers),
+      _agingCountdown(cfg.buffers.agingPeriod)
+{
+}
+
+PrefetchLookup
+PredictorDirectedStreamBuffers::lookup(Addr addr, Cycle now)
+{
+    ++_stats.lookups;
+    PrefetchLookup result;
+
+    Addr block = _file.blockAlign(addr);
+    auto hit = _file.findBlock(block);
+    if (!hit)
+        return result;
+
+    StreamBuffer &buf = _file.buffer(hit->buf);
+    SbEntry &entry = buf.entries()[hit->entry];
+
+    if (!entry.prefetched) {
+        // The prediction was right but its prefetch has not issued
+        // yet: no data to provide. The entry is left in place — the
+        // access may be retrying an MSHR-full stall, and a completed
+        // demand fill reconciles it via demandMiss() instead.
+        return result;
+    }
+
+    ++_stats.hits;
+    ++_stats.prefetchesUsed;
+    result.hit = true;
+    result.ready = entry.ready;
+    result.dataPending = entry.ready > now;
+    if (result.dataPending)
+        ++_stats.hitsPending;
+
+    // "Every time there is a lookup and the stream buffer gets a hit,
+    // the priority counter is incremented by a constant value (2)."
+    buf.priority.increment(_cfg.buffers.priorityHitIncrement);
+    buf.lastHitStamp = _file.nextStamp();
+
+    // The entry is freed for a new prediction and prefetch.
+    buf.clearEntry(hit->entry);
+    return result;
+}
+
+void
+PredictorDirectedStreamBuffers::trainLoad(Addr pc, Addr addr, bool l1_miss,
+                                          bool store_forwarded)
+{
+    // The tables predict the miss stream: update only on L1D misses,
+    // and never for loads whose value came from a store forward.
+    if (!l1_miss || store_forwarded)
+        return;
+    _predictor.train(pc, addr);
+}
+
+bool
+PredictorDirectedStreamBuffers::tryAllocate(Addr pc, Addr addr)
+{
+    if (_cfg.alloc == AllocPolicy::Always) {
+        unsigned victim = _file.lruBuffer();
+        StreamBuffer &buf = _file.buffer(victim);
+        buf.allocateStream(_predictor.allocateStream(pc, addr),
+                           _predictor.confidence(pc));
+        buf.allocStamp = buf.lastHitStamp = _file.nextStamp();
+        return true;
+    }
+
+    if (_cfg.alloc == AllocPolicy::TwoMiss) {
+        // Generalised two-miss filter: the last two misses of this
+        // load were both correctly predictable (stride or Markov).
+        if (!_predictor.twoMissFilterPass(pc, addr))
+            return false;
+        unsigned victim = _file.lruBuffer();
+        StreamBuffer &buf = _file.buffer(victim);
+        buf.allocateStream(_predictor.allocateStream(pc, addr),
+                           _predictor.confidence(pc));
+        buf.allocStamp = buf.lastHitStamp = _file.nextStamp();
+        return true;
+    }
+
+    // Confidence allocation (§4.3): the load's accuracy confidence
+    // must reach the threshold, and must be >= the priority counter of
+    // at least one stream buffer — otherwise every current stream has
+    // proven more useful than this load and no buffer is stolen.
+    uint32_t conf = _predictor.confidence(pc);
+    if (conf < _cfg.buffers.allocConfThreshold)
+        return false;
+    unsigned victim = _file.minPriorityBuffer();
+    StreamBuffer &buf = _file.buffer(victim);
+    if (buf.allocated() && buf.priority.value() > conf)
+        return false;
+    buf.allocateStream(_predictor.allocateStream(pc, addr), conf);
+    buf.allocStamp = buf.lastHitStamp = _file.nextStamp();
+    return true;
+}
+
+void
+PredictorDirectedStreamBuffers::demandMiss(Addr pc, Addr addr, Cycle)
+{
+    // A demand fill is under way for this block. If a buffer had
+    // predicted it but the prefetch never issued, release the entry —
+    // the prediction was right, just too late (no accuracy penalty:
+    // it was never a prefetch). The stream itself is tracking
+    // correctly, so this is not an allocation request.
+    Addr block = _file.blockAlign(addr);
+    if (auto tag = _file.findBlock(block)) {
+        StreamBuffer &buf = _file.buffer(tag->buf);
+        if (!buf.entries()[tag->entry].prefetched) {
+            ++_stats.lateTagHits;
+            buf.clearEntry(tag->entry);
+            return;
+        }
+    }
+
+    ++_stats.allocationRequests;
+
+    // Aging (§4.4): every agingPeriod allocation requests, decay every
+    // buffer's priority so long-lived streams can be reclaimed.
+    if (--_agingCountdown == 0) {
+        _agingCountdown = _cfg.buffers.agingPeriod;
+        for (unsigned b = 0; b < _file.numBuffers(); ++b)
+            _file.buffer(b).priority.decrement();
+    }
+
+    if (tryAllocate(pc, addr))
+        ++_stats.allocations;
+    else
+        ++_stats.allocationsFiltered;
+}
+
+void
+PredictorDirectedStreamBuffers::makePrediction(Cycle now)
+{
+    // One buffer per cycle gets the shared predictor port.
+    auto candidate = [this](unsigned b) {
+        const StreamBuffer &buf = _file.buffer(b);
+        return buf.allocated() && buf.freeEntry() >= 0;
+    };
+    auto tie_stamp = [this](unsigned b) {
+        return _file.buffer(b).lastPredictStamp;
+    };
+    int winner = _predictSched.pick(_file, candidate, tie_stamp);
+    if (winner < 0)
+        return;
+
+    StreamBuffer &buf = _file.buffer(unsigned(winner));
+    buf.lastPredictStamp = _file.nextStamp();
+
+    auto predicted = _predictor.predictNext(buf.state);
+    if (!predicted)
+        return;
+    ++_stats.predictions;
+
+    // Non-overlapping streams: a block already present in any buffer
+    // is not predicted again. The stream history has already advanced.
+    Addr block = _file.blockAlign(*predicted);
+    if (_file.contains(block)) {
+        ++_stats.duplicateSuppressed;
+        return;
+    }
+
+    int slot = buf.freeEntry();
+    psb_assert(slot >= 0, "scheduler picked a buffer with no free entry");
+    SbEntry &entry = buf.entries()[slot];
+    entry.block = block;
+    entry.valid = true;
+    entry.prefetched = false;
+    (void)now;
+}
+
+void
+PredictorDirectedStreamBuffers::issuePrefetch(Cycle now)
+{
+    // "We only allow prefetches to occur if the L1-L2 bus is free at
+    // the start of any given cycle."
+    if (!_hierarchy.l1ToL2BusFree(now))
+        return;
+
+    auto candidate = [this](unsigned b) {
+        const StreamBuffer &buf = _file.buffer(b);
+        return buf.allocated() && buf.pendingPrefetchEntry() >= 0;
+    };
+    auto tie_stamp = [this](unsigned b) {
+        return _file.buffer(b).lastPrefetchStamp;
+    };
+    int winner = _prefetchSched.pick(_file, candidate, tie_stamp);
+    if (winner < 0)
+        return;
+
+    StreamBuffer &buf = _file.buffer(unsigned(winner));
+    buf.lastPrefetchStamp = _file.nextStamp();
+
+    int slot = buf.pendingPrefetchEntry();
+    SbEntry &entry = buf.entries()[slot];
+
+    // Paper §4.5 option: a buffer that cached its page translation
+    // only consults the TLB when the stream leaves the page.
+    bool translate = true;
+    if (_cfg.buffers.cacheTlbTranslation) {
+        uint64_t page = entry.block / _hierarchy.config().pageBytes;
+        if (buf.translatedPage == page) {
+            translate = false;
+            ++_stats.tlbTranslationsSkipped;
+        } else {
+            buf.translatedPage = page;
+        }
+    }
+
+    PrefetchOutcome outcome =
+        _hierarchy.prefetch(entry.block, now, translate);
+    entry.prefetched = true;
+    entry.ready = outcome.ready;
+    ++_stats.prefetchesIssued;
+}
+
+void
+PredictorDirectedStreamBuffers::tick(Cycle now)
+{
+    makePrediction(now);
+    issuePrefetch(now);
+}
+
+} // namespace psb

@@ -1,0 +1,96 @@
+#include "cpu/branch_predictor.hh"
+
+#include <cstddef>
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace psb
+{
+
+GsharePredictor::GsharePredictor(const GshareConfig &cfg)
+    : _cfg(cfg),
+      _pht(std::size_t(1) << cfg.historyBits, SatCounter(3, 1)),
+      _btb(cfg.btbEntries),
+      _historyMask(mask(cfg.historyBits))
+{
+    psb_assert(cfg.historyBits >= 1 && cfg.historyBits <= 24,
+               "gshare history must be 1..24 bits");
+    psb_assert(cfg.btbEntries % cfg.btbAssoc == 0,
+               "BTB entries must divide into sets");
+    psb_assert(isPowerOf2(cfg.btbEntries / cfg.btbAssoc),
+               "BTB sets must be a power of two");
+}
+
+unsigned
+GsharePredictor::phtIndex(Addr pc) const
+{
+    return ((pc >> 2) ^ _history) & _historyMask;
+}
+
+unsigned
+GsharePredictor::btbSet(Addr pc) const
+{
+    unsigned sets = _cfg.btbEntries / _cfg.btbAssoc;
+    return (pc >> 2) & (sets - 1);
+}
+
+bool
+GsharePredictor::predict(Addr pc, Addr &predicted_target) const
+{
+    ++_lookups;
+    predicted_target = 0;
+    const BtbEntry *set = &_btb[std::size_t(btbSet(pc)) * _cfg.btbAssoc];
+    for (unsigned w = 0; w < _cfg.btbAssoc; ++w) {
+        if (set[w].valid && set[w].pc == pc) {
+            predicted_target = set[w].target;
+            break;
+        }
+    }
+    return _pht[phtIndex(pc)].value() >= 2;
+}
+
+bool
+GsharePredictor::update(Addr pc, bool taken, Addr target)
+{
+    Addr predicted_target = 0;
+    --_lookups; // predict() below is bookkeeping, not a real lookup
+    bool predicted_taken = predict(pc, predicted_target);
+
+    bool correct = (predicted_taken == taken) &&
+        (!taken || predicted_target == target);
+    if (!correct)
+        ++_mispredicts;
+
+    SatCounter &ctr = _pht[phtIndex(pc)];
+    if (taken)
+        ctr.increment();
+    else
+        ctr.decrement();
+
+    _history = ((_history << 1) | (taken ? 1 : 0)) & _historyMask;
+
+    if (taken) {
+        BtbEntry *set = &_btb[std::size_t(btbSet(pc)) * _cfg.btbAssoc];
+        BtbEntry *victim = &set[0];
+        for (unsigned w = 0; w < _cfg.btbAssoc; ++w) {
+            if (set[w].valid && set[w].pc == pc) {
+                victim = &set[w];
+                break;
+            }
+            if (!set[w].valid) {
+                victim = &set[w];
+            } else if (victim->valid &&
+                       set[w].lastUse < victim->lastUse) {
+                victim = &set[w];
+            }
+        }
+        victim->pc = pc;
+        victim->target = target;
+        victim->valid = true;
+        victim->lastUse = ++_useStamp;
+    }
+    return correct;
+}
+
+} // namespace psb

@@ -1,0 +1,507 @@
+#include "cpu/ooo_core.hh"
+
+#include "util/logging.hh"
+
+namespace psb
+{
+
+OoOCore::OoOCore(const CoreConfig &cfg, MemoryHierarchy &hierarchy,
+                 Prefetcher &prefetcher, TraceSource &trace)
+    : _cfg(cfg),
+      _hierarchy(hierarchy),
+      _prefetcher(prefetcher),
+      _trace(trace),
+      _gshare(cfg.gshare),
+      _intDivFreeAt(cfg.numIntMulDiv, 0),
+      _fpDivFreeAt(cfg.numFpMulDiv, 0)
+{
+    psb_assert(cfg.robEntries > 0 && cfg.lsqEntries > 0,
+               "ROB and LSQ must be non-empty");
+}
+
+bool
+OoOCore::tick(Cycle now)
+{
+    if (done())
+        return false;
+    ++_stats.cycles;
+    commitStage(now);
+    issueStage(now);
+    fetchStage(now);
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Functional units
+// ---------------------------------------------------------------------
+
+Cycle
+OoOCore::execLatency(OpClass cls) const
+{
+    switch (cls) {
+      case OpClass::IntAlu:  return 1;
+      case OpClass::IntMult: return 3;
+      case OpClass::IntDiv:  return 12;
+      case OpClass::FpAdd:   return 2;
+      case OpClass::FpMult:  return 4;
+      case OpClass::FpDiv:   return 12;
+      case OpClass::Branch:  return 1;
+      case OpClass::Nop:     return 1;
+      case OpClass::Load:
+      case OpClass::Store:   return 1; // address generation
+    }
+    return 1;
+}
+
+bool
+OoOCore::fuAvailable(OpClass cls, Cycle now)
+{
+    if (_fuCountersCycle != now) {
+        _fuCountersCycle = now;
+        _usedIntAlu = _usedLdSt = _usedFpAdd = 0;
+        _usedIntMul = _usedFpMul = 0;
+    }
+    switch (cls) {
+      case OpClass::IntAlu:
+      case OpClass::Branch:
+      case OpClass::Nop:
+        return _usedIntAlu < _cfg.numIntAlu;
+      case OpClass::Load:
+      case OpClass::Store:
+        return _usedLdSt < _cfg.numLdSt;
+      case OpClass::FpAdd:
+        return _usedFpAdd < _cfg.numFpAdd;
+      case OpClass::IntMult:
+        return _usedIntMul < _cfg.numIntMulDiv;
+      case OpClass::FpMult:
+        return _usedFpMul < _cfg.numFpMulDiv;
+      case OpClass::IntDiv:
+        for (Cycle t : _intDivFreeAt) {
+            if (t <= now)
+                return true;
+        }
+        return false;
+      case OpClass::FpDiv:
+        for (Cycle t : _fpDivFreeAt) {
+            if (t <= now)
+                return true;
+        }
+        return false;
+    }
+    return false;
+}
+
+void
+OoOCore::consumeFu(OpClass cls, Cycle now)
+{
+    switch (cls) {
+      case OpClass::IntAlu:
+      case OpClass::Branch:
+      case OpClass::Nop:
+        ++_usedIntAlu;
+        break;
+      case OpClass::Load:
+      case OpClass::Store:
+        ++_usedLdSt;
+        break;
+      case OpClass::FpAdd:
+        ++_usedFpAdd;
+        break;
+      case OpClass::IntMult:
+        ++_usedIntMul;
+        break;
+      case OpClass::FpMult:
+        ++_usedFpMul;
+        break;
+      case OpClass::IntDiv:
+        // Divides are unpipelined: occupy a shared MULT/DIV unit.
+        for (Cycle &t : _intDivFreeAt) {
+            if (t <= now) {
+                t = now + execLatency(cls);
+                return;
+            }
+        }
+        panic("IntDiv issued with no free unit");
+      case OpClass::FpDiv:
+        for (Cycle &t : _fpDivFreeAt) {
+            if (t <= now) {
+                t = now + execLatency(cls);
+                return;
+            }
+        }
+        panic("FpDiv issued with no free unit");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dependence tracking
+// ---------------------------------------------------------------------
+
+const OoOCore::RobEntry *
+OoOCore::findEntry(uint64_t seq) const
+{
+    if (_rob.empty() || seq < _rob.front().seq || seq > _rob.back().seq)
+        return nullptr;
+    return &_rob[std::size_t(seq - _rob.front().seq)];
+}
+
+bool
+OoOCore::producerReady(uint64_t producer_seq, Cycle now) const
+{
+    if (producer_seq == 0)
+        return true;
+    const RobEntry *producer = findEntry(producer_seq);
+    if (!producer)
+        return true; // producer already committed
+    return producer->issued && producer->doneAt <= now;
+}
+
+bool
+OoOCore::operandsReady(const RobEntry &entry, Cycle now) const
+{
+    return producerReady(entry.src1Producer, now) &&
+           producerReady(entry.src2Producer, now);
+}
+
+// ---------------------------------------------------------------------
+// Commit
+// ---------------------------------------------------------------------
+
+bool
+OoOCore::commitStore(RobEntry &entry, Cycle now)
+{
+    Addr addr = entry.op.effAddr;
+    ++_stats.l1dAccesses;
+    ++_stats.stores;
+
+    ProbeResult probe = _hierarchy.probeData(addr, now);
+    if (probe.resident) {
+        ++_stats.l1dHits;
+        _hierarchy.touchData(addr, /*is_write=*/true);
+        return true;
+    }
+
+    if (probe.inFlight) {
+        ++_stats.l1dMisses;
+        ++_stats.l1dInFlight;
+        // The tag is resident, the fill is on its way; mark dirty.
+        _hierarchy.touchData(addr, /*is_write=*/true);
+        return true;
+    }
+
+    // Stores search the stream buffers too: a predicted block services
+    // the write-allocate without another L2 round trip.
+    PrefetchLookup sb = _prefetcher.lookup(addr, now);
+    if (sb.hit) {
+        ++_stats.sbServiced;
+        Addr block = _hierarchy.blockAlign(addr);
+        if (sb.dataPending) {
+            ++_stats.l1dMisses;
+            ++_stats.l1dInFlight;
+            _hierarchy.registerInFlightFill(block, sb.ready, now);
+        } else {
+            ++_stats.l1dHits;
+            _hierarchy.fillFromStreamBuffer(block, now);
+        }
+        _hierarchy.touchData(addr, /*is_write=*/true);
+        return true;
+    }
+    ++_stats.l1dMisses;
+
+    FillOutcome fill = _hierarchy.missToL2(addr, now, /*is_write=*/true);
+    if (fill.mshrStall) {
+        ++_stats.mshrStallRetries;
+        --_stats.l1dMisses;
+        --_stats.l1dAccesses;
+        --_stats.stores;
+        return false; // hold commit; retry next cycle
+    }
+    return true;
+}
+
+void
+OoOCore::commitStage(Cycle now)
+{
+    for (unsigned n = 0; n < _cfg.commitWidth && !_rob.empty(); ++n) {
+        RobEntry &head = _rob.front();
+        if (!head.issued || head.doneAt > now)
+            break;
+        if (head.op.isStore()) {
+            if (!commitStore(head, now))
+                break;
+        }
+        if (head.op.isMem())
+            --_memOpsInRob;
+        ++_stats.instructions;
+        _rob.pop_front();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Issue / execute
+// ---------------------------------------------------------------------
+
+bool
+OoOCore::executeLoad(RobEntry &entry, Cycle now)
+{
+    const Addr addr = entry.op.effAddr;
+    const unsigned size = entry.op.memSize;
+
+    // Memory disambiguation against earlier stores.
+    const RobEntry *alias = nullptr;
+    bool all_prior_stores_issued = true;
+    for (auto it = _rob.begin(); it != _rob.end(); ++it) {
+        if (it->seq >= entry.seq)
+            break;
+        if (!it->op.isStore())
+            continue;
+        if (!it->issued)
+            all_prior_stores_issued = false;
+        Addr s = it->op.effAddr;
+        if (s < addr + size && addr < s + it->op.memSize)
+            alias = &*it; // youngest older aliasing store wins
+    }
+
+    switch (_cfg.disambiguation) {
+      case DisambiguationMode::None:
+        // A load waits until all prior stores have issued.
+        if (!all_prior_stores_issued)
+            return false;
+        break;
+      case DisambiguationMode::Perfect:
+        // Perfect store sets: wait only for a true alias.
+        if (alias && !alias->issued)
+            return false;
+        break;
+      case DisambiguationMode::Learned:
+        if (entry.waitStoreSeq != 0) {
+            const RobEntry *dep = findEntry(entry.waitStoreSeq);
+            if (dep && dep->op.isStore() && !dep->issued)
+                return false;
+        }
+        // An unissued alias the predictor did not connect would be an
+        // ordering violation in real hardware; charge the squash.
+        if (alias && !alias->issued) {
+            ++_stats.orderViolations;
+            _storeSets.recordViolation(entry.op.pc, alias->op.pc);
+            if (_fetchResumeAt != waitingForBranch) {
+                Cycle resume = now + _cfg.mispredictPenalty;
+                if (resume > _fetchResumeAt)
+                    _fetchResumeAt = resume;
+            }
+            return false; // re-issue once the alias has issued
+        }
+        break;
+    }
+
+    ++_stats.loads;
+    entry.storeForwarded = false;
+
+    if (alias) {
+        // Value bypassed from the store queue (2-cycle forward).
+        ++_stats.storeForwards;
+        entry.storeForwarded = true;
+        Cycle base = alias->doneAt > now ? alias->doneAt : now;
+        entry.doneAt = base + _cfg.storeForwardLatency;
+        _stats.loadLatency.sample(double(entry.doneAt - now));
+        _prefetcher.trainLoad(entry.op.pc, addr, /*l1_miss=*/false,
+                              /*store_forwarded=*/true);
+        return true;
+    }
+
+    ++_stats.l1dAccesses;
+    ProbeResult probe = _hierarchy.probeData(addr, now);
+    Cycle extra = probe.tlbPenalty;
+    bool l1_miss = false;
+
+    if (probe.resident) {
+        ++_stats.l1dHits;
+        _hierarchy.touchData(addr, /*is_write=*/false);
+        entry.doneAt = now + _hierarchy.config().l1Latency + extra;
+    } else if (probe.inFlight) {
+        // Delayed hit: an earlier access already requested this block.
+        // Counts as a miss (paper §6) but carries no new block
+        // transition, so it does not train the predictor below.
+        ++_stats.l1dMisses;
+        ++_stats.l1dInFlight;
+        Cycle data = probe.ready > now ? probe.ready : now;
+        entry.doneAt = data + _hierarchy.config().l1Latency + extra;
+    } else {
+        l1_miss = true;
+        // Stream buffers are searched in parallel with the L1D.
+        PrefetchLookup sb = _prefetcher.lookup(addr, now);
+        if (sb.hit) {
+            ++_stats.sbServiced;
+            Addr block = _hierarchy.blockAlign(addr);
+            if (sb.dataPending) {
+                // Tag hit, data in flight: tag moves into an MSHR.
+                // Per the paper's accounting the access is a miss
+                // (the block is still in flight).
+                ++_stats.l1dMisses;
+                ++_stats.l1dInFlight;
+                _hierarchy.registerInFlightFill(block, sb.ready, now);
+                entry.doneAt =
+                    sb.ready + _hierarchy.config().l1Latency + extra;
+            } else {
+                // Data ready in the buffer: the block moves into the
+                // L1D and the access is serviced on-chip — a hit for
+                // the Figure 7 miss-rate accounting.
+                ++_stats.l1dHits;
+                _hierarchy.fillFromStreamBuffer(block, now);
+                entry.doneAt =
+                    now + _hierarchy.config().l1Latency + extra;
+            }
+        } else {
+            ++_stats.l1dMisses;
+            FillOutcome fill =
+                _hierarchy.missToL2(addr, now, /*is_write=*/false);
+            if (fill.mshrStall) {
+                // No MSHR: the load cannot issue this cycle.
+                ++_stats.mshrStallRetries;
+                --_stats.loads;
+                --_stats.l1dAccesses;
+                --_stats.l1dMisses;
+                return false;
+            }
+            entry.doneAt = fill.ready + extra;
+            // Allocation request: missed the L1D and the buffers.
+            _prefetcher.demandMiss(entry.op.pc, addr, now);
+        }
+    }
+
+    _stats.loadLatency.sample(double(entry.doneAt - now));
+    _prefetcher.trainLoad(entry.op.pc, addr, l1_miss,
+                          /*store_forwarded=*/false);
+    return true;
+}
+
+void
+OoOCore::issueStage(Cycle now)
+{
+    unsigned issued = 0;
+    for (auto &entry : _rob) {
+        if (issued >= _cfg.issueWidth)
+            break;
+        if (entry.issued || entry.dispatchCycle >= now)
+            continue;
+        if (!operandsReady(entry, now))
+            continue;
+        if (!fuAvailable(entry.op.op, now))
+            continue;
+
+        if (entry.op.isLoad()) {
+            if (!executeLoad(entry, now))
+                continue;
+        } else if (entry.op.isStore()) {
+            // Address generation; the cache write happens at commit.
+            entry.doneAt = now + execLatency(OpClass::Store);
+            if (_cfg.disambiguation == DisambiguationMode::Learned)
+                _storeSets.storeIssued(entry.op.pc, entry.seq);
+        } else {
+            entry.doneAt = now + execLatency(entry.op.op);
+        }
+
+        consumeFu(entry.op.op, now);
+        entry.issued = true;
+        ++issued;
+
+        if (entry.op.isBranch() && entry.seq == _redirectBranchSeq) {
+            // The mispredicted branch resolves; fetch restarts after
+            // the minimum front-end refill penalty.
+            _fetchResumeAt = entry.doneAt + _cfg.mispredictPenalty;
+            _redirectBranchSeq = 0;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fetch / dispatch
+// ---------------------------------------------------------------------
+
+void
+OoOCore::fetchStage(Cycle now)
+{
+    if (now < _fetchResumeAt || _fetchResumeAt == waitingForBranch)
+        return;
+
+    unsigned fetched = 0;
+    unsigned branches = 0;
+
+    while (fetched < _cfg.fetchWidth) {
+        if (_rob.size() >= _cfg.robEntries)
+            break;
+
+        if (!_havePending) {
+            if (!_trace.next(_pendingOp)) {
+                _traceDone = true;
+                break;
+            }
+            _havePending = true;
+        }
+
+        if (_pendingOp.isMem() && _memOpsInRob >= _cfg.lsqEntries)
+            break;
+
+        // Instruction cache: one access per new fetch block.
+        Addr fetch_block = _pendingOp.pc &
+            ~Addr(_hierarchy.config().l1i.blockBytes - 1);
+        if (fetch_block != _curFetchBlock) {
+            Cycle ready = _hierarchy.instFetch(_pendingOp.pc, now);
+            _curFetchBlock = fetch_block;
+            if (ready > now + _hierarchy.config().l1Latency) {
+                _fetchResumeAt = ready;
+                break;
+            }
+        }
+
+        RobEntry entry;
+        entry.op = _pendingOp;
+        entry.seq = _nextSeq++;
+        entry.dispatchCycle = now;
+        _havePending = false;
+
+        // Register dependences: record the current last writers.
+        if (entry.op.src1 != regNone)
+            entry.src1Producer = _regLastWriter[entry.op.src1];
+        if (entry.op.src2 != regNone)
+            entry.src2Producer = _regLastWriter[entry.op.src2];
+        if (entry.op.dst != regNone)
+            _regLastWriter[entry.op.dst] = entry.seq;
+
+        if (entry.op.isMem()) {
+            ++_memOpsInRob;
+            if (_cfg.disambiguation == DisambiguationMode::Learned) {
+                entry.waitStoreSeq = _storeSets.dispatch(
+                    entry.op.pc, entry.op.isStore(), entry.seq);
+            }
+        }
+
+        bool is_branch = entry.op.isBranch();
+        bool taken = entry.op.taken;
+        Addr pc = entry.op.pc;
+        Addr target = entry.op.target;
+        uint64_t seq = entry.seq;
+
+        _rob.push_back(entry);
+        ++fetched;
+
+        if (is_branch) {
+            ++_stats.branches;
+            ++branches;
+            bool correct = _gshare.update(pc, taken, target);
+            if (!correct) {
+                ++_stats.mispredicts;
+                // Fetch stops until this branch resolves at execute.
+                _fetchResumeAt = waitingForBranch;
+                _redirectBranchSeq = seq;
+                break;
+            }
+            if (taken)
+                break; // fetch continues at the target next cycle
+            if (branches >= _cfg.maxBranchesPerFetch)
+                break;
+        }
+    }
+}
+
+} // namespace psb

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * The out-of-order processor timing model (paper §5.1): an 8-wide
+ * dynamically scheduled core with a 128-entry re-order buffer, a
+ * 64-entry load/store queue, a gshare-driven fetch unit making up to
+ * two branch predictions per cycle, the paper's functional-unit pool
+ * (8 int ALUs, 4 load/store units, 2 FP adders, 2 int MULT/DIV, 2 FP
+ * MULT/DIV; divides unpipelined), an 8-cycle minimum branch
+ * misprediction penalty, a 2-cycle store-forward latency, and
+ * selectable memory disambiguation (perfect store sets / none /
+ * learned).
+ *
+ * The model is trace-driven: it consumes MicroOps from a TraceSource,
+ * so wrong-path execution is not simulated; a misprediction instead
+ * stalls fetch until the branch resolves plus the refill penalty
+ * (substitution documented in DESIGN.md §4).
+ *
+ * Loads look up the prefetcher in parallel with the L1D; the miss
+ * accounting follows the paper ("an access to a cache block which is
+ * not currently resident in the cache" is a miss, in-flight blocks
+ * included), and the prefetcher is trained at execute/write-back on
+ * the true miss stream with store-forwarded loads excluded.
+ */
+
+#ifndef PSB_CPU_OOO_CORE_HH
+#define PSB_CPU_OOO_CORE_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "cpu/branch_predictor.hh"
+#include "cpu/store_sets.hh"
+#include "memory/hierarchy.hh"
+#include "prefetch/prefetcher.hh"
+#include "trace/trace_source.hh"
+#include "util/stats.hh"
+
+namespace psb
+{
+
+/** Core parameters; defaults are the paper's baseline. */
+struct CoreConfig
+{
+    unsigned fetchWidth = 8;
+    unsigned issueWidth = 8;
+    unsigned commitWidth = 8;
+    unsigned maxBranchesPerFetch = 2;
+    unsigned robEntries = 128;
+    unsigned lsqEntries = 64;
+    Cycle mispredictPenalty = 8;  ///< minimum front-end refill
+    Cycle storeForwardLatency = 2;
+    DisambiguationMode disambiguation = DisambiguationMode::Perfect;
+    GshareConfig gshare;
+
+    unsigned numIntAlu = 8;
+    unsigned numLdSt = 4;
+    unsigned numFpAdd = 2;
+    unsigned numIntMulDiv = 2;
+    unsigned numFpMulDiv = 2;
+};
+
+/** Execution statistics gathered by the core. */
+struct CoreStats
+{
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t branches = 0;
+    uint64_t mispredicts = 0;
+
+    uint64_t l1dAccesses = 0;   ///< loads + committed stores
+    uint64_t l1dHits = 0;
+    uint64_t l1dMisses = 0;     ///< includes in-flight accesses (paper)
+    uint64_t l1dInFlight = 0;   ///< of the misses, merged into a fill
+    uint64_t sbServiced = 0;    ///< misses serviced by the prefetcher
+    uint64_t storeForwards = 0;
+    uint64_t mshrStallRetries = 0;
+    uint64_t orderViolations = 0; ///< learned-disambiguation squashes
+
+    Average loadLatency;        ///< issue-to-data cycles per load
+
+    double ipc() const { return cycles ? double(instructions) / double(cycles) : 0.0; }
+    double l1dMissRate() const { return ratio(l1dMisses, l1dAccesses); }
+};
+
+/** See file comment. */
+class OoOCore
+{
+  public:
+    OoOCore(const CoreConfig &cfg, MemoryHierarchy &hierarchy,
+            Prefetcher &prefetcher, TraceSource &trace);
+
+    /**
+     * Advance one cycle: commit, issue, fetch (reverse pipeline order
+     * so a result is visible to dependants one cycle later).
+     * @retval false when the trace is exhausted and the pipeline empty.
+     */
+    bool tick(Cycle now);
+
+    /** True when no more work remains. */
+    bool done() const { return _traceDone && _rob.empty(); }
+
+    const CoreStats &stats() const { return _stats; }
+
+    /** Zero the statistics (end-of-warm-up). */
+    void resetStats() { _stats = CoreStats{}; }
+
+    const GsharePredictor &branchPredictor() const { return _gshare; }
+
+  private:
+    struct RobEntry
+    {
+        MicroOp op;
+        uint64_t seq = 0;
+        Cycle dispatchCycle = 0;
+        Cycle doneAt = 0;
+        bool issued = false;
+        bool storeForwarded = false;
+        uint64_t src1Producer = 0; ///< producing op's seq, 0 = ready
+        uint64_t src2Producer = 0;
+        uint64_t waitStoreSeq = 0; ///< learned store-set dependence
+    };
+
+    void commitStage(Cycle now);
+    void issueStage(Cycle now);
+    void fetchStage(Cycle now);
+
+    bool operandsReady(const RobEntry &entry, Cycle now) const;
+    bool producerReady(uint64_t producer_seq, Cycle now) const;
+    const RobEntry *findEntry(uint64_t seq) const;
+    bool fuAvailable(OpClass cls, Cycle now);
+    void consumeFu(OpClass cls, Cycle now);
+    Cycle execLatency(OpClass cls) const;
+
+    /** @retval false when the load cannot issue this cycle. */
+    bool executeLoad(RobEntry &entry, Cycle now);
+    /** Store data-cache access at commit time. @retval false = stall. */
+    bool commitStore(RobEntry &entry, Cycle now);
+
+    CoreConfig _cfg;
+    MemoryHierarchy &_hierarchy;
+    Prefetcher &_prefetcher;
+    TraceSource &_trace;
+    GsharePredictor _gshare;
+    StoreSetPredictor _storeSets;
+
+    std::deque<RobEntry> _rob;
+    uint64_t _nextSeq = 1;
+    unsigned _memOpsInRob = 0;
+    std::array<uint64_t, numArchRegs> _regLastWriter{};
+
+    bool _traceDone = false;
+    MicroOp _pendingOp;
+    bool _havePending = false;
+
+    Cycle _fetchResumeAt = 0;
+    static constexpr Cycle waitingForBranch = ~Cycle(0);
+    uint64_t _redirectBranchSeq = 0;
+    Addr _curFetchBlock = ~Addr(0);
+
+    // Per-cycle functional-unit issue counters (pipelined units) and
+    // busy-until times for the unpipelined divide units.
+    Cycle _fuCountersCycle = ~Cycle(0);
+    unsigned _usedIntAlu = 0;
+    unsigned _usedLdSt = 0;
+    unsigned _usedFpAdd = 0;
+    unsigned _usedIntMul = 0;
+    unsigned _usedFpMul = 0;
+    std::vector<Cycle> _intDivFreeAt;
+    std::vector<Cycle> _fpDivFreeAt;
+
+    CoreStats _stats;
+};
+
+} // namespace psb
+
+#endif // PSB_CPU_OOO_CORE_HH

@@ -1,0 +1,95 @@
+#include "cpu/store_sets.hh"
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace psb
+{
+
+const char *
+disambiguationModeName(DisambiguationMode mode)
+{
+    switch (mode) {
+      case DisambiguationMode::None:    return "NoDis";
+      case DisambiguationMode::Perfect: return "Dis";
+      case DisambiguationMode::Learned: return "LearnedSS";
+    }
+    return "Unknown";
+}
+
+StoreSetPredictor::StoreSetPredictor(unsigned ssit_entries,
+                                     unsigned lfst_entries,
+                                     uint64_t clear_interval)
+    : _ssit(ssit_entries), _lfst(lfst_entries),
+      _clearInterval(clear_interval)
+{
+    psb_assert(isPowerOf2(ssit_entries), "SSIT size must be 2^n");
+    psb_assert(lfst_entries > 0, "LFST needs entries");
+}
+
+unsigned
+StoreSetPredictor::ssitIndex(Addr pc) const
+{
+    return (pc >> 2) & (_ssit.size() - 1);
+}
+
+uint64_t
+StoreSetPredictor::dispatch(Addr pc, bool is_store, uint64_t seq)
+{
+    if (++_accesses % _clearInterval == 0) {
+        // Periodic clearing prevents stale aliases from serialising
+        // unrelated code forever (Chrysos & Emer's cyclic clear).
+        for (auto &e : _ssit)
+            e.valid = false;
+        for (auto &e : _lfst)
+            e.storeSeq = 0;
+    }
+
+    SsitEntry &entry = _ssit[ssitIndex(pc)];
+    if (!entry.valid)
+        return 0;
+
+    LfstEntry &lfst = _lfst[entry.setId % _lfst.size()];
+    uint64_t wait_for = lfst.storeSeq;
+    if (is_store)
+        lfst.storeSeq = seq;
+    return wait_for;
+}
+
+void
+StoreSetPredictor::storeIssued(Addr pc, uint64_t seq)
+{
+    SsitEntry &entry = _ssit[ssitIndex(pc)];
+    if (!entry.valid)
+        return;
+    LfstEntry &lfst = _lfst[entry.setId % _lfst.size()];
+    if (lfst.storeSeq == seq)
+        lfst.storeSeq = 0;
+}
+
+void
+StoreSetPredictor::recordViolation(Addr load_pc, Addr store_pc)
+{
+    ++_violations;
+    SsitEntry &load_entry = _ssit[ssitIndex(load_pc)];
+    SsitEntry &store_entry = _ssit[ssitIndex(store_pc)];
+
+    if (load_entry.valid && store_entry.valid) {
+        // Merge: both adopt the smaller set id.
+        uint16_t merged = std::min(load_entry.setId, store_entry.setId);
+        load_entry.setId = merged;
+        store_entry.setId = merged;
+    } else if (load_entry.valid) {
+        store_entry = load_entry;
+    } else if (store_entry.valid) {
+        load_entry = store_entry;
+    } else {
+        load_entry.setId = _nextSetId;
+        store_entry.setId = _nextSetId;
+        load_entry.valid = store_entry.valid = true;
+        if (++_nextSetId == 0)
+            _nextSetId = 1;
+    }
+}
+
+} // namespace psb

@@ -1,0 +1,31 @@
+#include "memory/bus.hh"
+
+#include "util/logging.hh"
+
+namespace psb
+{
+
+Bus::Bus(unsigned bytes_per_cycle) : _bytesPerCycle(bytes_per_cycle)
+{
+    psb_assert(bytes_per_cycle > 0, "bus needs non-zero bandwidth");
+}
+
+Cycle
+Bus::transferCycles(unsigned bytes) const
+{
+    Cycle cycles = (bytes + _bytesPerCycle - 1) / _bytesPerCycle;
+    return cycles ? cycles : 1;
+}
+
+BusSlot
+Bus::transact(Cycle earliest, unsigned payload_bytes)
+{
+    Cycle start = (earliest > _busyUntil) ? earliest : _busyUntil;
+    Cycle duration = 1 + transferCycles(payload_bytes);
+    _busyUntil = start + duration;
+    _busyCycles += duration;
+    ++_transfers;
+    return BusSlot{start, _busyUntil};
+}
+
+} // namespace psb

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Occupancy-based bus model. The paper rewrote SimpleScalar's memory
+ * hierarchy "to better model bus occupancy, bandwidth, and pipelining"
+ * and states that "only one request (miss or prefetch) can be
+ * processed by the bus from the L1 to the L2 cache at a time": the bus
+ * is a serial channel. Both the L1<->L2 bus (8 B/cycle) and the
+ * L2<->memory bus (4 B/cycle) are instances.
+ *
+ * A transaction occupies the channel for one request beat plus the
+ * payload transfer time, charged contiguously when the transaction
+ * starts; the device-side latency (L2 pipeline, DRAM access) is
+ * modelled by the caller on top of the returned slot. Back-to-back
+ * transactions queue, so demand misses experience bus contention and
+ * prefetches are naturally throttled to idle bus slots via freeAt() —
+ * the paper's issue rule ("only allow prefetches to occur if the
+ * L1-L2 bus is free at the start of any given cycle").
+ */
+
+#ifndef PSB_MEMORY_BUS_HH
+#define PSB_MEMORY_BUS_HH
+
+#include <cstdint>
+
+#include "trace/micro_op.hh"
+
+namespace psb
+{
+
+/** The bus cycles granted to one transaction. */
+struct BusSlot
+{
+    Cycle start; ///< first cycle (the request beat)
+    Cycle end;   ///< one past the last transfer cycle
+};
+
+/** A serial, single-transaction-at-a-time bus. */
+class Bus
+{
+  public:
+    /** @param bytes_per_cycle Transfer bandwidth. Must be non-zero. */
+    explicit Bus(unsigned bytes_per_cycle);
+
+    /** True iff no transaction occupies the bus at cycle @p now. */
+    bool freeAt(Cycle now) const { return _busyUntil <= now; }
+
+    /**
+     * Queue a transaction carrying @p payload_bytes: one request beat
+     * plus the payload transfer, starting no earlier than @p earliest
+     * and after any transaction already queued.
+     */
+    BusSlot transact(Cycle earliest, unsigned payload_bytes);
+
+    /** Cycles to move @p bytes across this bus (excl.\ request beat). */
+    Cycle transferCycles(unsigned bytes) const;
+
+    /** Cycles this bus has spent occupied. */
+    uint64_t busyCycles() const { return _busyCycles; }
+
+    /** Number of transactions carried. */
+    uint64_t transfers() const { return _transfers; }
+
+    void
+    resetStats()
+    {
+        _busyCycles = 0;
+        _transfers = 0;
+    }
+
+  private:
+    unsigned _bytesPerCycle;
+    Cycle _busyUntil = 0;
+    uint64_t _busyCycles = 0;
+    uint64_t _transfers = 0;
+};
+
+} // namespace psb
+
+#endif // PSB_MEMORY_BUS_HH

@@ -1,0 +1,136 @@
+#include "memory/cache.hh"
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace psb
+{
+
+SetAssocCache::SetAssocCache(const CacheGeometry &geom)
+    : _geom(geom),
+      _blockMask(geom.blockBytes - 1),
+      _blockShift(floorLog2(geom.blockBytes)),
+      _numSets(geom.numSets()),
+      _lines(_numSets * geom.assoc)
+{
+    psb_assert(isPowerOf2(geom.blockBytes), "block size must be 2^n");
+    psb_assert(isPowerOf2(_numSets), "set count must be 2^n");
+    psb_assert(geom.assoc >= 1, "associativity must be >= 1");
+    psb_assert(geom.sizeBytes % (geom.assoc * geom.blockBytes) == 0,
+               "capacity not divisible into sets");
+}
+
+unsigned
+SetAssocCache::setIndex(Addr addr) const
+{
+    return (addr >> _blockShift) & (_numSets - 1);
+}
+
+Addr
+SetAssocCache::tagOf(Addr addr) const
+{
+    return addr >> _blockShift >> floorLog2(_numSets);
+}
+
+bool
+SetAssocCache::probe(Addr addr) const
+{
+    const Line *set = &_lines[size_t(setIndex(addr)) * _geom.assoc];
+    Addr tag = tagOf(addr);
+    for (unsigned w = 0; w < _geom.assoc; ++w) {
+        if (set[w].valid && set[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+bool
+SetAssocCache::touch(Addr addr, bool is_write)
+{
+    Line *set = &_lines[size_t(setIndex(addr)) * _geom.assoc];
+    Addr tag = tagOf(addr);
+    for (unsigned w = 0; w < _geom.assoc; ++w) {
+        if (set[w].valid && set[w].tag == tag) {
+            set[w].lastUse = ++_useStamp;
+            if (is_write)
+                set[w].dirty = true;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::optional<Eviction>
+SetAssocCache::insert(Addr addr, bool dirty)
+{
+    unsigned set_idx = setIndex(addr);
+    Line *set = &_lines[size_t(set_idx) * _geom.assoc];
+    Addr tag = tagOf(addr);
+
+    // Re-insertion of a resident block just refreshes its state.
+    for (unsigned w = 0; w < _geom.assoc; ++w) {
+        if (set[w].valid && set[w].tag == tag) {
+            set[w].lastUse = ++_useStamp;
+            set[w].dirty = set[w].dirty || dirty;
+            return std::nullopt;
+        }
+    }
+
+    unsigned victim = 0;
+    for (unsigned w = 0; w < _geom.assoc; ++w) {
+        if (!set[w].valid) {
+            victim = w;
+            break;
+        }
+        if (set[w].lastUse < set[victim].lastUse)
+            victim = w;
+    }
+
+    std::optional<Eviction> evicted;
+    if (set[victim].valid) {
+        Addr victim_block =
+            ((set[victim].tag << floorLog2(_numSets)) | set_idx)
+            << _blockShift;
+        evicted = Eviction{victim_block, set[victim].dirty};
+    }
+
+    set[victim].tag = tag;
+    set[victim].valid = true;
+    set[victim].dirty = dirty;
+    set[victim].lastUse = ++_useStamp;
+    return evicted;
+}
+
+void
+SetAssocCache::invalidate(Addr addr)
+{
+    Line *set = &_lines[size_t(setIndex(addr)) * _geom.assoc];
+    Addr tag = tagOf(addr);
+    for (unsigned w = 0; w < _geom.assoc; ++w) {
+        if (set[w].valid && set[w].tag == tag) {
+            set[w].valid = false;
+            set[w].dirty = false;
+            return;
+        }
+    }
+}
+
+void
+SetAssocCache::flush()
+{
+    for (auto &line : _lines) {
+        line.valid = false;
+        line.dirty = false;
+    }
+}
+
+uint64_t
+SetAssocCache::validBlocks() const
+{
+    uint64_t n = 0;
+    for (const auto &line : _lines)
+        n += line.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace psb

@@ -1,0 +1,208 @@
+#include "memory/hierarchy.hh"
+
+#include "util/logging.hh"
+
+namespace psb
+{
+
+MemoryHierarchy::MemoryHierarchy(const MemoryConfig &cfg)
+    : _cfg(cfg),
+      _l1d(cfg.l1d),
+      _l1i(cfg.l1i),
+      _l2(cfg.l2),
+      _l1L2Bus(cfg.l1L2BusBytesPerCycle),
+      _l2MemBus(cfg.l2MemBusBytesPerCycle),
+      _memory(cfg.memLatency, cfg.memIssueInterval),
+      _dataMshrs(cfg.l1dMshrs),
+      _instMshrs(cfg.l1iMshrs),
+      _dtlb(cfg.tlbEntries, cfg.pageBytes, cfg.tlbMissPenalty),
+      _l2AcceptInterval(cfg.l2Latency / cfg.l2PipelineDepth)
+{
+    psb_assert(cfg.l2PipelineDepth > 0, "L2 pipeline depth must be > 0");
+    if (_l2AcceptInterval == 0)
+        _l2AcceptInterval = 1;
+}
+
+ProbeResult
+MemoryHierarchy::probeData(Addr addr, Cycle now)
+{
+    ProbeResult result;
+    result.tlbPenalty = _dtlb.translate(addr);
+
+    Addr block = _l1d.blockAlign(addr);
+    if (auto ready = _dataMshrs.lookup(block, now)) {
+        result.inFlight = true;
+        result.ready = *ready;
+        return result;
+    }
+    result.resident = _l1d.probe(addr);
+    return result;
+}
+
+void
+MemoryHierarchy::touchData(Addr addr, bool is_write)
+{
+    _l1d.touch(addr, is_write);
+}
+
+Cycle
+MemoryHierarchy::l2AndBelow(Addr addr, Cycle arrive, bool &l2_hit)
+{
+    // The L2 is "pipelined three accesses deep": a new lookup may
+    // start every latency/depth cycles.
+    Cycle start = (arrive > _l2NextAccept) ? arrive : _l2NextAccept;
+    _l2NextAccept = start + _l2AcceptInterval;
+
+    ++_stats.l2Accesses;
+    if (_l2.touch(addr)) {
+        ++_stats.l2Hits;
+        l2_hit = true;
+        return start + _cfg.l2Latency;
+    }
+
+    ++_stats.l2Misses;
+    l2_hit = false;
+
+    // The L2 lookup determines the miss; the memory transaction then
+    // queues on the L2-memory bus, and the data is available at the
+    // L2 after the DRAM access plus the line transfer back.
+    Cycle lookup_done = start + _cfg.l2Latency;
+    BusSlot slot = _l2MemBus.transact(lookup_done, _cfg.l2.blockBytes);
+    Cycle mem_ready = _memory.access(slot.start + 1);
+    Cycle data_at_l2 =
+        mem_ready + _l2MemBus.transferCycles(_cfg.l2.blockBytes);
+    if (data_at_l2 < slot.end)
+        data_at_l2 = slot.end;
+
+    if (auto evicted = _l2.insert(addr)) {
+        if (evicted->dirty) {
+            ++_stats.l2Writebacks;
+            _l2MemBus.transact(data_at_l2, _cfg.l2.blockBytes);
+        }
+    }
+    return data_at_l2;
+}
+
+FillOutcome
+MemoryHierarchy::missToL2(Addr addr, Cycle now, bool is_write)
+{
+    FillOutcome outcome;
+    if (_dataMshrs.full(now)) {
+        outcome.mshrStall = true;
+        return outcome;
+    }
+
+    Addr block = _l1d.blockAlign(addr);
+
+    // The transaction queues on the L1-L2 bus (one request at a time);
+    // the L2/memory latency and the return transfer stack on top.
+    BusSlot slot = _l1L2Bus.transact(now, _cfg.l1d.blockBytes);
+    Cycle l2_ready = l2AndBelow(addr, slot.start + 1, outcome.l2Hit);
+    Cycle ready =
+        l2_ready + _l1L2Bus.transferCycles(_cfg.l1d.blockBytes);
+    if (ready < slot.end)
+        ready = slot.end;
+
+    if (auto evicted = _l1d.insert(block, is_write)) {
+        if (evicted->dirty) {
+            ++_stats.l1Writebacks;
+            // Writeback occupies the L1-L2 bus and dirties the L2.
+            _l1L2Bus.transact(ready, _cfg.l1d.blockBytes);
+            if (!_l2.touch(evicted->blockAddr, /*is_write=*/true))
+                _l2.insert(evicted->blockAddr, /*dirty=*/true);
+        }
+    }
+
+    _dataMshrs.allocate(block, ready);
+    outcome.ready = ready;
+    return outcome;
+}
+
+PrefetchOutcome
+MemoryHierarchy::prefetch(Addr block_addr, Cycle now, bool translate)
+{
+    PrefetchOutcome outcome;
+    // The predictor works on virtual addresses; translate at prefetch
+    // time, replacing the DTLB entry if necessary (paper §4.5). A
+    // stream buffer that caches its page translation skips this step
+    // while the stream stays inside the page.
+    if (translate)
+        outcome.tlbPenalty = _dtlb.translate(block_addr);
+    ++_stats.prefetches;
+
+    BusSlot slot =
+        _l1L2Bus.transact(now + outcome.tlbPenalty, _cfg.l1d.blockBytes);
+    bool l2_hit = false;
+    Cycle l2_ready = l2AndBelow(block_addr, slot.start + 1, l2_hit);
+    Cycle ready =
+        l2_ready + _l1L2Bus.transferCycles(_cfg.l1d.blockBytes);
+    if (ready < slot.end)
+        ready = slot.end;
+
+    if (l2_hit)
+        ++_stats.prefetchL2Hits;
+    outcome.l2Hit = l2_hit;
+    outcome.ready = ready;
+    return outcome;
+}
+
+void
+MemoryHierarchy::fillFromStreamBuffer(Addr block_addr, Cycle now)
+{
+    if (auto evicted = _l1d.insert(block_addr)) {
+        if (evicted->dirty) {
+            ++_stats.l1Writebacks;
+            _l1L2Bus.transact(now, _cfg.l1d.blockBytes);
+            if (!_l2.touch(evicted->blockAddr, /*is_write=*/true))
+                _l2.insert(evicted->blockAddr, /*dirty=*/true);
+        }
+    }
+}
+
+void
+MemoryHierarchy::registerInFlightFill(Addr block_addr, Cycle ready,
+                                      Cycle now)
+{
+    fillFromStreamBuffer(block_addr, now);
+    if (!_dataMshrs.full(now) &&
+        !_dataMshrs.lookup(block_addr, now).has_value()) {
+        _dataMshrs.allocate(block_addr, ready);
+    }
+}
+
+void
+MemoryHierarchy::resetStats()
+{
+    _stats = HierarchyStats{};
+    _l1L2Bus.resetStats();
+    _l2MemBus.resetStats();
+    _dtlb.resetStats();
+}
+
+Cycle
+MemoryHierarchy::instFetch(Addr pc, Cycle now)
+{
+    ++_stats.instFetches;
+    Addr block = _l1i.blockAlign(pc);
+
+    if (auto ready = _instMshrs.lookup(block, now))
+        return *ready;
+    if (_l1i.touch(pc))
+        return now + _cfg.l1Latency;
+
+    ++_stats.instMisses;
+    BusSlot slot = _l1L2Bus.transact(now, _cfg.l1i.blockBytes);
+    bool l2_hit = false;
+    Cycle l2_ready = l2AndBelow(pc, slot.start + 1, l2_hit);
+    Cycle ready =
+        l2_ready + _l1L2Bus.transferCycles(_cfg.l1i.blockBytes);
+    if (ready < slot.end)
+        ready = slot.end;
+
+    _l1i.insert(block);
+    if (!_instMshrs.full(now))
+        _instMshrs.allocate(block, ready);
+    return ready;
+}
+
+} // namespace psb

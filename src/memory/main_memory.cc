@@ -1,0 +1,23 @@
+#include "memory/main_memory.hh"
+
+#include "util/logging.hh"
+
+namespace psb
+{
+
+MainMemory::MainMemory(Cycle access_latency, Cycle issue_interval)
+    : _latency(access_latency), _issueInterval(issue_interval)
+{
+    psb_assert(issue_interval > 0, "issue interval must be non-zero");
+}
+
+Cycle
+MainMemory::access(Cycle now)
+{
+    Cycle start = (now > _nextAccept) ? now : _nextAccept;
+    _nextAccept = start + _issueInterval;
+    ++_accesses;
+    return start + _latency;
+}
+
+} // namespace psb

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Main-memory model: fixed access latency (120 cycles in the baseline)
+ * with limited-depth pipelining of outstanding accesses. Transfer
+ * bandwidth to the L2 is modelled by the L2<->memory Bus, not here.
+ */
+
+#ifndef PSB_MEMORY_MAIN_MEMORY_HH
+#define PSB_MEMORY_MAIN_MEMORY_HH
+
+#include <cstdint>
+
+#include "trace/micro_op.hh"
+
+namespace psb
+{
+
+/** DRAM array with a fixed access time and an issue interval. */
+class MainMemory
+{
+  public:
+    /**
+     * @param access_latency Cycles from request to first data.
+     * @param issue_interval Minimum cycles between accepted accesses
+     *        (models bank/controller occupancy; 1 = fully pipelined).
+     */
+    explicit MainMemory(Cycle access_latency, Cycle issue_interval = 4);
+
+    /**
+     * Schedule an access arriving at @p now.
+     * @return The cycle the data is available at the memory pins.
+     */
+    Cycle access(Cycle now);
+
+    uint64_t accesses() const { return _accesses; }
+    Cycle latency() const { return _latency; }
+
+  private:
+    Cycle _latency;
+    Cycle _issueInterval;
+    Cycle _nextAccept = 0;
+    uint64_t _accesses = 0;
+};
+
+} // namespace psb
+
+#endif // PSB_MEMORY_MAIN_MEMORY_HH

@@ -1,0 +1,77 @@
+#include "memory/mshr.hh"
+
+#include "util/logging.hh"
+
+namespace psb
+{
+
+MshrFile::MshrFile(unsigned num_entries)
+    : _capacity(num_entries), _entries(num_entries)
+{
+    psb_assert(num_entries > 0, "MSHR file needs at least one entry");
+}
+
+void
+MshrFile::retire(Cycle now)
+{
+    for (auto &e : _entries) {
+        if (e.valid && e.ready <= now)
+            e.valid = false;
+    }
+}
+
+std::optional<Cycle>
+MshrFile::lookup(Addr block_addr, Cycle now)
+{
+    retire(now);
+    for (auto &e : _entries) {
+        if (e.valid && e.block == block_addr) {
+            ++_merges;
+            return e.ready;
+        }
+    }
+    return std::nullopt;
+}
+
+bool
+MshrFile::full(Cycle now)
+{
+    retire(now);
+    for (const auto &e : _entries) {
+        if (!e.valid)
+            return false;
+    }
+    return true;
+}
+
+void
+MshrFile::allocate(Addr block_addr, Cycle ready)
+{
+    for (auto &e : _entries) {
+        if (e.valid && e.block == block_addr)
+            panic("MSHR double-allocation of block %#llx",
+                  (unsigned long long)block_addr);
+    }
+    for (auto &e : _entries) {
+        if (!e.valid) {
+            e.valid = true;
+            e.block = block_addr;
+            e.ready = ready;
+            ++_allocations;
+            return;
+        }
+    }
+    panic("MSHR allocate with no free entry; call full() first");
+}
+
+unsigned
+MshrFile::occupancy(Cycle now)
+{
+    retire(now);
+    unsigned n = 0;
+    for (const auto &e : _entries)
+        n += e.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace psb

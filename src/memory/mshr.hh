@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Miss Status Holding Registers. Track cache blocks that have been
+ * requested from the next level but have not yet arrived. Subsequent
+ * accesses to an in-flight block merge into the existing entry instead
+ * of generating new bus traffic — and, per the paper's accounting,
+ * still count as cache misses ("accesses to in-flight data count as
+ * cache misses", §6).
+ */
+
+#ifndef PSB_MEMORY_MSHR_HH
+#define PSB_MEMORY_MSHR_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "trace/micro_op.hh"
+
+namespace psb
+{
+
+/** A small fully-associative file of in-flight block fills. */
+class MshrFile
+{
+  public:
+    /** @param num_entries Capacity; requests beyond it must stall. */
+    explicit MshrFile(unsigned num_entries);
+
+    /**
+     * If the block is in flight at @p now, return the cycle its data
+     * arrives. Entries whose fill has completed are retired lazily.
+     */
+    std::optional<Cycle> lookup(Addr block_addr, Cycle now);
+
+    /** True iff no entry is free at @p now (after retiring done fills). */
+    bool full(Cycle now);
+
+    /**
+     * Track a new in-flight fill. The caller must have checked full().
+     * Allocating a block that is already tracked extends nothing and is
+     * a modelling bug.
+     */
+    void allocate(Addr block_addr, Cycle ready);
+
+    /** Number of live entries at @p now. */
+    unsigned occupancy(Cycle now);
+
+    /** Total allocations performed (stat). */
+    uint64_t allocations() const { return _allocations; }
+
+    /** Total merged (secondary) accesses observed via lookup() (stat). */
+    uint64_t merges() const { return _merges; }
+
+    unsigned capacity() const { return _capacity; }
+
+  private:
+    struct Entry
+    {
+        Addr block = 0;
+        Cycle ready = 0;
+        bool valid = false;
+    };
+
+    void retire(Cycle now);
+
+    unsigned _capacity;
+    std::vector<Entry> _entries;
+    uint64_t _allocations = 0;
+    uint64_t _merges = 0;
+};
+
+} // namespace psb
+
+#endif // PSB_MEMORY_MSHR_HH

@@ -1,0 +1,57 @@
+#include "memory/tlb.hh"
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace psb
+{
+
+Tlb::Tlb(unsigned num_entries, uint64_t page_bytes, Cycle miss_penalty)
+    : _entries(num_entries), _pageBytes(page_bytes),
+      _missPenalty(miss_penalty)
+{
+    psb_assert(num_entries > 0, "TLB needs at least one entry");
+    psb_assert(isPowerOf2(page_bytes), "page size must be a power of two");
+}
+
+Cycle
+Tlb::translate(Addr vaddr)
+{
+    ++_accesses;
+    uint64_t vpn = vpnOf(vaddr);
+
+    for (auto &e : _entries) {
+        if (e.valid && e.vpn == vpn) {
+            e.lastUse = ++_useStamp;
+            return 0;
+        }
+    }
+
+    ++_misses;
+    Entry *victim = &_entries[0];
+    for (auto &e : _entries) {
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    victim->valid = true;
+    victim->vpn = vpn;
+    victim->lastUse = ++_useStamp;
+    return _missPenalty;
+}
+
+bool
+Tlb::probe(Addr vaddr) const
+{
+    uint64_t vpn = vpnOf(vaddr);
+    for (const auto &e : _entries) {
+        if (e.valid && e.vpn == vpn)
+            return true;
+    }
+    return false;
+}
+
+} // namespace psb

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Data TLB. The predictor stores virtual effective addresses, so every
+ * prefetch performs a TLB translation (and replacement on a miss) —
+ * effectively TLB prefetching, paper §4.5. The paper observed this to
+ * be performance-neutral because its benchmarks had few TLB misses; we
+ * model it anyway so the effect can be measured.
+ */
+
+#ifndef PSB_MEMORY_TLB_HH
+#define PSB_MEMORY_TLB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/micro_op.hh"
+
+namespace psb
+{
+
+/** Fully-associative, LRU-replaced translation buffer. */
+class Tlb
+{
+  public:
+    /**
+     * @param num_entries TLB capacity.
+     * @param page_bytes Page size (power of two).
+     * @param miss_penalty Cycles added to an access on a TLB miss.
+     */
+    Tlb(unsigned num_entries, uint64_t page_bytes, Cycle miss_penalty);
+
+    /**
+     * Translate the page of @p vaddr, filling the entry on a miss.
+     * @return Extra latency cycles (0 on a hit, missPenalty on a miss).
+     */
+    Cycle translate(Addr vaddr);
+
+    /** True iff the page of @p vaddr is currently mapped (no update). */
+    bool probe(Addr vaddr) const;
+
+    uint64_t accesses() const { return _accesses; }
+    uint64_t misses() const { return _misses; }
+    Cycle missPenalty() const { return _missPenalty; }
+
+    void
+    resetStats()
+    {
+        _accesses = 0;
+        _misses = 0;
+    }
+
+  private:
+    struct Entry
+    {
+        uint64_t vpn = 0;
+        bool valid = false;
+        uint64_t lastUse = 0;
+    };
+
+    uint64_t vpnOf(Addr vaddr) const { return vaddr / _pageBytes; }
+
+    std::vector<Entry> _entries;
+    uint64_t _pageBytes;
+    Cycle _missPenalty;
+    uint64_t _useStamp = 0;
+    uint64_t _accesses = 0;
+    uint64_t _misses = 0;
+};
+
+} // namespace psb
+
+#endif // PSB_MEMORY_TLB_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The address-predictor interface that directs a Predictor-Directed
+ * Stream Buffer.
+ *
+ * The paper's key structural idea (§4): PSB splits prediction into
+ *  - a *stateless* shared predictor (the tables), updated only in the
+ *    write-back stage when a load misses the L1D, and
+ *  - *per-stream history* stored inside each stream buffer, advanced
+ *    speculatively each time the buffer makes a prediction.
+ *
+ * StreamState is that per-stream history. predictNext() reads the
+ * tables and advances only the StreamState — never the tables — so
+ * prediction n is generated from prediction n-1 while the architectural
+ * tables stay consistent with the true miss stream.
+ *
+ * Any address predictor implementing this interface can direct the
+ * stream buffers (paper §7); SfmPredictor is the one the paper
+ * evaluates, and examples/custom_predictor.cc shows a user-defined one.
+ */
+
+#ifndef PSB_PREDICTORS_ADDRESS_PREDICTOR_HH
+#define PSB_PREDICTORS_ADDRESS_PREDICTOR_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "trace/micro_op.hh"
+
+namespace psb
+{
+
+/**
+ * Per-stream prediction history, stored with each stream buffer
+ * (paper Figure 2: Load PC, History, Stride, Confidence, Last Address).
+ */
+struct StreamState
+{
+    Addr loadPc = 0;     ///< PC of the load that allocated the stream
+    Addr lastAddr = 0;   ///< last (speculative) block address predicted
+    int64_t stride = 0;  ///< stride assigned at allocation (bytes)
+    uint32_t confidence = 0; ///< accuracy confidence copied at allocation
+    /**
+     * Figure 2's "History" field: opaque, predictor-defined state for
+     * predictors that need more than the last address (e.g.\ the
+     * order-k ContextPredictor). The SFM predictor leaves it unused.
+     */
+    uint64_t historyToken = 0;
+};
+
+/** Shared, stateless-at-prediction-time address predictor. */
+class AddressPredictor
+{
+  public:
+    virtual ~AddressPredictor() = default;
+
+    /**
+     * Train the tables on a write-back-stage L1D load miss. The caller
+     * filters out loads that received their value from a store forward
+     * (paper §4.2: those are not stored in the prediction table).
+     *
+     * @param pc The load's PC.
+     * @param addr The load's effective (miss) address.
+     */
+    virtual void train(Addr pc, Addr addr) = 0;
+
+    /**
+     * Generate the next prefetch address for a stream and advance the
+     * stream's speculative history. The tables are not modified.
+     *
+     * @return The predicted block address, or nullopt when the
+     *         predictor has no prediction for this state.
+     */
+    virtual std::optional<Addr> predictNext(StreamState &state) const = 0;
+
+    /**
+     * Build the initial per-stream state for a stream buffer allocated
+     * by a miss of load @p pc at @p addr (copies prediction info from
+     * predictor to buffer; the predictor itself is not modified).
+     */
+    virtual StreamState allocateStream(Addr pc, Addr addr) const = 0;
+
+    /**
+     * Current accuracy-confidence counter for @p pc (saturates at 7 in
+     * the paper's configuration; 0 when the load is not tracked).
+     */
+    virtual uint32_t confidence(Addr pc) const = 0;
+
+    /**
+     * PSB's generalised two-miss filter test (paper §4.3): true when
+     * load @p pc missed twice in a row and both misses would have been
+     * predicted correctly by the stride or Markov predictor. The miss
+     * address is provided for address-indexed schemes (e.g.\ the
+     * Palacharla-Kessler minimum-delta detector).
+     */
+    virtual bool twoMissFilterPass(Addr pc, Addr addr) const = 0;
+};
+
+} // namespace psb
+
+#endif // PSB_PREDICTORS_ADDRESS_PREDICTOR_HH

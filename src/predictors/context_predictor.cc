@@ -1,0 +1,182 @@
+#include "predictors/context_predictor.hh"
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace psb
+{
+
+ContextPredictor::ContextPredictor(const ContextConfig &cfg)
+    : _cfg(cfg), _stride(cfg.stride), _entries(cfg.entries)
+{
+    psb_assert(isPowerOf2(cfg.entries), "context entries must be 2^n");
+    psb_assert(cfg.historyLength >= 1 &&
+                   cfg.historyLength <= maxHistory,
+               "history length must be 1..4");
+}
+
+Addr
+ContextPredictor::blockAlign(Addr addr) const
+{
+    return addr & ~Addr(_cfg.stride.blockBytes - 1);
+}
+
+uint64_t
+ContextPredictor::hashHistory(
+    const std::array<Addr, maxHistory> &blocks, unsigned filled) const
+{
+    // Fold the last k block numbers; older entries are rotated so
+    // order matters (pattern ABA differs from AAB).
+    uint64_t hash = 0;
+    unsigned k = _cfg.historyLength < filled ? _cfg.historyLength
+                                             : filled;
+    for (unsigned i = 0; i < k; ++i) {
+        uint64_t block_num = blocks[i] / _cfg.stride.blockBytes;
+        unsigned rot = 7 * i;
+        hash ^= rot ? ((block_num << rot) | (block_num >> (64 - rot)))
+                    : block_num;
+    }
+    // splitmix64 finaliser: propagate high bits into the low index
+    // bits (block numbers are often multiples of large powers of two).
+    hash ^= hash >> 33;
+    hash *= 0xff51afd7ed558ccdull;
+    hash ^= hash >> 29;
+    hash *= 0xc4ceb9fe1a85ec53ull;
+    hash ^= hash >> 32;
+    return hash;
+}
+
+unsigned
+ContextPredictor::indexOf(uint64_t hash) const
+{
+    return hash & (_cfg.entries - 1);
+}
+
+uint32_t
+ContextPredictor::tagOf(uint64_t hash) const
+{
+    return (hash >> 32) & mask(_cfg.tagBits);
+}
+
+unsigned
+ContextPredictor::historySlot(const StreamState &state) const
+{
+    return unsigned(state.historyToken % numStreamSlots);
+}
+
+void
+ContextPredictor::train(Addr pc, Addr addr)
+{
+    Addr block = blockAlign(addr);
+    StrideTrainResult result = _stride.train(pc, addr);
+    if (result.firstTouch) {
+        History &h = _trainHistory[(pc >> 2) % numStreamSlots];
+        h.blocks = {block, 0, 0, 0};
+        h.filled = 1;
+        return;
+    }
+
+    History &h = _trainHistory[(pc >> 2) % numStreamSlots];
+
+    // Correctness of the combination (for confidence and the filter).
+    bool markov_correct = false;
+    if (h.filled > 0) {
+        uint64_t hash = hashHistory(h.blocks, h.filled);
+        const Entry &e = _entries[indexOf(hash)];
+        markov_correct = e.valid && e.tag == tagOf(hash) &&
+                         e.next == block;
+    }
+    _stride.recordOutcome(pc, result.stridePredicted || markov_correct);
+
+    // Stride filtering, as in the SFM predictor.
+    const StrideEntry *entry = _stride.lookup(pc);
+    bool stride_captured =
+        entry && (entry->strideRepeated || result.stridePredicted);
+    if (!stride_captured && h.filled > 0) {
+        uint64_t hash = hashHistory(h.blocks, h.filled);
+        Entry &e = _entries[indexOf(hash)];
+        e.tag = tagOf(hash);
+        e.next = block;
+        e.valid = true;
+    }
+
+    // Advance the rolling training history.
+    for (unsigned i = maxHistory - 1; i > 0; --i)
+        h.blocks[i] = h.blocks[i - 1];
+    h.blocks[0] = block;
+    if (h.filled < maxHistory)
+        ++h.filled;
+}
+
+StreamState
+ContextPredictor::allocateStream(Addr pc, Addr addr) const
+{
+    StreamState state;
+    state.loadPc = pc;
+    state.lastAddr = blockAlign(addr);
+    state.stride = _stride.predictedStride(pc);
+    state.confidence = _stride.confidence(pc);
+    state.historyToken = _nextSlot++;
+
+    // The stream's speculative history starts from the training-side
+    // history of this load (the paper copies "any additional
+    // prediction information" from predictor to buffer).
+    History &h = _streamHistory[historySlot(state)];
+    h = _trainHistory[(pc >> 2) % numStreamSlots];
+    if (h.filled == 0 || h.blocks[0] != state.lastAddr) {
+        for (unsigned i = maxHistory - 1; i > 0; --i)
+            h.blocks[i] = h.blocks[i - 1];
+        h.blocks[0] = state.lastAddr;
+        if (h.filled < maxHistory)
+            ++h.filled;
+    }
+    return state;
+}
+
+std::optional<Addr>
+ContextPredictor::predictNext(StreamState &state) const
+{
+    History &h = _streamHistory[historySlot(state)];
+
+    std::optional<Addr> next;
+    if (h.filled > 0) {
+        uint64_t hash = hashHistory(h.blocks, h.filled);
+        const Entry &e = _entries[indexOf(hash)];
+        if (e.valid && e.tag == tagOf(hash))
+            next = e.next;
+    }
+    if (!next)
+        next = blockAlign(Addr(int64_t(state.lastAddr) + state.stride));
+
+    // Advance the stream's speculative history, not the tables.
+    for (unsigned i = maxHistory - 1; i > 0; --i)
+        h.blocks[i] = h.blocks[i - 1];
+    h.blocks[0] = *next;
+    if (h.filled < maxHistory)
+        ++h.filled;
+    state.lastAddr = *next;
+    return next;
+}
+
+uint32_t
+ContextPredictor::confidence(Addr pc) const
+{
+    return _stride.confidence(pc);
+}
+
+bool
+ContextPredictor::twoMissFilterPass(Addr pc, Addr) const
+{
+    return _stride.twoCorrectInARow(pc);
+}
+
+uint64_t
+ContextPredictor::population() const
+{
+    uint64_t n = 0;
+    for (const auto &e : _entries)
+        n += e.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace psb

@@ -1,0 +1,76 @@
+#include "predictors/diff_markov_table.hh"
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace psb
+{
+
+DiffMarkovTable::DiffMarkovTable(const DiffMarkovConfig &cfg)
+    : _cfg(cfg), _indexBits(floorLog2(cfg.entries)), _entries(cfg.entries)
+{
+    psb_assert(isPowerOf2(cfg.entries), "markov entries must be 2^n");
+    psb_assert(isPowerOf2(cfg.blockBytes), "block size must be 2^n");
+    psb_assert(cfg.deltaBits >= 2 && cfg.deltaBits <= 63,
+               "delta width must be 2..63 bits");
+}
+
+unsigned
+DiffMarkovTable::indexOf(uint64_t block_num) const
+{
+    return block_num & mask(_indexBits);
+}
+
+uint32_t
+DiffMarkovTable::tagOf(uint64_t block_num) const
+{
+    return (block_num >> _indexBits) & mask(_cfg.tagBits);
+}
+
+bool
+DiffMarkovTable::update(Addr from, Addr to)
+{
+    int64_t delta =
+        int64_t(blockNum(to)) - int64_t(blockNum(from));
+    if (!fitsSigned(delta, _cfg.deltaBits)) {
+        ++_overflows;
+        return false;
+    }
+    uint64_t from_block = blockNum(from);
+    Entry &entry = _entries[indexOf(from_block)];
+    entry.tag = tagOf(from_block);
+    entry.deltaBlocks = delta;
+    entry.valid = true;
+    ++_updates;
+    return true;
+}
+
+std::optional<Addr>
+DiffMarkovTable::lookup(Addr from) const
+{
+    uint64_t from_block = blockNum(from);
+    const Entry &entry = _entries[indexOf(from_block)];
+    if (!entry.valid || entry.tag != tagOf(from_block))
+        return std::nullopt;
+    int64_t next_block = int64_t(from_block) + entry.deltaBlocks;
+    if (next_block < 0)
+        return std::nullopt;
+    return Addr(next_block) * _cfg.blockBytes;
+}
+
+uint64_t
+DiffMarkovTable::population() const
+{
+    uint64_t n = 0;
+    for (const auto &e : _entries)
+        n += e.valid ? 1 : 0;
+    return n;
+}
+
+uint64_t
+DiffMarkovTable::dataBytes() const
+{
+    return (uint64_t(_cfg.entries) * _cfg.deltaBits + 7) / 8;
+}
+
+} // namespace psb

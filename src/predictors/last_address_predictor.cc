@@ -1,0 +1,109 @@
+#include "predictors/last_address_predictor.hh"
+
+namespace psb
+{
+
+namespace
+{
+
+StrideTableConfig
+withBlock(StrideTableConfig cfg, unsigned block_bytes)
+{
+    cfg.blockBytes = block_bytes;
+    return cfg;
+}
+
+} // namespace
+
+NextBlockPredictor::NextBlockPredictor(unsigned block_bytes,
+                                       const StrideTableConfig &table)
+    : _blockBytes(block_bytes), _table(withBlock(table, block_bytes))
+{
+}
+
+void
+NextBlockPredictor::train(Addr pc, Addr addr)
+{
+    Addr block = addr & ~Addr(_blockBytes - 1);
+    StrideTrainResult result = _table.train(pc, addr);
+    if (result.firstTouch)
+        return;
+    _table.recordOutcome(pc, result.prevAddr + _blockBytes == block);
+}
+
+std::optional<Addr>
+NextBlockPredictor::predictNext(StreamState &state) const
+{
+    state.lastAddr += _blockBytes;
+    return state.lastAddr;
+}
+
+StreamState
+NextBlockPredictor::allocateStream(Addr pc, Addr addr) const
+{
+    StreamState state;
+    state.loadPc = pc;
+    state.lastAddr = addr & ~Addr(_blockBytes - 1);
+    state.stride = _blockBytes;
+    state.confidence = _table.confidence(pc);
+    return state;
+}
+
+uint32_t
+NextBlockPredictor::confidence(Addr pc) const
+{
+    return _table.confidence(pc);
+}
+
+bool
+NextBlockPredictor::twoMissFilterPass(Addr pc, Addr) const
+{
+    return _table.twoCorrectInARow(pc);
+}
+
+LastAddressPredictor::LastAddressPredictor(unsigned block_bytes,
+                                           const StrideTableConfig &table)
+    : _blockBytes(block_bytes), _table(withBlock(table, block_bytes))
+{
+}
+
+void
+LastAddressPredictor::train(Addr pc, Addr addr)
+{
+    Addr block = addr & ~Addr(_blockBytes - 1);
+    StrideTrainResult result = _table.train(pc, addr);
+    if (result.firstTouch)
+        return;
+    _table.recordOutcome(pc, result.prevAddr == block);
+}
+
+std::optional<Addr>
+LastAddressPredictor::predictNext(StreamState &state) const
+{
+    return state.lastAddr;
+}
+
+StreamState
+LastAddressPredictor::allocateStream(Addr pc, Addr addr) const
+{
+    StreamState state;
+    state.loadPc = pc;
+    state.lastAddr = addr & ~Addr(_blockBytes - 1);
+    state.stride = 0;
+    state.confidence = _table.confidence(pc);
+    return state;
+}
+
+uint32_t
+LastAddressPredictor::confidence(Addr pc) const
+{
+    return _table.confidence(pc);
+}
+
+bool
+LastAddressPredictor::twoMissFilterPass(Addr pc, Addr) const
+{
+    return _table.twoCorrectInARow(pc);
+}
+
+} // namespace psb

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Two minimal AddressPredictor implementations.
+ *
+ * NextBlockPredictor always predicts the next sequential cache block —
+ * directing the PSB with it recovers Jouppi-style sequential stream
+ * buffers inside the PSB framework, which the ablation benches use to
+ * isolate the value of the SFM predictor from the value of the
+ * confidence/priority machinery.
+ *
+ * LastAddressPredictor predicts that the stream stays on its last
+ * block. It is intentionally trivial: examples/custom_predictor.cc
+ * uses these two classes to show how little code a new predictor needs.
+ *
+ * Both reuse StrideTable purely as per-PC bookkeeping (last address,
+ * accuracy confidence, two-miss history) so they compose with PSB's
+ * allocation filters exactly like the SFM predictor does.
+ */
+
+#ifndef PSB_PREDICTORS_LAST_ADDRESS_PREDICTOR_HH
+#define PSB_PREDICTORS_LAST_ADDRESS_PREDICTOR_HH
+
+#include "predictors/address_predictor.hh"
+#include "predictors/stride_table.hh"
+
+namespace psb
+{
+
+/** Predicts last address + one cache block, always. */
+class NextBlockPredictor : public AddressPredictor
+{
+  public:
+    explicit NextBlockPredictor(unsigned block_bytes = 32,
+                                const StrideTableConfig &table = {});
+
+    void train(Addr pc, Addr addr) override;
+    std::optional<Addr> predictNext(StreamState &state) const override;
+    StreamState allocateStream(Addr pc, Addr addr) const override;
+    uint32_t confidence(Addr pc) const override;
+    bool twoMissFilterPass(Addr pc, Addr addr) const override;
+
+  private:
+    unsigned _blockBytes;
+    StrideTable _table;
+};
+
+/** Predicts the stream never leaves its last block (degenerate). */
+class LastAddressPredictor : public AddressPredictor
+{
+  public:
+    explicit LastAddressPredictor(unsigned block_bytes = 32,
+                                  const StrideTableConfig &table = {});
+
+    void train(Addr pc, Addr addr) override;
+    std::optional<Addr> predictNext(StreamState &state) const override;
+    StreamState allocateStream(Addr pc, Addr addr) const override;
+    uint32_t confidence(Addr pc) const override;
+    bool twoMissFilterPass(Addr pc, Addr addr) const override;
+
+  private:
+    unsigned _blockBytes;
+    StrideTable _table;
+};
+
+} // namespace psb
+
+#endif // PSB_PREDICTORS_LAST_ADDRESS_PREDICTOR_HH

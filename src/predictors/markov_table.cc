@@ -1,0 +1,65 @@
+#include "predictors/markov_table.hh"
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace psb
+{
+
+MarkovTable::MarkovTable(const MarkovTableConfig &cfg)
+    : _cfg(cfg), _indexBits(floorLog2(cfg.entries)), _entries(cfg.entries)
+{
+    psb_assert(isPowerOf2(cfg.entries), "markov entries must be 2^n");
+    psb_assert(isPowerOf2(cfg.blockBytes), "block size must be 2^n");
+    psb_assert(cfg.tagBits >= 1 && cfg.tagBits <= 32,
+               "partial tag must be 1..32 bits");
+}
+
+uint64_t
+MarkovTable::blockNum(Addr addr) const
+{
+    return addr / _cfg.blockBytes;
+}
+
+unsigned
+MarkovTable::indexOf(uint64_t block_num) const
+{
+    return block_num & mask(_indexBits);
+}
+
+uint32_t
+MarkovTable::tagOf(uint64_t block_num) const
+{
+    return (block_num >> _indexBits) & mask(_cfg.tagBits);
+}
+
+void
+MarkovTable::update(Addr from, Addr to)
+{
+    uint64_t from_block = blockNum(from);
+    Entry &entry = _entries[indexOf(from_block)];
+    entry.tag = tagOf(from_block);
+    entry.next = (to / _cfg.blockBytes) * _cfg.blockBytes;
+    entry.valid = true;
+}
+
+std::optional<Addr>
+MarkovTable::lookup(Addr from) const
+{
+    uint64_t from_block = blockNum(from);
+    const Entry &entry = _entries[indexOf(from_block)];
+    if (!entry.valid || entry.tag != tagOf(from_block))
+        return std::nullopt;
+    return entry.next;
+}
+
+uint64_t
+MarkovTable::population() const
+{
+    uint64_t n = 0;
+    for (const auto &e : _entries)
+        n += e.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace psb

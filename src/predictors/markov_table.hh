@@ -1,0 +1,72 @@
+/**
+ * @file
+ * First-order Markov transition table storing absolute next addresses
+ * (Joseph & Grunwald [18], Charney & Puzak [6] style). Indexed by the
+ * previous miss address, returns the address that followed it last
+ * time. Works at cache-block granularity.
+ *
+ * This is the classic formulation; the paper's space-efficient variant
+ * (16-bit block deltas, 4 KB of data storage) is DiffMarkovTable. Both
+ * are kept so the ablation benches can quantify the compression cost.
+ */
+
+#ifndef PSB_PREDICTORS_MARKOV_TABLE_HH
+#define PSB_PREDICTORS_MARKOV_TABLE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "trace/micro_op.hh"
+
+namespace psb
+{
+
+/** Markov table shape. Defaults follow the paper's 2K-entry table. */
+struct MarkovTableConfig
+{
+    unsigned entries = 2048;   ///< power of two
+    unsigned blockBytes = 32;  ///< prediction granularity
+    unsigned tagBits = 16;     ///< partial-tag width
+};
+
+/** Direct-mapped, partial-tagged, absolute-address Markov table. */
+class MarkovTable
+{
+  public:
+    explicit MarkovTable(const MarkovTableConfig &cfg = {});
+
+    /** Record the transition @p from -> @p to (block-aligned inside). */
+    void update(Addr from, Addr to);
+
+    /**
+     * Predict the block address that followed @p from last time.
+     * @return nullopt when the entry is absent or the tag mismatches.
+     */
+    std::optional<Addr> lookup(Addr from) const;
+
+    /** Number of live entries (test/debug aid). */
+    uint64_t population() const;
+
+    const MarkovTableConfig &config() const { return _cfg; }
+
+  private:
+    struct Entry
+    {
+        uint32_t tag = 0;
+        Addr next = 0;
+        bool valid = false;
+    };
+
+    uint64_t blockNum(Addr addr) const;
+    unsigned indexOf(uint64_t block_num) const;
+    uint32_t tagOf(uint64_t block_num) const;
+
+    MarkovTableConfig _cfg;
+    unsigned _indexBits;
+    std::vector<Entry> _entries;
+};
+
+} // namespace psb
+
+#endif // PSB_PREDICTORS_MARKOV_TABLE_HH

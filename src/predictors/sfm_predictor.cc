@@ -1,0 +1,101 @@
+#include "predictors/sfm_predictor.hh"
+
+#include "util/logging.hh"
+
+namespace psb
+{
+
+SfmPredictor::SfmPredictor(const SfmConfig &cfg)
+    : _cfg(cfg), _stride(cfg.stride), _markov(cfg.markov)
+{
+    psb_assert(cfg.stride.blockBytes == cfg.markov.blockBytes,
+               "stride and markov tables must share a granularity");
+}
+
+Addr
+SfmPredictor::blockAlign(Addr addr) const
+{
+    return addr & ~Addr(_cfg.stride.blockBytes - 1);
+}
+
+void
+SfmPredictor::train(Addr pc, Addr addr)
+{
+    Addr block = blockAlign(addr);
+    const bool use_stride = _cfg.mode != SfmMode::MarkovOnly;
+    const bool use_markov = _cfg.mode != SfmMode::StrideOnly;
+
+    StrideTrainResult result = _stride.train(pc, addr);
+    if (result.firstTouch)
+        return;
+
+    ++_trainEvents;
+
+    // Would the active predictor combination have predicted this miss?
+    bool stride_correct = use_stride && result.stridePredicted;
+    bool markov_correct = false;
+    if (use_markov) {
+        if (auto pred = _markov.lookup(result.prevAddr))
+            markov_correct = (*pred == block);
+    }
+    bool correct = stride_correct || markov_correct;
+    if (correct)
+        ++_correct;
+    _stride.recordOutcome(pc, correct);
+
+    if (!use_markov)
+        return;
+
+    // Stride filtering (§4.2): record the transition only when the
+    // observed stride matches neither the last stride nor the
+    // two-delta stride. MarkovOnly mode records every transition.
+    const StrideEntry *entry = _stride.lookup(pc);
+    bool stride_captured =
+        use_stride && entry &&
+        (entry->strideRepeated || result.stridePredicted);
+    if (!stride_captured)
+        _markov.update(result.prevAddr, block);
+}
+
+std::optional<Addr>
+SfmPredictor::predictNext(StreamState &state) const
+{
+    const bool use_stride = _cfg.mode != SfmMode::MarkovOnly;
+    const bool use_markov = _cfg.mode != SfmMode::StrideOnly;
+
+    std::optional<Addr> next;
+    if (use_markov)
+        next = _markov.lookup(state.lastAddr);
+    if (!next && use_stride)
+        next = blockAlign(Addr(int64_t(state.lastAddr) + state.stride));
+    if (!next)
+        return std::nullopt;
+
+    state.lastAddr = *next;
+    return next;
+}
+
+StreamState
+SfmPredictor::allocateStream(Addr pc, Addr addr) const
+{
+    StreamState state;
+    state.loadPc = pc;
+    state.lastAddr = blockAlign(addr);
+    state.stride = _stride.predictedStride(pc);
+    state.confidence = _stride.confidence(pc);
+    return state;
+}
+
+uint32_t
+SfmPredictor::confidence(Addr pc) const
+{
+    return _stride.confidence(pc);
+}
+
+bool
+SfmPredictor::twoMissFilterPass(Addr pc, Addr) const
+{
+    return _stride.twoCorrectInARow(pc);
+}
+
+} // namespace psb

@@ -1,0 +1,144 @@
+#include "predictors/stride_table.hh"
+
+#include <cstddef>
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace psb
+{
+
+StrideTable::StrideTable(const StrideTableConfig &cfg)
+    : _cfg(cfg),
+      _numSets(cfg.entries / cfg.assoc),
+      _entries(cfg.entries)
+{
+    psb_assert(cfg.assoc >= 1 && cfg.entries % cfg.assoc == 0,
+               "stride table entries must divide into sets");
+    psb_assert(isPowerOf2(_numSets), "stride table sets must be 2^n");
+    for (auto &e : _entries)
+        e.accuracy = SatCounter(cfg.confidenceMax);
+}
+
+unsigned
+StrideTable::setOf(Addr pc) const
+{
+    // Instructions are word-aligned; drop the low bits, then fold in
+    // higher PC bits so routines laid out at power-of-two spacings do
+    // not collapse onto a single set.
+    Addr word = pc >> 2;
+    return (word ^ (word >> 6) ^ (word >> 12)) & (_numSets - 1);
+}
+
+StrideEntry *
+StrideTable::find(Addr pc)
+{
+    StrideEntry *set = &_entries[std::size_t(setOf(pc)) * _cfg.assoc];
+    for (unsigned w = 0; w < _cfg.assoc; ++w) {
+        if (set[w].valid && set[w].pc == pc)
+            return &set[w];
+    }
+    return nullptr;
+}
+
+const StrideEntry *
+StrideTable::find(Addr pc) const
+{
+    return const_cast<StrideTable *>(this)->find(pc);
+}
+
+StrideTrainResult
+StrideTable::train(Addr pc, Addr addr)
+{
+    StrideTrainResult result;
+    Addr block = addr & ~Addr(_cfg.blockBytes - 1);
+
+    StrideEntry *entry = find(pc);
+    if (!entry) {
+        // Allocate the set's LRU way.
+        StrideEntry *set = &_entries[std::size_t(setOf(pc)) * _cfg.assoc];
+        entry = &set[0];
+        for (unsigned w = 0; w < _cfg.assoc; ++w) {
+            if (!set[w].valid) {
+                entry = &set[w];
+                break;
+            }
+            if (set[w].lastUse < entry->lastUse)
+                entry = &set[w];
+        }
+        *entry = StrideEntry{};
+        entry->accuracy = SatCounter(_cfg.confidenceMax);
+        entry->pc = pc;
+        entry->lastAddr = block;
+        entry->valid = true;
+        entry->lastUse = ++_useStamp;
+        result.firstTouch = true;
+        result.prevAddr = block;
+        return result;
+    }
+
+    entry->lastUse = ++_useStamp;
+    result.prevAddr = entry->lastAddr;
+    int64_t stride = int64_t(block) - int64_t(entry->lastAddr);
+    result.observedStride = stride;
+    result.stridePredicted =
+        (int64_t(entry->lastAddr) + entry->stride2d == int64_t(block));
+
+    // Two-delta update: only adopt a new stride once seen twice.
+    entry->strideRepeated = (stride == entry->lastStride);
+    if (entry->strideRepeated)
+        entry->stride2d = stride;
+    entry->lastStride = stride;
+    entry->lastAddr = block;
+    return result;
+}
+
+void
+StrideTable::recordOutcome(Addr pc, bool correct)
+{
+    StrideEntry *entry = find(pc);
+    if (!entry)
+        return;
+    if (correct)
+        entry->accuracy.increment();
+    else
+        entry->accuracy.decrement();
+    entry->prevCorrect = entry->lastCorrect;
+    entry->lastCorrect = correct;
+}
+
+const StrideEntry *
+StrideTable::lookup(Addr pc) const
+{
+    return find(pc);
+}
+
+int64_t
+StrideTable::predictedStride(Addr pc) const
+{
+    const StrideEntry *entry = find(pc);
+    return entry ? entry->stride2d : 0;
+}
+
+uint32_t
+StrideTable::confidence(Addr pc) const
+{
+    const StrideEntry *entry = find(pc);
+    return entry ? entry->accuracy.value() : 0;
+}
+
+bool
+StrideTable::strideFilterPass(Addr pc) const
+{
+    const StrideEntry *entry = find(pc);
+    return entry && entry->strideRepeated;
+}
+
+bool
+StrideTable::twoCorrectInARow(Addr pc) const
+{
+    const StrideEntry *entry = find(pc);
+    return entry && entry->lastCorrect && entry->prevCorrect;
+}
+
+} // namespace psb

@@ -1,0 +1,170 @@
+#include "prefetch/markov_prefetcher.hh"
+
+namespace psb
+{
+
+MarkovPrefetcher::MarkovPrefetcher(MemoryHierarchy &hierarchy,
+                                   const MarkovTableConfig &table,
+                                   unsigned buffer_entries,
+                                   bool adaptive)
+    : _hierarchy(hierarchy), _table(table), _buffer(buffer_entries),
+      _adaptive(adaptive), _badness(table.entries, 0)
+{
+}
+
+void
+MarkovPrefetcher::creditSource(Addr source, bool used)
+{
+    if (!_adaptive)
+        return;
+    uint8_t &ctr =
+        _badness[(source / _table.config().blockBytes) &
+                 (_badness.size() - 1)];
+    if (used) {
+        if (ctr > 0)
+            --ctr;
+    } else {
+        if (ctr < 3)
+            ++ctr;
+    }
+}
+
+bool
+MarkovPrefetcher::sourceDisabled(Addr source) const
+{
+    if (!_adaptive)
+        return false;
+    // "When the sign bit of the counter is set, the relevant entry in
+    // the prediction table is disabled."
+    return (_badness[(source / _table.config().blockBytes) &
+                     (_badness.size() - 1)] &
+            0x2) != 0;
+}
+
+PrefetchLookup
+MarkovPrefetcher::lookup(Addr addr, Cycle now)
+{
+    ++_stats.lookups;
+    PrefetchLookup result;
+    Addr block = _hierarchy.blockAlign(addr);
+
+    for (auto &e : _buffer) {
+        if (!e.valid || e.block != block)
+            continue;
+        if (!e.prefetched) {
+            // Not yet issued: nothing to provide; reconciled on the
+            // demand-fill path.
+            return result;
+        }
+        ++_stats.hits;
+        ++_stats.prefetchesUsed;
+        result.hit = true;
+        result.ready = e.ready;
+        result.dataPending = e.ready > now;
+        if (result.dataPending)
+            ++_stats.hitsPending;
+        creditSource(e.sourceBlock, /*used=*/true);
+        e.valid = false;
+        return result;
+    }
+    return result;
+}
+
+void
+MarkovPrefetcher::trainLoad(Addr, Addr addr, bool l1_miss,
+                            bool store_forwarded)
+{
+    if (!l1_miss || store_forwarded)
+        return;
+    Addr block = _hierarchy.blockAlign(addr);
+    if (_haveLastMiss && _lastMiss != block) {
+        // "Prefetch requests from disabled entries are tracked so
+        // that they can be enabled when they start making correct
+        // predictions": score the suppressed prediction against the
+        // observed transition.
+        if (sourceDisabled(_lastMiss)) {
+            if (auto pred = _table.lookup(_lastMiss))
+                creditSource(_lastMiss, *pred == block);
+        }
+        // Record the global miss-to-miss transition.
+        _table.update(_lastMiss, block);
+    }
+    _lastMiss = block;
+    _haveLastMiss = true;
+}
+
+void
+MarkovPrefetcher::enqueue(Addr block, Addr source)
+{
+    for (const auto &e : _buffer) {
+        if (e.valid && e.block == block)
+            return;
+    }
+    BufEntry *victim = &_buffer[0];
+    for (auto &e : _buffer) {
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.fifoStamp < victim->fifoStamp)
+            victim = &e;
+    }
+    // "When a prefetch is discarded from the prefetch buffer without
+    // being used, the corresponding counter is incremented."
+    if (victim->valid && victim->prefetched)
+        creditSource(victim->sourceBlock, /*used=*/false);
+    *victim = BufEntry{};
+    victim->block = block;
+    victim->sourceBlock = source;
+    victim->valid = true;
+    victim->fifoStamp = ++_stamp;
+}
+
+void
+MarkovPrefetcher::demandMiss(Addr, Addr addr, Cycle)
+{
+    // Release any matching prediction whose prefetch never issued.
+    Addr fill_block = _hierarchy.blockAlign(addr);
+    for (auto &e : _buffer) {
+        if (e.valid && !e.prefetched && e.block == fill_block) {
+            ++_stats.lateTagHits;
+            e.valid = false;
+        }
+    }
+    ++_stats.allocationRequests;
+    // One-shot: predict the successor of this miss, then idle until
+    // the next miss. No re-indexing with predicted addresses.
+    Addr block = _hierarchy.blockAlign(addr);
+    if (auto next = _table.lookup(block)) {
+        // Disabled entries issue no prefetch; trainLoad() keeps
+        // scoring them so they re-enable once correct again.
+        if (sourceDisabled(block)) {
+            ++_disabledSuppressed;
+        } else {
+            ++_stats.predictions;
+            enqueue(*next, block);
+        }
+    }
+}
+
+void
+MarkovPrefetcher::tick(Cycle now)
+{
+    if (!_hierarchy.l1ToL2BusFree(now))
+        return;
+    BufEntry *oldest = nullptr;
+    for (auto &e : _buffer) {
+        if (e.valid && !e.prefetched &&
+            (!oldest || e.fifoStamp < oldest->fifoStamp)) {
+            oldest = &e;
+        }
+    }
+    if (!oldest)
+        return;
+    PrefetchOutcome outcome = _hierarchy.prefetch(oldest->block, now);
+    oldest->prefetched = true;
+    oldest->ready = outcome.ready;
+    ++_stats.prefetchesIssued;
+}
+
+} // namespace psb

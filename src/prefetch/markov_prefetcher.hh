@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Demand-based Markov prefetcher (Joseph & Grunwald [18]), paper §3.2:
+ * on a cache miss, the miss address indexes a Markov table and the
+ * recorded successors are prefetched; the prefetcher then idles until
+ * the next miss — predicted addresses are *not* fed back to generate
+ * further predictions. Contrast with the PSB, which re-feeds its own
+ * predictions through per-stream history and therefore runs ahead.
+ *
+ * Included as a historical baseline for the ablation benches: it
+ * isolates how much of PSB's win comes from the running-ahead
+ * structure rather than from Markov prediction itself.
+ */
+
+#ifndef PSB_PREFETCH_MARKOV_PREFETCHER_HH
+#define PSB_PREFETCH_MARKOV_PREFETCHER_HH
+
+#include <vector>
+
+#include "memory/hierarchy.hh"
+#include "predictors/markov_table.hh"
+#include "prefetch/prefetcher.hh"
+
+namespace psb
+{
+
+/** One-shot, miss-triggered Markov prefetcher with the accuracy-based
+ *  adaptivity of [18]: a two-bit saturating counter per prediction
+ *  entry is incremented when its prefetch is discarded unused and
+ *  decremented when used; entries whose counter's sign bit is set are
+ *  disabled, but their requests keep being tracked so they re-enable
+ *  once they start predicting correctly again. */
+class MarkovPrefetcher : public Prefetcher
+{
+  public:
+    MarkovPrefetcher(MemoryHierarchy &hierarchy,
+                     const MarkovTableConfig &table = {},
+                     unsigned buffer_entries = 16,
+                     bool adaptive = true);
+
+    PrefetchLookup lookup(Addr addr, Cycle now) override;
+    void trainLoad(Addr pc, Addr addr, bool l1_miss,
+                   bool store_forwarded) override;
+    void demandMiss(Addr pc, Addr addr, Cycle now) override;
+    void tick(Cycle now) override;
+    const PrefetcherStats &stats() const override { return _stats; }
+    void resetStats() override { _stats = PrefetcherStats{}; }
+
+    const MarkovTable &table() const { return _table; }
+
+  private:
+    struct BufEntry
+    {
+        Addr block = 0;
+        Addr sourceBlock = 0; ///< table entry that predicted this
+        bool valid = false;
+        bool prefetched = false;
+        Cycle ready = 0;
+        uint64_t fifoStamp = 0;
+    };
+
+    void enqueue(Addr block, Addr source);
+    void creditSource(Addr source, bool used);
+    bool sourceDisabled(Addr source) const;
+
+    MemoryHierarchy &_hierarchy;
+    MarkovTable _table;
+    std::vector<BufEntry> _buffer;
+    Addr _lastMiss = 0;
+    bool _haveLastMiss = false;
+    bool _adaptive;
+    /** Two-bit accuracy counters keyed like the Markov table. */
+    std::vector<uint8_t> _badness;
+    uint64_t _disabledSuppressed = 0;
+    uint64_t _stamp = 0;
+    PrefetcherStats _stats;
+
+  public:
+    /** Predictions suppressed by the adaptivity counters (stat). */
+    uint64_t disabledSuppressed() const { return _disabledSuppressed; }
+};
+
+} // namespace psb
+
+#endif // PSB_PREFETCH_MARKOV_PREFETCHER_HH

@@ -1,0 +1,171 @@
+#include "prefetch/min_delta_stream_buffers.hh"
+
+#include <cstdlib>
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace psb
+{
+
+MinDeltaPredictor::MinDeltaPredictor(const MinDeltaConfig &cfg)
+    : _cfg(cfg), _chunks(cfg.chunkTableEntries)
+{
+    psb_assert(isPowerOf2(cfg.chunkBytes), "chunk size must be 2^n");
+    psb_assert(isPowerOf2(cfg.chunkTableEntries),
+               "chunk table entries must be 2^n");
+    psb_assert(cfg.historyDepth >= 1, "need at least one past miss");
+}
+
+uint64_t
+MinDeltaPredictor::chunkOf(Addr addr) const
+{
+    return addr / _cfg.chunkBytes;
+}
+
+unsigned
+MinDeltaPredictor::indexOf(Addr addr) const
+{
+    return chunkOf(addr) & (_cfg.chunkTableEntries - 1);
+}
+
+void
+MinDeltaPredictor::train(Addr, Addr addr)
+{
+    ChunkEntry &entry = _chunks[indexOf(addr)];
+    uint64_t chunk = chunkOf(addr);
+
+    if (!entry.valid || entry.chunk != chunk) {
+        entry = ChunkEntry{};
+        entry.chunk = chunk;
+        entry.valid = true;
+    }
+
+    // Consecutive-miss tracking for the allocation filter: misses to
+    // the same chunk back to back.
+    entry.consecutiveMisses =
+        (_haveLastMiss && chunkOf(_lastMissAddr) == chunk)
+            ? entry.consecutiveMisses + 1
+            : 0;
+
+    // Minimum signed delta against the past N miss addresses of this
+    // chunk; sub-block deltas round to one block with the delta's sign
+    // (Palacharla & Kessler's rule).
+    if (!entry.recent.empty()) {
+        int64_t best = 0;
+        bool have = false;
+        for (Addr past : entry.recent) {
+            int64_t delta = int64_t(addr) - int64_t(past);
+            if (delta == 0)
+                continue;
+            if (!have || std::llabs(delta) < std::llabs(best)) {
+                best = delta;
+                have = true;
+            }
+        }
+        if (have) {
+            if (std::llabs(best) < int64_t(_cfg.blockBytes)) {
+                entry.stride = best < 0 ? -int64_t(_cfg.blockBytes)
+                                        : int64_t(_cfg.blockBytes);
+            } else {
+                entry.stride = best;
+            }
+        }
+    }
+
+    entry.recent.push_back(addr);
+    if (entry.recent.size() > _cfg.historyDepth)
+        entry.recent.erase(entry.recent.begin());
+
+    _lastMissAddr = addr;
+    _haveLastMiss = true;
+}
+
+std::optional<Addr>
+MinDeltaPredictor::predictNext(StreamState &state) const
+{
+    if (state.stride == 0)
+        return std::nullopt;
+    state.lastAddr = Addr(int64_t(state.lastAddr) + state.stride) &
+                     ~Addr(_cfg.blockBytes - 1);
+    return state.lastAddr;
+}
+
+StreamState
+MinDeltaPredictor::allocateStream(Addr pc, Addr addr) const
+{
+    StreamState state;
+    state.loadPc = pc;
+    state.lastAddr = addr & ~Addr(_cfg.blockBytes - 1);
+    state.stride = strideFor(addr);
+    // No per-load accuracy counter in this scheme: a fixed confidence
+    // of 1 lets it pass the ConfAlloc threshold if ever combined.
+    state.confidence = 1;
+    return state;
+}
+
+uint32_t
+MinDeltaPredictor::confidence(Addr) const
+{
+    return 1;
+}
+
+bool
+MinDeltaPredictor::twoMissFilterPass(Addr, Addr addr) const
+{
+    const ChunkEntry &entry = _chunks[indexOf(addr)];
+    return entry.valid && entry.chunk == chunkOf(addr) &&
+           entry.consecutiveMisses >= 1 && entry.stride != 0;
+}
+
+int64_t
+MinDeltaPredictor::strideFor(Addr addr) const
+{
+    const ChunkEntry &entry = _chunks[indexOf(addr)];
+    if (!entry.valid || entry.chunk != chunkOf(addr))
+        return 0;
+    return entry.stride;
+}
+
+MinDeltaStreamBuffers::MinDeltaStreamBuffers(
+    const StreamBufferConfig &buffers, const MinDeltaConfig &table,
+    MemoryHierarchy &hierarchy)
+    : _predictor(table),
+      _psb(PsbConfig{buffers, AllocPolicy::TwoMiss,
+                     SchedPolicy::RoundRobin},
+           _predictor, hierarchy)
+{
+}
+
+PrefetchLookup
+MinDeltaStreamBuffers::lookup(Addr addr, Cycle now)
+{
+    return _psb.lookup(addr, now);
+}
+
+void
+MinDeltaStreamBuffers::trainLoad(Addr pc, Addr addr, bool l1_miss,
+                                 bool store_forwarded)
+{
+    _psb.trainLoad(pc, addr, l1_miss, store_forwarded);
+}
+
+void
+MinDeltaStreamBuffers::demandMiss(Addr pc, Addr addr, Cycle now)
+{
+    _psb.demandMiss(pc, addr, now);
+}
+
+void
+MinDeltaStreamBuffers::tick(Cycle now)
+{
+    _psb.tick(now);
+}
+
+const PrefetcherStats &
+MinDeltaStreamBuffers::stats() const
+{
+    return _psb.stats();
+}
+
+} // namespace psb

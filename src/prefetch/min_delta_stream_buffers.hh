@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Palacharla & Kessler minimum-delta stream buffers [22] — the
+ * address-indexed non-unit-stride detection scheme of paper §3.3.2:
+ * memory is divided into chunks, each chunk tracks its recent miss
+ * addresses, and a stream's stride is "the minimum signed difference
+ * between the miss address and the past N miss addresses" of its
+ * chunk; deltas smaller than an L1 block round up to one block with
+ * the delta's sign. Allocation uses their filter (two consecutive
+ * misses to the same chunk).
+ *
+ * The paper implemented this scheme and found it "uniformly
+ * outperformed by the per-load stride detector of Farkas et al.", so
+ * it reports only PC-stride results; bench/ablation_prefetchers
+ * reproduces that comparison. Expressed, like the other stream-buffer
+ * designs, as a PredictorDirectedStreamBuffers instance around a
+ * MinDeltaPredictor.
+ */
+
+#ifndef PSB_PREFETCH_MIN_DELTA_STREAM_BUFFERS_HH
+#define PSB_PREFETCH_MIN_DELTA_STREAM_BUFFERS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/psb.hh"
+#include "predictors/address_predictor.hh"
+
+namespace psb
+{
+
+/** Minimum-delta detection configuration. */
+struct MinDeltaConfig
+{
+    unsigned chunkBytes = 4096;   ///< memory region per stride entry
+    unsigned chunkTableEntries = 256; ///< power of two
+    unsigned historyDepth = 4;    ///< N past miss addresses per chunk
+    unsigned blockBytes = 32;
+};
+
+/** Address-region-indexed minimum-delta stride predictor. */
+class MinDeltaPredictor : public AddressPredictor
+{
+  public:
+    explicit MinDeltaPredictor(const MinDeltaConfig &cfg = {});
+
+    void train(Addr pc, Addr addr) override;
+    std::optional<Addr> predictNext(StreamState &state) const override;
+    StreamState allocateStream(Addr pc, Addr addr) const override;
+    uint32_t confidence(Addr pc) const override;
+
+    /** Palacharla-Kessler filter: two consecutive misses per chunk. */
+    bool twoMissFilterPass(Addr pc, Addr addr) const override;
+
+    /** Current minimum-delta stride for the chunk of @p addr. */
+    int64_t strideFor(Addr addr) const;
+
+  private:
+    struct ChunkEntry
+    {
+        uint64_t chunk = 0;
+        std::vector<Addr> recent; ///< last N miss addresses
+        unsigned consecutiveMisses = 0;
+        int64_t stride = 0;
+        bool valid = false;
+    };
+
+    unsigned indexOf(Addr addr) const;
+    uint64_t chunkOf(Addr addr) const;
+
+    MinDeltaConfig _cfg;
+    std::vector<ChunkEntry> _chunks;
+    Addr _lastMissAddr = 0;
+    bool _haveLastMiss = false;
+    /** Chunk of the most recent trained miss (for the filter). */
+    mutable uint64_t _lastChunk = ~uint64_t(0);
+};
+
+/** The Palacharla-Kessler stream-buffer design. */
+class MinDeltaStreamBuffers : public Prefetcher
+{
+  public:
+    MinDeltaStreamBuffers(const StreamBufferConfig &buffers,
+                          const MinDeltaConfig &table,
+                          MemoryHierarchy &hierarchy);
+
+    PrefetchLookup lookup(Addr addr, Cycle now) override;
+    void trainLoad(Addr pc, Addr addr, bool l1_miss,
+                   bool store_forwarded) override;
+    void demandMiss(Addr pc, Addr addr, Cycle now) override;
+    void tick(Cycle now) override;
+    const PrefetcherStats &stats() const override;
+    void resetStats() override { _psb.resetStats(); }
+
+    const MinDeltaPredictor &predictor() const { return _predictor; }
+
+  private:
+    MinDeltaPredictor _predictor;
+    PredictorDirectedStreamBuffers _psb;
+};
+
+} // namespace psb
+
+#endif // PSB_PREFETCH_MIN_DELTA_STREAM_BUFFERS_HH

@@ -1,0 +1,111 @@
+#include "prefetch/next_line_prefetcher.hh"
+
+namespace psb
+{
+
+NextLinePrefetcher::NextLinePrefetcher(MemoryHierarchy &hierarchy,
+                                       unsigned buffer_entries,
+                                       unsigned degree)
+    : _hierarchy(hierarchy), _degree(degree), _buffer(buffer_entries)
+{
+}
+
+PrefetchLookup
+NextLinePrefetcher::lookup(Addr addr, Cycle now)
+{
+    ++_stats.lookups;
+    PrefetchLookup result;
+    Addr block = _hierarchy.blockAlign(addr);
+
+    for (auto &e : _buffer) {
+        if (!e.valid || e.block != block)
+            continue;
+        if (!e.prefetched) {
+            // Not yet issued: nothing to provide; reconciled on the
+            // demand-fill path.
+            return result;
+        }
+        ++_stats.hits;
+        ++_stats.prefetchesUsed;
+        result.hit = true;
+        result.ready = e.ready;
+        result.dataPending = e.ready > now;
+        if (result.dataPending)
+            ++_stats.hitsPending;
+        e.valid = false;
+        return result;
+    }
+    return result;
+}
+
+void
+NextLinePrefetcher::trainLoad(Addr, Addr, bool, bool)
+{
+}
+
+void
+NextLinePrefetcher::enqueue(Addr block)
+{
+    // Already queued or in flight: nothing to do.
+    for (const auto &e : _buffer) {
+        if (e.valid && e.block == block)
+            return;
+    }
+    // Replace an invalid entry, else the FIFO-oldest one.
+    BufEntry *victim = &_buffer[0];
+    for (auto &e : _buffer) {
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.fifoStamp < victim->fifoStamp)
+            victim = &e;
+    }
+    *victim = BufEntry{};
+    victim->block = block;
+    victim->valid = true;
+    victim->fifoStamp = ++_stamp;
+}
+
+void
+NextLinePrefetcher::demandMiss(Addr, Addr addr, Cycle)
+{
+    // Release any matching prediction whose prefetch never issued.
+    Addr fill_block = _hierarchy.blockAlign(addr);
+    for (auto &e : _buffer) {
+        if (e.valid && !e.prefetched && e.block == fill_block) {
+            ++_stats.lateTagHits;
+            e.valid = false;
+        }
+    }
+    ++_stats.allocationRequests;
+    Addr block = _hierarchy.blockAlign(addr);
+    unsigned block_bytes = _hierarchy.config().l1d.blockBytes;
+    for (unsigned d = 1; d <= _degree; ++d) {
+        ++_stats.predictions;
+        enqueue(block + Addr(d) * block_bytes);
+    }
+}
+
+void
+NextLinePrefetcher::tick(Cycle now)
+{
+    if (!_hierarchy.l1ToL2BusFree(now))
+        return;
+    // Issue the FIFO-oldest queued prefetch.
+    BufEntry *oldest = nullptr;
+    for (auto &e : _buffer) {
+        if (e.valid && !e.prefetched &&
+            (!oldest || e.fifoStamp < oldest->fifoStamp)) {
+            oldest = &e;
+        }
+    }
+    if (!oldest)
+        return;
+    PrefetchOutcome outcome = _hierarchy.prefetch(oldest->block, now);
+    oldest->prefetched = true;
+    oldest->ready = outcome.ready;
+    ++_stats.prefetchesIssued;
+}
+
+} // namespace psb

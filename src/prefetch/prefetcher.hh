@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The prefetcher interface the out-of-order core drives.
+ *
+ * The core looks the prefetcher up in parallel with the L1D on every
+ * load (paper: "we assume the data cache lookup latency is the same as
+ * the stream buffer lookup latency"), trains it in the write-back
+ * stage, reports demand misses that also missed the buffers (the
+ * allocation trigger), and ticks it once per cycle so it can make one
+ * prediction and issue one prefetch when the L1-L2 bus is free.
+ */
+
+#ifndef PSB_PREFETCH_PREFETCHER_HH
+#define PSB_PREFETCH_PREFETCHER_HH
+
+#include <cstdint>
+
+#include "trace/micro_op.hh"
+
+namespace psb
+{
+
+/** Result of looking an address up in the prefetcher's storage. */
+struct PrefetchLookup
+{
+    bool hit = false;        ///< tag matched a prefetched block
+    Cycle ready = 0;         ///< cycle the block's data is available
+    bool dataPending = false;///< tag hit but the fill is still in flight
+};
+
+/** Statistics common to all prefetchers. */
+struct PrefetcherStats
+{
+    uint64_t lookups = 0;
+    uint64_t hits = 0;           ///< tag hits on prefetched data
+    uint64_t hitsPending = 0;    ///< of which the data was in flight
+    uint64_t lateTagHits = 0;    ///< tag matched a not-yet-issued entry
+    uint64_t prefetchesIssued = 0;
+    uint64_t prefetchesUsed = 0;
+    uint64_t allocationRequests = 0;
+    uint64_t allocations = 0;
+    uint64_t allocationsFiltered = 0;
+    uint64_t predictions = 0;
+    uint64_t duplicateSuppressed = 0;
+    uint64_t tlbTranslationsSkipped = 0; ///< §4.5 cached translations
+
+    /** Paper Figure 6: prefetches used / prefetches made. */
+    double
+    accuracy() const
+    {
+        return prefetchesIssued
+            ? double(prefetchesUsed) / double(prefetchesIssued)
+            : 0.0;
+    }
+};
+
+/** Abstract hardware prefetcher sitting beside the L1 data cache. */
+class Prefetcher
+{
+  public:
+    virtual ~Prefetcher() = default;
+
+    /**
+     * Search the prefetch storage for the block containing @p addr, in
+     * parallel with the L1D lookup. A hit frees the matching entry;
+     * the caller is responsible for moving the block into the L1D
+     * (MemoryHierarchy::fillFromStreamBuffer / registerInFlightFill).
+     */
+    virtual PrefetchLookup lookup(Addr addr, Cycle now) = 0;
+
+    /**
+     * Write-back-stage training for a committed load.
+     *
+     * @param pc The load's PC.
+     * @param addr The load's effective address.
+     * @param l1_miss The load missed in the L1D (prediction tables are
+     *        trained on the miss stream only).
+     * @param store_forwarded The load got its value from a store
+     *        forward; such loads are never entered in the tables.
+     */
+    virtual void trainLoad(Addr pc, Addr addr, bool l1_miss,
+                           bool store_forwarded) = 0;
+
+    /**
+     * A load missed both the L1D and the prefetcher: an allocation
+     * request (and the aging event for priority counters).
+     */
+    virtual void demandMiss(Addr pc, Addr addr, Cycle now) = 0;
+
+    /** Advance one cycle: predict and/or issue prefetches. */
+    virtual void tick(Cycle now) = 0;
+
+    virtual const PrefetcherStats &stats() const = 0;
+
+    /** Zero the statistics (end-of-warm-up); state is kept. */
+    virtual void resetStats() = 0;
+};
+
+/** The no-prefetching baseline. */
+class NullPrefetcher : public Prefetcher
+{
+  public:
+    PrefetchLookup
+    lookup(Addr, Cycle) override
+    {
+        ++_stats.lookups;
+        return {};
+    }
+
+    void trainLoad(Addr, Addr, bool, bool) override {}
+    void demandMiss(Addr, Addr, Cycle) override {}
+    void tick(Cycle) override {}
+    const PrefetcherStats &stats() const override { return _stats; }
+    void resetStats() override { _stats = PrefetcherStats{}; }
+
+  private:
+    PrefetcherStats _stats;
+};
+
+} // namespace psb
+
+#endif // PSB_PREFETCH_PREFETCHER_HH

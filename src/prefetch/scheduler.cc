@@ -1,0 +1,59 @@
+#include "prefetch/scheduler.hh"
+
+#include "util/logging.hh"
+
+namespace psb
+{
+
+const char *
+schedPolicyName(SchedPolicy policy)
+{
+    switch (policy) {
+      case SchedPolicy::RoundRobin: return "RR";
+      case SchedPolicy::Priority:   return "Priority";
+    }
+    return "Unknown";
+}
+
+BufferScheduler::BufferScheduler(SchedPolicy policy, unsigned num_buffers)
+    : _policy(policy), _numBuffers(num_buffers)
+{
+    psb_assert(num_buffers > 0, "scheduler needs at least one buffer");
+}
+
+int
+BufferScheduler::pick(const StreamBufferFile &file,
+                      const std::function<bool(unsigned)> &candidate,
+                      const std::function<uint64_t(unsigned)> &tie_stamp)
+{
+    if (_policy == SchedPolicy::RoundRobin) {
+        for (unsigned i = 1; i <= _numBuffers; ++i) {
+            unsigned b = (_rrPtr + i) % _numBuffers;
+            if (candidate(b)) {
+                _rrPtr = b;
+                return int(b);
+            }
+        }
+        return -1;
+    }
+
+    // Priority: highest counter first, least-recently-used on ties.
+    int best = -1;
+    for (unsigned b = 0; b < _numBuffers; ++b) {
+        if (!candidate(b))
+            continue;
+        if (best < 0) {
+            best = int(b);
+            continue;
+        }
+        uint32_t pb = file.buffer(b).priority.value();
+        uint32_t pbest = file.buffer(unsigned(best)).priority.value();
+        if (pb > pbest ||
+            (pb == pbest && tie_stamp(b) < tie_stamp(unsigned(best)))) {
+            best = int(b);
+        }
+    }
+    return best;
+}
+
+} // namespace psb

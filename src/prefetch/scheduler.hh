@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Stream-buffer arbitration (paper §4.4). The predictor port and the
+ * L1-L2 bus are single resources contended for by up to eight buffers;
+ * each cycle one buffer wins each resource, chosen either round-robin
+ * (separate rotation pointers per resource) or by priority counter
+ * (highest first, LRU breaking ties).
+ */
+
+#ifndef PSB_PREFETCH_SCHEDULER_HH
+#define PSB_PREFETCH_SCHEDULER_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "prefetch/stream_buffer.hh"
+
+namespace psb
+{
+
+/** Arbitration policy for the predictor port and prefetch bus slot. */
+enum class SchedPolicy
+{
+    RoundRobin,
+    Priority,
+};
+
+const char *schedPolicyName(SchedPolicy policy);
+
+/**
+ * Picks the stream buffer that wins one shared resource this cycle.
+ * Instantiate one per resource so round-robin keeps independent
+ * pointers ("a pointer is kept to the last stream buffer to perform a
+ * prediction and another pointer for the last entry to issue a
+ * prefetch").
+ */
+class BufferScheduler
+{
+  public:
+    BufferScheduler(SchedPolicy policy, unsigned num_buffers);
+
+    /**
+     * Choose among buffers for which @p candidate returns true.
+     *
+     * @param file The stream-buffer file.
+     * @param candidate Whether a buffer can use the resource now.
+     * @param tie_stamp Last-use stamp for LRU tie-breaking under the
+     *        priority policy (lower = less recently used = wins).
+     * @return Winning buffer index, or -1 when no candidate exists.
+     */
+    int pick(const StreamBufferFile &file,
+             const std::function<bool(unsigned)> &candidate,
+             const std::function<uint64_t(unsigned)> &tie_stamp);
+
+    SchedPolicy policy() const { return _policy; }
+
+  private:
+    SchedPolicy _policy;
+    unsigned _numBuffers;
+    unsigned _rrPtr = 0;
+};
+
+} // namespace psb
+
+#endif // PSB_PREFETCH_SCHEDULER_HH

@@ -1,0 +1,48 @@
+#include "prefetch/sequential_stream_buffers.hh"
+
+namespace psb
+{
+
+SequentialStreamBuffers::SequentialStreamBuffers(
+    const StreamBufferConfig &buffers, MemoryHierarchy &hierarchy,
+    bool filtered)
+    : _predictor(buffers.blockBytes),
+      _psb(PsbConfig{buffers,
+                     filtered ? AllocPolicy::TwoMiss : AllocPolicy::Always,
+                     SchedPolicy::RoundRobin},
+           _predictor, hierarchy)
+{
+}
+
+PrefetchLookup
+SequentialStreamBuffers::lookup(Addr addr, Cycle now)
+{
+    return _psb.lookup(addr, now);
+}
+
+void
+SequentialStreamBuffers::trainLoad(Addr pc, Addr addr, bool l1_miss,
+                                   bool store_forwarded)
+{
+    _psb.trainLoad(pc, addr, l1_miss, store_forwarded);
+}
+
+void
+SequentialStreamBuffers::demandMiss(Addr pc, Addr addr, Cycle now)
+{
+    _psb.demandMiss(pc, addr, now);
+}
+
+void
+SequentialStreamBuffers::tick(Cycle now)
+{
+    _psb.tick(now);
+}
+
+const PrefetcherStats &
+SequentialStreamBuffers::stats() const
+{
+    return _psb.stats();
+}
+
+} // namespace psb

@@ -1,0 +1,125 @@
+#include "prefetch/stream_buffer.hh"
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace psb
+{
+
+StreamBuffer::StreamBuffer(unsigned num_entries, uint32_t priority_max)
+    : priority(priority_max), _entries(num_entries)
+{
+}
+
+void
+StreamBuffer::allocateStream(const StreamState &new_state,
+                             uint32_t priority_init)
+{
+    state = new_state;
+    priority.set(priority_init);
+    translatedPage = ~uint64_t(0);
+    for (auto &e : _entries)
+        e = SbEntry{};
+    _allocated = true;
+}
+
+int
+StreamBuffer::findEntry(Addr block) const
+{
+    for (size_t i = 0; i < _entries.size(); ++i) {
+        if (_entries[i].valid && _entries[i].block == block)
+            return int(i);
+    }
+    return -1;
+}
+
+int
+StreamBuffer::freeEntry() const
+{
+    for (size_t i = 0; i < _entries.size(); ++i) {
+        if (!_entries[i].valid)
+            return int(i);
+    }
+    return -1;
+}
+
+int
+StreamBuffer::pendingPrefetchEntry() const
+{
+    for (size_t i = 0; i < _entries.size(); ++i) {
+        if (_entries[i].valid && !_entries[i].prefetched)
+            return int(i);
+    }
+    return -1;
+}
+
+void
+StreamBuffer::clearEntry(int idx)
+{
+    psb_assert(idx >= 0 && size_t(idx) < _entries.size(),
+               "stream buffer entry index out of range");
+    _entries[idx] = SbEntry{};
+}
+
+StreamBufferFile::StreamBufferFile(const StreamBufferConfig &cfg)
+    : _cfg(cfg)
+{
+    psb_assert(cfg.numBuffers > 0, "need at least one stream buffer");
+    psb_assert(cfg.entriesPerBuffer > 0, "need at least one entry");
+    psb_assert(isPowerOf2(cfg.blockBytes), "block size must be 2^n");
+    _buffers.reserve(cfg.numBuffers);
+    for (unsigned i = 0; i < cfg.numBuffers; ++i)
+        _buffers.emplace_back(cfg.entriesPerBuffer, cfg.priorityMax);
+}
+
+std::optional<StreamBufferFile::TagHit>
+StreamBufferFile::findBlock(Addr block) const
+{
+    for (unsigned b = 0; b < _buffers.size(); ++b) {
+        if (!_buffers[b].allocated())
+            continue;
+        int e = _buffers[b].findEntry(block);
+        if (e >= 0)
+            return TagHit{b, e};
+    }
+    return std::nullopt;
+}
+
+bool
+StreamBufferFile::contains(Addr block) const
+{
+    return findBlock(block).has_value();
+}
+
+unsigned
+StreamBufferFile::lruBuffer() const
+{
+    unsigned victim = 0;
+    for (unsigned b = 0; b < _buffers.size(); ++b) {
+        if (!_buffers[b].allocated())
+            return b;
+        if (_buffers[b].allocStamp < _buffers[victim].allocStamp)
+            victim = b;
+    }
+    return victim;
+}
+
+unsigned
+StreamBufferFile::minPriorityBuffer() const
+{
+    unsigned best = 0;
+    for (unsigned b = 1; b < _buffers.size(); ++b) {
+        uint32_t pb = _buffers[b].allocated()
+            ? _buffers[b].priority.value() : 0;
+        uint32_t pv = _buffers[best].allocated()
+            ? _buffers[best].priority.value() : 0;
+        if (pb < pv ||
+            (pb == pv &&
+             _buffers[b].lastHitStamp < _buffers[best].lastHitStamp)) {
+            best = b;
+        }
+    }
+    return best;
+}
+
+} // namespace psb

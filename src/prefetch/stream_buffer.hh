@@ -1,0 +1,164 @@
+/**
+ * @file
+ * The stream-buffer storage shared by every stream-buffer prefetcher
+ * in this library (the PC-stride baseline and the predictor-directed
+ * design).
+ *
+ * Follows Farkas et al. [13,14] as modelled by the paper: 8 buffers of
+ * 4 entries each, *fully-associative* lookup across all entries of all
+ * buffers (not Jouppi's FIFO head probe), non-overlapping streams
+ * enforced by searching every buffer before inserting a prediction,
+ * and LRU selection of the entry a new prediction lands in.
+ */
+
+#ifndef PSB_PREFETCH_STREAM_BUFFER_HH
+#define PSB_PREFETCH_STREAM_BUFFER_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "predictors/address_predictor.hh"
+#include "trace/micro_op.hh"
+#include "util/sat_counter.hh"
+
+namespace psb
+{
+
+/** Shared stream-buffer parameters; defaults are the paper's. */
+struct StreamBufferConfig
+{
+    unsigned numBuffers = 8;
+    unsigned entriesPerBuffer = 4;
+    unsigned blockBytes = 32;
+    uint32_t priorityMax = 12;       ///< priority counter saturation
+    uint32_t priorityHitIncrement = 2;
+    unsigned agingPeriod = 10;       ///< allocation requests per -1 aging
+    uint32_t allocConfThreshold = 1; ///< confidence-allocation threshold
+    /**
+     * Paper §4.5 option: store the TLB translation with the stream
+     * buffer so a lookup is only needed when the stream crosses a
+     * page boundary.
+     */
+    bool cacheTlbTranslation = false;
+};
+
+/** One stream-buffer entry: a predicted block and its fill status. */
+struct SbEntry
+{
+    Addr block = 0;
+    bool valid = false;      ///< holds a prediction
+    bool prefetched = false; ///< fill request has been issued
+    Cycle ready = 0;         ///< data-arrival cycle (when prefetched)
+};
+
+/**
+ * One stream buffer: N entries plus the per-stream prediction state
+ * and the priority counter of paper §4.4.
+ */
+class StreamBuffer
+{
+  public:
+    StreamBuffer(unsigned num_entries, uint32_t priority_max);
+
+    /** Reset entries and install a new stream (allocation). */
+    void allocateStream(const StreamState &state, uint32_t priority_init);
+
+    /** Index of the entry holding @p block, or -1. */
+    int findEntry(Addr block) const;
+
+    /** Index of an entry free to take a new prediction, or -1. */
+    int freeEntry() const;
+
+    /** Index of a valid entry whose prefetch has not issued, or -1. */
+    int pendingPrefetchEntry() const;
+
+    /** Invalidate entry @p idx (hit consumed it / late tag hit). */
+    void clearEntry(int idx);
+
+    bool allocated() const { return _allocated; }
+    void deallocate() { _allocated = false; }
+
+    std::vector<SbEntry> &entries() { return _entries; }
+    const std::vector<SbEntry> &entries() const { return _entries; }
+
+    /** Per-stream predictor history (paper Figure 2). */
+    StreamState state;
+
+    /** Priority counter: +2 on hit, aged -1, copies accuracy at alloc. */
+    SatCounter priority;
+
+    /** Cached page translation (§4.5 option); ~0 = none cached. */
+    uint64_t translatedPage = ~uint64_t(0);
+
+    /** Stamps for LRU victim choice and scheduler tie-breaking. */
+    uint64_t lastHitStamp = 0;
+    uint64_t allocStamp = 0;
+    uint64_t lastPredictStamp = 0;
+    uint64_t lastPrefetchStamp = 0;
+
+  private:
+    std::vector<SbEntry> _entries;
+    bool _allocated = false;
+};
+
+/**
+ * The file of stream buffers: associative lookup and duplicate
+ * suppression across all buffers.
+ */
+class StreamBufferFile
+{
+  public:
+    explicit StreamBufferFile(const StreamBufferConfig &cfg);
+
+    /** Location of a tag match. */
+    struct TagHit
+    {
+        unsigned buf = 0;
+        int entry = -1;
+    };
+
+    /** Search every entry of every buffer for @p block. */
+    std::optional<TagHit> findBlock(Addr block) const;
+
+    /** True iff some buffer already holds a prediction for @p block. */
+    bool contains(Addr block) const;
+
+    /**
+     * The buffer to replace on a filter-based allocation (two-miss /
+     * always policies): the oldest-allocated buffer, preferring
+     * unallocated ones. Deliberately blind to hit activity — this is
+     * what lets stream thrashing evict productive streams, the
+     * behaviour confidence allocation fixes (paper §6: confidence
+     * "avoids replacing stream buffers that are receiving a lot of
+     * hits").
+     */
+    unsigned lruBuffer() const;
+
+    /** Buffer with the lowest priority counter (ties: least priority
+     *  then least-recently-hit), used by confidence allocation. */
+    unsigned minPriorityBuffer() const;
+
+    StreamBuffer &buffer(unsigned i) { return _buffers.at(i); }
+    const StreamBuffer &buffer(unsigned i) const { return _buffers.at(i); }
+    unsigned numBuffers() const { return unsigned(_buffers.size()); }
+
+    Addr blockAlign(Addr addr) const
+    {
+        return addr & ~Addr(_cfg.blockBytes - 1);
+    }
+
+    const StreamBufferConfig &config() const { return _cfg; }
+
+    /** Monotonic stamp source shared by owner policies. */
+    uint64_t nextStamp() { return ++_stamp; }
+
+  private:
+    StreamBufferConfig _cfg;
+    std::vector<StreamBuffer> _buffers;
+    uint64_t _stamp = 0;
+};
+
+} // namespace psb
+
+#endif // PSB_PREFETCH_STREAM_BUFFER_HH

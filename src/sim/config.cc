@@ -1,0 +1,97 @@
+#include "sim/config.hh"
+
+namespace psb
+{
+
+const char *
+prefetcherKindName(PrefetcherKind kind)
+{
+    switch (kind) {
+      case PrefetcherKind::None:         return "None";
+      case PrefetcherKind::PcStride:     return "PCStride";
+      case PrefetcherKind::Psb:          return "PSB";
+      case PrefetcherKind::Sequential:   return "Sequential";
+      case PrefetcherKind::NextLine:     return "NextLine";
+      case PrefetcherKind::MarkovDemand: return "MarkovDemand";
+      case PrefetcherKind::MinDelta:     return "MinDelta";
+    }
+    return "Unknown";
+}
+
+void
+SimConfig::harmonize()
+{
+    unsigned block = memory.l1d.blockBytes;
+    psb.buffers.blockBytes = block;
+    sfm.stride.blockBytes = block;
+    sfm.markov.blockBytes = block;
+    stride.blockBytes = block;
+}
+
+std::string
+SimConfig::label() const
+{
+    switch (prefetcher) {
+      case PrefetcherKind::None:
+        return "Base";
+      case PrefetcherKind::PcStride:
+        return "PCStride";
+      case PrefetcherKind::Psb:
+        return std::string(allocPolicyName(psb.alloc)) + "-" +
+               schedPolicyName(psb.sched);
+      default:
+        return prefetcherKindName(prefetcher);
+    }
+}
+
+const char *
+paperConfigName(PaperConfig cfg)
+{
+    switch (cfg) {
+      case PaperConfig::Base:              return "Base";
+      case PaperConfig::PcStride:          return "PCStride";
+      case PaperConfig::TwoMissRR:         return "2Miss-RR";
+      case PaperConfig::TwoMissPriority:   return "2Miss-Priority";
+      case PaperConfig::ConfAllocRR:       return "ConfAlloc-RR";
+      case PaperConfig::ConfAllocPriority: return "ConfAlloc-Priority";
+    }
+    return "Unknown";
+}
+
+SimConfig
+makePaperConfig(PaperConfig cfg)
+{
+    SimConfig sim;
+    switch (cfg) {
+      case PaperConfig::Base:
+        sim.prefetcher = PrefetcherKind::None;
+        break;
+      case PaperConfig::PcStride:
+        sim.prefetcher = PrefetcherKind::PcStride;
+        break;
+      case PaperConfig::TwoMissRR:
+        sim.prefetcher = PrefetcherKind::Psb;
+        sim.psb.alloc = AllocPolicy::TwoMiss;
+        sim.psb.sched = SchedPolicy::RoundRobin;
+        break;
+      case PaperConfig::TwoMissPriority:
+        sim.prefetcher = PrefetcherKind::Psb;
+        sim.psb.alloc = AllocPolicy::TwoMiss;
+        sim.psb.sched = SchedPolicy::Priority;
+        break;
+      case PaperConfig::ConfAllocRR:
+        sim.prefetcher = PrefetcherKind::Psb;
+        sim.psb.alloc = AllocPolicy::Confidence;
+        sim.psb.sched = SchedPolicy::RoundRobin;
+        break;
+      case PaperConfig::ConfAllocPriority:
+        sim.prefetcher = PrefetcherKind::Psb;
+        sim.psb.alloc = AllocPolicy::Confidence;
+        sim.psb.sched = SchedPolicy::Priority;
+        break;
+    }
+    sim.harmonize();
+    return sim;
+}
+
+} // namespace psb

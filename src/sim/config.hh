@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Top-level simulation configuration: core + memory + prefetcher
+ * selection. The defaults reproduce the paper's baseline machine
+ * (§5.1) with no prefetching; helpers build the six prefetching
+ * configurations evaluated in §6 (PCStride, and PSB with
+ * {2Miss, ConfAlloc} x {RR, Priority}).
+ */
+
+#ifndef PSB_SIM_CONFIG_HH
+#define PSB_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/psb.hh"
+#include "cpu/ooo_core.hh"
+#include "memory/hierarchy.hh"
+#include "predictors/sfm_predictor.hh"
+
+namespace psb
+{
+
+/** Which prefetcher sits beside the L1D. */
+enum class PrefetcherKind
+{
+    None,         ///< baseline, no prefetching
+    PcStride,     ///< Farkas et al. PC-stride stream buffers
+    Psb,          ///< predictor-directed stream buffers (SFM)
+    Sequential,   ///< Jouppi sequential stream buffers
+    NextLine,     ///< Smith next-line prefetching
+    MarkovDemand, ///< Joseph & Grunwald demand Markov prefetcher
+    MinDelta,     ///< Palacharla & Kessler minimum-delta buffers
+};
+
+const char *prefetcherKindName(PrefetcherKind kind);
+
+/** Everything needed to build one simulation. */
+struct SimConfig
+{
+    CoreConfig core;
+    MemoryConfig memory;
+
+    PrefetcherKind prefetcher = PrefetcherKind::None;
+    PsbConfig psb;              ///< policies for Psb/PcStride kinds
+    SfmConfig sfm;              ///< predictor for the Psb kind
+    StrideTableConfig stride;   ///< table for the PcStride kind
+    /**
+     * For the Psb kind: 0 directs the buffers with the SFM predictor
+     * (the paper's choice); k > 0 uses the order-k ContextPredictor
+     * instead (paper §2.2's higher-order comparison).
+     */
+    unsigned psbContextOrder = 0;
+
+    uint64_t warmupInstructions = 200'000;
+    uint64_t maxInstructions = 2'000'000;
+
+    /**
+     * Keep derived block sizes consistent: the stream buffers and
+     * prediction tables operate at the L1D line granularity.
+     */
+    void harmonize();
+
+    /** A short label like "ConfAlloc-Priority" or "PCStride". */
+    std::string label() const;
+};
+
+/** The paper's five prefetching configurations plus the baseline. */
+enum class PaperConfig
+{
+    Base,
+    PcStride,
+    TwoMissRR,
+    TwoMissPriority,
+    ConfAllocRR,
+    ConfAllocPriority,
+};
+
+/** All six, in the paper's figure order. */
+constexpr PaperConfig paperConfigs[] = {
+    PaperConfig::Base,
+    PaperConfig::PcStride,
+    PaperConfig::TwoMissRR,
+    PaperConfig::TwoMissPriority,
+    PaperConfig::ConfAllocRR,
+    PaperConfig::ConfAllocPriority,
+};
+
+const char *paperConfigName(PaperConfig cfg);
+
+/** Build a SimConfig for one of the paper's evaluated machines. */
+SimConfig makePaperConfig(PaperConfig cfg);
+
+} // namespace psb
+
+#endif // PSB_SIM_CONFIG_HH

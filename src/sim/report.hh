@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Human-readable summary of a SimResult, used by the examples and for
+ * quick interactive inspection. The bench harnesses print the paper's
+ * tables themselves from the raw fields.
+ */
+
+#ifndef PSB_SIM_REPORT_HH
+#define PSB_SIM_REPORT_HH
+
+#include <string>
+
+#include "sim/simulator.hh"
+
+namespace psb
+{
+
+/** Render a multi-line textual report for one simulation result. */
+std::string formatReport(const std::string &title, const SimResult &r);
+
+/** Print the report to stdout. */
+void printReport(const std::string &title, const SimResult &r);
+
+} // namespace psb
+
+#endif // PSB_SIM_REPORT_HH

@@ -1,0 +1,183 @@
+#include "sim/simulator.hh"
+
+#include "predictors/context_predictor.hh"
+#include "prefetch/markov_prefetcher.hh"
+#include "prefetch/min_delta_stream_buffers.hh"
+#include "prefetch/next_line_prefetcher.hh"
+#include "prefetch/sequential_stream_buffers.hh"
+#include "prefetch/stride_stream_buffers.hh"
+#include "util/logging.hh"
+
+namespace psb
+{
+
+namespace
+{
+
+/**
+ * Transparent prefetcher decorator that exposes the committed L1D
+ * load-miss stream to an observer (Figure 4 harness).
+ */
+class HookedPrefetcher : public Prefetcher
+{
+  public:
+    HookedPrefetcher(Prefetcher &inner,
+                     const std::function<void(Addr, Addr)> *hook)
+        : _inner(inner), _hook(hook)
+    {}
+
+    PrefetchLookup
+    lookup(Addr addr, Cycle now) override
+    {
+        return _inner.lookup(addr, now);
+    }
+
+    void
+    trainLoad(Addr pc, Addr addr, bool l1_miss,
+              bool store_forwarded) override
+    {
+        if (l1_miss && !store_forwarded && *_hook)
+            (*_hook)(pc, addr);
+        _inner.trainLoad(pc, addr, l1_miss, store_forwarded);
+    }
+
+    void
+    demandMiss(Addr pc, Addr addr, Cycle now) override
+    {
+        _inner.demandMiss(pc, addr, now);
+    }
+
+    void tick(Cycle now) override { _inner.tick(now); }
+    const PrefetcherStats &stats() const override { return _inner.stats(); }
+    void resetStats() override { _inner.resetStats(); }
+
+  private:
+    Prefetcher &_inner;
+    const std::function<void(Addr, Addr)> *_hook;
+};
+
+} // namespace
+
+Simulator::Simulator(const SimConfig &cfg, TraceSource &trace) : _cfg(cfg)
+{
+    _cfg.harmonize();
+    _hierarchy = std::make_unique<MemoryHierarchy>(_cfg.memory);
+
+    switch (_cfg.prefetcher) {
+      case PrefetcherKind::None:
+        _prefetcher = std::make_unique<NullPrefetcher>();
+        break;
+      case PrefetcherKind::PcStride:
+        _prefetcher = std::make_unique<StrideStreamBuffers>(
+            _cfg.psb.buffers, _cfg.stride, *_hierarchy);
+        break;
+      case PrefetcherKind::Psb: {
+        if (_cfg.psbContextOrder > 0) {
+            ContextConfig ctx;
+            ctx.stride = _cfg.sfm.stride;
+            ctx.entries = _cfg.sfm.markov.entries;
+            ctx.historyLength = _cfg.psbContextOrder;
+            auto pred = std::make_unique<ContextPredictor>(ctx);
+            _prefetcher =
+                std::make_unique<PredictorDirectedStreamBuffers>(
+                    _cfg.psb, *pred, *_hierarchy);
+            _predictor = std::move(pred);
+        } else {
+            auto sfm = std::make_unique<SfmPredictor>(_cfg.sfm);
+            _prefetcher =
+                std::make_unique<PredictorDirectedStreamBuffers>(
+                    _cfg.psb, *sfm, *_hierarchy);
+            _predictor = std::move(sfm);
+        }
+        break;
+      }
+      case PrefetcherKind::Sequential:
+        _prefetcher = std::make_unique<SequentialStreamBuffers>(
+            _cfg.psb.buffers, *_hierarchy);
+        break;
+      case PrefetcherKind::NextLine:
+        _prefetcher = std::make_unique<NextLinePrefetcher>(*_hierarchy);
+        break;
+      case PrefetcherKind::MarkovDemand: {
+        MarkovTableConfig table;
+        table.blockBytes = _cfg.memory.l1d.blockBytes;
+        _prefetcher = std::make_unique<MarkovPrefetcher>(*_hierarchy,
+                                                         table);
+        break;
+      }
+      case PrefetcherKind::MinDelta: {
+        MinDeltaConfig table;
+        table.blockBytes = _cfg.memory.l1d.blockBytes;
+        _prefetcher = std::make_unique<MinDeltaStreamBuffers>(
+            _cfg.psb.buffers, table, *_hierarchy);
+        break;
+      }
+    }
+
+    _hookWrapper =
+        std::make_unique<HookedPrefetcher>(*_prefetcher, &_missHook);
+    _core = std::make_unique<OoOCore>(_cfg.core, *_hierarchy,
+                                      *_hookWrapper, trace);
+}
+
+Simulator::~Simulator() = default;
+
+void
+Simulator::setMissHook(std::function<void(Addr, Addr)> hook)
+{
+    _missHook = std::move(hook);
+}
+
+void
+Simulator::resetAllStats()
+{
+    _core->resetStats();
+    _hierarchy->resetStats();
+    _prefetcher->resetStats();
+}
+
+SimResult
+Simulator::run()
+{
+    while (!_core->done() &&
+           _core->stats().instructions < _cfg.warmupInstructions) {
+        _core->tick(_now);
+        _hookWrapper->tick(_now);
+        ++_now;
+    }
+
+    resetAllStats();
+
+    while (!_core->done() &&
+           _core->stats().instructions < _cfg.maxInstructions) {
+        _core->tick(_now);
+        _hookWrapper->tick(_now);
+        ++_now;
+    }
+
+    return gather();
+}
+
+SimResult
+Simulator::gather() const
+{
+    SimResult r;
+    r.core = _core->stats();
+    r.memory = _hierarchy->stats();
+    r.prefetch = _prefetcher->stats();
+    r.tlbMisses = _hierarchy->dtlb().misses();
+
+    r.ipc = r.core.ipc();
+    r.l1dMissRate = r.core.l1dMissRate();
+    r.avgLoadLatency = r.core.loadLatency.mean();
+    r.prefetchAccuracy = r.prefetch.accuracy();
+
+    uint64_t cycles = r.core.cycles;
+    r.l1L2BusUtil = ratio(_hierarchy->l1L2Bus().busyCycles(), cycles);
+    r.l2MemBusUtil = ratio(_hierarchy->l2MemBus().busyCycles(), cycles);
+    r.pctLoads = percent(r.core.loads, r.core.instructions);
+    r.pctStores = percent(r.core.stores, r.core.instructions);
+    return r;
+}
+
+} // namespace psb

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The top-level simulator: assembles memory hierarchy, predictor,
+ * prefetcher, and out-of-order core around a trace source, runs the
+ * warm-up and measurement phases, and collects a SimResult with every
+ * number the paper's tables and figures report.
+ */
+
+#ifndef PSB_SIM_SIMULATOR_HH
+#define PSB_SIM_SIMULATOR_HH
+
+#include <functional>
+#include <memory>
+
+#include "sim/config.hh"
+#include "trace/trace_source.hh"
+
+namespace psb
+{
+
+/** Everything the bench harnesses read out of one simulation. */
+struct SimResult
+{
+    CoreStats core;
+    HierarchyStats memory;
+    PrefetcherStats prefetch;
+
+    uint64_t tlbMisses = 0;
+
+    double ipc = 0.0;
+    double l1dMissRate = 0.0;       ///< in-flight counts as miss (§6)
+    double avgLoadLatency = 0.0;    ///< Figure 8
+    double prefetchAccuracy = 0.0;  ///< Figure 6
+    double l1L2BusUtil = 0.0;       ///< Figure 9, left axis
+    double l2MemBusUtil = 0.0;      ///< Figure 9, right axis
+    double pctLoads = 0.0;          ///< Table 2
+    double pctStores = 0.0;         ///< Table 2
+};
+
+/** See file comment. */
+class Simulator
+{
+  public:
+    /**
+     * @param cfg Machine configuration (harmonize() is applied).
+     * @param trace Instruction stream to execute (not owned).
+     */
+    Simulator(const SimConfig &cfg, TraceSource &trace);
+    ~Simulator();
+
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /**
+     * Run warm-up (stats discarded) then the measurement region.
+     * @return Aggregated results of the measurement region.
+     */
+    SimResult run();
+
+    /**
+     * Observe the committed L1D load-miss stream (PC, address) during
+     * run(); used by the Figure 4 harness to analyse Markov deltas.
+     */
+    void setMissHook(std::function<void(Addr, Addr)> hook);
+
+    MemoryHierarchy &hierarchy() { return *_hierarchy; }
+    Prefetcher &prefetcher() { return *_prefetcher; }
+    OoOCore &core() { return *_core; }
+    const SimConfig &config() const { return _cfg; }
+
+  private:
+    void resetAllStats();
+    SimResult gather() const;
+
+    SimConfig _cfg;
+    std::unique_ptr<MemoryHierarchy> _hierarchy;
+    std::unique_ptr<AddressPredictor> _predictor; ///< PSB kind only
+    std::unique_ptr<Prefetcher> _prefetcher;
+    std::unique_ptr<Prefetcher> _hookWrapper;
+    std::unique_ptr<OoOCore> _core;
+    std::function<void(Addr, Addr)> _missHook;
+    Cycle _now = 0;
+};
+
+} // namespace psb
+
+#endif // PSB_SIM_SIMULATOR_HH

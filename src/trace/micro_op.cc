@@ -1,0 +1,24 @@
+#include "trace/micro_op.hh"
+
+namespace psb
+{
+
+const char *
+opClassName(OpClass op)
+{
+    switch (op) {
+      case OpClass::IntAlu:  return "IntAlu";
+      case OpClass::IntMult: return "IntMult";
+      case OpClass::IntDiv:  return "IntDiv";
+      case OpClass::FpAdd:   return "FpAdd";
+      case OpClass::FpMult:  return "FpMult";
+      case OpClass::FpDiv:   return "FpDiv";
+      case OpClass::Load:    return "Load";
+      case OpClass::Store:   return "Store";
+      case OpClass::Branch:  return "Branch";
+      case OpClass::Nop:     return "Nop";
+    }
+    return "Unknown";
+}
+
+} // namespace psb

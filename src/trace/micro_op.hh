@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The dynamic instruction record consumed by the timing model.
+ *
+ * The paper's simulator was execution-driven over Alpha binaries; this
+ * reproduction is trace-driven: synthetic workloads (src/workloads) run
+ * real algorithms over a simulated heap and emit a stream of MicroOps
+ * carrying exactly the information the out-of-order core and the
+ * prefetchers need — PC, operation class, register dependences, effective
+ * address, and branch outcome. See DESIGN.md §4 for the substitution
+ * rationale.
+ */
+
+#ifndef PSB_TRACE_MICRO_OP_HH
+#define PSB_TRACE_MICRO_OP_HH
+
+#include <cstdint>
+
+namespace psb
+{
+
+/** Simulated virtual address. */
+using Addr = uint64_t;
+
+/** Simulation cycle count. */
+using Cycle = uint64_t;
+
+/** Operation classes, mirroring the baseline's functional-unit pool. */
+enum class OpClass : uint8_t
+{
+    IntAlu,   ///< 1-cycle integer op (8 units)
+    IntMult,  ///< 3-cycle integer multiply (2 units)
+    IntDiv,   ///< 12-cycle integer divide (unpipelined)
+    FpAdd,    ///< 2-cycle FP add (2 units)
+    FpMult,   ///< 4-cycle FP multiply (2 units)
+    FpDiv,    ///< 12-cycle FP divide (unpipelined)
+    Load,     ///< memory read through L1D + stream buffers (4 ld/st units)
+    Store,    ///< memory write (4 ld/st units)
+    Branch,   ///< conditional or unconditional control transfer
+    Nop,      ///< consumes a fetch/commit slot only
+};
+
+/** Number of distinct OpClass values. */
+constexpr unsigned numOpClasses = 10;
+
+/** Architectural register namespace used by the trace generators. */
+constexpr uint8_t numArchRegs = 64;
+
+/** Sentinel meaning "no register operand". */
+constexpr uint8_t regNone = 0xff;
+
+/**
+ * One dynamic instruction. Workloads assign PCs from a per-routine
+ * static code layout so that PC-indexed structures (the stride table,
+ * gshare) behave as they would on a real binary.
+ */
+struct MicroOp
+{
+    Addr pc = 0;           ///< instruction address
+    OpClass op = OpClass::Nop;
+    uint8_t dst = regNone; ///< destination register
+    uint8_t src1 = regNone;
+    uint8_t src2 = regNone;
+    Addr effAddr = 0;      ///< effective address (Load/Store)
+    uint8_t memSize = 8;   ///< access size in bytes (Load/Store)
+    bool taken = false;    ///< branch outcome (Branch)
+    Addr target = 0;       ///< branch target (Branch)
+
+    bool isLoad() const { return op == OpClass::Load; }
+    bool isStore() const { return op == OpClass::Store; }
+    bool isMem() const { return isLoad() || isStore(); }
+    bool isBranch() const { return op == OpClass::Branch; }
+};
+
+/** Human-readable name of an op class (for traces and test output). */
+const char *opClassName(OpClass op);
+
+} // namespace psb
+
+#endif // PSB_TRACE_MICRO_OP_HH

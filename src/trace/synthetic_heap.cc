@@ -1,0 +1,51 @@
+#include "trace/synthetic_heap.hh"
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace psb
+{
+
+namespace
+{
+/// Cache block size assumed for scatter displacement granularity.
+constexpr uint64_t scatterGranule = 32;
+} // namespace
+
+SyntheticHeap::SyntheticHeap(Addr base, unsigned scatter_blocks,
+                             uint64_t seed)
+    : _top(base), _scatterBlocks(scatter_blocks), _rng(seed)
+{
+}
+
+Addr
+SyntheticHeap::alloc(uint64_t size, uint64_t align)
+{
+    psb_assert(size > 0, "zero-size allocation");
+    psb_assert(isPowerOf2(align), "alignment must be a power of two");
+
+    auto it = _freeLists.find(size);
+    if (it != _freeLists.end() && !it->second.empty()) {
+        Addr addr = it->second.back();
+        it->second.pop_back();
+        ++_recycled;
+        return addr;
+    }
+
+    if (_scatterBlocks > 0)
+        _top += _rng.below(_scatterBlocks) * scatterGranule;
+
+    _top = (_top + align - 1) & ~(align - 1);
+    Addr addr = _top;
+    _top += size;
+    _bytesAllocated += size;
+    return addr;
+}
+
+void
+SyntheticHeap::free(Addr addr, uint64_t size)
+{
+    _freeLists[size].push_back(addr);
+}
+
+} // namespace psb

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * A simulated heap: allocates *addresses* (no backing storage) in the
+ * workload's virtual address space. Pointer-intensive workloads build
+ * their data structures out of nodes whose fields live at these
+ * addresses, so the load/store streams they emit have the layout
+ * properties real allocators produce — sequentially allocated nodes are
+ * near one another, freed-and-reallocated nodes recycle addresses, and
+ * an optional scatter mode breaks spatial locality the way a long-lived
+ * fragmented heap does.
+ */
+
+#ifndef PSB_TRACE_SYNTHETIC_HEAP_HH
+#define PSB_TRACE_SYNTHETIC_HEAP_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "trace/micro_op.hh"
+#include "util/random.hh"
+
+namespace psb
+{
+
+/**
+ * Deterministic address allocator with optional fragmentation.
+ *
+ * Three behaviours matter for prefetcher studies and are modelled here:
+ *  - bump allocation (malloc-like): consecutive allocations are
+ *    adjacent, giving pointer chains an incidental stride;
+ *  - free lists: freed blocks are recycled LIFO per size class, the
+ *    source of the paper's "abundance of short lived heap objects"
+ *    behaviour (deltablue);
+ *  - scatter: each allocation is displaced by a random multiple of the
+ *    cache block size, destroying incidental strides so only a Markov
+ *    predictor can follow the resulting chains.
+ */
+class SyntheticHeap
+{
+  public:
+    /**
+     * @param base First address handed out (default well above null
+     *             and the synthetic code segment).
+     * @param scatter_blocks If non-zero, each fresh allocation is
+     *             displaced by a random amount in [0, scatter_blocks)
+     *             cache blocks.
+     * @param seed PRNG seed for scatter displacement.
+     */
+    explicit SyntheticHeap(Addr base = 0x10000000,
+                           unsigned scatter_blocks = 0,
+                           uint64_t seed = 12345);
+
+    /**
+     * Allocate @p size bytes aligned to @p align (power of two).
+     * Recycles a freed block of the same size class when available.
+     */
+    Addr alloc(uint64_t size, uint64_t align = 8);
+
+    /** Return a block to the size-class free list for recycling. */
+    void free(Addr addr, uint64_t size);
+
+    /** Total bytes of fresh (non-recycled) allocations. */
+    uint64_t bytesAllocated() const { return _bytesAllocated; }
+
+    /** Current bump-pointer position. */
+    Addr top() const { return _top; }
+
+    /** Number of allocations satisfied from a free list. */
+    uint64_t recycledCount() const { return _recycled; }
+
+  private:
+    Addr _top;
+    unsigned _scatterBlocks;
+    Xorshift64 _rng;
+    uint64_t _bytesAllocated = 0;
+    uint64_t _recycled = 0;
+    /** size class -> LIFO free list of addresses. */
+    std::map<uint64_t, std::vector<Addr>> _freeLists;
+};
+
+} // namespace psb
+
+#endif // PSB_TRACE_SYNTHETIC_HEAP_HH

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Interface between workloads and the timing model: a pull-based stream
+ * of MicroOps. The core fetches ops one at a time; a source that runs
+ * dry ends the simulation region.
+ */
+
+#ifndef PSB_TRACE_TRACE_SOURCE_HH
+#define PSB_TRACE_TRACE_SOURCE_HH
+
+#include "trace/micro_op.hh"
+
+namespace psb
+{
+
+/** Abstract producer of a dynamic instruction stream. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next dynamic instruction.
+     *
+     * @param op Filled in on success.
+     * @retval true an op was produced; false the stream has ended.
+     */
+    virtual bool next(MicroOp &op) = 0;
+};
+
+} // namespace psb
+
+#endif // PSB_TRACE_TRACE_SOURCE_HH

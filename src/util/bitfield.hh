@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared by the cache, predictor, and
+ * prefetcher tables.
+ */
+
+#ifndef PSB_UTIL_BITFIELD_HH
+#define PSB_UTIL_BITFIELD_HH
+
+#include <cstdint>
+
+namespace psb
+{
+
+/** True iff @p v is a non-zero power of two. */
+constexpr bool
+isPowerOf2(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** floor(log2(v)); returns 0 for v == 0 or 1. */
+constexpr unsigned
+floorLog2(uint64_t v)
+{
+    unsigned result = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++result;
+    }
+    return result;
+}
+
+/** ceil(log2(v)). */
+constexpr unsigned
+ceilLog2(uint64_t v)
+{
+    return isPowerOf2(v) ? floorLog2(v) : floorLog2(v) + 1;
+}
+
+/** A mask with the low @p bits set. */
+constexpr uint64_t
+mask(unsigned bits)
+{
+    return bits >= 64 ? ~uint64_t(0) : (uint64_t(1) << bits) - 1;
+}
+
+/** Sign-extend the low @p bits of @p v to 64 bits. */
+constexpr int64_t
+signExtend(uint64_t v, unsigned bits)
+{
+    const uint64_t sign_bit = uint64_t(1) << (bits - 1);
+    const uint64_t m = mask(bits);
+    v &= m;
+    return (v & sign_bit) ? int64_t(v | ~m) : int64_t(v);
+}
+
+/** True iff the signed value @p v is representable in @p bits bits. */
+constexpr bool
+fitsSigned(int64_t v, unsigned bits)
+{
+    if (bits >= 64)
+        return true;
+    const int64_t lo = -(int64_t(1) << (bits - 1));
+    const int64_t hi = (int64_t(1) << (bits - 1)) - 1;
+    return v >= lo && v <= hi;
+}
+
+} // namespace psb
+
+#endif // PSB_UTIL_BITFIELD_HH

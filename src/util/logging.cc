@@ -1,0 +1,61 @@
+#include "util/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace psb
+{
+
+namespace
+{
+
+void
+vreport(FILE *stream, const char *prefix, const char *fmt, va_list args)
+{
+    std::fprintf(stream, "%s", prefix);
+    std::vfprintf(stream, fmt, args);
+    std::fprintf(stream, "\n");
+    std::fflush(stream);
+}
+
+} // namespace
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport(stderr, "panic: ", fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport(stderr, "fatal: ", fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport(stderr, "warn: ", fmt, args);
+    va_end(args);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport(stdout, "info: ", fmt, args);
+    va_end(args);
+}
+
+} // namespace psb

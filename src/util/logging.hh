@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Error-reporting and status-message helpers, in the spirit of gem5's
+ * base/logging.hh.
+ *
+ * panic()  — an internal invariant was violated (a simulator bug);
+ *            aborts so a debugger or core dump can be attached.
+ * fatal()  — the simulation cannot continue because of a user error
+ *            (bad configuration, invalid argument); exits with code 1.
+ * warn()   — something is modelled approximately but the run continues.
+ * inform() — plain status output.
+ */
+
+#ifndef PSB_UTIL_LOGGING_HH
+#define PSB_UTIL_LOGGING_HH
+
+#include <cstdarg>
+
+namespace psb
+{
+
+/** Print a formatted message prefixed with "panic:" and abort(). */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a formatted message prefixed with "fatal:" and exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a formatted warning to stderr and continue. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a formatted status message to stdout. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Assert-like macro that survives NDEBUG builds. Use for simulator
+ * invariants whose violation means the model itself is broken.
+ */
+#define psb_assert(cond, ...)                                            \
+    do {                                                                 \
+        if (!(cond)) {                                                   \
+            ::psb::panic("assertion '%s' failed at %s:%d", #cond,        \
+                         __FILE__, __LINE__);                            \
+        }                                                                \
+    } while (0)
+
+} // namespace psb
+
+#endif // PSB_UTIL_LOGGING_HH

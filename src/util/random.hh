@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator used by the synthetic
+ * workloads and the property tests. A fixed, seedable generator keeps
+ * every simulation and test bit-reproducible across runs and platforms
+ * (std::mt19937 would also work, but xorshift* is cheaper and the
+ * workloads draw a lot of numbers).
+ */
+
+#ifndef PSB_UTIL_RANDOM_HH
+#define PSB_UTIL_RANDOM_HH
+
+#include <cstdint>
+
+namespace psb
+{
+
+/** xorshift64* PRNG (Marsaglia / Vigna). Period 2^64 - 1. */
+class Xorshift64
+{
+  public:
+    explicit Xorshift64(uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : _state(seed ? seed : 0x9e3779b97f4a7c15ull)
+    {}
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        _state ^= _state >> 12;
+        _state ^= _state << 25;
+        _state ^= _state >> 27;
+        return _state * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform value in [0, bound). @p bound must be non-zero. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    uint64_t
+    range(uint64_t lo, uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Bernoulli draw: true with probability @p percent / 100. */
+    bool
+    percentChance(unsigned percent)
+    {
+        return below(100) < percent;
+    }
+
+  private:
+    uint64_t _state;
+};
+
+} // namespace psb
+
+#endif // PSB_UTIL_RANDOM_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Saturating counter, the basic building block of the paper's confidence
+ * mechanisms (accuracy counters saturate at 7, stream-buffer priority
+ * counters at 12) and of two-bit branch-predictor state.
+ */
+
+#ifndef PSB_UTIL_SAT_COUNTER_HH
+#define PSB_UTIL_SAT_COUNTER_HH
+
+#include <cstdint>
+
+#include "util/logging.hh"
+
+namespace psb
+{
+
+/**
+ * An unsigned saturating counter in [0, max].
+ *
+ * Increments and decrements clamp at the bounds instead of wrapping.
+ * Arbitrary step sizes are supported because the paper's priority
+ * counters are incremented by 2 on a stream-buffer hit but aged by 1.
+ */
+class SatCounter
+{
+  public:
+    SatCounter() = default;
+
+    /**
+     * @param max Saturation ceiling (inclusive).
+     * @param initial Starting value, clamped to [0, max].
+     */
+    explicit SatCounter(uint32_t max, uint32_t initial = 0)
+        : _max(max), _value(initial > max ? max : initial)
+    {
+        psb_assert(max > 0, "saturating counter needs max > 0");
+    }
+
+    /** Current counter value. */
+    uint32_t value() const { return _value; }
+
+    /** Saturation ceiling. */
+    uint32_t max() const { return _max; }
+
+    /** True when the counter sits at its ceiling. */
+    bool saturated() const { return _value == _max; }
+
+    /** Add @p step, clamping at the ceiling. */
+    void
+    increment(uint32_t step = 1)
+    {
+        uint32_t headroom = _max - _value;
+        _value += (step < headroom) ? step : headroom;
+    }
+
+    /** Subtract @p step, clamping at zero. */
+    void
+    decrement(uint32_t step = 1)
+    {
+        _value -= (step < _value) ? step : _value;
+    }
+
+    /** Force the counter to @p v, clamped to [0, max]. */
+    void set(uint32_t v) { _value = (v > _max) ? _max : v; }
+
+    /** Reset to zero. */
+    void reset() { _value = 0; }
+
+  private:
+    uint32_t _max = 1;
+    uint32_t _value = 0;
+};
+
+} // namespace psb
+
+#endif // PSB_UTIL_SAT_COUNTER_HH

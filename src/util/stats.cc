@@ -1,0 +1,28 @@
+#include "util/stats.hh"
+
+namespace psb
+{
+
+double
+Histogram::cdfAt(uint64_t v) const
+{
+    if (_total == 0)
+        return 0.0;
+    uint64_t acc = 0;
+    size_t limit = (v < _buckets.size() - 1) ? size_t(v) : _buckets.size() - 2;
+    for (size_t i = 0; i <= limit; ++i)
+        acc += _buckets[i];
+    if (v >= _buckets.size() - 1)
+        acc += _buckets.back();
+    return double(acc) / double(_total);
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : _buckets)
+        b = 0;
+    _total = 0;
+}
+
+} // namespace psb

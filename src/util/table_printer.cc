@@ -1,0 +1,72 @@
+#include "util/table_printer.hh"
+
+#include <cstdio>
+#include <sstream>
+
+namespace psb
+{
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    _rows.push_back(std::move(cells));
+}
+
+std::string
+TablePrinter::fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TablePrinter::fmt(uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu", (unsigned long long)v);
+    return buf;
+}
+
+std::string
+TablePrinter::str() const
+{
+    if (_rows.empty())
+        return "";
+
+    size_t cols = 0;
+    for (const auto &row : _rows)
+        cols = std::max(cols, row.size());
+
+    std::vector<size_t> widths(cols, 0);
+    for (const auto &row : _rows) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::ostringstream out;
+    for (size_t r = 0; r < _rows.size(); ++r) {
+        const auto &row = _rows[r];
+        for (size_t c = 0; c < row.size(); ++c) {
+            out << row[c];
+            if (c + 1 < row.size())
+                out << std::string(widths[c] - row[c].size() + 2, ' ');
+        }
+        out << "\n";
+        if (r == 0) {
+            size_t line = 0;
+            for (size_t c = 0; c < cols; ++c)
+                line += widths[c] + (c + 1 < cols ? 2 : 0);
+            out << std::string(line, '-') << "\n";
+        }
+    }
+    return out.str();
+}
+
+void
+TablePrinter::print() const
+{
+    std::fputs(str().c_str(), stdout);
+}
+
+} // namespace psb

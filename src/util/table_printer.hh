@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Column-aligned ASCII table output used by the bench harnesses to
+ * print the paper's tables and figure series in a diff-friendly way.
+ */
+
+#ifndef PSB_UTIL_TABLE_PRINTER_HH
+#define PSB_UTIL_TABLE_PRINTER_HH
+
+#include <string>
+#include <vector>
+
+namespace psb
+{
+
+/**
+ * Accumulates rows of string cells and prints them with columns padded
+ * to the widest cell. The first row added is treated as the header and
+ * underlined on output.
+ */
+class TablePrinter
+{
+  public:
+    /** Add a row of cells. All rows should have the same arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p precision decimals. */
+    static std::string fmt(double v, int precision = 2);
+
+    /** Convenience: format an unsigned integer. */
+    static std::string fmt(uint64_t v);
+
+    /** Render the table to a string. */
+    std::string str() const;
+
+    /** Print the table to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::vector<std::string>> _rows;
+};
+
+} // namespace psb
+
+#endif // PSB_UTIL_TABLE_PRINTER_HH

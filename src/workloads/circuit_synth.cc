@@ -1,0 +1,127 @@
+#include "workloads/circuit_synth.hh"
+
+#include "util/logging.hh"
+
+namespace psb
+{
+
+CircuitSynth::CircuitSynth() : CircuitSynth(Params{}) {}
+
+CircuitSynth::CircuitSynth(const Params &params)
+    : _params(params),
+      _heap(0x50000000, /*scatter_blocks=*/0, params.seed),
+      _rng(params.seed * 0x515u + 23)
+{
+    _frame = _heap.alloc(256, 64);
+    _gates.resize(_params.numNodes);
+    for (auto &g : _gates) {
+        g.addr = _heap.alloc(gateBytes, 64);
+        g.type = unsigned(_rng.below(_params.routineVariants));
+    }
+    // Fanin edges are drawn from a locality window: transitions are
+    // briefly Markov-learnable, which is what lets unstable pointer
+    // streams pass the naive two-miss filter and thrash the buffers.
+    for (auto &g : _gates) {
+        g.fanin.reserve(_params.faninsPerNode);
+        for (unsigned i = 0; i < _params.faninsPerNode; ++i)
+            g.fanin.push_back(pickFanin());
+    }
+    // One cube-table region per routine variant: the per-routine data
+    // each "software-pipelined" optimisation loop streams through.
+    _regions.resize(_params.routineVariants);
+    _regionCursor.assign(_params.routineVariants, 0);
+    for (auto &r : _regions)
+        r = _heap.alloc(_params.regionBytes, 64);
+}
+
+void
+CircuitSynth::visitGate(unsigned gi)
+{
+    constexpr uint8_t r_gate = 1;
+    constexpr uint8_t r_fan = 2;
+    constexpr uint8_t r_val = 3;
+    constexpr uint8_t r_acc = 4;
+    constexpr uint8_t r_cube = 5;
+
+    Gate &g = _gates[gi];
+
+    // Each gate type executes a different static routine — the paper's
+    // sis has "large amounts of missing loads" spread over many PCs,
+    // which is what drives stream thrashing: there are far more
+    // candidate streams than the eight stream buffers.
+    Addr routine = pcBase + Addr(g.type) * 0x100;  // distinct sets via hashed stride-table index
+
+    // The shared sweep over the gate array (one PC, clean stride).
+    emitLoad(pcBase + 0x00, r_gate, g.addr + 0, r_gate);
+    emitLoad(pcBase + 0x04, r_val, g.addr + 16, r_gate);
+    emitAlu(pcBase + 0x08, r_acc, r_val, r_acc);
+
+    // The routine's cube-table stream: every variant walks its own
+    // region with unit stride. Dozens of concurrent stride streams
+    // compete for 8 buffers — naive allocation thrashes, confidence
+    // keeps the productive ones.
+    Addr cube = _regions[g.type] + _regionCursor[g.type];
+    _regionCursor[g.type] =
+        (_regionCursor[g.type] + 32) % _params.regionBytes;
+    emitLoad(routine + 0x10, r_cube, cube, r_cube);
+    emitAlu(routine + 0x14, r_acc, r_acc, r_cube);
+    emitLoad(routine + 0x18, r_cube, cube + 8, r_cube);
+    emitAlu(routine + 0x1c, r_acc, r_acc, r_cube);
+
+    // Fanin walk (pointer component): gate records reached through
+    // edges that the optimiser keeps rewiring — briefly predictable,
+    // then stale. Serialised through r_fan.
+    for (size_t i = 0; i < g.fanin.size(); ++i) {
+        const Gate &src = _gates[g.fanin[i]];
+        emitLoad(routine + 0x20 + 8 * Addr(i), r_fan,
+                 src.addr + 8, r_fan);
+        emitAlu(routine + 0x24 + 8 * Addr(i), r_acc, r_acc, r_fan);
+    }
+
+    // Locals: hot, L1-resident.
+    emitLoad(routine + 0x48, r_val, _frame + 8 * (gi & 7), r_val);
+    emitAlu(routine + 0x4c, r_acc, r_acc, r_val);
+    emitStore(routine + 0x50, g.addr + 24, r_acc, r_gate);
+    emitStore(routine + 0x54, _frame + 8 * (gi & 7), r_acc, r_gate);
+    emitAlu(routine + 0x58, r_val, r_acc);
+    emitBranch(routine + 0x5c, (gi & 7) != 0, routine + 0x00, r_acc);
+}
+
+void
+CircuitSynth::rewireSome()
+{
+    // Local optimisation changes the netlist: a slice of fanin edges
+    // is redirected, so the just-learned Markov transitions for those
+    // streams go stale.
+    _faninWindow = unsigned(_rng.below(_gates.size()));
+    unsigned count = unsigned(_gates.size()) / 12;
+    for (unsigned i = 0; i < count; ++i) {
+        Gate &g = _gates[_rng.below(_gates.size())];
+        unsigned slot = unsigned(_rng.below(g.fanin.size()));
+        g.fanin[slot] = pickFanin();
+    }
+}
+
+unsigned
+CircuitSynth::pickFanin()
+{
+    // Draw from a sliding 1K-gate neighbourhood so the transition set
+    // is small enough for the Markov table to learn between rewires.
+    unsigned window = 1024;
+    return (_faninWindow + unsigned(_rng.below(window))) %
+        unsigned(_gates.size());
+}
+
+bool
+CircuitSynth::step()
+{
+    visitGate(unsigned(_cursor));
+    _cursor = (_cursor + 1) % _gates.size();
+    if (++_sinceRewire >= _params.rewireInterval) {
+        _sinceRewire = 0;
+        rewireSome();
+    }
+    return true;
+}
+
+} // namespace psb

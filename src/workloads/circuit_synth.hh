@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Analog of "sis" (synthesis of synchronous/asynchronous circuits,
+ * input "simplify"; ~172k lines with "a good deal of pointer
+ * arithmetic"): a large gate-level netlist is repeatedly optimised.
+ * Each pass sweeps the node array (strided) while visiting every
+ * node's fanin gates through pointers (scattered), with the node
+ * body dispatched across many distinct static routines.
+ *
+ * Behavioural properties preserved — this is the paper's stream
+ * thrashing stress case:
+ *  - a very large number of distinct missing load PCs (the node body
+ *    is spread over `routineVariants` synthetic code addresses), so
+ *    allocation requests hammer the eight stream buffers;
+ *  - fanin edges are rewired on a schedule, so a stream that was
+ *    briefly predictable goes cold — naive two-miss allocation keeps
+ *    stealing buffers for doomed streams (paper: 2Miss degrades sis),
+ *    while confidence allocation keeps the stable sweep streams;
+ *  - footprint above the L2 (~1.3 MB), giving real memory traffic.
+ */
+
+#ifndef PSB_WORKLOADS_CIRCUIT_SYNTH_HH
+#define PSB_WORKLOADS_CIRCUIT_SYNTH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace psb
+{
+
+/** See file comment. */
+class CircuitSynth : public Workload
+{
+  public:
+    /** Sizing knobs (defaults give a ~1.3 MB working set). */
+    struct Params
+    {
+        unsigned numNodes = 6000;
+        unsigned faninsPerNode = 3;
+        unsigned routineVariants = 20; ///< distinct load-PC groups
+        unsigned rewireInterval = 3000; ///< node visits between rewires
+        unsigned regionBytes = 28 * 1024;   ///< per-routine cube table
+        uint64_t seed = 1;
+    };
+
+    CircuitSynth();
+    explicit CircuitSynth(const Params &params);
+
+    const char *name() const override { return "sis"; }
+
+  protected:
+    bool step() override;
+
+  private:
+    struct Gate
+    {
+        Addr addr = 0;
+        std::vector<unsigned> fanin;
+        unsigned type = 0; ///< selects the routine variant
+    };
+
+    void visitGate(unsigned g);
+    void rewireSome();
+    unsigned pickFanin();
+
+    Params _params;
+    SyntheticHeap _heap;
+    Xorshift64 _rng;
+    std::vector<Gate> _gates;
+    std::vector<Addr> _regions;       ///< per-variant cube tables
+    std::vector<Addr> _regionCursor;
+    size_t _cursor = 0;
+    unsigned _sinceRewire = 0;
+    unsigned _faninWindow = 0;
+    Addr _frame = 0; ///< hot activation record, L1-resident
+
+    static constexpr Addr pcBase = 0x00800000;
+    static constexpr unsigned gateBytes = 64;
+};
+
+} // namespace psb
+
+#endif // PSB_WORKLOADS_CIRCUIT_SYNTH_HH

@@ -1,0 +1,165 @@
+#include "workloads/constraint_solver.hh"
+
+#include <utility>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace psb
+{
+
+ConstraintSolver::ConstraintSolver() : ConstraintSolver(Params{}) {}
+
+ConstraintSolver::ConstraintSolver(const Params &params)
+    : _params(params),
+      _heap(0x30000000, /*scatter_blocks=*/40, params.seed),
+      _rng(params.seed * 0xdb1u + 7)
+{
+    _frame = _heap.alloc(256, 64);
+    _plan = _heap.alloc(_params.planBytes, 64);
+    _variables.resize(_params.numVariables);
+    for (auto &v : _variables)
+        v.addr = _heap.alloc(variableBytes, 32);
+
+    // Fixed chains partitioning the variables: the dataflow paths the
+    // solver repeatedly propagates along. Each variable sits at one
+    // chain position (a variable has one determining constraint), so
+    // every block has a single successor in the walk — the stable,
+    // recurring, non-strided miss sequence a Markov predictor learns.
+    std::vector<unsigned> order(_variables.size());
+    for (unsigned i = 0; i < order.size(); ++i)
+        order[i] = i;
+    for (size_t i = order.size(); i > 1; --i)
+        std::swap(order[i - 1], order[_rng.below(i)]);
+
+    unsigned num_chains = _params.numVariables / _params.chainLength;
+    if (num_chains == 0)
+        num_chains = 1;
+    _chains.resize(num_chains);
+    size_t pos = 0;
+    for (auto &chain : _chains) {
+        chain.reserve(_params.chainLength);
+        for (unsigned i = 0;
+             i < _params.chainLength && pos < order.size(); ++i)
+            chain.push_back(order[pos++]);
+    }
+}
+
+void
+ConstraintSolver::allocBatch()
+{
+    constexpr uint8_t r_obj = 1;
+    constexpr uint8_t r_tmp = 2;
+
+    // new Constraint(...) x batch: short-lived heap objects. The heap
+    // free list recycles last round's addresses.
+    for (unsigned i = 0; i < _params.batchConstraints; ++i) {
+        Constraint c;
+        c.addr = _heap.alloc(constraintBytes, 32);
+        _batch.push_back(c);
+        emitAlu(pcBase + 0x00, r_obj);
+        emitStore(pcBase + 0x04, c.addr + 0, r_obj, r_obj);
+        emitStore(pcBase + 0x08, c.addr + 8, r_tmp, r_obj);
+        emitStore(pcBase + 0x0c, c.addr + 24, r_tmp, r_obj);
+        emitAlu(pcBase + 0x10, r_tmp, r_obj);
+        emitBranch(pcBase + 0x14, i + 1 < _params.batchConstraints,
+                   pcBase + 0x00, r_tmp);
+    }
+}
+
+void
+ConstraintSolver::propagateOne()
+{
+    constexpr uint8_t r_var = 1;
+    constexpr uint8_t r_cons = 2;
+    constexpr uint8_t r_val = 3;
+    constexpr uint8_t r_strength = 4;
+
+    const auto &chain = _chains[_chainCursor];
+    const Variable &var = _variables[chain[_posInChain]];
+    const Constraint &cons =
+        _batch[_posInChain % _batch.size()];
+
+    // Walk: load the variable's determining constraint pointer and
+    // its walk-strength record (the second block of the 96-byte
+    // variable object), the constraint's strength and method,
+    // compute, store the new value. The chain is serialised through
+    // r_var, like the real solver's var->determinedBy->output walk.
+    emitLoad(pcBase + 0x20, r_var, var.addr + 0, r_var);
+    emitLoad(pcBase + 0x24, r_cons, cons.addr + 8, r_var);
+    emitLoad(pcBase + 0x28, r_strength, var.addr + 40, r_var);
+    emitAlu(pcBase + 0x2c, r_val, r_cons, r_strength);
+    emitAlu(pcBase + 0x30, r_val, r_val);
+    emitStore(pcBase + 0x34, var.addr + 16, r_val, r_var);
+    emitLoad(pcBase + 0x38, r_strength,
+             _frame + 8 * (unsigned(_posInChain) & 7), r_strength);
+    emitAlu(pcBase + 0x3c, r_strength, r_strength, r_val);
+    emitStore(pcBase + 0x50,
+              _frame + 8 * (unsigned(_posInChain) & 7), r_strength,
+              r_val);
+    emitAlu(pcBase + 0x54, r_strength, r_val);
+    emitBranch(pcBase + 0x58, _posInChain + 1 < chain.size(),
+               pcBase + 0x20, r_val);
+}
+
+void
+ConstraintSolver::writePlan()
+{
+    constexpr uint8_t r_p = 5;
+    constexpr uint8_t r_q = 6;
+    // Extracting the execution plan: a long sequential write sweep —
+    // the bandwidth-heavy, stride-predictable half of deltablue that
+    // makes it the paper's largest L1-L2 bus consumer.
+    constexpr unsigned sweep_bytes = 2048;
+    for (unsigned off = 0; off < sweep_bytes; off += 32) {
+        Addr rec = _plan + ((_planCursor + off) % _params.planBytes);
+        emitLoad(pcBase + 0x60, r_p, rec, r_q);
+        emitAlu(pcBase + 0x64, r_q, r_q, r_p);
+        emitStore(pcBase + 0x68, rec, r_q, r_p);
+        emitBranch(pcBase + 0x6c, off + 32 < sweep_bytes,
+                   pcBase + 0x60, r_q);
+    }
+    _planCursor = (_planCursor + sweep_bytes) % _params.planBytes;
+}
+
+void
+ConstraintSolver::retractBatch()
+{
+    constexpr uint8_t r_obj = 1;
+
+    // destroy the batch: one final touch per object, then free. The
+    // freed addresses come back next round (LIFO), so the allocation
+    // stores and these loads form the recycled-address pattern.
+    for (size_t i = _batch.size(); i-- > 0;) {
+        emitLoad(pcBase + 0x40, r_obj, _batch[i].addr + 0, r_obj);
+        _heap.free(_batch[i].addr, constraintBytes);
+        emitBranch(pcBase + 0x44, i != 0, pcBase + 0x40, r_obj);
+    }
+    _batch.clear();
+}
+
+bool
+ConstraintSolver::step()
+{
+    switch (_phase) {
+      case Phase::Alloc:
+        allocBatch();
+        _phase = Phase::Propagate;
+        _posInChain = 0;
+        break;
+      case Phase::Propagate:
+        propagateOne();
+        if (++_posInChain >= _chains[_chainCursor].size())
+            _phase = Phase::Retract;
+        break;
+      case Phase::Retract:
+        writePlan();
+        retractBatch();
+        _chainCursor = (_chainCursor + 1) % _chains.size();
+        _phase = Phase::Alloc;
+        break;
+    }
+    return true;
+}
+
+} // namespace psb

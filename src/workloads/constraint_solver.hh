@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Analog of "deltablue" (an incremental dataflow constraint solver in
+ * C++ "with an abundance of short lived heap objects"): a pool of
+ * variables connected into chains; every solver round allocates a
+ * batch of constraint objects, propagates values down a long chain of
+ * variables (walk variable -> determining constraint -> next
+ * variable), then retracts and frees the batch.
+ *
+ * Behavioural properties preserved:
+ *  - constraint objects live for one round and are recycled by the
+ *    allocator's free list, so their addresses repeat round after
+ *    round — recurrent, non-strided miss streams;
+ *  - propagation is a serialised pointer chase over scatter-allocated
+ *    variables with a working set several times the L1;
+ *  - the heaviest L1-L2 bandwidth demand of the suite (the paper's
+ *    deltablue is the largest bus consumer and gains the most from
+ *    priority scheduling), obtained here with long chains and a high
+ *    miss density.
+ */
+
+#ifndef PSB_WORKLOADS_CONSTRAINT_SOLVER_HH
+#define PSB_WORKLOADS_CONSTRAINT_SOLVER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace psb
+{
+
+/** See file comment. */
+class ConstraintSolver : public Workload
+{
+  public:
+    /** Sizing knobs (defaults give a ~700 KB working set). */
+    struct Params
+    {
+        unsigned numVariables = 450;
+        unsigned chainLength = 250;   ///< variables per propagation
+        unsigned batchConstraints = 24;
+        unsigned planBytes = 192 * 1024; ///< execution plan storage
+        uint64_t seed = 1;
+    };
+
+    ConstraintSolver();
+    explicit ConstraintSolver(const Params &params);
+
+    const char *name() const override { return "deltablue"; }
+
+  protected:
+    bool step() override;
+
+  private:
+    struct Variable
+    {
+        Addr addr = 0;
+    };
+
+    struct Constraint
+    {
+        Addr addr = 0;
+    };
+
+    void allocBatch();
+    void propagateOne();
+    void writePlan();
+    void retractBatch();
+
+    Params _params;
+    SyntheticHeap _heap;
+    Xorshift64 _rng;
+    std::vector<Variable> _variables;
+    std::vector<std::vector<unsigned>> _chains; ///< variable indices
+    std::vector<Constraint> _batch;
+
+    enum class Phase { Alloc, Propagate, Retract };
+    Phase _phase = Phase::Alloc;
+    size_t _chainCursor = 0;
+    size_t _posInChain = 0;
+    Addr _frame = 0; ///< hot activation record, L1-resident
+    Addr _plan = 0; ///< cold plan storage, swept strided
+    Addr _planCursor = 0;
+
+    static constexpr Addr pcBase = 0x00600000;
+    static constexpr unsigned variableBytes = 96;
+    static constexpr unsigned constraintBytes = 56;
+};
+
+} // namespace psb
+
+#endif // PSB_WORKLOADS_CONSTRAINT_SOLVER_HH

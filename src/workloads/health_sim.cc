@@ -1,0 +1,196 @@
+#include "workloads/health_sim.hh"
+
+#include "util/logging.hh"
+
+namespace psb
+{
+
+HealthSim::HealthSim() : HealthSim(Params{}) {}
+
+HealthSim::HealthSim(const Params &params)
+    : _params(params),
+      _heap(0x10000000, /*scatter_blocks=*/48, params.seed),
+      _rng(params.seed * 0x9e37 + 17)
+{
+    _frame = _heap.alloc(256, 64);
+    _archive = _heap.alloc(_params.archiveBytes, 64);
+    buildTree(-1, _params.treeDepth, 0);
+
+    // Seed the leaves with patients.
+    for (unsigned v = 0; v < _villages.size(); ++v) {
+        bool is_leaf = (4 * v + 1 >= _villages.size());
+        if (!is_leaf)
+            continue;
+        for (unsigned i = 0; i < _params.patientsPerLeaf; ++i)
+            pushFront(_villages[v], allocPatient());
+    }
+
+    // Preorder traversal order, fixed for the program's lifetime.
+    _preorder.reserve(_villages.size());
+    for (unsigned v = 0; v < _villages.size(); ++v)
+        _preorder.push_back(v);
+}
+
+void
+HealthSim::buildTree(int parent, unsigned depth, int slot)
+{
+    Village v;
+    v.addr = _heap.alloc(villageBytes, 8);
+    v.parent = parent;
+    v.childSlot = slot;
+    int self = int(_villages.size());
+    _villages.push_back(v);
+    if (depth == 0)
+        return;
+    for (int c = 0; c < 4; ++c)
+        buildTree(self, depth - 1, c);
+}
+
+int
+HealthSim::allocPatient()
+{
+    if (!_freePatients.empty()) {
+        int p = _freePatients.back();
+        _freePatients.pop_back();
+        _patients[p].next = -1;
+        return p;
+    }
+    Patient p;
+    // 32-byte alignment keeps the hot fields (next pointer, vitals)
+    // inside one L1 block, as structure-padded Alpha records would be.
+    p.addr = _heap.alloc(patientBytes, 32);
+    _patients.push_back(p);
+    return int(_patients.size()) - 1;
+}
+
+void
+HealthSim::pushFront(Village &v, int p)
+{
+    _patients[p].next = v.listHead;
+    v.listHead = p;
+    ++v.listLen;
+}
+
+int
+HealthSim::popFront(Village &v)
+{
+    int p = v.listHead;
+    if (p < 0)
+        return -1;
+    v.listHead = _patients[p].next;
+    _patients[p].next = -1;
+    --v.listLen;
+    return p;
+}
+
+void
+HealthSim::visitVillage(unsigned vi)
+{
+    Village &v = _villages[vi];
+
+    // Descend from the parent: load the child pointer (dependent on
+    // the parent pointer held in r1), then this village's list head.
+    constexpr uint8_t r_village = 1;
+    constexpr uint8_t r_node = 2;
+    constexpr uint8_t r_field = 3;
+    constexpr uint8_t r_acc = 4;
+
+    if (v.parent >= 0) {
+        Addr parent_addr = _villages[v.parent].addr;
+        emitLoad(pcBase + 0x00, r_village,
+                 parent_addr + 8 + 8 * unsigned(v.childSlot), r_village);
+    }
+    emitAlu(pcBase + 0x04, r_acc, r_village);
+    emitLoad(pcBase + 0x08, r_node, v.addr + 0, r_village);
+    emitBranch(pcBase + 0x0c, v.listHead >= 0, pcBase + 0x10, r_node);
+
+    // Walk the patient list: the canonical pointer chase. Each
+    // iteration's address depends on the previous node's next field.
+    // Interleaved frame accesses model the locals and spill slots of
+    // the real routine: they hit the L1 and dilute the miss density
+    // to realistic levels.
+    int p = v.listHead;
+    unsigned idx = 0;
+    while (p >= 0) {
+        const Patient &pat = _patients[p];
+        int next = pat.next;
+        // load next pointer (serialising), a data field in the same
+        // block, checkup arithmetic against the activation record,
+        // and the loop branch.
+        emitLoad(pcBase + 0x10, r_node, pat.addr + 0, r_node);
+        emitLoad(pcBase + 0x14, r_field, pat.addr + 8, r_node);
+        emitLoad(pcBase + 0x18, r_acc, _frame + 8 * (idx & 7), r_acc);
+        emitAlu(pcBase + 0x1c, r_acc, r_acc, r_field);
+        emitAlu(pcBase + 0x20, r_acc, r_acc);
+        emitAlu(pcBase + 0x24, r_field, r_field);
+        emitStore(pcBase + 0x28, _frame + 8 * (idx & 7), r_acc, r_acc);
+        emitAlu(pcBase + 0x2c, r_field, r_acc);
+        emitBranch(pcBase + 0x30, next >= 0, pcBase + 0x10, r_node);
+        p = next;
+        ++idx;
+    }
+
+    // Update the village's slice of the case-history archive: a
+    // sequential (stride-predictable) sweep whose footprint keeps the
+    // L1 under pressure, standing in for the input-record processing
+    // of the real program. These misses are captured by the stride
+    // half of the predictors and never enter the Markov table.
+    constexpr unsigned sweep_bytes = 512;
+    for (unsigned off = 0; off < sweep_bytes; off += 32) {
+        Addr rec = _archive + ((_archiveCursor + off) %
+                               _params.archiveBytes);
+        emitLoad(pcBase + 0x90, r_field, rec, r_acc);
+        emitAlu(pcBase + 0x94, r_acc, r_acc, r_field);
+        emitAlu(pcBase + 0x98, r_acc, r_acc);
+        emitBranch(pcBase + 0x9c, off + 32 < sweep_bytes,
+                   pcBase + 0x90, r_acc);
+    }
+    _archiveCursor = (_archiveCursor + sweep_bytes) %
+        _params.archiveBytes;
+
+    // Dynamics: with some probability a patient moves up to the
+    // parent (referral), one is admitted, or one is discharged.
+    if (v.parent >= 0 && v.listLen > 0 && _rng.percentChance(8)) {
+        Village &parent = _villages[v.parent];
+        if (parent.listLen < _params.maxListLength) {
+            int moved = popFront(v);
+            pushFront(parent, moved);
+            // unlink store + relink stores
+            emitStore(pcBase + 0x60, v.addr + 0, r_node, r_village);
+            emitStore(pcBase + 0x64, _patients[moved].addr + 0, r_node,
+                      r_node);
+            emitStore(pcBase + 0x68, parent.addr + 0, r_node, r_village);
+        }
+    }
+    if (_rng.percentChance(5) && v.listLen < _params.maxListLength) {
+        int admitted = allocPatient();
+        pushFront(v, admitted);
+        emitStore(pcBase + 0x70, _patients[admitted].addr + 0, r_acc,
+                  r_node);
+        emitStore(pcBase + 0x74, _patients[admitted].addr + 8, r_acc,
+                  r_node);
+        emitStore(pcBase + 0x78, v.addr + 0, r_node, r_village);
+    }
+    if (_rng.percentChance(5) && v.listLen > 1) {
+        int discharged = popFront(v);
+        _heap.free(_patients[discharged].addr, patientBytes);
+        // Returning the record reuses its address for the next
+        // admission — the allocator recycling the paper's pointer
+        // programs rely on.
+        _freePatients.push_back(discharged);
+        emitStore(pcBase + 0x80, v.addr + 0, r_node, r_village);
+    }
+
+    emitAlu(pcBase + 0x84, r_acc, r_acc);
+    emitBranch(pcBase + 0x88, true, pcBase + 0x00, r_acc);
+}
+
+bool
+HealthSim::step()
+{
+    visitVillage(_preorder[_cursor]);
+    _cursor = (_cursor + 1) % _preorder.size();
+    return true;
+}
+
+} // namespace psb

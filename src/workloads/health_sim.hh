@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Analog of Olden "health" (input 3 500): a hierarchical health-care
+ * simulator. A quaternary tree of villages is traversed every
+ * simulation step; each village keeps a linked list of patients that
+ * is walked in full, and patients migrate up the hierarchy, are
+ * admitted, and are discharged, so the lists churn slowly.
+ *
+ * Behavioural properties preserved from the original:
+ *  - the dominant access pattern is pointer chasing through linked
+ *    lists of heap-allocated records (loads serialised through the
+ *    next pointer);
+ *  - patient records are scatter-allocated, so consecutive list nodes
+ *    have no usable stride, but each traversal repeats the previous
+ *    order almost exactly — exactly the recurrent miss stream a
+ *    Markov predictor captures;
+ *  - the footprint (~400 KB by default) far exceeds the 32 KB L1D and
+ *    sits inside the L2, giving a high L1 miss rate with mostly
+ *    L2-hit fills, as in the paper's Table 2.
+ */
+
+#ifndef PSB_WORKLOADS_HEALTH_SIM_HH
+#define PSB_WORKLOADS_HEALTH_SIM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace psb
+{
+
+/** See file comment. */
+class HealthSim : public Workload
+{
+  public:
+    /** Sizing knobs (defaults give a ~400 KB working set). */
+    struct Params
+    {
+        unsigned treeDepth = 3;      ///< quaternary tree: 85 villages
+        unsigned patientsPerLeaf = 10;
+        unsigned maxListLength = 24;
+        unsigned archiveBytes = 256 * 1024; ///< case-history archive
+        uint64_t seed = 1;
+    };
+
+    HealthSim();
+    explicit HealthSim(const Params &params);
+
+    const char *name() const override { return "health"; }
+
+  protected:
+    bool step() override;
+
+  private:
+    struct Patient
+    {
+        Addr addr = 0;
+        int next = -1; ///< index into _patients, -1 = end of list
+    };
+
+    struct Village
+    {
+        Addr addr = 0;
+        int parent = -1;
+        int childSlot = 0;  ///< which child pointer of the parent
+        int listHead = -1;  ///< patient list
+        unsigned listLen = 0;
+    };
+
+    void buildTree(int parent, unsigned depth, int slot);
+    void visitVillage(unsigned v);
+    int allocPatient();
+    void pushFront(Village &v, int p);
+    int popFront(Village &v);
+
+    Params _params;
+    SyntheticHeap _heap;
+    Xorshift64 _rng;
+    std::vector<Village> _villages;
+    std::vector<Patient> _patients;
+    std::vector<int> _freePatients;
+    std::vector<unsigned> _preorder;
+    size_t _cursor = 0;
+    Addr _frame = 0; ///< hot activation record, L1-resident
+    Addr _archive = 0; ///< cold case-history archive, swept strided
+    Addr _archiveCursor = 0;
+
+    static constexpr Addr pcBase = 0x00400000;
+    static constexpr unsigned villageBytes = 64;
+    static constexpr unsigned patientBytes = 48;
+};
+
+} // namespace psb
+
+#endif // PSB_WORKLOADS_HEALTH_SIM_HH

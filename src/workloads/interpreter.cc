@@ -1,0 +1,116 @@
+#include "workloads/interpreter.hh"
+
+#include "util/logging.hh"
+
+namespace psb
+{
+
+Interpreter::Interpreter() : Interpreter(Params{}) {}
+
+Interpreter::Interpreter(const Params &params)
+    : _params(params),
+      _heap(0x40000000, /*scatter_blocks=*/0, params.seed),
+      _rng(params.seed * 0x6573u + 11)
+{
+    _program = _heap.alloc(_params.programBytes, 64);
+    _dictionary = _heap.alloc(_params.dictionaryBytes, 64);
+    _image = _heap.alloc(uint64_t(_params.imageRowBytes) * imageRows, 64);
+    _stackBase = _heap.alloc(4096, 64);
+    _dictState = params.seed | 1;
+}
+
+void
+Interpreter::interpretOne()
+{
+    constexpr uint8_t r_op = 1;
+    constexpr uint8_t r_tos = 2;
+    constexpr uint8_t r_tmp = 3;
+    constexpr uint8_t r_dict = 4;
+
+    // Fetch the next token: sequential scan of the program text.
+    emitLoad(pcBase + 0x00, r_op, _program + _pcOffset, r_op);
+    _pcOffset = (_pcOffset + 8) % _params.programBytes;
+
+    // Dispatch: semi-predictable indirect branch modelled as a
+    // conditional off the opcode with a data-dependent outcome.
+    // The opcode stream is deterministic per program position, so the
+    // pattern repeats every pass through the text.
+    uint64_t op_hash = (_pcOffset * 0x9e3779b97f4a7c15ull) >> 56;
+    bool to_dict = (op_hash % 5) == 0;
+    emitBranch(pcBase + 0x04, to_dict, pcBase + 0x40, r_op);
+
+    if (to_dict) {
+        // Name lookup: hash chain of two probes into the dictionary.
+        // The hash is a pure function of the program position, so the
+        // probe addresses recur every pass through the text — but the
+        // number of distinct transitions far exceeds the 2K-entry
+        // Markov table, so coverage stays partial, as for real gs.
+        uint64_t h = (_pcOffset + _dictState) *
+            6364136223846793005ull;
+        Addr probe1 = _dictionary +
+            ((h >> 16) % (_params.dictionaryBytes / 64)) * 64;
+        Addr probe2 = _dictionary +
+            ((h >> 32) % (_params.dictionaryBytes / 64)) * 64;
+        emitAlu(pcBase + 0x40, r_dict, r_op);
+        emitLoad(pcBase + 0x44, r_tmp, probe1, r_dict);
+        emitBranch(pcBase + 0x48, (h >> 8) & 1, pcBase + 0x4c,
+                   r_tmp);
+        emitLoad(pcBase + 0x4c, r_tmp, probe2, r_tmp);
+        emitAlu(pcBase + 0x50, r_tos, r_tmp, r_tos);
+    } else {
+        // Stack operation: push/pop against the hot operand stack.
+        bool push = (_stackDepth < 64) &&
+            ((op_hash & 3) != 3 || _stackDepth == 0);
+        if (push) {
+            emitAlu(pcBase + 0x10, r_tos, r_op, r_tos);
+            emitStore(pcBase + 0x14, _stackBase + 8 * _stackDepth,
+                      r_tos, r_tmp);
+            ++_stackDepth;
+        } else {
+            --_stackDepth;
+            emitLoad(pcBase + 0x20, r_tos,
+                     _stackBase + 8 * _stackDepth, r_tmp);
+            emitAlu(pcBase + 0x24, r_tos, r_tos);
+        }
+    }
+
+    emitAlu(pcBase + 0x60, r_tmp, r_tos);
+    emitBranch(pcBase + 0x64, true, pcBase + 0x00, r_tmp);
+}
+
+void
+Interpreter::rasterRow()
+{
+    constexpr uint8_t r_px = 1;
+    constexpr uint8_t r_acc = 2;
+    constexpr uint8_t r_idx = 3;
+
+    // Render one image row: a long unit-stride read-modify-write
+    // sweep, the stride-predictable half of Ghostscript.
+    Addr row = _image + Addr(_row) * _params.imageRowBytes;
+    for (unsigned off = 0; off < _params.imageRowBytes; off += 32) {
+        emitLoad(pcBase + 0x80, r_px, row + off, r_idx);
+        emitAlu(pcBase + 0x84, r_acc, r_px, r_acc,
+                OpClass::FpMult);
+        emitStore(pcBase + 0x88, row + off, r_acc, r_idx);
+        emitAlu(pcBase + 0x8c, r_idx, r_idx);
+        emitBranch(pcBase + 0x90, off + 32 < _params.imageRowBytes,
+                   pcBase + 0x80, r_idx);
+    }
+    _row = (_row + 1) % imageRows;
+}
+
+bool
+Interpreter::step()
+{
+    if (_sinceRaster >= _params.opsPerRaster) {
+        _sinceRaster = 0;
+        rasterRow();
+        return true;
+    }
+    ++_sinceRaster;
+    interpretOne();
+    return true;
+}
+
+} // namespace psb

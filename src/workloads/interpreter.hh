@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Analog of "gs" (Ghostscript converting a PostScript file to JPEG):
+ * a bytecode interpreter. The program text is scanned sequentially
+ * (strided at block granularity), each operation manipulates an
+ * operand stack (hot, L1-resident), name lookups hash into a large
+ * dictionary (recurrent but non-strided misses), and periodically a
+ * rasteriser pass sweeps image rows (long unit strides).
+ *
+ * Behavioural properties preserved:
+ *  - a genuine mixture: part of the miss stream is stride-predictable
+ *    (program text, image rows) and part needs the Markov table
+ *    (dictionary probes), so gs benefits from PSB moderately — more
+ *    than turb3d, less than the pure pointer chasers;
+ *  - indirect-dispatch branches with moderate predictability.
+ */
+
+#ifndef PSB_WORKLOADS_INTERPRETER_HH
+#define PSB_WORKLOADS_INTERPRETER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace psb
+{
+
+/** See file comment. */
+class Interpreter : public Workload
+{
+  public:
+    /** Sizing knobs (defaults give a ~900 KB working set). */
+    struct Params
+    {
+        unsigned programBytes = 96 * 1024;
+        unsigned dictionaryBytes = 256 * 1024;
+        unsigned imageRowBytes = 8 * 1024;
+        unsigned opsPerRaster = 600; ///< interpreter ops between rows
+        uint64_t seed = 1;
+    };
+
+    Interpreter();
+    explicit Interpreter(const Params &params);
+
+    const char *name() const override { return "gs"; }
+
+  protected:
+    bool step() override;
+
+  private:
+    void interpretOne();
+    void rasterRow();
+
+    Params _params;
+    SyntheticHeap _heap;
+    Xorshift64 _rng;
+    Addr _program = 0;
+    Addr _dictionary = 0;
+    Addr _image = 0;
+    Addr _stackBase = 0;
+    uint64_t _pcOffset = 0;   ///< interpreter program counter
+    unsigned _stackDepth = 0;
+    unsigned _sinceRaster = 0;
+    unsigned _row = 0;
+    uint64_t _dictState = 0;  ///< deterministic hash state
+
+    static constexpr Addr pcBase = 0x00700000;
+    static constexpr unsigned imageRows = 24;
+};
+
+} // namespace psb
+
+#endif // PSB_WORKLOADS_INTERPRETER_HH

@@ -1,0 +1,136 @@
+#include "workloads/tree_parser.hh"
+
+#include "util/logging.hh"
+
+namespace psb
+{
+
+TreeParser::TreeParser() : TreeParser(Params{}) {}
+
+TreeParser::TreeParser(const Params &params)
+    : _params(params),
+      _heap(0x20000000, /*scatter_blocks=*/32, params.seed),
+      _rng(params.seed * 0x51ed + 3)
+{
+    _frame = _heap.alloc(256, 64);
+    _grammar = _heap.alloc(_params.grammarBytes, 64);
+    _ruleTable = _heap.alloc(_params.ruleTableBytes, 64);
+    _forest.resize(_params.numTrees);
+    for (auto &tree : _forest)
+        buildTree(tree);
+}
+
+void
+TreeParser::buildTree(Tree &tree)
+{
+    tree.nodes.reserve(_params.nodesPerTree);
+    tree.nodes.push_back(Node{_heap.alloc(nodeBytes, 32), -1, -1});
+
+    // Grow by attaching to random leaves/one-child nodes so the shape
+    // varies per tree while staying binary.
+    while (tree.nodes.size() < _params.nodesPerTree) {
+        unsigned parent = unsigned(_rng.below(tree.nodes.size()));
+        Node &p = tree.nodes[parent];
+        if (p.left >= 0 && p.right >= 0)
+            continue;
+        Node child{_heap.alloc(nodeBytes, 32), -1, -1};
+        tree.nodes.push_back(child);
+        int idx = int(tree.nodes.size()) - 1;
+        if (p.left < 0)
+            p.left = idx;
+        else
+            p.right = idx;
+    }
+
+    // Iterative post-order over node indices, fixed per tree.
+    std::vector<int> stack{0};
+    std::vector<int> order;
+    while (!stack.empty()) {
+        int n = stack.back();
+        stack.pop_back();
+        order.push_back(n);
+        if (tree.nodes[n].left >= 0)
+            stack.push_back(tree.nodes[n].left);
+        if (tree.nodes[n].right >= 0)
+            stack.push_back(tree.nodes[n].right);
+    }
+    tree.postorder.assign(order.rbegin(), order.rend());
+}
+
+void
+TreeParser::labelNode(const Tree &tree, int n)
+{
+    constexpr uint8_t r_node = 1;
+    constexpr uint8_t r_left = 2;
+    constexpr uint8_t r_right = 3;
+    constexpr uint8_t r_rule = 4;
+    constexpr uint8_t r_state = 5;
+
+    const Node &node = tree.nodes[size_t(n)];
+
+    // Load the two child pointers (dependent on the node pointer) and
+    // each child's previously computed state.
+    emitLoad(pcBase + 0x00, r_left, node.addr + 0, r_node);
+    emitLoad(pcBase + 0x04, r_right, node.addr + 8, r_node);
+    if (node.left >= 0) {
+        emitLoad(pcBase + 0x08, r_left,
+                 tree.nodes[size_t(node.left)].addr + 24, r_left);
+    }
+    if (node.right >= 0) {
+        emitLoad(pcBase + 0x0c, r_right,
+                 tree.nodes[size_t(node.right)].addr + 24, r_right);
+    }
+
+    // Combine child states into a rule-table index; the table is hot
+    // and mostly L1-resident.
+    emitAlu(pcBase + 0x10, r_state, r_left, r_right);
+    Addr rule_slot = _ruleTable +
+        (_rng.next() & (_params.ruleTableBytes - 1) & ~Addr(7));
+    emitLoad(pcBase + 0x14, r_rule, rule_slot, r_state);
+    emitAlu(pcBase + 0x18, r_state, r_rule, r_state);
+    // Locals of the labelling routine: hot, L1-resident.
+    emitLoad(pcBase + 0x1c, r_rule, _frame + 8 * (unsigned(n) & 7),
+             r_rule);
+    emitAlu(pcBase + 0x50, r_state, r_state, r_rule);
+    emitStore(pcBase + 0x54, _frame + 8 * (unsigned(n) & 7), r_state,
+              r_rule);
+    emitAlu(pcBase + 0x58, r_state, r_state);
+
+    // Write the node's label (its state) back.
+    emitStore(pcBase + 0x20, node.addr + 24, r_state, r_node);
+    emitBranch(pcBase + 0x24, n != tree.postorder.back(),
+               pcBase + 0x00, r_state);
+}
+
+bool
+TreeParser::step()
+{
+    const Tree &tree = _forest[_treeCursor];
+    labelNode(tree, tree.postorder[_nodeCursor]);
+
+    // Every few nodes, scan a run of the grammar tables: sequential,
+    // stride-predictable pressure standing in for the rule data the
+    // real generator streams through.
+    if ((_nodeCursor & 3) == 0) {
+        constexpr uint8_t r_g = 7;
+        constexpr uint8_t r_h = 8;
+        for (unsigned off = 0; off < 128; off += 32) {
+            Addr rec = _grammar +
+                ((_grammarCursor + off) % _params.grammarBytes);
+            emitLoad(pcBase + 0x60, r_g, rec, r_h);
+            emitAlu(pcBase + 0x64, r_h, r_h, r_g);
+            emitBranch(pcBase + 0x68, off + 32 < 128, pcBase + 0x60,
+                       r_h);
+        }
+        _grammarCursor = (_grammarCursor + 128) % _params.grammarBytes;
+    }
+    if (++_nodeCursor >= tree.postorder.size()) {
+        _nodeCursor = 0;
+        _treeCursor = (_treeCursor + 1) % _forest.size();
+        emitAlu(pcBase + 0x30, 6);
+        emitBranch(pcBase + 0x34, true, pcBase + 0x00, 6);
+    }
+    return true;
+}
+
+} // namespace psb

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Analog of "burg" (a BURS tree-parser generator run on a VAX
+ * grammar): builds a forest of expression trees once, then repeatedly
+ * labels them — a post-order walk loading each node's child pointers
+ * and consulting a rule table to compute and store the node's state.
+ *
+ * Behavioural properties preserved:
+ *  - recursive-data-structure traversal with scatter-allocated nodes
+ *    (no stride), repeated identically every pass (Markov-friendly);
+ *  - a hot rule table small enough to live mostly in the L1, so the
+ *    miss stream is dominated by the tree nodes;
+ *  - a moderate store fraction (every node's label is written back).
+ */
+
+#ifndef PSB_WORKLOADS_TREE_PARSER_HH
+#define PSB_WORKLOADS_TREE_PARSER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace psb
+{
+
+/** See file comment. */
+class TreeParser : public Workload
+{
+  public:
+    /** Sizing knobs (defaults give a ~600 KB forest). */
+    struct Params
+    {
+        unsigned numTrees = 8;
+        unsigned nodesPerTree = 100;
+        unsigned ruleTableBytes = 16 * 1024;
+        unsigned grammarBytes = 192 * 1024; ///< grammar data, swept
+        uint64_t seed = 1;
+    };
+
+    TreeParser();
+    explicit TreeParser(const Params &params);
+
+    const char *name() const override { return "burg"; }
+
+  protected:
+    bool step() override;
+
+  private:
+    struct Node
+    {
+        Addr addr = 0;
+        int left = -1;
+        int right = -1;
+    };
+
+    struct Tree
+    {
+        std::vector<Node> nodes;
+        std::vector<int> postorder;
+    };
+
+    void buildTree(Tree &tree);
+    void labelNode(const Tree &tree, int n);
+
+    Params _params;
+    SyntheticHeap _heap;
+    Xorshift64 _rng;
+    std::vector<Tree> _forest;
+    Addr _ruleTable = 0;
+    size_t _treeCursor = 0;
+    size_t _nodeCursor = 0;
+    Addr _frame = 0; ///< hot activation record, L1-resident
+    Addr _grammar = 0; ///< cold grammar tables, swept strided
+    Addr _grammarCursor = 0;
+
+    static constexpr Addr pcBase = 0x00500000;
+    static constexpr unsigned nodeBytes = 40;
+};
+
+} // namespace psb
+
+#endif // PSB_WORKLOADS_TREE_PARSER_HH

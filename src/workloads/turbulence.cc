@@ -1,0 +1,133 @@
+#include "workloads/turbulence.hh"
+
+#include "util/logging.hh"
+
+namespace psb
+{
+
+Turbulence::Turbulence() : Turbulence(Params{}) {}
+
+Turbulence::Turbulence(const Params &params)
+    : _params(params),
+      _heap(0x60000000 + (params.seed % 64) * 0x400000,
+            /*scatter_blocks=*/0, params.seed)
+{
+    uint64_t n = _params.gridDim;
+    _grid = _heap.alloc(n * n * n * 8, 64);
+    _spectrum = _heap.alloc(n * n * 8, 64);
+}
+
+Addr
+Turbulence::element(unsigned x, unsigned y, unsigned z) const
+{
+    uint64_t n = _params.gridDim;
+    return _grid + 8 * (uint64_t(z) * n * n + uint64_t(y) * n + x);
+}
+
+void
+Turbulence::sweepLine(Pass dir)
+{
+    constexpr uint8_t r_a = 1;
+    constexpr uint8_t r_b = 2;
+    constexpr uint8_t r_acc = 3;
+    constexpr uint8_t r_idx = 4;
+
+    unsigned n = _params.gridDim;
+    // Decompose the line id into the two fixed coordinates.
+    unsigned u = _line % n;
+    unsigned v = (_line / n) % n;
+
+    for (unsigned i = 0; i < n; ++i) {
+        Addr cur, prev;
+        switch (dir) {
+          case Pass::SweepX:
+            cur = element(i, u, v);
+            prev = element(i == 0 ? n - 1 : i - 1, u, v);
+            break;
+          case Pass::SweepY:
+            cur = element(u, i, v);
+            prev = element(u, i == 0 ? n - 1 : i - 1, v);
+            break;
+          default:
+            cur = element(u, v, i);
+            prev = element(u, v, i == 0 ? n - 1 : i - 1);
+            break;
+        }
+        // u(i) = f(u(i), u(i-1)) with the FP density of the real
+        // spectral code: loads, several independent multiply-adds,
+        // store, loop overhead.
+        Addr pc = pcBase + 0x40 * Addr(unsigned(dir));
+        emitLoad(pc + 0x00, r_a, cur, r_idx);
+        emitLoad(pc + 0x04, r_b, prev, r_idx);
+        emitAlu(pc + 0x08, r_acc, r_a, r_b, OpClass::FpMult);
+        emitAlu(pc + 0x0c, 5, r_a, r_a, OpClass::FpMult);
+        emitAlu(pc + 0x10, 6, r_b, r_b, OpClass::FpMult);
+        emitAlu(pc + 0x14, r_acc, r_acc, r_b, OpClass::FpAdd);
+        emitAlu(pc + 0x18, 5, 5, 6, OpClass::FpAdd);
+        emitAlu(pc + 0x1c, r_acc, r_acc, 5, OpClass::FpAdd);
+        emitStore(pc + 0x20, cur, r_acc, r_idx);
+        emitAlu(pc + 0x24, r_idx, r_idx);
+        emitBranch(pc + 0x28, i + 1 < n, pc + 0x00, r_idx);
+    }
+}
+
+void
+Turbulence::butterflyLine()
+{
+    constexpr uint8_t r_a = 1;
+    constexpr uint8_t r_b = 2;
+    constexpr uint8_t r_tw = 3;
+    constexpr uint8_t r_idx = 4;
+
+    unsigned n = _params.gridDim;
+    // Radix-2 butterflies over one row of the spectrum plane with a
+    // power-of-two gap: a second family of constant strides.
+    unsigned gap = 1u << (_butterflyStage % 5);
+    Addr row = _spectrum + Addr(_line % n) * n * 8;
+
+    for (unsigned i = 0; i + gap < n; i += 2 * gap) {
+        Addr a = row + 8 * i;
+        Addr b = row + 8 * (i + gap);
+        emitLoad(pcBase + 0x100, r_a, a, r_idx);
+        emitLoad(pcBase + 0x104, r_b, b, r_idx);
+        emitAlu(pcBase + 0x108, r_tw, r_a, r_b, OpClass::FpMult);
+        emitAlu(pcBase + 0x10c, r_a, r_a, r_tw, OpClass::FpAdd);
+        emitAlu(pcBase + 0x110, r_b, r_b, r_tw, OpClass::FpAdd);
+        emitStore(pcBase + 0x114, a, r_a, r_idx);
+        emitStore(pcBase + 0x118, b, r_b, r_idx);
+        emitBranch(pcBase + 0x11c, i + 2 * gap + gap < n,
+                   pcBase + 0x100, r_idx);
+    }
+}
+
+bool
+Turbulence::step()
+{
+    unsigned n = _params.gridDim;
+    unsigned lines_per_pass = n * n;
+
+    // One line of each direction per step: the three sweep strides
+    // and the butterfly gaps are all live throughout the run, as they
+    // are across one of turb3d's FFT timesteps.
+    switch (_pass) {
+      case Pass::SweepX:    sweepLine(Pass::SweepX); break;
+      case Pass::SweepY:    sweepLine(Pass::SweepY); break;
+      case Pass::SweepZ:    sweepLine(Pass::SweepZ); break;
+      case Pass::Butterfly: butterflyLine(); break;
+    }
+    switch (_pass) {
+      case Pass::SweepX:    _pass = Pass::SweepY; break;
+      case Pass::SweepY:    _pass = Pass::SweepZ; break;
+      case Pass::SweepZ:    _pass = Pass::Butterfly; break;
+      case Pass::Butterfly:
+        _pass = Pass::SweepX;
+        if (++_line >= lines_per_pass) {
+            _line = 0;
+            ++_butterflyStage;
+        }
+        break;
+    }
+    return true;
+}
+
+} // namespace psb

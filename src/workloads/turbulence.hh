@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Analog of "turb3d" (SPEC FP: isotropic, homogeneous turbulence in a
+ * cube with periodic boundaries): repeated sweeps over a 3-D double
+ * grid along the x, y, and z directions with FFT-style butterfly
+ * passes — the pure-stride FORTRAN representative of the suite.
+ *
+ * Behavioural properties preserved:
+ *  - every load stream has a constant stride (1 element in x, one row
+ *    in y, one plane in z, power-of-two gaps in the butterflies), so
+ *    the PC-stride stream buffers already capture nearly everything
+ *    and PSB's Markov table adds nothing: the paper's result that
+ *    "our PSB architectures achieve basically the same performance as
+ *    the PC-stride architecture" on FORTRAN codes;
+ *  - FP-heavy op mix and a grid (~860 KB) larger than the L1.
+ */
+
+#ifndef PSB_WORKLOADS_TURBULENCE_HH
+#define PSB_WORKLOADS_TURBULENCE_HH
+
+#include <cstdint>
+
+#include "workloads/workload.hh"
+
+namespace psb
+{
+
+/** See file comment. */
+class Turbulence : public Workload
+{
+  public:
+    /** Sizing knobs (default grid 40^3 doubles = 512 KB, L2-resident). */
+    struct Params
+    {
+        unsigned gridDim = 40;
+        uint64_t seed = 1;
+    };
+
+    Turbulence();
+    explicit Turbulence(const Params &params);
+
+    const char *name() const override { return "turb3d"; }
+
+  protected:
+    bool step() override;
+
+  private:
+    enum class Pass { SweepX, SweepY, SweepZ, Butterfly };
+
+    void sweepLine(Pass dir);
+    void butterflyLine();
+
+    Addr element(unsigned x, unsigned y, unsigned z) const;
+
+    Params _params;
+    SyntheticHeap _heap;
+    Addr _grid = 0;
+    Addr _spectrum = 0;
+    Pass _pass = Pass::SweepX;
+    unsigned _line = 0;     ///< which line of the current pass
+    unsigned _butterflyStage = 0;
+
+    static constexpr Addr pcBase = 0x00900000;
+};
+
+} // namespace psb
+
+#endif // PSB_WORKLOADS_TURBULENCE_HH

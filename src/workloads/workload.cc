@@ -1,0 +1,58 @@
+#include "workloads/workload.hh"
+
+#include "workloads/circuit_synth.hh"
+#include "workloads/constraint_solver.hh"
+#include "workloads/health_sim.hh"
+#include "workloads/interpreter.hh"
+#include "workloads/tree_parser.hh"
+#include "workloads/turbulence.hh"
+
+namespace psb
+{
+
+const std::vector<std::string> &
+workloadNames()
+{
+    static const std::vector<std::string> names = {
+        "health", "burg", "deltablue", "gs", "sis", "turb3d",
+    };
+    return names;
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name, uint64_t seed)
+{
+    if (name == "health") {
+        HealthSim::Params p;
+        p.seed = seed;
+        return std::make_unique<HealthSim>(p);
+    }
+    if (name == "burg") {
+        TreeParser::Params p;
+        p.seed = seed;
+        return std::make_unique<TreeParser>(p);
+    }
+    if (name == "deltablue") {
+        ConstraintSolver::Params p;
+        p.seed = seed;
+        return std::make_unique<ConstraintSolver>(p);
+    }
+    if (name == "gs") {
+        Interpreter::Params p;
+        p.seed = seed;
+        return std::make_unique<Interpreter>(p);
+    }
+    if (name == "sis") {
+        CircuitSynth::Params p;
+        p.seed = seed;
+        return std::make_unique<CircuitSynth>(p);
+    }
+    if (name == "turb3d") {
+        Turbulence::Params p;
+        p.seed = seed;
+        return std::make_unique<Turbulence>(p);
+    }
+    return nullptr;
+}
+
+} // namespace psb

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Workload base class and factory.
+ *
+ * The paper evaluates five pointer-intensive programs (health, burg,
+ * deltablue, gs, sis) and one FORTRAN code (turb3d) compiled for
+ * Alpha. This reproduction cannot run Alpha binaries, so each
+ * benchmark is replaced by a synthetic analog: a real algorithm with
+ * the same data-structure behaviour, executed against a SyntheticHeap
+ * and emitting the dynamic micro-op stream directly (DESIGN.md §4).
+ *
+ * Every workload runs forever (it loops over passes of its data
+ * structures), so the simulator decides the region length; steady
+ * state is reached within the warm-up because footprints are sized in
+ * the hundreds of kilobytes to low megabytes.
+ */
+
+#ifndef PSB_WORKLOADS_WORKLOAD_HH
+#define PSB_WORKLOADS_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/synthetic_heap.hh"
+#include "trace/trace_builder.hh"
+#include "util/random.hh"
+
+namespace psb
+{
+
+/** A named, seedable synthetic benchmark. */
+class Workload : public TraceBuilder
+{
+  public:
+    ~Workload() override = default;
+
+    /** Paper benchmark this workload stands in for. */
+    virtual const char *name() const = 0;
+};
+
+/** The six benchmark analogs, in the paper's table order. */
+const std::vector<std::string> &workloadNames();
+
+/**
+ * Instantiate a workload by its paper name ("health", "burg",
+ * "deltablue", "gs", "sis", "turb3d").
+ * @param seed Seed for the workload's deterministic PRNG.
+ * @return The workload, or nullptr for an unknown name.
+ */
+std::unique_ptr<Workload> makeWorkload(const std::string &name,
+                                       uint64_t seed = 1);
+
+} // namespace psb
+
+#endif // PSB_WORKLOADS_WORKLOAD_HH

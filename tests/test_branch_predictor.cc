@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the gshare branch predictor and BTB.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/branch_predictor.hh"
+
+namespace psb
+{
+namespace
+{
+
+TEST(GshareTest, LearnsAlwaysTakenBranch)
+{
+    GsharePredictor bp;
+    Addr pc = 0x400100, target = 0x400200;
+    // Warm up long enough for the global history to reach its steady
+    // all-taken pattern and saturate that PHT entry.
+    for (int i = 0; i < 60; ++i)
+        bp.update(pc, true, target);
+    Addr predicted_target = 0;
+    EXPECT_TRUE(bp.predict(pc, predicted_target));
+    EXPECT_EQ(predicted_target, target);
+}
+
+TEST(GshareTest, LearnsNeverTakenBranch)
+{
+    GsharePredictor bp;
+    Addr pc = 0x400100;
+    for (int i = 0; i < 60; ++i)
+        bp.update(pc, false, 0);
+    Addr t = 0;
+    EXPECT_FALSE(bp.predict(pc, t));
+}
+
+TEST(GshareTest, LearnsAlternatingPatternViaHistory)
+{
+    // T,N,T,N... is captured by global history correlation; after
+    // warm-up the predictor should be nearly perfect.
+    GsharePredictor bp;
+    Addr pc = 0x400100, target = 0x400200;
+    bool taken = false;
+    for (int i = 0; i < 200; ++i) {
+        taken = !taken;
+        bp.update(pc, taken, target);
+    }
+    uint64_t wrong_before = bp.mispredicts();
+    for (int i = 0; i < 100; ++i) {
+        taken = !taken;
+        bp.update(pc, taken, target);
+    }
+    EXPECT_LE(bp.mispredicts() - wrong_before, 2u);
+}
+
+TEST(GshareTest, LearnsLoopExitPattern)
+{
+    // 7 taken, 1 not-taken, repeated: a classic inner loop.
+    GsharePredictor bp;
+    Addr pc = 0x400100, target = 0x400080;
+    for (int warm = 0; warm < 50; ++warm) {
+        for (int i = 0; i < 7; ++i)
+            bp.update(pc, true, target);
+        bp.update(pc, false, 0);
+    }
+    uint64_t wrong_before = bp.mispredicts();
+    for (int rep = 0; rep < 10; ++rep) {
+        for (int i = 0; i < 7; ++i)
+            bp.update(pc, true, target);
+        bp.update(pc, false, 0);
+    }
+    // 80 branches, history should disambiguate nearly all.
+    EXPECT_LE(bp.mispredicts() - wrong_before, 8u);
+}
+
+TEST(GshareTest, TakenBranchWithColdBtbIsMispredicted)
+{
+    GsharePredictor bp;
+    Addr pc = 0x400100, target = 0x400200;
+    // Push the direction to taken but for a different PC so the BTB
+    // entry for `pc` stays cold... simpler: first taken encounter of
+    // any branch misses the BTB and counts as a misprediction.
+    EXPECT_FALSE(bp.update(pc, true, target));
+    EXPECT_EQ(bp.mispredicts(), 1u);
+}
+
+TEST(GshareTest, BtbTargetMismatchIsMisprediction)
+{
+    GsharePredictor bp;
+    Addr pc = 0x400100;
+    for (int i = 0; i < 60; ++i)
+        bp.update(pc, true, 0x400200);
+    // Same branch now jumps somewhere else (indirect): mispredicted.
+    EXPECT_FALSE(bp.update(pc, true, 0x500000));
+    // And the BTB retrains on the new target.
+    EXPECT_TRUE(bp.update(pc, true, 0x500000));
+}
+
+TEST(GshareTest, NotTakenBranchNeedsNoBtb)
+{
+    GsharePredictor bp;
+    Addr pc = 0x400300;
+    bp.update(pc, false, 0);
+    EXPECT_TRUE(bp.update(pc, false, 0));
+}
+
+TEST(GshareTest, LookupsCounted)
+{
+    GsharePredictor bp;
+    Addr t;
+    bp.predict(0x400100, t);
+    bp.predict(0x400104, t);
+    EXPECT_EQ(bp.lookups(), 2u);
+    // update() internally reuses predict() but compensates.
+    bp.update(0x400100, true, 0x400200);
+    EXPECT_EQ(bp.lookups(), 2u);
+}
+
+TEST(GshareTest, DistinctBranchesSeparateCounters)
+{
+    GshareConfig cfg;
+    GsharePredictor bp(cfg);
+    Addr taken_pc = 0x400100, not_taken_pc = 0x500204;
+    for (int i = 0; i < 20; ++i) {
+        bp.update(taken_pc, true, 0x400200);
+        bp.update(not_taken_pc, false, 0);
+    }
+    // Both should now predict correctly most of the time.
+    uint64_t wrong_before = bp.mispredicts();
+    for (int i = 0; i < 20; ++i) {
+        bp.update(taken_pc, true, 0x400200);
+        bp.update(not_taken_pc, false, 0);
+    }
+    EXPECT_LE(bp.mispredicts() - wrong_before, 6u);
+}
+
+} // namespace
+} // namespace psb

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Unit and property tests for the set-associative cache tag model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "memory/cache.hh"
+
+namespace psb
+{
+namespace
+{
+
+CacheGeometry
+smallGeom()
+{
+    // 4 sets x 2 ways x 32B lines = 256 bytes.
+    return CacheGeometry{256, 2, 32};
+}
+
+TEST(CacheGeometryTest, NumSets)
+{
+    EXPECT_EQ(smallGeom().numSets(), 4u);
+    CacheGeometry paper_l1d{32 * 1024, 4, 32};
+    EXPECT_EQ(paper_l1d.numSets(), 256u);
+    CacheGeometry paper_l2{1024 * 1024, 4, 64};
+    EXPECT_EQ(paper_l2.numSets(), 4096u);
+}
+
+TEST(CacheTest, MissThenHitAfterInsert)
+{
+    SetAssocCache c(smallGeom());
+    EXPECT_FALSE(c.probe(0x1000));
+    EXPECT_FALSE(c.touch(0x1000));
+    c.insert(0x1000);
+    EXPECT_TRUE(c.probe(0x1000));
+    EXPECT_TRUE(c.touch(0x1000));
+}
+
+TEST(CacheTest, BlockGranularity)
+{
+    SetAssocCache c(smallGeom());
+    c.insert(0x1000);
+    // Any byte of the same 32B block hits.
+    EXPECT_TRUE(c.probe(0x101f));
+    EXPECT_FALSE(c.probe(0x1020));
+    EXPECT_EQ(c.blockAlign(0x101f), 0x1000u);
+}
+
+TEST(CacheTest, LruEvictionOrder)
+{
+    SetAssocCache c(smallGeom()); // 2-way
+    // Three blocks mapping to the same set (set stride = 4 sets x 32B).
+    Addr a = 0x1000, b = 0x1000 + 128, d = 0x1000 + 256;
+    c.insert(a);
+    c.insert(b);
+    c.touch(a); // make b the LRU
+    auto evicted = c.insert(d);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(evicted->blockAddr, b);
+    EXPECT_TRUE(c.probe(a));
+    EXPECT_FALSE(c.probe(b));
+    EXPECT_TRUE(c.probe(d));
+}
+
+TEST(CacheTest, EvictionReconstructsFullBlockAddress)
+{
+    SetAssocCache c(smallGeom());
+    Addr victim = 0xdeadbe00 & ~Addr(31);
+    c.insert(victim);
+    // Fill the set until the victim leaves.
+    Addr same_set = victim + 128;
+    c.insert(same_set);
+    auto evicted = c.insert(victim + 256);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(evicted->blockAddr, victim);
+}
+
+TEST(CacheTest, DirtyBitTracksWrites)
+{
+    SetAssocCache c(smallGeom());
+    c.insert(0x1000, /*dirty=*/false);
+    c.insert(0x1080, /*dirty=*/false);
+    c.touch(0x1000, /*is_write=*/true);
+    c.touch(0x1080); // clean read; 0x1000 is now the LRU way
+    auto evicted = c.insert(0x1100); // evicts 0x1000 (dirty, LRU)
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(evicted->blockAddr, 0x1000u);
+    EXPECT_TRUE(evicted->dirty);
+    auto evicted2 = c.insert(0x1180); // evicts 0x1080 (clean)
+    ASSERT_TRUE(evicted2.has_value());
+    EXPECT_EQ(evicted2->blockAddr, 0x1080u);
+    EXPECT_FALSE(evicted2->dirty);
+}
+
+TEST(CacheTest, InsertDirtyFlagSticks)
+{
+    SetAssocCache c(smallGeom());
+    c.insert(0x1000, /*dirty=*/true);
+    c.insert(0x1080);
+    auto evicted = c.insert(0x1100);
+    // LRU is 0x1000, inserted dirty.
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_TRUE(evicted->dirty);
+}
+
+TEST(CacheTest, ReinsertResidentBlockEvictsNothing)
+{
+    SetAssocCache c(smallGeom());
+    c.insert(0x1000);
+    c.insert(0x1080);
+    EXPECT_FALSE(c.insert(0x1000).has_value());
+    EXPECT_EQ(c.validBlocks(), 2u);
+    // Re-insert with dirty merges the dirty bit.
+    c.insert(0x1000, /*dirty=*/true);
+    c.insert(0x1080); // refresh LRU: 0x1000 older now
+    auto evicted = c.insert(0x1100);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(evicted->blockAddr, 0x1000u);
+    EXPECT_TRUE(evicted->dirty);
+}
+
+TEST(CacheTest, InvalidateAndFlush)
+{
+    SetAssocCache c(smallGeom());
+    c.insert(0x1000);
+    c.insert(0x2000);
+    c.invalidate(0x1000);
+    EXPECT_FALSE(c.probe(0x1000));
+    EXPECT_TRUE(c.probe(0x2000));
+    c.flush();
+    EXPECT_FALSE(c.probe(0x2000));
+    EXPECT_EQ(c.validBlocks(), 0u);
+}
+
+TEST(CacheTest, InvalidatedWayReusedWithoutEviction)
+{
+    SetAssocCache c(smallGeom());
+    c.insert(0x1000);
+    c.insert(0x1080);
+    c.invalidate(0x1000);
+    EXPECT_FALSE(c.insert(0x1100).has_value());
+    EXPECT_TRUE(c.probe(0x1080));
+}
+
+/** Property sweep over geometries. */
+class CacheGeomTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, unsigned,
+                                                 unsigned>>
+{
+};
+
+TEST_P(CacheGeomTest, CapacityWorkingSetFitsExactly)
+{
+    auto [size, assoc, block] = GetParam();
+    SetAssocCache c(CacheGeometry{size, assoc, block});
+    uint64_t blocks = size / block;
+    // Fill the entire cache with a dense region: no evictions.
+    for (uint64_t i = 0; i < blocks; ++i)
+        EXPECT_FALSE(c.insert(0x100000 + i * block).has_value());
+    EXPECT_EQ(c.validBlocks(), blocks);
+    // Everything still resident.
+    for (uint64_t i = 0; i < blocks; ++i)
+        EXPECT_TRUE(c.probe(0x100000 + i * block));
+    // One more block evicts exactly one victim.
+    auto evicted = c.insert(0x100000 + blocks * block);
+    EXPECT_TRUE(evicted.has_value());
+    EXPECT_EQ(c.validBlocks(), blocks);
+}
+
+TEST_P(CacheGeomTest, ThrashingSetNeverExceedsAssociativity)
+{
+    auto [size, assoc, block] = GetParam();
+    SetAssocCache c(CacheGeometry{size, assoc, block});
+    uint64_t set_stride = (size / assoc);
+    // 2*assoc blocks mapping to one set: at most assoc survive.
+    for (unsigned i = 0; i < 2 * assoc; ++i)
+        c.insert(0x100000 + uint64_t(i) * set_stride);
+    unsigned resident = 0;
+    for (unsigned i = 0; i < 2 * assoc; ++i) {
+        resident +=
+            c.probe(0x100000 + uint64_t(i) * set_stride) ? 1 : 0;
+    }
+    EXPECT_EQ(resident, assoc);
+    // And LRU means exactly the last `assoc` insertions survive.
+    for (unsigned i = assoc; i < 2 * assoc; ++i)
+        EXPECT_TRUE(c.probe(0x100000 + uint64_t(i) * set_stride));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeomTest,
+    ::testing::Values(
+        std::make_tuple(uint64_t(16 * 1024), 4u, 32u),   // Fig 10
+        std::make_tuple(uint64_t(32 * 1024), 2u, 32u),   // Fig 10
+        std::make_tuple(uint64_t(32 * 1024), 4u, 32u),   // baseline L1D
+        std::make_tuple(uint64_t(32 * 1024), 2u, 32u),   // baseline L1I
+        std::make_tuple(uint64_t(1024 * 1024), 4u, 64u), // baseline L2
+        std::make_tuple(uint64_t(256), 1u, 32u),         // direct-mapped
+        std::make_tuple(uint64_t(512), 8u, 64u)));       // tiny FA-ish
+
+} // namespace
+} // namespace psb

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Integration-level tests for the memory hierarchy: latency paths,
+ * MSHR merging, bus accounting, writebacks, and the prefetch path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memory/hierarchy.hh"
+
+namespace psb
+{
+namespace
+{
+
+MemoryConfig
+fastTlbConfig()
+{
+    MemoryConfig cfg;
+    cfg.tlbMissPenalty = 0; // keep latency arithmetic simple here
+    return cfg;
+}
+
+TEST(HierarchyTest, ColdProbeMissesThenFillMakesResident)
+{
+    MemoryHierarchy h(fastTlbConfig());
+    ProbeResult p = h.probeData(0x1000, 0);
+    EXPECT_FALSE(p.resident);
+    EXPECT_FALSE(p.inFlight);
+
+    FillOutcome fill = h.missToL2(0x1000, 0, false);
+    EXPECT_FALSE(fill.mshrStall);
+    EXPECT_FALSE(fill.l2Hit); // cold L2 too
+    EXPECT_GT(fill.ready, 100u); // memory access involved
+
+    // While in flight the probe reports it.
+    ProbeResult p2 = h.probeData(0x1000, 1);
+    EXPECT_TRUE(p2.inFlight);
+    EXPECT_EQ(p2.ready, fill.ready);
+
+    // After the fill it is a plain hit.
+    ProbeResult p3 = h.probeData(0x1000, fill.ready);
+    EXPECT_TRUE(p3.resident);
+    EXPECT_FALSE(p3.inFlight);
+}
+
+TEST(HierarchyTest, L2HitFillIsMuchFasterThanMemory)
+{
+    MemoryHierarchy h(fastTlbConfig());
+    FillOutcome cold = h.missToL2(0x1000, 0, false);
+    // Evict from L1 by filling its set, keeping the L2 copy: easier —
+    // access a different L1 block of the same L2 line after eviction
+    // is complex; instead fill another block far away, then re-fetch
+    // the victim after invalidation via a fresh hierarchy is not
+    // possible. Use the sibling-L1-block trick: 0x1020 shares the
+    // 64-byte L2 line of 0x1000 but is a different 32-byte L1 line.
+    FillOutcome sibling = h.missToL2(0x1020, cold.ready, false);
+    EXPECT_TRUE(sibling.l2Hit);
+    Cycle l2_latency = sibling.ready - cold.ready;
+    // Request beat + 12-cycle L2 + 4-cycle transfer, give or take
+    // pipeline alignment; far below the 120-cycle memory latency.
+    EXPECT_GE(l2_latency, 12u);
+    EXPECT_LE(l2_latency, 40u);
+}
+
+TEST(HierarchyTest, MshrStallWhenAllEntriesBusy)
+{
+    MemoryConfig cfg = fastTlbConfig();
+    cfg.l1dMshrs = 2;
+    MemoryHierarchy h(cfg);
+    EXPECT_FALSE(h.missToL2(0x1000, 0, false).mshrStall);
+    EXPECT_FALSE(h.missToL2(0x2000, 0, false).mshrStall);
+    EXPECT_TRUE(h.missToL2(0x3000, 0, false).mshrStall);
+    // After the fills retire, capacity returns.
+    EXPECT_FALSE(h.missToL2(0x3000, 10000, false).mshrStall);
+}
+
+TEST(HierarchyTest, BusUtilisationAccountedPerBus)
+{
+    MemoryHierarchy h(fastTlbConfig());
+    h.missToL2(0x1000, 0, false);
+    // L1-L2: one transaction of 1 + 32/8 = 5 cycles.
+    EXPECT_EQ(h.l1L2Bus().busyCycles(), 5u);
+    // L2 miss went to memory: 1 + 64/4 = 17 cycles on the L2-mem bus.
+    EXPECT_EQ(h.l2MemBus().busyCycles(), 17u);
+
+    // An L2-hit fill adds only L1-L2 cycles.
+    h.missToL2(0x1020, 1000, false);
+    EXPECT_EQ(h.l1L2Bus().busyCycles(), 10u);
+    EXPECT_EQ(h.l2MemBus().busyCycles(), 17u);
+}
+
+TEST(HierarchyTest, DirtyEvictionGeneratesWriteback)
+{
+    MemoryConfig cfg = fastTlbConfig();
+    cfg.l1d = CacheGeometry{256, 2, 32}; // tiny: 4 sets x 2 ways
+    MemoryHierarchy h(cfg);
+
+    // Fill one set with dirty blocks (set stride = 128).
+    h.missToL2(0x1000, 0, true);
+    h.missToL2(0x1080, 1000, true);
+    EXPECT_EQ(h.stats().l1Writebacks, 0u);
+    h.missToL2(0x1100, 2000, false); // evicts dirty 0x1000
+    EXPECT_EQ(h.stats().l1Writebacks, 1u);
+}
+
+TEST(HierarchyTest, PrefetchDoesNotTouchL1ButWarmsL2)
+{
+    MemoryHierarchy h(fastTlbConfig());
+    PrefetchOutcome pf = h.prefetch(0x5000, 0);
+    EXPECT_FALSE(pf.l2Hit);
+    EXPECT_GT(pf.ready, 100u);
+    EXPECT_EQ(h.stats().prefetches, 1u);
+
+    // Not in the L1...
+    EXPECT_FALSE(h.probeData(0x5000, pf.ready).resident);
+    // ...but the L2 now has it: a demand miss after the prefetch is an
+    // L2 hit.
+    FillOutcome fill = h.missToL2(0x5000, pf.ready, false);
+    EXPECT_TRUE(fill.l2Hit);
+    EXPECT_EQ(h.stats().prefetchL2Hits, 0u); // first prefetch was cold
+}
+
+TEST(HierarchyTest, PrefetchGatingSeesBusOccupancy)
+{
+    MemoryHierarchy h(fastTlbConfig());
+    EXPECT_TRUE(h.l1ToL2BusFree(0));
+    h.missToL2(0x1000, 0, false);
+    EXPECT_FALSE(h.l1ToL2BusFree(0));
+    EXPECT_FALSE(h.l1ToL2BusFree(3));
+    EXPECT_TRUE(h.l1ToL2BusFree(5));
+}
+
+TEST(HierarchyTest, FillFromStreamBufferInsertsBlock)
+{
+    MemoryHierarchy h(fastTlbConfig());
+    EXPECT_FALSE(h.probeData(0x7000, 0).resident);
+    h.fillFromStreamBuffer(0x7000, 0);
+    EXPECT_TRUE(h.probeData(0x7000, 0).resident);
+}
+
+TEST(HierarchyTest, RegisterInFlightFillTracksReadyTime)
+{
+    MemoryHierarchy h(fastTlbConfig());
+    h.registerInFlightFill(0x8000, 500, 0);
+    ProbeResult p = h.probeData(0x8000, 10);
+    EXPECT_TRUE(p.inFlight);
+    EXPECT_EQ(p.ready, 500u);
+    // After arrival it's an ordinary hit.
+    EXPECT_TRUE(h.probeData(0x8000, 500).resident);
+}
+
+TEST(HierarchyTest, InstFetchHitsAfterFill)
+{
+    MemoryHierarchy h(fastTlbConfig());
+    Cycle first = h.instFetch(0x400000, 0);
+    EXPECT_GT(first, 1u);
+    EXPECT_EQ(h.stats().instMisses, 1u);
+    Cycle second = h.instFetch(0x400000, first);
+    EXPECT_EQ(second, first + h.config().l1Latency);
+    EXPECT_EQ(h.stats().instMisses, 1u);
+}
+
+TEST(HierarchyTest, TlbPenaltyChargedOnFirstTouch)
+{
+    MemoryConfig cfg; // default: 30-cycle TLB miss penalty
+    MemoryHierarchy h(cfg);
+    ProbeResult p = h.probeData(0x90000, 0);
+    EXPECT_EQ(p.tlbPenalty, 30u);
+    ProbeResult p2 = h.probeData(0x90008, 0);
+    EXPECT_EQ(p2.tlbPenalty, 0u);
+}
+
+TEST(HierarchyTest, ResetStatsClearsCountersKeepsContents)
+{
+    MemoryHierarchy h(fastTlbConfig());
+    FillOutcome fill = h.missToL2(0x1000, 0, false);
+    h.resetStats();
+    EXPECT_EQ(h.stats().l2Accesses, 0u);
+    EXPECT_EQ(h.l1L2Bus().busyCycles(), 0u);
+    EXPECT_TRUE(h.probeData(0x1000, fill.ready).resident);
+}
+
+TEST(HierarchyTest, L2PipelineAcceptsEveryFourCycles)
+{
+    MemoryHierarchy h(fastTlbConfig());
+    // Three back-to-back independent misses: the L2 accepts one every
+    // latency/depth = 4 cycles, and the serial L1-L2 bus spaces the
+    // requests by 5 anyway, so the fills complete in request order
+    // with bounded spacing.
+    FillOutcome a = h.missToL2(0x1000, 0, false);
+    FillOutcome b = h.missToL2(0x2000, 0, false);
+    FillOutcome c = h.missToL2(0x3000, 0, false);
+    EXPECT_LT(a.ready, b.ready);
+    EXPECT_LT(b.ready, c.ready);
+}
+
+} // namespace
+} // namespace psb

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit tests for the MSHR file: in-flight tracking, merges, lazy
+ * retirement, and capacity stalls.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memory/mshr.hh"
+
+namespace psb
+{
+namespace
+{
+
+TEST(MshrTest, LookupMissWhenEmpty)
+{
+    MshrFile m(4);
+    EXPECT_FALSE(m.lookup(0x1000, 0).has_value());
+    EXPECT_FALSE(m.full(0));
+    EXPECT_EQ(m.occupancy(0), 0u);
+}
+
+TEST(MshrTest, AllocateThenMergeUntilReady)
+{
+    MshrFile m(4);
+    m.allocate(0x1000, 50);
+    auto hit = m.lookup(0x1000, 10);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, 50u);
+    EXPECT_EQ(m.merges(), 1u);
+    // At the fill time the entry retires.
+    EXPECT_FALSE(m.lookup(0x1000, 50).has_value());
+}
+
+TEST(MshrTest, DifferentBlocksDoNotMerge)
+{
+    MshrFile m(4);
+    m.allocate(0x1000, 50);
+    EXPECT_FALSE(m.lookup(0x2000, 10).has_value());
+}
+
+TEST(MshrTest, FullAfterCapacityAllocations)
+{
+    MshrFile m(2);
+    m.allocate(0x1000, 100);
+    EXPECT_FALSE(m.full(0));
+    m.allocate(0x2000, 100);
+    EXPECT_TRUE(m.full(0));
+    EXPECT_EQ(m.occupancy(0), 2u);
+    // Retirement frees capacity.
+    EXPECT_FALSE(m.full(100));
+    EXPECT_EQ(m.occupancy(100), 0u);
+}
+
+TEST(MshrTest, RetirementIsPerEntry)
+{
+    MshrFile m(4);
+    m.allocate(0x1000, 10);
+    m.allocate(0x2000, 20);
+    EXPECT_EQ(m.occupancy(15), 1u);
+    EXPECT_FALSE(m.lookup(0x1000, 15).has_value());
+    EXPECT_TRUE(m.lookup(0x2000, 15).has_value());
+}
+
+TEST(MshrTest, AllocationsCounted)
+{
+    MshrFile m(8);
+    for (int i = 0; i < 5; ++i)
+        m.allocate(0x1000 + 0x100 * i, 100);
+    EXPECT_EQ(m.allocations(), 5u);
+    EXPECT_EQ(m.capacity(), 8u);
+}
+
+TEST(MshrDeathTest, DoubleAllocationPanics)
+{
+    MshrFile m(4);
+    m.allocate(0x1000, 100);
+    EXPECT_DEATH(m.allocate(0x1000, 200), "double-allocation");
+}
+
+TEST(MshrDeathTest, AllocateWhenFullPanics)
+{
+    MshrFile m(1);
+    m.allocate(0x1000, 100);
+    EXPECT_DEATH(m.allocate(0x2000, 100), "no free entry");
+}
+
+} // namespace
+} // namespace psb

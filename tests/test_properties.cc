@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Randomised property tests: drive whole components with seeded random
+ * stimulus and check the invariants that must hold for *any* input.
+ * These catch interaction bugs the directed unit tests cannot
+ * enumerate (entry leaks, double-booked blocks, stat drift,
+ * non-monotonic time).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "core/psb.hh"
+#include "cpu/ooo_core.hh"
+#include "memory/hierarchy.hh"
+#include "predictors/sfm_predictor.hh"
+#include "trace/trace_source.hh"
+#include "util/random.hh"
+
+namespace psb
+{
+namespace
+{
+
+MemoryConfig
+quietMemory()
+{
+    MemoryConfig cfg;
+    cfg.tlbMissPenalty = 0;
+    return cfg;
+}
+
+// ---------------------------------------------------------------- //
+// PSB invariants under random stimulus
+// ---------------------------------------------------------------- //
+
+struct PsbFuzzParam
+{
+    AllocPolicy alloc;
+    SchedPolicy sched;
+    uint64_t seed;
+};
+
+class PsbFuzzTest : public ::testing::TestWithParam<PsbFuzzParam>
+{
+};
+
+TEST_P(PsbFuzzTest, InvariantsHoldUnderRandomStimulus)
+{
+    const PsbFuzzParam param = GetParam();
+    MemoryHierarchy hier(quietMemory());
+    SfmPredictor sfm;
+    PsbConfig cfg;
+    cfg.alloc = param.alloc;
+    cfg.sched = param.sched;
+    PredictorDirectedStreamBuffers psb(cfg, sfm, hier);
+
+    Xorshift64 rng(param.seed);
+    Cycle now = 0;
+    for (int step = 0; step < 30000; ++step) {
+        ++now;
+        Addr pc = 0x400000 + 4 * rng.below(32);
+        Addr addr = 0x10000000 + 32 * rng.below(1 << 14);
+        switch (rng.below(5)) {
+          case 0:
+            psb.trainLoad(pc, addr, rng.below(2) != 0,
+                          rng.below(8) == 0);
+            break;
+          case 1:
+            psb.demandMiss(pc, addr, now);
+            break;
+          case 2:
+            psb.lookup(addr, now);
+            break;
+          default:
+            psb.tick(now);
+            break;
+        }
+
+        if (step % 512 != 0)
+            continue;
+
+        // Invariant 1: no block is held by two buffer entries
+        // (non-overlapping streams).
+        std::map<Addr, int> seen;
+        const StreamBufferFile &file = psb.bufferFile();
+        for (unsigned b = 0; b < file.numBuffers(); ++b) {
+            if (!file.buffer(b).allocated())
+                continue;
+            for (const SbEntry &e : file.buffer(b).entries()) {
+                if (e.valid) {
+                    ASSERT_EQ(++seen[e.block], 1)
+                        << "duplicate block across buffers";
+                }
+            }
+        }
+        // Invariant 2: priority counters within their ceiling.
+        for (unsigned b = 0; b < file.numBuffers(); ++b) {
+            ASSERT_LE(file.buffer(b).priority.value(),
+                      cfg.buffers.priorityMax);
+        }
+        // Invariant 3: stat arithmetic is consistent.
+        const PrefetcherStats &s = psb.stats();
+        ASSERT_LE(s.prefetchesUsed, s.prefetchesIssued);
+        ASSERT_LE(s.hitsPending, s.hits);
+        ASSERT_EQ(s.allocations + s.allocationsFiltered,
+                  s.allocationRequests);
+        ASSERT_LE(s.prefetchesIssued, s.predictions);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, PsbFuzzTest,
+    ::testing::Values(
+        PsbFuzzParam{AllocPolicy::TwoMiss, SchedPolicy::RoundRobin, 1},
+        PsbFuzzParam{AllocPolicy::TwoMiss, SchedPolicy::Priority, 2},
+        PsbFuzzParam{AllocPolicy::Confidence, SchedPolicy::RoundRobin,
+                     3},
+        PsbFuzzParam{AllocPolicy::Confidence, SchedPolicy::Priority, 4},
+        PsbFuzzParam{AllocPolicy::Always, SchedPolicy::RoundRobin, 5},
+        PsbFuzzParam{AllocPolicy::Always, SchedPolicy::Priority, 6}),
+    [](const auto &info) {
+        return std::string(allocPolicyName(info.param.alloc)) + "_" +
+               schedPolicyName(info.param.sched);
+    });
+
+// ---------------------------------------------------------------- //
+// Memory-hierarchy invariants under random access streams
+// ---------------------------------------------------------------- //
+
+class HierarchyFuzzTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(HierarchyFuzzTest, TimingAndStateInvariants)
+{
+    MemoryHierarchy hier(quietMemory());
+    Xorshift64 rng(GetParam());
+    Cycle now = 0;
+
+    for (int step = 0; step < 20000; ++step) {
+        now += rng.below(4);
+        Addr addr = 0x10000000 + 32 * rng.below(1 << 13);
+        ProbeResult probe = hier.probeData(addr, now);
+
+        // A block cannot be both resident-with-data and in flight.
+        ASSERT_FALSE(probe.resident && probe.inFlight);
+
+        if (probe.resident) {
+            hier.touchData(addr, rng.below(2) != 0);
+        } else if (probe.inFlight) {
+            // Fill completion must not be in the past beyond `now`
+            // retirement: an in-flight report means ready > now is
+            // possible but ready <= now must have been retired.
+            ASSERT_GT(probe.ready, now);
+        } else if (!const_cast<MshrFile &>(hier.dataMshrs())
+                        .full(now)) {
+            FillOutcome fill =
+                hier.missToL2(addr, now, rng.below(4) == 0);
+            ASSERT_FALSE(fill.mshrStall);
+            // Data can never arrive before the L2 latency elapses.
+            ASSERT_GE(fill.ready, now + hier.config().l2Latency);
+            // After the fill completes, the block is a plain hit.
+            ProbeResult later = hier.probeData(addr, fill.ready);
+            ASSERT_TRUE(later.resident);
+        }
+
+        // MSHR occupancy can never exceed its capacity.
+        ASSERT_LE(
+            const_cast<MshrFile &>(hier.dataMshrs()).occupancy(now),
+            hier.dataMshrs().capacity());
+    }
+
+    // Bus busy time cannot exceed the elapsed wall time plus one
+    // maximal queued backlog (transactions are serial).
+    ASSERT_GT(now, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HierarchyFuzzTest,
+                         ::testing::Values(11u, 22u, 33u));
+
+// ---------------------------------------------------------------- //
+// Core drains any random well-formed trace
+// ---------------------------------------------------------------- //
+
+class RandomTrace : public TraceSource
+{
+  public:
+    RandomTrace(uint64_t seed, uint64_t count) : _rng(seed), _left(count)
+    {}
+
+    bool
+    next(MicroOp &op) override
+    {
+        if (_left == 0)
+            return false;
+        --_left;
+        op = MicroOp{};
+        op.pc = 0x400000 + 4 * _rng.below(256);
+        switch (_rng.below(8)) {
+          case 0:
+            op.op = OpClass::Load;
+            op.dst = uint8_t(1 + _rng.below(30));
+            op.src1 = uint8_t(1 + _rng.below(30));
+            op.effAddr = 0x10000000 + 8 * _rng.below(1 << 16);
+            break;
+          case 1:
+            op.op = OpClass::Store;
+            op.src1 = uint8_t(1 + _rng.below(30));
+            op.effAddr = 0x10000000 + 8 * _rng.below(1 << 16);
+            break;
+          case 2:
+            op.op = OpClass::Branch;
+            op.taken = _rng.below(2) != 0;
+            op.target = 0x400000 + 4 * _rng.below(256);
+            break;
+          case 3:
+            op.op = OpClass::FpMult;
+            op.dst = uint8_t(1 + _rng.below(30));
+            op.src1 = uint8_t(1 + _rng.below(30));
+            op.src2 = uint8_t(1 + _rng.below(30));
+            break;
+          case 4:
+            op.op = OpClass::IntDiv;
+            op.dst = uint8_t(1 + _rng.below(30));
+            break;
+          default:
+            op.op = OpClass::IntAlu;
+            op.dst = uint8_t(1 + _rng.below(30));
+            op.src1 = uint8_t(1 + _rng.below(30));
+            break;
+        }
+        return true;
+    }
+
+  private:
+    Xorshift64 _rng;
+    uint64_t _left;
+};
+
+struct CoreFuzzParam
+{
+    uint64_t seed;
+    DisambiguationMode dis;
+};
+
+class CoreFuzzTest : public ::testing::TestWithParam<CoreFuzzParam>
+{
+};
+
+TEST_P(CoreFuzzTest, DrainsAndCountsExactly)
+{
+    const CoreFuzzParam param = GetParam();
+    constexpr uint64_t count = 20000;
+    MemoryHierarchy hier(quietMemory());
+    SfmPredictor sfm;
+    PredictorDirectedStreamBuffers psb(PsbConfig{}, sfm, hier);
+    RandomTrace trace(param.seed, count);
+    CoreConfig cfg;
+    cfg.disambiguation = param.dis;
+    OoOCore core(cfg, hier, psb, trace);
+
+    Cycle now = 0;
+    while (core.tick(now)) {
+        psb.tick(now);
+        ++now;
+        ASSERT_LT(now, 10'000'000u) << "core failed to drain";
+    }
+
+    const CoreStats &s = core.stats();
+    EXPECT_EQ(s.instructions, count);
+    EXPECT_EQ(s.l1dAccesses, s.l1dHits + s.l1dMisses);
+    EXPECT_LE(s.l1dInFlight, s.l1dMisses);
+    EXPECT_LE(s.mispredicts, s.branches);
+    EXPECT_EQ(s.loadLatency.count(), s.loads);
+    EXPECT_GT(s.ipc(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndModes, CoreFuzzTest,
+    ::testing::Values(
+        CoreFuzzParam{101, DisambiguationMode::Perfect},
+        CoreFuzzParam{102, DisambiguationMode::None},
+        CoreFuzzParam{103, DisambiguationMode::Learned},
+        CoreFuzzParam{104, DisambiguationMode::Perfect},
+        CoreFuzzParam{105, DisambiguationMode::Learned}),
+    [](const auto &info) {
+        return std::string(disambiguationModeName(info.param.dis)) +
+               "_" + std::to_string(info.param.seed);
+    });
+
+} // namespace
+} // namespace psb

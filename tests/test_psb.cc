@@ -1,0 +1,366 @@
+/**
+ * @file
+ * Tests for the Predictor-Directed Stream Buffers themselves, driven
+ * by a scripted mock predictor so every mechanism from paper §4 can be
+ * checked in isolation: allocation filters, the single predictor port,
+ * duplicate suppression, bus-gated prefetch issue, hit handling, the
+ * priority counters and their aging.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/psb.hh"
+#include "memory/hierarchy.hh"
+
+namespace psb
+{
+namespace
+{
+
+/** Fully scriptable predictor. */
+class MockPredictor : public AddressPredictor
+{
+  public:
+    void train(Addr pc, Addr addr) override
+    {
+        trained.push_back({pc, addr});
+    }
+
+    std::optional<Addr>
+    predictNext(StreamState &state) const override
+    {
+        ++predictCalls;
+        if (!chainStep)
+            return std::nullopt;
+        state.lastAddr += chainStep;
+        return state.lastAddr;
+    }
+
+    StreamState
+    allocateStream(Addr pc, Addr addr) const override
+    {
+        StreamState s;
+        s.loadPc = pc;
+        s.lastAddr = addr & ~Addr(31);
+        s.stride = chainStep;
+        s.confidence = conf.count(pc) ? conf.at(pc) : 0;
+        return s;
+    }
+
+    uint32_t
+    confidence(Addr pc) const override
+    {
+        return conf.count(pc) ? conf.at(pc) : 0;
+    }
+
+    bool
+    twoMissFilterPass(Addr pc, Addr) const override
+    {
+        return twoMissPass.count(pc) ? twoMissPass.at(pc) : false;
+    }
+
+    int64_t chainStep = 32; ///< 0 => predictor has no prediction
+    std::map<Addr, uint32_t> conf;
+    std::map<Addr, bool> twoMissPass;
+    mutable uint64_t predictCalls = 0;
+    std::vector<std::pair<Addr, Addr>> trained;
+};
+
+MemoryConfig
+quietMemory()
+{
+    MemoryConfig cfg;
+    cfg.tlbMissPenalty = 0;
+    return cfg;
+}
+
+class PsbTest : public ::testing::Test
+{
+  protected:
+    PsbTest() : hier(quietMemory()) {}
+
+    PredictorDirectedStreamBuffers
+    make(AllocPolicy alloc, SchedPolicy sched)
+    {
+        PsbConfig cfg;
+        cfg.alloc = alloc;
+        cfg.sched = sched;
+        return PredictorDirectedStreamBuffers(cfg, predictor, hier);
+    }
+
+    /** Run tick() for [from, to) cycles. */
+    static void
+    run(PredictorDirectedStreamBuffers &psb, Cycle from, Cycle to)
+    {
+        for (Cycle c = from; c < to; ++c)
+            psb.tick(c);
+    }
+
+    MemoryHierarchy hier;
+    MockPredictor predictor;
+};
+
+TEST_F(PsbTest, TwoMissFilterGatesAllocation)
+{
+    auto psb = make(AllocPolicy::TwoMiss, SchedPolicy::RoundRobin);
+    predictor.twoMissPass[0x400010] = false;
+    psb.demandMiss(0x400010, 0x1000, 0);
+    EXPECT_EQ(psb.stats().allocations, 0u);
+    EXPECT_EQ(psb.stats().allocationsFiltered, 1u);
+
+    predictor.twoMissPass[0x400010] = true;
+    psb.demandMiss(0x400010, 0x1000, 1);
+    EXPECT_EQ(psb.stats().allocations, 1u);
+    EXPECT_TRUE(psb.bufferFile().buffer(0).allocated());
+}
+
+TEST_F(PsbTest, ConfidenceThresholdGatesAllocation)
+{
+    auto psb = make(AllocPolicy::Confidence, SchedPolicy::Priority);
+    predictor.conf[0x400010] = 0; // below the paper's threshold of 1
+    psb.demandMiss(0x400010, 0x1000, 0);
+    EXPECT_EQ(psb.stats().allocations, 0u);
+
+    predictor.conf[0x400010] = 1;
+    psb.demandMiss(0x400010, 0x1000, 1);
+    EXPECT_EQ(psb.stats().allocations, 1u);
+    // The accuracy confidence is copied into the priority counter.
+    EXPECT_EQ(psb.bufferFile().buffer(0).priority.value(), 1u);
+}
+
+TEST_F(PsbTest, ConfidenceAllocationMustBeatSomePriorityCounter)
+{
+    auto psb = make(AllocPolicy::Confidence, SchedPolicy::Priority);
+    predictor.conf[0x400010] = 7;
+    // Fill all 8 buffers with priority-7 streams.
+    for (unsigned i = 0; i < 8; ++i)
+        psb.demandMiss(0x400010, 0x1000 + 0x100 * i, i);
+    EXPECT_EQ(psb.stats().allocations, 8u);
+
+    // Bump every buffer's priority above the candidate's confidence.
+    for (unsigned b = 0; b < 8; ++b) {
+        const_cast<StreamBuffer &>(psb.bufferFile().buffer(b))
+            .priority.set(9);
+    }
+    predictor.conf[0x400020] = 7;
+    psb.demandMiss(0x400020, 0x9000, 10);
+    EXPECT_EQ(psb.stats().allocations, 8u); // rejected: 7 < 9
+
+    // Lower one buffer: now the candidate wins that buffer.
+    const_cast<StreamBuffer &>(psb.bufferFile().buffer(5))
+        .priority.set(3);
+    psb.demandMiss(0x400020, 0x9000, 11);
+    EXPECT_EQ(psb.stats().allocations, 9u);
+    EXPECT_EQ(psb.bufferFile().buffer(5).state.loadPc, 0x400020u);
+}
+
+TEST_F(PsbTest, AlwaysPolicyAllocatesEveryMiss)
+{
+    auto psb = make(AllocPolicy::Always, SchedPolicy::RoundRobin);
+    for (unsigned i = 0; i < 12; ++i)
+        psb.demandMiss(0x400010, 0x1000 + 0x100 * i, i);
+    EXPECT_EQ(psb.stats().allocations, 12u);
+}
+
+TEST_F(PsbTest, OnePredictionPerCycleSharedAcrossBuffers)
+{
+    auto psb = make(AllocPolicy::Always, SchedPolicy::RoundRobin);
+    psb.demandMiss(0x400010, 0x1000, 0);
+    psb.demandMiss(0x400020, 0x8000, 0);
+    uint64_t calls_before = predictor.predictCalls;
+    psb.tick(1);
+    EXPECT_EQ(predictor.predictCalls, calls_before + 1);
+}
+
+TEST_F(PsbTest, PredictionsFillEntriesThenStop)
+{
+    auto psb = make(AllocPolicy::Always, SchedPolicy::RoundRobin);
+    psb.demandMiss(0x400010, 0x1000, 0);
+    run(psb, 1, 40);
+    // 4 entries filled, then the buffer stops predicting.
+    EXPECT_EQ(psb.stats().predictions, 4u);
+    const StreamBuffer &buf = psb.bufferFile().buffer(0);
+    for (const auto &e : buf.entries())
+        EXPECT_TRUE(e.valid);
+}
+
+TEST_F(PsbTest, DuplicateSuppressionAcrossBuffers)
+{
+    auto psb = make(AllocPolicy::Always, SchedPolicy::RoundRobin);
+    // Two streams whose chains collide: same start, same step.
+    psb.demandMiss(0x400010, 0x1000, 0);
+    psb.demandMiss(0x400020, 0x1000, 0);
+    run(psb, 1, 60);
+    EXPECT_GT(psb.stats().duplicateSuppressed, 0u);
+    // No block appears twice across all buffers.
+    std::map<Addr, int> seen;
+    for (unsigned b = 0; b < psb.bufferFile().numBuffers(); ++b) {
+        for (const auto &e : psb.bufferFile().buffer(b).entries()) {
+            if (e.valid) {
+                EXPECT_EQ(++seen[e.block], 1) << "dup block";
+            }
+        }
+    }
+}
+
+TEST_F(PsbTest, PrefetchRequiresFreeBus)
+{
+    auto psb = make(AllocPolicy::Always, SchedPolicy::RoundRobin);
+    psb.demandMiss(0x400010, 0x1000, 0);
+    psb.tick(1); // one prediction made
+    // Occupy the bus with a demand miss.
+    hier.missToL2(0x90000, 2, false);
+    ASSERT_FALSE(hier.l1ToL2BusFree(2));
+    uint64_t issued_before = psb.stats().prefetchesIssued;
+    psb.tick(2);
+    EXPECT_EQ(psb.stats().prefetchesIssued, issued_before);
+    // Once the bus frees, the prefetch goes out.
+    Cycle c = 3;
+    while (!hier.l1ToL2BusFree(c))
+        ++c;
+    psb.tick(c);
+    EXPECT_EQ(psb.stats().prefetchesIssued, issued_before + 1);
+}
+
+TEST_F(PsbTest, LookupHitFreesEntryAndRaisesPriority)
+{
+    auto psb = make(AllocPolicy::Confidence, SchedPolicy::Priority);
+    predictor.conf[0x400010] = 2;
+    psb.demandMiss(0x400010, 0x1000, 0);
+    run(psb, 1, 50); // predict + prefetch
+
+    const StreamBuffer &buf = psb.bufferFile().buffer(0);
+    uint32_t pri_before = buf.priority.value();
+    ASSERT_EQ(pri_before, 2u);
+
+    // The first predicted block is 0x1020 (start + 32).
+    PrefetchLookup hit = psb.lookup(0x1024, 1000);
+    EXPECT_TRUE(hit.hit);
+    EXPECT_FALSE(hit.dataPending); // long past the fill
+    EXPECT_EQ(buf.priority.value(), pri_before + 2);
+    EXPECT_EQ(psb.stats().hits, 1u);
+    EXPECT_EQ(psb.stats().prefetchesUsed, 1u);
+    // Entry freed: a repeat lookup misses.
+    EXPECT_FALSE(psb.lookup(0x1024, 1001).hit);
+}
+
+TEST_F(PsbTest, LookupHitWithDataPending)
+{
+    auto psb = make(AllocPolicy::Always, SchedPolicy::RoundRobin);
+    psb.demandMiss(0x400010, 0x1000, 0);
+    run(psb, 1, 4); // prediction + prefetch just issued
+    PrefetchLookup hit = psb.lookup(0x1020, 4);
+    ASSERT_TRUE(hit.hit);
+    EXPECT_TRUE(hit.dataPending);
+    EXPECT_GT(hit.ready, 4u);
+    EXPECT_EQ(psb.stats().hitsPending, 1u);
+}
+
+TEST_F(PsbTest, LateTagHitReconciledOnDemandFill)
+{
+    auto psb = make(AllocPolicy::Always, SchedPolicy::RoundRobin);
+    psb.demandMiss(0x400010, 0x1000, 0);
+    hier.missToL2(0x90000, 0, false); // keep the bus busy
+    psb.tick(1); // prediction made, prefetch blocked
+    ASSERT_EQ(psb.stats().prefetchesIssued, 0u);
+
+    // A lookup of the predicted-but-unissued block is not a hit, and
+    // it must NOT consume the entry (the access may be an MSHR-full
+    // retry that will come back).
+    PrefetchLookup lkp = psb.lookup(0x1020, 2);
+    EXPECT_FALSE(lkp.hit);
+    EXPECT_EQ(psb.stats().lateTagHits, 0u);
+    EXPECT_EQ(psb.bufferFile().buffer(0).findEntry(0x1020), 0);
+
+    // Once the demand fill actually proceeds, demandMiss() reconciles:
+    // the entry is released, counted as a late tag hit, and no
+    // allocation request is charged (the stream is tracking fine).
+    uint64_t requests_before = psb.stats().allocationRequests;
+    psb.demandMiss(0x400010, 0x1020, 3);
+    EXPECT_EQ(psb.stats().lateTagHits, 1u);
+    EXPECT_EQ(psb.stats().allocationRequests, requests_before);
+    EXPECT_EQ(psb.bufferFile().buffer(0).findEntry(0x1020), -1);
+}
+
+TEST_F(PsbTest, AgingDecrementsPriorityCounters)
+{
+    auto psb = make(AllocPolicy::Confidence, SchedPolicy::Priority);
+    predictor.conf[0x400010] = 7;
+    psb.demandMiss(0x400010, 0x1000, 0);
+    ASSERT_EQ(psb.bufferFile().buffer(0).priority.value(), 7u);
+
+    // The aging period is 10 allocation requests; send unallocatable
+    // requests (confidence 0 PC) to age the counters.
+    for (unsigned i = 0; i < 10; ++i)
+        psb.demandMiss(0x400099, 0x5000, i);
+    EXPECT_EQ(psb.bufferFile().buffer(0).priority.value(), 6u);
+    for (unsigned i = 0; i < 20; ++i)
+        psb.demandMiss(0x400099, 0x5000, i);
+    EXPECT_EQ(psb.bufferFile().buffer(0).priority.value(), 4u);
+}
+
+TEST_F(PsbTest, TrainingForwardedOnlyForRealMisses)
+{
+    auto psb = make(AllocPolicy::Always, SchedPolicy::RoundRobin);
+    psb.trainLoad(0x400010, 0x1000, /*miss=*/true, /*fwd=*/false);
+    psb.trainLoad(0x400010, 0x2000, /*miss=*/false, /*fwd=*/false);
+    psb.trainLoad(0x400010, 0x3000, /*miss=*/true, /*fwd=*/true);
+    ASSERT_EQ(predictor.trained.size(), 1u);
+    EXPECT_EQ(predictor.trained[0].second, 0x1000u);
+}
+
+TEST_F(PsbTest, NoPredictionFromEmptyPredictor)
+{
+    predictor.chainStep = 0; // predictor has nothing to say
+    auto psb = make(AllocPolicy::Always, SchedPolicy::RoundRobin);
+    psb.demandMiss(0x400010, 0x1000, 0);
+    run(psb, 1, 20);
+    EXPECT_EQ(psb.stats().predictions, 0u);
+    EXPECT_EQ(psb.stats().prefetchesIssued, 0u);
+}
+
+TEST_F(PsbTest, ReallocationStealsLruHitBuffer)
+{
+    auto psb = make(AllocPolicy::TwoMiss, SchedPolicy::RoundRobin);
+    for (unsigned i = 0; i < 9; ++i) {
+        Addr pc = 0x400010 + 0x10 * i;
+        predictor.twoMissPass[pc] = true;
+        psb.demandMiss(pc, 0x1000 + 0x100 * i, i);
+    }
+    // 9 allocations into 8 buffers: buffer 0 (never hit, oldest) was
+    // stolen by the ninth stream.
+    EXPECT_EQ(psb.stats().allocations, 9u);
+    EXPECT_EQ(psb.bufferFile().buffer(0).state.loadPc, 0x400090u);
+}
+
+TEST_F(PsbTest, StatsResetKeepsStreams)
+{
+    auto psb = make(AllocPolicy::Always, SchedPolicy::RoundRobin);
+    psb.demandMiss(0x400010, 0x1000, 0);
+    run(psb, 1, 20);
+    psb.resetStats();
+    EXPECT_EQ(psb.stats().predictions, 0u);
+    EXPECT_TRUE(psb.bufferFile().buffer(0).allocated());
+}
+
+TEST_F(PsbTest, AccuracyFormula)
+{
+    PrefetcherStats s;
+    s.prefetchesIssued = 8;
+    s.prefetchesUsed = 6;
+    EXPECT_DOUBLE_EQ(s.accuracy(), 0.75);
+    PrefetcherStats zero;
+    EXPECT_DOUBLE_EQ(zero.accuracy(), 0.0);
+}
+
+TEST_F(PsbTest, PolicyNames)
+{
+    EXPECT_STREQ(allocPolicyName(AllocPolicy::TwoMiss), "2Miss");
+    EXPECT_STREQ(allocPolicyName(AllocPolicy::Confidence), "ConfAlloc");
+    EXPECT_STREQ(allocPolicyName(AllocPolicy::Always), "Always");
+}
+
+} // namespace
+} // namespace psb

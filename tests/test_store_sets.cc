@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for the learned store-set predictor (SSIT/LFST) and the
+ * disambiguation-mode plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/store_sets.hh"
+
+namespace psb
+{
+namespace
+{
+
+constexpr Addr load_pc = 0x400100;
+constexpr Addr store_pc = 0x400200;
+
+TEST(StoreSetsTest, ModeNames)
+{
+    EXPECT_STREQ(disambiguationModeName(DisambiguationMode::None),
+                 "NoDis");
+    EXPECT_STREQ(disambiguationModeName(DisambiguationMode::Perfect),
+                 "Dis");
+    EXPECT_STREQ(disambiguationModeName(DisambiguationMode::Learned),
+                 "LearnedSS");
+}
+
+TEST(StoreSetsTest, UntrainedOpsAreUnconstrained)
+{
+    StoreSetPredictor ssp;
+    EXPECT_EQ(ssp.dispatch(load_pc, false, 1), 0u);
+    EXPECT_EQ(ssp.dispatch(store_pc, true, 2), 0u);
+}
+
+TEST(StoreSetsTest, ViolationCreatesDependence)
+{
+    StoreSetPredictor ssp;
+    ssp.recordViolation(load_pc, store_pc);
+    EXPECT_EQ(ssp.violations(), 1u);
+
+    // The store dispatches first and registers in the LFST.
+    EXPECT_EQ(ssp.dispatch(store_pc, true, 10), 0u);
+    // The load now waits for that exact store.
+    EXPECT_EQ(ssp.dispatch(load_pc, false, 11), 10u);
+}
+
+TEST(StoreSetsTest, StoreIssueClearsLfst)
+{
+    StoreSetPredictor ssp;
+    ssp.recordViolation(load_pc, store_pc);
+    ssp.dispatch(store_pc, true, 10);
+    ssp.storeIssued(store_pc, 10);
+    EXPECT_EQ(ssp.dispatch(load_pc, false, 11), 0u);
+}
+
+TEST(StoreSetsTest, LaterStoreReplacesLfstEntry)
+{
+    StoreSetPredictor ssp;
+    ssp.recordViolation(load_pc, store_pc);
+    ssp.dispatch(store_pc, true, 10);
+    ssp.dispatch(store_pc, true, 20);
+    EXPECT_EQ(ssp.dispatch(load_pc, false, 21), 20u);
+    // Clearing an outdated store does nothing.
+    ssp.storeIssued(store_pc, 10);
+    EXPECT_EQ(ssp.dispatch(load_pc, false, 22), 20u);
+}
+
+TEST(StoreSetsTest, ViolationMergesExistingSets)
+{
+    StoreSetPredictor ssp;
+    Addr store2_pc = 0x400300;
+    ssp.recordViolation(load_pc, store_pc);
+    ssp.recordViolation(load_pc, store2_pc);
+    // Both stores now funnel through the same set: the load waits for
+    // whichever dispatched last.
+    ssp.dispatch(store_pc, true, 30);
+    ssp.dispatch(store2_pc, true, 31);
+    EXPECT_EQ(ssp.dispatch(load_pc, false, 32), 31u);
+}
+
+TEST(StoreSetsTest, PeriodicClearForgetsStaleSets)
+{
+    StoreSetPredictor ssp(64, 16, /*clear_interval=*/8);
+    ssp.recordViolation(load_pc, store_pc);
+    ssp.dispatch(store_pc, true, 1);
+    // Push past the clear interval.
+    for (uint64_t i = 0; i < 10; ++i)
+        ssp.dispatch(0x600000 + 4 * i, false, 100 + i);
+    EXPECT_EQ(ssp.dispatch(load_pc, false, 200), 0u);
+}
+
+} // namespace
+} // namespace psb

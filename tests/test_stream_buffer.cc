@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for the stream-buffer storage: entries, associative
+ * lookup across buffers, LRU/priority victim selection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "prefetch/stream_buffer.hh"
+
+namespace psb
+{
+namespace
+{
+
+StreamBufferConfig
+paperConfig()
+{
+    return StreamBufferConfig{}; // 8 buffers x 4 entries, as evaluated
+}
+
+TEST(StreamBufferTest, AllocationResetsEntries)
+{
+    StreamBuffer buf(4, 12);
+    EXPECT_FALSE(buf.allocated());
+    buf.entries()[0].valid = true;
+    StreamState s;
+    s.loadPc = 0x400010;
+    buf.allocateStream(s, 5);
+    EXPECT_TRUE(buf.allocated());
+    EXPECT_EQ(buf.priority.value(), 5u);
+    EXPECT_EQ(buf.state.loadPc, 0x400010u);
+    for (const auto &e : buf.entries())
+        EXPECT_FALSE(e.valid);
+}
+
+TEST(StreamBufferTest, FindFreeAndPendingEntries)
+{
+    StreamBuffer buf(4, 12);
+    buf.allocateStream(StreamState{}, 0);
+    EXPECT_EQ(buf.freeEntry(), 0);
+    EXPECT_EQ(buf.pendingPrefetchEntry(), -1);
+
+    buf.entries()[0].valid = true;
+    buf.entries()[0].block = 0x1000;
+    EXPECT_EQ(buf.freeEntry(), 1);
+    EXPECT_EQ(buf.pendingPrefetchEntry(), 0);
+    EXPECT_EQ(buf.findEntry(0x1000), 0);
+    EXPECT_EQ(buf.findEntry(0x2000), -1);
+
+    buf.entries()[0].prefetched = true;
+    EXPECT_EQ(buf.pendingPrefetchEntry(), -1);
+
+    buf.clearEntry(0);
+    EXPECT_EQ(buf.findEntry(0x1000), -1);
+    EXPECT_EQ(buf.freeEntry(), 0);
+}
+
+TEST(StreamBufferFileTest, LookupSearchesAllBuffersAllEntries)
+{
+    StreamBufferFile file(paperConfig());
+    // Nothing allocated: no hits.
+    EXPECT_FALSE(file.findBlock(0x1000).has_value());
+
+    file.buffer(3).allocateStream(StreamState{}, 0);
+    file.buffer(3).entries()[2].valid = true;
+    file.buffer(3).entries()[2].block = 0x1000;
+    auto hit = file.findBlock(0x1000);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->buf, 3u);
+    EXPECT_EQ(hit->entry, 2);
+    EXPECT_TRUE(file.contains(0x1000));
+    EXPECT_FALSE(file.contains(0x2000));
+}
+
+TEST(StreamBufferFileTest, UnallocatedBuffersInvisibleToLookup)
+{
+    StreamBufferFile file(paperConfig());
+    file.buffer(0).entries()[0].valid = true;
+    file.buffer(0).entries()[0].block = 0x1000;
+    // Buffer 0 not allocated: its stale entries must not hit.
+    EXPECT_FALSE(file.findBlock(0x1000).has_value());
+}
+
+TEST(StreamBufferFileTest, LruBufferPrefersUnallocated)
+{
+    StreamBufferFile file(paperConfig());
+    file.buffer(0).allocateStream(StreamState{}, 0);
+    file.buffer(0).lastHitStamp = file.nextStamp();
+    EXPECT_EQ(file.lruBuffer(), 1u); // first unallocated
+}
+
+TEST(StreamBufferFileTest, LruBufferPicksOldestAllocation)
+{
+    StreamBufferFile file(paperConfig());
+    for (unsigned b = 0; b < file.numBuffers(); ++b) {
+        file.buffer(b).allocateStream(StreamState{}, 0);
+        file.buffer(b).allocStamp = file.nextStamp();
+    }
+    // Hit-blind by design: recent hits do not protect a buffer from
+    // the two-miss policy's victim choice (only confidence does).
+    file.buffer(0).lastHitStamp = file.nextStamp();
+    EXPECT_EQ(file.lruBuffer(), 0u);
+    file.buffer(0).allocStamp = file.nextStamp();
+    EXPECT_EQ(file.lruBuffer(), 1u);
+}
+
+TEST(StreamBufferFileTest, MinPriorityBuffer)
+{
+    StreamBufferFile file(paperConfig());
+    for (unsigned b = 0; b < file.numBuffers(); ++b) {
+        file.buffer(b).allocateStream(StreamState{}, 5);
+        file.buffer(b).lastHitStamp = file.nextStamp();
+    }
+    file.buffer(6).priority.set(1);
+    EXPECT_EQ(file.minPriorityBuffer(), 6u);
+    // Unallocated buffers count as priority zero.
+    file.buffer(4).deallocate();
+    EXPECT_EQ(file.minPriorityBuffer(), 4u);
+}
+
+TEST(StreamBufferFileTest, MinPriorityTieBrokenByOldestHit)
+{
+    StreamBufferFile file(paperConfig());
+    for (unsigned b = 0; b < file.numBuffers(); ++b) {
+        file.buffer(b).allocateStream(StreamState{}, 3);
+        file.buffer(b).lastHitStamp = file.nextStamp();
+    }
+    file.buffer(5).priority.set(1);
+    file.buffer(7).priority.set(1);
+    // 5 was stamped earlier than 7.
+    EXPECT_EQ(file.minPriorityBuffer(), 5u);
+}
+
+TEST(StreamBufferFileTest, BlockAlign)
+{
+    StreamBufferFile file(paperConfig());
+    EXPECT_EQ(file.blockAlign(0x1234567f), 0x12345660u);
+}
+
+TEST(StreamBufferFileTest, ConfigurableGeometry)
+{
+    StreamBufferConfig cfg;
+    cfg.numBuffers = 2;
+    cfg.entriesPerBuffer = 1;
+    StreamBufferFile file(cfg);
+    EXPECT_EQ(file.numBuffers(), 2u);
+    EXPECT_EQ(file.buffer(0).entries().size(), 1u);
+}
+
+} // namespace
+} // namespace psb

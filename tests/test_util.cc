@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Unit tests for the util library: saturating counters, bit helpers,
+ * the deterministic PRNG, statistics primitives, and table printing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/bitfield.hh"
+#include "util/random.hh"
+#include "util/sat_counter.hh"
+#include "util/stats.hh"
+#include "util/table_printer.hh"
+
+namespace psb
+{
+namespace
+{
+
+TEST(SatCounter, StartsAtInitialValue)
+{
+    SatCounter c(7, 3);
+    EXPECT_EQ(c.value(), 3u);
+    EXPECT_EQ(c.max(), 7u);
+    EXPECT_FALSE(c.saturated());
+}
+
+TEST(SatCounter, InitialValueClampedToMax)
+{
+    SatCounter c(7, 100);
+    EXPECT_EQ(c.value(), 7u);
+    EXPECT_TRUE(c.saturated());
+}
+
+TEST(SatCounter, IncrementSaturatesAtMax)
+{
+    SatCounter c(3);
+    for (int i = 0; i < 10; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), 3u);
+    EXPECT_TRUE(c.saturated());
+}
+
+TEST(SatCounter, DecrementClampsAtZero)
+{
+    SatCounter c(3, 1);
+    c.decrement();
+    c.decrement();
+    c.decrement();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(SatCounter, StepIncrementUsedByPriorityCounters)
+{
+    // The paper's priority counters: +2 on hit, saturate at 12.
+    SatCounter c(12);
+    for (int i = 0; i < 7; ++i)
+        c.increment(2);
+    EXPECT_EQ(c.value(), 12u);
+    c.decrement();
+    EXPECT_EQ(c.value(), 11u);
+}
+
+TEST(SatCounter, SetClampsToMax)
+{
+    SatCounter c(12);
+    c.set(7);
+    EXPECT_EQ(c.value(), 7u);
+    c.set(99);
+    EXPECT_EQ(c.value(), 12u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Bitfield, IsPowerOf2)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(1ull << 40));
+    EXPECT_FALSE(isPowerOf2((1ull << 40) + 1));
+}
+
+TEST(Bitfield, FloorAndCeilLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(32), 5u);
+    EXPECT_EQ(ceilLog2(32), 5u);
+    EXPECT_EQ(ceilLog2(33), 6u);
+}
+
+TEST(Bitfield, Mask)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(4), 0xfu);
+    EXPECT_EQ(mask(64), ~uint64_t(0));
+}
+
+TEST(Bitfield, SignExtend)
+{
+    EXPECT_EQ(signExtend(0x7f, 8), 127);
+    EXPECT_EQ(signExtend(0x80, 8), -128);
+    EXPECT_EQ(signExtend(0xff, 8), -1);
+    EXPECT_EQ(signExtend(0x8000, 16), -32768);
+}
+
+class FitsSignedTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(FitsSignedTest, BoundaryValuesRoundTripThroughSignExtend)
+{
+    unsigned bits = GetParam();
+    int64_t hi = (int64_t(1) << (bits - 1)) - 1;
+    int64_t lo = -(int64_t(1) << (bits - 1));
+    EXPECT_TRUE(fitsSigned(hi, bits));
+    EXPECT_TRUE(fitsSigned(lo, bits));
+    EXPECT_FALSE(fitsSigned(hi + 1, bits));
+    EXPECT_FALSE(fitsSigned(lo - 1, bits));
+    // Round trip: any representable value survives truncate+extend.
+    EXPECT_EQ(signExtend(uint64_t(hi), bits), hi);
+    EXPECT_EQ(signExtend(uint64_t(lo), bits), lo);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, FitsSignedTest,
+                         ::testing::Values(2u, 8u, 12u, 16u, 24u, 32u,
+                                           48u, 63u));
+
+TEST(Xorshift, DeterministicPerSeed)
+{
+    Xorshift64 a(42), b(42), c(43);
+    for (int i = 0; i < 100; ++i) {
+        uint64_t va = a.next();
+        EXPECT_EQ(va, b.next());
+    }
+    // Different seed diverges (statistically certain).
+    Xorshift64 a2(42);
+    bool diverged = false;
+    for (int i = 0; i < 10; ++i)
+        diverged |= (a2.next() != c.next());
+    EXPECT_TRUE(diverged);
+}
+
+TEST(Xorshift, BelowStaysInRange)
+{
+    Xorshift64 rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Xorshift, RangeInclusive)
+{
+    Xorshift64 rng(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        uint64_t v = rng.range(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        saw_lo |= (v == 3);
+        saw_hi |= (v == 6);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Xorshift, PercentChanceRoughlyCalibrated)
+{
+    Xorshift64 rng(99);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.percentChance(25) ? 1 : 0;
+    EXPECT_NEAR(hits, 2500, 300);
+}
+
+TEST(Average, MeanAndCount)
+{
+    Average a;
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    a.sample(2.0);
+    a.sample(4.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+    EXPECT_EQ(a.count(), 2u);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+}
+
+TEST(HistogramTest, BucketsAndOverflow)
+{
+    Histogram h(4);
+    h.sample(0);
+    h.sample(3);
+    h.sample(3);
+    h.sample(100); // overflow bucket
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(3), 2u);
+    EXPECT_EQ(h.bucket(4), 1u); // overflow
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(HistogramTest, CdfMonotonic)
+{
+    Histogram h(8);
+    for (uint64_t v = 0; v < 8; ++v)
+        h.sample(v);
+    double prev = 0.0;
+    for (uint64_t v = 0; v < 8; ++v) {
+        double cdf = h.cdfAt(v);
+        EXPECT_GE(cdf, prev);
+        prev = cdf;
+    }
+    EXPECT_DOUBLE_EQ(h.cdfAt(7), 1.0);
+    EXPECT_DOUBLE_EQ(h.cdfAt(3), 0.5);
+}
+
+TEST(Ratios, PercentAndRatioHandleZeroDenominator)
+{
+    EXPECT_DOUBLE_EQ(percent(1, 0), 0.0);
+    EXPECT_DOUBLE_EQ(ratio(1, 0), 0.0);
+    EXPECT_DOUBLE_EQ(percent(1, 4), 25.0);
+    EXPECT_DOUBLE_EQ(ratio(1, 4), 0.25);
+}
+
+TEST(TablePrinterTest, AlignsColumnsAndUnderlinesHeader)
+{
+    TablePrinter t;
+    t.addRow({"name", "v"});
+    t.addRow({"a", "1.00"});
+    t.addRow({"longer", "2"});
+    std::string s = t.str();
+    // Header, separator, two data rows.
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("----"), std::string::npos);
+    EXPECT_NE(s.find("longer"), std::string::npos);
+    // Column alignment: "1.00" appears after padding.
+    EXPECT_NE(s.find("a       1.00"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FmtHelpers)
+{
+    EXPECT_EQ(TablePrinter::fmt(1.2345, 2), "1.23");
+    EXPECT_EQ(TablePrinter::fmt(uint64_t(42)), "42");
+}
+
+} // namespace
+} // namespace psb

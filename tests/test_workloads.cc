@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Structural tests for the six synthetic benchmark analogs: they must
+ * be deterministic per seed, endless, emit a plausible instruction
+ * mix, and keep their pointer/stride character (checked loosely so
+ * calibration of sizes does not break the suite).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace psb
+{
+namespace
+{
+
+struct Mix
+{
+    uint64_t total = 0;
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t branches = 0;
+    std::set<Addr> loadPcs;
+    std::set<Addr> dataBlocks;
+};
+
+Mix
+sample(Workload &w, uint64_t n)
+{
+    Mix mix;
+    MicroOp op;
+    for (uint64_t i = 0; i < n && w.next(op); ++i) {
+        ++mix.total;
+        if (op.isLoad()) {
+            ++mix.loads;
+            mix.loadPcs.insert(op.pc);
+            mix.dataBlocks.insert(op.effAddr & ~Addr(31));
+        } else if (op.isStore()) {
+            ++mix.stores;
+        } else if (op.isBranch()) {
+            ++mix.branches;
+        }
+    }
+    return mix;
+}
+
+class WorkloadTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadTest, FactoryProducesNamedWorkload)
+{
+    auto w = makeWorkload(GetParam());
+    ASSERT_NE(w, nullptr);
+    EXPECT_EQ(w->name(), GetParam());
+}
+
+TEST_P(WorkloadTest, DeterministicPerSeed)
+{
+    auto w1 = makeWorkload(GetParam(), 7);
+    auto w2 = makeWorkload(GetParam(), 7);
+    MicroOp a, b;
+    for (int i = 0; i < 20000; ++i) {
+        ASSERT_TRUE(w1->next(a));
+        ASSERT_TRUE(w2->next(b));
+        ASSERT_EQ(a.pc, b.pc);
+        ASSERT_EQ(int(a.op), int(b.op));
+        ASSERT_EQ(a.effAddr, b.effAddr);
+        ASSERT_EQ(a.taken, b.taken);
+    }
+}
+
+TEST_P(WorkloadTest, DifferentSeedsDiverge)
+{
+    auto w1 = makeWorkload(GetParam(), 1);
+    auto w2 = makeWorkload(GetParam(), 999);
+    MicroOp a, b;
+    bool diverged = false;
+    for (int i = 0; i < 50000 && !diverged; ++i) {
+        w1->next(a);
+        w2->next(b);
+        diverged = (a.effAddr != b.effAddr);
+    }
+    EXPECT_TRUE(diverged);
+}
+
+TEST_P(WorkloadTest, EndlessSteadyState)
+{
+    auto w = makeWorkload(GetParam());
+    MicroOp op;
+    for (int i = 0; i < 300000; ++i)
+        ASSERT_TRUE(w->next(op));
+}
+
+TEST_P(WorkloadTest, PlausibleInstructionMix)
+{
+    auto w = makeWorkload(GetParam());
+    Mix mix = sample(*w, 200000);
+    double loads = double(mix.loads) / double(mix.total);
+    double stores = double(mix.stores) / double(mix.total);
+    double branches = double(mix.branches) / double(mix.total);
+    // Table 2 territory: loads 15-45%, stores 1-20%, branches 5-35%.
+    EXPECT_GT(loads, 0.15) << "load fraction";
+    EXPECT_LT(loads, 0.45) << "load fraction";
+    EXPECT_GT(stores, 0.01) << "store fraction";
+    EXPECT_LT(stores, 0.22) << "store fraction";
+    EXPECT_GT(branches, 0.05) << "branch fraction";
+    EXPECT_LT(branches, 0.35) << "branch fraction";
+}
+
+TEST_P(WorkloadTest, WorkingSetExceedsL1)
+{
+    auto w = makeWorkload(GetParam());
+    Mix mix = sample(*w, 400000);
+    // Accessed data footprint must exceed the 32 KB L1 (1024 blocks)
+    // or there would be nothing to prefetch.
+    EXPECT_GT(mix.dataBlocks.size(), 1200u);
+}
+
+TEST_P(WorkloadTest, StaticCodeFootprintReasonable)
+{
+    auto w = makeWorkload(GetParam());
+    Mix mix = sample(*w, 200000);
+    // A handful of load sites at least, but the synthetic "binary"
+    // stays small (paper benchmarks fit comfortably in the 32K L1I).
+    EXPECT_GE(mix.loadPcs.size(), 3u);
+    EXPECT_LT(mix.loadPcs.size(), 512u);
+}
+
+TEST_P(WorkloadTest, BranchTargetsPointIntoCode)
+{
+    auto w = makeWorkload(GetParam());
+    MicroOp op;
+    for (int i = 0; i < 50000; ++i) {
+        ASSERT_TRUE(w->next(op));
+        if (op.isBranch() && op.taken) {
+            EXPECT_GE(op.target, 0x00400000u);
+            EXPECT_LT(op.target, 0x01000000u);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSix, WorkloadTest,
+                         ::testing::ValuesIn(workloadNames()),
+                         [](const auto &info) { return info.param; });
+
+TEST(WorkloadFactoryTest, UnknownNameReturnsNull)
+{
+    EXPECT_EQ(makeWorkload("nonesuch"), nullptr);
+}
+
+TEST(WorkloadFactoryTest, NamesMatchPaperTable1)
+{
+    std::vector<std::string> expected = {"health", "burg", "deltablue",
+                                         "gs", "sis", "turb3d"};
+    EXPECT_EQ(workloadNames(), expected);
+}
+
+TEST(WorkloadCharacterTest, Turb3dIsStrideDominated)
+{
+    // Consecutive misses of the same PC should mostly advance by a
+    // constant stride. Approximate with per-PC address deltas.
+    auto w = makeWorkload("turb3d");
+    std::map<Addr, Addr> last;
+    std::map<int64_t, uint64_t> deltas;
+    uint64_t total = 0;
+    MicroOp op;
+    for (int i = 0; i < 300000; ++i) {
+        w->next(op);
+        if (!op.isLoad())
+            continue;
+        auto it = last.find(op.pc);
+        if (it != last.end()) {
+            ++deltas[int64_t(op.effAddr) - int64_t(it->second)];
+            ++total;
+        }
+        last[op.pc] = op.effAddr;
+    }
+    // A handful of constant strides (x/y/z sweeps, butterfly gaps)
+    // covers the vast majority of per-PC deltas.
+    std::vector<uint64_t> counts;
+    for (auto &[d, n] : deltas)
+        counts.push_back(n);
+    std::sort(counts.rbegin(), counts.rend());
+    uint64_t top = 0;
+    for (size_t i = 0; i < counts.size() && i < 8; ++i)
+        top += counts[i];
+    EXPECT_GT(double(top) / double(total), 0.75);
+}
+
+TEST(WorkloadCharacterTest, HealthChaseIsSerialised)
+{
+    // The patient-list walk must be a true pointer chase: each next
+    // load's source register equals the previous load's destination.
+    auto w = makeWorkload("health");
+    MicroOp op;
+    uint64_t chase_loads = 0;
+    for (int i = 0; i < 100000; ++i) {
+        w->next(op);
+        if (op.isLoad() && op.pc == 0x00400010) {
+            ++chase_loads;
+            EXPECT_EQ(op.src1, op.dst); // serialised through one reg
+        }
+    }
+    EXPECT_GT(chase_loads, 1000u);
+}
+
+TEST(WorkloadCharacterTest, DeltablueRecyclesConstraintAddresses)
+{
+    // Short-lived constraint objects must reuse addresses across
+    // rounds — the allocator-recycling behaviour the paper's
+    // deltablue depends on.
+    auto w = makeWorkload("deltablue");
+    MicroOp op;
+    std::map<Addr, int> store_pc_counts;
+    std::set<Addr> alloc_addrs;
+    uint64_t repeats = 0, allocs = 0;
+    for (int i = 0; i < 400000; ++i) {
+        w->next(op);
+        // Allocation stores write constraint field 0 at pc base+0x04.
+        if (op.isStore() && op.pc == 0x00600004) {
+            ++allocs;
+            if (!alloc_addrs.insert(op.effAddr).second)
+                ++repeats;
+        }
+    }
+    ASSERT_GT(allocs, 100u);
+    EXPECT_GT(double(repeats) / double(allocs), 0.5);
+}
+
+} // namespace
+} // namespace psb

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * psb-sim — the command-line front end to the simulator: pick a
+ * workload and a machine configuration, run, and get the full report.
+ * The downstream-user entry point that needs no C++.
+ *
+ * Usage:
+ *   psb-sim [options]
+ *     --workload NAME     health|burg|deltablue|gs|sis|turb3d
+ *                         (default health)
+ *     --prefetcher NAME   none|pcstride|psb|sequential|nextline|
+ *                         markov|mindelta          (default psb)
+ *     --alloc NAME        2miss|conf|always        (default conf)
+ *     --sched NAME        rr|priority              (default priority)
+ *     --insts N           measured instructions    (default 1000000)
+ *     --warmup N          warm-up instructions     (default 250000)
+ *     --seed N            workload seed            (default 1)
+ *     --l1d-kb N          L1D capacity in KB       (default 32)
+ *     --l1d-assoc N       L1D associativity        (default 4)
+ *     --buffers N         stream buffers           (default 8)
+ *     --entries N         entries per buffer       (default 4)
+ *     --markov-entries N  Markov table entries     (default 2048)
+ *     --delta-bits N      Markov delta width       (default 16)
+ *     --order K           order-K context predictor instead of SFM
+ *     --nodis             disable memory disambiguation
+ *     --tlb-cache         cache TLB translations in buffers (§4.5)
+ *     --help
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "sim/report.hh"
+#include "sim/simulator.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace psb;
+
+[[noreturn]] void
+usage(int code)
+{
+    std::fputs(
+        "psb-sim: run one predictor-directed stream buffer "
+        "simulation\n"
+        "  --workload NAME     health|burg|deltablue|gs|sis|turb3d\n"
+        "  --prefetcher NAME   none|pcstride|psb|sequential|nextline|"
+        "markov|mindelta\n"
+        "  --alloc NAME        2miss|conf|always\n"
+        "  --sched NAME        rr|priority\n"
+        "  --insts N --warmup N --seed N\n"
+        "  --l1d-kb N --l1d-assoc N\n"
+        "  --buffers N --entries N --markov-entries N --delta-bits N\n"
+        "  --order K --nodis --tlb-cache --help\n",
+        code == 0 ? stdout : stderr);
+    std::exit(code);
+}
+
+uint64_t
+parseNum(const char *value, const char *flag)
+{
+    char *end = nullptr;
+    uint64_t v = std::strtoull(value, &end, 10);
+    if (end == value || *end != '\0') {
+        std::fprintf(stderr, "psb-sim: bad value '%s' for %s\n", value,
+                     flag);
+        std::exit(1);
+    }
+    return v;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload = "health";
+    uint64_t seed = 1;
+    SimConfig cfg;
+    cfg.prefetcher = PrefetcherKind::Psb;
+    cfg.psb.alloc = AllocPolicy::Confidence;
+    cfg.psb.sched = SchedPolicy::Priority;
+    cfg.warmupInstructions = 250'000;
+    cfg.maxInstructions = 1'000'000;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string flag = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "psb-sim: %s needs a value\n",
+                             flag.c_str());
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (flag == "--help" || flag == "-h") {
+            usage(0);
+        } else if (flag == "--workload") {
+            workload = value();
+        } else if (flag == "--prefetcher") {
+            std::string v = value();
+            if (v == "none")
+                cfg.prefetcher = PrefetcherKind::None;
+            else if (v == "pcstride")
+                cfg.prefetcher = PrefetcherKind::PcStride;
+            else if (v == "psb")
+                cfg.prefetcher = PrefetcherKind::Psb;
+            else if (v == "sequential")
+                cfg.prefetcher = PrefetcherKind::Sequential;
+            else if (v == "nextline")
+                cfg.prefetcher = PrefetcherKind::NextLine;
+            else if (v == "markov")
+                cfg.prefetcher = PrefetcherKind::MarkovDemand;
+            else if (v == "mindelta")
+                cfg.prefetcher = PrefetcherKind::MinDelta;
+            else
+                usage(1);
+        } else if (flag == "--alloc") {
+            std::string v = value();
+            if (v == "2miss")
+                cfg.psb.alloc = AllocPolicy::TwoMiss;
+            else if (v == "conf")
+                cfg.psb.alloc = AllocPolicy::Confidence;
+            else if (v == "always")
+                cfg.psb.alloc = AllocPolicy::Always;
+            else
+                usage(1);
+        } else if (flag == "--sched") {
+            std::string v = value();
+            if (v == "rr")
+                cfg.psb.sched = SchedPolicy::RoundRobin;
+            else if (v == "priority")
+                cfg.psb.sched = SchedPolicy::Priority;
+            else
+                usage(1);
+        } else if (flag == "--insts") {
+            cfg.maxInstructions = parseNum(value(), "--insts");
+        } else if (flag == "--warmup") {
+            cfg.warmupInstructions = parseNum(value(), "--warmup");
+        } else if (flag == "--seed") {
+            seed = parseNum(value(), "--seed");
+        } else if (flag == "--l1d-kb") {
+            cfg.memory.l1d.sizeBytes =
+                parseNum(value(), "--l1d-kb") * 1024;
+        } else if (flag == "--l1d-assoc") {
+            cfg.memory.l1d.assoc =
+                unsigned(parseNum(value(), "--l1d-assoc"));
+        } else if (flag == "--buffers") {
+            cfg.psb.buffers.numBuffers =
+                unsigned(parseNum(value(), "--buffers"));
+        } else if (flag == "--entries") {
+            cfg.psb.buffers.entriesPerBuffer =
+                unsigned(parseNum(value(), "--entries"));
+        } else if (flag == "--markov-entries") {
+            cfg.sfm.markov.entries =
+                unsigned(parseNum(value(), "--markov-entries"));
+        } else if (flag == "--delta-bits") {
+            cfg.sfm.markov.deltaBits =
+                unsigned(parseNum(value(), "--delta-bits"));
+        } else if (flag == "--order") {
+            cfg.psbContextOrder = unsigned(parseNum(value(), "--order"));
+        } else if (flag == "--nodis") {
+            cfg.core.disambiguation = DisambiguationMode::None;
+        } else if (flag == "--tlb-cache") {
+            cfg.psb.buffers.cacheTlbTranslation = true;
+        } else {
+            std::fprintf(stderr, "psb-sim: unknown flag '%s'\n",
+                         flag.c_str());
+            usage(1);
+        }
+    }
+
+    auto trace = psb::makeWorkload(workload, seed);
+    if (!trace) {
+        std::fprintf(stderr, "psb-sim: unknown workload '%s'\n",
+                     workload.c_str());
+        return 1;
+    }
+
+    cfg.harmonize();
+    psb::Simulator sim(cfg, *trace);
+    psb::SimResult r = sim.run();
+    psb::printReport(workload + " / " + cfg.label(), r);
+    return 0;
+}
