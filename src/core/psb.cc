@@ -62,6 +62,8 @@ PredictorDirectedStreamBuffers::lookup(Addr addr, Cycle now)
     // "Every time there is a lookup and the stream buffer gets a hit,
     // the priority counter is incremented by a constant value (2)."
     buf.priority.increment(_cfg.buffers.priorityHitIncrement);
+    buf.notePriorityPeak();
+    ++buf.hitCount;
     buf.lastHitStamp = _file.nextStamp();
 
     // The entry is freed for a new prediction and prefetch.
@@ -245,6 +247,38 @@ PredictorDirectedStreamBuffers::tick(Cycle now)
 {
     makePrediction(now);
     issuePrefetch(now);
+}
+
+void
+PredictorDirectedStreamBuffers::resetStats()
+{
+    _stats = PrefetcherStats{};
+    _predictSched.resetStats();
+    _prefetchSched.resetStats();
+    for (unsigned b = 0; b < _file.numBuffers(); ++b)
+        _file.buffer(b).resetBufferStats();
+}
+
+void
+PredictorDirectedStreamBuffers::registerStats(StatsRegistry &reg,
+                                              const std::string &prefix)
+    const
+{
+    Prefetcher::registerStats(reg, prefix);
+    for (unsigned b = 0; b < _file.numBuffers(); ++b) {
+        const StreamBuffer &buf = _file.buffer(b);
+        std::string base = prefix + ".buffer" + std::to_string(b);
+        reg.addScalar(base + ".priority",
+                      [&buf] { return uint64_t(buf.priority.value()); });
+        reg.addScalar(base + ".priority_peak",
+                      [&buf] { return uint64_t(buf.priorityPeak); });
+        reg.addScalar(base + ".hits", &buf.hitCount);
+        reg.addScalar(base + ".stream_allocs", &buf.streamAllocs);
+        reg.addScalar(base + ".allocated",
+                      [&buf] { return uint64_t(buf.allocated()); });
+    }
+    _predictSched.registerStats(reg, prefix + ".sched.predict");
+    _prefetchSched.registerStats(reg, prefix + ".sched.prefetch");
 }
 
 } // namespace psb

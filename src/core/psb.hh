@@ -85,7 +85,16 @@ class PredictorDirectedStreamBuffers : public Prefetcher
     void demandMiss(Addr pc, Addr addr, Cycle now) override;
     void tick(Cycle now) override;
     const PrefetcherStats &stats() const override { return _stats; }
-    void resetStats() override { _stats = PrefetcherStats{}; }
+    void resetStats() override;
+
+    /**
+     * Common prefetcher stats plus per-buffer telemetry
+     * (prefix.bufferN.{priority,priority_peak,hits,stream_allocs,
+     * allocated}) and the two arbitration schedulers
+     * (prefix.sched.{predict,prefetch}.*).
+     */
+    void registerStats(StatsRegistry &reg,
+                       const std::string &prefix) const override;
 
     const StreamBufferFile &bufferFile() const { return _file; }
     const PsbConfig &config() const { return _cfg; }

@@ -504,4 +504,28 @@ OoOCore::fetchStage(Cycle now)
     }
 }
 
+void
+OoOCore::registerStats(StatsRegistry &reg) const
+{
+    reg.addScalar("core.cycles", &_stats.cycles);
+    reg.addScalar("core.instructions", &_stats.instructions);
+    reg.addScalar("core.loads", &_stats.loads);
+    reg.addScalar("core.stores", &_stats.stores);
+    reg.addScalar("core.branches", &_stats.branches);
+    reg.addScalar("core.mispredicts", &_stats.mispredicts);
+    reg.addScalar("core.store_forwards", &_stats.storeForwards);
+    reg.addScalar("core.mshr_stall_retries", &_stats.mshrStallRetries);
+    reg.addScalar("core.order_violations", &_stats.orderViolations);
+    reg.addScalar("core.sb_serviced", &_stats.sbServiced);
+    reg.addReal("core.ipc", [this] { return _stats.ipc(); });
+    reg.addAverage("core.load_latency", &_stats.loadLatency);
+
+    reg.addScalar("l1d.accesses", &_stats.l1dAccesses);
+    reg.addScalar("l1d.hits", &_stats.l1dHits);
+    reg.addScalar("l1d.misses", &_stats.l1dMisses);
+    reg.addScalar("l1d.in_flight", &_stats.l1dInFlight);
+    reg.addReal("l1d.miss_rate",
+                [this] { return _stats.l1dMissRate(); });
+}
+
 } // namespace psb

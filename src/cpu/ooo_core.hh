@@ -108,6 +108,14 @@ class OoOCore
     /** Zero the statistics (end-of-warm-up). */
     void resetStats() { _stats = CoreStats{}; }
 
+    /**
+     * Register the execution stats under "core." plus the L1D
+     * hit/miss accounting under "l1d." (the core keeps it because the
+     * paper's miss definition depends on in-flight state the cache
+     * cannot see).
+     */
+    void registerStats(StatsRegistry &reg) const;
+
     const GsharePredictor &branchPredictor() const { return _gshare; }
 
   private:

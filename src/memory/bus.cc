@@ -1,6 +1,7 @@
 #include "memory/bus.hh"
 
 #include "util/logging.hh"
+#include "util/stats.hh"
 
 namespace psb
 {
@@ -26,6 +27,13 @@ Bus::transact(Cycle earliest, unsigned payload_bytes)
     _busyCycles += duration;
     ++_transfers;
     return BusSlot{start, _busyUntil};
+}
+
+void
+Bus::registerStats(StatsRegistry &reg, const std::string &prefix) const
+{
+    reg.addScalar(prefix + ".busy_cycles", &_busyCycles);
+    reg.addScalar(prefix + ".transfers", &_transfers);
 }
 
 } // namespace psb

@@ -21,11 +21,14 @@
 #define PSB_MEMORY_BUS_HH
 
 #include <cstdint>
+#include <string>
 
 #include "trace/micro_op.hh"
 
 namespace psb
 {
+
+class StatsRegistry;
 
 /** The bus cycles granted to one transaction. */
 struct BusSlot
@@ -66,6 +69,9 @@ class Bus
         _busyCycles = 0;
         _transfers = 0;
     }
+
+    /** Register busy_cycles and transfers under @p prefix. */
+    void registerStats(StatsRegistry &reg, const std::string &prefix) const;
 
   private:
     unsigned _bytesPerCycle;

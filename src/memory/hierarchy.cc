@@ -177,6 +177,38 @@ MemoryHierarchy::resetStats()
     _l1L2Bus.resetStats();
     _l2MemBus.resetStats();
     _dtlb.resetStats();
+    _dataMshrs.resetStats();
+    _instMshrs.resetStats();
+    _memory.resetStats();
+}
+
+void
+MemoryHierarchy::registerStats(StatsRegistry &reg) const
+{
+    reg.addScalar("l2.accesses", &_stats.l2Accesses);
+    reg.addScalar("l2.hits", &_stats.l2Hits);
+    reg.addScalar("l2.misses", &_stats.l2Misses);
+    reg.addReal("l2.miss_rate", [this] {
+        return ratio(_stats.l2Misses, _stats.l2Accesses);
+    });
+    reg.addScalar("l2.writebacks", &_stats.l2Writebacks);
+    reg.addScalar("l2.prefetches", &_stats.prefetches);
+    reg.addScalar("l2.prefetch_hits", &_stats.prefetchL2Hits);
+
+    reg.addScalar("l1d.writebacks", &_stats.l1Writebacks);
+
+    reg.addScalar("l1i.accesses", &_stats.instFetches);
+    reg.addScalar("l1i.misses", &_stats.instMisses);
+    reg.addScalar("l1i.hits", [this] {
+        return _stats.instFetches - _stats.instMisses;
+    });
+
+    _l1L2Bus.registerStats(reg, "bus.l1_l2");
+    _l2MemBus.registerStats(reg, "bus.l2_mem");
+    _dataMshrs.registerStats(reg, "mshr.data");
+    _instMshrs.registerStats(reg, "mshr.inst");
+    _dtlb.registerStats(reg, "tlb.data");
+    _memory.registerStats(reg, "mem");
 }
 
 Cycle

@@ -29,6 +29,8 @@
 
 #include <cstdint>
 
+#include "util/stats.hh"
+
 #include "memory/bus.hh"
 #include "memory/cache.hh"
 #include "memory/main_memory.hh"
@@ -157,6 +159,15 @@ class MemoryHierarchy
 
     /** Zero all accounting (end-of-warm-up). Cache state is kept. */
     void resetStats();
+
+    /**
+     * Register every memory-system stat: the L2 and L1I counters kept
+     * here, plus the buses, MSHR files, DTLB, and main memory under
+     * their own component paths. (The L1D hit/miss accounting lives
+     * with the core — see the SetAssocCache file comment — so the
+     * "l1d." stats are registered by OoOCore::registerStats.)
+     */
+    void registerStats(StatsRegistry &reg) const;
     const Bus &l1L2Bus() const { return _l1L2Bus; }
     const Bus &l2MemBus() const { return _l2MemBus; }
     const Tlb &dtlb() const { return _dtlb; }

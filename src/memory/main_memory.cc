@@ -1,6 +1,7 @@
 #include "memory/main_memory.hh"
 
 #include "util/logging.hh"
+#include "util/stats.hh"
 
 namespace psb
 {
@@ -18,6 +19,13 @@ MainMemory::access(Cycle now)
     _nextAccept = start + _issueInterval;
     ++_accesses;
     return start + _latency;
+}
+
+void
+MainMemory::registerStats(StatsRegistry &reg,
+                          const std::string &prefix) const
+{
+    reg.addScalar(prefix + ".accesses", &_accesses);
 }
 
 } // namespace psb

@@ -9,11 +9,14 @@
 #define PSB_MEMORY_MAIN_MEMORY_HH
 
 #include <cstdint>
+#include <string>
 
 #include "trace/micro_op.hh"
 
 namespace psb
 {
+
+class StatsRegistry;
 
 /** DRAM array with a fixed access time and an issue interval. */
 class MainMemory
@@ -34,6 +37,12 @@ class MainMemory
 
     uint64_t accesses() const { return _accesses; }
     Cycle latency() const { return _latency; }
+
+    /** Zero the accounting (end-of-warm-up); timing state is kept. */
+    void resetStats() { _accesses = 0; }
+
+    /** Register the access count under @p prefix. */
+    void registerStats(StatsRegistry &reg, const std::string &prefix) const;
 
   private:
     Cycle _latency;

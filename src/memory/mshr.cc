@@ -1,6 +1,7 @@
 #include "memory/mshr.hh"
 
 #include "util/logging.hh"
+#include "util/stats.hh"
 
 namespace psb
 {
@@ -72,6 +73,14 @@ MshrFile::occupancy(Cycle now)
     for (const auto &e : _entries)
         n += e.valid ? 1 : 0;
     return n;
+}
+
+void
+MshrFile::registerStats(StatsRegistry &reg, const std::string &prefix) const
+{
+    reg.addScalar(prefix + ".allocations", &_allocations);
+    reg.addScalar(prefix + ".merges", &_merges);
+    reg.addScalar(prefix + ".capacity", [this] { return uint64_t(_capacity); });
 }
 
 } // namespace psb

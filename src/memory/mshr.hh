@@ -13,12 +13,15 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "trace/micro_op.hh"
 
 namespace psb
 {
+
+class StatsRegistry;
 
 /** A small fully-associative file of in-flight block fills. */
 class MshrFile
@@ -53,6 +56,17 @@ class MshrFile
     uint64_t merges() const { return _merges; }
 
     unsigned capacity() const { return _capacity; }
+
+    /** Zero the accounting (end-of-warm-up); entries are kept. */
+    void
+    resetStats()
+    {
+        _allocations = 0;
+        _merges = 0;
+    }
+
+    /** Register allocations and merges under @p prefix. */
+    void registerStats(StatsRegistry &reg, const std::string &prefix) const;
 
   private:
     struct Entry

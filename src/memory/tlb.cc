@@ -1,5 +1,7 @@
 #include "memory/tlb.hh"
 
+#include "util/stats.hh"
+
 #include "util/bitfield.hh"
 #include "util/logging.hh"
 
@@ -52,6 +54,15 @@ Tlb::probe(Addr vaddr) const
             return true;
     }
     return false;
+}
+
+void
+Tlb::registerStats(StatsRegistry &reg, const std::string &prefix) const
+{
+    reg.addScalar(prefix + ".accesses", &_accesses);
+    reg.addScalar(prefix + ".misses", &_misses);
+    reg.addReal(prefix + ".miss_rate",
+                [this] { return ratio(_misses, _accesses); });
 }
 
 } // namespace psb

@@ -11,12 +11,15 @@
 #define PSB_MEMORY_TLB_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "trace/micro_op.hh"
 
 namespace psb
 {
+
+class StatsRegistry;
 
 /** Fully-associative, LRU-replaced translation buffer. */
 class Tlb
@@ -48,6 +51,9 @@ class Tlb
         _accesses = 0;
         _misses = 0;
     }
+
+    /** Register accesses, misses, and miss_rate under @p prefix. */
+    void registerStats(StatsRegistry &reg, const std::string &prefix) const;
 
   private:
     struct Entry

@@ -24,11 +24,14 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 
 #include "trace/micro_op.hh"
 
 namespace psb
 {
+
+class StatsRegistry;
 
 /**
  * Per-stream prediction history, stored with each stream buffer
@@ -94,6 +97,20 @@ class AddressPredictor
      * Palacharla-Kessler minimum-delta detector).
      */
     virtual bool twoMissFilterPass(Addr pc, Addr addr) const = 0;
+
+    /**
+     * Register predictor-internal stats under @p prefix. Default: the
+     * predictor keeps no exported counters.
+     */
+    virtual void
+    registerStats(StatsRegistry &reg, const std::string &prefix) const
+    {
+        (void)reg;
+        (void)prefix;
+    }
+
+    /** Zero exported counters (end-of-warm-up); tables are kept. */
+    virtual void resetStats() {}
 };
 
 } // namespace psb

@@ -1,6 +1,7 @@
 #include "predictors/sfm_predictor.hh"
 
 #include "util/logging.hh"
+#include "util/stats.hh"
 
 namespace psb
 {
@@ -96,6 +97,16 @@ bool
 SfmPredictor::twoMissFilterPass(Addr pc, Addr) const
 {
     return _stride.twoCorrectInARow(pc);
+}
+
+void
+SfmPredictor::registerStats(StatsRegistry &reg,
+                            const std::string &prefix) const
+{
+    reg.addScalar(prefix + ".train_events", &_trainEvents);
+    reg.addScalar(prefix + ".correct_predictions", &_correct);
+    reg.addReal(prefix + ".coverage",
+                [this] { return ratio(_correct, _trainEvents); });
 }
 
 } // namespace psb

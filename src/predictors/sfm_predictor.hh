@@ -65,6 +65,17 @@ class SfmPredictor : public AddressPredictor
     uint64_t trainEvents() const { return _trainEvents; }
     uint64_t correctPredictions() const { return _correct; }
 
+    /** Export train_events, correct_predictions, and coverage. */
+    void registerStats(StatsRegistry &reg,
+                       const std::string &prefix) const override;
+
+    void
+    resetStats() override
+    {
+        _trainEvents = 0;
+        _correct = 0;
+    }
+
     const StrideTable &strideTable() const { return _stride; }
     const DiffMarkovTable &markovTable() const { return _markov; }
     const SfmConfig &config() const { return _cfg; }

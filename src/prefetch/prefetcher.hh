@@ -14,8 +14,10 @@
 #define PSB_PREFETCH_PREFETCHER_HH
 
 #include <cstdint>
+#include <string>
 
 #include "trace/micro_op.hh"
+#include "util/stats.hh"
 
 namespace psb
 {
@@ -94,6 +96,42 @@ class Prefetcher
 
     /** Zero the statistics (end-of-warm-up); state is kept. */
     virtual void resetStats() = 0;
+
+    /**
+     * Register this prefetcher's stats under @p prefix. The default
+     * registers the common PrefetcherStats counters by reading
+     * stats() at snapshot time; implementations with extra internal
+     * state (per-buffer counters, schedulers) extend it.
+     */
+    virtual void
+    registerStats(StatsRegistry &reg, const std::string &prefix) const
+    {
+        reg.addScalar(prefix + ".lookups",
+                      [this] { return stats().lookups; });
+        reg.addScalar(prefix + ".hits", [this] { return stats().hits; });
+        reg.addScalar(prefix + ".hits_pending",
+                      [this] { return stats().hitsPending; });
+        reg.addScalar(prefix + ".late_tag_hits",
+                      [this] { return stats().lateTagHits; });
+        reg.addScalar(prefix + ".issued",
+                      [this] { return stats().prefetchesIssued; });
+        reg.addScalar(prefix + ".used",
+                      [this] { return stats().prefetchesUsed; });
+        reg.addScalar(prefix + ".allocation_requests",
+                      [this] { return stats().allocationRequests; });
+        reg.addScalar(prefix + ".allocations",
+                      [this] { return stats().allocations; });
+        reg.addScalar(prefix + ".allocations_filtered",
+                      [this] { return stats().allocationsFiltered; });
+        reg.addScalar(prefix + ".predictions",
+                      [this] { return stats().predictions; });
+        reg.addScalar(prefix + ".duplicate_suppressed",
+                      [this] { return stats().duplicateSuppressed; });
+        reg.addScalar(prefix + ".tlb_translations_skipped",
+                      [this] { return stats().tlbTranslationsSkipped; });
+        reg.addReal(prefix + ".accuracy",
+                    [this] { return stats().accuracy(); });
+    }
 };
 
 /** The no-prefetching baseline. */

@@ -1,6 +1,7 @@
 #include "prefetch/scheduler.hh"
 
 #include "util/logging.hh"
+#include "util/stats.hh"
 
 namespace psb
 {
@@ -31,9 +32,11 @@ BufferScheduler::pick(const StreamBufferFile &file,
             unsigned b = (_rrPtr + i) % _numBuffers;
             if (candidate(b)) {
                 _rrPtr = b;
+                ++_grants;
                 return int(b);
             }
         }
+        ++_noCandidate;
         return -1;
     }
 
@@ -53,7 +56,19 @@ BufferScheduler::pick(const StreamBufferFile &file,
             best = int(b);
         }
     }
+    if (best >= 0)
+        ++_grants;
+    else
+        ++_noCandidate;
     return best;
+}
+
+void
+BufferScheduler::registerStats(StatsRegistry &reg,
+                               const std::string &prefix) const
+{
+    reg.addScalar(prefix + ".grants", &_grants);
+    reg.addScalar(prefix + ".no_candidate", &_noCandidate);
 }
 
 } // namespace psb

@@ -12,11 +12,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 
 #include "prefetch/stream_buffer.hh"
 
 namespace psb
 {
+
+class StatsRegistry;
 
 /** Arbitration policy for the predictor port and prefetch bus slot. */
 enum class SchedPolicy
@@ -54,10 +57,27 @@ class BufferScheduler
 
     SchedPolicy policy() const { return _policy; }
 
+    /** Arbitration outcomes: picks with and without a candidate. */
+    uint64_t grants() const { return _grants; }
+    uint64_t noCandidatePicks() const { return _noCandidate; }
+
+    /** Zero the accounting (end-of-warm-up); pointers are kept. */
+    void
+    resetStats()
+    {
+        _grants = 0;
+        _noCandidate = 0;
+    }
+
+    /** Register grants and no_candidate under @p prefix. */
+    void registerStats(StatsRegistry &reg, const std::string &prefix) const;
+
   private:
     SchedPolicy _policy;
     unsigned _numBuffers;
     unsigned _rrPtr = 0;
+    uint64_t _grants = 0;
+    uint64_t _noCandidate = 0;
 };
 
 } // namespace psb

@@ -34,6 +34,14 @@ class SequentialStreamBuffers : public Prefetcher
     const PrefetcherStats &stats() const override;
     void resetStats() override { _psb.resetStats(); }
 
+    /** Delegate to the inner PSB so per-buffer stats are exported. */
+    void
+    registerStats(StatsRegistry &reg,
+                  const std::string &prefix) const override
+    {
+        _psb.registerStats(reg, prefix);
+    }
+
   private:
     NextBlockPredictor _predictor;
     PredictorDirectedStreamBuffers _psb;

@@ -21,6 +21,8 @@ StreamBuffer::allocateStream(const StreamState &new_state,
     for (auto &e : _entries)
         e = SbEntry{};
     _allocated = true;
+    ++streamAllocs;
+    notePriorityPeak();
 }
 
 int

@@ -97,6 +97,28 @@ class StreamBuffer
     uint64_t lastPredictStamp = 0;
     uint64_t lastPrefetchStamp = 0;
 
+    /** Per-buffer accounting exported through the stats registry. */
+    uint64_t hitCount = 0;     ///< lookups this buffer serviced
+    uint64_t streamAllocs = 0; ///< streams installed into this buffer
+    uint32_t priorityPeak = 0; ///< high-water of the priority counter
+
+    /** Record the current priority value into the high-water mark. */
+    void
+    notePriorityPeak()
+    {
+        if (priority.value() > priorityPeak)
+            priorityPeak = priority.value();
+    }
+
+    /** Zero the per-buffer accounting (end-of-warm-up). */
+    void
+    resetBufferStats()
+    {
+        hitCount = 0;
+        streamAllocs = 0;
+        priorityPeak = priority.value();
+    }
+
   private:
     std::vector<SbEntry> _entries;
     bool _allocated = false;

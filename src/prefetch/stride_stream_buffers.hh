@@ -67,6 +67,14 @@ class StrideStreamBuffers : public Prefetcher
     const PrefetcherStats &stats() const override;
     void resetStats() override { _psb.resetStats(); }
 
+    /** Delegate to the inner PSB so per-buffer stats are exported. */
+    void
+    registerStats(StatsRegistry &reg,
+                  const std::string &prefix) const override
+    {
+        _psb.registerStats(reg, prefix);
+    }
+
     const FarkasStridePredictor &predictor() const { return _predictor; }
 
   private:

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "util/stats_json.hh"
+
 namespace psb
 {
 
@@ -50,6 +52,36 @@ void
 printReport(const std::string &title, const SimResult &r)
 {
     std::fputs(formatReport(title, r).c_str(), stdout);
+}
+
+std::string
+formatStatsReport(const std::string &title, const StatsRegistry &reg)
+{
+    auto snapshot = reg.snapshot();
+
+    size_t width = 0;
+    for (const auto &[path, value] : snapshot) {
+        (void)value;
+        if (path.size() > width)
+            width = path.size();
+    }
+
+    std::ostringstream out;
+    out << "=== " << title << " ===\n";
+    for (const auto &[path, value] : snapshot) {
+        out << "  " << path
+            << std::string(width - path.size() + 2, ' ');
+        if (value.kind == StatValue::Kind::Scalar) {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%llu",
+                          (unsigned long long)value.scalar);
+            out << buf;
+        } else {
+            out << formatStatReal(value.real);
+        }
+        out << "\n";
+    }
+    return out.str();
 }
 
 } // namespace psb

@@ -21,6 +21,14 @@ std::string formatReport(const std::string &title, const SimResult &r);
 /** Print the report to stdout. */
 void printReport(const std::string &title, const SimResult &r);
 
+/**
+ * Render every stat in the registry, one aligned "path value" line
+ * per stat in sorted path order. The values are spelled exactly as in
+ * the JSON export so the two render the same numbers.
+ */
+std::string formatStatsReport(const std::string &title,
+                              const StatsRegistry &reg);
+
 } // namespace psb
 
 #endif // PSB_SIM_REPORT_HH

@@ -51,6 +51,13 @@ class HookedPrefetcher : public Prefetcher
     const PrefetcherStats &stats() const override { return _inner.stats(); }
     void resetStats() override { _inner.resetStats(); }
 
+    void
+    registerStats(StatsRegistry &reg,
+                  const std::string &prefix) const override
+    {
+        _inner.registerStats(reg, prefix);
+    }
+
   private:
     Prefetcher &_inner;
     const std::function<void(Addr, Addr)> *_hook;
@@ -118,6 +125,57 @@ Simulator::Simulator(const SimConfig &cfg, TraceSource &trace) : _cfg(cfg)
         std::make_unique<HookedPrefetcher>(*_prefetcher, &_missHook);
     _core = std::make_unique<OoOCore>(_cfg.core, *_hierarchy,
                                       *_hookWrapper, trace);
+    buildStatsRegistry();
+}
+
+namespace
+{
+
+/** Registry prefix for each prefetcher kind (issue naming: "psb.*"). */
+const char *
+prefetcherStatsPrefix(PrefetcherKind kind)
+{
+    switch (kind) {
+      case PrefetcherKind::None:         return "prefetcher";
+      case PrefetcherKind::PcStride:     return "pcstride";
+      case PrefetcherKind::Psb:          return "psb";
+      case PrefetcherKind::Sequential:   return "seqsb";
+      case PrefetcherKind::NextLine:     return "nextline";
+      case PrefetcherKind::MarkovDemand: return "markov";
+      case PrefetcherKind::MinDelta:     return "mindelta";
+    }
+    return "prefetcher";
+}
+
+} // namespace
+
+void
+Simulator::buildStatsRegistry()
+{
+    _core->registerStats(_registry);
+    _hierarchy->registerStats(_registry);
+    _prefetcher->registerStats(_registry,
+                               prefetcherStatsPrefix(_cfg.prefetcher));
+    if (_predictor)
+        _predictor->registerStats(_registry, "sfm_predictor");
+
+    // Cross-component derived values (the SimResult figures).
+    _registry.addReal("sim.l1_l2_bus_util", [this] {
+        return ratio(_hierarchy->l1L2Bus().busyCycles(),
+                     _core->stats().cycles);
+    });
+    _registry.addReal("sim.l2_mem_bus_util", [this] {
+        return ratio(_hierarchy->l2MemBus().busyCycles(),
+                     _core->stats().cycles);
+    });
+    _registry.addReal("sim.pct_loads", [this] {
+        return percent(_core->stats().loads,
+                       _core->stats().instructions);
+    });
+    _registry.addReal("sim.pct_stores", [this] {
+        return percent(_core->stats().stores,
+                       _core->stats().instructions);
+    });
 }
 
 Simulator::~Simulator() = default;
@@ -134,6 +192,8 @@ Simulator::resetAllStats()
     _core->resetStats();
     _hierarchy->resetStats();
     _prefetcher->resetStats();
+    if (_predictor)
+        _predictor->resetStats();
 }
 
 SimResult

@@ -11,14 +11,24 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "sim/config.hh"
 #include "trace/trace_source.hh"
+#include "util/stats.hh"
 
 namespace psb
 {
 
-/** Everything the bench harnesses read out of one simulation. */
+/**
+ * Everything the bench harnesses read out of one simulation.
+ *
+ * This is a thin copied-out view over the stats registry: every field
+ * here is also registered under a stable dotted path (core.*, l1d.*,
+ * l2.*, bus.*, the prefetcher's prefix, sim.*) and exported by
+ * Simulator::statsJson(); the struct remains for the bench harnesses
+ * that index fields directly.
+ */
 struct SimResult
 {
     CoreStats core;
@@ -68,11 +78,23 @@ class Simulator
     OoOCore &core() { return *_core; }
     const SimConfig &config() const { return _cfg; }
 
+    /** Every component's stats, registered at construction. */
+    const StatsRegistry &statsRegistry() const { return _registry; }
+
+    /**
+     * Deterministic flat-JSON dump of every registered stat (sorted
+     * keys, fixed float formatting). Byte-identical across runs with
+     * the same configuration and seed.
+     */
+    std::string statsJson() const { return _registry.toJson(); }
+
   private:
     void resetAllStats();
+    void buildStatsRegistry();
     SimResult gather() const;
 
     SimConfig _cfg;
+    StatsRegistry _registry;
     std::unique_ptr<MemoryHierarchy> _hierarchy;
     std::unique_ptr<AddressPredictor> _predictor; ///< PSB kind only
     std::unique_ptr<Prefetcher> _prefetcher;

@@ -1,5 +1,10 @@
 #include "util/stats.hh"
 
+#include <cstdio>
+
+#include "util/logging.hh"
+#include "util/stats_json.hh"
+
 namespace psb
 {
 
@@ -23,6 +28,71 @@ Histogram::reset()
     for (auto &b : _buckets)
         b = 0;
     _total = 0;
+}
+
+void
+StatsRegistry::add(const std::string &path, std::function<StatValue()> fn)
+{
+    psb_assert(!path.empty(), "stat path must not be empty");
+    auto [it, inserted] = _stats.emplace(path, std::move(fn));
+    (void)it;
+    if (!inserted)
+        panic("duplicate stat registration: %s", path.c_str());
+}
+
+void
+StatsRegistry::addScalar(const std::string &path, ScalarFn fn)
+{
+    add(path,
+        [fn = std::move(fn)] { return StatValue::makeScalar(fn()); });
+}
+
+void
+StatsRegistry::addReal(const std::string &path, RealFn fn)
+{
+    add(path, [fn = std::move(fn)] { return StatValue::makeReal(fn()); });
+}
+
+void
+StatsRegistry::addAverage(const std::string &path, const Average *avg)
+{
+    addScalar(path + ".count", [avg] { return avg->count(); });
+    addReal(path + ".sum", [avg] { return avg->sum(); });
+    addReal(path + ".mean", [avg] { return avg->mean(); });
+}
+
+void
+StatsRegistry::addHistogram(const std::string &path, const Histogram *hist)
+{
+    for (size_t i = 0; i < hist->numBuckets(); ++i) {
+        char name[32];
+        std::snprintf(name, sizeof(name), ".bucket%03zu", i);
+        addScalar(path + name, [hist, i] { return hist->bucket(i); });
+    }
+    addScalar(path + ".overflow",
+              [hist] { return hist->bucket(hist->numBuckets()); });
+    addScalar(path + ".samples", [hist] { return hist->total(); });
+}
+
+bool
+StatsRegistry::has(const std::string &path) const
+{
+    return _stats.count(path) != 0;
+}
+
+std::map<std::string, StatValue>
+StatsRegistry::snapshot() const
+{
+    std::map<std::string, StatValue> out;
+    for (const auto &[path, fn] : _stats)
+        out.emplace(path, fn());
+    return out;
+}
+
+std::string
+StatsRegistry::toJson() const
+{
+    return statsToJson(snapshot());
 }
 
 } // namespace psb

@@ -1,0 +1,197 @@
+#include "util/stats_json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace psb
+{
+
+namespace
+{
+
+/** Minimal escaping; stat paths are [a-z0-9._] but stay safe anyway. */
+std::string
+escapeKey(const std::string &key)
+{
+    std::string out;
+    out.reserve(key.size());
+    for (char c : key) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+formatStatReal(double v)
+{
+    // Stats are ratios, means, and utilisations of finite counters;
+    // a non-finite value is a modelling bug, not a formatting choice.
+    psb_assert(std::isfinite(v), "non-finite stat value");
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+statsToJson(const std::map<std::string, StatValue> &snapshot)
+{
+    std::ostringstream out;
+    out << "{\n";
+    bool first = true;
+    for (const auto &[path, value] : snapshot) {
+        if (!first)
+            out << ",\n";
+        first = false;
+        out << "  \"" << escapeKey(path) << "\": ";
+        if (value.kind == StatValue::Kind::Scalar) {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%llu",
+                          (unsigned long long)value.scalar);
+            out << buf;
+        } else {
+            out << formatStatReal(value.real);
+        }
+    }
+    out << "\n}\n";
+    return out.str();
+}
+
+namespace
+{
+
+/** Cursor over the JSON text with one-line error reporting. */
+struct Parser
+{
+    const std::string &text;
+    size_t pos = 0;
+    std::string error;
+
+    bool
+    fail(const std::string &what)
+    {
+        std::ostringstream msg;
+        msg << what << " at offset " << pos;
+        error = msg.str();
+        return false;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    bool
+    expect(char c)
+    {
+        skipSpace();
+        if (pos >= text.size() || text[pos] != c)
+            return fail(std::string("expected '") + c + "'");
+        ++pos;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        skipSpace();
+        if (pos >= text.size() || text[pos] != '"')
+            return fail("expected string");
+        ++pos;
+        out.clear();
+        while (pos < text.size() && text[pos] != '"') {
+            char c = text[pos++];
+            if (c == '\\') {
+                if (pos >= text.size())
+                    return fail("dangling escape");
+                c = text[pos++];
+            }
+            out.push_back(c);
+        }
+        if (pos >= text.size())
+            return fail("unterminated string");
+        ++pos;
+        return true;
+    }
+
+    bool
+    parseNumber(ParsedStat &out)
+    {
+        skipSpace();
+        size_t start = pos;
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '-' || text[pos] == '+' ||
+                text[pos] == '.' || text[pos] == 'e' ||
+                text[pos] == 'E'))
+            ++pos;
+        if (pos == start)
+            return fail("expected number");
+        out.raw = text.substr(start, pos - start);
+        char *end = nullptr;
+        out.value = std::strtod(out.raw.c_str(), &end);
+        if (end != out.raw.c_str() + out.raw.size())
+            return fail("malformed number '" + out.raw + "'");
+        return true;
+    }
+};
+
+} // namespace
+
+bool
+parseStatsJson(const std::string &text,
+               std::map<std::string, ParsedStat> &out, std::string &error)
+{
+    out.clear();
+    Parser p{text};
+
+    if (!p.expect('{')) {
+        error = p.error;
+        return false;
+    }
+
+    p.skipSpace();
+    if (p.pos < text.size() && text[p.pos] == '}') {
+        ++p.pos;
+        return true;
+    }
+
+    while (true) {
+        std::string key;
+        ParsedStat stat;
+        if (!p.parseString(key) || !p.expect(':') ||
+            !p.parseNumber(stat)) {
+            error = p.error;
+            return false;
+        }
+        if (!out.emplace(key, std::move(stat)).second) {
+            error = "duplicate key '" + key + "'";
+            return false;
+        }
+        p.skipSpace();
+        if (p.pos < text.size() && text[p.pos] == ',') {
+            ++p.pos;
+            continue;
+        }
+        break;
+    }
+
+    if (!p.expect('}')) {
+        error = p.error;
+        return false;
+    }
+    return true;
+}
+
+} // namespace psb

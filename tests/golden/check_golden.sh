@@ -1,0 +1,37 @@
+#!/bin/sh
+# Golden-stats regression check for one seed workload.
+#
+#   check_golden.sh PSB_SIM STATS_DIFF WORKLOAD GOLDEN_FILE [--update]
+#
+# Runs the simulator at the fixed golden configuration, dumps the
+# stats registry as JSON, and diffs it against the checked-in golden
+# (exactly: the simulation is fully deterministic, so any deviation is
+# a real behaviour change). With --update the golden file is
+# regenerated instead; `cmake --build build --target update-golden`
+# runs this for every workload. See EXPERIMENTS.md ("Golden-stats
+# workflow") for the tolerance policy when comparing across configs.
+set -eu
+
+PSB_SIM=$1
+STATS_DIFF=$2
+WORKLOAD=$3
+GOLDEN=$4
+MODE=${5:-check}
+
+# The golden region: big enough that every component's counters are
+# exercised (allocations, aging, both buses, TLB misses), small enough
+# that all six checks add ~1s to ctest.
+GOLDEN_ARGS="--workload $WORKLOAD --seed 1 --insts 60000 --warmup 20000"
+
+TMP=$(mktemp "${TMPDIR:-/tmp}/golden_${WORKLOAD}.XXXXXX")
+trap 'rm -f "$TMP"' EXIT
+
+"$PSB_SIM" $GOLDEN_ARGS --stats-json "$TMP" > /dev/null
+
+if [ "$MODE" = "--update" ]; then
+    cp "$TMP" "$GOLDEN"
+    echo "check_golden.sh: updated $GOLDEN"
+    exit 0
+fi
+
+exec "$STATS_DIFF" "$GOLDEN" "$TMP"

@@ -16,8 +16,10 @@
 #include "cpu/ooo_core.hh"
 #include "memory/hierarchy.hh"
 #include "predictors/sfm_predictor.hh"
+#include "sim/simulator.hh"
 #include "trace/trace_source.hh"
 #include "util/random.hh"
+#include "workloads/workload.hh"
 
 namespace psb
 {
@@ -289,6 +291,96 @@ INSTANTIATE_TEST_SUITE_P(
     [](const auto &info) {
         return std::string(disambiguationModeName(info.param.dis)) +
                "_" + std::to_string(info.param.seed);
+    });
+
+// ---------------------------------------------------------------- //
+// Whole-simulator invariants, checked through the stats registry
+// ---------------------------------------------------------------- //
+
+struct RegistryFuzzParam
+{
+    const char *workload;
+    uint64_t seed;
+};
+
+class RegistryInvariantTest
+    : public ::testing::TestWithParam<RegistryFuzzParam>
+{
+};
+
+TEST_P(RegistryInvariantTest, ExportedStatsAreArithmeticallyConsistent)
+{
+    const RegistryFuzzParam param = GetParam();
+    auto trace = makeWorkload(param.workload, param.seed);
+    SimConfig cfg = makePaperConfig(PaperConfig::ConfAllocPriority);
+    cfg.warmupInstructions = 5000;
+    cfg.maxInstructions = 20000;
+    Simulator sim(cfg, *trace);
+    sim.run();
+
+    auto snap = sim.statsRegistry().snapshot();
+    auto scalar = [&](const char *path) {
+        auto it = snap.find(path);
+        EXPECT_NE(it, snap.end()) << "missing stat " << path;
+        return it != snap.end() ? it->second.scalar : 0;
+    };
+
+    // Every cache level: hits + misses == accesses.
+    EXPECT_EQ(scalar("l1d.hits") + scalar("l1d.misses"),
+              scalar("l1d.accesses"));
+    EXPECT_EQ(scalar("l1i.hits") + scalar("l1i.misses"),
+              scalar("l1i.accesses"));
+    EXPECT_EQ(scalar("l2.hits") + scalar("l2.misses"),
+              scalar("l2.accesses"));
+
+    // Prefetcher: useful prefetches cannot exceed issued ones, and
+    // allocation accounting must balance.
+    EXPECT_LE(scalar("psb.used"), scalar("psb.issued"));
+    EXPECT_LE(scalar("psb.hits_pending"), scalar("psb.hits"));
+    EXPECT_EQ(scalar("psb.allocations") +
+                  scalar("psb.allocations_filtered"),
+              scalar("psb.allocation_requests"));
+
+    // Stream-buffer priority counters saturate at the paper's ceiling
+    // of 12, and the recorded peak can never undercut the live value.
+    for (unsigned b = 0; b < cfg.psb.buffers.numBuffers; ++b) {
+        std::string prefix = "psb.buffer" + std::to_string(b);
+        uint64_t prio = scalar((prefix + ".priority").c_str());
+        uint64_t peak = scalar((prefix + ".priority_peak").c_str());
+        EXPECT_LE(prio, cfg.psb.buffers.priorityMax) << prefix;
+        EXPECT_LE(peak, cfg.psb.buffers.priorityMax) << prefix;
+        EXPECT_GE(peak, prio) << prefix;
+    }
+
+    // The derived ratios must agree with the raw counters they claim
+    // to summarise.
+    auto real = [&](const char *path) {
+        auto it = snap.find(path);
+        EXPECT_NE(it, snap.end()) << "missing stat " << path;
+        return it != snap.end() ? it->second.asReal() : 0.0;
+    };
+    uint64_t l1dAccesses = scalar("l1d.accesses");
+    if (l1dAccesses > 0) {
+        // In-flight accesses are already counted inside l1d.misses.
+        EXPECT_NEAR(real("l1d.miss_rate"),
+                    double(scalar("l1d.misses")) / double(l1dAccesses),
+                    1e-12);
+    }
+    uint64_t issued = scalar("psb.issued");
+    if (issued > 0) {
+        EXPECT_NEAR(real("psb.accuracy"),
+                    double(scalar("psb.used")) / double(issued), 1e-12);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, RegistryInvariantTest,
+    ::testing::Values(RegistryFuzzParam{"health", 7},
+                      RegistryFuzzParam{"gs", 8},
+                      RegistryFuzzParam{"turb3d", 9}),
+    [](const auto &info) {
+        return std::string(info.param.workload) + "_" +
+               std::to_string(info.param.seed);
     });
 
 } // namespace

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the report renderers in src/sim/report.cc: formatReport's
+ * headline numbers must agree with the registry's JSON export, and
+ * formatStatsReport must render every registered stat with the exact
+ * same value spelling as the JSON (so the two never disagree).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "sim/report.hh"
+#include "sim/simulator.hh"
+#include "util/stats_json.hh"
+#include "workloads/workload.hh"
+
+namespace psb
+{
+namespace
+{
+
+struct SimRun
+{
+    std::unique_ptr<Workload> trace; // must outlive sim (held by ref)
+    std::unique_ptr<Simulator> sim;
+    SimResult result;
+};
+
+SimRun
+runSmall(const char *workload = "turb3d")
+{
+    SimConfig cfg = makePaperConfig(PaperConfig::ConfAllocPriority);
+    cfg.warmupInstructions = 5000;
+    cfg.maxInstructions = 20000;
+    SimRun run;
+    run.trace = makeWorkload(workload, 1);
+    run.sim = std::make_unique<Simulator>(cfg, *run.trace);
+    run.result = run.sim->run();
+    return run;
+}
+
+std::map<std::string, ParsedStat>
+parsedStats(const Simulator &sim)
+{
+    std::map<std::string, ParsedStat> parsed;
+    std::string error;
+    EXPECT_TRUE(parseStatsJson(sim.statsJson(), parsed, error)) << error;
+    return parsed;
+}
+
+TEST(FormatReport, HeadlineNumbersMatchJsonExport)
+{
+    SimRun run = runSmall();
+    auto stats = parsedStats(*run.sim);
+    std::string report = formatReport("t", run.result);
+
+    // The exact counters the report prints must equal the registry's
+    // exported values — SimResult is a view over the same numbers.
+    EXPECT_EQ(stats.at("core.instructions").value,
+              double(run.result.core.instructions));
+    EXPECT_EQ(stats.at("core.cycles").value,
+              double(run.result.core.cycles));
+    EXPECT_DOUBLE_EQ(stats.at("core.ipc").value, run.result.ipc);
+    EXPECT_DOUBLE_EQ(stats.at("l1d.miss_rate").value,
+                     run.result.l1dMissRate);
+    EXPECT_DOUBLE_EQ(stats.at("core.load_latency.mean").value,
+                     run.result.avgLoadLatency);
+    EXPECT_DOUBLE_EQ(stats.at("sim.l1_l2_bus_util").value,
+                     run.result.l1L2BusUtil);
+    EXPECT_DOUBLE_EQ(stats.at("psb.accuracy").value,
+                     run.result.prefetchAccuracy);
+
+    // And the rendered text carries them (spot-check the integers,
+    // whose spelling is format-independent).
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64,
+                  run.result.core.instructions);
+    EXPECT_NE(report.find(buf), std::string::npos);
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, run.result.core.cycles);
+    EXPECT_NE(report.find(buf), std::string::npos);
+    EXPECT_NE(report.find("IPC"), std::string::npos);
+    EXPECT_NE(report.find("prefetches"), std::string::npos);
+}
+
+TEST(FormatStatsReport, RendersEveryRegisteredStat)
+{
+    SimRun run = runSmall();
+    const StatsRegistry &reg = run.sim->statsRegistry();
+    std::string report = formatStatsReport("stats", reg);
+
+    auto snapshot = reg.snapshot();
+    ASSERT_FALSE(snapshot.empty());
+    for (const auto &[path, value] : snapshot) {
+        (void)value;
+        EXPECT_NE(report.find("  " + path + " "), std::string::npos)
+            << "stat missing from report: " << path;
+    }
+}
+
+TEST(FormatStatsReport, ValueSpellingMatchesJsonExport)
+{
+    SimRun run = runSmall("gs");
+    const StatsRegistry &reg = run.sim->statsRegistry();
+    std::string report = formatStatsReport("stats", reg);
+    auto parsed = parsedStats(*run.sim);
+
+    // Each report line is "  path<spaces>value"; the value text must
+    // be byte-identical to the JSON spelling for the same path.
+    std::istringstream lines(report);
+    std::string line;
+    std::getline(lines, line); // "=== stats ===" header
+    size_t checked = 0;
+    while (std::getline(lines, line)) {
+        std::istringstream fields(line);
+        std::string path, value;
+        fields >> path >> value;
+        ASSERT_TRUE(parsed.count(path)) << "unexported stat: " << path;
+        EXPECT_EQ(value, parsed.at(path).raw) << "for " << path;
+        ++checked;
+    }
+    EXPECT_EQ(checked, parsed.size());
+    EXPECT_EQ(checked, reg.size());
+}
+
+TEST(FormatStatsReport, JsonRoundTripMatchesSnapshotExactly)
+{
+    SimRun run = runSmall("health");
+    const StatsRegistry &reg = run.sim->statsRegistry();
+    auto snapshot = reg.snapshot();
+    auto parsed = parsedStats(*run.sim);
+
+    ASSERT_EQ(parsed.size(), snapshot.size());
+    for (const auto &[path, value] : snapshot) {
+        ASSERT_TRUE(parsed.count(path)) << path;
+        // %.17g round-trips doubles exactly; integers are exact by
+        // construction — so equality is exact, not approximate.
+        EXPECT_EQ(parsed.at(path).value, value.asReal()) << path;
+    }
+}
+
+} // namespace
+} // namespace psb

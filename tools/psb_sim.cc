@@ -24,12 +24,16 @@
  *     --order K           order-K context predictor instead of SFM
  *     --nodis             disable memory disambiguation
  *     --tlb-cache         cache TLB translations in buffers (§4.5)
+ *     --stats-json PATH   write every registered stat as
+ *                         deterministic JSON ("-" = stdout)
+ *     --stats             print the full stats registry as text
  *     --help
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "sim/report.hh"
@@ -55,7 +59,8 @@ usage(int code)
         "  --insts N --warmup N --seed N\n"
         "  --l1d-kb N --l1d-assoc N\n"
         "  --buffers N --entries N --markov-entries N --delta-bits N\n"
-        "  --order K --nodis --tlb-cache --help\n",
+        "  --order K --nodis --tlb-cache\n"
+        "  --stats-json PATH --stats --help\n",
         code == 0 ? stdout : stderr);
     std::exit(code);
 }
@@ -79,6 +84,8 @@ int
 main(int argc, char **argv)
 {
     std::string workload = "health";
+    std::string statsJsonPath;
+    bool printStats = false;
     uint64_t seed = 1;
     SimConfig cfg;
     cfg.prefetcher = PrefetcherKind::Psb;
@@ -163,6 +170,10 @@ main(int argc, char **argv)
                 unsigned(parseNum(value(), "--delta-bits"));
         } else if (flag == "--order") {
             cfg.psbContextOrder = unsigned(parseNum(value(), "--order"));
+        } else if (flag == "--stats-json") {
+            statsJsonPath = value();
+        } else if (flag == "--stats") {
+            printStats = true;
         } else if (flag == "--nodis") {
             cfg.core.disambiguation = DisambiguationMode::None;
         } else if (flag == "--tlb-cache") {
@@ -185,5 +196,30 @@ main(int argc, char **argv)
     psb::Simulator sim(cfg, *trace);
     psb::SimResult r = sim.run();
     psb::printReport(workload + " / " + cfg.label(), r);
+
+    if (printStats) {
+        std::fputs(psb::formatStatsReport(workload + " stats",
+                                          sim.statsRegistry())
+                       .c_str(),
+                   stdout);
+    }
+
+    if (!statsJsonPath.empty()) {
+        std::string json = sim.statsJson();
+        if (statsJsonPath == "-") {
+            std::fputs(json.c_str(), stdout);
+        } else {
+            std::ofstream out(statsJsonPath,
+                              std::ios::binary | std::ios::trunc);
+            if (!out) {
+                std::fprintf(stderr,
+                             "psb-sim: cannot write stats JSON to "
+                             "'%s'\n",
+                             statsJsonPath.c_str());
+                return 1;
+            }
+            out << json;
+        }
+    }
     return 0;
 }

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * stats-diff — compare two stats JSON dumps produced by
+ * `psb-sim --stats-json` (or Simulator::statsJson()).
+ *
+ * Usage:
+ *   stats-diff GOLDEN NEW [options]
+ *     --abs-tol X         global absolute tolerance      (default 0)
+ *     --rel-tol X         global relative tolerance      (default 0)
+ *     --tol PREFIX=REL[:ABS]
+ *                         per-stat tolerance for every path starting
+ *                         with PREFIX; the longest matching prefix
+ *                         wins over the global tolerances. May be
+ *                         given multiple times.
+ *     --ignore PREFIX     skip every path starting with PREFIX
+ *                         (may be given multiple times)
+ *     --quiet             print only the summary line
+ *     --help
+ *
+ * A stat passes when its two spellings are byte-identical, or when
+ * |golden - new| <= abs + rel * max(|golden|, |new|). Missing or
+ * extra keys always fail (unless ignored). Exit status: 0 = match,
+ * 1 = differences found, 2 = usage or parse error.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/stats_json.hh"
+
+namespace
+{
+
+using psb::ParsedStat;
+
+struct Tolerance
+{
+    double rel = 0.0;
+    double abs = 0.0;
+};
+
+struct PrefixTolerance
+{
+    std::string prefix;
+    Tolerance tol;
+};
+
+struct Options
+{
+    std::string goldenPath;
+    std::string newPath;
+    Tolerance global;
+    std::vector<PrefixTolerance> perPrefix;
+    std::vector<std::string> ignores;
+    bool quiet = false;
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::fputs(
+        "stats-diff: compare two psb-sim stats JSON dumps\n"
+        "  stats-diff GOLDEN NEW [--abs-tol X] [--rel-tol X]\n"
+        "             [--tol PREFIX=REL[:ABS]]... [--ignore PREFIX]...\n"
+        "             [--quiet]\n",
+        code == 0 ? stdout : stderr);
+    std::exit(code);
+}
+
+double
+parseDouble(const std::string &text, const char *what)
+{
+    char *end = nullptr;
+    double v = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size() || v < 0.0) {
+        std::fprintf(stderr, "stats-diff: bad %s '%s'\n", what,
+                     text.c_str());
+        std::exit(2);
+    }
+    return v;
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opts;
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+        std::string flag = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "stats-diff: %s needs a value\n",
+                             flag.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (flag == "--help" || flag == "-h") {
+            usage(0);
+        } else if (flag == "--abs-tol") {
+            opts.global.abs = parseDouble(value(), "--abs-tol");
+        } else if (flag == "--rel-tol") {
+            opts.global.rel = parseDouble(value(), "--rel-tol");
+        } else if (flag == "--tol") {
+            std::string spec = value();
+            size_t eq = spec.find('=');
+            if (eq == std::string::npos || eq == 0)
+                usage(2);
+            PrefixTolerance pt;
+            pt.prefix = spec.substr(0, eq);
+            std::string nums = spec.substr(eq + 1);
+            size_t colon = nums.find(':');
+            pt.tol.rel = parseDouble(nums.substr(0, colon), "--tol rel");
+            if (colon != std::string::npos)
+                pt.tol.abs =
+                    parseDouble(nums.substr(colon + 1), "--tol abs");
+            opts.perPrefix.push_back(std::move(pt));
+        } else if (flag == "--ignore") {
+            opts.ignores.push_back(value());
+        } else if (flag == "--quiet") {
+            opts.quiet = true;
+        } else if (!flag.empty() && flag[0] == '-') {
+            std::fprintf(stderr, "stats-diff: unknown flag '%s'\n",
+                         flag.c_str());
+            usage(2);
+        } else {
+            positional.push_back(flag);
+        }
+    }
+    if (positional.size() != 2)
+        usage(2);
+    opts.goldenPath = positional[0];
+    opts.newPath = positional[1];
+    return opts;
+}
+
+bool
+loadStats(const std::string &path,
+          std::map<std::string, ParsedStat> &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "stats-diff: cannot read '%s'\n",
+                     path.c_str());
+        return false;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string error;
+    if (!psb::parseStatsJson(text.str(), out, error)) {
+        std::fprintf(stderr, "stats-diff: %s: %s\n", path.c_str(),
+                     error.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool
+ignored(const Options &opts, const std::string &path)
+{
+    for (const auto &prefix : opts.ignores) {
+        if (startsWith(path, prefix))
+            return true;
+    }
+    return false;
+}
+
+/** The longest matching --tol prefix wins; else the global pair. */
+Tolerance
+toleranceFor(const Options &opts, const std::string &path)
+{
+    const PrefixTolerance *best = nullptr;
+    for (const auto &pt : opts.perPrefix) {
+        if (!startsWith(path, pt.prefix))
+            continue;
+        if (!best || pt.prefix.size() > best->prefix.size())
+            best = &pt;
+    }
+    return best ? best->tol : opts.global;
+}
+
+bool
+withinTolerance(double golden, double fresh, const Tolerance &tol)
+{
+    double diff = std::fabs(golden - fresh);
+    double scale = std::fmax(std::fabs(golden), std::fabs(fresh));
+    return diff <= tol.abs + tol.rel * scale;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts = parseArgs(argc, argv);
+
+    std::map<std::string, ParsedStat> golden;
+    std::map<std::string, ParsedStat> fresh;
+    if (!loadStats(opts.goldenPath, golden) ||
+        !loadStats(opts.newPath, fresh))
+        return 2;
+
+    unsigned compared = 0;
+    unsigned failures = 0;
+    auto report = [&](const char *fmt, auto... args) {
+        ++failures;
+        if (!opts.quiet) {
+            std::printf(fmt, args...);
+            std::printf("\n");
+        }
+    };
+
+    for (const auto &[path, gstat] : golden) {
+        if (ignored(opts, path))
+            continue;
+        auto it = fresh.find(path);
+        if (it == fresh.end()) {
+            report("MISSING  %-40s golden=%s", path.c_str(),
+                   gstat.raw.c_str());
+            continue;
+        }
+        ++compared;
+        const ParsedStat &nstat = it->second;
+        if (gstat.raw == nstat.raw)
+            continue;
+        Tolerance tol = toleranceFor(opts, path);
+        if (withinTolerance(gstat.value, nstat.value, tol))
+            continue;
+        double diff = nstat.value - gstat.value;
+        double rel = gstat.value != 0.0
+                         ? diff / std::fabs(gstat.value)
+                         : std::numeric_limits<double>::infinity();
+        report("DIFF     %-40s golden=%s new=%s delta=%+g rel=%+.3f%%",
+               path.c_str(), gstat.raw.c_str(), nstat.raw.c_str(),
+               diff, 100.0 * rel);
+    }
+
+    for (const auto &[path, nstat] : fresh) {
+        if (ignored(opts, path))
+            continue;
+        if (golden.find(path) == golden.end())
+            report("EXTRA    %-40s new=%s", path.c_str(),
+                   nstat.raw.c_str());
+    }
+
+    std::printf("stats-diff: %u compared, %u failed (%s vs %s)\n",
+                compared, failures, opts.goldenPath.c_str(),
+                opts.newPath.c_str());
+    return failures == 0 ? 0 : 1;
+}
