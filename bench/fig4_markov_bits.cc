@@ -66,7 +66,7 @@ coverageAtWidth(const std::vector<Miss> &stream, unsigned delta_bits)
     std::map<Addr, StreamState> state;
     uint64_t predicted = 0, total = 0;
     for (const Miss &miss : stream) {
-        Addr block = miss.addr & ~Addr(31);
+        BlockAddr block = miss.addr.toBlock(5); // 32-byte lines
         auto it = state.find(miss.pc);
         if (it != state.end()) {
             ++total;

@@ -30,10 +30,10 @@ BM_CacheTouch(benchmark::State &state)
     SetAssocCache cache(CacheGeometry{32 * 1024, 4, 32});
     Xorshift64 rng(1);
     for (int i = 0; i < 1024; ++i)
-        cache.insert(0x10000 + 32 * rng.below(4096));
+        cache.insert(Addr(0x10000 + 32 * rng.below(4096)));
     for (auto _ : state) {
         benchmark::DoNotOptimize(
-            cache.touch(0x10000 + 32 * rng.below(4096)));
+            cache.touch(Addr(0x10000 + 32 * rng.below(4096))));
     }
 }
 BENCHMARK(BM_CacheTouch);
@@ -42,7 +42,7 @@ void
 BM_CacheInsertEvict(benchmark::State &state)
 {
     SetAssocCache cache(CacheGeometry{32 * 1024, 4, 32});
-    Addr addr = 0x10000;
+    Addr addr{0x10000};
     for (auto _ : state) {
         benchmark::DoNotOptimize(cache.insert(addr));
         addr += 32;
@@ -54,9 +54,9 @@ void
 BM_StrideTableTrain(benchmark::State &state)
 {
     StrideTable table;
-    Addr pc = 0x400000, addr = 0x10000;
+    uint64_t pc = 0x400000, addr = 0x10000;
     for (auto _ : state) {
-        benchmark::DoNotOptimize(table.train(pc, addr));
+        benchmark::DoNotOptimize(table.train(Addr(pc), Addr(addr)));
         pc = 0x400000 + ((pc + 4) & 0x3ff);
         addr += 64;
     }
@@ -69,7 +69,8 @@ BM_SfmTrain(benchmark::State &state)
     SfmPredictor sfm;
     Xorshift64 rng(2);
     for (auto _ : state)
-        sfm.train(0x400000 + 4 * rng.below(64), rng.next() & 0xffffff);
+        sfm.train(Addr(0x400000 + 4 * rng.below(64)),
+                  Addr(rng.next() & 0xffffff));
 }
 BENCHMARK(BM_SfmTrain);
 
@@ -78,8 +79,8 @@ BM_SfmPredictNext(benchmark::State &state)
 {
     SfmPredictor sfm;
     for (int i = 0; i < 4096; ++i)
-        sfm.train(0x400000, 0x10000 + 64 * i);
-    StreamState s = sfm.allocateStream(0x400000, 0x10000);
+        sfm.train(Addr{0x400000}, Addr(0x10000 + 64 * i));
+    StreamState s = sfm.allocateStream(Addr{0x400000}, Addr{0x10000});
     for (auto _ : state)
         benchmark::DoNotOptimize(sfm.predictNext(s));
 }
@@ -95,13 +96,13 @@ BM_StreamBufferLookup(benchmark::State &state)
         for (unsigned e = 0; e < cfg.entriesPerBuffer; ++e) {
             file.buffer(b).entries()[e].valid = true;
             file.buffer(b).entries()[e].block =
-                0x10000 + 32 * (b * 4 + e);
+                BlockAddr(0x800 + b * 4 + e); // byte 0x10000 + 32 * n
         }
     }
     Xorshift64 rng(3);
     for (auto _ : state) {
         benchmark::DoNotOptimize(
-            file.findBlock(0x10000 + 32 * rng.below(64)));
+            file.findBlock(BlockAddr(0x800 + rng.below(64))));
     }
 }
 BENCHMARK(BM_StreamBufferLookup);
@@ -113,8 +114,8 @@ BM_GshareUpdate(benchmark::State &state)
     Xorshift64 rng(4);
     for (auto _ : state) {
         benchmark::DoNotOptimize(
-            bp.update(0x400000 + 4 * rng.below(256), rng.next() & 1,
-                      0x400800));
+            bp.update(Addr(0x400000 + 4 * rng.below(256)),
+                      (rng.next() & 1) != 0, Addr{0x400800}));
     }
 }
 BENCHMARK(BM_GshareUpdate);
@@ -123,14 +124,14 @@ void
 BM_HierarchyDemandMiss(benchmark::State &state)
 {
     MemoryConfig cfg;
-    cfg.tlbMissPenalty = 0;
+    cfg.tlbMissPenalty = CycleDelta{};
     MemoryHierarchy hier(cfg);
-    Addr addr = 0x10000;
-    Cycle now = 0;
+    Addr addr{0x10000};
+    Cycle now{};
     for (auto _ : state) {
         benchmark::DoNotOptimize(hier.missToL2(addr, now, false));
         addr += 4096;
-        now += 1000;
+        now += CycleDelta{1000};
     }
 }
 BENCHMARK(BM_HierarchyDemandMiss);

@@ -10,8 +10,8 @@
  * It demonstrates the full extension surface:
  *  - deriving from AddressPredictor (train / predictNext /
  *    allocateStream / confidence / twoMissFilterPass);
- *  - per-stream state carried in StreamState (we stash the phase bit
- *    in the low bit of StreamState::stride's spare range);
+ *  - per-stream state carried in StreamState (the alternation phase
+ *    bit lives in StreamState::historyToken);
  *  - constructing PredictorDirectedStreamBuffers around it directly,
  *    bypassing the SimConfig presets.
  */
@@ -27,6 +27,7 @@
 #include "prefetch/stride_stream_buffers.hh"
 #include "sim/simulator.hh"
 #include "trace/trace_builder.hh"
+#include "util/bitfield.hh"
 #include "util/table_printer.hh"
 
 namespace
@@ -43,16 +44,16 @@ class AlternatingStridePredictor : public AddressPredictor
 {
   public:
     explicit AlternatingStridePredictor(unsigned block_bytes = 32)
-        : _blockBytes(block_bytes)
+        : _lineBits(floorLog2(block_bytes))
     {}
 
     void
     train(Addr pc, Addr addr) override
     {
-        Addr block = addr & ~Addr(_blockBytes - 1);
+        BlockAddr block = addr.toBlock(_lineBits);
         Entry &e = _table[pc];
         if (e.touched) {
-            int64_t stride = int64_t(block) - int64_t(e.lastAddr);
+            BlockDelta stride = block - e.lastAddr;
             // Predicted-next uses the *older* stride (alternation).
             bool correct = (e.strideB == stride);
             e.conf = correct ? std::min(e.conf + 1, 7u)
@@ -66,7 +67,7 @@ class AlternatingStridePredictor : public AddressPredictor
         e.touched = true;
     }
 
-    std::optional<Addr>
+    std::optional<BlockAddr>
     predictNext(StreamState &state) const override
     {
         // Alternate between the two learned strides; the phase lives
@@ -74,11 +75,10 @@ class AlternatingStridePredictor : public AddressPredictor
         auto it = _table.find(state.loadPc);
         if (it == _table.end())
             return std::nullopt;
-        int64_t s = state.stride ? it->second.strideA
-                                 : it->second.strideB;
-        state.stride = !state.stride; // flip phase
-        state.lastAddr = Addr(int64_t(state.lastAddr) + s)
-            & ~Addr(_blockBytes - 1);
+        BlockDelta s = state.historyToken ? it->second.strideA
+                                          : it->second.strideB;
+        state.historyToken = !state.historyToken; // flip phase
+        state.lastAddr += s;
         return state.lastAddr;
     }
 
@@ -87,8 +87,8 @@ class AlternatingStridePredictor : public AddressPredictor
     {
         StreamState s;
         s.loadPc = pc;
-        s.lastAddr = addr & ~Addr(_blockBytes - 1);
-        s.stride = 1; // phase bit: strideA next
+        s.lastAddr = addr.toBlock(_lineBits);
+        s.historyToken = 1; // phase bit: strideA next
         s.confidence = confidence(pc);
         return s;
     }
@@ -111,16 +111,16 @@ class AlternatingStridePredictor : public AddressPredictor
   private:
     struct Entry
     {
-        Addr lastAddr = 0;
-        int64_t strideA = 0;
-        int64_t strideB = 0;
+        BlockAddr lastAddr{};
+        BlockDelta strideA{};
+        BlockDelta strideB{};
         unsigned conf = 0;
         bool lastCorrect = false;
         bool prevCorrect = false;
         bool touched = false;
     };
 
-    unsigned _blockBytes;
+    unsigned _lineBits;
     std::map<Addr, Entry> _table;
 };
 
@@ -133,21 +133,22 @@ class PingPongWalk : public TraceBuilder
     {
         constexpr int64_t s1 = 40 * 1024;
         constexpr int64_t s2 = -(40 * 1024 - 128);
-        emitLoad(0x400000, 1, _addr, 1);
-        emitAlu(0x400004, 2, 1, 2);
-        emitAlu(0x400008, 3, 2);
-        emitBranch(0x40000c, true, 0x400000, 2);
-        _addr = Addr(int64_t(_addr) + (_phase ? s2 : s1));
+        emitLoad(Addr{0x400000}, 1, _addr, 1);
+        emitAlu(Addr{0x400004}, 2, 1, 2);
+        emitAlu(Addr{0x400008}, 3, 2);
+        emitBranch(Addr{0x40000c}, true, Addr{0x400000}, 2);
+        _addr = Addr(uint64_t(int64_t(_addr.raw()) +
+                              (_phase ? s2 : s1)));
         _phase = !_phase;
-        if (_addr > 0x18000000 || _addr < 0x10000000) {
-            _addr = 0x10000000;
+        if (_addr > Addr{0x18000000} || _addr < Addr{0x10000000}) {
+            _addr = Addr{0x10000000};
             _phase = false;
         }
         return true;
     }
 
   private:
-    Addr _addr = 0x10000000;
+    Addr _addr{0x10000000};
     bool _phase = false;
 };
 
@@ -158,7 +159,7 @@ simulate(Prefetcher &prefetcher, MemoryHierarchy &hierarchy)
     CoreConfig core_cfg;
     OoOCore core(core_cfg, hierarchy, prefetcher, trace);
 
-    Cycle now = 0;
+    Cycle now{};
     while (core.stats().instructions < 200'000) {
         core.tick(now);
         prefetcher.tick(now);

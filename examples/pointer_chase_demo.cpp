@@ -34,8 +34,8 @@ class ListChase : public psb::TraceBuilder
     explicit ListChase(unsigned nodes)
     {
         // Scatter allocations so consecutive nodes share no stride.
-        psb::SyntheticHeap heap(0x10000000, /*scatter_blocks=*/64,
-                                /*seed=*/7);
+        psb::SyntheticHeap heap(psb::Addr{0x10000000},
+                                /*scatter_blocks=*/64, /*seed=*/7);
         _nodes.reserve(nodes);
         for (unsigned i = 0; i < nodes; ++i)
             _nodes.push_back(heap.alloc(48, 8));
@@ -50,11 +50,12 @@ class ListChase : public psb::TraceBuilder
         constexpr uint8_t r_val = 2;
         constexpr uint8_t r_sum = 3;
         psb::Addr node = _nodes[_pos];
-        emitLoad(0x400000, r_p, node + 0, r_p);       // p = p->next
-        emitLoad(0x400004, r_val, node + 8, r_p);     // p->value
-        emitAlu(0x400008, r_sum, r_sum, r_val);
-        emitAlu(0x40000c, r_val, r_val);
-        emitBranch(0x400010, _pos + 1 < _nodes.size(), 0x400000, r_p);
+        emitLoad(psb::Addr{0x400000}, r_p, node + 0, r_p); // p = p->next
+        emitLoad(psb::Addr{0x400004}, r_val, node + 8, r_p); // p->value
+        emitAlu(psb::Addr{0x400008}, r_sum, r_sum, r_val);
+        emitAlu(psb::Addr{0x40000c}, r_val, r_val);
+        emitBranch(psb::Addr{0x400010}, _pos + 1 < _nodes.size(),
+                   psb::Addr{0x400000}, r_p);
         _pos = (_pos + 1) % _nodes.size();
         return true;
     }

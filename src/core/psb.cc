@@ -35,7 +35,7 @@ PredictorDirectedStreamBuffers::lookup(Addr addr, Cycle now)
     ++_stats.lookups;
     PrefetchLookup result;
 
-    Addr block = _file.blockAlign(addr);
+    BlockAddr block = _file.blockOf(addr);
     auto hit = _file.findBlock(block);
     if (!hit)
         return result;
@@ -131,7 +131,7 @@ PredictorDirectedStreamBuffers::demandMiss(Addr pc, Addr addr, Cycle)
     // the prediction was right, just too late (no accuracy penalty:
     // it was never a prefetch). The stream itself is tracking
     // correctly, so this is not an allocation request.
-    Addr block = _file.blockAlign(addr);
+    BlockAddr block = _file.blockOf(addr);
     if (auto tag = _file.findBlock(block)) {
         StreamBuffer &buf = _file.buffer(tag->buf);
         if (!buf.entries()[tag->entry].prefetched) {
@@ -182,7 +182,7 @@ PredictorDirectedStreamBuffers::makePrediction(Cycle now)
 
     // Non-overlapping streams: a block already present in any buffer
     // is not predicted again. The stream history has already advanced.
-    Addr block = _file.blockAlign(*predicted);
+    BlockAddr block = *predicted;
     if (_file.contains(block)) {
         ++_stats.duplicateSuppressed;
         return;
@@ -226,7 +226,8 @@ PredictorDirectedStreamBuffers::issuePrefetch(Cycle now)
     // only consults the TLB when the stream leaves the page.
     bool translate = true;
     if (_cfg.buffers.cacheTlbTranslation) {
-        uint64_t page = entry.block / _hierarchy.config().pageBytes;
+        uint64_t page = entry.block.toByte(_file.lineBits()).raw() /
+                        _hierarchy.config().pageBytes;
         if (buf.translatedPage == page) {
             translate = false;
             ++_stats.tlbTranslationsSkipped;

@@ -25,21 +25,21 @@ GsharePredictor::GsharePredictor(const GshareConfig &cfg)
 unsigned
 GsharePredictor::phtIndex(Addr pc) const
 {
-    return ((pc >> 2) ^ _history) & _historyMask;
+    return unsigned(((pc.raw() >> 2) ^ _history) & _historyMask);
 }
 
 unsigned
 GsharePredictor::btbSet(Addr pc) const
 {
     unsigned sets = _cfg.btbEntries / _cfg.btbAssoc;
-    return (pc >> 2) & (sets - 1);
+    return unsigned((pc.raw() >> 2) & (sets - 1));
 }
 
 bool
 GsharePredictor::predict(Addr pc, Addr &predicted_target) const
 {
     ++_lookups;
-    predicted_target = 0;
+    predicted_target = Addr{};
     const BtbEntry *set = &_btb[std::size_t(btbSet(pc)) * _cfg.btbAssoc];
     for (unsigned w = 0; w < _cfg.btbAssoc; ++w) {
         if (set[w].valid && set[w].pc == pc) {
@@ -53,7 +53,7 @@ GsharePredictor::predict(Addr pc, Addr &predicted_target) const
 bool
 GsharePredictor::update(Addr pc, bool taken, Addr target)
 {
-    Addr predicted_target = 0;
+    Addr predicted_target{};
     --_lookups; // predict() below is bookkeeping, not a real lookup
     bool predicted_taken = predict(pc, predicted_target);
 

@@ -57,8 +57,8 @@ class GsharePredictor
 
     struct BtbEntry
     {
-        Addr pc = 0;
-        Addr target = 0;
+        Addr pc{};
+        Addr target{};
         bool valid = false;
         uint64_t lastUse = 0;
     };

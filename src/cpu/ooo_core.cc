@@ -12,8 +12,8 @@ OoOCore::OoOCore(const CoreConfig &cfg, MemoryHierarchy &hierarchy,
       _prefetcher(prefetcher),
       _trace(trace),
       _gshare(cfg.gshare),
-      _intDivFreeAt(cfg.numIntMulDiv, 0),
-      _fpDivFreeAt(cfg.numFpMulDiv, 0)
+      _intDivFreeAt(cfg.numIntMulDiv, Cycle{}),
+      _fpDivFreeAt(cfg.numFpMulDiv, Cycle{})
 {
     psb_assert(cfg.robEntries > 0 && cfg.lsqEntries > 0,
                "ROB and LSQ must be non-empty");
@@ -35,22 +35,22 @@ OoOCore::tick(Cycle now)
 // Functional units
 // ---------------------------------------------------------------------
 
-Cycle
+CycleDelta
 OoOCore::execLatency(OpClass cls) const
 {
     switch (cls) {
-      case OpClass::IntAlu:  return 1;
-      case OpClass::IntMult: return 3;
-      case OpClass::IntDiv:  return 12;
-      case OpClass::FpAdd:   return 2;
-      case OpClass::FpMult:  return 4;
-      case OpClass::FpDiv:   return 12;
-      case OpClass::Branch:  return 1;
-      case OpClass::Nop:     return 1;
+      case OpClass::IntAlu:  return CycleDelta(1);
+      case OpClass::IntMult: return CycleDelta(3);
+      case OpClass::IntDiv:  return CycleDelta(12);
+      case OpClass::FpAdd:   return CycleDelta(2);
+      case OpClass::FpMult:  return CycleDelta(4);
+      case OpClass::FpDiv:   return CycleDelta(12);
+      case OpClass::Branch:  return CycleDelta(1);
+      case OpClass::Nop:     return CycleDelta(1);
       case OpClass::Load:
-      case OpClass::Store:   return 1; // address generation
+      case OpClass::Store:   return CycleDelta(1); // address generation
     }
-    return 1;
+    return CycleDelta(1);
 }
 
 bool
@@ -194,7 +194,7 @@ OoOCore::commitStore(RobEntry &entry, Cycle now)
     PrefetchLookup sb = _prefetcher.lookup(addr, now);
     if (sb.hit) {
         ++_stats.sbServiced;
-        Addr block = _hierarchy.blockAlign(addr);
+        BlockAddr block = _hierarchy.blockOf(addr);
         if (sb.dataPending) {
             ++_stats.l1dMisses;
             ++_stats.l1dInFlight;
@@ -303,7 +303,7 @@ OoOCore::executeLoad(RobEntry &entry, Cycle now)
         entry.storeForwarded = true;
         Cycle base = alias->doneAt > now ? alias->doneAt : now;
         entry.doneAt = base + _cfg.storeForwardLatency;
-        _stats.loadLatency.sample(double(entry.doneAt - now));
+        _stats.loadLatency.sample(double((entry.doneAt - now).raw()));
         _prefetcher.trainLoad(entry.op.pc, addr, /*l1_miss=*/false,
                               /*store_forwarded=*/true);
         return true;
@@ -311,7 +311,7 @@ OoOCore::executeLoad(RobEntry &entry, Cycle now)
 
     ++_stats.l1dAccesses;
     ProbeResult probe = _hierarchy.probeData(addr, now);
-    Cycle extra = probe.tlbPenalty;
+    CycleDelta extra = probe.tlbPenalty;
     bool l1_miss = false;
 
     if (probe.resident) {
@@ -332,7 +332,7 @@ OoOCore::executeLoad(RobEntry &entry, Cycle now)
         PrefetchLookup sb = _prefetcher.lookup(addr, now);
         if (sb.hit) {
             ++_stats.sbServiced;
-            Addr block = _hierarchy.blockAlign(addr);
+            BlockAddr block = _hierarchy.blockOf(addr);
             if (sb.dataPending) {
                 // Tag hit, data in flight: tag moves into an MSHR.
                 // Per the paper's accounting the access is a miss
@@ -369,7 +369,7 @@ OoOCore::executeLoad(RobEntry &entry, Cycle now)
         }
     }
 
-    _stats.loadLatency.sample(double(entry.doneAt - now));
+    _stats.loadLatency.sample(double((entry.doneAt - now).raw()));
     _prefetcher.trainLoad(entry.op.pc, addr, l1_miss,
                           /*store_forwarded=*/false);
     return true;
@@ -443,8 +443,8 @@ OoOCore::fetchStage(Cycle now)
             break;
 
         // Instruction cache: one access per new fetch block.
-        Addr fetch_block = _pendingOp.pc &
-            ~Addr(_hierarchy.config().l1i.blockBytes - 1);
+        Addr fetch_block = _pendingOp.pc.alignDown(
+            _hierarchy.config().l1i.blockBytes);
         if (fetch_block != _curFetchBlock) {
             Cycle ready = _hierarchy.instFetch(_pendingOp.pc, now);
             _curFetchBlock = fetch_block;

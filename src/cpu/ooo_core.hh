@@ -49,8 +49,8 @@ struct CoreConfig
     unsigned maxBranchesPerFetch = 2;
     unsigned robEntries = 128;
     unsigned lsqEntries = 64;
-    Cycle mispredictPenalty = 8;  ///< minimum front-end refill
-    Cycle storeForwardLatency = 2;
+    CycleDelta mispredictPenalty{8}; ///< minimum front-end refill
+    CycleDelta storeForwardLatency{2};
     DisambiguationMode disambiguation = DisambiguationMode::Perfect;
     GshareConfig gshare;
 
@@ -123,8 +123,8 @@ class OoOCore
     {
         MicroOp op;
         uint64_t seq = 0;
-        Cycle dispatchCycle = 0;
-        Cycle doneAt = 0;
+        Cycle dispatchCycle{};
+        Cycle doneAt{};
         bool issued = false;
         bool storeForwarded = false;
         uint64_t src1Producer = 0; ///< producing op's seq, 0 = ready
@@ -141,7 +141,7 @@ class OoOCore
     const RobEntry *findEntry(uint64_t seq) const;
     bool fuAvailable(OpClass cls, Cycle now);
     void consumeFu(OpClass cls, Cycle now);
-    Cycle execLatency(OpClass cls) const;
+    CycleDelta execLatency(OpClass cls) const;
 
     /** @retval false when the load cannot issue this cycle. */
     bool executeLoad(RobEntry &entry, Cycle now);
@@ -164,14 +164,14 @@ class OoOCore
     MicroOp _pendingOp;
     bool _havePending = false;
 
-    Cycle _fetchResumeAt = 0;
-    static constexpr Cycle waitingForBranch = ~Cycle(0);
+    Cycle _fetchResumeAt{};
+    static constexpr Cycle waitingForBranch = Cycle::max();
     uint64_t _redirectBranchSeq = 0;
-    Addr _curFetchBlock = ~Addr(0);
+    Addr _curFetchBlock = Addr::max();
 
     // Per-cycle functional-unit issue counters (pipelined units) and
     // busy-until times for the unpipelined divide units.
-    Cycle _fuCountersCycle = ~Cycle(0);
+    Cycle _fuCountersCycle = Cycle::max();
     unsigned _usedIntAlu = 0;
     unsigned _usedLdSt = 0;
     unsigned _usedFpAdd = 0;

@@ -30,7 +30,7 @@ StoreSetPredictor::StoreSetPredictor(unsigned ssit_entries,
 unsigned
 StoreSetPredictor::ssitIndex(Addr pc) const
 {
-    return (pc >> 2) & (_ssit.size() - 1);
+    return unsigned((pc.raw() >> 2) & (_ssit.size() - 1));
 }
 
 uint64_t

@@ -11,20 +11,20 @@ Bus::Bus(unsigned bytes_per_cycle) : _bytesPerCycle(bytes_per_cycle)
     psb_assert(bytes_per_cycle > 0, "bus needs non-zero bandwidth");
 }
 
-Cycle
+CycleDelta
 Bus::transferCycles(unsigned bytes) const
 {
-    Cycle cycles = (bytes + _bytesPerCycle - 1) / _bytesPerCycle;
-    return cycles ? cycles : 1;
+    uint64_t cycles = (bytes + _bytesPerCycle - 1) / _bytesPerCycle;
+    return CycleDelta(cycles ? cycles : 1);
 }
 
 BusSlot
 Bus::transact(Cycle earliest, unsigned payload_bytes)
 {
-    Cycle start = (earliest > _busyUntil) ? earliest : _busyUntil;
-    Cycle duration = 1 + transferCycles(payload_bytes);
+    Cycle start = maxCycle(earliest, _busyUntil);
+    CycleDelta duration = CycleDelta(1) + transferCycles(payload_bytes);
     _busyUntil = start + duration;
-    _busyCycles += duration;
+    _busyCycles += duration.raw();
     ++_transfers;
     return BusSlot{start, _busyUntil};
 }

@@ -33,8 +33,8 @@ class StatsRegistry;
 /** The bus cycles granted to one transaction. */
 struct BusSlot
 {
-    Cycle start; ///< first cycle (the request beat)
-    Cycle end;   ///< one past the last transfer cycle
+    Cycle start{}; ///< first cycle (the request beat)
+    Cycle end{};   ///< one past the last transfer cycle
 };
 
 /** A serial, single-transaction-at-a-time bus. */
@@ -55,7 +55,7 @@ class Bus
     BusSlot transact(Cycle earliest, unsigned payload_bytes);
 
     /** Cycles to move @p bytes across this bus (excl.\ request beat). */
-    Cycle transferCycles(unsigned bytes) const;
+    CycleDelta transferCycles(unsigned bytes) const;
 
     /** Cycles this bus has spent occupied. */
     uint64_t busyCycles() const { return _busyCycles; }
@@ -75,7 +75,7 @@ class Bus
 
   private:
     unsigned _bytesPerCycle;
-    Cycle _busyUntil = 0;
+    Cycle _busyUntil{};
     uint64_t _busyCycles = 0;
     uint64_t _transfers = 0;
 };

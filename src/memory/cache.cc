@@ -23,20 +23,20 @@ SetAssocCache::SetAssocCache(const CacheGeometry &geom)
 unsigned
 SetAssocCache::setIndex(Addr addr) const
 {
-    return (addr >> _blockShift) & (_numSets - 1);
+    return unsigned(addr.toBlock(_blockShift).raw() & (_numSets - 1));
 }
 
-Addr
+uint64_t
 SetAssocCache::tagOf(Addr addr) const
 {
-    return addr >> _blockShift >> floorLog2(_numSets);
+    return addr.toBlock(_blockShift).raw() >> floorLog2(_numSets);
 }
 
 bool
 SetAssocCache::probe(Addr addr) const
 {
     const Line *set = &_lines[size_t(setIndex(addr)) * _geom.assoc];
-    Addr tag = tagOf(addr);
+    uint64_t tag = tagOf(addr);
     for (unsigned w = 0; w < _geom.assoc; ++w) {
         if (set[w].valid && set[w].tag == tag)
             return true;
@@ -48,7 +48,7 @@ bool
 SetAssocCache::touch(Addr addr, bool is_write)
 {
     Line *set = &_lines[size_t(setIndex(addr)) * _geom.assoc];
-    Addr tag = tagOf(addr);
+    uint64_t tag = tagOf(addr);
     for (unsigned w = 0; w < _geom.assoc; ++w) {
         if (set[w].valid && set[w].tag == tag) {
             set[w].lastUse = ++_useStamp;
@@ -65,7 +65,7 @@ SetAssocCache::insert(Addr addr, bool dirty)
 {
     unsigned set_idx = setIndex(addr);
     Line *set = &_lines[size_t(set_idx) * _geom.assoc];
-    Addr tag = tagOf(addr);
+    uint64_t tag = tagOf(addr);
 
     // Re-insertion of a resident block just refreshes its state.
     for (unsigned w = 0; w < _geom.assoc; ++w) {
@@ -88,10 +88,10 @@ SetAssocCache::insert(Addr addr, bool dirty)
 
     std::optional<Eviction> evicted;
     if (set[victim].valid) {
-        Addr victim_block =
-            ((set[victim].tag << floorLog2(_numSets)) | set_idx)
-            << _blockShift;
-        evicted = Eviction{victim_block, set[victim].dirty};
+        BlockAddr victim_block{
+            (set[victim].tag << floorLog2(_numSets)) | set_idx};
+        evicted = Eviction{victim_block.toByte(_blockShift),
+                           set[victim].dirty};
     }
 
     set[victim].tag = tag;
@@ -105,7 +105,7 @@ void
 SetAssocCache::invalidate(Addr addr)
 {
     Line *set = &_lines[size_t(setIndex(addr)) * _geom.assoc];
-    Addr tag = tagOf(addr);
+    uint64_t tag = tagOf(addr);
     for (unsigned w = 0; w < _geom.assoc; ++w) {
         if (set[w].valid && set[w].tag == tag) {
             set[w].valid = false;

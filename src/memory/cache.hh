@@ -34,7 +34,7 @@ struct CacheGeometry
 /** Result of a victim selection: the evicted block, if any. */
 struct Eviction
 {
-    Addr blockAddr = 0;
+    Addr blockAddr{};  ///< line-aligned byte address of the victim
     bool dirty = false;
 };
 
@@ -76,7 +76,19 @@ class SetAssocCache
     void flush();
 
     /** Block address (byte address masked to line granularity). */
-    Addr blockAlign(Addr addr) const { return addr & ~Addr(_blockMask); }
+    Addr blockAlign(Addr addr) const
+    {
+        return addr.alignDown(_geom.blockBytes);
+    }
+
+    /** The block number of @p addr at this cache's line size. */
+    BlockAddr blockOf(Addr addr) const
+    {
+        return addr.toBlock(_blockShift);
+    }
+
+    /** log2 of the line size. */
+    unsigned lineBits() const { return _blockShift; }
 
     const CacheGeometry &geometry() const { return _geom; }
 
@@ -86,14 +98,14 @@ class SetAssocCache
   private:
     struct Line
     {
-        Addr tag = 0;
+        uint64_t tag = 0;
         bool valid = false;
         bool dirty = false;
         uint64_t lastUse = 0;
     };
 
     unsigned setIndex(Addr addr) const;
-    Addr tagOf(Addr addr) const;
+    uint64_t tagOf(Addr addr) const;
 
     CacheGeometry _geom;
     uint64_t _blockMask;

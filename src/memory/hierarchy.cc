@@ -16,11 +16,11 @@ MemoryHierarchy::MemoryHierarchy(const MemoryConfig &cfg)
       _dataMshrs(cfg.l1dMshrs),
       _instMshrs(cfg.l1iMshrs),
       _dtlb(cfg.tlbEntries, cfg.pageBytes, cfg.tlbMissPenalty),
-      _l2AcceptInterval(cfg.l2Latency / cfg.l2PipelineDepth)
+      _l2AcceptInterval(cfg.l2Latency.raw() / cfg.l2PipelineDepth)
 {
     psb_assert(cfg.l2PipelineDepth > 0, "L2 pipeline depth must be > 0");
-    if (_l2AcceptInterval == 0)
-        _l2AcceptInterval = 1;
+    if (_l2AcceptInterval == CycleDelta{})
+        _l2AcceptInterval = CycleDelta(1);
 }
 
 ProbeResult
@@ -29,7 +29,7 @@ MemoryHierarchy::probeData(Addr addr, Cycle now)
     ProbeResult result;
     result.tlbPenalty = _dtlb.translate(addr);
 
-    Addr block = _l1d.blockAlign(addr);
+    BlockAddr block = _l1d.blockOf(addr);
     if (auto ready = _dataMshrs.lookup(block, now)) {
         result.inFlight = true;
         result.ready = *ready;
@@ -50,7 +50,7 @@ MemoryHierarchy::l2AndBelow(Addr addr, Cycle arrive, bool &l2_hit)
 {
     // The L2 is "pipelined three accesses deep": a new lookup may
     // start every latency/depth cycles.
-    Cycle start = (arrive > _l2NextAccept) ? arrive : _l2NextAccept;
+    Cycle start = maxCycle(arrive, _l2NextAccept);
     _l2NextAccept = start + _l2AcceptInterval;
 
     ++_stats.l2Accesses;
@@ -68,7 +68,7 @@ MemoryHierarchy::l2AndBelow(Addr addr, Cycle arrive, bool &l2_hit)
     // L2 after the DRAM access plus the line transfer back.
     Cycle lookup_done = start + _cfg.l2Latency;
     BusSlot slot = _l2MemBus.transact(lookup_done, _cfg.l2.blockBytes);
-    Cycle mem_ready = _memory.access(slot.start + 1);
+    Cycle mem_ready = _memory.access(slot.start + CycleDelta(1));
     Cycle data_at_l2 =
         mem_ready + _l2MemBus.transferCycles(_cfg.l2.blockBytes);
     if (data_at_l2 < slot.end)
@@ -97,7 +97,8 @@ MemoryHierarchy::missToL2(Addr addr, Cycle now, bool is_write)
     // The transaction queues on the L1-L2 bus (one request at a time);
     // the L2/memory latency and the return transfer stack on top.
     BusSlot slot = _l1L2Bus.transact(now, _cfg.l1d.blockBytes);
-    Cycle l2_ready = l2AndBelow(addr, slot.start + 1, outcome.l2Hit);
+    Cycle l2_ready =
+        l2AndBelow(addr, slot.start + CycleDelta(1), outcome.l2Hit);
     Cycle ready =
         l2_ready + _l1L2Bus.transferCycles(_cfg.l1d.blockBytes);
     if (ready < slot.end)
@@ -113,27 +114,28 @@ MemoryHierarchy::missToL2(Addr addr, Cycle now, bool is_write)
         }
     }
 
-    _dataMshrs.allocate(block, ready);
+    _dataMshrs.allocate(_l1d.blockOf(block), ready);
     outcome.ready = ready;
     return outcome;
 }
 
 PrefetchOutcome
-MemoryHierarchy::prefetch(Addr block_addr, Cycle now, bool translate)
+MemoryHierarchy::prefetch(BlockAddr block, Cycle now, bool translate)
 {
     PrefetchOutcome outcome;
+    Addr addr = block.toByte(_l1d.lineBits());
     // The predictor works on virtual addresses; translate at prefetch
     // time, replacing the DTLB entry if necessary (paper §4.5). A
     // stream buffer that caches its page translation skips this step
     // while the stream stays inside the page.
     if (translate)
-        outcome.tlbPenalty = _dtlb.translate(block_addr);
+        outcome.tlbPenalty = _dtlb.translate(addr);
     ++_stats.prefetches;
 
     BusSlot slot =
         _l1L2Bus.transact(now + outcome.tlbPenalty, _cfg.l1d.blockBytes);
     bool l2_hit = false;
-    Cycle l2_ready = l2AndBelow(block_addr, slot.start + 1, l2_hit);
+    Cycle l2_ready = l2AndBelow(addr, slot.start + CycleDelta(1), l2_hit);
     Cycle ready =
         l2_ready + _l1L2Bus.transferCycles(_cfg.l1d.blockBytes);
     if (ready < slot.end)
@@ -147,9 +149,9 @@ MemoryHierarchy::prefetch(Addr block_addr, Cycle now, bool translate)
 }
 
 void
-MemoryHierarchy::fillFromStreamBuffer(Addr block_addr, Cycle now)
+MemoryHierarchy::fillFromStreamBuffer(BlockAddr block, Cycle now)
 {
-    if (auto evicted = _l1d.insert(block_addr)) {
+    if (auto evicted = _l1d.insert(block.toByte(_l1d.lineBits()))) {
         if (evicted->dirty) {
             ++_stats.l1Writebacks;
             _l1L2Bus.transact(now, _cfg.l1d.blockBytes);
@@ -160,13 +162,13 @@ MemoryHierarchy::fillFromStreamBuffer(Addr block_addr, Cycle now)
 }
 
 void
-MemoryHierarchy::registerInFlightFill(Addr block_addr, Cycle ready,
+MemoryHierarchy::registerInFlightFill(BlockAddr block, Cycle ready,
                                       Cycle now)
 {
-    fillFromStreamBuffer(block_addr, now);
+    fillFromStreamBuffer(block, now);
     if (!_dataMshrs.full(now) &&
-        !_dataMshrs.lookup(block_addr, now).has_value()) {
-        _dataMshrs.allocate(block_addr, ready);
+        !_dataMshrs.lookup(block, now).has_value()) {
+        _dataMshrs.allocate(block, ready);
     }
 }
 
@@ -215,7 +217,7 @@ Cycle
 MemoryHierarchy::instFetch(Addr pc, Cycle now)
 {
     ++_stats.instFetches;
-    Addr block = _l1i.blockAlign(pc);
+    BlockAddr block = _l1i.blockOf(pc);
 
     if (auto ready = _instMshrs.lookup(block, now))
         return *ready;
@@ -225,13 +227,13 @@ MemoryHierarchy::instFetch(Addr pc, Cycle now)
     ++_stats.instMisses;
     BusSlot slot = _l1L2Bus.transact(now, _cfg.l1i.blockBytes);
     bool l2_hit = false;
-    Cycle l2_ready = l2AndBelow(pc, slot.start + 1, l2_hit);
+    Cycle l2_ready = l2AndBelow(pc, slot.start + CycleDelta(1), l2_hit);
     Cycle ready =
         l2_ready + _l1L2Bus.transferCycles(_cfg.l1i.blockBytes);
     if (ready < slot.end)
         ready = slot.end;
 
-    _l1i.insert(block);
+    _l1i.insert(_l1i.blockAlign(pc));
     if (!_instMshrs.full(now))
         _instMshrs.allocate(block, ready);
     return ready;

@@ -47,11 +47,11 @@ struct MemoryConfig
     CacheGeometry l1i{32 * 1024, 2, 32};
     CacheGeometry l2{1024 * 1024, 4, 64};
 
-    Cycle l1Latency = 1;      ///< L1 (and stream-buffer) lookup latency
-    Cycle l2Latency = 12;
+    CycleDelta l1Latency{1};  ///< L1 (and stream-buffer) lookup latency
+    CycleDelta l2Latency{12};
     unsigned l2PipelineDepth = 3; ///< L2 "pipelined three accesses deep"
-    Cycle memLatency = 120;
-    Cycle memIssueInterval = 4;
+    CycleDelta memLatency{120};
+    CycleDelta memIssueInterval{4};
 
     unsigned l1L2BusBytesPerCycle = 8;
     unsigned l2MemBusBytesPerCycle = 4;
@@ -61,7 +61,7 @@ struct MemoryConfig
 
     unsigned tlbEntries = 128;
     uint64_t pageBytes = 8192;
-    Cycle tlbMissPenalty = 30;
+    CycleDelta tlbMissPenalty{30};
 };
 
 /** L1D-tag/MSHR/TLB state for one data access. */
@@ -69,8 +69,8 @@ struct ProbeResult
 {
     bool resident = false;   ///< hit in the L1D tag array (data present)
     bool inFlight = false;   ///< block being filled; data at readyCycle
-    Cycle ready = 0;         ///< valid when inFlight
-    Cycle tlbPenalty = 0;    ///< extra cycles charged for a DTLB miss
+    Cycle ready{};           ///< valid when inFlight
+    CycleDelta tlbPenalty{}; ///< extra cycles charged for a DTLB miss
 };
 
 /** Result of a demand fill issued to the L2/memory. */
@@ -78,15 +78,15 @@ struct FillOutcome
 {
     bool mshrStall = false;  ///< no MSHR free; retry next cycle
     bool l2Hit = false;
-    Cycle ready = 0;         ///< cycle the block arrives at the L1
+    Cycle ready{};           ///< cycle the block arrives at the L1
 };
 
 /** Result of a stream-buffer prefetch request. */
 struct PrefetchOutcome
 {
     bool l2Hit = false;
-    Cycle ready = 0;         ///< cycle the block arrives at the buffer
-    Cycle tlbPenalty = 0;
+    Cycle ready{};           ///< cycle the block arrives at the buffer
+    CycleDelta tlbPenalty{};
 };
 
 /** Aggregated memory-system statistics. */
@@ -132,14 +132,14 @@ class MemoryHierarchy
      * only start when the L1-L2 bus is free at the start of the cycle
      * (see l1ToL2BusFree()).
      */
-    PrefetchOutcome prefetch(Addr block_addr, Cycle now,
+    PrefetchOutcome prefetch(BlockAddr block, Cycle now,
                              bool translate = true);
 
     /** Paper's prefetch gating condition. */
     bool l1ToL2BusFree(Cycle now) const { return _l1L2Bus.freeAt(now); }
 
     /** Stream-buffer hit with data ready: block moves into the L1D. */
-    void fillFromStreamBuffer(Addr block_addr, Cycle now);
+    void fillFromStreamBuffer(BlockAddr block, Cycle now);
 
     /**
      * Stream-buffer tag hit with data still in flight: the tag moves
@@ -147,13 +147,16 @@ class MemoryHierarchy
      * arrives (paper §4.1). If every MSHR is busy the fill is still
      * honoured, just without merge tracking.
      */
-    void registerInFlightFill(Addr block_addr, Cycle ready, Cycle now);
+    void registerInFlightFill(BlockAddr block, Cycle ready, Cycle now);
 
     /** Instruction fetch of the line containing @p pc. */
     Cycle instFetch(Addr pc, Cycle now);
 
     /** Align to the L1 line size. */
     Addr blockAlign(Addr addr) const { return _l1d.blockAlign(addr); }
+
+    /** Block number of @p addr at the L1 line size. */
+    BlockAddr blockOf(Addr addr) const { return _l1d.blockOf(addr); }
 
     const HierarchyStats &stats() const { return _stats; }
 
@@ -196,8 +199,8 @@ class MemoryHierarchy
     MshrFile _dataMshrs;
     MshrFile _instMshrs;
     Tlb _dtlb;
-    Cycle _l2NextAccept = 0;
-    Cycle _l2AcceptInterval;
+    Cycle _l2NextAccept{};
+    CycleDelta _l2AcceptInterval;
     HierarchyStats _stats;
 };
 

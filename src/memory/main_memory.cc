@@ -6,16 +6,16 @@
 namespace psb
 {
 
-MainMemory::MainMemory(Cycle access_latency, Cycle issue_interval)
+MainMemory::MainMemory(CycleDelta access_latency, CycleDelta issue_interval)
     : _latency(access_latency), _issueInterval(issue_interval)
 {
-    psb_assert(issue_interval > 0, "issue interval must be non-zero");
+    psb_assert(issue_interval.raw() > 0, "issue interval must be non-zero");
 }
 
 Cycle
 MainMemory::access(Cycle now)
 {
-    Cycle start = (now > _nextAccept) ? now : _nextAccept;
+    Cycle start = maxCycle(now, _nextAccept);
     _nextAccept = start + _issueInterval;
     ++_accesses;
     return start + _latency;

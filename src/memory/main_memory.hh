@@ -27,7 +27,8 @@ class MainMemory
      * @param issue_interval Minimum cycles between accepted accesses
      *        (models bank/controller occupancy; 1 = fully pipelined).
      */
-    explicit MainMemory(Cycle access_latency, Cycle issue_interval = 4);
+    explicit MainMemory(CycleDelta access_latency,
+                        CycleDelta issue_interval = CycleDelta{4});
 
     /**
      * Schedule an access arriving at @p now.
@@ -36,7 +37,7 @@ class MainMemory
     Cycle access(Cycle now);
 
     uint64_t accesses() const { return _accesses; }
-    Cycle latency() const { return _latency; }
+    CycleDelta latency() const { return _latency; }
 
     /** Zero the accounting (end-of-warm-up); timing state is kept. */
     void resetStats() { _accesses = 0; }
@@ -45,9 +46,9 @@ class MainMemory
     void registerStats(StatsRegistry &reg, const std::string &prefix) const;
 
   private:
-    Cycle _latency;
-    Cycle _issueInterval;
-    Cycle _nextAccept = 0;
+    CycleDelta _latency;
+    CycleDelta _issueInterval;
+    Cycle _nextAccept{};
     uint64_t _accesses = 0;
 };
 

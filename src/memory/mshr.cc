@@ -22,11 +22,11 @@ MshrFile::retire(Cycle now)
 }
 
 std::optional<Cycle>
-MshrFile::lookup(Addr block_addr, Cycle now)
+MshrFile::lookup(BlockAddr block, Cycle now)
 {
     retire(now);
     for (auto &e : _entries) {
-        if (e.valid && e.block == block_addr) {
+        if (e.valid && e.block == block) {
             ++_merges;
             return e.ready;
         }
@@ -46,17 +46,17 @@ MshrFile::full(Cycle now)
 }
 
 void
-MshrFile::allocate(Addr block_addr, Cycle ready)
+MshrFile::allocate(BlockAddr block, Cycle ready)
 {
     for (auto &e : _entries) {
-        if (e.valid && e.block == block_addr)
+        if (e.valid && e.block == block)
             panic("MSHR double-allocation of block %#llx",
-                  (unsigned long long)block_addr);
+                  (unsigned long long)block.raw());
     }
     for (auto &e : _entries) {
         if (!e.valid) {
             e.valid = true;
-            e.block = block_addr;
+            e.block = block;
             e.ready = ready;
             ++_allocations;
             return;

@@ -34,7 +34,7 @@ class MshrFile
      * If the block is in flight at @p now, return the cycle its data
      * arrives. Entries whose fill has completed are retired lazily.
      */
-    std::optional<Cycle> lookup(Addr block_addr, Cycle now);
+    std::optional<Cycle> lookup(BlockAddr block, Cycle now);
 
     /** True iff no entry is free at @p now (after retiring done fills). */
     bool full(Cycle now);
@@ -44,7 +44,7 @@ class MshrFile
      * Allocating a block that is already tracked extends nothing and is
      * a modelling bug.
      */
-    void allocate(Addr block_addr, Cycle ready);
+    void allocate(BlockAddr block, Cycle ready);
 
     /** Number of live entries at @p now. */
     unsigned occupancy(Cycle now);
@@ -71,8 +71,8 @@ class MshrFile
   private:
     struct Entry
     {
-        Addr block = 0;
-        Cycle ready = 0;
+        BlockAddr block{};
+        Cycle ready{};
         bool valid = false;
     };
 

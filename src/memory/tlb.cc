@@ -8,7 +8,7 @@
 namespace psb
 {
 
-Tlb::Tlb(unsigned num_entries, uint64_t page_bytes, Cycle miss_penalty)
+Tlb::Tlb(unsigned num_entries, uint64_t page_bytes, CycleDelta miss_penalty)
     : _entries(num_entries), _pageBytes(page_bytes),
       _missPenalty(miss_penalty)
 {
@@ -16,7 +16,7 @@ Tlb::Tlb(unsigned num_entries, uint64_t page_bytes, Cycle miss_penalty)
     psb_assert(isPowerOf2(page_bytes), "page size must be a power of two");
 }
 
-Cycle
+CycleDelta
 Tlb::translate(Addr vaddr)
 {
     ++_accesses;
@@ -25,7 +25,7 @@ Tlb::translate(Addr vaddr)
     for (auto &e : _entries) {
         if (e.valid && e.vpn == vpn) {
             e.lastUse = ++_useStamp;
-            return 0;
+            return CycleDelta{};
         }
     }
 

@@ -30,20 +30,20 @@ class Tlb
      * @param page_bytes Page size (power of two).
      * @param miss_penalty Cycles added to an access on a TLB miss.
      */
-    Tlb(unsigned num_entries, uint64_t page_bytes, Cycle miss_penalty);
+    Tlb(unsigned num_entries, uint64_t page_bytes, CycleDelta miss_penalty);
 
     /**
      * Translate the page of @p vaddr, filling the entry on a miss.
      * @return Extra latency cycles (0 on a hit, missPenalty on a miss).
      */
-    Cycle translate(Addr vaddr);
+    CycleDelta translate(Addr vaddr);
 
     /** True iff the page of @p vaddr is currently mapped (no update). */
     bool probe(Addr vaddr) const;
 
     uint64_t accesses() const { return _accesses; }
     uint64_t misses() const { return _misses; }
-    Cycle missPenalty() const { return _missPenalty; }
+    CycleDelta missPenalty() const { return _missPenalty; }
 
     void
     resetStats()
@@ -63,11 +63,11 @@ class Tlb
         uint64_t lastUse = 0;
     };
 
-    uint64_t vpnOf(Addr vaddr) const { return vaddr / _pageBytes; }
+    uint64_t vpnOf(Addr vaddr) const { return vaddr.raw() / _pageBytes; }
 
     std::vector<Entry> _entries;
     uint64_t _pageBytes;
-    Cycle _missPenalty;
+    CycleDelta _missPenalty;
     uint64_t _useStamp = 0;
     uint64_t _accesses = 0;
     uint64_t _misses = 0;

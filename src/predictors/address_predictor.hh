@@ -39,14 +39,16 @@ class StatsRegistry;
  */
 struct StreamState
 {
-    Addr loadPc = 0;     ///< PC of the load that allocated the stream
-    Addr lastAddr = 0;   ///< last (speculative) block address predicted
-    int64_t stride = 0;  ///< stride assigned at allocation (bytes)
+    Addr loadPc{};        ///< PC of the load that allocated the stream
+    BlockAddr lastAddr{}; ///< last (speculative) block predicted
+    BlockDelta stride{};  ///< stride assigned at allocation (blocks)
     uint32_t confidence = 0; ///< accuracy confidence copied at allocation
     /**
      * Figure 2's "History" field: opaque, predictor-defined state for
-     * predictors that need more than the last address (e.g.\ the
-     * order-k ContextPredictor). The SFM predictor leaves it unused.
+     * predictors that need more than the last address (the order-k
+     * ContextPredictor keys its shadow history with it; the
+     * minimum-delta predictor keeps its byte-precision stride here).
+     * The SFM predictor leaves it unused.
      */
     uint64_t historyToken = 0;
 };
@@ -71,10 +73,11 @@ class AddressPredictor
      * Generate the next prefetch address for a stream and advance the
      * stream's speculative history. The tables are not modified.
      *
-     * @return The predicted block address, or nullopt when the
-     *         predictor has no prediction for this state.
+     * @return The predicted block, or nullopt when the predictor has
+     *         no prediction for this state.
      */
-    virtual std::optional<Addr> predictNext(StreamState &state) const = 0;
+    virtual std::optional<BlockAddr>
+    predictNext(StreamState &state) const = 0;
 
     /**
      * Build the initial per-stream state for a stream buffer allocated

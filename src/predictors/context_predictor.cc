@@ -7,7 +7,8 @@ namespace psb
 {
 
 ContextPredictor::ContextPredictor(const ContextConfig &cfg)
-    : _cfg(cfg), _stride(cfg.stride), _entries(cfg.entries)
+    : _cfg(cfg), _lineBits(floorLog2(cfg.stride.blockBytes)),
+      _stride(cfg.stride), _entries(cfg.entries)
 {
     psb_assert(isPowerOf2(cfg.entries), "context entries must be 2^n");
     psb_assert(cfg.historyLength >= 1 &&
@@ -15,15 +16,16 @@ ContextPredictor::ContextPredictor(const ContextConfig &cfg)
                "history length must be 1..4");
 }
 
-Addr
-ContextPredictor::blockAlign(Addr addr) const
+BlockAddr
+ContextPredictor::blockOf(Addr addr) const
 {
-    return addr & ~Addr(_cfg.stride.blockBytes - 1);
+    return addr.toBlock(_lineBits);
 }
 
 uint64_t
 ContextPredictor::hashHistory(
-    const std::array<Addr, maxHistory> &blocks, unsigned filled) const
+    const std::array<BlockAddr, maxHistory> &blocks,
+    unsigned filled) const
 {
     // Fold the last k block numbers; older entries are rotated so
     // order matters (pattern ABA differs from AAB).
@@ -31,7 +33,7 @@ ContextPredictor::hashHistory(
     unsigned k = _cfg.historyLength < filled ? _cfg.historyLength
                                              : filled;
     for (unsigned i = 0; i < k; ++i) {
-        uint64_t block_num = blocks[i] / _cfg.stride.blockBytes;
+        uint64_t block_num = blocks[i].raw();
         unsigned rot = 7 * i;
         hash ^= rot ? ((block_num << rot) | (block_num >> (64 - rot)))
                     : block_num;
@@ -49,13 +51,13 @@ ContextPredictor::hashHistory(
 unsigned
 ContextPredictor::indexOf(uint64_t hash) const
 {
-    return hash & (_cfg.entries - 1);
+    return unsigned(hash & (_cfg.entries - 1));
 }
 
 uint32_t
 ContextPredictor::tagOf(uint64_t hash) const
 {
-    return (hash >> 32) & mask(_cfg.tagBits);
+    return uint32_t((hash >> 32) & mask(_cfg.tagBits));
 }
 
 unsigned
@@ -67,16 +69,17 @@ ContextPredictor::historySlot(const StreamState &state) const
 void
 ContextPredictor::train(Addr pc, Addr addr)
 {
-    Addr block = blockAlign(addr);
+    BlockAddr block = blockOf(addr);
     StrideTrainResult result = _stride.train(pc, addr);
     if (result.firstTouch) {
-        History &h = _trainHistory[(pc >> 2) % numStreamSlots];
-        h.blocks = {block, 0, 0, 0};
+        History &h =
+            _trainHistory[(pc.raw() >> 2) % numStreamSlots];
+        h.blocks = {block, BlockAddr{}, BlockAddr{}, BlockAddr{}};
         h.filled = 1;
         return;
     }
 
-    History &h = _trainHistory[(pc >> 2) % numStreamSlots];
+    History &h = _trainHistory[(pc.raw() >> 2) % numStreamSlots];
 
     // Correctness of the combination (for confidence and the filter).
     bool markov_correct = false;
@@ -113,7 +116,7 @@ ContextPredictor::allocateStream(Addr pc, Addr addr) const
 {
     StreamState state;
     state.loadPc = pc;
-    state.lastAddr = blockAlign(addr);
+    state.lastAddr = blockOf(addr);
     state.stride = _stride.predictedStride(pc);
     state.confidence = _stride.confidence(pc);
     state.historyToken = _nextSlot++;
@@ -122,7 +125,7 @@ ContextPredictor::allocateStream(Addr pc, Addr addr) const
     // history of this load (the paper copies "any additional
     // prediction information" from predictor to buffer).
     History &h = _streamHistory[historySlot(state)];
-    h = _trainHistory[(pc >> 2) % numStreamSlots];
+    h = _trainHistory[(pc.raw() >> 2) % numStreamSlots];
     if (h.filled == 0 || h.blocks[0] != state.lastAddr) {
         for (unsigned i = maxHistory - 1; i > 0; --i)
             h.blocks[i] = h.blocks[i - 1];
@@ -133,12 +136,12 @@ ContextPredictor::allocateStream(Addr pc, Addr addr) const
     return state;
 }
 
-std::optional<Addr>
+std::optional<BlockAddr>
 ContextPredictor::predictNext(StreamState &state) const
 {
     History &h = _streamHistory[historySlot(state)];
 
-    std::optional<Addr> next;
+    std::optional<BlockAddr> next;
     if (h.filled > 0) {
         uint64_t hash = hashHistory(h.blocks, h.filled);
         const Entry &e = _entries[indexOf(hash)];
@@ -146,7 +149,7 @@ ContextPredictor::predictNext(StreamState &state) const
             next = e.next;
     }
     if (!next)
-        next = blockAlign(Addr(int64_t(state.lastAddr) + state.stride));
+        next = state.lastAddr + state.stride;
 
     // Advance the stream's speculative history, not the tables.
     for (unsigned i = maxHistory - 1; i > 0; --i)

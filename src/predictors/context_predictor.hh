@@ -53,7 +53,8 @@ class ContextPredictor : public AddressPredictor
     explicit ContextPredictor(const ContextConfig &cfg = {});
 
     void train(Addr pc, Addr addr) override;
-    std::optional<Addr> predictNext(StreamState &state) const override;
+    std::optional<BlockAddr>
+    predictNext(StreamState &state) const override;
     StreamState allocateStream(Addr pc, Addr addr) const override;
     uint32_t confidence(Addr pc) const override;
     bool twoMissFilterPass(Addr pc, Addr addr) const override;
@@ -68,25 +69,26 @@ class ContextPredictor : public AddressPredictor
     struct Entry
     {
         uint32_t tag = 0;
-        Addr next = 0;
+        BlockAddr next{};
         bool valid = false;
     };
 
     /** Rolling per-context history (training side). */
     struct History
     {
-        std::array<Addr, maxHistory> blocks{};
+        std::array<BlockAddr, maxHistory> blocks{};
         unsigned filled = 0;
     };
 
-    uint64_t hashHistory(const std::array<Addr, maxHistory> &blocks,
+    uint64_t hashHistory(const std::array<BlockAddr, maxHistory> &blocks,
                          unsigned filled) const;
     unsigned indexOf(uint64_t hash) const;
     uint32_t tagOf(uint64_t hash) const;
-    Addr blockAlign(Addr addr) const;
+    BlockAddr blockOf(Addr addr) const;
     unsigned historySlot(const StreamState &state) const;
 
     ContextConfig _cfg;
+    unsigned _lineBits;
     StrideTable _stride;
     std::vector<Entry> _entries;
     /** Training-side history per load PC (folded into 64 slots). */

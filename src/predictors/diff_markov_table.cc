@@ -16,46 +16,43 @@ DiffMarkovTable::DiffMarkovTable(const DiffMarkovConfig &cfg)
 }
 
 unsigned
-DiffMarkovTable::indexOf(uint64_t block_num) const
+DiffMarkovTable::indexOf(BlockAddr block) const
 {
-    return block_num & mask(_indexBits);
+    return unsigned(block.raw() & mask(_indexBits));
 }
 
 uint32_t
-DiffMarkovTable::tagOf(uint64_t block_num) const
+DiffMarkovTable::tagOf(BlockAddr block) const
 {
-    return (block_num >> _indexBits) & mask(_cfg.tagBits);
+    return uint32_t((block.raw() >> _indexBits) & mask(_cfg.tagBits));
 }
 
 bool
-DiffMarkovTable::update(Addr from, Addr to)
+DiffMarkovTable::update(BlockAddr from, BlockAddr to)
 {
-    int64_t delta =
-        int64_t(blockNum(to)) - int64_t(blockNum(from));
-    if (!fitsSigned(delta, _cfg.deltaBits)) {
+    BlockDelta delta = to - from;
+    if (!delta.fitsIn(_cfg.deltaBits)) {
         ++_overflows;
         return false;
     }
-    uint64_t from_block = blockNum(from);
-    Entry &entry = _entries[indexOf(from_block)];
-    entry.tag = tagOf(from_block);
-    entry.deltaBlocks = delta;
+    Entry &entry = _entries[indexOf(from)];
+    entry.tag = tagOf(from);
+    entry.delta = delta;
     entry.valid = true;
     ++_updates;
     return true;
 }
 
-std::optional<Addr>
-DiffMarkovTable::lookup(Addr from) const
+std::optional<BlockAddr>
+DiffMarkovTable::lookup(BlockAddr from) const
 {
-    uint64_t from_block = blockNum(from);
-    const Entry &entry = _entries[indexOf(from_block)];
-    if (!entry.valid || entry.tag != tagOf(from_block))
+    const Entry &entry = _entries[indexOf(from)];
+    if (!entry.valid || entry.tag != tagOf(from))
         return std::nullopt;
-    int64_t next_block = int64_t(from_block) + entry.deltaBlocks;
+    int64_t next_block = int64_t(from.raw()) + entry.delta.raw();
     if (next_block < 0)
         return std::nullopt;
-    return Addr(next_block) * _cfg.blockBytes;
+    return BlockAddr(uint64_t(next_block));
 }
 
 uint64_t

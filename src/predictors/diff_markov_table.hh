@@ -43,15 +43,15 @@ class DiffMarkovTable
      * Record the transition @p from -> @p to.
      * @retval true when the delta fit in deltaBits and was recorded.
      */
-    bool update(Addr from, Addr to);
+    bool update(BlockAddr from, BlockAddr to);
 
     /**
-     * Predict the block that followed @p from: the indexing address
+     * Predict the block that followed @p from: the indexing block
      * plus the stored signed delta (paper: "a stream buffer adds its
      * last missing address to the signed offset contained in the
      * table").
      */
-    std::optional<Addr> lookup(Addr from) const;
+    std::optional<BlockAddr> lookup(BlockAddr from) const;
 
     /** Transitions rejected because the delta overflowed deltaBits. */
     uint64_t overflows() const { return _overflows; }
@@ -70,13 +70,12 @@ class DiffMarkovTable
     struct Entry
     {
         uint32_t tag = 0;
-        int64_t deltaBlocks = 0;
+        BlockDelta delta{};
         bool valid = false;
     };
 
-    uint64_t blockNum(Addr addr) const { return addr / _cfg.blockBytes; }
-    unsigned indexOf(uint64_t block_num) const;
-    uint32_t tagOf(uint64_t block_num) const;
+    unsigned indexOf(BlockAddr block) const;
+    uint32_t tagOf(BlockAddr block) const;
 
     DiffMarkovConfig _cfg;
     unsigned _indexBits;

@@ -1,5 +1,7 @@
 #include "predictors/last_address_predictor.hh"
 
+#include "util/bitfield.hh"
+
 namespace psb
 {
 
@@ -17,24 +19,25 @@ withBlock(StrideTableConfig cfg, unsigned block_bytes)
 
 NextBlockPredictor::NextBlockPredictor(unsigned block_bytes,
                                        const StrideTableConfig &table)
-    : _blockBytes(block_bytes), _table(withBlock(table, block_bytes))
+    : _lineBits(floorLog2(block_bytes)),
+      _table(withBlock(table, block_bytes))
 {
 }
 
 void
 NextBlockPredictor::train(Addr pc, Addr addr)
 {
-    Addr block = addr & ~Addr(_blockBytes - 1);
+    BlockAddr block = addr.toBlock(_lineBits);
     StrideTrainResult result = _table.train(pc, addr);
     if (result.firstTouch)
         return;
-    _table.recordOutcome(pc, result.prevAddr + _blockBytes == block);
+    _table.recordOutcome(pc, result.prevAddr + BlockDelta(1) == block);
 }
 
-std::optional<Addr>
+std::optional<BlockAddr>
 NextBlockPredictor::predictNext(StreamState &state) const
 {
-    state.lastAddr += _blockBytes;
+    state.lastAddr += BlockDelta(1);
     return state.lastAddr;
 }
 
@@ -43,8 +46,8 @@ NextBlockPredictor::allocateStream(Addr pc, Addr addr) const
 {
     StreamState state;
     state.loadPc = pc;
-    state.lastAddr = addr & ~Addr(_blockBytes - 1);
-    state.stride = _blockBytes;
+    state.lastAddr = addr.toBlock(_lineBits);
+    state.stride = BlockDelta(1);
     state.confidence = _table.confidence(pc);
     return state;
 }
@@ -63,21 +66,22 @@ NextBlockPredictor::twoMissFilterPass(Addr pc, Addr) const
 
 LastAddressPredictor::LastAddressPredictor(unsigned block_bytes,
                                            const StrideTableConfig &table)
-    : _blockBytes(block_bytes), _table(withBlock(table, block_bytes))
+    : _lineBits(floorLog2(block_bytes)),
+      _table(withBlock(table, block_bytes))
 {
 }
 
 void
 LastAddressPredictor::train(Addr pc, Addr addr)
 {
-    Addr block = addr & ~Addr(_blockBytes - 1);
+    BlockAddr block = addr.toBlock(_lineBits);
     StrideTrainResult result = _table.train(pc, addr);
     if (result.firstTouch)
         return;
     _table.recordOutcome(pc, result.prevAddr == block);
 }
 
-std::optional<Addr>
+std::optional<BlockAddr>
 LastAddressPredictor::predictNext(StreamState &state) const
 {
     return state.lastAddr;
@@ -88,8 +92,8 @@ LastAddressPredictor::allocateStream(Addr pc, Addr addr) const
 {
     StreamState state;
     state.loadPc = pc;
-    state.lastAddr = addr & ~Addr(_blockBytes - 1);
-    state.stride = 0;
+    state.lastAddr = addr.toBlock(_lineBits);
+    state.stride = BlockDelta{};
     state.confidence = _table.confidence(pc);
     return state;
 }

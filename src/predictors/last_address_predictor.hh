@@ -34,13 +34,14 @@ class NextBlockPredictor : public AddressPredictor
                                 const StrideTableConfig &table = {});
 
     void train(Addr pc, Addr addr) override;
-    std::optional<Addr> predictNext(StreamState &state) const override;
+    std::optional<BlockAddr>
+    predictNext(StreamState &state) const override;
     StreamState allocateStream(Addr pc, Addr addr) const override;
     uint32_t confidence(Addr pc) const override;
     bool twoMissFilterPass(Addr pc, Addr addr) const override;
 
   private:
-    unsigned _blockBytes;
+    unsigned _lineBits;
     StrideTable _table;
 };
 
@@ -52,13 +53,14 @@ class LastAddressPredictor : public AddressPredictor
                                   const StrideTableConfig &table = {});
 
     void train(Addr pc, Addr addr) override;
-    std::optional<Addr> predictNext(StreamState &state) const override;
+    std::optional<BlockAddr>
+    predictNext(StreamState &state) const override;
     StreamState allocateStream(Addr pc, Addr addr) const override;
     uint32_t confidence(Addr pc) const override;
     bool twoMissFilterPass(Addr pc, Addr addr) const override;
 
   private:
-    unsigned _blockBytes;
+    unsigned _lineBits;
     StrideTable _table;
 };
 

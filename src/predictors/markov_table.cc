@@ -15,40 +15,32 @@ MarkovTable::MarkovTable(const MarkovTableConfig &cfg)
                "partial tag must be 1..32 bits");
 }
 
-uint64_t
-MarkovTable::blockNum(Addr addr) const
-{
-    return addr / _cfg.blockBytes;
-}
-
 unsigned
-MarkovTable::indexOf(uint64_t block_num) const
+MarkovTable::indexOf(BlockAddr block) const
 {
-    return block_num & mask(_indexBits);
+    return unsigned(block.raw() & mask(_indexBits));
 }
 
 uint32_t
-MarkovTable::tagOf(uint64_t block_num) const
+MarkovTable::tagOf(BlockAddr block) const
 {
-    return (block_num >> _indexBits) & mask(_cfg.tagBits);
+    return uint32_t((block.raw() >> _indexBits) & mask(_cfg.tagBits));
 }
 
 void
-MarkovTable::update(Addr from, Addr to)
+MarkovTable::update(BlockAddr from, BlockAddr to)
 {
-    uint64_t from_block = blockNum(from);
-    Entry &entry = _entries[indexOf(from_block)];
-    entry.tag = tagOf(from_block);
-    entry.next = (to / _cfg.blockBytes) * _cfg.blockBytes;
+    Entry &entry = _entries[indexOf(from)];
+    entry.tag = tagOf(from);
+    entry.next = to;
     entry.valid = true;
 }
 
-std::optional<Addr>
-MarkovTable::lookup(Addr from) const
+std::optional<BlockAddr>
+MarkovTable::lookup(BlockAddr from) const
 {
-    uint64_t from_block = blockNum(from);
-    const Entry &entry = _entries[indexOf(from_block)];
-    if (!entry.valid || entry.tag != tagOf(from_block))
+    const Entry &entry = _entries[indexOf(from)];
+    if (!entry.valid || entry.tag != tagOf(from))
         return std::nullopt;
     return entry.next;
 }

@@ -36,14 +36,14 @@ class MarkovTable
   public:
     explicit MarkovTable(const MarkovTableConfig &cfg = {});
 
-    /** Record the transition @p from -> @p to (block-aligned inside). */
-    void update(Addr from, Addr to);
+    /** Record the transition @p from -> @p to. */
+    void update(BlockAddr from, BlockAddr to);
 
     /**
-     * Predict the block address that followed @p from last time.
+     * Predict the block that followed @p from last time.
      * @return nullopt when the entry is absent or the tag mismatches.
      */
-    std::optional<Addr> lookup(Addr from) const;
+    std::optional<BlockAddr> lookup(BlockAddr from) const;
 
     /** Number of live entries (test/debug aid). */
     uint64_t population() const;
@@ -54,13 +54,12 @@ class MarkovTable
     struct Entry
     {
         uint32_t tag = 0;
-        Addr next = 0;
+        BlockAddr next{};
         bool valid = false;
     };
 
-    uint64_t blockNum(Addr addr) const;
-    unsigned indexOf(uint64_t block_num) const;
-    uint32_t tagOf(uint64_t block_num) const;
+    unsigned indexOf(BlockAddr block) const;
+    uint32_t tagOf(BlockAddr block) const;
 
     MarkovTableConfig _cfg;
     unsigned _indexBits;

@@ -1,5 +1,6 @@
 #include "predictors/sfm_predictor.hh"
 
+#include "util/bitfield.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
 
@@ -7,22 +8,17 @@ namespace psb
 {
 
 SfmPredictor::SfmPredictor(const SfmConfig &cfg)
-    : _cfg(cfg), _stride(cfg.stride), _markov(cfg.markov)
+    : _cfg(cfg), _lineBits(floorLog2(cfg.stride.blockBytes)),
+      _stride(cfg.stride), _markov(cfg.markov)
 {
     psb_assert(cfg.stride.blockBytes == cfg.markov.blockBytes,
                "stride and markov tables must share a granularity");
 }
 
-Addr
-SfmPredictor::blockAlign(Addr addr) const
-{
-    return addr & ~Addr(_cfg.stride.blockBytes - 1);
-}
-
 void
 SfmPredictor::train(Addr pc, Addr addr)
 {
-    Addr block = blockAlign(addr);
+    BlockAddr block = addr.toBlock(_lineBits);
     const bool use_stride = _cfg.mode != SfmMode::MarkovOnly;
     const bool use_markov = _cfg.mode != SfmMode::StrideOnly;
 
@@ -58,17 +54,17 @@ SfmPredictor::train(Addr pc, Addr addr)
         _markov.update(result.prevAddr, block);
 }
 
-std::optional<Addr>
+std::optional<BlockAddr>
 SfmPredictor::predictNext(StreamState &state) const
 {
     const bool use_stride = _cfg.mode != SfmMode::MarkovOnly;
     const bool use_markov = _cfg.mode != SfmMode::StrideOnly;
 
-    std::optional<Addr> next;
+    std::optional<BlockAddr> next;
     if (use_markov)
         next = _markov.lookup(state.lastAddr);
     if (!next && use_stride)
-        next = blockAlign(Addr(int64_t(state.lastAddr) + state.stride));
+        next = state.lastAddr + state.stride;
     if (!next)
         return std::nullopt;
 
@@ -81,7 +77,7 @@ SfmPredictor::allocateStream(Addr pc, Addr addr) const
 {
     StreamState state;
     state.loadPc = pc;
-    state.lastAddr = blockAlign(addr);
+    state.lastAddr = addr.toBlock(_lineBits);
     state.stride = _stride.predictedStride(pc);
     state.confidence = _stride.confidence(pc);
     return state;

@@ -56,7 +56,8 @@ class SfmPredictor : public AddressPredictor
     explicit SfmPredictor(const SfmConfig &cfg = {});
 
     void train(Addr pc, Addr addr) override;
-    std::optional<Addr> predictNext(StreamState &state) const override;
+    std::optional<BlockAddr>
+    predictNext(StreamState &state) const override;
     StreamState allocateStream(Addr pc, Addr addr) const override;
     uint32_t confidence(Addr pc) const override;
     bool twoMissFilterPass(Addr pc, Addr addr) const override;
@@ -81,9 +82,8 @@ class SfmPredictor : public AddressPredictor
     const SfmConfig &config() const { return _cfg; }
 
   private:
-    Addr blockAlign(Addr addr) const;
-
     SfmConfig _cfg;
+    unsigned _lineBits;
     StrideTable _stride;
     DiffMarkovTable _markov;
     uint64_t _trainEvents = 0;

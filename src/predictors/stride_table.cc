@@ -11,11 +11,13 @@ namespace psb
 StrideTable::StrideTable(const StrideTableConfig &cfg)
     : _cfg(cfg),
       _numSets(cfg.entries / cfg.assoc),
+      _lineBits(floorLog2(cfg.blockBytes)),
       _entries(cfg.entries)
 {
     psb_assert(cfg.assoc >= 1 && cfg.entries % cfg.assoc == 0,
                "stride table entries must divide into sets");
     psb_assert(isPowerOf2(_numSets), "stride table sets must be 2^n");
+    psb_assert(isPowerOf2(cfg.blockBytes), "block size must be 2^n");
     for (auto &e : _entries)
         e.accuracy = SatCounter(cfg.confidenceMax);
 }
@@ -23,11 +25,15 @@ StrideTable::StrideTable(const StrideTableConfig &cfg)
 unsigned
 StrideTable::setOf(Addr pc) const
 {
-    // Instructions are word-aligned; drop the low bits, then fold in
-    // higher PC bits so routines laid out at power-of-two spacings do
-    // not collapse onto a single set.
-    Addr word = pc >> 2;
-    return (word ^ (word >> 6) ^ (word >> 12)) & (_numSets - 1);
+    // Instructions are word-aligned; drop the low bits, then xor-fold
+    // the whole word so no PC bit is ignored — routines laid out at
+    // power-of-two spacings anywhere in the address space must not
+    // collapse onto a handful of sets.
+    uint64_t h = pc.raw() >> 2;
+    h ^= h >> 32;
+    h ^= h >> 16;
+    h ^= h >> 8;
+    return unsigned(h & (_numSets - 1));
 }
 
 StrideEntry *
@@ -51,7 +57,7 @@ StrideTrainResult
 StrideTable::train(Addr pc, Addr addr)
 {
     StrideTrainResult result;
-    Addr block = addr & ~Addr(_cfg.blockBytes - 1);
+    BlockAddr block = addr.toBlock(_lineBits);
 
     StrideEntry *entry = find(pc);
     if (!entry) {
@@ -79,10 +85,9 @@ StrideTable::train(Addr pc, Addr addr)
 
     entry->lastUse = ++_useStamp;
     result.prevAddr = entry->lastAddr;
-    int64_t stride = int64_t(block) - int64_t(entry->lastAddr);
+    BlockDelta stride = block - entry->lastAddr;
     result.observedStride = stride;
-    result.stridePredicted =
-        (int64_t(entry->lastAddr) + entry->stride2d == int64_t(block));
+    result.stridePredicted = (entry->lastAddr + entry->stride2d == block);
 
     // Two-delta update: only adopt a new stride once seen twice.
     entry->strideRepeated = (stride == entry->lastStride);
@@ -113,11 +118,11 @@ StrideTable::lookup(Addr pc) const
     return find(pc);
 }
 
-int64_t
+BlockDelta
 StrideTable::predictedStride(Addr pc) const
 {
     const StrideEntry *entry = find(pc);
-    return entry ? entry->stride2d : 0;
+    return entry ? entry->stride2d : BlockDelta{};
 }
 
 uint32_t

@@ -44,10 +44,10 @@ struct StrideTableConfig
  */
 struct StrideEntry
 {
-    Addr pc = 0;
-    Addr lastAddr = 0;       ///< last miss address (block-aligned)
-    int64_t lastStride = 0;  ///< most recent stride (bytes)
-    int64_t stride2d = 0;    ///< two-delta (predicted) stride (bytes)
+    Addr pc{};
+    BlockAddr lastAddr{};    ///< block of the last miss address
+    BlockDelta lastStride{}; ///< most recent stride (blocks)
+    BlockDelta stride2d{};   ///< two-delta (predicted) stride (blocks)
     SatCounter accuracy;     ///< SFM accuracy confidence (§4.3)
     /** Last two train() outcomes for the generalised 2-miss filter. */
     bool lastCorrect = false;
@@ -61,9 +61,9 @@ struct StrideEntry
 /** Outcome of one training step, consumed by SfmPredictor. */
 struct StrideTrainResult
 {
-    bool firstTouch = false;   ///< entry was just allocated
-    Addr prevAddr = 0;         ///< entry's lastAddr before this update
-    int64_t observedStride = 0;
+    bool firstTouch = false;    ///< entry was just allocated
+    BlockAddr prevAddr{};       ///< entry's lastAddr before this update
+    BlockDelta observedStride{};
     bool stridePredicted = false; ///< two-delta stride was correct
 };
 
@@ -92,7 +92,7 @@ class StrideTable
     const StrideEntry *lookup(Addr pc) const;
 
     /** Predicted (two-delta) stride for @p pc, 0 when untracked. */
-    int64_t predictedStride(Addr pc) const;
+    BlockDelta predictedStride(Addr pc) const;
 
     /** Accuracy-confidence value for @p pc, 0 when untracked. */
     uint32_t confidence(Addr pc) const;
@@ -111,6 +111,9 @@ class StrideTable
 
     const StrideTableConfig &config() const { return _cfg; }
 
+    /** log2 of the prediction granularity (cfg.blockBytes). */
+    unsigned lineBits() const { return _lineBits; }
+
   private:
     StrideEntry *find(Addr pc);
     const StrideEntry *find(Addr pc) const;
@@ -118,6 +121,7 @@ class StrideTable
 
     StrideTableConfig _cfg;
     unsigned _numSets;
+    unsigned _lineBits;
     std::vector<StrideEntry> _entries;
     uint64_t _useStamp = 0;
 };

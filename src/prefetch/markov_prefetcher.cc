@@ -13,13 +13,11 @@ MarkovPrefetcher::MarkovPrefetcher(MemoryHierarchy &hierarchy,
 }
 
 void
-MarkovPrefetcher::creditSource(Addr source, bool used)
+MarkovPrefetcher::creditSource(BlockAddr source, bool used)
 {
     if (!_adaptive)
         return;
-    uint8_t &ctr =
-        _badness[(source / _table.config().blockBytes) &
-                 (_badness.size() - 1)];
+    uint8_t &ctr = _badness[source.raw() & (_badness.size() - 1)];
     if (used) {
         if (ctr > 0)
             --ctr;
@@ -30,15 +28,13 @@ MarkovPrefetcher::creditSource(Addr source, bool used)
 }
 
 bool
-MarkovPrefetcher::sourceDisabled(Addr source) const
+MarkovPrefetcher::sourceDisabled(BlockAddr source) const
 {
     if (!_adaptive)
         return false;
     // "When the sign bit of the counter is set, the relevant entry in
     // the prediction table is disabled."
-    return (_badness[(source / _table.config().blockBytes) &
-                     (_badness.size() - 1)] &
-            0x2) != 0;
+    return (_badness[source.raw() & (_badness.size() - 1)] & 0x2) != 0;
 }
 
 PrefetchLookup
@@ -46,7 +42,7 @@ MarkovPrefetcher::lookup(Addr addr, Cycle now)
 {
     ++_stats.lookups;
     PrefetchLookup result;
-    Addr block = _hierarchy.blockAlign(addr);
+    BlockAddr block = _hierarchy.blockOf(addr);
 
     for (auto &e : _buffer) {
         if (!e.valid || e.block != block)
@@ -76,7 +72,7 @@ MarkovPrefetcher::trainLoad(Addr, Addr addr, bool l1_miss,
 {
     if (!l1_miss || store_forwarded)
         return;
-    Addr block = _hierarchy.blockAlign(addr);
+    BlockAddr block = _hierarchy.blockOf(addr);
     if (_haveLastMiss && _lastMiss != block) {
         // "Prefetch requests from disabled entries are tracked so
         // that they can be enabled when they start making correct
@@ -94,7 +90,7 @@ MarkovPrefetcher::trainLoad(Addr, Addr addr, bool l1_miss,
 }
 
 void
-MarkovPrefetcher::enqueue(Addr block, Addr source)
+MarkovPrefetcher::enqueue(BlockAddr block, BlockAddr source)
 {
     for (const auto &e : _buffer) {
         if (e.valid && e.block == block)
@@ -124,7 +120,7 @@ void
 MarkovPrefetcher::demandMiss(Addr, Addr addr, Cycle)
 {
     // Release any matching prediction whose prefetch never issued.
-    Addr fill_block = _hierarchy.blockAlign(addr);
+    BlockAddr fill_block = _hierarchy.blockOf(addr);
     for (auto &e : _buffer) {
         if (e.valid && !e.prefetched && e.block == fill_block) {
             ++_stats.lateTagHits;
@@ -134,7 +130,7 @@ MarkovPrefetcher::demandMiss(Addr, Addr addr, Cycle)
     ++_stats.allocationRequests;
     // One-shot: predict the successor of this miss, then idle until
     // the next miss. No re-indexing with predicted addresses.
-    Addr block = _hierarchy.blockAlign(addr);
+    BlockAddr block = _hierarchy.blockOf(addr);
     if (auto next = _table.lookup(block)) {
         // Disabled entries issue no prefetch; trainLoad() keeps
         // scoring them so they re-enable once correct again.

@@ -51,22 +51,22 @@ class MarkovPrefetcher : public Prefetcher
   private:
     struct BufEntry
     {
-        Addr block = 0;
-        Addr sourceBlock = 0; ///< table entry that predicted this
+        BlockAddr block{};
+        BlockAddr sourceBlock{}; ///< table entry that predicted this
         bool valid = false;
         bool prefetched = false;
-        Cycle ready = 0;
+        Cycle ready{};
         uint64_t fifoStamp = 0;
     };
 
-    void enqueue(Addr block, Addr source);
-    void creditSource(Addr source, bool used);
-    bool sourceDisabled(Addr source) const;
+    void enqueue(BlockAddr block, BlockAddr source);
+    void creditSource(BlockAddr source, bool used);
+    bool sourceDisabled(BlockAddr source) const;
 
     MemoryHierarchy &_hierarchy;
     MarkovTable _table;
     std::vector<BufEntry> _buffer;
-    Addr _lastMiss = 0;
+    BlockAddr _lastMiss{};
     bool _haveLastMiss = false;
     bool _adaptive;
     /** Two-bit accuracy counters keyed like the Markov table. */

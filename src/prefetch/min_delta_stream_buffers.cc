@@ -9,7 +9,8 @@ namespace psb
 {
 
 MinDeltaPredictor::MinDeltaPredictor(const MinDeltaConfig &cfg)
-    : _cfg(cfg), _chunks(cfg.chunkTableEntries)
+    : _cfg(cfg), _lineBits(floorLog2(cfg.blockBytes)),
+      _chunks(cfg.chunkTableEntries)
 {
     psb_assert(isPowerOf2(cfg.chunkBytes), "chunk size must be 2^n");
     psb_assert(isPowerOf2(cfg.chunkTableEntries),
@@ -20,13 +21,13 @@ MinDeltaPredictor::MinDeltaPredictor(const MinDeltaConfig &cfg)
 uint64_t
 MinDeltaPredictor::chunkOf(Addr addr) const
 {
-    return addr / _cfg.chunkBytes;
+    return addr.raw() / _cfg.chunkBytes;
 }
 
 unsigned
 MinDeltaPredictor::indexOf(Addr addr) const
 {
-    return chunkOf(addr) & (_cfg.chunkTableEntries - 1);
+    return unsigned(chunkOf(addr) & (_cfg.chunkTableEntries - 1));
 }
 
 void
@@ -55,7 +56,7 @@ MinDeltaPredictor::train(Addr, Addr addr)
         int64_t best = 0;
         bool have = false;
         for (Addr past : entry.recent) {
-            int64_t delta = int64_t(addr) - int64_t(past);
+            int64_t delta = addr - past;
             if (delta == 0)
                 continue;
             if (!have || std::llabs(delta) < std::llabs(best)) {
@@ -81,13 +82,12 @@ MinDeltaPredictor::train(Addr, Addr addr)
     _haveLastMiss = true;
 }
 
-std::optional<Addr>
+std::optional<BlockAddr>
 MinDeltaPredictor::predictNext(StreamState &state) const
 {
-    if (state.stride == 0)
+    if (state.stride == BlockDelta{})
         return std::nullopt;
-    state.lastAddr = Addr(int64_t(state.lastAddr) + state.stride) &
-                     ~Addr(_cfg.blockBytes - 1);
+    state.lastAddr += state.stride;
     return state.lastAddr;
 }
 
@@ -96,8 +96,12 @@ MinDeltaPredictor::allocateStream(Addr pc, Addr addr) const
 {
     StreamState state;
     state.loadPc = pc;
-    state.lastAddr = addr & ~Addr(_cfg.blockBytes - 1);
-    state.stride = strideFor(addr);
+    state.lastAddr = addr.toBlock(_lineBits);
+    // The byte stride is re-applied to a line-aligned base on every
+    // prediction, so it advances the stream by a constant number of
+    // whole blocks: floor(stride / blockBytes). Sub-block strides are
+    // already rounded to a full block (with sign) during training.
+    state.stride = BlockDelta(strideFor(addr) >> _lineBits);
     // No per-load accuracy counter in this scheme: a fixed confidence
     // of 1 lets it pass the ConfAlloc threshold if ever combined.
     state.confidence = 1;

@@ -45,7 +45,8 @@ class MinDeltaPredictor : public AddressPredictor
     explicit MinDeltaPredictor(const MinDeltaConfig &cfg = {});
 
     void train(Addr pc, Addr addr) override;
-    std::optional<Addr> predictNext(StreamState &state) const override;
+    std::optional<BlockAddr>
+    predictNext(StreamState &state) const override;
     StreamState allocateStream(Addr pc, Addr addr) const override;
     uint32_t confidence(Addr pc) const override;
 
@@ -69,8 +70,9 @@ class MinDeltaPredictor : public AddressPredictor
     uint64_t chunkOf(Addr addr) const;
 
     MinDeltaConfig _cfg;
+    unsigned _lineBits;
     std::vector<ChunkEntry> _chunks;
-    Addr _lastMissAddr = 0;
+    Addr _lastMissAddr{};
     bool _haveLastMiss = false;
     /** Chunk of the most recent trained miss (for the filter). */
     mutable uint64_t _lastChunk = ~uint64_t(0);

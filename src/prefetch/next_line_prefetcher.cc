@@ -15,7 +15,7 @@ NextLinePrefetcher::lookup(Addr addr, Cycle now)
 {
     ++_stats.lookups;
     PrefetchLookup result;
-    Addr block = _hierarchy.blockAlign(addr);
+    BlockAddr block = _hierarchy.blockOf(addr);
 
     for (auto &e : _buffer) {
         if (!e.valid || e.block != block)
@@ -44,7 +44,7 @@ NextLinePrefetcher::trainLoad(Addr, Addr, bool, bool)
 }
 
 void
-NextLinePrefetcher::enqueue(Addr block)
+NextLinePrefetcher::enqueue(BlockAddr block)
 {
     // Already queued or in flight: nothing to do.
     for (const auto &e : _buffer) {
@@ -71,7 +71,7 @@ void
 NextLinePrefetcher::demandMiss(Addr, Addr addr, Cycle)
 {
     // Release any matching prediction whose prefetch never issued.
-    Addr fill_block = _hierarchy.blockAlign(addr);
+    BlockAddr fill_block = _hierarchy.blockOf(addr);
     for (auto &e : _buffer) {
         if (e.valid && !e.prefetched && e.block == fill_block) {
             ++_stats.lateTagHits;
@@ -79,11 +79,10 @@ NextLinePrefetcher::demandMiss(Addr, Addr addr, Cycle)
         }
     }
     ++_stats.allocationRequests;
-    Addr block = _hierarchy.blockAlign(addr);
-    unsigned block_bytes = _hierarchy.config().l1d.blockBytes;
+    BlockAddr block = _hierarchy.blockOf(addr);
     for (unsigned d = 1; d <= _degree; ++d) {
         ++_stats.predictions;
-        enqueue(block + Addr(d) * block_bytes);
+        enqueue(block + BlockDelta(d));
     }
 }
 

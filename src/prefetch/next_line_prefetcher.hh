@@ -43,14 +43,14 @@ class NextLinePrefetcher : public Prefetcher
   private:
     struct BufEntry
     {
-        Addr block = 0;
+        BlockAddr block{};
         bool valid = false;
         bool prefetched = false;
-        Cycle ready = 0;
+        Cycle ready{};
         uint64_t fifoStamp = 0;
     };
 
-    void enqueue(Addr block);
+    void enqueue(BlockAddr block);
 
     MemoryHierarchy &_hierarchy;
     unsigned _degree;

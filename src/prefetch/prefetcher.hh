@@ -26,7 +26,7 @@ namespace psb
 struct PrefetchLookup
 {
     bool hit = false;        ///< tag matched a prefetched block
-    Cycle ready = 0;         ///< cycle the block's data is available
+    Cycle ready{};           ///< cycle the block's data is available
     bool dataPending = false;///< tag hit but the fill is still in flight
 };
 

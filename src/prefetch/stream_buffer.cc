@@ -26,7 +26,7 @@ StreamBuffer::allocateStream(const StreamState &new_state,
 }
 
 int
-StreamBuffer::findEntry(Addr block) const
+StreamBuffer::findEntry(BlockAddr block) const
 {
     for (size_t i = 0; i < _entries.size(); ++i) {
         if (_entries[i].valid && _entries[i].block == block)
@@ -64,7 +64,7 @@ StreamBuffer::clearEntry(int idx)
 }
 
 StreamBufferFile::StreamBufferFile(const StreamBufferConfig &cfg)
-    : _cfg(cfg)
+    : _cfg(cfg), _lineBits(floorLog2(cfg.blockBytes))
 {
     psb_assert(cfg.numBuffers > 0, "need at least one stream buffer");
     psb_assert(cfg.entriesPerBuffer > 0, "need at least one entry");
@@ -75,7 +75,7 @@ StreamBufferFile::StreamBufferFile(const StreamBufferConfig &cfg)
 }
 
 std::optional<StreamBufferFile::TagHit>
-StreamBufferFile::findBlock(Addr block) const
+StreamBufferFile::findBlock(BlockAddr block) const
 {
     for (unsigned b = 0; b < _buffers.size(); ++b) {
         if (!_buffers[b].allocated())
@@ -88,7 +88,7 @@ StreamBufferFile::findBlock(Addr block) const
 }
 
 bool
-StreamBufferFile::contains(Addr block) const
+StreamBufferFile::contains(BlockAddr block) const
 {
     return findBlock(block).has_value();
 }

@@ -46,10 +46,10 @@ struct StreamBufferConfig
 /** One stream-buffer entry: a predicted block and its fill status. */
 struct SbEntry
 {
-    Addr block = 0;
+    BlockAddr block{};
     bool valid = false;      ///< holds a prediction
     bool prefetched = false; ///< fill request has been issued
-    Cycle ready = 0;         ///< data-arrival cycle (when prefetched)
+    Cycle ready{};           ///< data-arrival cycle (when prefetched)
 };
 
 /**
@@ -65,7 +65,7 @@ class StreamBuffer
     void allocateStream(const StreamState &state, uint32_t priority_init);
 
     /** Index of the entry holding @p block, or -1. */
-    int findEntry(Addr block) const;
+    int findEntry(BlockAddr block) const;
 
     /** Index of an entry free to take a new prediction, or -1. */
     int freeEntry() const;
@@ -141,10 +141,10 @@ class StreamBufferFile
     };
 
     /** Search every entry of every buffer for @p block. */
-    std::optional<TagHit> findBlock(Addr block) const;
+    std::optional<TagHit> findBlock(BlockAddr block) const;
 
     /** True iff some buffer already holds a prediction for @p block. */
-    bool contains(Addr block) const;
+    bool contains(BlockAddr block) const;
 
     /**
      * The buffer to replace on a filter-based allocation (two-miss /
@@ -165,10 +165,14 @@ class StreamBufferFile
     const StreamBuffer &buffer(unsigned i) const { return _buffers.at(i); }
     unsigned numBuffers() const { return unsigned(_buffers.size()); }
 
-    Addr blockAlign(Addr addr) const
+    /** The block number of @p addr at this file's block size. */
+    BlockAddr blockOf(Addr addr) const
     {
-        return addr & ~Addr(_cfg.blockBytes - 1);
+        return addr.toBlock(_lineBits);
     }
+
+    /** log2 of the configured block size. */
+    unsigned lineBits() const { return _lineBits; }
 
     const StreamBufferConfig &config() const { return _cfg; }
 
@@ -177,6 +181,7 @@ class StreamBufferFile
 
   private:
     StreamBufferConfig _cfg;
+    unsigned _lineBits;
     std::vector<StreamBuffer> _buffers;
     uint64_t _stamp = 0;
 };

@@ -16,13 +16,11 @@ FarkasStridePredictor::train(Addr pc, Addr addr)
         _table.recordOutcome(pc, result.stridePredicted);
 }
 
-std::optional<Addr>
+std::optional<BlockAddr>
 FarkasStridePredictor::predictNext(StreamState &state) const
 {
-    Addr next = Addr(int64_t(state.lastAddr) + state.stride)
-        & ~Addr(_cfg.blockBytes - 1);
-    state.lastAddr = next;
-    return next;
+    state.lastAddr += state.stride;
+    return state.lastAddr;
 }
 
 StreamState
@@ -30,7 +28,7 @@ FarkasStridePredictor::allocateStream(Addr pc, Addr addr) const
 {
     StreamState state;
     state.loadPc = pc;
-    state.lastAddr = addr & ~Addr(_cfg.blockBytes - 1);
+    state.lastAddr = addr.toBlock(_table.lineBits());
     state.stride = _table.predictedStride(pc);
     state.confidence = _table.confidence(pc);
     return state;

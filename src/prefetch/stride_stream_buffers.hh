@@ -36,7 +36,8 @@ class FarkasStridePredictor : public AddressPredictor
     void train(Addr pc, Addr addr) override;
 
     /** lastAddr + the stride fixed at allocation; no table access. */
-    std::optional<Addr> predictNext(StreamState &state) const override;
+    std::optional<BlockAddr>
+    predictNext(StreamState &state) const override;
 
     StreamState allocateStream(Addr pc, Addr addr) const override;
     uint32_t confidence(Addr pc) const override;

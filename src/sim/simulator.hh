@@ -101,7 +101,7 @@ class Simulator
     std::unique_ptr<Prefetcher> _hookWrapper;
     std::unique_ptr<OoOCore> _core;
     std::function<void(Addr, Addr)> _missHook;
-    Cycle _now = 0;
+    Cycle _now{};
 };
 
 } // namespace psb

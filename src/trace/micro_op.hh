@@ -16,14 +16,17 @@
 
 #include <cstdint>
 
+#include "util/strong_types.hh"
+
 namespace psb
 {
 
-/** Simulated virtual address. */
-using Addr = uint64_t;
-
-/** Simulation cycle count. */
-using Cycle = uint64_t;
+/**
+ * Simulated virtual address. An alias for the strong ByteAddr domain
+ * type: PCs and effective addresses are byte addresses; cache-block
+ * numbers live in the separate BlockAddr domain (util/strong_types.hh).
+ */
+using Addr = ByteAddr;
 
 /** Operation classes, mirroring the baseline's functional-unit pool. */
 enum class OpClass : uint8_t
@@ -56,15 +59,15 @@ constexpr uint8_t regNone = 0xff;
  */
 struct MicroOp
 {
-    Addr pc = 0;           ///< instruction address
+    Addr pc{};             ///< instruction address
     OpClass op = OpClass::Nop;
     uint8_t dst = regNone; ///< destination register
     uint8_t src1 = regNone;
     uint8_t src2 = regNone;
-    Addr effAddr = 0;      ///< effective address (Load/Store)
+    Addr effAddr{};        ///< effective address (Load/Store)
     uint8_t memSize = 8;   ///< access size in bytes (Load/Store)
     bool taken = false;    ///< branch outcome (Branch)
-    Addr target = 0;       ///< branch target (Branch)
+    Addr target{};         ///< branch target (Branch)
 
     bool isLoad() const { return op == OpClass::Load; }
     bool isStore() const { return op == OpClass::Store; }

@@ -35,7 +35,7 @@ SyntheticHeap::alloc(uint64_t size, uint64_t align)
     if (_scatterBlocks > 0)
         _top += _rng.below(_scatterBlocks) * scatterGranule;
 
-    _top = (_top + align - 1) & ~(align - 1);
+    _top = (_top + (align - 1)).alignDown(align);
     Addr addr = _top;
     _top += size;
     _bytesAllocated += size;

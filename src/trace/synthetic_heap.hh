@@ -47,7 +47,7 @@ class SyntheticHeap
      *             cache blocks.
      * @param seed PRNG seed for scatter displacement.
      */
-    explicit SyntheticHeap(Addr base = 0x10000000,
+    explicit SyntheticHeap(Addr base = Addr{0x10000000},
                            unsigned scatter_blocks = 0,
                            uint64_t seed = 12345);
 

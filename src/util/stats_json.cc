@@ -154,7 +154,7 @@ parseStatsJson(const std::string &text,
                std::map<std::string, ParsedStat> &out, std::string &error)
 {
     out.clear();
-    Parser p{text};
+    Parser p{text, 0, {}};
 
     if (!p.expect('{')) {
         error = p.error;

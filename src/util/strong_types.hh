@@ -1,0 +1,417 @@
+/**
+ * @file
+ * Strong numeric domain types for the three address/time domains the
+ * PSB design juggles (see DESIGN.md §"Type-domain conventions"):
+ *
+ *  - ByteAddr    a full virtual byte address (PCs, effective addresses)
+ *  - BlockAddr   a cache-block *number* (byte address >> line bits)
+ *  - BlockDelta  a signed distance between block numbers — the unit the
+ *                differential Markov table stores in 16 bits
+ *  - Cycle       an absolute simulation cycle
+ *  - CycleDelta  a duration in cycles (latencies, transfer times)
+ *
+ * Each type is an opaque wrapper over its raw integer with only the
+ * arithmetic that is physically meaningful:
+ *
+ *    BlockAddr + BlockDelta -> BlockAddr
+ *    BlockAddr - BlockAddr  -> BlockDelta
+ *    ByteAddr  + offset     -> ByteAddr   (byte offsets are plain ints)
+ *    ByteAddr  - ByteAddr   -> int64_t    (byte distance)
+ *    Cycle     + CycleDelta -> Cycle
+ *    Cycle     - Cycle      -> CycleDelta
+ *
+ * Cross-domain arithmetic (ByteAddr + BlockAddr, Cycle + BlockDelta,
+ * BlockAddr used as a byte address, ...) does not compile; conversions
+ * between the byte and block domains are explicit and carry the line
+ * size (toBlock/toByte). tests/test_strong_types.cc pins the whole
+ * contract down, including the non-compilability of the illegal ops.
+ *
+ * Everything is constexpr and trivially copyable: with optimisation on,
+ * the wrappers compile to exactly the raw-integer code they replaced.
+ */
+
+#ifndef PSB_UTIL_STRONG_TYPES_HH
+#define PSB_UTIL_STRONG_TYPES_HH
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace psb
+{
+
+class BlockAddr;
+class BlockDelta;
+class CycleDelta;
+
+/** A full virtual byte address: PCs and load/store effective addresses. */
+class ByteAddr
+{
+  public:
+    constexpr ByteAddr() = default;
+    constexpr explicit ByteAddr(uint64_t v) : _v(v) {}
+
+    /** The raw 64-bit address value. */
+    constexpr uint64_t raw() const { return _v; }
+
+    /** The cache-block number of this address: raw() >> line_bits. */
+    constexpr BlockAddr toBlock(unsigned line_bits) const;
+
+    /** This address rounded down to a multiple of @p align_bytes
+     *  (power of two): the usual line-align operation. */
+    constexpr ByteAddr
+    alignDown(uint64_t align_bytes) const
+    {
+        return ByteAddr(_v & ~(align_bytes - 1));
+    }
+
+    /** All-ones sentinel ("no address"). */
+    static constexpr ByteAddr max() { return ByteAddr(~uint64_t(0)); }
+
+    constexpr ByteAddr &
+    operator+=(uint64_t off)
+    {
+        _v += off;
+        return *this;
+    }
+
+    constexpr auto operator<=>(const ByteAddr &) const = default;
+
+  private:
+    uint64_t _v = 0;
+};
+
+/** Byte-offset arithmetic stays within the byte domain. */
+constexpr ByteAddr
+operator+(ByteAddr a, uint64_t off)
+{
+    return ByteAddr(a.raw() + off);
+}
+
+constexpr ByteAddr
+operator-(ByteAddr a, uint64_t off)
+{
+    return ByteAddr(a.raw() - off);
+}
+
+/** Distance between two byte addresses, in bytes. */
+constexpr int64_t
+operator-(ByteAddr a, ByteAddr b)
+{
+    return int64_t(a.raw() - b.raw());
+}
+
+/** A signed distance between two cache-block numbers. */
+class BlockDelta
+{
+  public:
+    constexpr BlockDelta() = default;
+    constexpr explicit BlockDelta(int64_t blocks) : _v(blocks) {}
+
+    /** The raw signed distance, in blocks. */
+    constexpr int64_t raw() const { return _v; }
+
+    /** The distance in bytes for a 1 << line_bits block size. */
+    constexpr int64_t
+    toBytes(unsigned line_bits) const
+    {
+        return _v * (int64_t(1) << line_bits);
+    }
+
+    /**
+     * True when the delta is representable as a @p bits-wide signed
+     * integer — the storage test the differential Markov table applies
+     * before recording a transition (paper §4.2, Figure 4).
+     */
+    constexpr bool
+    fitsIn(unsigned bits) const
+    {
+        int64_t lim = int64_t(1) << (bits - 1);
+        return _v >= -lim && _v < lim;
+    }
+
+    /**
+     * The delta clamped to the @p bits-wide signed range
+     * [-2^(bits-1), 2^(bits-1) - 1] — the saturating helper for
+     * tables that store rather than reject out-of-range deltas.
+     */
+    constexpr BlockDelta
+    saturatedTo(unsigned bits) const
+    {
+        int64_t lim = int64_t(1) << (bits - 1);
+        if (_v < -lim)
+            return BlockDelta(-lim);
+        if (_v >= lim)
+            return BlockDelta(lim - 1);
+        return *this;
+    }
+
+    constexpr BlockDelta operator-() const { return BlockDelta(-_v); }
+
+    constexpr auto operator<=>(const BlockDelta &) const = default;
+
+  private:
+    int64_t _v = 0;
+};
+
+constexpr BlockDelta
+operator+(BlockDelta a, BlockDelta b)
+{
+    return BlockDelta(a.raw() + b.raw());
+}
+
+constexpr BlockDelta
+operator-(BlockDelta a, BlockDelta b)
+{
+    return BlockDelta(a.raw() - b.raw());
+}
+
+/** A cache-block number: a byte address stripped of its line offset. */
+class BlockAddr
+{
+  public:
+    constexpr BlockAddr() = default;
+    constexpr explicit BlockAddr(uint64_t block_num) : _v(block_num) {}
+
+    /** The raw block number. */
+    constexpr uint64_t raw() const { return _v; }
+
+    /** The (line-aligned) byte address of this block. */
+    constexpr ByteAddr
+    toByte(unsigned line_bits) const
+    {
+        return ByteAddr(_v << line_bits);
+    }
+
+    /** All-ones sentinel ("no block"). */
+    static constexpr BlockAddr max() { return BlockAddr(~uint64_t(0)); }
+
+    constexpr BlockAddr &
+    operator+=(BlockDelta d)
+    {
+        _v = uint64_t(int64_t(_v) + d.raw());
+        return *this;
+    }
+
+    constexpr auto operator<=>(const BlockAddr &) const = default;
+
+  private:
+    uint64_t _v = 0;
+};
+
+constexpr BlockAddr
+operator+(BlockAddr a, BlockDelta d)
+{
+    return BlockAddr(uint64_t(int64_t(a.raw()) + d.raw()));
+}
+
+constexpr BlockDelta
+operator-(BlockAddr a, BlockAddr b)
+{
+    return BlockDelta(int64_t(a.raw() - b.raw()));
+}
+
+constexpr BlockAddr
+ByteAddr::toBlock(unsigned line_bits) const
+{
+    return BlockAddr(_v >> line_bits);
+}
+
+/** A duration in cycles: latencies, penalties, transfer times. */
+class CycleDelta
+{
+  public:
+    constexpr CycleDelta() = default;
+    constexpr explicit CycleDelta(uint64_t cycles) : _v(cycles) {}
+
+    /** The raw cycle count of this duration. */
+    constexpr uint64_t raw() const { return _v; }
+
+    constexpr CycleDelta &
+    operator+=(CycleDelta o)
+    {
+        _v += o.raw();
+        return *this;
+    }
+
+    constexpr auto operator<=>(const CycleDelta &) const = default;
+
+  private:
+    uint64_t _v = 0;
+};
+
+constexpr CycleDelta
+operator+(CycleDelta a, CycleDelta b)
+{
+    return CycleDelta(a.raw() + b.raw());
+}
+
+constexpr CycleDelta
+operator-(CycleDelta a, CycleDelta b)
+{
+    return CycleDelta(a.raw() - b.raw());
+}
+
+/** Scaling a duration (e.g.\ bytes x cycles-per-byte) is meaningful. */
+constexpr CycleDelta
+operator*(CycleDelta d, uint64_t n)
+{
+    return CycleDelta(d.raw() * n);
+}
+
+constexpr CycleDelta
+operator*(uint64_t n, CycleDelta d)
+{
+    return CycleDelta(n * d.raw());
+}
+
+/** An absolute simulation cycle. */
+class Cycle
+{
+  public:
+    constexpr Cycle() = default;
+    constexpr explicit Cycle(uint64_t v) : _v(v) {}
+
+    /** The raw cycle number. */
+    constexpr uint64_t raw() const { return _v; }
+
+    /** All-ones sentinel ("never" / "not scheduled"). */
+    static constexpr Cycle max() { return Cycle(~uint64_t(0)); }
+
+    constexpr Cycle &
+    operator++()
+    {
+        ++_v;
+        return *this;
+    }
+
+    constexpr Cycle &
+    operator+=(CycleDelta d)
+    {
+        _v += d.raw();
+        return *this;
+    }
+
+    constexpr auto operator<=>(const Cycle &) const = default;
+
+  private:
+    uint64_t _v = 0;
+};
+
+constexpr Cycle
+operator+(Cycle c, CycleDelta d)
+{
+    return Cycle(c.raw() + d.raw());
+}
+
+constexpr Cycle
+operator-(Cycle c, CycleDelta d)
+{
+    return Cycle(c.raw() - d.raw());
+}
+
+/** Elapsed duration between two absolute cycles (a >= b). */
+constexpr CycleDelta
+operator-(Cycle a, Cycle b)
+{
+    return CycleDelta(a.raw() - b.raw());
+}
+
+/** The later / earlier of two absolute cycles. */
+constexpr Cycle
+maxCycle(Cycle a, Cycle b)
+{
+    return a < b ? b : a;
+}
+
+constexpr Cycle
+minCycle(Cycle a, Cycle b)
+{
+    return a < b ? a : b;
+}
+
+inline std::ostream &
+operator<<(std::ostream &os, ByteAddr a)
+{
+    return os << "0x" << std::hex << a.raw() << std::dec;
+}
+
+inline std::ostream &
+operator<<(std::ostream &os, BlockAddr a)
+{
+    return os << "blk:0x" << std::hex << a.raw() << std::dec;
+}
+
+inline std::ostream &
+operator<<(std::ostream &os, BlockDelta d)
+{
+    return os << d.raw() << "blk";
+}
+
+inline std::ostream &
+operator<<(std::ostream &os, Cycle c)
+{
+    return os << c.raw();
+}
+
+inline std::ostream &
+operator<<(std::ostream &os, CycleDelta d)
+{
+    return os << d.raw();
+}
+
+} // namespace psb
+
+template <>
+struct std::hash<psb::ByteAddr>
+{
+    size_t
+    operator()(psb::ByteAddr a) const noexcept
+    {
+        return std::hash<uint64_t>{}(a.raw());
+    }
+};
+
+template <>
+struct std::hash<psb::BlockAddr>
+{
+    size_t
+    operator()(psb::BlockAddr a) const noexcept
+    {
+        return std::hash<uint64_t>{}(a.raw());
+    }
+};
+
+template <>
+struct std::hash<psb::BlockDelta>
+{
+    size_t
+    operator()(psb::BlockDelta d) const noexcept
+    {
+        return std::hash<int64_t>{}(d.raw());
+    }
+};
+
+template <>
+struct std::hash<psb::Cycle>
+{
+    size_t
+    operator()(psb::Cycle c) const noexcept
+    {
+        return std::hash<uint64_t>{}(c.raw());
+    }
+};
+
+template <>
+struct std::hash<psb::CycleDelta>
+{
+    size_t
+    operator()(psb::CycleDelta d) const noexcept
+    {
+        return std::hash<uint64_t>{}(d.raw());
+    }
+};
+
+#endif // PSB_UTIL_STRONG_TYPES_HH

@@ -9,7 +9,7 @@ CircuitSynth::CircuitSynth() : CircuitSynth(Params{}) {}
 
 CircuitSynth::CircuitSynth(const Params &params)
     : _params(params),
-      _heap(0x50000000, /*scatter_blocks=*/0, params.seed),
+      _heap(Addr{0x50000000}, /*scatter_blocks=*/0, params.seed),
       _rng(params.seed * 0x515u + 23)
 {
     _frame = _heap.alloc(256, 64);
@@ -49,7 +49,7 @@ CircuitSynth::visitGate(unsigned gi)
     // sis has "large amounts of missing loads" spread over many PCs,
     // which is what drives stream thrashing: there are far more
     // candidate streams than the eight stream buffers.
-    Addr routine = pcBase + Addr(g.type) * 0x100;  // distinct sets via hashed stride-table index
+    Addr routine = pcBase + uint64_t(g.type) * 0x100;  // distinct sets via hashed stride-table index
 
     // The shared sweep over the gate array (one PC, clean stride).
     emitLoad(pcBase + 0x00, r_gate, g.addr + 0, r_gate);
@@ -73,9 +73,9 @@ CircuitSynth::visitGate(unsigned gi)
     // then stale. Serialised through r_fan.
     for (size_t i = 0; i < g.fanin.size(); ++i) {
         const Gate &src = _gates[g.fanin[i]];
-        emitLoad(routine + 0x20 + 8 * Addr(i), r_fan,
+        emitLoad(routine + 0x20 + 8 * uint64_t(i), r_fan,
                  src.addr + 8, r_fan);
-        emitAlu(routine + 0x24 + 8 * Addr(i), r_acc, r_acc, r_fan);
+        emitAlu(routine + 0x24 + 8 * uint64_t(i), r_acc, r_acc, r_fan);
     }
 
     // Locals: hot, L1-resident.

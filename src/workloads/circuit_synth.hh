@@ -56,7 +56,7 @@ class CircuitSynth : public Workload
   private:
     struct Gate
     {
-        Addr addr = 0;
+        Addr addr{};
         std::vector<unsigned> fanin;
         unsigned type = 0; ///< selects the routine variant
     };
@@ -70,13 +70,13 @@ class CircuitSynth : public Workload
     Xorshift64 _rng;
     std::vector<Gate> _gates;
     std::vector<Addr> _regions;       ///< per-variant cube tables
-    std::vector<Addr> _regionCursor;
+    std::vector<uint64_t> _regionCursor;
     size_t _cursor = 0;
     unsigned _sinceRewire = 0;
     unsigned _faninWindow = 0;
-    Addr _frame = 0; ///< hot activation record, L1-resident
+    Addr _frame{}; ///< hot activation record, L1-resident
 
-    static constexpr Addr pcBase = 0x00800000;
+    static constexpr Addr pcBase{0x00800000};
     static constexpr unsigned gateBytes = 64;
 };
 

@@ -12,7 +12,7 @@ ConstraintSolver::ConstraintSolver() : ConstraintSolver(Params{}) {}
 
 ConstraintSolver::ConstraintSolver(const Params &params)
     : _params(params),
-      _heap(0x30000000, /*scatter_blocks=*/40, params.seed),
+      _heap(Addr{0x30000000}, /*scatter_blocks=*/40, params.seed),
       _rng(params.seed * 0xdb1u + 7)
 {
     _frame = _heap.alloc(256, 64);

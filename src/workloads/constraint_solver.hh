@@ -55,12 +55,12 @@ class ConstraintSolver : public Workload
   private:
     struct Variable
     {
-        Addr addr = 0;
+        Addr addr{};
     };
 
     struct Constraint
     {
-        Addr addr = 0;
+        Addr addr{};
     };
 
     void allocBatch();
@@ -79,11 +79,11 @@ class ConstraintSolver : public Workload
     Phase _phase = Phase::Alloc;
     size_t _chainCursor = 0;
     size_t _posInChain = 0;
-    Addr _frame = 0; ///< hot activation record, L1-resident
-    Addr _plan = 0; ///< cold plan storage, swept strided
-    Addr _planCursor = 0;
+    Addr _frame{}; ///< hot activation record, L1-resident
+    Addr _plan{}; ///< cold plan storage, swept strided
+    uint64_t _planCursor = 0;
 
-    static constexpr Addr pcBase = 0x00600000;
+    static constexpr Addr pcBase{0x00600000};
     static constexpr unsigned variableBytes = 96;
     static constexpr unsigned constraintBytes = 56;
 };

@@ -9,7 +9,7 @@ HealthSim::HealthSim() : HealthSim(Params{}) {}
 
 HealthSim::HealthSim(const Params &params)
     : _params(params),
-      _heap(0x10000000, /*scatter_blocks=*/48, params.seed),
+      _heap(Addr{0x10000000}, /*scatter_blocks=*/48, params.seed),
       _rng(params.seed * 0x9e37 + 17)
 {
     _frame = _heap.alloc(256, 64);

@@ -55,13 +55,13 @@ class HealthSim : public Workload
   private:
     struct Patient
     {
-        Addr addr = 0;
+        Addr addr{};
         int next = -1; ///< index into _patients, -1 = end of list
     };
 
     struct Village
     {
-        Addr addr = 0;
+        Addr addr{};
         int parent = -1;
         int childSlot = 0;  ///< which child pointer of the parent
         int listHead = -1;  ///< patient list
@@ -82,11 +82,11 @@ class HealthSim : public Workload
     std::vector<int> _freePatients;
     std::vector<unsigned> _preorder;
     size_t _cursor = 0;
-    Addr _frame = 0; ///< hot activation record, L1-resident
-    Addr _archive = 0; ///< cold case-history archive, swept strided
-    Addr _archiveCursor = 0;
+    Addr _frame{}; ///< hot activation record, L1-resident
+    Addr _archive{}; ///< cold case-history archive, swept strided
+    uint64_t _archiveCursor = 0;
 
-    static constexpr Addr pcBase = 0x00400000;
+    static constexpr Addr pcBase{0x00400000};
     static constexpr unsigned villageBytes = 64;
     static constexpr unsigned patientBytes = 48;
 };

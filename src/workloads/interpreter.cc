@@ -9,7 +9,7 @@ Interpreter::Interpreter() : Interpreter(Params{}) {}
 
 Interpreter::Interpreter(const Params &params)
     : _params(params),
-      _heap(0x40000000, /*scatter_blocks=*/0, params.seed),
+      _heap(Addr{0x40000000}, /*scatter_blocks=*/0, params.seed),
       _rng(params.seed * 0x6573u + 11)
 {
     _program = _heap.alloc(_params.programBytes, 64);
@@ -87,7 +87,7 @@ Interpreter::rasterRow()
 
     // Render one image row: a long unit-stride read-modify-write
     // sweep, the stride-predictable half of Ghostscript.
-    Addr row = _image + Addr(_row) * _params.imageRowBytes;
+    Addr row = _image + uint64_t(_row) * _params.imageRowBytes;
     for (unsigned off = 0; off < _params.imageRowBytes; off += 32) {
         emitLoad(pcBase + 0x80, r_px, row + off, r_idx);
         emitAlu(pcBase + 0x84, r_acc, r_px, r_acc,

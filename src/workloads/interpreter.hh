@@ -55,17 +55,17 @@ class Interpreter : public Workload
     Params _params;
     SyntheticHeap _heap;
     Xorshift64 _rng;
-    Addr _program = 0;
-    Addr _dictionary = 0;
-    Addr _image = 0;
-    Addr _stackBase = 0;
+    Addr _program{};
+    Addr _dictionary{};
+    Addr _image{};
+    Addr _stackBase{};
     uint64_t _pcOffset = 0;   ///< interpreter program counter
     unsigned _stackDepth = 0;
     unsigned _sinceRaster = 0;
     unsigned _row = 0;
     uint64_t _dictState = 0;  ///< deterministic hash state
 
-    static constexpr Addr pcBase = 0x00700000;
+    static constexpr Addr pcBase{0x00700000};
     static constexpr unsigned imageRows = 24;
 };
 

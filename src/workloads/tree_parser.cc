@@ -9,7 +9,7 @@ TreeParser::TreeParser() : TreeParser(Params{}) {}
 
 TreeParser::TreeParser(const Params &params)
     : _params(params),
-      _heap(0x20000000, /*scatter_blocks=*/32, params.seed),
+      _heap(Addr{0x20000000}, /*scatter_blocks=*/32, params.seed),
       _rng(params.seed * 0x51ed + 3)
 {
     _frame = _heap.alloc(256, 64);
@@ -85,7 +85,7 @@ TreeParser::labelNode(const Tree &tree, int n)
     // and mostly L1-resident.
     emitAlu(pcBase + 0x10, r_state, r_left, r_right);
     Addr rule_slot = _ruleTable +
-        (_rng.next() & (_params.ruleTableBytes - 1) & ~Addr(7));
+        (_rng.next() & (_params.ruleTableBytes - 1) & ~uint64_t(7));
     emitLoad(pcBase + 0x14, r_rule, rule_slot, r_state);
     emitAlu(pcBase + 0x18, r_state, r_rule, r_state);
     // Locals of the labelling routine: hot, L1-resident.

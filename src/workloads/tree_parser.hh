@@ -49,7 +49,7 @@ class TreeParser : public Workload
   private:
     struct Node
     {
-        Addr addr = 0;
+        Addr addr{};
         int left = -1;
         int right = -1;
     };
@@ -67,14 +67,14 @@ class TreeParser : public Workload
     SyntheticHeap _heap;
     Xorshift64 _rng;
     std::vector<Tree> _forest;
-    Addr _ruleTable = 0;
+    Addr _ruleTable{};
     size_t _treeCursor = 0;
     size_t _nodeCursor = 0;
-    Addr _frame = 0; ///< hot activation record, L1-resident
-    Addr _grammar = 0; ///< cold grammar tables, swept strided
-    Addr _grammarCursor = 0;
+    Addr _frame{}; ///< hot activation record, L1-resident
+    Addr _grammar{}; ///< cold grammar tables, swept strided
+    uint64_t _grammarCursor = 0;
 
-    static constexpr Addr pcBase = 0x00500000;
+    static constexpr Addr pcBase{0x00500000};
     static constexpr unsigned nodeBytes = 40;
 };
 

@@ -9,7 +9,7 @@ Turbulence::Turbulence() : Turbulence(Params{}) {}
 
 Turbulence::Turbulence(const Params &params)
     : _params(params),
-      _heap(0x60000000 + (params.seed % 64) * 0x400000,
+      _heap(Addr{0x60000000 + (params.seed % 64) * 0x400000},
             /*scatter_blocks=*/0, params.seed)
 {
     uint64_t n = _params.gridDim;
@@ -56,7 +56,7 @@ Turbulence::sweepLine(Pass dir)
         // u(i) = f(u(i), u(i-1)) with the FP density of the real
         // spectral code: loads, several independent multiply-adds,
         // store, loop overhead.
-        Addr pc = pcBase + 0x40 * Addr(unsigned(dir));
+        Addr pc = pcBase + 0x40 * uint64_t(dir);
         emitLoad(pc + 0x00, r_a, cur, r_idx);
         emitLoad(pc + 0x04, r_b, prev, r_idx);
         emitAlu(pc + 0x08, r_acc, r_a, r_b, OpClass::FpMult);
@@ -83,7 +83,7 @@ Turbulence::butterflyLine()
     // Radix-2 butterflies over one row of the spectrum plane with a
     // power-of-two gap: a second family of constant strides.
     unsigned gap = 1u << (_butterflyStage % 5);
-    Addr row = _spectrum + Addr(_line % n) * n * 8;
+    Addr row = _spectrum + uint64_t(_line % n) * n * 8;
 
     for (unsigned i = 0; i + gap < n; i += 2 * gap) {
         Addr a = row + 8 * i;

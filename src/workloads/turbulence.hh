@@ -54,13 +54,13 @@ class Turbulence : public Workload
 
     Params _params;
     SyntheticHeap _heap;
-    Addr _grid = 0;
-    Addr _spectrum = 0;
+    Addr _grid{};
+    Addr _spectrum{};
     Pass _pass = Pass::SweepX;
     unsigned _line = 0;     ///< which line of the current pass
     unsigned _butterflyStage = 0;
 
-    static constexpr Addr pcBase = 0x00900000;
+    static constexpr Addr pcBase{0x00900000};
 };
 
 } // namespace psb

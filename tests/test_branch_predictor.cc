@@ -15,12 +15,12 @@ namespace
 TEST(GshareTest, LearnsAlwaysTakenBranch)
 {
     GsharePredictor bp;
-    Addr pc = 0x400100, target = 0x400200;
+    Addr pc{0x400100}, target{0x400200};
     // Warm up long enough for the global history to reach its steady
     // all-taken pattern and saturate that PHT entry.
     for (int i = 0; i < 60; ++i)
         bp.update(pc, true, target);
-    Addr predicted_target = 0;
+    Addr predicted_target{};
     EXPECT_TRUE(bp.predict(pc, predicted_target));
     EXPECT_EQ(predicted_target, target);
 }
@@ -28,10 +28,10 @@ TEST(GshareTest, LearnsAlwaysTakenBranch)
 TEST(GshareTest, LearnsNeverTakenBranch)
 {
     GsharePredictor bp;
-    Addr pc = 0x400100;
+    Addr pc{0x400100};
     for (int i = 0; i < 60; ++i)
-        bp.update(pc, false, 0);
-    Addr t = 0;
+        bp.update(pc, false, Addr{});
+    Addr t{};
     EXPECT_FALSE(bp.predict(pc, t));
 }
 
@@ -40,7 +40,7 @@ TEST(GshareTest, LearnsAlternatingPatternViaHistory)
     // T,N,T,N... is captured by global history correlation; after
     // warm-up the predictor should be nearly perfect.
     GsharePredictor bp;
-    Addr pc = 0x400100, target = 0x400200;
+    Addr pc{0x400100}, target{0x400200};
     bool taken = false;
     for (int i = 0; i < 200; ++i) {
         taken = !taken;
@@ -58,17 +58,17 @@ TEST(GshareTest, LearnsLoopExitPattern)
 {
     // 7 taken, 1 not-taken, repeated: a classic inner loop.
     GsharePredictor bp;
-    Addr pc = 0x400100, target = 0x400080;
+    Addr pc{0x400100}, target{0x400080};
     for (int warm = 0; warm < 50; ++warm) {
         for (int i = 0; i < 7; ++i)
             bp.update(pc, true, target);
-        bp.update(pc, false, 0);
+        bp.update(pc, false, Addr{});
     }
     uint64_t wrong_before = bp.mispredicts();
     for (int rep = 0; rep < 10; ++rep) {
         for (int i = 0; i < 7; ++i)
             bp.update(pc, true, target);
-        bp.update(pc, false, 0);
+        bp.update(pc, false, Addr{});
     }
     // 80 branches, history should disambiguate nearly all.
     EXPECT_LE(bp.mispredicts() - wrong_before, 8u);
@@ -77,7 +77,7 @@ TEST(GshareTest, LearnsLoopExitPattern)
 TEST(GshareTest, TakenBranchWithColdBtbIsMispredicted)
 {
     GsharePredictor bp;
-    Addr pc = 0x400100, target = 0x400200;
+    Addr pc{0x400100}, target{0x400200};
     // Push the direction to taken but for a different PC so the BTB
     // entry for `pc` stays cold... simpler: first taken encounter of
     // any branch misses the BTB and counts as a misprediction.
@@ -88,32 +88,32 @@ TEST(GshareTest, TakenBranchWithColdBtbIsMispredicted)
 TEST(GshareTest, BtbTargetMismatchIsMisprediction)
 {
     GsharePredictor bp;
-    Addr pc = 0x400100;
+    Addr pc{0x400100};
     for (int i = 0; i < 60; ++i)
-        bp.update(pc, true, 0x400200);
+        bp.update(pc, true, Addr{0x400200});
     // Same branch now jumps somewhere else (indirect): mispredicted.
-    EXPECT_FALSE(bp.update(pc, true, 0x500000));
+    EXPECT_FALSE(bp.update(pc, true, Addr{0x500000}));
     // And the BTB retrains on the new target.
-    EXPECT_TRUE(bp.update(pc, true, 0x500000));
+    EXPECT_TRUE(bp.update(pc, true, Addr{0x500000}));
 }
 
 TEST(GshareTest, NotTakenBranchNeedsNoBtb)
 {
     GsharePredictor bp;
-    Addr pc = 0x400300;
-    bp.update(pc, false, 0);
-    EXPECT_TRUE(bp.update(pc, false, 0));
+    Addr pc{0x400300};
+    bp.update(pc, false, Addr{});
+    EXPECT_TRUE(bp.update(pc, false, Addr{}));
 }
 
 TEST(GshareTest, LookupsCounted)
 {
     GsharePredictor bp;
-    Addr t;
-    bp.predict(0x400100, t);
-    bp.predict(0x400104, t);
+    Addr t{};
+    bp.predict(Addr{0x400100}, t);
+    bp.predict(Addr{0x400104}, t);
     EXPECT_EQ(bp.lookups(), 2u);
     // update() internally reuses predict() but compensates.
-    bp.update(0x400100, true, 0x400200);
+    bp.update(Addr{0x400100}, true, Addr{0x400200});
     EXPECT_EQ(bp.lookups(), 2u);
 }
 
@@ -121,16 +121,16 @@ TEST(GshareTest, DistinctBranchesSeparateCounters)
 {
     GshareConfig cfg;
     GsharePredictor bp(cfg);
-    Addr taken_pc = 0x400100, not_taken_pc = 0x500204;
+    Addr taken_pc{0x400100}, not_taken_pc{0x500204};
     for (int i = 0; i < 20; ++i) {
-        bp.update(taken_pc, true, 0x400200);
-        bp.update(not_taken_pc, false, 0);
+        bp.update(taken_pc, true, Addr{0x400200});
+        bp.update(not_taken_pc, false, Addr{});
     }
     // Both should now predict correctly most of the time.
     uint64_t wrong_before = bp.mispredicts();
     for (int i = 0; i < 20; ++i) {
-        bp.update(taken_pc, true, 0x400200);
-        bp.update(not_taken_pc, false, 0);
+        bp.update(taken_pc, true, Addr{0x400200});
+        bp.update(not_taken_pc, false, Addr{});
     }
     EXPECT_LE(bp.mispredicts() - wrong_before, 6u);
 }

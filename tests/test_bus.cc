@@ -16,20 +16,20 @@ namespace
 TEST(BusTest, TransferCyclesRoundUp)
 {
     Bus bus(8);
-    EXPECT_EQ(bus.transferCycles(32), 4u);
-    EXPECT_EQ(bus.transferCycles(33), 5u);
-    EXPECT_EQ(bus.transferCycles(1), 1u);
-    EXPECT_EQ(bus.transferCycles(0), 1u);
+    EXPECT_EQ(bus.transferCycles(32), CycleDelta(4));
+    EXPECT_EQ(bus.transferCycles(33), CycleDelta(5));
+    EXPECT_EQ(bus.transferCycles(1), CycleDelta(1));
+    EXPECT_EQ(bus.transferCycles(0), CycleDelta(1));
     Bus narrow(4);
-    EXPECT_EQ(narrow.transferCycles(64), 16u);
+    EXPECT_EQ(narrow.transferCycles(64), CycleDelta(16));
 }
 
 TEST(BusTest, TransactionIsRequestBeatPlusTransfer)
 {
     Bus bus(8); // paper's L1-L2 bus: 8 bytes/cycle
-    BusSlot slot = bus.transact(10, 32);
-    EXPECT_EQ(slot.start, 10u);
-    EXPECT_EQ(slot.end, 10u + 1 + 4);
+    BusSlot slot = bus.transact(Cycle{10}, 32);
+    EXPECT_EQ(slot.start, Cycle{10});
+    EXPECT_EQ(slot.end, Cycle{10 + 1 + 4});
     EXPECT_EQ(bus.busyCycles(), 5u);
     EXPECT_EQ(bus.transfers(), 1u);
 }
@@ -37,44 +37,44 @@ TEST(BusTest, TransactionIsRequestBeatPlusTransfer)
 TEST(BusTest, BackToBackTransactionsQueueSerially)
 {
     Bus bus(8);
-    BusSlot a = bus.transact(0, 32);
-    BusSlot b = bus.transact(0, 32);
+    BusSlot a = bus.transact(Cycle{}, 32);
+    BusSlot b = bus.transact(Cycle{}, 32);
     EXPECT_EQ(b.start, a.end);
-    EXPECT_EQ(b.end, a.end + 5);
+    EXPECT_EQ(b.end, a.end + CycleDelta(5));
 }
 
 TEST(BusTest, FreeAtReflectsOccupancy)
 {
     Bus bus(8);
-    EXPECT_TRUE(bus.freeAt(0));
-    BusSlot slot = bus.transact(0, 32); // busy [0, 5)
-    EXPECT_FALSE(bus.freeAt(0));
-    EXPECT_FALSE(bus.freeAt(slot.end - 1));
+    EXPECT_TRUE(bus.freeAt(Cycle{}));
+    BusSlot slot = bus.transact(Cycle{}, 32); // busy [0, 5)
+    EXPECT_FALSE(bus.freeAt(Cycle{}));
+    EXPECT_FALSE(bus.freeAt(slot.end - CycleDelta(1)));
     EXPECT_TRUE(bus.freeAt(slot.end));
 }
 
 TEST(BusTest, IdleGapBetweenTransactions)
 {
     Bus bus(8);
-    bus.transact(0, 32); // [0, 5)
-    EXPECT_TRUE(bus.freeAt(7));
+    bus.transact(Cycle{}, 32); // [0, 5)
+    EXPECT_TRUE(bus.freeAt(Cycle{7}));
     // A later transaction starts when requested, not at the frontier.
-    BusSlot slot = bus.transact(20, 8);
-    EXPECT_EQ(slot.start, 20u);
+    BusSlot slot = bus.transact(Cycle{20}, 8);
+    EXPECT_EQ(slot.start, Cycle{20});
 }
 
 TEST(BusTest, BusyCyclesAccumulateAndReset)
 {
     Bus bus(4); // paper's L2-memory bus: 4 bytes/cycle
-    bus.transact(0, 64);  // 1 + 16
-    bus.transact(0, 64);  // queued
+    bus.transact(Cycle{}, 64);  // 1 + 16
+    bus.transact(Cycle{}, 64);  // queued
     EXPECT_EQ(bus.busyCycles(), 34u);
     EXPECT_EQ(bus.transfers(), 2u);
     bus.resetStats();
     EXPECT_EQ(bus.busyCycles(), 0u);
     EXPECT_EQ(bus.transfers(), 0u);
     // Occupancy state survives the stats reset.
-    EXPECT_FALSE(bus.freeAt(10));
+    EXPECT_FALSE(bus.freeAt(Cycle{10}));
 }
 
 TEST(BusTest, PrefetchGateScenario)
@@ -83,7 +83,7 @@ TEST(BusTest, PrefetchGateScenario)
     // the start of the cycle. A demand miss occupies the bus and the
     // prefetcher must wait out the transaction.
     Bus bus(8);
-    BusSlot miss = bus.transact(100, 32);
+    BusSlot miss = bus.transact(Cycle{100}, 32);
     for (Cycle c = miss.start; c < miss.end; ++c)
         EXPECT_FALSE(bus.freeAt(c));
     EXPECT_TRUE(bus.freeAt(miss.end));

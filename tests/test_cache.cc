@@ -33,28 +33,28 @@ TEST(CacheGeometryTest, NumSets)
 TEST(CacheTest, MissThenHitAfterInsert)
 {
     SetAssocCache c(smallGeom());
-    EXPECT_FALSE(c.probe(0x1000));
-    EXPECT_FALSE(c.touch(0x1000));
-    c.insert(0x1000);
-    EXPECT_TRUE(c.probe(0x1000));
-    EXPECT_TRUE(c.touch(0x1000));
+    EXPECT_FALSE(c.probe(Addr{0x1000}));
+    EXPECT_FALSE(c.touch(Addr{0x1000}));
+    c.insert(Addr{0x1000});
+    EXPECT_TRUE(c.probe(Addr{0x1000}));
+    EXPECT_TRUE(c.touch(Addr{0x1000}));
 }
 
 TEST(CacheTest, BlockGranularity)
 {
     SetAssocCache c(smallGeom());
-    c.insert(0x1000);
+    c.insert(Addr{0x1000});
     // Any byte of the same 32B block hits.
-    EXPECT_TRUE(c.probe(0x101f));
-    EXPECT_FALSE(c.probe(0x1020));
-    EXPECT_EQ(c.blockAlign(0x101f), 0x1000u);
+    EXPECT_TRUE(c.probe(Addr{0x101f}));
+    EXPECT_FALSE(c.probe(Addr{0x1020}));
+    EXPECT_EQ(c.blockAlign(Addr{0x101f}), Addr{0x1000});
 }
 
 TEST(CacheTest, LruEvictionOrder)
 {
     SetAssocCache c(smallGeom()); // 2-way
     // Three blocks mapping to the same set (set stride = 4 sets x 32B).
-    Addr a = 0x1000, b = 0x1000 + 128, d = 0x1000 + 256;
+    Addr a{0x1000}, b{0x1000 + 128}, d{0x1000 + 256};
     c.insert(a);
     c.insert(b);
     c.touch(a); // make b the LRU
@@ -69,7 +69,7 @@ TEST(CacheTest, LruEvictionOrder)
 TEST(CacheTest, EvictionReconstructsFullBlockAddress)
 {
     SetAssocCache c(smallGeom());
-    Addr victim = 0xdeadbe00 & ~Addr(31);
+    Addr victim = Addr{0xdeadbe00}.alignDown(32);
     c.insert(victim);
     // Fill the set until the victim leaves.
     Addr same_set = victim + 128;
@@ -82,26 +82,26 @@ TEST(CacheTest, EvictionReconstructsFullBlockAddress)
 TEST(CacheTest, DirtyBitTracksWrites)
 {
     SetAssocCache c(smallGeom());
-    c.insert(0x1000, /*dirty=*/false);
-    c.insert(0x1080, /*dirty=*/false);
-    c.touch(0x1000, /*is_write=*/true);
-    c.touch(0x1080); // clean read; 0x1000 is now the LRU way
-    auto evicted = c.insert(0x1100); // evicts 0x1000 (dirty, LRU)
+    c.insert(Addr{0x1000}, /*dirty=*/false);
+    c.insert(Addr{0x1080}, /*dirty=*/false);
+    c.touch(Addr{0x1000}, /*is_write=*/true);
+    c.touch(Addr{0x1080}); // clean read; 0x1000 is now the LRU way
+    auto evicted = c.insert(Addr{0x1100}); // evicts 0x1000 (dirty, LRU)
     ASSERT_TRUE(evicted.has_value());
-    EXPECT_EQ(evicted->blockAddr, 0x1000u);
+    EXPECT_EQ(evicted->blockAddr, Addr{0x1000});
     EXPECT_TRUE(evicted->dirty);
-    auto evicted2 = c.insert(0x1180); // evicts 0x1080 (clean)
+    auto evicted2 = c.insert(Addr{0x1180}); // evicts 0x1080 (clean)
     ASSERT_TRUE(evicted2.has_value());
-    EXPECT_EQ(evicted2->blockAddr, 0x1080u);
+    EXPECT_EQ(evicted2->blockAddr, Addr{0x1080});
     EXPECT_FALSE(evicted2->dirty);
 }
 
 TEST(CacheTest, InsertDirtyFlagSticks)
 {
     SetAssocCache c(smallGeom());
-    c.insert(0x1000, /*dirty=*/true);
-    c.insert(0x1080);
-    auto evicted = c.insert(0x1100);
+    c.insert(Addr{0x1000}, /*dirty=*/true);
+    c.insert(Addr{0x1080});
+    auto evicted = c.insert(Addr{0x1100});
     // LRU is 0x1000, inserted dirty.
     ASSERT_TRUE(evicted.has_value());
     EXPECT_TRUE(evicted->dirty);
@@ -110,40 +110,40 @@ TEST(CacheTest, InsertDirtyFlagSticks)
 TEST(CacheTest, ReinsertResidentBlockEvictsNothing)
 {
     SetAssocCache c(smallGeom());
-    c.insert(0x1000);
-    c.insert(0x1080);
-    EXPECT_FALSE(c.insert(0x1000).has_value());
+    c.insert(Addr{0x1000});
+    c.insert(Addr{0x1080});
+    EXPECT_FALSE(c.insert(Addr{0x1000}).has_value());
     EXPECT_EQ(c.validBlocks(), 2u);
     // Re-insert with dirty merges the dirty bit.
-    c.insert(0x1000, /*dirty=*/true);
-    c.insert(0x1080); // refresh LRU: 0x1000 older now
-    auto evicted = c.insert(0x1100);
+    c.insert(Addr{0x1000}, /*dirty=*/true);
+    c.insert(Addr{0x1080}); // refresh LRU: 0x1000 older now
+    auto evicted = c.insert(Addr{0x1100});
     ASSERT_TRUE(evicted.has_value());
-    EXPECT_EQ(evicted->blockAddr, 0x1000u);
+    EXPECT_EQ(evicted->blockAddr, Addr{0x1000});
     EXPECT_TRUE(evicted->dirty);
 }
 
 TEST(CacheTest, InvalidateAndFlush)
 {
     SetAssocCache c(smallGeom());
-    c.insert(0x1000);
-    c.insert(0x2000);
-    c.invalidate(0x1000);
-    EXPECT_FALSE(c.probe(0x1000));
-    EXPECT_TRUE(c.probe(0x2000));
+    c.insert(Addr{0x1000});
+    c.insert(Addr{0x2000});
+    c.invalidate(Addr{0x1000});
+    EXPECT_FALSE(c.probe(Addr{0x1000}));
+    EXPECT_TRUE(c.probe(Addr{0x2000}));
     c.flush();
-    EXPECT_FALSE(c.probe(0x2000));
+    EXPECT_FALSE(c.probe(Addr{0x2000}));
     EXPECT_EQ(c.validBlocks(), 0u);
 }
 
 TEST(CacheTest, InvalidatedWayReusedWithoutEviction)
 {
     SetAssocCache c(smallGeom());
-    c.insert(0x1000);
-    c.insert(0x1080);
-    c.invalidate(0x1000);
-    EXPECT_FALSE(c.insert(0x1100).has_value());
-    EXPECT_TRUE(c.probe(0x1080));
+    c.insert(Addr{0x1000});
+    c.insert(Addr{0x1080});
+    c.invalidate(Addr{0x1000});
+    EXPECT_FALSE(c.insert(Addr{0x1100}).has_value());
+    EXPECT_TRUE(c.probe(Addr{0x1080}));
 }
 
 /** Property sweep over geometries. */
@@ -160,13 +160,13 @@ TEST_P(CacheGeomTest, CapacityWorkingSetFitsExactly)
     uint64_t blocks = size / block;
     // Fill the entire cache with a dense region: no evictions.
     for (uint64_t i = 0; i < blocks; ++i)
-        EXPECT_FALSE(c.insert(0x100000 + i * block).has_value());
+        EXPECT_FALSE(c.insert(Addr{0x100000 + i * block}).has_value());
     EXPECT_EQ(c.validBlocks(), blocks);
     // Everything still resident.
     for (uint64_t i = 0; i < blocks; ++i)
-        EXPECT_TRUE(c.probe(0x100000 + i * block));
+        EXPECT_TRUE(c.probe(Addr{0x100000 + i * block}));
     // One more block evicts exactly one victim.
-    auto evicted = c.insert(0x100000 + blocks * block);
+    auto evicted = c.insert(Addr{0x100000 + blocks * block});
     EXPECT_TRUE(evicted.has_value());
     EXPECT_EQ(c.validBlocks(), blocks);
 }
@@ -178,16 +178,16 @@ TEST_P(CacheGeomTest, ThrashingSetNeverExceedsAssociativity)
     uint64_t set_stride = (size / assoc);
     // 2*assoc blocks mapping to one set: at most assoc survive.
     for (unsigned i = 0; i < 2 * assoc; ++i)
-        c.insert(0x100000 + uint64_t(i) * set_stride);
+        c.insert(Addr{0x100000 + uint64_t(i) * set_stride});
     unsigned resident = 0;
     for (unsigned i = 0; i < 2 * assoc; ++i) {
         resident +=
-            c.probe(0x100000 + uint64_t(i) * set_stride) ? 1 : 0;
+            c.probe(Addr{0x100000 + uint64_t(i) * set_stride}) ? 1 : 0;
     }
     EXPECT_EQ(resident, assoc);
     // And LRU means exactly the last `assoc` insertions survive.
     for (unsigned i = assoc; i < 2 * assoc; ++i)
-        EXPECT_TRUE(c.probe(0x100000 + uint64_t(i) * set_stride));
+        EXPECT_TRUE(c.probe(Addr{0x100000 + uint64_t(i) * set_stride}));
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -118,7 +118,7 @@ MemoryConfig
 quietMemory()
 {
     MemoryConfig cfg;
-    cfg.tlbMissPenalty = 0;
+    cfg.tlbMissPenalty = CycleDelta{};
     return cfg;
 }
 
@@ -132,12 +132,12 @@ runTrace(std::vector<MicroOp> ops,
     NullPrefetcher null_pf;
     VectorTrace trace(std::move(ops));
     OoOCore core(core_cfg, hier, pf ? *pf : null_pf, trace);
-    Cycle now = 0;
+    Cycle now{};
     while (core.tick(now)) {
         if (pf)
             pf->tick(now);
         ++now;
-        if (now > 2'000'000)
+        if (now > Cycle{2'000'000})
             ADD_FAILURE() << "core did not drain";
     }
     return core.stats();
@@ -147,7 +147,7 @@ TEST(CoreTest, DrainsAndCountsInstructions)
 {
     std::vector<MicroOp> ops;
     for (int i = 0; i < 100; ++i)
-        ops.push_back(aluOp(0x1000 + 4 * i, regNone));
+        ops.push_back(aluOp(Addr(0x1000 + 4 * i), regNone));
     CoreStats s = runTrace(ops);
     EXPECT_EQ(s.instructions, 100u);
     EXPECT_GT(s.cycles, 0u);
@@ -157,7 +157,7 @@ TEST(CoreTest, IndependentOpsReachHighIpc)
 {
     std::vector<MicroOp> ops;
     for (int i = 0; i < 40000; ++i)
-        ops.push_back(aluOp(0x1000 + 4 * (i % 64), regNone));
+        ops.push_back(aluOp(Addr(0x1000 + 4 * (i % 64)), regNone));
     CoreStats s = runTrace(ops);
     // 8-wide machine, no dependences: IPC should approach the width
     // (bounded by the 8 ALUs and fetch) once the cold instruction
@@ -168,9 +168,9 @@ TEST(CoreTest, IndependentOpsReachHighIpc)
 TEST(CoreTest, DependenceChainSerialises)
 {
     std::vector<MicroOp> ops;
-    ops.push_back(aluOp(0x1000, 1));
+    ops.push_back(aluOp(Addr{0x1000}, 1));
     for (int i = 0; i < 1000; ++i)
-        ops.push_back(aluOp(0x1004, 1, 1)); // r1 = f(r1)
+        ops.push_back(aluOp(Addr{0x1004}, 1, 1)); // r1 = f(r1)
     CoreStats s = runTrace(ops);
     // One op per cycle at best: IPC <= ~1.
     EXPECT_LE(s.ipc(), 1.2);
@@ -181,9 +181,9 @@ TEST(CoreTest, MultiCycleOpsRespectLatency)
 {
     // A chain of dependent FP multiplies (4 cycles each).
     std::vector<MicroOp> ops;
-    ops.push_back(aluOp(0x1000, 1));
+    ops.push_back(aluOp(Addr{0x1000}, 1));
     for (int i = 0; i < 100; ++i) {
-        MicroOp op = aluOp(0x1004, 1, 1);
+        MicroOp op = aluOp(Addr{0x1004}, 1, 1);
         op.op = OpClass::FpMult;
         ops.push_back(op);
     }
@@ -196,7 +196,7 @@ TEST(CoreTest, UnpipelinedDivideLimitsThroughput)
     // Independent divides: only 2 units, 12 cycles, unpipelined.
     std::vector<MicroOp> ops;
     for (int i = 0; i < 50; ++i) {
-        MicroOp op = aluOp(0x1000 + 4 * i, regNone);
+        MicroOp op = aluOp(Addr(0x1000 + 4 * i), regNone);
         op.op = OpClass::IntDiv;
         ops.push_back(op);
     }
@@ -210,12 +210,13 @@ TEST(CoreTest, LoadMissesAreSlowerThanHits)
     // Loads that revisit one block (hits after the first fill) vs
     // loads streaming over distinct blocks (all misses).
     std::vector<MicroOp> hit_ops, miss_ops;
-    hit_ops.push_back(aluOp(0x0ffc, 1));
-    miss_ops.push_back(aluOp(0x0ffc, 1));
+    hit_ops.push_back(aluOp(Addr{0x0ffc}, 1));
+    miss_ops.push_back(aluOp(Addr{0x0ffc}, 1));
     for (int i = 0; i < 200; ++i) {
         // Serialise through r1 so latency is exposed.
-        hit_ops.push_back(loadOp(0x1000, 1, 0x100000, 1));
-        miss_ops.push_back(loadOp(0x1000, 1, 0x100000 + 4096u * i, 1));
+        hit_ops.push_back(loadOp(Addr{0x1000}, 1, Addr{0x100000}, 1));
+        miss_ops.push_back(
+            loadOp(Addr{0x1000}, 1, Addr(0x100000 + 4096u * i), 1));
     }
     CoreStats hit = runTrace(hit_ops);
     CoreStats miss = runTrace(miss_ops);
@@ -229,9 +230,9 @@ TEST(CoreTest, LoadMissesAreSlowerThanHits)
 TEST(CoreTest, StoreForwardingHasTwoCycleLatency)
 {
     std::vector<MicroOp> ops;
-    ops.push_back(aluOp(0x1000, 2));
-    ops.push_back(storeOp(0x1004, 0x200000, 2));
-    ops.push_back(loadOp(0x1008, 1, 0x200000));
+    ops.push_back(aluOp(Addr{0x1000}, 2));
+    ops.push_back(storeOp(Addr{0x1004}, Addr{0x200000}, 2));
+    ops.push_back(loadOp(Addr{0x1008}, 1, Addr{0x200000}));
     CoreStats s = runTrace(ops);
     EXPECT_EQ(s.storeForwards, 1u);
     // The forwarded load never touches the cache.
@@ -242,9 +243,9 @@ TEST(CoreTest, ForwardedLoadsNotTrained)
 {
     SpyPrefetcher spy;
     std::vector<MicroOp> ops;
-    ops.push_back(storeOp(0x1004, 0x200000));
-    ops.push_back(loadOp(0x1008, 1, 0x200000));
-    ops.push_back(loadOp(0x100c, 2, 0x300000));
+    ops.push_back(storeOp(Addr{0x1004}, Addr{0x200000}));
+    ops.push_back(loadOp(Addr{0x1008}, 1, Addr{0x200000}));
+    ops.push_back(loadOp(Addr{0x100c}, 2, Addr{0x300000}));
     runTrace(ops, CoreConfig{}, &spy);
     ASSERT_EQ(spy.trains.size(), 2u);
     EXPECT_TRUE(spy.trains[0].fwd);
@@ -252,7 +253,7 @@ TEST(CoreTest, ForwardedLoadsNotTrained)
     EXPECT_TRUE(spy.trains[1].miss);
     // Only the real miss generated an allocation request.
     ASSERT_EQ(spy.demandPcs.size(), 1u);
-    EXPECT_EQ(spy.demandPcs[0], 0x100cu);
+    EXPECT_EQ(spy.demandPcs[0], Addr{0x100c});
 }
 
 TEST(CoreTest, NoDisambiguationDelaysIndependentLoads)
@@ -261,17 +262,17 @@ TEST(CoreTest, NoDisambiguationDelaysIndependentLoads)
     // to an unrelated address.
     auto build = [] {
         std::vector<MicroOp> ops;
-        ops.push_back(aluOp(0x1000, 1));
+        ops.push_back(aluOp(Addr{0x1000}, 1));
         for (int i = 0; i < 50; ++i) {
-            MicroOp op = aluOp(0x1004, 1, 1);
+            MicroOp op = aluOp(Addr{0x1004}, 1, 1);
             op.op = OpClass::FpMult; // 4-cycle chain links
             ops.push_back(op);
         }
-        ops.push_back(storeOp(0x1008, 0x200000, 1));
-        ops.push_back(loadOp(0x100c, 2, 0x300000));
+        ops.push_back(storeOp(Addr{0x1008}, Addr{0x200000}, 1));
+        ops.push_back(loadOp(Addr{0x100c}, 2, Addr{0x300000}));
         // Consumer chain of the load to surface its latency.
         for (int i = 0; i < 20; ++i)
-            ops.push_back(aluOp(0x1010, 2, 2));
+            ops.push_back(aluOp(Addr{0x1010}, 2, 2));
         return ops;
     };
     CoreConfig perfect;
@@ -289,22 +290,22 @@ TEST(CoreTest, AliasingLoadWaitsEvenWithPerfectStoreSets)
 {
     auto build = [](Addr load_addr) {
         std::vector<MicroOp> ops;
-        ops.push_back(aluOp(0x1000, 1));
+        ops.push_back(aluOp(Addr{0x1000}, 1));
         for (int i = 0; i < 50; ++i) {
-            MicroOp op = aluOp(0x1004, 1, 1);
+            MicroOp op = aluOp(Addr{0x1004}, 1, 1);
             op.op = OpClass::FpMult;
             ops.push_back(op);
         }
-        ops.push_back(storeOp(0x1008, 0x200000, 1));
-        ops.push_back(loadOp(0x100c, 2, load_addr));
+        ops.push_back(storeOp(Addr{0x1008}, Addr{0x200000}, 1));
+        ops.push_back(loadOp(Addr{0x100c}, 2, load_addr));
         for (int i = 0; i < 60; ++i)
-            ops.push_back(aluOp(0x1010, 2, 2));
+            ops.push_back(aluOp(Addr{0x1010}, 2, 2));
         return ops;
     };
     CoreConfig cfg;
     cfg.disambiguation = DisambiguationMode::Perfect;
-    CoreStats independent = runTrace(build(0x300000), cfg);
-    CoreStats aliasing = runTrace(build(0x200000), cfg);
+    CoreStats independent = runTrace(build(Addr{0x300000}), cfg);
+    CoreStats aliasing = runTrace(build(Addr{0x200000}), cfg);
     // The independent load overlaps the FP chain; the aliasing one
     // waits for the store, pushing its 60-op consumer chain past the
     // end of the FP chain.
@@ -320,10 +321,10 @@ TEST(CoreTest, MispredictedBranchStallsFetch)
         std::vector<MicroOp> ops;
         Xorshift64 rng(11);
         for (int i = 0; i < 400; ++i) {
-            ops.push_back(aluOp(0x1000 + 4 * (i % 16), regNone));
+            ops.push_back(aluOp(Addr(0x1000 + 4 * (i % 16)), regNone));
             if (with_branches && i % 4 == 3) {
-                ops.push_back(branchOp(0x2000 + 4 * (i % 64),
-                                       rng.next() & 1, 0x1000));
+                ops.push_back(branchOp(Addr(0x2000 + 4 * (i % 64)),
+                                       rng.next() & 1, Addr{0x1000}));
             }
         }
         return ops;
@@ -340,8 +341,8 @@ TEST(CoreTest, InFlightMergeCountsAsMiss)
     // the second merges into the first's fill and still counts as a
     // miss (the paper's definition).
     std::vector<MicroOp> ops;
-    ops.push_back(loadOp(0x1000, 1, 0x400000));
-    ops.push_back(loadOp(0x1004, 2, 0x400008));
+    ops.push_back(loadOp(Addr{0x1000}, 1, Addr{0x400000}));
+    ops.push_back(loadOp(Addr{0x1004}, 2, Addr{0x400008}));
     CoreStats s = runTrace(ops);
     EXPECT_EQ(s.l1dMisses, 2u);
     EXPECT_EQ(s.l1dInFlight, 1u);
@@ -352,9 +353,9 @@ TEST(CoreTest, RobCapacityRespected)
     // A long-latency load followed by far more ALU ops than ROB
     // entries: the core must not deadlock or reorder commits.
     std::vector<MicroOp> ops;
-    ops.push_back(loadOp(0x1000, 1, 0x500000));
+    ops.push_back(loadOp(Addr{0x1000}, 1, Addr{0x500000}));
     for (int i = 0; i < 1000; ++i)
-        ops.push_back(aluOp(0x1004 + 4 * (i % 8), regNone));
+        ops.push_back(aluOp(Addr(0x1004 + 4 * (i % 8)), regNone));
     CoreConfig cfg;
     cfg.robEntries = 16;
     CoreStats s = runTrace(ops, cfg);
@@ -365,7 +366,8 @@ TEST(CoreTest, LsqCapacityRespected)
 {
     std::vector<MicroOp> ops;
     for (int i = 0; i < 300; ++i)
-        ops.push_back(loadOp(0x1000, regNone, 0x600000 + 8 * i));
+        ops.push_back(
+            loadOp(Addr{0x1000}, regNone, Addr(0x600000 + 8 * i)));
     CoreConfig cfg;
     cfg.lsqEntries = 4;
     CoreStats s = runTrace(ops, cfg);
@@ -377,8 +379,8 @@ TEST(CoreTest, StoresCommitInOrderAndAccessCache)
 {
     std::vector<MicroOp> ops;
     for (int i = 0; i < 50; ++i)
-        ops.push_back(storeOp(0x1000 + 4 * (i % 4),
-                              0x700000 + 64 * i));
+        ops.push_back(storeOp(Addr(0x1000 + 4 * (i % 4)),
+                              Addr(0x700000 + 64 * i)));
     CoreStats s = runTrace(ops);
     EXPECT_EQ(s.stores, 50u);
     EXPECT_EQ(s.l1dAccesses, 50u);
@@ -391,12 +393,14 @@ TEST(CoreTest, ResetStatsMidRun)
     NullPrefetcher pf;
     std::vector<MicroOp> ops;
     for (int i = 0; i < 200; ++i)
-        ops.push_back(aluOp(0x1000, regNone));
+        ops.push_back(aluOp(Addr{0x1000}, regNone));
     VectorTrace trace(ops);
     OoOCore core(CoreConfig{}, hier, pf, trace);
-    Cycle now = 0;
-    while (core.stats().instructions < 100)
-        core.tick(now++);
+    Cycle now{};
+    while (core.stats().instructions < 100) {
+        core.tick(now);
+        ++now;
+    }
     core.resetStats();
     while (core.tick(now))
         ++now;

@@ -57,8 +57,8 @@ TEST_P(DeterminismTest, SameSeedProducesByteIdenticalStatsJson)
 
 INSTANTIATE_TEST_SUITE_P(SeedWorkloads, DeterminismTest,
                          ::testing::ValuesIn(kWorkloads),
-                         [](const auto &info) {
-                             return std::string(info.param);
+                         [](const auto &pinfo) {
+                             return std::string(pinfo.param);
                          });
 
 TEST(DeterminismTest, DifferentSeedsProduceDifferentStats)

@@ -21,13 +21,14 @@ namespace psb
 namespace
 {
 
-constexpr Addr pc = 0x400010;
+constexpr Addr pc{0x400010};
+constexpr unsigned lineBits = 5; // default 32-byte blocks
 
 MemoryConfig
 quietMemory()
 {
     MemoryConfig cfg;
-    cfg.tlbMissPenalty = 0;
+    cfg.tlbMissPenalty = CycleDelta{};
     return cfg;
 }
 
@@ -40,7 +41,8 @@ TEST(ContextPredictorTest, OrderOneLearnsSimpleChain)
     ContextConfig cfg;
     cfg.historyLength = 1;
     ContextPredictor ctx(cfg);
-    std::vector<Addr> chain = {0x10000, 0x39000, 0x12340, 0x88100};
+    std::vector<Addr> chain = {Addr{0x10000}, Addr{0x39000},
+                               Addr{0x12340}, Addr{0x88100}};
     for (int pass = 0; pass < 3; ++pass)
         for (Addr a : chain)
             ctx.train(pc, a);
@@ -48,7 +50,7 @@ TEST(ContextPredictorTest, OrderOneLearnsSimpleChain)
     for (size_t i = 1; i < chain.size(); ++i) {
         auto p = ctx.predictNext(s);
         ASSERT_TRUE(p.has_value());
-        EXPECT_EQ(*p, chain[i] & ~Addr(31));
+        EXPECT_EQ(*p, chain[i].toBlock(lineBits));
     }
 }
 
@@ -56,8 +58,8 @@ TEST(ContextPredictorTest, OrderTwoDisambiguatesSharedSuccessor)
 {
     // Pattern: A B X, C B Y, repeated. After B, the successor depends
     // on what preceded B: order-1 cannot get both right, order-2 can.
-    const Addr A = 0x10000, B = 0x20000, X = 0x30000, C = 0x40000,
-               Y = 0x50000;
+    const Addr A{0x10000}, B{0x20000}, X{0x30000}, C{0x40000},
+        Y{0x50000};
     auto run = [&](unsigned k) {
         ContextConfig cfg;
         cfg.historyLength = k;
@@ -72,14 +74,14 @@ TEST(ContextPredictorTest, OrderTwoDisambiguatesSharedSuccessor)
             ctx.train(pc, a);
         StreamState s = ctx.allocateStream(pc, B);
         auto p = ctx.predictNext(s);
-        if (p && *p == X)
+        if (p && *p == X.toBlock(lineBits))
             ++correct;
         // And in the "C B ?" context.
         for (Addr a : {X, C, B})
             ctx.train(pc, a);
         StreamState s2 = ctx.allocateStream(pc, B);
         auto p2 = ctx.predictNext(s2);
-        if (p2 && *p2 == Y)
+        if (p2 && *p2 == Y.toBlock(lineBits))
             ++correct;
         return correct;
     };
@@ -90,7 +92,8 @@ TEST(ContextPredictorTest, OrderTwoDisambiguatesSharedSuccessor)
 TEST(ContextPredictorTest, StreamsAdvanceIndependently)
 {
     ContextPredictor ctx;
-    std::vector<Addr> chain = {0x10000, 0x39000, 0x12340, 0x88100};
+    std::vector<Addr> chain = {Addr{0x10000}, Addr{0x39000},
+                               Addr{0x12340}, Addr{0x88100}};
     for (int pass = 0; pass < 4; ++pass)
         for (Addr a : chain)
             ctx.train(pc, a);
@@ -101,16 +104,16 @@ TEST(ContextPredictorTest, StreamsAdvanceIndependently)
     ctx.predictNext(s1);
     auto p = ctx.predictNext(s2);
     ASSERT_TRUE(p.has_value());
-    EXPECT_EQ(*p, chain[1] & ~Addr(31));
+    EXPECT_EQ(*p, chain[1].toBlock(lineBits));
 }
 
 TEST(ContextPredictorTest, ConfidenceAndFilterComeFromStrideTable)
 {
     ContextPredictor ctx;
     for (int i = 0; i < 20; ++i)
-        ctx.train(pc, 0x10000 + 64 * i);
+        ctx.train(pc, Addr(0x10000 + 64 * i));
     EXPECT_EQ(ctx.confidence(pc), 7u);
-    EXPECT_TRUE(ctx.twoMissFilterPass(pc, 0x10000));
+    EXPECT_TRUE(ctx.twoMissFilterPass(pc, Addr{0x10000}));
 }
 
 // ---------------------------------------------------------------- //
@@ -121,23 +124,23 @@ TEST(MinDeltaTest, LearnsMinimumSignedDeltaPerChunk)
 {
     MinDeltaPredictor pred;
     // Misses in one 4K chunk with stride 128 plus one outlier.
-    pred.train(pc, 0x10000);
-    pred.train(pc, 0x10080);
-    EXPECT_EQ(pred.strideFor(0x10080), 128);
-    pred.train(pc, 0x10100);
-    EXPECT_EQ(pred.strideFor(0x10100), 128);
+    pred.train(pc, Addr{0x10000});
+    pred.train(pc, Addr{0x10080});
+    EXPECT_EQ(pred.strideFor(Addr{0x10080}), 128);
+    pred.train(pc, Addr{0x10100});
+    EXPECT_EQ(pred.strideFor(Addr{0x10100}), 128);
 }
 
 TEST(MinDeltaTest, SubBlockDeltaRoundsToBlockWithSign)
 {
     MinDeltaPredictor pred; // 32B blocks
-    pred.train(pc, 0x10010);
-    pred.train(pc, 0x10018); // +8: below a block
-    EXPECT_EQ(pred.strideFor(0x10018), 32);
+    pred.train(pc, Addr{0x10010});
+    pred.train(pc, Addr{0x10018}); // +8: below a block
+    EXPECT_EQ(pred.strideFor(Addr{0x10018}), 32);
     MinDeltaPredictor pred2;
-    pred2.train(pc, 0x10018);
-    pred2.train(pc, 0x10010); // -8
-    EXPECT_EQ(pred2.strideFor(0x10010), -32);
+    pred2.train(pc, Addr{0x10018});
+    pred2.train(pc, Addr{0x10010}); // -8
+    EXPECT_EQ(pred2.strideFor(Addr{0x10010}), -32);
 }
 
 TEST(MinDeltaTest, MinimumOverHistoryNotJustLastMiss)
@@ -146,38 +149,39 @@ TEST(MinDeltaTest, MinimumOverHistoryNotJustLastMiss)
     // Two interleaved streams in one chunk: 0x10000+128k and
     // 0x10040+128k. The minimum delta against the past N addresses is
     // the inter-stream gap or the stride, whichever is smaller.
-    pred.train(pc, 0x10000);
-    pred.train(pc, 0x10400); // far
-    pred.train(pc, 0x10080); // delta to 0x10000 = 128, to 0x10400 = -896
-    EXPECT_EQ(pred.strideFor(0x10080), 128);
+    pred.train(pc, Addr{0x10000});
+    pred.train(pc, Addr{0x10400}); // far
+    pred.train(pc, Addr{0x10080}); // delta to 0x10000 = 128,
+                                   // to 0x10400 = -896
+    EXPECT_EQ(pred.strideFor(Addr{0x10080}), 128);
 }
 
 TEST(MinDeltaTest, FilterNeedsConsecutiveMissesInChunk)
 {
     MinDeltaPredictor pred;
-    pred.train(pc, 0x10000);
-    EXPECT_FALSE(pred.twoMissFilterPass(pc, 0x10000));
-    pred.train(pc, 0x10080); // consecutive, same chunk
-    EXPECT_TRUE(pred.twoMissFilterPass(pc, 0x10080));
+    pred.train(pc, Addr{0x10000});
+    EXPECT_FALSE(pred.twoMissFilterPass(pc, Addr{0x10000}));
+    pred.train(pc, Addr{0x10080}); // consecutive, same chunk
+    EXPECT_TRUE(pred.twoMissFilterPass(pc, Addr{0x10080}));
     // A miss in a different chunk breaks the run.
-    pred.train(pc, 0x90000);
-    pred.train(pc, 0x10100);
-    EXPECT_FALSE(pred.twoMissFilterPass(pc, 0x10100));
+    pred.train(pc, Addr{0x90000});
+    pred.train(pc, Addr{0x10100});
+    EXPECT_FALSE(pred.twoMissFilterPass(pc, Addr{0x10100}));
 }
 
 TEST(MinDeltaTest, EndToEndFollowsRegionStride)
 {
     MemoryHierarchy hier(quietMemory());
     MinDeltaStreamBuffers sb({}, {}, hier);
-    Addr a = 0x20000;
+    Addr a{0x20000};
     for (int i = 0; i < 4; ++i) {
         sb.trainLoad(pc, a + 128 * i, true, false);
         sb.demandMiss(pc, a + 128 * i, Cycle(i));
     }
-    for (Cycle c = 10; c < 400; ++c)
+    for (Cycle c{10}; c < Cycle{400}; ++c)
         sb.tick(c);
-    EXPECT_TRUE(sb.lookup(a + 128 * 4, 1000).hit);
-    EXPECT_TRUE(sb.lookup(a + 128 * 5, 1001).hit);
+    EXPECT_TRUE(sb.lookup(a + 128 * 4, Cycle{1000}).hit);
+    EXPECT_TRUE(sb.lookup(a + 128 * 5, Cycle{1001}).hit);
 }
 
 TEST(MinDeltaTest, GlobalHistoryConfusedByInterleavedStreams)
@@ -188,12 +192,13 @@ TEST(MinDeltaTest, GlobalHistoryConfusedByInterleavedStreams)
     // gap, not either true stride.
     MinDeltaPredictor pred;
     for (int i = 0; i < 6; ++i) {
-        pred.train(0x400010, 0x30000 + 256 * i);      // stride 256
-        pred.train(0x400020, 0x30040 + 256 * i);      // stride 256,
-                                                      // offset 64
+        pred.train(Addr{0x400010}, Addr(0x30000 + 256 * i)); // stride 256
+        pred.train(Addr{0x400020}, Addr(0x30040 + 256 * i)); // stride
+                                                             // 256,
+                                                             // offset 64
     }
     // The minimum delta seen is the 64-byte inter-stream gap.
-    EXPECT_EQ(pred.strideFor(0x30040 + 256 * 5), 64);
+    EXPECT_EQ(pred.strideFor(Addr(0x30040 + 256 * 5)), 64);
 }
 
 // ---------------------------------------------------------------- //
@@ -212,11 +217,11 @@ TEST(CachedTlbTest, SkipsTranslationsInsidePage)
         PredictorDirectedStreamBuffers psb(cfg, sfm, hier);
 
         for (int i = 0; i < 8; ++i) {
-            Addr a = 0x40000 + 32 * i;
+            Addr a(0x40000 + 32 * i);
             sfm.train(pc, a);
         }
-        psb.demandMiss(pc, 0x40100, 0);
-        for (Cycle c = 1; c < 300; ++c)
+        psb.demandMiss(pc, Addr{0x40100}, Cycle{});
+        for (Cycle c{1}; c < Cycle{300}; ++c)
             psb.tick(c);
 
         ASSERT_GT(psb.stats().prefetchesIssued, 2u);
@@ -239,9 +244,9 @@ TEST(CachedTlbTest, PageCrossingRetranslates)
     // Stride of one page: every prefetch crosses a page boundary, so
     // nothing can be skipped.
     for (int i = 0; i < 8; ++i)
-        sfm.train(pc, 0x100000 + 8192u * i);
-    psb.demandMiss(pc, 0x100000 + 8192u * 8, 0);
-    for (Cycle c = 1; c < 400; ++c)
+        sfm.train(pc, Addr(0x100000 + 8192u * i));
+    psb.demandMiss(pc, Addr(0x100000 + 8192u * 8), Cycle{});
+    for (Cycle c{1}; c < Cycle{400}; ++c)
         psb.tick(c);
     ASSERT_GT(psb.stats().prefetchesIssued, 2u);
     EXPECT_EQ(psb.stats().tlbTranslationsSkipped, 0u);

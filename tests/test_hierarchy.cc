@@ -17,29 +17,29 @@ MemoryConfig
 fastTlbConfig()
 {
     MemoryConfig cfg;
-    cfg.tlbMissPenalty = 0; // keep latency arithmetic simple here
+    cfg.tlbMissPenalty = CycleDelta{}; // keep latency arithmetic simple
     return cfg;
 }
 
 TEST(HierarchyTest, ColdProbeMissesThenFillMakesResident)
 {
     MemoryHierarchy h(fastTlbConfig());
-    ProbeResult p = h.probeData(0x1000, 0);
+    ProbeResult p = h.probeData(Addr{0x1000}, Cycle{});
     EXPECT_FALSE(p.resident);
     EXPECT_FALSE(p.inFlight);
 
-    FillOutcome fill = h.missToL2(0x1000, 0, false);
+    FillOutcome fill = h.missToL2(Addr{0x1000}, Cycle{}, false);
     EXPECT_FALSE(fill.mshrStall);
     EXPECT_FALSE(fill.l2Hit); // cold L2 too
-    EXPECT_GT(fill.ready, 100u); // memory access involved
+    EXPECT_GT(fill.ready, Cycle{100}); // memory access involved
 
     // While in flight the probe reports it.
-    ProbeResult p2 = h.probeData(0x1000, 1);
+    ProbeResult p2 = h.probeData(Addr{0x1000}, Cycle{1});
     EXPECT_TRUE(p2.inFlight);
     EXPECT_EQ(p2.ready, fill.ready);
 
     // After the fill it is a plain hit.
-    ProbeResult p3 = h.probeData(0x1000, fill.ready);
+    ProbeResult p3 = h.probeData(Addr{0x1000}, fill.ready);
     EXPECT_TRUE(p3.resident);
     EXPECT_FALSE(p3.inFlight);
 }
@@ -47,20 +47,20 @@ TEST(HierarchyTest, ColdProbeMissesThenFillMakesResident)
 TEST(HierarchyTest, L2HitFillIsMuchFasterThanMemory)
 {
     MemoryHierarchy h(fastTlbConfig());
-    FillOutcome cold = h.missToL2(0x1000, 0, false);
+    FillOutcome cold = h.missToL2(Addr{0x1000}, Cycle{}, false);
     // Evict from L1 by filling its set, keeping the L2 copy: easier —
     // access a different L1 block of the same L2 line after eviction
     // is complex; instead fill another block far away, then re-fetch
     // the victim after invalidation via a fresh hierarchy is not
     // possible. Use the sibling-L1-block trick: 0x1020 shares the
     // 64-byte L2 line of 0x1000 but is a different 32-byte L1 line.
-    FillOutcome sibling = h.missToL2(0x1020, cold.ready, false);
+    FillOutcome sibling = h.missToL2(Addr{0x1020}, cold.ready, false);
     EXPECT_TRUE(sibling.l2Hit);
-    Cycle l2_latency = sibling.ready - cold.ready;
+    CycleDelta l2_latency = sibling.ready - cold.ready;
     // Request beat + 12-cycle L2 + 4-cycle transfer, give or take
     // pipeline alignment; far below the 120-cycle memory latency.
-    EXPECT_GE(l2_latency, 12u);
-    EXPECT_LE(l2_latency, 40u);
+    EXPECT_GE(l2_latency, CycleDelta{12});
+    EXPECT_LE(l2_latency, CycleDelta{40});
 }
 
 TEST(HierarchyTest, MshrStallWhenAllEntriesBusy)
@@ -68,24 +68,25 @@ TEST(HierarchyTest, MshrStallWhenAllEntriesBusy)
     MemoryConfig cfg = fastTlbConfig();
     cfg.l1dMshrs = 2;
     MemoryHierarchy h(cfg);
-    EXPECT_FALSE(h.missToL2(0x1000, 0, false).mshrStall);
-    EXPECT_FALSE(h.missToL2(0x2000, 0, false).mshrStall);
-    EXPECT_TRUE(h.missToL2(0x3000, 0, false).mshrStall);
+    EXPECT_FALSE(h.missToL2(Addr{0x1000}, Cycle{}, false).mshrStall);
+    EXPECT_FALSE(h.missToL2(Addr{0x2000}, Cycle{}, false).mshrStall);
+    EXPECT_TRUE(h.missToL2(Addr{0x3000}, Cycle{}, false).mshrStall);
     // After the fills retire, capacity returns.
-    EXPECT_FALSE(h.missToL2(0x3000, 10000, false).mshrStall);
+    EXPECT_FALSE(
+        h.missToL2(Addr{0x3000}, Cycle{10000}, false).mshrStall);
 }
 
 TEST(HierarchyTest, BusUtilisationAccountedPerBus)
 {
     MemoryHierarchy h(fastTlbConfig());
-    h.missToL2(0x1000, 0, false);
+    h.missToL2(Addr{0x1000}, Cycle{}, false);
     // L1-L2: one transaction of 1 + 32/8 = 5 cycles.
     EXPECT_EQ(h.l1L2Bus().busyCycles(), 5u);
     // L2 miss went to memory: 1 + 64/4 = 17 cycles on the L2-mem bus.
     EXPECT_EQ(h.l2MemBus().busyCycles(), 17u);
 
     // An L2-hit fill adds only L1-L2 cycles.
-    h.missToL2(0x1020, 1000, false);
+    h.missToL2(Addr{0x1020}, Cycle{1000}, false);
     EXPECT_EQ(h.l1L2Bus().busyCycles(), 10u);
     EXPECT_EQ(h.l2MemBus().busyCycles(), 17u);
 }
@@ -97,26 +98,26 @@ TEST(HierarchyTest, DirtyEvictionGeneratesWriteback)
     MemoryHierarchy h(cfg);
 
     // Fill one set with dirty blocks (set stride = 128).
-    h.missToL2(0x1000, 0, true);
-    h.missToL2(0x1080, 1000, true);
+    h.missToL2(Addr{0x1000}, Cycle{}, true);
+    h.missToL2(Addr{0x1080}, Cycle{1000}, true);
     EXPECT_EQ(h.stats().l1Writebacks, 0u);
-    h.missToL2(0x1100, 2000, false); // evicts dirty 0x1000
+    h.missToL2(Addr{0x1100}, Cycle{2000}, false); // evicts dirty 0x1000
     EXPECT_EQ(h.stats().l1Writebacks, 1u);
 }
 
 TEST(HierarchyTest, PrefetchDoesNotTouchL1ButWarmsL2)
 {
     MemoryHierarchy h(fastTlbConfig());
-    PrefetchOutcome pf = h.prefetch(0x5000, 0);
+    PrefetchOutcome pf = h.prefetch(h.blockOf(Addr{0x5000}), Cycle{});
     EXPECT_FALSE(pf.l2Hit);
-    EXPECT_GT(pf.ready, 100u);
+    EXPECT_GT(pf.ready, Cycle{100});
     EXPECT_EQ(h.stats().prefetches, 1u);
 
     // Not in the L1...
-    EXPECT_FALSE(h.probeData(0x5000, pf.ready).resident);
+    EXPECT_FALSE(h.probeData(Addr{0x5000}, pf.ready).resident);
     // ...but the L2 now has it: a demand miss after the prefetch is an
     // L2 hit.
-    FillOutcome fill = h.missToL2(0x5000, pf.ready, false);
+    FillOutcome fill = h.missToL2(Addr{0x5000}, pf.ready, false);
     EXPECT_TRUE(fill.l2Hit);
     EXPECT_EQ(h.stats().prefetchL2Hits, 0u); // first prefetch was cold
 }
@@ -124,39 +125,40 @@ TEST(HierarchyTest, PrefetchDoesNotTouchL1ButWarmsL2)
 TEST(HierarchyTest, PrefetchGatingSeesBusOccupancy)
 {
     MemoryHierarchy h(fastTlbConfig());
-    EXPECT_TRUE(h.l1ToL2BusFree(0));
-    h.missToL2(0x1000, 0, false);
-    EXPECT_FALSE(h.l1ToL2BusFree(0));
-    EXPECT_FALSE(h.l1ToL2BusFree(3));
-    EXPECT_TRUE(h.l1ToL2BusFree(5));
+    EXPECT_TRUE(h.l1ToL2BusFree(Cycle{}));
+    h.missToL2(Addr{0x1000}, Cycle{}, false);
+    EXPECT_FALSE(h.l1ToL2BusFree(Cycle{}));
+    EXPECT_FALSE(h.l1ToL2BusFree(Cycle{3}));
+    EXPECT_TRUE(h.l1ToL2BusFree(Cycle{5}));
 }
 
 TEST(HierarchyTest, FillFromStreamBufferInsertsBlock)
 {
     MemoryHierarchy h(fastTlbConfig());
-    EXPECT_FALSE(h.probeData(0x7000, 0).resident);
-    h.fillFromStreamBuffer(0x7000, 0);
-    EXPECT_TRUE(h.probeData(0x7000, 0).resident);
+    EXPECT_FALSE(h.probeData(Addr{0x7000}, Cycle{}).resident);
+    h.fillFromStreamBuffer(h.blockOf(Addr{0x7000}), Cycle{});
+    EXPECT_TRUE(h.probeData(Addr{0x7000}, Cycle{}).resident);
 }
 
 TEST(HierarchyTest, RegisterInFlightFillTracksReadyTime)
 {
     MemoryHierarchy h(fastTlbConfig());
-    h.registerInFlightFill(0x8000, 500, 0);
-    ProbeResult p = h.probeData(0x8000, 10);
+    h.registerInFlightFill(h.blockOf(Addr{0x8000}), Cycle{500},
+                           Cycle{});
+    ProbeResult p = h.probeData(Addr{0x8000}, Cycle{10});
     EXPECT_TRUE(p.inFlight);
-    EXPECT_EQ(p.ready, 500u);
+    EXPECT_EQ(p.ready, Cycle{500});
     // After arrival it's an ordinary hit.
-    EXPECT_TRUE(h.probeData(0x8000, 500).resident);
+    EXPECT_TRUE(h.probeData(Addr{0x8000}, Cycle{500}).resident);
 }
 
 TEST(HierarchyTest, InstFetchHitsAfterFill)
 {
     MemoryHierarchy h(fastTlbConfig());
-    Cycle first = h.instFetch(0x400000, 0);
-    EXPECT_GT(first, 1u);
+    Cycle first = h.instFetch(Addr{0x400000}, Cycle{});
+    EXPECT_GT(first, Cycle{1});
     EXPECT_EQ(h.stats().instMisses, 1u);
-    Cycle second = h.instFetch(0x400000, first);
+    Cycle second = h.instFetch(Addr{0x400000}, first);
     EXPECT_EQ(second, first + h.config().l1Latency);
     EXPECT_EQ(h.stats().instMisses, 1u);
 }
@@ -165,20 +167,20 @@ TEST(HierarchyTest, TlbPenaltyChargedOnFirstTouch)
 {
     MemoryConfig cfg; // default: 30-cycle TLB miss penalty
     MemoryHierarchy h(cfg);
-    ProbeResult p = h.probeData(0x90000, 0);
-    EXPECT_EQ(p.tlbPenalty, 30u);
-    ProbeResult p2 = h.probeData(0x90008, 0);
-    EXPECT_EQ(p2.tlbPenalty, 0u);
+    ProbeResult p = h.probeData(Addr{0x90000}, Cycle{});
+    EXPECT_EQ(p.tlbPenalty, CycleDelta{30});
+    ProbeResult p2 = h.probeData(Addr{0x90008}, Cycle{});
+    EXPECT_EQ(p2.tlbPenalty, CycleDelta{});
 }
 
 TEST(HierarchyTest, ResetStatsClearsCountersKeepsContents)
 {
     MemoryHierarchy h(fastTlbConfig());
-    FillOutcome fill = h.missToL2(0x1000, 0, false);
+    FillOutcome fill = h.missToL2(Addr{0x1000}, Cycle{}, false);
     h.resetStats();
     EXPECT_EQ(h.stats().l2Accesses, 0u);
     EXPECT_EQ(h.l1L2Bus().busyCycles(), 0u);
-    EXPECT_TRUE(h.probeData(0x1000, fill.ready).resident);
+    EXPECT_TRUE(h.probeData(Addr{0x1000}, fill.ready).resident);
 }
 
 TEST(HierarchyTest, L2PipelineAcceptsEveryFourCycles)
@@ -188,9 +190,9 @@ TEST(HierarchyTest, L2PipelineAcceptsEveryFourCycles)
     // latency/depth = 4 cycles, and the serial L1-L2 bus spaces the
     // requests by 5 anyway, so the fills complete in request order
     // with bounded spacing.
-    FillOutcome a = h.missToL2(0x1000, 0, false);
-    FillOutcome b = h.missToL2(0x2000, 0, false);
-    FillOutcome c = h.missToL2(0x3000, 0, false);
+    FillOutcome a = h.missToL2(Addr{0x1000}, Cycle{}, false);
+    FillOutcome b = h.missToL2(Addr{0x2000}, Cycle{}, false);
+    FillOutcome c = h.missToL2(Addr{0x3000}, Cycle{}, false);
     EXPECT_LT(a.ready, b.ready);
     EXPECT_LT(b.ready, c.ready);
 }

@@ -36,7 +36,7 @@ class ChaseTrace : public TraceBuilder
   public:
     ChaseTrace(unsigned nodes, unsigned scatter, uint64_t seed = 3)
     {
-        SyntheticHeap heap(0x10000000, scatter, seed);
+        SyntheticHeap heap(Addr{0x10000000}, scatter, seed);
         for (unsigned i = 0; i < nodes; ++i)
             _nodes.push_back(heap.alloc(48, 32));
     }
@@ -45,10 +45,11 @@ class ChaseTrace : public TraceBuilder
     bool
     step() override
     {
-        emitLoad(0x400000, 1, _nodes[_pos], 1);
-        emitAlu(0x400004, 2, 1);
-        emitAlu(0x400008, 2, 2);
-        emitBranch(0x40000c, _pos + 1 < _nodes.size(), 0x400000, 2);
+        emitLoad(Addr{0x400000}, 1, _nodes[_pos], 1);
+        emitAlu(Addr{0x400004}, 2, 1);
+        emitAlu(Addr{0x400008}, 2, 2);
+        emitBranch(Addr{0x40000c}, _pos + 1 < _nodes.size(),
+                   Addr{0x400000}, 2);
         _pos = (_pos + 1) % _nodes.size();
         return true;
     }
@@ -71,10 +72,10 @@ class StrideTrace : public TraceBuilder
     bool
     step() override
     {
-        emitLoad(0x400000, 1, 0x20000000 + _off, 2);
-        emitAlu(0x400004, 2, 1);
-        emitAlu(0x400008, 2, 2);
-        emitBranch(0x40000c, true, 0x400000, 2);
+        emitLoad(Addr{0x400000}, 1, Addr(0x20000000 + _off), 2);
+        emitAlu(Addr{0x400004}, 2, 1);
+        emitAlu(Addr{0x400008}, 2, 2);
+        emitBranch(Addr{0x40000c}, true, Addr{0x400000}, 2);
         _off = uint64_t(int64_t(_off) + _stride) % _footprint;
         return true;
     }
@@ -110,13 +111,13 @@ class ManyStreamsTrace : public TraceBuilder
         uint64_t *cursor;
         if (is_cold) {
             s = unsigned((_step / 5) % _coldCursors.size());
-            base = 0x30000000 + Addr(s) * 0x100000;
-            pc = 0x500000 + Addr(s) * 0x44;
+            base = Addr(0x30000000 + uint64_t(s) * 0x100000);
+            pc = Addr(0x500000 + uint64_t(s) * 0x44);
             cursor = &_coldCursors[s];
         } else {
             s = unsigned(_step % _hotCursors.size());
-            base = 0x20000000 + Addr(s) * 0x100000;
-            pc = 0x400000 + Addr(s) * 0x44;
+            base = Addr(0x20000000 + uint64_t(s) * 0x100000);
+            pc = Addr(0x400000 + uint64_t(s) * 0x44);
             cursor = &_hotCursors[s];
         }
         ++_step;
@@ -148,7 +149,7 @@ run(TraceBuilder &trace, Prefetcher &pf, MemoryHierarchy &hier,
 {
     CoreConfig cfg;
     OoOCore core(cfg, hier, pf, trace);
-    Cycle now = 0;
+    Cycle now{};
     while (core.stats().instructions < instructions / 2) {
         core.tick(now);
         pf.tick(now);

@@ -19,32 +19,41 @@ namespace psb
 namespace
 {
 
+/** Block number of a byte address at the default 32-byte block size. */
+BlockAddr
+blk(uint64_t byte_addr)
+{
+    return Addr(byte_addr).toBlock(5);
+}
+
 TEST(MarkovTableTest, RecordsAndPredictsTransition)
 {
     MarkovTable t;
-    EXPECT_FALSE(t.lookup(0x1000).has_value());
-    t.update(0x1000, 0x9040);
-    auto next = t.lookup(0x1000);
+    EXPECT_FALSE(t.lookup(blk(0x1000)).has_value());
+    t.update(blk(0x1000), blk(0x9040));
+    auto next = t.lookup(blk(0x1000));
     ASSERT_TRUE(next.has_value());
-    EXPECT_EQ(*next, 0x9040u);
+    EXPECT_EQ(*next, blk(0x9040));
     EXPECT_EQ(t.population(), 1u);
 }
 
 TEST(MarkovTableTest, BlockAlignment)
 {
     MarkovTable t; // 32B blocks
-    t.update(0x1004, 0x9047);
-    auto next = t.lookup(0x101f); // same source block
+    // Byte addresses inside one block convert to the same block
+    // number, so sub-block offsets are invisible to the table.
+    t.update(blk(0x1004), blk(0x9047));
+    auto next = t.lookup(blk(0x101f)); // same source block
     ASSERT_TRUE(next.has_value());
-    EXPECT_EQ(*next, 0x9040u); // block-aligned target
+    EXPECT_EQ(*next, blk(0x9040)); // block-aligned target
 }
 
 TEST(MarkovTableTest, LatestTransitionWins)
 {
     MarkovTable t;
-    t.update(0x1000, 0x2000);
-    t.update(0x1000, 0x3000);
-    EXPECT_EQ(*t.lookup(0x1000), 0x3000u);
+    t.update(blk(0x1000), blk(0x2000));
+    t.update(blk(0x1000), blk(0x3000));
+    EXPECT_EQ(*t.lookup(blk(0x1000)), blk(0x3000));
     EXPECT_EQ(t.population(), 1u);
 }
 
@@ -54,12 +63,12 @@ TEST(MarkovTableTest, IndexConflictEvicts)
     cfg.entries = 16;
     cfg.blockBytes = 32;
     MarkovTable t(cfg);
-    Addr a = 0x1000;
-    Addr b = a + 16 * 32; // same index, different tag
-    t.update(a, 0x2000);
-    t.update(b, 0x3000);
+    BlockAddr a = blk(0x1000);
+    BlockAddr b = blk(0x1000 + 16 * 32); // same index, different tag
+    t.update(a, blk(0x2000));
+    t.update(b, blk(0x3000));
     EXPECT_FALSE(t.lookup(a).has_value()); // clobbered
-    EXPECT_EQ(*t.lookup(b), 0x3000u);
+    EXPECT_EQ(*t.lookup(b), blk(0x3000));
 }
 
 TEST(MarkovTableTest, PartialTagRejectsAliases)
@@ -68,20 +77,21 @@ TEST(MarkovTableTest, PartialTagRejectsAliases)
     cfg.entries = 16;
     cfg.tagBits = 4;
     MarkovTable t(cfg);
-    t.update(0x1000, 0x2000);
+    t.update(blk(0x1000), blk(0x2000));
     // Same index, same 4-bit partial tag => false hit by design.
     // Verify a *different* partial tag misses.
-    Addr different_tag = 0x1000 + 16 * 32 * 1; // tag bits change by 1
+    BlockAddr different_tag = blk(0x1000 + 16 * 32 * 1); // tag bits
+                                                         // change by 1
     EXPECT_FALSE(t.lookup(different_tag).has_value());
 }
 
 TEST(DiffMarkovTest, StoresBlockDeltas)
 {
     DiffMarkovTable t; // 16-bit deltas, 32B blocks
-    EXPECT_TRUE(t.update(0x1000, 0x1040)); // +2 blocks
-    EXPECT_EQ(*t.lookup(0x1000), 0x1040u);
-    EXPECT_TRUE(t.update(0x5000, 0x4fc0)); // -2 blocks
-    EXPECT_EQ(*t.lookup(0x5000), 0x4fc0u);
+    EXPECT_TRUE(t.update(blk(0x1000), blk(0x1040))); // +2 blocks
+    EXPECT_EQ(*t.lookup(blk(0x1000)), blk(0x1040));
+    EXPECT_TRUE(t.update(blk(0x5000), blk(0x4fc0))); // -2 blocks
+    EXPECT_EQ(*t.lookup(blk(0x5000)), blk(0x4fc0));
     EXPECT_EQ(t.updates(), 2u);
 }
 
@@ -91,9 +101,9 @@ TEST(DiffMarkovTest, DeltaAddedToIndexingAddressNotStoredBase)
     // predicted address is the indexing address plus the delta. Verify
     // with two sources sharing an entry-distance pattern.
     DiffMarkovTable t;
-    t.update(0x1000, 0x1040);
+    t.update(blk(0x1000), blk(0x1040));
     // Look up from the block itself.
-    EXPECT_EQ(*t.lookup(0x1010), 0x1040u); // same source block
+    EXPECT_EQ(*t.lookup(blk(0x1010)), blk(0x1040)); // same source block
 }
 
 TEST(DiffMarkovTest, OverflowingDeltaRejected)
@@ -101,11 +111,11 @@ TEST(DiffMarkovTest, OverflowingDeltaRejected)
     DiffMarkovConfig cfg;
     cfg.deltaBits = 8; // +/-127 blocks of 32B
     DiffMarkovTable t(cfg);
-    EXPECT_TRUE(t.update(0x0, 127 * 32));
-    EXPECT_FALSE(t.update(0x100000, 0x100000 + 128 * 32));
+    EXPECT_TRUE(t.update(blk(0x0), blk(127 * 32)));
+    EXPECT_FALSE(t.update(blk(0x100000), blk(0x100000 + 128 * 32)));
     EXPECT_EQ(t.overflows(), 1u);
     // The rejected transition leaves no trace.
-    EXPECT_FALSE(t.lookup(0x100000).has_value());
+    EXPECT_FALSE(t.lookup(blk(0x100000)).has_value());
 }
 
 TEST(DiffMarkovTest, DataBytesMatchesPaperSizing)
@@ -131,15 +141,16 @@ TEST_P(DeltaWidthTest, RepresentabilityMatchesFitsSigned)
 
     const int64_t deltas[] = {0, 1, -1, 100, -100, 30000, -30000,
                               70000, -70000, (1 << 20), -(1 << 20)};
-    Addr from = Addr(1) << 32;
+    BlockAddr from{uint64_t(1) << 27}; // byte 2^32 at 32B blocks
     for (int64_t d : deltas) {
-        Addr to = Addr(int64_t(from) + d * 32);
+        BlockAddr to{uint64_t(int64_t(from.raw()) + d)};
         bool stored = t.update(from, to);
         EXPECT_EQ(stored, fitsSigned(d, bits)) << "delta " << d;
         if (stored) {
             EXPECT_EQ(*t.lookup(from), to);
         }
-        from += 64 * 1024; // avoid index reuse between cases
+        // Avoid index reuse between cases (64 KB of blocks apart).
+        from = BlockAddr{from.raw() + 2048};
     }
 }
 
@@ -151,10 +162,10 @@ TEST(DiffMarkovTest, WiderTablesCaptureStrictlyMore)
 {
     // Monotonicity property across the Figure 4 sweep.
     Xorshift64 rng(5);
-    std::vector<std::pair<Addr, Addr>> transitions;
-    Addr cur = 0x10000000;
+    std::vector<std::pair<BlockAddr, BlockAddr>> transitions;
+    BlockAddr cur = blk(0x10000000);
     for (int i = 0; i < 2000; ++i) {
-        Addr next = 0x10000000 + (rng.next() % (1u << 22));
+        BlockAddr next = blk(0x10000000 + (rng.next() % (1u << 22)));
         transitions.push_back({cur, next});
         cur = next;
     }

@@ -16,58 +16,58 @@ namespace
 TEST(MshrTest, LookupMissWhenEmpty)
 {
     MshrFile m(4);
-    EXPECT_FALSE(m.lookup(0x1000, 0).has_value());
-    EXPECT_FALSE(m.full(0));
-    EXPECT_EQ(m.occupancy(0), 0u);
+    EXPECT_FALSE(m.lookup(BlockAddr{0x1000}, Cycle{}).has_value());
+    EXPECT_FALSE(m.full(Cycle{}));
+    EXPECT_EQ(m.occupancy(Cycle{}), 0u);
 }
 
 TEST(MshrTest, AllocateThenMergeUntilReady)
 {
     MshrFile m(4);
-    m.allocate(0x1000, 50);
-    auto hit = m.lookup(0x1000, 10);
+    m.allocate(BlockAddr{0x1000}, Cycle{50});
+    auto hit = m.lookup(BlockAddr{0x1000}, Cycle{10});
     ASSERT_TRUE(hit.has_value());
-    EXPECT_EQ(*hit, 50u);
+    EXPECT_EQ(*hit, Cycle{50});
     EXPECT_EQ(m.merges(), 1u);
     // At the fill time the entry retires.
-    EXPECT_FALSE(m.lookup(0x1000, 50).has_value());
+    EXPECT_FALSE(m.lookup(BlockAddr{0x1000}, Cycle{50}).has_value());
 }
 
 TEST(MshrTest, DifferentBlocksDoNotMerge)
 {
     MshrFile m(4);
-    m.allocate(0x1000, 50);
-    EXPECT_FALSE(m.lookup(0x2000, 10).has_value());
+    m.allocate(BlockAddr{0x1000}, Cycle{50});
+    EXPECT_FALSE(m.lookup(BlockAddr{0x2000}, Cycle{10}).has_value());
 }
 
 TEST(MshrTest, FullAfterCapacityAllocations)
 {
     MshrFile m(2);
-    m.allocate(0x1000, 100);
-    EXPECT_FALSE(m.full(0));
-    m.allocate(0x2000, 100);
-    EXPECT_TRUE(m.full(0));
-    EXPECT_EQ(m.occupancy(0), 2u);
+    m.allocate(BlockAddr{0x1000}, Cycle{100});
+    EXPECT_FALSE(m.full(Cycle{}));
+    m.allocate(BlockAddr{0x2000}, Cycle{100});
+    EXPECT_TRUE(m.full(Cycle{}));
+    EXPECT_EQ(m.occupancy(Cycle{}), 2u);
     // Retirement frees capacity.
-    EXPECT_FALSE(m.full(100));
-    EXPECT_EQ(m.occupancy(100), 0u);
+    EXPECT_FALSE(m.full(Cycle{100}));
+    EXPECT_EQ(m.occupancy(Cycle{100}), 0u);
 }
 
 TEST(MshrTest, RetirementIsPerEntry)
 {
     MshrFile m(4);
-    m.allocate(0x1000, 10);
-    m.allocate(0x2000, 20);
-    EXPECT_EQ(m.occupancy(15), 1u);
-    EXPECT_FALSE(m.lookup(0x1000, 15).has_value());
-    EXPECT_TRUE(m.lookup(0x2000, 15).has_value());
+    m.allocate(BlockAddr{0x1000}, Cycle{10});
+    m.allocate(BlockAddr{0x2000}, Cycle{20});
+    EXPECT_EQ(m.occupancy(Cycle{15}), 1u);
+    EXPECT_FALSE(m.lookup(BlockAddr{0x1000}, Cycle{15}).has_value());
+    EXPECT_TRUE(m.lookup(BlockAddr{0x2000}, Cycle{15}).has_value());
 }
 
 TEST(MshrTest, AllocationsCounted)
 {
     MshrFile m(8);
     for (int i = 0; i < 5; ++i)
-        m.allocate(0x1000 + 0x100 * i, 100);
+        m.allocate(BlockAddr{0x1000 + 0x100 * uint64_t(i)}, Cycle{100});
     EXPECT_EQ(m.allocations(), 5u);
     EXPECT_EQ(m.capacity(), 8u);
 }
@@ -75,15 +75,17 @@ TEST(MshrTest, AllocationsCounted)
 TEST(MshrDeathTest, DoubleAllocationPanics)
 {
     MshrFile m(4);
-    m.allocate(0x1000, 100);
-    EXPECT_DEATH(m.allocate(0x1000, 200), "double-allocation");
+    m.allocate(BlockAddr{0x1000}, Cycle{100});
+    EXPECT_DEATH(m.allocate(BlockAddr{0x1000}, Cycle{200}),
+                 "double-allocation");
 }
 
 TEST(MshrDeathTest, AllocateWhenFullPanics)
 {
     MshrFile m(1);
-    m.allocate(0x1000, 100);
-    EXPECT_DEATH(m.allocate(0x2000, 100), "no free entry");
+    m.allocate(BlockAddr{0x1000}, Cycle{100});
+    EXPECT_DEATH(m.allocate(BlockAddr{0x2000}, Cycle{100}),
+                 "no free entry");
 }
 
 } // namespace

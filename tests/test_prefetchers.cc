@@ -22,11 +22,12 @@ MemoryConfig
 quietMemory()
 {
     MemoryConfig cfg;
-    cfg.tlbMissPenalty = 0;
+    cfg.tlbMissPenalty = CycleDelta{};
     return cfg;
 }
 
-constexpr Addr pc = 0x400010;
+constexpr Addr pc{0x400010};
+constexpr unsigned lineBits = 5; // default 32-byte blocks
 
 void
 tickRange(Prefetcher &pf, Cycle from, Cycle to)
@@ -39,26 +40,26 @@ TEST(FarkasPredictorTest, PredictsFixedStrideFromAllocation)
 {
     FarkasStridePredictor pred;
     for (int i = 0; i < 5; ++i)
-        pred.train(pc, 0x1000 + 128 * i);
-    StreamState s = pred.allocateStream(pc, 0x1000 + 128 * 4);
-    EXPECT_EQ(s.stride, 128);
+        pred.train(pc, Addr(0x1000 + 128 * i));
+    StreamState s = pred.allocateStream(pc, Addr{0x1000 + 128 * 4});
+    EXPECT_EQ(s.stride, BlockDelta{128 >> lineBits});
     // The stride is fixed at allocation and never re-read: retraining
     // the table does not bend an existing stream.
-    pred.train(pc, 0x90000);
-    pred.train(pc, 0x90040);
-    pred.train(pc, 0x90080);
+    pred.train(pc, Addr{0x90000});
+    pred.train(pc, Addr{0x90040});
+    pred.train(pc, Addr{0x90080});
     auto p = pred.predictNext(s);
-    EXPECT_EQ(*p, 0x1000u + 128 * 5);
+    EXPECT_EQ(*p, Addr{0x1000 + 128 * 5}.toBlock(lineBits));
 }
 
 TEST(FarkasPredictorTest, TwoMissFilterIsStrideRepetition)
 {
     FarkasStridePredictor pred;
-    pred.train(pc, 0x1000);
-    pred.train(pc, 0x1080);
-    EXPECT_FALSE(pred.twoMissFilterPass(pc, 0x1080));
-    pred.train(pc, 0x1100);
-    EXPECT_TRUE(pred.twoMissFilterPass(pc, 0x1100));
+    pred.train(pc, Addr{0x1000});
+    pred.train(pc, Addr{0x1080});
+    EXPECT_FALSE(pred.twoMissFilterPass(pc, Addr{0x1080}));
+    pred.train(pc, Addr{0x1100});
+    EXPECT_TRUE(pred.twoMissFilterPass(pc, Addr{0x1100}));
 }
 
 TEST(StrideStreamBuffersTest, FollowsStrideStreamEndToEnd)
@@ -67,15 +68,15 @@ TEST(StrideStreamBuffersTest, FollowsStrideStreamEndToEnd)
     StrideStreamBuffers sb({}, {}, hier);
 
     // Train a 128-byte stride, then allocate via two filtered misses.
-    Addr a = 0x10000;
+    Addr a{0x10000};
     for (int i = 0; i < 4; ++i) {
         sb.trainLoad(pc, a + 128 * i, true, false);
         sb.demandMiss(pc, a + 128 * i, Cycle(i));
     }
-    tickRange(sb, 10, 400);
+    tickRange(sb, Cycle{10}, Cycle{400});
     // The next blocks in the stride stream are now prefetched.
-    EXPECT_TRUE(sb.lookup(a + 128 * 4, 1000).hit);
-    EXPECT_TRUE(sb.lookup(a + 128 * 5, 1001).hit);
+    EXPECT_TRUE(sb.lookup(a + 128 * 4, Cycle{1000}).hit);
+    EXPECT_TRUE(sb.lookup(a + 128 * 5, Cycle{1001}).hit);
     EXPECT_GT(sb.stats().prefetchesUsed, 0u);
 }
 
@@ -84,12 +85,12 @@ TEST(StrideStreamBuffersTest, NoAllocationWithoutRepeatedStride)
     MemoryHierarchy hier(quietMemory());
     StrideStreamBuffers sb({}, {}, hier);
     // Random misses never repeat a stride.
-    sb.trainLoad(pc, 0x1000, true, false);
-    sb.demandMiss(pc, 0x1000, 0);
-    sb.trainLoad(pc, 0x9000, true, false);
-    sb.demandMiss(pc, 0x9000, 1);
-    sb.trainLoad(pc, 0x4000, true, false);
-    sb.demandMiss(pc, 0x4000, 2);
+    sb.trainLoad(pc, Addr{0x1000}, true, false);
+    sb.demandMiss(pc, Addr{0x1000}, Cycle{});
+    sb.trainLoad(pc, Addr{0x9000}, true, false);
+    sb.demandMiss(pc, Addr{0x9000}, Cycle{1});
+    sb.trainLoad(pc, Addr{0x4000}, true, false);
+    sb.demandMiss(pc, Addr{0x4000}, Cycle{2});
     EXPECT_EQ(sb.stats().allocations, 0u);
 }
 
@@ -97,11 +98,11 @@ TEST(SequentialStreamBuffersTest, PrefetchesConsecutiveBlocks)
 {
     MemoryHierarchy hier(quietMemory());
     SequentialStreamBuffers sb({}, hier);
-    sb.demandMiss(pc, 0x20000, 0);
-    tickRange(sb, 1, 300);
+    sb.demandMiss(pc, Addr{0x20000}, Cycle{});
+    tickRange(sb, Cycle{1}, Cycle{300});
     // Jouppi buffers fetch the next sequential blocks.
-    EXPECT_TRUE(sb.lookup(0x20020, 1000).hit);
-    EXPECT_TRUE(sb.lookup(0x20040, 1001).hit);
+    EXPECT_TRUE(sb.lookup(Addr{0x20020}, Cycle{1000}).hit);
+    EXPECT_TRUE(sb.lookup(Addr{0x20040}, Cycle{1001}).hit);
 }
 
 TEST(SequentialStreamBuffersTest, EveryMissAllocates)
@@ -109,7 +110,7 @@ TEST(SequentialStreamBuffersTest, EveryMissAllocates)
     MemoryHierarchy hier(quietMemory());
     SequentialStreamBuffers sb({}, hier);
     for (int i = 0; i < 5; ++i)
-        sb.demandMiss(pc, 0x20000 + 0x10000 * i, Cycle(i));
+        sb.demandMiss(pc, Addr(0x20000 + 0x10000 * i), Cycle(i));
     EXPECT_EQ(sb.stats().allocations, 5u);
 }
 
@@ -117,30 +118,30 @@ TEST(NextLineTest, MissTriggersNextBlockPrefetch)
 {
     MemoryHierarchy hier(quietMemory());
     NextLinePrefetcher nlp(hier);
-    nlp.demandMiss(pc, 0x30000, 0);
-    tickRange(nlp, 1, 300);
-    EXPECT_TRUE(nlp.lookup(0x30020, 1000).hit);
-    EXPECT_FALSE(nlp.lookup(0x30040, 1001).hit); // degree 1
+    nlp.demandMiss(pc, Addr{0x30000}, Cycle{});
+    tickRange(nlp, Cycle{1}, Cycle{300});
+    EXPECT_TRUE(nlp.lookup(Addr{0x30020}, Cycle{1000}).hit);
+    EXPECT_FALSE(nlp.lookup(Addr{0x30040}, Cycle{1001}).hit); // degree 1
 }
 
 TEST(NextLineTest, DegreeControlsDepth)
 {
     MemoryHierarchy hier(quietMemory());
     NextLinePrefetcher nlp(hier, 16, /*degree=*/3);
-    nlp.demandMiss(pc, 0x30000, 0);
-    tickRange(nlp, 1, 600);
-    EXPECT_TRUE(nlp.lookup(0x30020, 1000).hit);
-    EXPECT_TRUE(nlp.lookup(0x30040, 1001).hit);
-    EXPECT_TRUE(nlp.lookup(0x30060, 1002).hit);
+    nlp.demandMiss(pc, Addr{0x30000}, Cycle{});
+    tickRange(nlp, Cycle{1}, Cycle{600});
+    EXPECT_TRUE(nlp.lookup(Addr{0x30020}, Cycle{1000}).hit);
+    EXPECT_TRUE(nlp.lookup(Addr{0x30040}, Cycle{1001}).hit);
+    EXPECT_TRUE(nlp.lookup(Addr{0x30060}, Cycle{1002}).hit);
 }
 
 TEST(NextLineTest, DuplicateRequestsCoalesce)
 {
     MemoryHierarchy hier(quietMemory());
     NextLinePrefetcher nlp(hier);
-    nlp.demandMiss(pc, 0x30000, 0);
-    nlp.demandMiss(pc, 0x30000, 1);
-    tickRange(nlp, 2, 300);
+    nlp.demandMiss(pc, Addr{0x30000}, Cycle{});
+    nlp.demandMiss(pc, Addr{0x30000}, Cycle{1});
+    tickRange(nlp, Cycle{2}, Cycle{300});
     EXPECT_EQ(nlp.stats().prefetchesIssued, 1u);
 }
 
@@ -149,13 +150,13 @@ TEST(MarkovPrefetcherTest, LearnsMissTransitionAndPrefetches)
     MemoryHierarchy hier(quietMemory());
     MarkovPrefetcher mp(hier);
     // Train the A -> B transition via the global miss stream.
-    mp.trainLoad(pc, 0x40000, true, false);
-    mp.trainLoad(pc, 0x55000, true, false);
+    mp.trainLoad(pc, Addr{0x40000}, true, false);
+    mp.trainLoad(pc, Addr{0x55000}, true, false);
     // Next miss of A triggers a prefetch of B.
-    mp.trainLoad(pc, 0x40000, true, false);
-    mp.demandMiss(pc, 0x40000, 10);
-    tickRange(mp, 11, 300);
-    EXPECT_TRUE(mp.lookup(0x55000, 1000).hit);
+    mp.trainLoad(pc, Addr{0x40000}, true, false);
+    mp.demandMiss(pc, Addr{0x40000}, Cycle{10});
+    tickRange(mp, Cycle{11}, Cycle{300});
+    EXPECT_TRUE(mp.lookup(Addr{0x55000}, Cycle{1000}).hit);
 }
 
 TEST(MarkovPrefetcherTest, OneShotNoReindexing)
@@ -165,12 +166,12 @@ TEST(MarkovPrefetcherTest, OneShotNoReindexing)
     // prefetch B's successor.
     MemoryHierarchy hier(quietMemory());
     MarkovPrefetcher mp(hier);
-    mp.trainLoad(pc, 0x40000, true, false);
-    mp.trainLoad(pc, 0x55000, true, false);
-    mp.trainLoad(pc, 0x66000, true, false);
-    mp.demandMiss(pc, 0x40000, 10);
-    tickRange(mp, 11, 400);
-    EXPECT_FALSE(mp.lookup(0x66000, 1000).hit);
+    mp.trainLoad(pc, Addr{0x40000}, true, false);
+    mp.trainLoad(pc, Addr{0x55000}, true, false);
+    mp.trainLoad(pc, Addr{0x66000}, true, false);
+    mp.demandMiss(pc, Addr{0x40000}, Cycle{10});
+    tickRange(mp, Cycle{11}, Cycle{400});
+    EXPECT_FALSE(mp.lookup(Addr{0x66000}, Cycle{1000}).hit);
     EXPECT_EQ(mp.stats().prefetchesIssued, 1u);
 }
 
@@ -178,11 +179,11 @@ TEST(MarkovPrefetcherTest, HitsOnlyOnMissStreamTraining)
 {
     MemoryHierarchy hier(quietMemory());
     MarkovPrefetcher mp(hier);
-    mp.trainLoad(pc, 0x40000, /*miss=*/false, false); // hit: ignored
-    mp.trainLoad(pc, 0x55000, true, false);
-    mp.demandMiss(pc, 0x40000, 10);
-    tickRange(mp, 11, 300);
-    EXPECT_FALSE(mp.lookup(0x55000, 1000).hit);
+    mp.trainLoad(pc, Addr{0x40000}, /*miss=*/false, false); // ignored
+    mp.trainLoad(pc, Addr{0x55000}, true, false);
+    mp.demandMiss(pc, Addr{0x40000}, Cycle{10});
+    tickRange(mp, Cycle{11}, Cycle{300});
+    EXPECT_FALSE(mp.lookup(Addr{0x55000}, Cycle{1000}).hit);
 }
 
 TEST(MarkovPrefetcherTest, AdaptivityDisablesUselessEntries)
@@ -195,22 +196,22 @@ TEST(MarkovPrefetcherTest, AdaptivityDisablesUselessEntries)
     // Train A -> B once; then repeatedly trigger A and let the
     // one-entry buffer discard the unused B-prefetch each round by
     // triggering an unrelated transition C -> D.
-    mp.trainLoad(pc, 0x40000, true, false);
-    mp.trainLoad(pc, 0x55000, true, false); // A -> B
-    mp.trainLoad(pc, 0x70020, true, false);
-    mp.trainLoad(pc, 0x81000, true, false); // C -> D
+    mp.trainLoad(pc, Addr{0x40000}, true, false);
+    mp.trainLoad(pc, Addr{0x55000}, true, false); // A -> B
+    mp.trainLoad(pc, Addr{0x70020}, true, false);
+    mp.trainLoad(pc, Addr{0x81000}, true, false); // C -> D
     uint64_t preds_before = 0;
     for (int round = 0; round < 6; ++round) {
-        mp.demandMiss(pc, 0x40000, Cycle(10 * round));
-        for (Cycle c = 10 * round + 1; c < 10u * round + 9; ++c)
+        mp.demandMiss(pc, Addr{0x40000}, Cycle(10 * round));
+        for (Cycle c(10 * round + 1); c < Cycle(10 * round + 9); ++c)
             mp.tick(c);
         // Evict the B prefetch unused with a second prediction.
-        mp.demandMiss(pc, 0x70020, Cycle(10 * round + 9));
+        mp.demandMiss(pc, Addr{0x70020}, Cycle(10 * round + 9));
         preds_before = mp.stats().predictions;
     }
     EXPECT_GT(mp.disabledSuppressed(), 0u);
     // Once disabled, triggering A adds no new prediction.
-    mp.demandMiss(pc, 0x40000, 1000);
+    mp.demandMiss(pc, Addr{0x40000}, Cycle{1000});
     EXPECT_EQ(mp.stats().predictions, preds_before);
 }
 
@@ -218,26 +219,26 @@ TEST(MarkovPrefetcherTest, DisabledEntryReenablesWhenCorrectAgain)
 {
     MemoryHierarchy hier(quietMemory());
     MarkovPrefetcher mp(hier, {}, 1, true);
-    mp.trainLoad(pc, 0x40000, true, false);
-    mp.trainLoad(pc, 0x55000, true, false); // A -> B
-    mp.trainLoad(pc, 0x70020, true, false);
-    mp.trainLoad(pc, 0x81000, true, false); // C -> D
+    mp.trainLoad(pc, Addr{0x40000}, true, false);
+    mp.trainLoad(pc, Addr{0x55000}, true, false); // A -> B
+    mp.trainLoad(pc, Addr{0x70020}, true, false);
+    mp.trainLoad(pc, Addr{0x81000}, true, false); // C -> D
     // Disable A's entry by discarding its prefetches.
     for (int round = 0; round < 6; ++round) {
-        mp.demandMiss(pc, 0x40000, Cycle(10 * round));
-        for (Cycle c = 10 * round + 1; c < 10u * round + 9; ++c)
+        mp.demandMiss(pc, Addr{0x40000}, Cycle(10 * round));
+        for (Cycle c(10 * round + 1); c < Cycle(10 * round + 9); ++c)
             mp.tick(c);
-        mp.demandMiss(pc, 0x70020, Cycle(10 * round + 9));
+        mp.demandMiss(pc, Addr{0x70020}, Cycle(10 * round + 9));
     }
     ASSERT_GT(mp.disabledSuppressed(), 0u);
     // Now the A -> B transition recurs in the miss stream: the
     // suppressed prediction is scored correct and re-enables.
     for (int i = 0; i < 4; ++i) {
-        mp.trainLoad(pc, 0x40000, true, false);
-        mp.trainLoad(pc, 0x55000, true, false);
+        mp.trainLoad(pc, Addr{0x40000}, true, false);
+        mp.trainLoad(pc, Addr{0x55000}, true, false);
     }
     uint64_t preds = mp.stats().predictions;
-    mp.demandMiss(pc, 0x40000, 2000);
+    mp.demandMiss(pc, Addr{0x40000}, Cycle{2000});
     EXPECT_EQ(mp.stats().predictions, preds + 1);
 }
 
@@ -245,15 +246,15 @@ TEST(MarkovPrefetcherTest, NonAdaptiveNeverDisables)
 {
     MemoryHierarchy hier(quietMemory());
     MarkovPrefetcher mp(hier, {}, 1, /*adaptive=*/false);
-    mp.trainLoad(pc, 0x40000, true, false);
-    mp.trainLoad(pc, 0x55000, true, false);
-    mp.trainLoad(pc, 0x70020, true, false);
-    mp.trainLoad(pc, 0x81000, true, false);
+    mp.trainLoad(pc, Addr{0x40000}, true, false);
+    mp.trainLoad(pc, Addr{0x55000}, true, false);
+    mp.trainLoad(pc, Addr{0x70020}, true, false);
+    mp.trainLoad(pc, Addr{0x81000}, true, false);
     for (int round = 0; round < 10; ++round) {
-        mp.demandMiss(pc, 0x40000, Cycle(10 * round));
-        for (Cycle c = 10 * round + 1; c < 10u * round + 9; ++c)
+        mp.demandMiss(pc, Addr{0x40000}, Cycle(10 * round));
+        for (Cycle c(10 * round + 1); c < Cycle(10 * round + 9); ++c)
             mp.tick(c);
-        mp.demandMiss(pc, 0x70020, Cycle(10 * round + 9));
+        mp.demandMiss(pc, Addr{0x70020}, Cycle(10 * round + 9));
     }
     EXPECT_EQ(mp.disabledSuppressed(), 0u);
 }
@@ -267,7 +268,7 @@ TEST(PrefetcherStatsTest, ResetAcrossImplementations)
     MarkovPrefetcher d(hier);
     for (Prefetcher *pf :
          std::initializer_list<Prefetcher *>{&a, &b, &c, &d}) {
-        pf->demandMiss(pc, 0x1000, 0);
+        pf->demandMiss(pc, Addr{0x1000}, Cycle{});
         pf->resetStats();
         EXPECT_EQ(pf->stats().allocationRequests, 0u);
     }

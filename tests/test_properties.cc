@@ -30,7 +30,7 @@ MemoryConfig
 quietMemory()
 {
     MemoryConfig cfg;
-    cfg.tlbMissPenalty = 0;
+    cfg.tlbMissPenalty = CycleDelta{};
     return cfg;
 }
 
@@ -60,11 +60,11 @@ TEST_P(PsbFuzzTest, InvariantsHoldUnderRandomStimulus)
     PredictorDirectedStreamBuffers psb(cfg, sfm, hier);
 
     Xorshift64 rng(param.seed);
-    Cycle now = 0;
+    Cycle now{};
     for (int step = 0; step < 30000; ++step) {
         ++now;
-        Addr pc = 0x400000 + 4 * rng.below(32);
-        Addr addr = 0x10000000 + 32 * rng.below(1 << 14);
+        Addr pc(0x400000 + 4 * rng.below(32));
+        Addr addr(0x10000000 + 32 * rng.below(1 << 14));
         switch (rng.below(5)) {
           case 0:
             psb.trainLoad(pc, addr, rng.below(2) != 0,
@@ -86,7 +86,7 @@ TEST_P(PsbFuzzTest, InvariantsHoldUnderRandomStimulus)
 
         // Invariant 1: no block is held by two buffer entries
         // (non-overlapping streams).
-        std::map<Addr, int> seen;
+        std::map<BlockAddr, int> seen;
         const StreamBufferFile &file = psb.bufferFile();
         for (unsigned b = 0; b < file.numBuffers(); ++b) {
             if (!file.buffer(b).allocated())
@@ -123,9 +123,9 @@ INSTANTIATE_TEST_SUITE_P(
         PsbFuzzParam{AllocPolicy::Confidence, SchedPolicy::Priority, 4},
         PsbFuzzParam{AllocPolicy::Always, SchedPolicy::RoundRobin, 5},
         PsbFuzzParam{AllocPolicy::Always, SchedPolicy::Priority, 6}),
-    [](const auto &info) {
-        return std::string(allocPolicyName(info.param.alloc)) + "_" +
-               schedPolicyName(info.param.sched);
+    [](const auto &pinfo) {
+        return std::string(allocPolicyName(pinfo.param.alloc)) + "_" +
+               schedPolicyName(pinfo.param.sched);
     });
 
 // ---------------------------------------------------------------- //
@@ -140,11 +140,11 @@ TEST_P(HierarchyFuzzTest, TimingAndStateInvariants)
 {
     MemoryHierarchy hier(quietMemory());
     Xorshift64 rng(GetParam());
-    Cycle now = 0;
+    Cycle now{};
 
     for (int step = 0; step < 20000; ++step) {
-        now += rng.below(4);
-        Addr addr = 0x10000000 + 32 * rng.below(1 << 13);
+        now += CycleDelta(rng.below(4));
+        Addr addr(0x10000000 + 32 * rng.below(1 << 13));
         ProbeResult probe = hier.probeData(addr, now);
 
         // A block cannot be both resident-with-data and in flight.
@@ -177,7 +177,7 @@ TEST_P(HierarchyFuzzTest, TimingAndStateInvariants)
 
     // Bus busy time cannot exceed the elapsed wall time plus one
     // maximal queued backlog (transactions are serial).
-    ASSERT_GT(now, 0u);
+    ASSERT_GT(now, Cycle{});
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, HierarchyFuzzTest,
@@ -200,23 +200,23 @@ class RandomTrace : public TraceSource
             return false;
         --_left;
         op = MicroOp{};
-        op.pc = 0x400000 + 4 * _rng.below(256);
+        op.pc = Addr(0x400000 + 4 * _rng.below(256));
         switch (_rng.below(8)) {
           case 0:
             op.op = OpClass::Load;
             op.dst = uint8_t(1 + _rng.below(30));
             op.src1 = uint8_t(1 + _rng.below(30));
-            op.effAddr = 0x10000000 + 8 * _rng.below(1 << 16);
+            op.effAddr = Addr(0x10000000 + 8 * _rng.below(1 << 16));
             break;
           case 1:
             op.op = OpClass::Store;
             op.src1 = uint8_t(1 + _rng.below(30));
-            op.effAddr = 0x10000000 + 8 * _rng.below(1 << 16);
+            op.effAddr = Addr(0x10000000 + 8 * _rng.below(1 << 16));
             break;
           case 2:
             op.op = OpClass::Branch;
             op.taken = _rng.below(2) != 0;
-            op.target = 0x400000 + 4 * _rng.below(256);
+            op.target = Addr(0x400000 + 4 * _rng.below(256));
             break;
           case 3:
             op.op = OpClass::FpMult;
@@ -264,11 +264,11 @@ TEST_P(CoreFuzzTest, DrainsAndCountsExactly)
     cfg.disambiguation = param.dis;
     OoOCore core(cfg, hier, psb, trace);
 
-    Cycle now = 0;
+    Cycle now{};
     while (core.tick(now)) {
         psb.tick(now);
         ++now;
-        ASSERT_LT(now, 10'000'000u) << "core failed to drain";
+        ASSERT_LT(now, Cycle{10'000'000}) << "core failed to drain";
     }
 
     const CoreStats &s = core.stats();
@@ -288,9 +288,9 @@ INSTANTIATE_TEST_SUITE_P(
         CoreFuzzParam{103, DisambiguationMode::Learned},
         CoreFuzzParam{104, DisambiguationMode::Perfect},
         CoreFuzzParam{105, DisambiguationMode::Learned}),
-    [](const auto &info) {
-        return std::string(disambiguationModeName(info.param.dis)) +
-               "_" + std::to_string(info.param.seed);
+    [](const auto &pinfo) {
+        return std::string(disambiguationModeName(pinfo.param.dis)) +
+               "_" + std::to_string(pinfo.param.seed);
     });
 
 // ---------------------------------------------------------------- //
@@ -378,9 +378,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(RegistryFuzzParam{"health", 7},
                       RegistryFuzzParam{"gs", 8},
                       RegistryFuzzParam{"turb3d", 9}),
-    [](const auto &info) {
-        return std::string(info.param.workload) + "_" +
-               std::to_string(info.param.seed);
+    [](const auto &pinfo) {
+        return std::string(pinfo.param.workload) + "_" +
+               std::to_string(pinfo.param.seed);
     });
 
 } // namespace

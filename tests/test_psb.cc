@@ -19,6 +19,8 @@ namespace psb
 namespace
 {
 
+constexpr unsigned lineBits = 5; // default 32-byte blocks
+
 /** Fully scriptable predictor. */
 class MockPredictor : public AddressPredictor
 {
@@ -28,11 +30,11 @@ class MockPredictor : public AddressPredictor
         trained.push_back({pc, addr});
     }
 
-    std::optional<Addr>
+    std::optional<BlockAddr>
     predictNext(StreamState &state) const override
     {
         ++predictCalls;
-        if (!chainStep)
+        if (chainStep == BlockDelta{})
             return std::nullopt;
         state.lastAddr += chainStep;
         return state.lastAddr;
@@ -43,7 +45,7 @@ class MockPredictor : public AddressPredictor
     {
         StreamState s;
         s.loadPc = pc;
-        s.lastAddr = addr & ~Addr(31);
+        s.lastAddr = addr.toBlock(lineBits);
         s.stride = chainStep;
         s.confidence = conf.count(pc) ? conf.at(pc) : 0;
         return s;
@@ -61,7 +63,7 @@ class MockPredictor : public AddressPredictor
         return twoMissPass.count(pc) ? twoMissPass.at(pc) : false;
     }
 
-    int64_t chainStep = 32; ///< 0 => predictor has no prediction
+    BlockDelta chainStep{1}; ///< zero => predictor has no prediction
     std::map<Addr, uint32_t> conf;
     std::map<Addr, bool> twoMissPass;
     mutable uint64_t predictCalls = 0;
@@ -72,7 +74,7 @@ MemoryConfig
 quietMemory()
 {
     MemoryConfig cfg;
-    cfg.tlbMissPenalty = 0;
+    cfg.tlbMissPenalty = CycleDelta{};
     return cfg;
 }
 
@@ -105,13 +107,13 @@ class PsbTest : public ::testing::Test
 TEST_F(PsbTest, TwoMissFilterGatesAllocation)
 {
     auto psb = make(AllocPolicy::TwoMiss, SchedPolicy::RoundRobin);
-    predictor.twoMissPass[0x400010] = false;
-    psb.demandMiss(0x400010, 0x1000, 0);
+    predictor.twoMissPass[Addr{0x400010}] = false;
+    psb.demandMiss(Addr{0x400010}, Addr{0x1000}, Cycle{});
     EXPECT_EQ(psb.stats().allocations, 0u);
     EXPECT_EQ(psb.stats().allocationsFiltered, 1u);
 
-    predictor.twoMissPass[0x400010] = true;
-    psb.demandMiss(0x400010, 0x1000, 1);
+    predictor.twoMissPass[Addr{0x400010}] = true;
+    psb.demandMiss(Addr{0x400010}, Addr{0x1000}, Cycle{1});
     EXPECT_EQ(psb.stats().allocations, 1u);
     EXPECT_TRUE(psb.bufferFile().buffer(0).allocated());
 }
@@ -119,12 +121,12 @@ TEST_F(PsbTest, TwoMissFilterGatesAllocation)
 TEST_F(PsbTest, ConfidenceThresholdGatesAllocation)
 {
     auto psb = make(AllocPolicy::Confidence, SchedPolicy::Priority);
-    predictor.conf[0x400010] = 0; // below the paper's threshold of 1
-    psb.demandMiss(0x400010, 0x1000, 0);
+    predictor.conf[Addr{0x400010}] = 0; // below the threshold of 1
+    psb.demandMiss(Addr{0x400010}, Addr{0x1000}, Cycle{});
     EXPECT_EQ(psb.stats().allocations, 0u);
 
-    predictor.conf[0x400010] = 1;
-    psb.demandMiss(0x400010, 0x1000, 1);
+    predictor.conf[Addr{0x400010}] = 1;
+    psb.demandMiss(Addr{0x400010}, Addr{0x1000}, Cycle{1});
     EXPECT_EQ(psb.stats().allocations, 1u);
     // The accuracy confidence is copied into the priority counter.
     EXPECT_EQ(psb.bufferFile().buffer(0).priority.value(), 1u);
@@ -133,10 +135,11 @@ TEST_F(PsbTest, ConfidenceThresholdGatesAllocation)
 TEST_F(PsbTest, ConfidenceAllocationMustBeatSomePriorityCounter)
 {
     auto psb = make(AllocPolicy::Confidence, SchedPolicy::Priority);
-    predictor.conf[0x400010] = 7;
+    predictor.conf[Addr{0x400010}] = 7;
     // Fill all 8 buffers with priority-7 streams.
     for (unsigned i = 0; i < 8; ++i)
-        psb.demandMiss(0x400010, 0x1000 + 0x100 * i, i);
+        psb.demandMiss(Addr{0x400010}, Addr(0x1000 + 0x100 * i),
+                       Cycle(i));
     EXPECT_EQ(psb.stats().allocations, 8u);
 
     // Bump every buffer's priority above the candidate's confidence.
@@ -144,41 +147,42 @@ TEST_F(PsbTest, ConfidenceAllocationMustBeatSomePriorityCounter)
         const_cast<StreamBuffer &>(psb.bufferFile().buffer(b))
             .priority.set(9);
     }
-    predictor.conf[0x400020] = 7;
-    psb.demandMiss(0x400020, 0x9000, 10);
+    predictor.conf[Addr{0x400020}] = 7;
+    psb.demandMiss(Addr{0x400020}, Addr{0x9000}, Cycle{10});
     EXPECT_EQ(psb.stats().allocations, 8u); // rejected: 7 < 9
 
     // Lower one buffer: now the candidate wins that buffer.
     const_cast<StreamBuffer &>(psb.bufferFile().buffer(5))
         .priority.set(3);
-    psb.demandMiss(0x400020, 0x9000, 11);
+    psb.demandMiss(Addr{0x400020}, Addr{0x9000}, Cycle{11});
     EXPECT_EQ(psb.stats().allocations, 9u);
-    EXPECT_EQ(psb.bufferFile().buffer(5).state.loadPc, 0x400020u);
+    EXPECT_EQ(psb.bufferFile().buffer(5).state.loadPc, Addr{0x400020});
 }
 
 TEST_F(PsbTest, AlwaysPolicyAllocatesEveryMiss)
 {
     auto psb = make(AllocPolicy::Always, SchedPolicy::RoundRobin);
     for (unsigned i = 0; i < 12; ++i)
-        psb.demandMiss(0x400010, 0x1000 + 0x100 * i, i);
+        psb.demandMiss(Addr{0x400010}, Addr(0x1000 + 0x100 * i),
+                       Cycle(i));
     EXPECT_EQ(psb.stats().allocations, 12u);
 }
 
 TEST_F(PsbTest, OnePredictionPerCycleSharedAcrossBuffers)
 {
     auto psb = make(AllocPolicy::Always, SchedPolicy::RoundRobin);
-    psb.demandMiss(0x400010, 0x1000, 0);
-    psb.demandMiss(0x400020, 0x8000, 0);
+    psb.demandMiss(Addr{0x400010}, Addr{0x1000}, Cycle{});
+    psb.demandMiss(Addr{0x400020}, Addr{0x8000}, Cycle{});
     uint64_t calls_before = predictor.predictCalls;
-    psb.tick(1);
+    psb.tick(Cycle{1});
     EXPECT_EQ(predictor.predictCalls, calls_before + 1);
 }
 
 TEST_F(PsbTest, PredictionsFillEntriesThenStop)
 {
     auto psb = make(AllocPolicy::Always, SchedPolicy::RoundRobin);
-    psb.demandMiss(0x400010, 0x1000, 0);
-    run(psb, 1, 40);
+    psb.demandMiss(Addr{0x400010}, Addr{0x1000}, Cycle{});
+    run(psb, Cycle{1}, Cycle{40});
     // 4 entries filled, then the buffer stops predicting.
     EXPECT_EQ(psb.stats().predictions, 4u);
     const StreamBuffer &buf = psb.bufferFile().buffer(0);
@@ -190,12 +194,12 @@ TEST_F(PsbTest, DuplicateSuppressionAcrossBuffers)
 {
     auto psb = make(AllocPolicy::Always, SchedPolicy::RoundRobin);
     // Two streams whose chains collide: same start, same step.
-    psb.demandMiss(0x400010, 0x1000, 0);
-    psb.demandMiss(0x400020, 0x1000, 0);
-    run(psb, 1, 60);
+    psb.demandMiss(Addr{0x400010}, Addr{0x1000}, Cycle{});
+    psb.demandMiss(Addr{0x400020}, Addr{0x1000}, Cycle{});
+    run(psb, Cycle{1}, Cycle{60});
     EXPECT_GT(psb.stats().duplicateSuppressed, 0u);
     // No block appears twice across all buffers.
-    std::map<Addr, int> seen;
+    std::map<BlockAddr, int> seen;
     for (unsigned b = 0; b < psb.bufferFile().numBuffers(); ++b) {
         for (const auto &e : psb.bufferFile().buffer(b).entries()) {
             if (e.valid) {
@@ -208,16 +212,16 @@ TEST_F(PsbTest, DuplicateSuppressionAcrossBuffers)
 TEST_F(PsbTest, PrefetchRequiresFreeBus)
 {
     auto psb = make(AllocPolicy::Always, SchedPolicy::RoundRobin);
-    psb.demandMiss(0x400010, 0x1000, 0);
-    psb.tick(1); // one prediction made
+    psb.demandMiss(Addr{0x400010}, Addr{0x1000}, Cycle{});
+    psb.tick(Cycle{1}); // one prediction made
     // Occupy the bus with a demand miss.
-    hier.missToL2(0x90000, 2, false);
-    ASSERT_FALSE(hier.l1ToL2BusFree(2));
+    hier.missToL2(Addr{0x90000}, Cycle{2}, false);
+    ASSERT_FALSE(hier.l1ToL2BusFree(Cycle{2}));
     uint64_t issued_before = psb.stats().prefetchesIssued;
-    psb.tick(2);
+    psb.tick(Cycle{2});
     EXPECT_EQ(psb.stats().prefetchesIssued, issued_before);
     // Once the bus frees, the prefetch goes out.
-    Cycle c = 3;
+    Cycle c{3};
     while (!hier.l1ToL2BusFree(c))
         ++c;
     psb.tick(c);
@@ -227,96 +231,103 @@ TEST_F(PsbTest, PrefetchRequiresFreeBus)
 TEST_F(PsbTest, LookupHitFreesEntryAndRaisesPriority)
 {
     auto psb = make(AllocPolicy::Confidence, SchedPolicy::Priority);
-    predictor.conf[0x400010] = 2;
-    psb.demandMiss(0x400010, 0x1000, 0);
-    run(psb, 1, 50); // predict + prefetch
+    predictor.conf[Addr{0x400010}] = 2;
+    psb.demandMiss(Addr{0x400010}, Addr{0x1000}, Cycle{});
+    run(psb, Cycle{1}, Cycle{50}); // predict + prefetch
 
     const StreamBuffer &buf = psb.bufferFile().buffer(0);
     uint32_t pri_before = buf.priority.value();
     ASSERT_EQ(pri_before, 2u);
 
     // The first predicted block is 0x1020 (start + 32).
-    PrefetchLookup hit = psb.lookup(0x1024, 1000);
+    PrefetchLookup hit = psb.lookup(Addr{0x1024}, Cycle{1000});
     EXPECT_TRUE(hit.hit);
     EXPECT_FALSE(hit.dataPending); // long past the fill
     EXPECT_EQ(buf.priority.value(), pri_before + 2);
     EXPECT_EQ(psb.stats().hits, 1u);
     EXPECT_EQ(psb.stats().prefetchesUsed, 1u);
     // Entry freed: a repeat lookup misses.
-    EXPECT_FALSE(psb.lookup(0x1024, 1001).hit);
+    EXPECT_FALSE(psb.lookup(Addr{0x1024}, Cycle{1001}).hit);
 }
 
 TEST_F(PsbTest, LookupHitWithDataPending)
 {
     auto psb = make(AllocPolicy::Always, SchedPolicy::RoundRobin);
-    psb.demandMiss(0x400010, 0x1000, 0);
-    run(psb, 1, 4); // prediction + prefetch just issued
-    PrefetchLookup hit = psb.lookup(0x1020, 4);
+    psb.demandMiss(Addr{0x400010}, Addr{0x1000}, Cycle{});
+    run(psb, Cycle{1}, Cycle{4}); // prediction + prefetch just issued
+    PrefetchLookup hit = psb.lookup(Addr{0x1020}, Cycle{4});
     ASSERT_TRUE(hit.hit);
     EXPECT_TRUE(hit.dataPending);
-    EXPECT_GT(hit.ready, 4u);
+    EXPECT_GT(hit.ready, Cycle{4});
     EXPECT_EQ(psb.stats().hitsPending, 1u);
 }
 
 TEST_F(PsbTest, LateTagHitReconciledOnDemandFill)
 {
     auto psb = make(AllocPolicy::Always, SchedPolicy::RoundRobin);
-    psb.demandMiss(0x400010, 0x1000, 0);
-    hier.missToL2(0x90000, 0, false); // keep the bus busy
-    psb.tick(1); // prediction made, prefetch blocked
+    psb.demandMiss(Addr{0x400010}, Addr{0x1000}, Cycle{});
+    hier.missToL2(Addr{0x90000}, Cycle{}, false); // keep the bus busy
+    psb.tick(Cycle{1}); // prediction made, prefetch blocked
     ASSERT_EQ(psb.stats().prefetchesIssued, 0u);
 
     // A lookup of the predicted-but-unissued block is not a hit, and
     // it must NOT consume the entry (the access may be an MSHR-full
     // retry that will come back).
-    PrefetchLookup lkp = psb.lookup(0x1020, 2);
+    PrefetchLookup lkp = psb.lookup(Addr{0x1020}, Cycle{2});
     EXPECT_FALSE(lkp.hit);
     EXPECT_EQ(psb.stats().lateTagHits, 0u);
-    EXPECT_EQ(psb.bufferFile().buffer(0).findEntry(0x1020), 0);
+    EXPECT_EQ(psb.bufferFile().buffer(0).findEntry(
+                  Addr{0x1020}.toBlock(lineBits)),
+              0);
 
     // Once the demand fill actually proceeds, demandMiss() reconciles:
     // the entry is released, counted as a late tag hit, and no
     // allocation request is charged (the stream is tracking fine).
     uint64_t requests_before = psb.stats().allocationRequests;
-    psb.demandMiss(0x400010, 0x1020, 3);
+    psb.demandMiss(Addr{0x400010}, Addr{0x1020}, Cycle{3});
     EXPECT_EQ(psb.stats().lateTagHits, 1u);
     EXPECT_EQ(psb.stats().allocationRequests, requests_before);
-    EXPECT_EQ(psb.bufferFile().buffer(0).findEntry(0x1020), -1);
+    EXPECT_EQ(psb.bufferFile().buffer(0).findEntry(
+                  Addr{0x1020}.toBlock(lineBits)),
+              -1);
 }
 
 TEST_F(PsbTest, AgingDecrementsPriorityCounters)
 {
     auto psb = make(AllocPolicy::Confidence, SchedPolicy::Priority);
-    predictor.conf[0x400010] = 7;
-    psb.demandMiss(0x400010, 0x1000, 0);
+    predictor.conf[Addr{0x400010}] = 7;
+    psb.demandMiss(Addr{0x400010}, Addr{0x1000}, Cycle{});
     ASSERT_EQ(psb.bufferFile().buffer(0).priority.value(), 7u);
 
     // The aging period is 10 allocation requests; send unallocatable
     // requests (confidence 0 PC) to age the counters.
     for (unsigned i = 0; i < 10; ++i)
-        psb.demandMiss(0x400099, 0x5000, i);
+        psb.demandMiss(Addr{0x400099}, Addr{0x5000}, Cycle(i));
     EXPECT_EQ(psb.bufferFile().buffer(0).priority.value(), 6u);
     for (unsigned i = 0; i < 20; ++i)
-        psb.demandMiss(0x400099, 0x5000, i);
+        psb.demandMiss(Addr{0x400099}, Addr{0x5000}, Cycle(i));
     EXPECT_EQ(psb.bufferFile().buffer(0).priority.value(), 4u);
 }
 
 TEST_F(PsbTest, TrainingForwardedOnlyForRealMisses)
 {
     auto psb = make(AllocPolicy::Always, SchedPolicy::RoundRobin);
-    psb.trainLoad(0x400010, 0x1000, /*miss=*/true, /*fwd=*/false);
-    psb.trainLoad(0x400010, 0x2000, /*miss=*/false, /*fwd=*/false);
-    psb.trainLoad(0x400010, 0x3000, /*miss=*/true, /*fwd=*/true);
+    psb.trainLoad(Addr{0x400010}, Addr{0x1000}, /*miss=*/true,
+                  /*fwd=*/false);
+    psb.trainLoad(Addr{0x400010}, Addr{0x2000}, /*miss=*/false,
+                  /*fwd=*/false);
+    psb.trainLoad(Addr{0x400010}, Addr{0x3000}, /*miss=*/true,
+                  /*fwd=*/true);
     ASSERT_EQ(predictor.trained.size(), 1u);
-    EXPECT_EQ(predictor.trained[0].second, 0x1000u);
+    EXPECT_EQ(predictor.trained[0].second, Addr{0x1000});
 }
 
 TEST_F(PsbTest, NoPredictionFromEmptyPredictor)
 {
-    predictor.chainStep = 0; // predictor has nothing to say
+    predictor.chainStep = BlockDelta{}; // predictor has nothing to say
     auto psb = make(AllocPolicy::Always, SchedPolicy::RoundRobin);
-    psb.demandMiss(0x400010, 0x1000, 0);
-    run(psb, 1, 20);
+    psb.demandMiss(Addr{0x400010}, Addr{0x1000}, Cycle{});
+    run(psb, Cycle{1}, Cycle{20});
     EXPECT_EQ(psb.stats().predictions, 0u);
     EXPECT_EQ(psb.stats().prefetchesIssued, 0u);
 }
@@ -325,21 +336,21 @@ TEST_F(PsbTest, ReallocationStealsLruHitBuffer)
 {
     auto psb = make(AllocPolicy::TwoMiss, SchedPolicy::RoundRobin);
     for (unsigned i = 0; i < 9; ++i) {
-        Addr pc = 0x400010 + 0x10 * i;
+        Addr pc(0x400010 + 0x10 * i);
         predictor.twoMissPass[pc] = true;
-        psb.demandMiss(pc, 0x1000 + 0x100 * i, i);
+        psb.demandMiss(pc, Addr(0x1000 + 0x100 * i), Cycle(i));
     }
     // 9 allocations into 8 buffers: buffer 0 (never hit, oldest) was
     // stolen by the ninth stream.
     EXPECT_EQ(psb.stats().allocations, 9u);
-    EXPECT_EQ(psb.bufferFile().buffer(0).state.loadPc, 0x400090u);
+    EXPECT_EQ(psb.bufferFile().buffer(0).state.loadPc, Addr{0x400090});
 }
 
 TEST_F(PsbTest, StatsResetKeepsStreams)
 {
     auto psb = make(AllocPolicy::Always, SchedPolicy::RoundRobin);
-    psb.demandMiss(0x400010, 0x1000, 0);
-    run(psb, 1, 20);
+    psb.demandMiss(Addr{0x400010}, Addr{0x1000}, Cycle{});
+    run(psb, Cycle{1}, Cycle{20});
     psb.resetStats();
     EXPECT_EQ(psb.stats().predictions, 0u);
     EXPECT_TRUE(psb.bufferFile().buffer(0).allocated());

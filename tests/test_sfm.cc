@@ -17,7 +17,8 @@ namespace psb
 namespace
 {
 
-constexpr Addr pc = 0x400010;
+constexpr Addr pc{0x400010};
+constexpr unsigned lineBits = 5; // default 32-byte blocks
 
 TEST(SfmTest, StrideStreamStaysOutOfMarkovTable)
 {
@@ -25,7 +26,7 @@ TEST(SfmTest, StrideStreamStaysOutOfMarkovTable)
     // filtered out of the Markov table.
     SfmPredictor sfm;
     for (int i = 0; i < 50; ++i)
-        sfm.train(pc, 0x10000 + 64 * i);
+        sfm.train(pc, Addr(0x10000 + 64 * i));
     // After the two-delta warms up, all transitions match the stride:
     // the Markov table holds at most the first couple of updates.
     EXPECT_LE(sfm.markovTable().population(), 2u);
@@ -34,8 +35,9 @@ TEST(SfmTest, StrideStreamStaysOutOfMarkovTable)
 TEST(SfmTest, PointerStreamPopulatesMarkovTable)
 {
     SfmPredictor sfm;
-    std::vector<Addr> chain = {0x10000, 0x39000, 0x12340, 0x88100,
-                               0x20980, 0x41200};
+    std::vector<Addr> chain = {Addr{0x10000}, Addr{0x39000},
+                               Addr{0x12340}, Addr{0x88100},
+                               Addr{0x20980}, Addr{0x41200}};
     for (int pass = 0; pass < 3; ++pass)
         for (Addr a : chain)
             sfm.train(pc, a);
@@ -45,7 +47,8 @@ TEST(SfmTest, PointerStreamPopulatesMarkovTable)
 TEST(SfmTest, PredictNextFollowsMarkovChain)
 {
     SfmPredictor sfm;
-    std::vector<Addr> chain = {0x10000, 0x39000, 0x12340, 0x88100};
+    std::vector<Addr> chain = {Addr{0x10000}, Addr{0x39000},
+                               Addr{0x12340}, Addr{0x88100}};
     for (int pass = 0; pass < 3; ++pass)
         for (Addr a : chain)
             sfm.train(pc, a);
@@ -54,7 +57,7 @@ TEST(SfmTest, PredictNextFollowsMarkovChain)
     for (size_t i = 1; i < chain.size(); ++i) {
         auto p = sfm.predictNext(s);
         ASSERT_TRUE(p.has_value());
-        EXPECT_EQ(*p, chain[i] & ~Addr(31));
+        EXPECT_EQ(*p, chain[i].toBlock(lineBits));
     }
 }
 
@@ -62,21 +65,22 @@ TEST(SfmTest, PredictNextFallsBackToStride)
 {
     SfmPredictor sfm;
     for (int i = 0; i < 10; ++i)
-        sfm.train(pc, 0x10000 + 64 * i);
-    StreamState s = sfm.allocateStream(pc, 0x10000 + 64 * 9);
-    EXPECT_EQ(s.stride, 64);
+        sfm.train(pc, Addr(0x10000 + 64 * i));
+    StreamState s = sfm.allocateStream(pc, Addr{0x10000 + 64 * 9});
+    EXPECT_EQ(s.stride, BlockDelta{2}); // 64 bytes at 32B blocks
     auto p = sfm.predictNext(s);
     ASSERT_TRUE(p.has_value());
-    EXPECT_EQ(*p, 0x10000u + 64 * 10);
+    EXPECT_EQ(*p, Addr{0x10000 + 64 * 10}.toBlock(lineBits));
     // And the stream keeps striding, one block per prediction.
     auto p2 = sfm.predictNext(s);
-    EXPECT_EQ(*p2, 0x10000u + 64 * 11);
+    EXPECT_EQ(*p2, Addr{0x10000 + 64 * 11}.toBlock(lineBits));
 }
 
 TEST(SfmTest, PredictionDoesNotModifyTables)
 {
     SfmPredictor sfm;
-    std::vector<Addr> chain = {0x10000, 0x39000, 0x12340};
+    std::vector<Addr> chain = {Addr{0x10000}, Addr{0x39000},
+                               Addr{0x12340}};
     for (int pass = 0; pass < 3; ++pass)
         for (Addr a : chain)
             sfm.train(pc, a);
@@ -96,7 +100,8 @@ TEST(SfmTest, PerStreamStateIsIndependent)
     // Two streams over the same tables advance independently — the
     // "per-stream history" half of the PSB design.
     SfmPredictor sfm;
-    std::vector<Addr> chain = {0x10000, 0x39000, 0x12340, 0x88100};
+    std::vector<Addr> chain = {Addr{0x10000}, Addr{0x39000},
+                               Addr{0x12340}, Addr{0x88100}};
     for (int pass = 0; pass < 3; ++pass)
         for (Addr a : chain)
             sfm.train(pc, a);
@@ -106,8 +111,8 @@ TEST(SfmTest, PerStreamStateIsIndependent)
     sfm.predictNext(s1);
     sfm.predictNext(s1); // s1 two steps ahead
     auto p2 = sfm.predictNext(s2); // s2 still at step one
-    EXPECT_EQ(*p2, chain[1] & ~Addr(31));
-    EXPECT_EQ(s1.lastAddr, chain[2] & ~Addr(31));
+    EXPECT_EQ(*p2, chain[1].toBlock(lineBits));
+    EXPECT_EQ(s1.lastAddr, chain[2].toBlock(lineBits));
 }
 
 TEST(SfmTest, ConfidenceGrowsOnPredictableMissStream)
@@ -115,9 +120,9 @@ TEST(SfmTest, ConfidenceGrowsOnPredictableMissStream)
     SfmPredictor sfm;
     EXPECT_EQ(sfm.confidence(pc), 0u);
     for (int i = 0; i < 20; ++i)
-        sfm.train(pc, 0x10000 + 64 * i);
+        sfm.train(pc, Addr(0x10000 + 64 * i));
     EXPECT_EQ(sfm.confidence(pc), 7u);
-    EXPECT_TRUE(sfm.twoMissFilterPass(pc, 0x10000));
+    EXPECT_TRUE(sfm.twoMissFilterPass(pc, Addr{0x10000}));
 }
 
 TEST(SfmTest, ConfidenceStaysLowOnRandomStream)
@@ -125,7 +130,7 @@ TEST(SfmTest, ConfidenceStaysLowOnRandomStream)
     SfmPredictor sfm;
     Xorshift64 rng(3);
     for (int i = 0; i < 100; ++i)
-        sfm.train(pc, 0x10000000 + (rng.next() % (1u << 26)));
+        sfm.train(pc, Addr(0x10000000 + (rng.next() % (1u << 26))));
     EXPECT_LE(sfm.confidence(pc), 1u);
 }
 
@@ -133,11 +138,11 @@ TEST(SfmTest, AllocateStreamCopiesPredictionInfo)
 {
     SfmPredictor sfm;
     for (int i = 0; i < 20; ++i)
-        sfm.train(pc, 0x10000 + 64 * i);
-    StreamState s = sfm.allocateStream(pc, 0x20004);
+        sfm.train(pc, Addr(0x10000 + 64 * i));
+    StreamState s = sfm.allocateStream(pc, Addr{0x20004});
     EXPECT_EQ(s.loadPc, pc);
-    EXPECT_EQ(s.lastAddr, 0x20000u); // block aligned
-    EXPECT_EQ(s.stride, 64);
+    EXPECT_EQ(s.lastAddr, Addr{0x20004}.toBlock(lineBits));
+    EXPECT_EQ(s.stride, BlockDelta{2});
     EXPECT_EQ(s.confidence, 7u);
 }
 
@@ -148,16 +153,16 @@ TEST(SfmTest, MarkovTakesPriorityOverStride)
     SfmPredictor sfm;
     // Train a stride first...
     for (int i = 0; i < 6; ++i)
-        sfm.train(pc, 0x10000 + 64 * i);
+        sfm.train(pc, Addr(0x10000 + 64 * i));
     // ...then a non-stride transition from the last address.
-    Addr last = 0x10000 + 64 * 5;
-    sfm.train(pc, 0x77000);
+    Addr last{0x10000 + 64 * 5};
+    sfm.train(pc, Addr{0x77000});
     (void)last;
     // Rebuild the stream at the address with the Markov transition.
-    StreamState s = sfm.allocateStream(pc, 0x10000 + 64 * 5);
+    StreamState s = sfm.allocateStream(pc, Addr{0x10000 + 64 * 5});
     auto p = sfm.predictNext(s);
     ASSERT_TRUE(p.has_value());
-    EXPECT_EQ(*p, 0x77000u & ~Addr(31));
+    EXPECT_EQ(*p, Addr{0x77000}.toBlock(lineBits));
 }
 
 TEST(SfmTest, StrideOnlyModeNeverUsesMarkov)
@@ -165,7 +170,8 @@ TEST(SfmTest, StrideOnlyModeNeverUsesMarkov)
     SfmConfig cfg;
     cfg.mode = SfmMode::StrideOnly;
     SfmPredictor sfm(cfg);
-    std::vector<Addr> chain = {0x10000, 0x39000, 0x12340};
+    std::vector<Addr> chain = {Addr{0x10000}, Addr{0x39000},
+                               Addr{0x12340}};
     for (int pass = 0; pass < 3; ++pass)
         for (Addr a : chain)
             sfm.train(pc, a);
@@ -179,10 +185,10 @@ TEST(SfmTest, MarkovOnlyModeRecordsEveryTransition)
     SfmPredictor sfm(cfg);
     // A pure stride stream: the unfiltered Markov table records it.
     for (int i = 0; i < 10; ++i)
-        sfm.train(pc, 0x10000 + 64 * i);
+        sfm.train(pc, Addr(0x10000 + 64 * i));
     EXPECT_GE(sfm.markovTable().population(), 8u);
     // And with no stride fallback, an untrained state predicts nothing.
-    StreamState s = sfm.allocateStream(pc, 0xdead0000);
+    StreamState s = sfm.allocateStream(pc, Addr{0xdead0000});
     EXPECT_FALSE(sfm.predictNext(s).has_value());
 }
 
@@ -190,7 +196,7 @@ TEST(SfmTest, CoverageCountersTrackAccuracy)
 {
     SfmPredictor sfm;
     for (int i = 0; i < 21; ++i)
-        sfm.train(pc, 0x10000 + 64 * i);
+        sfm.train(pc, Addr(0x10000 + 64 * i));
     // First train is an allocation; the next two establish the
     // stride; nearly everything after is predicted.
     EXPECT_EQ(sfm.trainEvents(), 20u);

@@ -43,8 +43,8 @@ TEST(SimConfigTest, BaselineMatchesPaperParameters)
     EXPECT_EQ(cfg.core.fetchWidth, 8u);
     EXPECT_EQ(cfg.core.robEntries, 128u);
     EXPECT_EQ(cfg.core.lsqEntries, 64u);
-    EXPECT_EQ(cfg.core.mispredictPenalty, 8u);
-    EXPECT_EQ(cfg.core.storeForwardLatency, 2u);
+    EXPECT_EQ(cfg.core.mispredictPenalty, CycleDelta{8});
+    EXPECT_EQ(cfg.core.storeForwardLatency, CycleDelta{2});
     EXPECT_EQ(cfg.core.disambiguation, DisambiguationMode::Perfect);
     EXPECT_EQ(cfg.memory.l1d.sizeBytes, 32u * 1024);
     EXPECT_EQ(cfg.memory.l1d.assoc, 4u);
@@ -52,8 +52,8 @@ TEST(SimConfigTest, BaselineMatchesPaperParameters)
     EXPECT_EQ(cfg.memory.l1i.assoc, 2u);
     EXPECT_EQ(cfg.memory.l2.sizeBytes, 1024u * 1024);
     EXPECT_EQ(cfg.memory.l2.blockBytes, 64u);
-    EXPECT_EQ(cfg.memory.l2Latency, 12u);
-    EXPECT_EQ(cfg.memory.memLatency, 120u);
+    EXPECT_EQ(cfg.memory.l2Latency, CycleDelta{12});
+    EXPECT_EQ(cfg.memory.memLatency, CycleDelta{120});
     EXPECT_EQ(cfg.memory.l1L2BusBytesPerCycle, 8u);
     EXPECT_EQ(cfg.memory.l2MemBusBytesPerCycle, 4u);
     // Stream buffers: 8 x 4 entries; tables: 256-entry 4-way stride,
@@ -153,8 +153,8 @@ TEST(SimulatorTest, MissHookSeesLoadMissStream)
     Simulator sim(cfg, *w);
     uint64_t hook_calls = 0;
     sim.setMissHook([&](Addr pc, Addr addr) {
-        EXPECT_GE(pc, 0x00400000u);
-        EXPECT_GE(addr, 0x10000000u);
+        EXPECT_GE(pc, Addr{0x00400000});
+        EXPECT_GE(addr, Addr{0x10000000});
         ++hook_calls;
     });
     SimResult r = sim.run();

@@ -13,8 +13,8 @@ namespace psb
 namespace
 {
 
-constexpr Addr load_pc = 0x400100;
-constexpr Addr store_pc = 0x400200;
+constexpr Addr load_pc{0x400100};
+constexpr Addr store_pc{0x400200};
 
 TEST(StoreSetsTest, ModeNames)
 {
@@ -69,7 +69,7 @@ TEST(StoreSetsTest, LaterStoreReplacesLfstEntry)
 TEST(StoreSetsTest, ViolationMergesExistingSets)
 {
     StoreSetPredictor ssp;
-    Addr store2_pc = 0x400300;
+    Addr store2_pc{0x400300};
     ssp.recordViolation(load_pc, store_pc);
     ssp.recordViolation(load_pc, store2_pc);
     // Both stores now funnel through the same set: the load waits for
@@ -86,7 +86,7 @@ TEST(StoreSetsTest, PeriodicClearForgetsStaleSets)
     ssp.dispatch(store_pc, true, 1);
     // Push past the clear interval.
     for (uint64_t i = 0; i < 10; ++i)
-        ssp.dispatch(0x600000 + 4 * i, false, 100 + i);
+        ssp.dispatch(Addr{0x600000 + 4 * i}, false, 100 + i);
     EXPECT_EQ(ssp.dispatch(load_pc, false, 200), 0u);
 }
 

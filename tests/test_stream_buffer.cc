@@ -25,11 +25,11 @@ TEST(StreamBufferTest, AllocationResetsEntries)
     EXPECT_FALSE(buf.allocated());
     buf.entries()[0].valid = true;
     StreamState s;
-    s.loadPc = 0x400010;
+    s.loadPc = Addr{0x400010};
     buf.allocateStream(s, 5);
     EXPECT_TRUE(buf.allocated());
     EXPECT_EQ(buf.priority.value(), 5u);
-    EXPECT_EQ(buf.state.loadPc, 0x400010u);
+    EXPECT_EQ(buf.state.loadPc, Addr{0x400010});
     for (const auto &e : buf.entries())
         EXPECT_FALSE(e.valid);
 }
@@ -42,17 +42,17 @@ TEST(StreamBufferTest, FindFreeAndPendingEntries)
     EXPECT_EQ(buf.pendingPrefetchEntry(), -1);
 
     buf.entries()[0].valid = true;
-    buf.entries()[0].block = 0x1000;
+    buf.entries()[0].block = BlockAddr{0x1000};
     EXPECT_EQ(buf.freeEntry(), 1);
     EXPECT_EQ(buf.pendingPrefetchEntry(), 0);
-    EXPECT_EQ(buf.findEntry(0x1000), 0);
-    EXPECT_EQ(buf.findEntry(0x2000), -1);
+    EXPECT_EQ(buf.findEntry(BlockAddr{0x1000}), 0);
+    EXPECT_EQ(buf.findEntry(BlockAddr{0x2000}), -1);
 
     buf.entries()[0].prefetched = true;
     EXPECT_EQ(buf.pendingPrefetchEntry(), -1);
 
     buf.clearEntry(0);
-    EXPECT_EQ(buf.findEntry(0x1000), -1);
+    EXPECT_EQ(buf.findEntry(BlockAddr{0x1000}), -1);
     EXPECT_EQ(buf.freeEntry(), 0);
 }
 
@@ -60,26 +60,26 @@ TEST(StreamBufferFileTest, LookupSearchesAllBuffersAllEntries)
 {
     StreamBufferFile file(paperConfig());
     // Nothing allocated: no hits.
-    EXPECT_FALSE(file.findBlock(0x1000).has_value());
+    EXPECT_FALSE(file.findBlock(BlockAddr{0x1000}).has_value());
 
     file.buffer(3).allocateStream(StreamState{}, 0);
     file.buffer(3).entries()[2].valid = true;
-    file.buffer(3).entries()[2].block = 0x1000;
-    auto hit = file.findBlock(0x1000);
+    file.buffer(3).entries()[2].block = BlockAddr{0x1000};
+    auto hit = file.findBlock(BlockAddr{0x1000});
     ASSERT_TRUE(hit.has_value());
     EXPECT_EQ(hit->buf, 3u);
     EXPECT_EQ(hit->entry, 2);
-    EXPECT_TRUE(file.contains(0x1000));
-    EXPECT_FALSE(file.contains(0x2000));
+    EXPECT_TRUE(file.contains(BlockAddr{0x1000}));
+    EXPECT_FALSE(file.contains(BlockAddr{0x2000}));
 }
 
 TEST(StreamBufferFileTest, UnallocatedBuffersInvisibleToLookup)
 {
     StreamBufferFile file(paperConfig());
     file.buffer(0).entries()[0].valid = true;
-    file.buffer(0).entries()[0].block = 0x1000;
+    file.buffer(0).entries()[0].block = BlockAddr{0x1000};
     // Buffer 0 not allocated: its stale entries must not hit.
-    EXPECT_FALSE(file.findBlock(0x1000).has_value());
+    EXPECT_FALSE(file.findBlock(BlockAddr{0x1000}).has_value());
 }
 
 TEST(StreamBufferFileTest, LruBufferPrefersUnallocated)
@@ -132,10 +132,13 @@ TEST(StreamBufferFileTest, MinPriorityTieBrokenByOldestHit)
     EXPECT_EQ(file.minPriorityBuffer(), 5u);
 }
 
-TEST(StreamBufferFileTest, BlockAlign)
+TEST(StreamBufferFileTest, BlockOf)
 {
     StreamBufferFile file(paperConfig());
-    EXPECT_EQ(file.blockAlign(0x1234567f), 0x12345660u);
+    // 32-byte lines: byte 0x1234567f lives in block 0x12345660 / 32.
+    EXPECT_EQ(file.blockOf(Addr{0x1234567f}), BlockAddr{0x91a2b3});
+    EXPECT_EQ(file.blockOf(Addr{0x1234567f}).toByte(file.lineBits()),
+              Addr{0x12345660});
 }
 
 TEST(StreamBufferFileTest, ConfigurableGeometry)

@@ -13,57 +13,58 @@ namespace psb
 namespace
 {
 
-constexpr Addr pc = 0x400010;
+constexpr Addr pc{0x400010};
+constexpr unsigned lineBits = 5; // default 32-byte blocks
 
 TEST(StrideTableTest, FirstTouchAllocates)
 {
     StrideTable t;
-    StrideTrainResult r = t.train(pc, 0x1000);
+    StrideTrainResult r = t.train(pc, Addr{0x1000});
     EXPECT_TRUE(r.firstTouch);
     ASSERT_NE(t.lookup(pc), nullptr);
-    EXPECT_EQ(t.lookup(pc)->lastAddr, 0x1000u);
-    EXPECT_EQ(t.predictedStride(pc), 0);
+    EXPECT_EQ(t.lookup(pc)->lastAddr, Addr{0x1000}.toBlock(lineBits));
+    EXPECT_EQ(t.predictedStride(pc), BlockDelta{});
 }
 
 TEST(StrideTableTest, TwoDeltaAdoptsStrideOnlyAfterRepeat)
 {
     StrideTable t;
-    t.train(pc, 0x1000);
-    StrideTrainResult r1 = t.train(pc, 0x1040); // stride 64, first time
+    t.train(pc, Addr{0x1000});
+    StrideTrainResult r1 = t.train(pc, Addr{0x1040}); // 2 blocks, 1st time
     EXPECT_FALSE(r1.firstTouch);
-    EXPECT_EQ(r1.observedStride, 64);
-    EXPECT_EQ(t.predictedStride(pc), 0); // not adopted yet
-    t.train(pc, 0x1080); // stride 64 again
-    EXPECT_EQ(t.predictedStride(pc), 64); // two-delta adopted
+    EXPECT_EQ(r1.observedStride, BlockDelta{2});
+    EXPECT_EQ(t.predictedStride(pc), BlockDelta{}); // not adopted yet
+    t.train(pc, Addr{0x1080}); // 2 blocks again
+    EXPECT_EQ(t.predictedStride(pc), BlockDelta{2}); // two-delta adopted
 }
 
 TEST(StrideTableTest, TwoDeltaResistsOneOffDisturbance)
 {
     StrideTable t;
-    t.train(pc, 0x1000);
-    t.train(pc, 0x1040);
-    t.train(pc, 0x1080); // stride 64 locked
-    t.train(pc, 0x9000); // wild jump: stride not replaced
-    EXPECT_EQ(t.predictedStride(pc), 64);
-    t.train(pc, 0x9040);
-    EXPECT_EQ(t.predictedStride(pc), 64); // new stride seen once
-    t.train(pc, 0x9080);
-    EXPECT_EQ(t.predictedStride(pc), 64); // 0x9000->0x9040->0x9080:
-    // wait: strides 64,64 -> adopted. See next assertion.
-    t.train(pc, 0x90c0);
-    EXPECT_EQ(t.predictedStride(pc), 64);
+    t.train(pc, Addr{0x1000});
+    t.train(pc, Addr{0x1040});
+    t.train(pc, Addr{0x1080}); // 2-block stride locked
+    t.train(pc, Addr{0x9000}); // wild jump: stride not replaced
+    EXPECT_EQ(t.predictedStride(pc), BlockDelta{2});
+    t.train(pc, Addr{0x9040});
+    EXPECT_EQ(t.predictedStride(pc), BlockDelta{2}); // new stride once
+    t.train(pc, Addr{0x9080});
+    EXPECT_EQ(t.predictedStride(pc), BlockDelta{2}); // 0x9000->0x9040->
+    // 0x9080: strides 2,2 -> adopted. See next assertion.
+    t.train(pc, Addr{0x90c0});
+    EXPECT_EQ(t.predictedStride(pc), BlockDelta{2});
 }
 
 TEST(StrideTableTest, StridePredictedFlagUsesOldState)
 {
     StrideTable t;
-    t.train(pc, 0x1000);
-    t.train(pc, 0x1040);
-    t.train(pc, 0x1080);
-    // Prediction now lastAddr + 64 = 0x10c0.
-    StrideTrainResult r = t.train(pc, 0x10c0);
+    t.train(pc, Addr{0x1000});
+    t.train(pc, Addr{0x1040});
+    t.train(pc, Addr{0x1080});
+    // Prediction now lastAddr + 2 blocks = block of 0x10c0.
+    StrideTrainResult r = t.train(pc, Addr{0x10c0});
     EXPECT_TRUE(r.stridePredicted);
-    StrideTrainResult r2 = t.train(pc, 0x5000);
+    StrideTrainResult r2 = t.train(pc, Addr{0x5000});
     EXPECT_FALSE(r2.stridePredicted);
 }
 
@@ -72,17 +73,17 @@ TEST(StrideTableTest, BlockGranularity)
     StrideTableConfig cfg;
     cfg.blockBytes = 32;
     StrideTable t(cfg);
-    t.train(pc, 0x1004);
-    EXPECT_EQ(t.lookup(pc)->lastAddr, 0x1000u);
+    t.train(pc, Addr{0x1004});
+    EXPECT_EQ(t.lookup(pc)->lastAddr, Addr{0x1000}.toBlock(lineBits));
     // Sub-block movement is stride 0 at block granularity.
-    StrideTrainResult r = t.train(pc, 0x101c);
-    EXPECT_EQ(r.observedStride, 0);
+    StrideTrainResult r = t.train(pc, Addr{0x101c});
+    EXPECT_EQ(r.observedStride, BlockDelta{});
 }
 
 TEST(StrideTableTest, ConfidenceCountsOutcomes)
 {
     StrideTable t;
-    t.train(pc, 0x1000);
+    t.train(pc, Addr{0x1000});
     EXPECT_EQ(t.confidence(pc), 0u);
     for (int i = 0; i < 10; ++i)
         t.recordOutcome(pc, true);
@@ -94,7 +95,7 @@ TEST(StrideTableTest, ConfidenceCountsOutcomes)
 TEST(StrideTableTest, TwoCorrectInARowFilter)
 {
     StrideTable t;
-    t.train(pc, 0x1000);
+    t.train(pc, Addr{0x1000});
     EXPECT_FALSE(t.twoCorrectInARow(pc));
     t.recordOutcome(pc, true);
     EXPECT_FALSE(t.twoCorrectInARow(pc));
@@ -107,63 +108,80 @@ TEST(StrideTableTest, TwoCorrectInARowFilter)
 TEST(StrideTableTest, FarkasStrideFilter)
 {
     StrideTable t;
-    t.train(pc, 0x1000);
+    t.train(pc, Addr{0x1000});
     EXPECT_FALSE(t.strideFilterPass(pc));
-    t.train(pc, 0x1040);
+    t.train(pc, Addr{0x1040});
     EXPECT_FALSE(t.strideFilterPass(pc)); // one stride seen
-    t.train(pc, 0x1080);
+    t.train(pc, Addr{0x1080});
     EXPECT_TRUE(t.strideFilterPass(pc)); // identical strides in a row
-    t.train(pc, 0x5000);
+    t.train(pc, Addr{0x5000});
     EXPECT_FALSE(t.strideFilterPass(pc));
 }
 
 TEST(StrideTableTest, DistinctPcsIndependent)
 {
     StrideTable t;
-    t.train(0x400010, 0x1000);
-    t.train(0x400014, 0x2000);
-    t.train(0x400010, 0x1040);
-    t.train(0x400014, 0x2100);
-    EXPECT_EQ(t.lookup(0x400010)->lastStride, 64);
-    EXPECT_EQ(t.lookup(0x400014)->lastStride, 256);
+    t.train(Addr{0x400010}, Addr{0x1000});
+    t.train(Addr{0x400014}, Addr{0x2000});
+    t.train(Addr{0x400010}, Addr{0x1040});
+    t.train(Addr{0x400014}, Addr{0x2100});
+    EXPECT_EQ(t.lookup(Addr{0x400010})->lastStride, BlockDelta{2});
+    EXPECT_EQ(t.lookup(Addr{0x400014})->lastStride, BlockDelta{8});
 }
 
 TEST(StrideTableTest, SetLruReplacement)
 {
     StrideTableConfig cfg;
     cfg.entries = 8;
-    cfg.assoc = 2; // 4 sets; PCs with equal (pc>>2)&3 collide
+    cfg.assoc = 2; // 4 sets; pick three PCs that index the same set
     StrideTable t(cfg);
-    // Three PCs in the same set (pc>>2 multiples of 4).
-    Addr p1 = 0x1000, p2 = 0x1010, p3 = 0x1020;
-    t.train(p1, 0xa000);
-    t.train(p2, 0xb000);
-    t.train(p1, 0xa040); // refresh p1
-    t.train(p3, 0xc000); // evicts p2
+    Addr p1{0x1000}, p2{0x1010}, p3{0x1020};
+    t.train(p1, Addr{0xa000});
+    t.train(p2, Addr{0xb000});
+    t.train(p1, Addr{0xa040}); // refresh p1
+    t.train(p3, Addr{0xc000}); // evicts p2
     EXPECT_NE(t.lookup(p1), nullptr);
     EXPECT_EQ(t.lookup(p2), nullptr);
     EXPECT_NE(t.lookup(p3), nullptr);
 }
 
+TEST(StrideTableTest, SetIndexFoldsHighPcBits)
+{
+    // Distribution regression for the set-index hash: 256 load PCs at
+    // 256 KB spacings differ only in bits a truncated index would
+    // ignore. A 256-entry 4-way table must retain essentially all of
+    // them; a hash that drops high PC bits collapses them onto a few
+    // sets and evicts most.
+    StrideTable t;
+    for (int i = 0; i < 256; ++i)
+        t.train(Addr(0x400000 + uint64_t(i) * 0x40000), Addr{0x1000});
+    unsigned retained = 0;
+    for (int i = 0; i < 256; ++i) {
+        if (t.lookup(Addr(0x400000 + uint64_t(i) * 0x40000)))
+            ++retained;
+    }
+    EXPECT_GE(retained, 200u);
+}
+
 TEST(StrideTableTest, UntrackedPcDefaults)
 {
     StrideTable t;
-    EXPECT_EQ(t.lookup(0xdead), nullptr);
-    EXPECT_EQ(t.predictedStride(0xdead), 0);
-    EXPECT_EQ(t.confidence(0xdead), 0u);
-    EXPECT_FALSE(t.strideFilterPass(0xdead));
-    EXPECT_FALSE(t.twoCorrectInARow(0xdead));
-    t.recordOutcome(0xdead, true); // silently ignored
-    EXPECT_EQ(t.confidence(0xdead), 0u);
+    EXPECT_EQ(t.lookup(Addr{0xdead}), nullptr);
+    EXPECT_EQ(t.predictedStride(Addr{0xdead}), BlockDelta{});
+    EXPECT_EQ(t.confidence(Addr{0xdead}), 0u);
+    EXPECT_FALSE(t.strideFilterPass(Addr{0xdead}));
+    EXPECT_FALSE(t.twoCorrectInARow(Addr{0xdead}));
+    t.recordOutcome(Addr{0xdead}, true); // silently ignored
+    EXPECT_EQ(t.confidence(Addr{0xdead}), 0u);
 }
 
 TEST(StrideTableTest, NegativeStrides)
 {
     StrideTable t;
-    t.train(pc, 0x9000);
-    t.train(pc, 0x8fc0);
-    t.train(pc, 0x8f80);
-    EXPECT_EQ(t.predictedStride(pc), -64);
+    t.train(pc, Addr{0x9000});
+    t.train(pc, Addr{0x8fc0});
+    t.train(pc, Addr{0x8f80});
+    EXPECT_EQ(t.predictedStride(pc), BlockDelta{-2});
 }
 
 } // namespace

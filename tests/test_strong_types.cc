@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Contract tests for the strong address/cycle domain types. Three
+ * groups: value semantics and round-trips, the 16-bit delta
+ * saturation behaviour the differential Markov table relies on, and
+ * concept-based proofs that the illegal cross-domain operations do
+ * not compile (checked at compile time via requires-expressions, so
+ * a regression here is a build failure, not a runtime one).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/strong_types.hh"
+
+namespace psb
+{
+namespace
+{
+
+// ---------------------------------------------------------------- //
+// Compile-time contract: which operations exist at all.
+// ---------------------------------------------------------------- //
+
+template <typename A, typename B>
+concept CanAdd = requires(A a, B b) { a + b; };
+
+template <typename A, typename B>
+concept CanSubtract = requires(A a, B b) { a - b; };
+
+template <typename A, typename B>
+concept CanCompare = requires(A a, B b) { a < b; };
+
+template <typename A, typename B>
+concept CanConvert = requires(A a) { B(a); };
+
+// Legal arithmetic, as documented in strong_types.hh.
+static_assert(CanAdd<ByteAddr, uint64_t>);
+static_assert(CanSubtract<ByteAddr, ByteAddr>);
+static_assert(CanAdd<BlockAddr, BlockDelta>);
+static_assert(CanSubtract<BlockAddr, BlockAddr>);
+static_assert(CanAdd<BlockDelta, BlockDelta>);
+static_assert(CanAdd<Cycle, CycleDelta>);
+static_assert(CanSubtract<Cycle, Cycle>);
+static_assert(CanAdd<CycleDelta, CycleDelta>);
+
+// Cross-domain arithmetic must not compile: a byte address is not a
+// block number, a block distance is not a duration, and vice versa.
+static_assert(!CanAdd<ByteAddr, BlockAddr>);
+static_assert(!CanAdd<ByteAddr, BlockDelta>);
+static_assert(!CanAdd<ByteAddr, ByteAddr>);
+static_assert(!CanAdd<BlockAddr, BlockAddr>);
+static_assert(!CanAdd<BlockAddr, ByteAddr>);
+static_assert(!CanAdd<BlockAddr, CycleDelta>);
+static_assert(!CanAdd<Cycle, Cycle>);
+static_assert(!CanAdd<Cycle, BlockDelta>);
+static_assert(!CanAdd<Cycle, uint64_t>);
+static_assert(!CanSubtract<ByteAddr, BlockAddr>);
+static_assert(!CanSubtract<BlockAddr, ByteAddr>);
+static_assert(!CanSubtract<Cycle, BlockDelta>);
+static_assert(!CanSubtract<CycleDelta, Cycle>);
+
+// Ordering never crosses domains either.
+static_assert(CanCompare<ByteAddr, ByteAddr>);
+static_assert(CanCompare<Cycle, Cycle>);
+static_assert(!CanCompare<ByteAddr, BlockAddr>);
+static_assert(!CanCompare<Cycle, CycleDelta>);
+static_assert(!CanCompare<ByteAddr, uint64_t>);
+
+// No implicit raw-integer conversions in either direction: entering
+// or leaving a domain is always spelled out (ctor / raw()).
+static_assert(!std::is_convertible_v<uint64_t, ByteAddr>);
+static_assert(!std::is_convertible_v<uint64_t, BlockAddr>);
+static_assert(!std::is_convertible_v<uint64_t, Cycle>);
+static_assert(!std::is_convertible_v<int64_t, BlockDelta>);
+static_assert(!std::is_convertible_v<ByteAddr, uint64_t>);
+static_assert(!std::is_convertible_v<Cycle, uint64_t>);
+
+// Domain-to-domain conversion only via the explicit line-size
+// carrying helpers, never by construction.
+static_assert(!CanConvert<ByteAddr, BlockAddr>);
+static_assert(!CanConvert<BlockAddr, ByteAddr>);
+static_assert(!CanConvert<Cycle, CycleDelta>);
+
+// The wrappers must cost nothing: trivially copyable and exactly the
+// size of the raw integer they replace.
+static_assert(std::is_trivially_copyable_v<ByteAddr>);
+static_assert(std::is_trivially_copyable_v<BlockAddr>);
+static_assert(std::is_trivially_copyable_v<BlockDelta>);
+static_assert(std::is_trivially_copyable_v<Cycle>);
+static_assert(std::is_trivially_copyable_v<CycleDelta>);
+static_assert(sizeof(ByteAddr) == sizeof(uint64_t));
+static_assert(sizeof(BlockDelta) == sizeof(int64_t));
+static_assert(sizeof(Cycle) == sizeof(uint64_t));
+
+// ---------------------------------------------------------------- //
+// Byte <-> block round-trips.
+// ---------------------------------------------------------------- //
+
+TEST(StrongTypesTest, ByteBlockRoundTrip)
+{
+    constexpr unsigned lineBits = 5; // 32-byte lines
+    ByteAddr a{0x12345678};
+    BlockAddr b = a.toBlock(lineBits);
+    EXPECT_EQ(b.raw(), 0x12345678u >> 5);
+    // Round-tripping recovers the line-aligned address.
+    EXPECT_EQ(b.toByte(lineBits), a.alignDown(32));
+    // An already-aligned address round-trips exactly.
+    ByteAddr aligned{0x12345660};
+    EXPECT_EQ(aligned.toBlock(lineBits).toByte(lineBits), aligned);
+}
+
+TEST(StrongTypesTest, AlignDown)
+{
+    ByteAddr a{0x1234567b};
+    EXPECT_EQ(a.alignDown(32), ByteAddr{0x12345660});
+    EXPECT_EQ(a.alignDown(1), a);
+    EXPECT_EQ(ByteAddr{}.alignDown(64), ByteAddr{});
+}
+
+TEST(StrongTypesTest, ByteOffsetArithmetic)
+{
+    ByteAddr a{0x1000};
+    EXPECT_EQ(a + 0x40, ByteAddr{0x1040});
+    EXPECT_EQ(a - 0x40, ByteAddr{0xfc0});
+    EXPECT_EQ((a + 0x40) - a, 0x40);
+    EXPECT_EQ(a - (a + 0x40), -0x40);
+    a += 8;
+    EXPECT_EQ(a, ByteAddr{0x1008});
+}
+
+TEST(StrongTypesTest, BlockArithmeticRoundTrip)
+{
+    BlockAddr from{0x800};
+    BlockAddr to{0x7fe};
+    BlockDelta d = to - from;
+    EXPECT_EQ(d, BlockDelta{-2});
+    EXPECT_EQ(from + d, to);
+    from += d;
+    EXPECT_EQ(from, to);
+    EXPECT_EQ(d.toBytes(5), -64);
+    EXPECT_EQ(-d, BlockDelta{2});
+}
+
+TEST(StrongTypesTest, CycleArithmeticRoundTrip)
+{
+    Cycle now{100};
+    CycleDelta lat{12};
+    Cycle ready = now + lat;
+    EXPECT_EQ(ready.raw(), 112u);
+    EXPECT_EQ(ready - now, lat);
+    EXPECT_EQ(ready - lat, now);
+    EXPECT_EQ(CycleDelta{3} * 4, CycleDelta{12});
+    EXPECT_EQ(4 * CycleDelta{3}, CycleDelta{12});
+    ++now;
+    EXPECT_EQ(now.raw(), 101u);
+    EXPECT_EQ(maxCycle(now, ready), ready);
+    EXPECT_EQ(minCycle(now, ready), now);
+}
+
+TEST(StrongTypesTest, Sentinels)
+{
+    EXPECT_EQ(ByteAddr::max().raw(), ~uint64_t(0));
+    EXPECT_EQ(BlockAddr::max().raw(), ~uint64_t(0));
+    EXPECT_EQ(Cycle::max().raw(), ~uint64_t(0));
+    EXPECT_LT(Cycle{1'000'000'000}, Cycle::max());
+    // Default construction is the zero of each domain.
+    EXPECT_EQ(ByteAddr{}.raw(), 0u);
+    EXPECT_EQ(BlockDelta{}.raw(), 0);
+    EXPECT_EQ(Cycle{}.raw(), 0u);
+}
+
+// ---------------------------------------------------------------- //
+// 16-bit delta storage: fitsIn and saturatedTo around +/-2^15.
+// ---------------------------------------------------------------- //
+
+TEST(StrongTypesTest, DeltaFitsInSixteenBits)
+{
+    EXPECT_TRUE(BlockDelta{0}.fitsIn(16));
+    EXPECT_TRUE(BlockDelta{32767}.fitsIn(16));
+    EXPECT_FALSE(BlockDelta{32768}.fitsIn(16));
+    EXPECT_TRUE(BlockDelta{-32768}.fitsIn(16));
+    EXPECT_FALSE(BlockDelta{-32769}.fitsIn(16));
+    // Works for narrower widths too (e.g. 8-bit table variants).
+    EXPECT_TRUE(BlockDelta{127}.fitsIn(8));
+    EXPECT_FALSE(BlockDelta{128}.fitsIn(8));
+    EXPECT_TRUE(BlockDelta{-128}.fitsIn(8));
+    EXPECT_FALSE(BlockDelta{-129}.fitsIn(8));
+}
+
+TEST(StrongTypesTest, DeltaSaturatesAtSixteenBitRails)
+{
+    // In-range deltas pass through untouched.
+    EXPECT_EQ(BlockDelta{12}.saturatedTo(16), BlockDelta{12});
+    EXPECT_EQ(BlockDelta{-12}.saturatedTo(16), BlockDelta{-12});
+    EXPECT_EQ(BlockDelta{32767}.saturatedTo(16), BlockDelta{32767});
+    EXPECT_EQ(BlockDelta{-32768}.saturatedTo(16), BlockDelta{-32768});
+    // Out-of-range clamps to the nearest rail, however far out.
+    EXPECT_EQ(BlockDelta{32768}.saturatedTo(16), BlockDelta{32767});
+    EXPECT_EQ(BlockDelta{-32769}.saturatedTo(16), BlockDelta{-32768});
+    EXPECT_EQ(BlockDelta{1'000'000}.saturatedTo(16), BlockDelta{32767});
+    EXPECT_EQ(BlockDelta{-1'000'000}.saturatedTo(16),
+              BlockDelta{-32768});
+    // A saturated delta always fits afterwards.
+    EXPECT_TRUE(BlockDelta{1'000'000}.saturatedTo(16).fitsIn(16));
+}
+
+// ---------------------------------------------------------------- //
+// Hash and formatting support.
+// ---------------------------------------------------------------- //
+
+TEST(StrongTypesTest, UsableAsHashKeys)
+{
+    std::unordered_map<ByteAddr, int> byPc;
+    byPc[ByteAddr{0x400000}] = 1;
+    byPc[ByteAddr{0x400004}] = 2;
+    EXPECT_EQ(byPc.at(ByteAddr{0x400004}), 2);
+
+    std::unordered_set<BlockAddr> blocks;
+    blocks.insert(BlockAddr{0x800});
+    EXPECT_TRUE(blocks.contains(BlockAddr{0x800}));
+    EXPECT_FALSE(blocks.contains(BlockAddr{0x801}));
+
+    std::unordered_map<BlockDelta, int> byDelta;
+    byDelta[BlockDelta{-2}] = 7;
+    EXPECT_EQ(byDelta.at(BlockDelta{-2}), 7);
+}
+
+TEST(StrongTypesTest, StreamFormatting)
+{
+    std::ostringstream os;
+    os << ByteAddr{0x4000} << " " << BlockAddr{0x200} << " "
+       << BlockDelta{-2} << " " << Cycle{42} << " " << CycleDelta{8};
+    EXPECT_EQ(os.str(), "0x4000 blk:0x200 -2blk 42 8");
+    // The hex manipulator must not leak into later output.
+    os << " " << 255;
+    EXPECT_EQ(os.str(), "0x4000 blk:0x200 -2blk 42 8 255");
+}
+
+} // namespace
+} // namespace psb

@@ -15,32 +15,32 @@ namespace
 
 TEST(TlbTest, FirstTouchMissesThenHits)
 {
-    Tlb tlb(4, 8192, 30);
-    EXPECT_EQ(tlb.translate(0x10000), 30u);
-    EXPECT_EQ(tlb.translate(0x10000), 0u);
-    EXPECT_EQ(tlb.translate(0x11fff), 0u); // same 8K page
-    EXPECT_EQ(tlb.translate(0x12000), 30u); // next page
+    Tlb tlb(4, 8192, CycleDelta{30});
+    EXPECT_EQ(tlb.translate(Addr{0x10000}), CycleDelta{30});
+    EXPECT_EQ(tlb.translate(Addr{0x10000}), CycleDelta{});
+    EXPECT_EQ(tlb.translate(Addr{0x11fff}), CycleDelta{}); // same page
+    EXPECT_EQ(tlb.translate(Addr{0x12000}), CycleDelta{30}); // next
     EXPECT_EQ(tlb.accesses(), 4u);
     EXPECT_EQ(tlb.misses(), 2u);
 }
 
 TEST(TlbTest, LruReplacement)
 {
-    Tlb tlb(2, 8192, 30);
-    tlb.translate(0x00000); // page 0
-    tlb.translate(0x02000); // page 1
-    tlb.translate(0x00000); // refresh page 0
-    tlb.translate(0x04000); // page 2 evicts page 1
-    EXPECT_TRUE(tlb.probe(0x00000));
-    EXPECT_FALSE(tlb.probe(0x02000));
-    EXPECT_TRUE(tlb.probe(0x04000));
+    Tlb tlb(2, 8192, CycleDelta{30});
+    tlb.translate(Addr{0x00000}); // page 0
+    tlb.translate(Addr{0x02000}); // page 1
+    tlb.translate(Addr{0x00000}); // refresh page 0
+    tlb.translate(Addr{0x04000}); // page 2 evicts page 1
+    EXPECT_TRUE(tlb.probe(Addr{0x00000}));
+    EXPECT_FALSE(tlb.probe(Addr{0x02000}));
+    EXPECT_TRUE(tlb.probe(Addr{0x04000}));
 }
 
 TEST(TlbTest, ProbeDoesNotFill)
 {
-    Tlb tlb(4, 8192, 30);
-    EXPECT_FALSE(tlb.probe(0x10000));
-    EXPECT_FALSE(tlb.probe(0x10000));
+    Tlb tlb(4, 8192, CycleDelta{30});
+    EXPECT_FALSE(tlb.probe(Addr{0x10000}));
+    EXPECT_FALSE(tlb.probe(Addr{0x10000}));
     EXPECT_EQ(tlb.misses(), 0u);
 }
 
@@ -48,41 +48,41 @@ TEST(TlbTest, PrefetchTranslationReplacesEntries)
 {
     // Paper §4.5: prefetches translate and replace on miss — a
     // prefetch to a new page installs its translation.
-    Tlb tlb(2, 8192, 30);
-    tlb.translate(0x00000);
-    tlb.translate(0x02000);
+    Tlb tlb(2, 8192, CycleDelta{30});
+    tlb.translate(Addr{0x00000});
+    tlb.translate(Addr{0x02000});
     // "Prefetch" touches a third page.
-    EXPECT_EQ(tlb.translate(0x04000), 30u);
-    EXPECT_TRUE(tlb.probe(0x04000));
+    EXPECT_EQ(tlb.translate(Addr{0x04000}), CycleDelta{30});
+    EXPECT_TRUE(tlb.probe(Addr{0x04000}));
 }
 
 TEST(TlbTest, ResetStatsKeepsMappings)
 {
-    Tlb tlb(4, 8192, 30);
-    tlb.translate(0x10000);
+    Tlb tlb(4, 8192, CycleDelta{30});
+    tlb.translate(Addr{0x10000});
     tlb.resetStats();
     EXPECT_EQ(tlb.accesses(), 0u);
     EXPECT_EQ(tlb.misses(), 0u);
-    EXPECT_EQ(tlb.translate(0x10000), 0u); // still mapped
+    EXPECT_EQ(tlb.translate(Addr{0x10000}), CycleDelta{}); // mapped
 }
 
 TEST(MainMemoryTest, FixedLatency)
 {
-    MainMemory mem(120, 4);
-    EXPECT_EQ(mem.access(0), 120u);
+    MainMemory mem(CycleDelta{120}, CycleDelta{4});
+    EXPECT_EQ(mem.access(Cycle{}), Cycle{120});
     EXPECT_EQ(mem.accesses(), 1u);
-    EXPECT_EQ(mem.latency(), 120u);
+    EXPECT_EQ(mem.latency(), CycleDelta{120});
 }
 
 TEST(MainMemoryTest, IssueIntervalPipelinesAccesses)
 {
-    MainMemory mem(120, 4);
-    EXPECT_EQ(mem.access(0), 120u);
+    MainMemory mem(CycleDelta{120}, CycleDelta{4});
+    EXPECT_EQ(mem.access(Cycle{}), Cycle{120});
     // Second access at the same cycle starts 4 cycles later.
-    EXPECT_EQ(mem.access(0), 124u);
-    EXPECT_EQ(mem.access(0), 128u);
+    EXPECT_EQ(mem.access(Cycle{}), Cycle{124});
+    EXPECT_EQ(mem.access(Cycle{}), Cycle{128});
     // A later access after the pipeline drains starts on time.
-    EXPECT_EQ(mem.access(1000), 1120u);
+    EXPECT_EQ(mem.access(Cycle{1000}), Cycle{1120});
 }
 
 } // namespace

@@ -54,10 +54,10 @@ class ScriptedBuilder : public TraceBuilder
         if (_emittedSteps >= _steps)
             return false;
         ++_emittedSteps;
-        emitLoad(0x1000, 1, 0x2000 + 8 * _emittedSteps, 2, 8);
-        emitAlu(0x1004, 3, 1);
-        emitStore(0x1008, 0x3000, 3, 2, 4);
-        emitBranch(0x100c, true, 0x1000, 3);
+        emitLoad(Addr{0x1000}, 1, Addr(0x2000 + 8 * _emittedSteps), 2, 8);
+        emitAlu(Addr{0x1004}, 3, 1);
+        emitStore(Addr{0x1008}, Addr{0x3000}, 3, 2, 4);
+        emitBranch(Addr{0x100c}, true, Addr{0x1000}, 3);
         return true;
     }
 
@@ -77,10 +77,10 @@ TEST(TraceBuilderTest, EmitsOpsInOrderThenEnds)
     EXPECT_EQ(b.emitted(), 8u);
 
     EXPECT_EQ(ops[0].op, OpClass::Load);
-    EXPECT_EQ(ops[0].pc, 0x1000u);
+    EXPECT_EQ(ops[0].pc, Addr{0x1000});
     EXPECT_EQ(ops[0].dst, 1);
     EXPECT_EQ(ops[0].src1, 2);
-    EXPECT_EQ(ops[0].effAddr, 0x2008u);
+    EXPECT_EQ(ops[0].effAddr, Addr{0x2008});
     EXPECT_EQ(ops[0].memSize, 8);
 
     EXPECT_EQ(ops[1].op, OpClass::IntAlu);
@@ -93,7 +93,7 @@ TEST(TraceBuilderTest, EmitsOpsInOrderThenEnds)
 
     EXPECT_EQ(ops[3].op, OpClass::Branch);
     EXPECT_TRUE(ops[3].taken);
-    EXPECT_EQ(ops[3].target, 0x1000u);
+    EXPECT_EQ(ops[3].target, Addr{0x1000});
 
     // Exhausted source keeps returning false.
     EXPECT_FALSE(b.next(op));
@@ -110,7 +110,7 @@ TEST(TraceBuilderTest, FillerOpsAreIndependent)
             if (_done)
                 return false;
             _done = true;
-            emitFiller(0x2000, 5);
+            emitFiller(Addr{0x2000}, 5);
             return true;
         }
 
@@ -123,7 +123,7 @@ TEST(TraceBuilderTest, FillerOpsAreIndependent)
     while (b.next(op)) {
         EXPECT_EQ(op.op, OpClass::IntAlu);
         EXPECT_EQ(op.dst, regNone);
-        EXPECT_EQ(op.pc, 0x2000u + 4 * n);
+        EXPECT_EQ(op.pc, Addr(0x2000 + 4 * n));
         ++n;
     }
     EXPECT_EQ(n, 5u);
@@ -131,25 +131,25 @@ TEST(TraceBuilderTest, FillerOpsAreIndependent)
 
 TEST(SyntheticHeapTest, BumpAllocationIsMonotonicWithoutScatter)
 {
-    SyntheticHeap heap(0x1000, 0);
+    SyntheticHeap heap(Addr{0x1000}, 0);
     Addr a = heap.alloc(64, 8);
     Addr b = heap.alloc(64, 8);
-    EXPECT_EQ(a, 0x1000u);
+    EXPECT_EQ(a, Addr{0x1000});
     EXPECT_EQ(b, a + 64);
     EXPECT_EQ(heap.bytesAllocated(), 128u);
 }
 
 TEST(SyntheticHeapTest, AlignmentHonoured)
 {
-    SyntheticHeap heap(0x1001, 0);
-    EXPECT_EQ(heap.alloc(8, 32) % 32, 0u);
-    EXPECT_EQ(heap.alloc(8, 64) % 64, 0u);
-    EXPECT_EQ(heap.alloc(8, 4096) % 4096, 0u);
+    SyntheticHeap heap(Addr{0x1001}, 0);
+    EXPECT_EQ(heap.alloc(8, 32).raw() % 32, 0u);
+    EXPECT_EQ(heap.alloc(8, 64).raw() % 64, 0u);
+    EXPECT_EQ(heap.alloc(8, 4096).raw() % 4096, 0u);
 }
 
 TEST(SyntheticHeapTest, FreeListRecyclesSameSizeClassLifo)
 {
-    SyntheticHeap heap(0x1000, 0);
+    SyntheticHeap heap(Addr{0x1000}, 0);
     Addr a = heap.alloc(48, 8);
     Addr b = heap.alloc(48, 8);
     heap.free(a, 48);
@@ -162,7 +162,7 @@ TEST(SyntheticHeapTest, FreeListRecyclesSameSizeClassLifo)
 
 TEST(SyntheticHeapTest, DifferentSizeClassesDoNotMix)
 {
-    SyntheticHeap heap(0x1000, 0);
+    SyntheticHeap heap(Addr{0x1000}, 0);
     Addr a = heap.alloc(48, 8);
     heap.free(a, 48);
     Addr b = heap.alloc(64, 8);
@@ -171,15 +171,15 @@ TEST(SyntheticHeapTest, DifferentSizeClassesDoNotMix)
 
 TEST(SyntheticHeapTest, ScatterAddsGapsDeterministically)
 {
-    SyntheticHeap h1(0x1000, 16, 99);
-    SyntheticHeap h2(0x1000, 16, 99);
+    SyntheticHeap h1(Addr{0x1000}, 16, 99);
+    SyntheticHeap h2(Addr{0x1000}, 16, 99);
     bool gap_seen = false;
-    Addr prev1 = 0;
+    Addr prev1{};
     for (int i = 0; i < 50; ++i) {
         Addr a1 = h1.alloc(32, 8);
         Addr a2 = h2.alloc(32, 8);
         EXPECT_EQ(a1, a2); // same seed, same layout
-        if (prev1 && a1 > prev1 + 32)
+        if (prev1.raw() && a1 > prev1 + 32)
             gap_seen = true;
         EXPECT_GT(a1, prev1); // still monotonic
         prev1 = a1;
@@ -189,7 +189,7 @@ TEST(SyntheticHeapTest, ScatterAddsGapsDeterministically)
 
 TEST(SyntheticHeapTest, AllAllocationsDistinct)
 {
-    SyntheticHeap heap(0x1000, 8, 3);
+    SyntheticHeap heap(Addr{0x1000}, 8, 3);
     std::set<Addr> seen;
     for (int i = 0; i < 1000; ++i)
         EXPECT_TRUE(seen.insert(heap.alloc(40, 8)).second);

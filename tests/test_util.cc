@@ -72,6 +72,91 @@ TEST(SatCounter, SetClampsToMax)
     EXPECT_EQ(c.value(), 0u);
 }
 
+TEST(SatCounter, LargeStepsClampAtBothRails)
+{
+    // A step far beyond the remaining headroom must pin the counter
+    // to the rail, not wrap the underlying unsigned value.
+    SatCounter c(12, 10);
+    c.increment(1000);
+    EXPECT_EQ(c.value(), 12u);
+    EXPECT_TRUE(c.saturated());
+    c.decrement(1000);
+    EXPECT_EQ(c.value(), 0u);
+    // A step exactly equal to the headroom lands on the rail.
+    SatCounter d(12, 10);
+    d.increment(2);
+    EXPECT_TRUE(d.saturated());
+    d.decrement(12);
+    EXPECT_EQ(d.value(), 0u);
+}
+
+TEST(SatCounter, RailsAreStickyNotAbsorbing)
+{
+    // Saturation must not latch: one decrement off the ceiling (or
+    // one increment off the floor) moves the counter again.
+    SatCounter c(12, 12);
+    c.increment(2);
+    EXPECT_EQ(c.value(), 12u);
+    c.decrement();
+    EXPECT_EQ(c.value(), 11u);
+    c.decrement(11);
+    EXPECT_EQ(c.value(), 0u);
+    c.decrement();
+    EXPECT_EQ(c.value(), 0u);
+    c.increment();
+    EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(SatCounter, PriorityScheduleInterleavesHitsAndAging)
+{
+    // The paper's stream-buffer priority schedule: +2 per buffer hit
+    // interleaved with -1 aging. Net drift must be +1 per hit/age
+    // pair until the ceiling absorbs the difference.
+    SatCounter c(12);
+    for (int i = 0; i < 5; ++i) {
+        c.increment(2);
+        c.decrement();
+    }
+    EXPECT_EQ(c.value(), 5u);
+    // Many more rounds: the +2/-1 schedule parks at the ceiling
+    // minus the trailing age.
+    for (int i = 0; i < 20; ++i) {
+        c.increment(2);
+        c.decrement();
+    }
+    EXPECT_EQ(c.value(), 11u);
+    c.increment(2);
+    EXPECT_TRUE(c.saturated());
+}
+
+TEST(SatCounter, AgedEveryTenthAllocationDecaysIdleBuffers)
+{
+    // Allocation-driven aging: every 10th stream-buffer allocation
+    // ages all priority counters by 1. A buffer that stops hitting
+    // decays to zero (and thus becomes the reallocation victim)
+    // after at most 10 * value allocations.
+    SatCounter priority(12, 8);
+    uint64_t allocations = 0;
+    uint64_t decayed_at = 0;
+    while (priority.value() > 0) {
+        ++allocations;
+        if (allocations % 10 == 0)
+            priority.decrement();
+        ASSERT_LT(allocations, 1000u) << "counter never decayed";
+    }
+    decayed_at = allocations;
+    EXPECT_EQ(decayed_at, 80u);
+    // A buffer still hitting between aging events holds its level.
+    SatCounter busy(12, 8);
+    for (allocations = 1; allocations <= 100; ++allocations) {
+        if (allocations % 7 == 0)
+            busy.increment(2); // occasional hits
+        if (allocations % 10 == 0)
+            busy.decrement();
+    }
+    EXPECT_GT(busy.value(), 8u);
+}
+
 TEST(Bitfield, IsPowerOf2)
 {
     EXPECT_FALSE(isPowerOf2(0));

@@ -40,7 +40,7 @@ sample(Workload &w, uint64_t n)
         if (op.isLoad()) {
             ++mix.loads;
             mix.loadPcs.insert(op.pc);
-            mix.dataBlocks.insert(op.effAddr & ~Addr(31));
+            mix.dataBlocks.insert(op.effAddr.alignDown(32));
         } else if (op.isStore()) {
             ++mix.stores;
         } else if (op.isBranch()) {
@@ -140,15 +140,15 @@ TEST_P(WorkloadTest, BranchTargetsPointIntoCode)
     for (int i = 0; i < 50000; ++i) {
         ASSERT_TRUE(w->next(op));
         if (op.isBranch() && op.taken) {
-            EXPECT_GE(op.target, 0x00400000u);
-            EXPECT_LT(op.target, 0x01000000u);
+            EXPECT_GE(op.target, Addr{0x00400000});
+            EXPECT_LT(op.target, Addr{0x01000000});
         }
     }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllSix, WorkloadTest,
                          ::testing::ValuesIn(workloadNames()),
-                         [](const auto &info) { return info.param; });
+                         [](const auto &pinfo) { return pinfo.param; });
 
 TEST(WorkloadFactoryTest, UnknownNameReturnsNull)
 {
@@ -177,7 +177,7 @@ TEST(WorkloadCharacterTest, Turb3dIsStrideDominated)
             continue;
         auto it = last.find(op.pc);
         if (it != last.end()) {
-            ++deltas[int64_t(op.effAddr) - int64_t(it->second)];
+            ++deltas[op.effAddr - it->second];
             ++total;
         }
         last[op.pc] = op.effAddr;
@@ -203,7 +203,7 @@ TEST(WorkloadCharacterTest, HealthChaseIsSerialised)
     uint64_t chase_loads = 0;
     for (int i = 0; i < 100000; ++i) {
         w->next(op);
-        if (op.isLoad() && op.pc == 0x00400010) {
+        if (op.isLoad() && op.pc == Addr{0x00400010}) {
             ++chase_loads;
             EXPECT_EQ(op.src1, op.dst); // serialised through one reg
         }
@@ -224,7 +224,7 @@ TEST(WorkloadCharacterTest, DeltablueRecyclesConstraintAddresses)
     for (int i = 0; i < 400000; ++i) {
         w->next(op);
         // Allocation stores write constraint field 0 at pc base+0x04.
-        if (op.isStore() && op.pc == 0x00600004) {
+        if (op.isStore() && op.pc == Addr{0x00600004}) {
             ++allocs;
             if (!alloc_addrs.insert(op.effAddr).second)
                 ++repeats;

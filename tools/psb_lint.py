@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Project lint for the PSB tree, run as the `psb_lint` ctest.
+
+Three classes of checks, all cheap textual scans:
+
+1. Domain discipline: public headers under src/ must not take raw
+   uint64_t address/cycle parameters. Those quantities have strong
+   types (util/strong_types.hh: ByteAddr/Addr, BlockAddr, BlockDelta,
+   Cycle, CycleDelta); a bare integer parameter named like an address
+   or a cycle is exactly the unit-mixing bug the types exist to stop.
+
+2. Stats coverage: every component header that declares resetStats()
+   must also expose registerStats(StatsRegistry&, ...) — directly or by
+   deriving from Prefetcher, whose base class provides it. A component
+   with resettable stats that never registers them silently drops out
+   of the golden-stats JSON.
+
+3. Determinism: simulation results must be a pure function of config
+   and seed. rand()/time()/random_device are banned in src/, and so are
+   pointer-keyed ordered containers, whose iteration order depends on
+   the allocator and can leak into stats.
+
+Usage: psb_lint.py [repo_root]   (exit 0 = clean, 1 = findings)
+"""
+
+import pathlib
+import re
+import sys
+
+#: Parameter names that mark a raw integer as an address/cycle quantity.
+DOMAIN_PARAM = re.compile(
+    r"\buint64_t\s+"
+    r"(addr|address|pc|block|cycle|now|when|ready|target|deadline)\w*\b"
+)
+
+#: Nondeterminism sources banned from simulation code.
+BANNED_CALLS = [
+    (re.compile(r"(?<![\w:])s?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"\bstd::time\b|\btime\s*\(\s*(NULL|nullptr|0)\s*\)"),
+     "wall-clock time()"),
+    (re.compile(r"\bstd::random_device\b"), "std::random_device"),
+    (re.compile(r"\bgettimeofday\s*\("), "gettimeofday()"),
+    (re.compile(r"\bstd::chrono::(system|steady|high_resolution)_clock"),
+     "std::chrono clocks"),
+]
+
+#: map/set keyed by a pointer type: iteration order is allocator noise.
+POINTER_KEYED = re.compile(
+    r"\b(?:std::)?(?:unordered_)?(?:map|set)\s*<\s*[\w:]+(?:\s*<[^<>]*>)?"
+    r"\s*\*"
+)
+
+
+def strip_comments(text):
+    """Remove // and /* */ comments, preserving line structure."""
+    text = re.sub(r"//[^\n]*", "", text)
+
+    def blank_lines(m):
+        return "\n" * m.group(0).count("\n")
+
+    return re.sub(r"/\*.*?\*/", blank_lines, text, flags=re.DOTALL)
+
+
+def check_domain_params(path, text, findings):
+    # strong_types.hh is the byte/block/cycle domain boundary: its
+    # constructors legitimately take the raw integers they wrap.
+    if path.name == "strong_types.hh":
+        return
+    for i, line in enumerate(strip_comments(text).splitlines(), 1):
+        m = DOMAIN_PARAM.search(line)
+        # Parameter context only (paren on the line, or a wrapped
+        # parameter continuation). Struct counters like
+        # `uint64_t cycles = 0;` are aggregate statistics, not domain
+        # quantities.
+        if m and ("(" in line[:m.start()] or ")" in line[m.end():]
+                  or line.rstrip().endswith(",")):
+            findings.append(
+                f"{path}:{i}: raw uint64_t parameter '{m.group(1)}...' "
+                f"in a public header; use the strong domain types "
+                f"(ByteAddr/BlockAddr/Cycle...)")
+
+
+def check_stats_registration(path, text, findings):
+    stripped = strip_comments(text)
+    if "resetStats" not in stripped:
+        return
+    if "registerStats" in stripped:
+        return
+    if re.search(r":\s*public\s+Prefetcher\b", stripped):
+        return  # Prefetcher base provides registerStats()
+    findings.append(
+        f"{path}: declares resetStats() but neither declares "
+        f"registerStats() nor derives from Prefetcher; its stats "
+        f"would be missing from the StatsRegistry export")
+
+
+def check_determinism(path, text, findings):
+    stripped = strip_comments(text)
+    for i, line in enumerate(stripped.splitlines(), 1):
+        for pattern, what in BANNED_CALLS:
+            if pattern.search(line):
+                findings.append(
+                    f"{path}:{i}: {what} is banned in simulation code "
+                    f"(results must be a function of config + seed)")
+        if POINTER_KEYED.search(line):
+            findings.append(
+                f"{path}:{i}: pointer-keyed container; iteration order "
+                f"is allocator-dependent and can leak into stats")
+
+
+def main():
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".")
+    src = root / "src"
+    if not src.is_dir():
+        print(f"psb_lint: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    findings = []
+    for path in sorted(src.rglob("*.hh")):
+        text = path.read_text()
+        rel = path.relative_to(root)
+        check_domain_params(rel, text, findings)
+        check_stats_registration(rel, text, findings)
+        check_determinism(rel, text, findings)
+    for path in sorted(src.rglob("*.cc")):
+        check_determinism(path.relative_to(root), path.read_text(),
+                          findings)
+
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"psb_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("psb_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
