@@ -1,6 +1,7 @@
 #include "core/psb.hh"
 
 #include "util/logging.hh"
+#include "util/trace.hh"
 
 namespace psb
 {
@@ -23,8 +24,8 @@ PredictorDirectedStreamBuffers::PredictorDirectedStreamBuffers(
       _predictor(predictor),
       _hierarchy(hierarchy),
       _file(cfg.buffers),
-      _predictSched(cfg.sched, cfg.buffers.numBuffers),
-      _prefetchSched(cfg.sched, cfg.buffers.numBuffers),
+      _predictSched(cfg.sched, cfg.buffers.numBuffers, "predict"),
+      _prefetchSched(cfg.sched, cfg.buffers.numBuffers, "prefetch"),
       _agingCountdown(cfg.buffers.agingPeriod)
 {
 }
@@ -65,6 +66,9 @@ PredictorDirectedStreamBuffers::lookup(Addr addr, Cycle now)
     buf.notePriorityPeak();
     ++buf.hitCount;
     buf.lastHitStamp = _file.nextStamp();
+    PSB_TRACE(Psb, "hit", int(hit->buf), "block=%llu priority=%u%s",
+              (unsigned long long)block.raw(), buf.priority.value(),
+              result.dataPending ? " pending" : "");
 
     // The entry is freed for a new prediction and prefetch.
     buf.clearEntry(hit->entry);
@@ -136,6 +140,8 @@ PredictorDirectedStreamBuffers::demandMiss(Addr pc, Addr addr, Cycle)
         StreamBuffer &buf = _file.buffer(tag->buf);
         if (!buf.entries()[tag->entry].prefetched) {
             ++_stats.lateTagHits;
+            PSB_TRACE(Psb, "late_tag_hit", int(tag->buf), "block=%llu",
+                      (unsigned long long)block.raw());
             buf.clearEntry(tag->entry);
             return;
         }
@@ -149,12 +155,18 @@ PredictorDirectedStreamBuffers::demandMiss(Addr pc, Addr addr, Cycle)
         _agingCountdown = _cfg.buffers.agingPeriod;
         for (unsigned b = 0; b < _file.numBuffers(); ++b)
             _file.buffer(b).priority.decrement();
+        PSB_TRACE(Psb, "aging", -1, "period=%u",
+                  _cfg.buffers.agingPeriod);
     }
 
-    if (tryAllocate(pc, addr))
+    if (tryAllocate(pc, addr)) {
         ++_stats.allocations;
-    else
+    } else {
         ++_stats.allocationsFiltered;
+        PSB_TRACE(Psb, "alloc.filtered", -1, "pc=%llu addr=%llu",
+                  (unsigned long long)pc.raw(),
+                  (unsigned long long)addr.raw());
+    }
 }
 
 void
@@ -179,12 +191,16 @@ PredictorDirectedStreamBuffers::makePrediction(Cycle now)
     if (!predicted)
         return;
     ++_stats.predictions;
+    PSB_TRACE(Psb, "predict", winner, "block=%llu",
+              (unsigned long long)predicted->raw());
 
     // Non-overlapping streams: a block already present in any buffer
     // is not predicted again. The stream history has already advanced.
     BlockAddr block = *predicted;
     if (_file.contains(block)) {
         ++_stats.duplicateSuppressed;
+        PSB_TRACE(Psb, "predict.duplicate", winner, "block=%llu",
+                  (unsigned long long)block.raw());
         return;
     }
 
@@ -241,6 +257,10 @@ PredictorDirectedStreamBuffers::issuePrefetch(Cycle now)
     entry.prefetched = true;
     entry.ready = outcome.ready;
     ++_stats.prefetchesIssued;
+    PSB_TRACE(Psb, "prefetch", winner,
+              "block=%llu ready=%llu translate=%d",
+              (unsigned long long)entry.block.raw(),
+              (unsigned long long)outcome.ready.raw(), int(translate));
 }
 
 void

@@ -1,6 +1,7 @@
 #include "cpu/ooo_core.hh"
 
 #include "util/logging.hh"
+#include "util/trace.hh"
 
 namespace psb
 {
@@ -211,6 +212,9 @@ OoOCore::commitStore(RobEntry &entry, Cycle now)
     FillOutcome fill = _hierarchy.missToL2(addr, now, /*is_write=*/true);
     if (fill.mshrStall) {
         ++_stats.mshrStallRetries;
+        PSB_TRACE(Cpu, "mshr_stall", -1, "pc=%llu addr=%llu store=1",
+                  (unsigned long long)entry.op.pc.raw(),
+                  (unsigned long long)addr.raw());
         --_stats.l1dMisses;
         --_stats.l1dAccesses;
         --_stats.stores;
@@ -283,6 +287,10 @@ OoOCore::executeLoad(RobEntry &entry, Cycle now)
         // ordering violation in real hardware; charge the squash.
         if (alias && !alias->issued) {
             ++_stats.orderViolations;
+            PSB_TRACE(Cpu, "order_violation", -1,
+                      "load_pc=%llu store_pc=%llu",
+                      (unsigned long long)entry.op.pc.raw(),
+                      (unsigned long long)alias->op.pc.raw());
             _storeSets.recordViolation(entry.op.pc, alias->op.pc);
             if (_fetchResumeAt != waitingForBranch) {
                 Cycle resume = now + _cfg.mispredictPenalty;
@@ -342,6 +350,12 @@ OoOCore::executeLoad(RobEntry &entry, Cycle now)
                 _hierarchy.registerInFlightFill(block, sb.ready, now);
                 entry.doneAt =
                     sb.ready + _hierarchy.config().l1Latency + extra;
+                _stats.loadMissLatency.sample(
+                    (entry.doneAt - now).raw());
+                PSB_TRACE(Cpu, "load.miss", -1,
+                          "pc=%llu addr=%llu kind=sb_pending",
+                          (unsigned long long)entry.op.pc.raw(),
+                          (unsigned long long)addr.raw());
             } else {
                 // Data ready in the buffer: the block moves into the
                 // L1D and the access is serviced on-chip — a hit for
@@ -361,9 +375,17 @@ OoOCore::executeLoad(RobEntry &entry, Cycle now)
                 --_stats.loads;
                 --_stats.l1dAccesses;
                 --_stats.l1dMisses;
+                PSB_TRACE(Cpu, "mshr_stall", -1, "pc=%llu addr=%llu",
+                          (unsigned long long)entry.op.pc.raw(),
+                          (unsigned long long)addr.raw());
                 return false;
             }
             entry.doneAt = fill.ready + extra;
+            _stats.loadMissLatency.sample((entry.doneAt - now).raw());
+            PSB_TRACE(Cpu, "load.miss", -1,
+                      "pc=%llu addr=%llu kind=demand l2_hit=%d",
+                      (unsigned long long)entry.op.pc.raw(),
+                      (unsigned long long)addr.raw(), int(fill.l2Hit));
             // Allocation request: missed the L1D and the buffers.
             _prefetcher.demandMiss(entry.op.pc, addr, now);
         }
@@ -491,6 +513,8 @@ OoOCore::fetchStage(Cycle now)
             bool correct = _gshare.update(pc, taken, target);
             if (!correct) {
                 ++_stats.mispredicts;
+                PSB_TRACE(Cpu, "mispredict", -1, "pc=%llu taken=%d",
+                          (unsigned long long)pc.raw(), int(taken));
                 // Fetch stops until this branch resolves at execute.
                 _fetchResumeAt = waitingForBranch;
                 _redirectBranchSeq = seq;
@@ -519,6 +543,23 @@ OoOCore::registerStats(StatsRegistry &reg) const
     reg.addScalar("core.sb_serviced", &_stats.sbServiced);
     reg.addReal("core.ipc", [this] { return _stats.ipc(); });
     reg.addAverage("core.load_latency", &_stats.loadLatency);
+
+    reg.addReal("l1d.latency.p50", [this] {
+        return double(_stats.loadMissLatency.percentile(0.50));
+    });
+    reg.addReal("l1d.latency.p90", [this] {
+        return double(_stats.loadMissLatency.percentile(0.90));
+    });
+    reg.addReal("l1d.latency.p99", [this] {
+        return double(_stats.loadMissLatency.percentile(0.99));
+    });
+    reg.addScalar("l1d.latency.samples", [this] {
+        return _stats.loadMissLatency.total();
+    });
+    reg.addScalar("l1d.latency.overflow", [this] {
+        return _stats.loadMissLatency.bucket(
+            _stats.loadMissLatency.numBuckets());
+    });
 
     reg.addScalar("l1d.accesses", &_stats.l1dAccesses);
     reg.addScalar("l1d.hits", &_stats.l1dHits);

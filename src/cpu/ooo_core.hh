@@ -81,6 +81,8 @@ struct CoreStats
     uint64_t orderViolations = 0; ///< learned-disambiguation squashes
 
     Average loadLatency;        ///< issue-to-data cycles per load
+    /** Issue-to-data cycles of L1D load misses (p50/p90/p99 export). */
+    Histogram loadMissLatency{256};
 
     double ipc() const { return cycles ? double(instructions) / double(cycles) : 0.0; }
     double l1dMissRate() const { return ratio(l1dMisses, l1dAccesses); }

@@ -2,11 +2,13 @@
 
 #include "util/logging.hh"
 #include "util/stats.hh"
+#include "util/trace.hh"
 
 namespace psb
 {
 
-Bus::Bus(unsigned bytes_per_cycle) : _bytesPerCycle(bytes_per_cycle)
+Bus::Bus(unsigned bytes_per_cycle, const char *name)
+    : _bytesPerCycle(bytes_per_cycle), _name(name)
 {
     psb_assert(bytes_per_cycle > 0, "bus needs non-zero bandwidth");
 }
@@ -26,6 +28,10 @@ Bus::transact(Cycle earliest, unsigned payload_bytes)
     _busyUntil = start + duration;
     _busyCycles += duration.raw();
     ++_transfers;
+    PSB_TRACE(Bus, "transact", -1,
+              "bus=%s bytes=%u start=%llu end=%llu", _name, payload_bytes,
+              (unsigned long long)start.raw(),
+              (unsigned long long)_busyUntil.raw());
     return BusSlot{start, _busyUntil};
 }
 

@@ -41,8 +41,11 @@ struct BusSlot
 class Bus
 {
   public:
-    /** @param bytes_per_cycle Transfer bandwidth. Must be non-zero. */
-    explicit Bus(unsigned bytes_per_cycle);
+    /**
+     * @param bytes_per_cycle Transfer bandwidth. Must be non-zero.
+     * @param name Bus name for trace events ("l1l2", "l2mem").
+     */
+    explicit Bus(unsigned bytes_per_cycle, const char *name = "bus");
 
     /** True iff no transaction occupies the bus at cycle @p now. */
     bool freeAt(Cycle now) const { return _busyUntil <= now; }
@@ -75,6 +78,7 @@ class Bus
 
   private:
     unsigned _bytesPerCycle;
+    const char *_name;
     Cycle _busyUntil{};
     uint64_t _busyCycles = 0;
     uint64_t _transfers = 0;

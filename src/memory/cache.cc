@@ -2,12 +2,14 @@
 
 #include "util/bitfield.hh"
 #include "util/logging.hh"
+#include "util/trace.hh"
 
 namespace psb
 {
 
-SetAssocCache::SetAssocCache(const CacheGeometry &geom)
+SetAssocCache::SetAssocCache(const CacheGeometry &geom, const char *name)
     : _geom(geom),
+      _name(name),
       _blockMask(geom.blockBytes - 1),
       _blockShift(floorLog2(geom.blockBytes)),
       _numSets(geom.numSets()),
@@ -92,6 +94,11 @@ SetAssocCache::insert(Addr addr, bool dirty)
             (set[victim].tag << floorLog2(_numSets)) | set_idx};
         evicted = Eviction{victim_block.toByte(_blockShift),
                            set[victim].dirty};
+        PSB_TRACE(Cache, "evict", -1,
+                  "cache=%s victim=%llu dirty=%d for=%llu", _name,
+                  (unsigned long long)victim_block.raw(),
+                  int(set[victim].dirty),
+                  (unsigned long long)addr.toBlock(_blockShift).raw());
     }
 
     set[victim].tag = tag;

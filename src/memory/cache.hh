@@ -50,7 +50,9 @@ struct Eviction
 class SetAssocCache
 {
   public:
-    explicit SetAssocCache(const CacheGeometry &geom);
+    /** @param name Cache name for trace events ("l1d", "l2"...). */
+    explicit SetAssocCache(const CacheGeometry &geom,
+                           const char *name = "cache");
 
     /** True iff the block containing @p addr is resident. No LRU update. */
     bool probe(Addr addr) const;
@@ -108,6 +110,7 @@ class SetAssocCache
     uint64_t tagOf(Addr addr) const;
 
     CacheGeometry _geom;
+    const char *_name;
     uint64_t _blockMask;
     unsigned _blockShift;
     uint64_t _numSets;

@@ -1,20 +1,21 @@
 #include "memory/hierarchy.hh"
 
 #include "util/logging.hh"
+#include "util/trace.hh"
 
 namespace psb
 {
 
 MemoryHierarchy::MemoryHierarchy(const MemoryConfig &cfg)
     : _cfg(cfg),
-      _l1d(cfg.l1d),
-      _l1i(cfg.l1i),
-      _l2(cfg.l2),
-      _l1L2Bus(cfg.l1L2BusBytesPerCycle),
-      _l2MemBus(cfg.l2MemBusBytesPerCycle),
+      _l1d(cfg.l1d, "l1d"),
+      _l1i(cfg.l1i, "l1i"),
+      _l2(cfg.l2, "l2"),
+      _l1L2Bus(cfg.l1L2BusBytesPerCycle, "l1_l2"),
+      _l2MemBus(cfg.l2MemBusBytesPerCycle, "l2_mem"),
       _memory(cfg.memLatency, cfg.memIssueInterval),
-      _dataMshrs(cfg.l1dMshrs),
-      _instMshrs(cfg.l1iMshrs),
+      _dataMshrs(cfg.l1dMshrs, "data"),
+      _instMshrs(cfg.l1iMshrs, "inst"),
       _dtlb(cfg.tlbEntries, cfg.pageBytes, cfg.tlbMissPenalty),
       _l2AcceptInterval(cfg.l2Latency.raw() / cfg.l2PipelineDepth)
 {
@@ -57,11 +58,15 @@ MemoryHierarchy::l2AndBelow(Addr addr, Cycle arrive, bool &l2_hit)
     if (_l2.touch(addr)) {
         ++_stats.l2Hits;
         l2_hit = true;
+        PSB_TRACE(Cache, "l2.hit", -1, "block=%llu",
+                  (unsigned long long)_l2.blockOf(addr).raw());
         return start + _cfg.l2Latency;
     }
 
     ++_stats.l2Misses;
     l2_hit = false;
+    PSB_TRACE(Cache, "l2.miss", -1, "block=%llu",
+              (unsigned long long)_l2.blockOf(addr).raw());
 
     // The L2 lookup determines the miss; the memory transaction then
     // queues on the L2-memory bus, and the data is available at the
@@ -169,6 +174,11 @@ MemoryHierarchy::registerInFlightFill(BlockAddr block, Cycle ready,
     if (!_dataMshrs.full(now) &&
         !_dataMshrs.lookup(block, now).has_value()) {
         _dataMshrs.allocate(block, ready);
+    } else if (_dataMshrs.full(now)) {
+        // Model approximation: the in-flight stream-buffer fill is
+        // honoured but not merge-tracked when every MSHR is busy.
+        warn_once("L1D MSHRs full; in-flight stream-buffer fill not "
+                  "tracked (fills still complete; merges not counted)");
     }
 }
 
@@ -236,6 +246,11 @@ MemoryHierarchy::instFetch(Addr pc, Cycle now)
     _l1i.insert(_l1i.blockAlign(pc));
     if (!_instMshrs.full(now))
         _instMshrs.allocate(block, ready);
+    else
+        // Model approximation: the fetch still completes at the L2
+        // latency, but later fetches of this line cannot merge.
+        warn_once("L1I MSHRs full; instruction fill not tracked "
+                  "(fetches still complete; merges not counted)");
     return ready;
 }
 

@@ -2,12 +2,13 @@
 
 #include "util/logging.hh"
 #include "util/stats.hh"
+#include "util/trace.hh"
 
 namespace psb
 {
 
-MshrFile::MshrFile(unsigned num_entries)
-    : _capacity(num_entries), _entries(num_entries)
+MshrFile::MshrFile(unsigned num_entries, const char *name)
+    : _capacity(num_entries), _name(name), _entries(num_entries)
 {
     psb_assert(num_entries > 0, "MSHR file needs at least one entry");
 }
@@ -28,6 +29,9 @@ MshrFile::lookup(BlockAddr block, Cycle now)
     for (auto &e : _entries) {
         if (e.valid && e.block == block) {
             ++_merges;
+            PSB_TRACE(Mshr, "merge", -1, "file=%s block=%llu ready=%llu",
+                      _name, (unsigned long long)block.raw(),
+                      (unsigned long long)e.ready.raw());
             return e.ready;
         }
     }
@@ -59,6 +63,10 @@ MshrFile::allocate(BlockAddr block, Cycle ready)
             e.block = block;
             e.ready = ready;
             ++_allocations;
+            PSB_TRACE(Mshr, "allocate", -1,
+                      "file=%s block=%llu ready=%llu", _name,
+                      (unsigned long long)block.raw(),
+                      (unsigned long long)ready.raw());
             return;
         }
     }

@@ -27,8 +27,11 @@ class StatsRegistry;
 class MshrFile
 {
   public:
-    /** @param num_entries Capacity; requests beyond it must stall. */
-    explicit MshrFile(unsigned num_entries);
+    /**
+     * @param num_entries Capacity; requests beyond it must stall.
+     * @param name File name for trace events ("l1d", "l1i").
+     */
+    explicit MshrFile(unsigned num_entries, const char *name = "mshr");
 
     /**
      * If the block is in flight at @p now, return the cycle its data
@@ -79,6 +82,7 @@ class MshrFile
     void retire(Cycle now);
 
     unsigned _capacity;
+    const char *_name;
     std::vector<Entry> _entries;
     uint64_t _allocations = 0;
     uint64_t _merges = 0;

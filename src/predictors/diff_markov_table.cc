@@ -2,6 +2,7 @@
 
 #include "util/bitfield.hh"
 #include "util/logging.hh"
+#include "util/trace.hh"
 
 namespace psb
 {
@@ -33,13 +34,20 @@ DiffMarkovTable::update(BlockAddr from, BlockAddr to)
     BlockDelta delta = to - from;
     if (!delta.fitsIn(_cfg.deltaBits)) {
         ++_overflows;
+        PSB_TRACE(Markov, "overflow", -1, "from=%llu delta=%lld",
+                  (unsigned long long)from.raw(),
+                  (long long)delta.raw());
         return false;
     }
     Entry &entry = _entries[indexOf(from)];
+    bool replaced = entry.valid && entry.tag != tagOf(from);
     entry.tag = tagOf(from);
     entry.delta = delta;
     entry.valid = true;
     ++_updates;
+    PSB_TRACE(Markov, "update", -1, "from=%llu delta=%lld replaced=%d",
+              (unsigned long long)from.raw(), (long long)delta.raw(),
+              int(replaced));
     return true;
 }
 

@@ -3,6 +3,7 @@
 #include "util/bitfield.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
+#include "util/trace.hh"
 
 namespace psb
 {
@@ -39,6 +40,11 @@ SfmPredictor::train(Addr pc, Addr addr)
     if (correct)
         ++_correct;
     _stride.recordOutcome(pc, correct);
+    PSB_TRACE(Sfm, "train", -1,
+              "pc=%llu block=%llu stride_ok=%d markov_ok=%d",
+              (unsigned long long)pc.raw(),
+              (unsigned long long)block.raw(), int(stride_correct),
+              int(markov_correct));
 
     if (!use_markov)
         return;
@@ -61,13 +67,19 @@ SfmPredictor::predictNext(StreamState &state) const
     const bool use_markov = _cfg.mode != SfmMode::StrideOnly;
 
     std::optional<BlockAddr> next;
-    if (use_markov)
+    bool from_markov = false;
+    if (use_markov) {
         next = _markov.lookup(state.lastAddr);
+        from_markov = next.has_value();
+    }
     if (!next && use_stride)
         next = state.lastAddr + state.stride;
     if (!next)
         return std::nullopt;
 
+    PSB_TRACE(Sfm, "predict", -1, "block=%llu source=%s",
+              (unsigned long long)next->raw(),
+              from_markov ? "markov" : "stride");
     state.lastAddr = *next;
     return next;
 }

@@ -4,6 +4,7 @@
 
 #include "util/bitfield.hh"
 #include "util/logging.hh"
+#include "util/trace.hh"
 
 namespace psb
 {
@@ -72,6 +73,9 @@ StrideTable::train(Addr pc, Addr addr)
             if (set[w].lastUse < entry->lastUse)
                 entry = &set[w];
         }
+        PSB_TRACE(Sfm, "stride.alloc", -1, "pc=%llu evicted_pc=%llu",
+                  (unsigned long long)pc.raw(),
+                  entry->valid ? (unsigned long long)entry->pc.raw() : 0ULL);
         *entry = StrideEntry{};
         entry->accuracy = SatCounter(_cfg.confidenceMax);
         entry->pc = pc;

@@ -2,6 +2,7 @@
 
 #include "util/logging.hh"
 #include "util/stats.hh"
+#include "util/trace.hh"
 
 namespace psb
 {
@@ -16,8 +17,9 @@ schedPolicyName(SchedPolicy policy)
     return "Unknown";
 }
 
-BufferScheduler::BufferScheduler(SchedPolicy policy, unsigned num_buffers)
-    : _policy(policy), _numBuffers(num_buffers)
+BufferScheduler::BufferScheduler(SchedPolicy policy, unsigned num_buffers,
+                                 const char *label)
+    : _policy(policy), _numBuffers(num_buffers), _label(label)
 {
     psb_assert(num_buffers > 0, "scheduler needs at least one buffer");
 }
@@ -33,6 +35,8 @@ BufferScheduler::pick(const StreamBufferFile &file,
             if (candidate(b)) {
                 _rrPtr = b;
                 ++_grants;
+                PSB_TRACE(Sched, "grant", int(b), "resource=%s policy=rr",
+                          _label);
                 return int(b);
             }
         }
@@ -56,10 +60,14 @@ BufferScheduler::pick(const StreamBufferFile &file,
             best = int(b);
         }
     }
-    if (best >= 0)
+    if (best >= 0) {
         ++_grants;
-    else
+        PSB_TRACE(Sched, "grant", best,
+                  "resource=%s policy=priority priority=%u", _label,
+                  file.buffer(unsigned(best)).priority.value());
+    } else {
         ++_noCandidate;
+    }
     return best;
 }
 

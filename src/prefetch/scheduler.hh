@@ -40,7 +40,9 @@ const char *schedPolicyName(SchedPolicy policy);
 class BufferScheduler
 {
   public:
-    BufferScheduler(SchedPolicy policy, unsigned num_buffers);
+    /** @param label Resource name for trace events ("predict"...). */
+    BufferScheduler(SchedPolicy policy, unsigned num_buffers,
+                    const char *label = "sched");
 
     /**
      * Choose among buffers for which @p candidate returns true.
@@ -75,6 +77,7 @@ class BufferScheduler
   private:
     SchedPolicy _policy;
     unsigned _numBuffers;
+    const char *_label;
     unsigned _rrPtr = 0;
     uint64_t _grants = 0;
     uint64_t _noCandidate = 0;

@@ -2,12 +2,14 @@
 
 #include "util/bitfield.hh"
 #include "util/logging.hh"
+#include "util/trace.hh"
 
 namespace psb
 {
 
-StreamBuffer::StreamBuffer(unsigned num_entries, uint32_t priority_max)
-    : priority(priority_max), _entries(num_entries)
+StreamBuffer::StreamBuffer(unsigned num_entries, uint32_t priority_max,
+                           unsigned index)
+    : priority(priority_max), _entries(num_entries), _index(index)
 {
 }
 
@@ -15,6 +17,16 @@ void
 StreamBuffer::allocateStream(const StreamState &new_state,
                              uint32_t priority_init)
 {
+    // Stream lifetimes render as Chrome duration events, one track per
+    // buffer: re-allocating a live buffer is a replacement (thrash), so
+    // the old span closes where the new one opens.
+    if (_allocated) {
+        PSB_TRACE(Psb, "thrash", int(_index),
+                  "old_addr=%llu old_priority=%u",
+                  (unsigned long long)state.lastAddr.raw(),
+                  priority.value());
+        PSB_TRACE_END(Psb, "stream", int(_index));
+    }
     state = new_state;
     priority.set(priority_init);
     translatedPage = ~uint64_t(0);
@@ -23,6 +35,10 @@ StreamBuffer::allocateStream(const StreamState &new_state,
     _allocated = true;
     ++streamAllocs;
     notePriorityPeak();
+    PSB_TRACE_BEGIN(Psb, "stream", int(_index),
+                    "block=%llu priority=%u",
+                    (unsigned long long)state.lastAddr.raw(),
+                    priority.value());
 }
 
 int
@@ -71,7 +87,7 @@ StreamBufferFile::StreamBufferFile(const StreamBufferConfig &cfg)
     psb_assert(isPowerOf2(cfg.blockBytes), "block size must be 2^n");
     _buffers.reserve(cfg.numBuffers);
     for (unsigned i = 0; i < cfg.numBuffers; ++i)
-        _buffers.emplace_back(cfg.entriesPerBuffer, cfg.priorityMax);
+        _buffers.emplace_back(cfg.entriesPerBuffer, cfg.priorityMax, i);
 }
 
 std::optional<StreamBufferFile::TagHit>

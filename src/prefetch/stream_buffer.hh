@@ -59,7 +59,9 @@ struct SbEntry
 class StreamBuffer
 {
   public:
-    StreamBuffer(unsigned num_entries, uint32_t priority_max);
+    /** @param index Position in the owning file (trace track id). */
+    StreamBuffer(unsigned num_entries, uint32_t priority_max,
+                 unsigned index = 0);
 
     /** Reset entries and install a new stream (allocation). */
     void allocateStream(const StreamState &state, uint32_t priority_init);
@@ -121,6 +123,7 @@ class StreamBuffer
 
   private:
     std::vector<SbEntry> _entries;
+    unsigned _index = 0;
     bool _allocated = false;
 };
 

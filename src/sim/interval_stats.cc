@@ -1,0 +1,79 @@
+#include "sim/interval_stats.hh"
+
+#include "util/logging.hh"
+#include "util/stats_json.hh"
+
+namespace psb
+{
+
+IntervalStatsWriter::IntervalStatsWriter(const StatsRegistry &registry,
+                                         uint64_t period,
+                                         std::ostream &out)
+    : _registry(registry), _period(period), _out(&out)
+{
+    psb_assert(period > 0, "interval-stats period must be positive");
+}
+
+void
+IntervalStatsWriter::start(Cycle now)
+{
+    _intervalStart = now;
+    _index = 0;
+    _started = true;
+    // Zero baseline (not a snapshot): the registry was just reset for
+    // the measured region, and starting from zero makes the deltas
+    // telescope to the final counters even for stats the reset does
+    // not clear.
+    _prevScalars.clear();
+}
+
+void
+IntervalStatsWriter::emitInterval(Cycle end)
+{
+    auto snap = _registry.snapshot();
+    *_out << "{\"interval\":" << _index << ",\"start\":"
+          << _intervalStart.raw() << ",\"end\":" << end.raw()
+          << ",\"delta\":{";
+    bool first = true;
+    for (const auto &[path, value] : snap) {
+        if (value.kind != StatValue::Kind::Scalar)
+            continue;
+        uint64_t prev = 0;
+        if (auto it = _prevScalars.find(path); it != _prevScalars.end())
+            prev = it->second;
+        int64_t delta = int64_t(value.scalar) - int64_t(prev);
+        _prevScalars[path] = value.scalar;
+        if (!first)
+            *_out << ",";
+        first = false;
+        *_out << "\"" << path << "\":" << delta;
+    }
+    *_out << "},\"values\":{";
+    first = true;
+    for (const auto &[path, value] : snap) {
+        if (value.kind != StatValue::Kind::Real)
+            continue;
+        if (!first)
+            *_out << ",";
+        first = false;
+        *_out << "\"" << path << "\":" << formatStatReal(value.real);
+    }
+    *_out << "}}\n";
+    ++_index;
+    _intervalStart = end;
+}
+
+void
+IntervalStatsWriter::finish(Cycle now)
+{
+    if (!_started)
+        return;
+    // The trailing partial interval keeps the delta sum exact; skip it
+    // only when the run ended exactly on a boundary.
+    if (now > _intervalStart)
+        emitInterval(now);
+    _out->flush();
+    _started = false;
+}
+
+} // namespace psb

@@ -7,6 +7,7 @@
 #include "prefetch/sequential_stream_buffers.hh"
 #include "prefetch/stride_stream_buffers.hh"
 #include "util/logging.hh"
+#include "util/trace.hh"
 
 namespace psb
 {
@@ -187,6 +188,13 @@ Simulator::setMissHook(std::function<void(Addr, Addr)> hook)
 }
 
 void
+Simulator::setIntervalStats(uint64_t period, std::ostream &out)
+{
+    _intervalStats =
+        std::make_unique<IntervalStatsWriter>(_registry, period, out);
+}
+
+void
 Simulator::resetAllStats()
 {
     _core->resetStats();
@@ -201,20 +209,28 @@ Simulator::run()
 {
     while (!_core->done() &&
            _core->stats().instructions < _cfg.warmupInstructions) {
+        PSB_TRACE_SET_NOW(_now);
         _core->tick(_now);
         _hookWrapper->tick(_now);
         ++_now;
     }
 
     resetAllStats();
+    if (_intervalStats)
+        _intervalStats->start(_now);
 
     while (!_core->done() &&
            _core->stats().instructions < _cfg.maxInstructions) {
+        PSB_TRACE_SET_NOW(_now);
         _core->tick(_now);
         _hookWrapper->tick(_now);
         ++_now;
+        if (_intervalStats)
+            _intervalStats->tick(_now);
     }
 
+    if (_intervalStats)
+        _intervalStats->finish(_now);
     return gather();
 }
 

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "sim/config.hh"
+#include "sim/interval_stats.hh"
 #include "trace/trace_source.hh"
 #include "util/stats.hh"
 
@@ -82,6 +83,13 @@ class Simulator
     const StatsRegistry &statsRegistry() const { return _registry; }
 
     /**
+     * Emit one interval-stats JSONL record to @p out every @p period
+     * measured cycles (see sim/interval_stats.hh). Call before run();
+     * @p out must outlive the run.
+     */
+    void setIntervalStats(uint64_t period, std::ostream &out);
+
+    /**
      * Deterministic flat-JSON dump of every registered stat (sorted
      * keys, fixed float formatting). Byte-identical across runs with
      * the same configuration and seed.
@@ -101,6 +109,7 @@ class Simulator
     std::unique_ptr<Prefetcher> _hookWrapper;
     std::unique_ptr<OoOCore> _core;
     std::function<void(Addr, Addr)> _missHook;
+    std::unique_ptr<IntervalStatsWriter> _intervalStats;
     Cycle _now{};
 };
 

@@ -34,6 +34,21 @@ void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /**
+ * warn(), but at most once per call site. For per-event modelling
+ * approximations (an MSHR-full fill falling back to untracked, say)
+ * that would otherwise repeat millions of times and flood stderr on a
+ * long run: the first occurrence is reported, the rest are silent.
+ */
+#define warn_once(...)                                                   \
+    do {                                                                 \
+        static bool psb_warned_once_ = false;                            \
+        if (!psb_warned_once_) {                                         \
+            psb_warned_once_ = true;                                     \
+            ::psb::warn(__VA_ARGS__);                                    \
+        }                                                                \
+    } while (0)
+
+/**
  * Assert-like macro that survives NDEBUG builds. Use for simulator
  * invariants whose violation means the model itself is broken.
  */

@@ -22,6 +22,33 @@ Histogram::cdfAt(uint64_t v) const
     return double(acc) / double(_total);
 }
 
+uint64_t
+Histogram::percentile(double p) const
+{
+    if (_total == 0)
+        return 0;
+    if (p < 0.0)
+        p = 0.0;
+    if (p > 1.0)
+        p = 1.0;
+    // Rank of the percentile sample, 1-based; p == 0 still selects the
+    // first sample so the result is an observed value.
+    uint64_t target = uint64_t(p * double(_total));
+    if (double(target) < p * double(_total))
+        ++target; // ceil
+    if (target == 0)
+        target = 1;
+    if (target > _total)
+        target = _total;
+    uint64_t acc = 0;
+    for (size_t i = 0; i < _buckets.size(); ++i) {
+        acc += _buckets[i];
+        if (acc >= target)
+            return i;
+    }
+    return _buckets.size() - 1; // unreachable: acc == _total by here
+}
+
 void
 Histogram::reset()
 {

@@ -108,6 +108,15 @@ class Histogram
     /** Fraction of samples with value <= @p v (inclusive CDF). */
     double cdfAt(uint64_t v) const;
 
+    /**
+     * Smallest bucket value v such that at least ceil(p * total)
+     * samples are <= v. Samples that landed in the overflow bucket
+     * resolve to numBuckets() (the overflow index) — the true value is
+     * unknown, only that it is >= the bucket range. Returns 0 for an
+     * empty histogram. @p p is clamped to [0, 1].
+     */
+    uint64_t percentile(double p) const;
+
     void reset();
 
   private:

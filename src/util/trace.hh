@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Gated event-tracing layer, in the spirit of gem5's DPRINTF flags.
+ *
+ * Every component traces through one process-wide TraceManager under a
+ * named per-component flag (psb, sched, sfm, markov, bus, cache, mshr,
+ * cpu). The PSB_TRACE family of macros tests a single global bitmask
+ * before evaluating any argument, so a disabled flag costs exactly one
+ * predicted-not-taken branch at the call site — the zero-cost-when-off
+ * contract the golden-stats harness depends on (see DESIGN.md
+ * §"Observability"). Compiling with -DPSB_TRACE_DISABLED removes the
+ * call sites entirely.
+ *
+ * Three pluggable sinks render the event stream:
+ *  - Text:   one human-readable line per event (gem5-trace style).
+ *  - Jsonl:  one JSON object per line, deterministic field order;
+ *            consumed by tools/psb_trace.py.
+ *  - Chrome: a trace-event (catapult) JSON array that loads directly
+ *            in chrome://tracing or Perfetto. Stream-buffer lifetimes
+ *            appear as duration events (one track per buffer) and
+ *            hits/thrashes/priority bumps as instants; ts is in
+ *            simulated cycles rendered as microseconds.
+ *
+ * Determinism: events carry only simulation state (cycles, addresses,
+ * counters), never wall-clock time or pointers, so a traced run is
+ * byte-identical across repeats — the determinism contract extends to
+ * traces (tests/test_tracing.cc pins this down).
+ *
+ * Span accounting: begin()/end() pairs (stream-buffer lifetimes) are
+ * balanced by construction — finish() emits synthetic end events for
+ * spans still open at the end of the run, and an end whose begin fell
+ * outside the trace window is dropped, so every emitted begin has
+ * exactly one matching end (tools/psb_trace.py validates this).
+ */
+
+#ifndef PSB_UTIL_TRACE_HH
+#define PSB_UTIL_TRACE_HH
+
+#include <cstdarg>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "util/strong_types.hh"
+
+namespace psb
+{
+
+/** One trace flag per component subsystem. */
+enum class TraceFlag : unsigned
+{
+    Psb,    ///< stream-buffer decisions: alloc, hit, thrash, priority
+    Sched,  ///< predictor-port / prefetch-slot arbitration
+    Sfm,    ///< SFM predictor training and predictions, stride table
+    Markov, ///< differential Markov table updates and overflows
+    Bus,    ///< bus transactions and occupancy
+    Cache,  ///< cache insertions, evictions, L2 outcomes
+    Mshr,   ///< MSHR allocations, merges
+    Cpu,    ///< core events: mispredicts, stalls, load misses
+    NumFlags,
+};
+
+constexpr unsigned kNumTraceFlags = unsigned(TraceFlag::NumFlags);
+
+/**
+ * The global enable mask read by the PSB_TRACE macros. Bit i enables
+ * TraceFlag(i). Written only by TraceManager::configure()/reset();
+ * components must treat it as read-only (and read it only through
+ * traceEnabled()).
+ */
+extern uint32_t g_traceMask;
+
+/** True iff @p flag is enabled. The macro fast path. */
+inline bool
+traceEnabled(TraceFlag flag)
+{
+    return (g_traceMask & (uint32_t(1) << unsigned(flag))) != 0;
+}
+
+/** True iff any flag is enabled (gates per-cycle bookkeeping). */
+inline bool
+traceAnyEnabled()
+{
+    return g_traceMask != 0;
+}
+
+/** See file comment. */
+class TraceManager
+{
+  public:
+    /** Sink output format. */
+    enum class Format
+    {
+        Text,   ///< human-readable lines
+        Jsonl,  ///< one JSON object per line (tools/psb_trace.py)
+        Chrome, ///< chrome://tracing / Perfetto trace-event JSON
+    };
+
+    /** The process-wide manager. */
+    static TraceManager &get();
+
+    /**
+     * Enable tracing: events for flags in @p mask go to @p out in
+     * @p format, restricted to cycles in [window_start, window_end).
+     * @p out is not owned and must outlive the manager or the next
+     * reset(). Any previously configured sink is finished first.
+     */
+    void configure(uint32_t mask, Format format, std::ostream &out,
+                   Cycle window_start = Cycle{},
+                   Cycle window_end = Cycle::max());
+
+    /**
+     * As configure(), but writing to @p path ("-" = stdout). The
+     * stream is owned by the manager.
+     * @retval false when the file cannot be opened (mask left clear).
+     */
+    bool configureFile(uint32_t mask, Format format,
+                       const std::string &path,
+                       Cycle window_start = Cycle{},
+                       Cycle window_end = Cycle::max());
+
+    /**
+     * Close out the trace: emit synthetic end events for open spans,
+     * write the Chrome trailer, flush, and clear the enable mask. Safe
+     * to call when tracing was never configured.
+     */
+    void finish();
+
+    /** finish() and detach the sink (drops an owned stream). */
+    void reset();
+
+    /**
+     * The current simulation cycle, maintained by the driving loop
+     * (Simulator::run) via setNow(). Events are stamped with it, so
+     * components need no cycle plumbing of their own.
+     */
+    Cycle now() const { return _now; }
+    void setNow(Cycle now) { _now = now; }
+
+    /** Emit an instant event. Use via PSB_TRACE. */
+    void instant(TraceFlag flag, const char *name, int track,
+                 const char *fmt, ...)
+        __attribute__((format(printf, 5, 6)));
+
+    /** Open a duration span. Use via PSB_TRACE_BEGIN. */
+    void begin(TraceFlag flag, const char *name, int track,
+               const char *fmt, ...)
+        __attribute__((format(printf, 5, 6)));
+
+    /**
+     * Close the innermost open span with this (flag, name, track).
+     * Dropped silently when no such span is open (its begin fell
+     * outside the trace window). Use via PSB_TRACE_END.
+     */
+    void end(TraceFlag flag, const char *name, int track);
+
+    /** Events emitted since configure() (window-filtered). */
+    uint64_t eventCount() const { return _events; }
+
+    /** Canonical lower-case name of @p flag. */
+    static const char *flagName(TraceFlag flag);
+
+    /**
+     * Parse a comma-separated flag list ("psb,sched" or "all") into a
+     * mask. On an unknown name returns std::nullopt and stores the
+     * offending token in @p bad_token.
+     */
+    static std::optional<uint32_t> parseFlags(const std::string &csv,
+                                              std::string &bad_token);
+
+    /** Parse a format name (text|jsonl|chrome). */
+    static std::optional<Format> parseFormat(const std::string &name);
+
+    /** All valid flag names, comma-separated (for error messages). */
+    static std::string validFlagList();
+
+  private:
+    TraceManager() = default;
+
+    void emit(TraceFlag flag, char phase, const char *name, int track,
+              const char *fmt, va_list args);
+    void writeEvent(TraceFlag flag, char phase, Cycle cycle,
+                    const char *name, int track, const char *detail);
+    void writeChromePreamble();
+
+    std::ostream *_out = nullptr;
+    std::unique_ptr<std::ostream> _owned;
+    Format _format = Format::Text;
+    Cycle _windowStart{};
+    Cycle _windowEnd = Cycle::max();
+    Cycle _now{};
+    Cycle _lastEmitted{};
+    uint64_t _events = 0;
+    bool _chromeFirst = true;
+    bool _active = false;
+    /** Open begin() spans: key -> nesting depth, for balanced closes. */
+    std::map<std::string, unsigned> _openSpans;
+};
+
+} // namespace psb
+
+/*
+ * The tracing macros. `flag` is a bare TraceFlag enumerator name
+ * (PSB_TRACE(Psb, ...)); the remaining arguments are an event name, an
+ * integer track (buffer index etc., -1 for none), and a printf-style
+ * detail string. Arguments are NOT evaluated when the flag is off: the
+ * whole call compiles to one predicted-not-taken branch on a global
+ * bitmask, and to nothing at all under -DPSB_TRACE_DISABLED.
+ */
+#ifdef PSB_TRACE_DISABLED
+
+#define PSB_TRACE(flag, ...)                                             \
+    do {                                                                 \
+    } while (0)
+#define PSB_TRACE_BEGIN(flag, ...)                                       \
+    do {                                                                 \
+    } while (0)
+#define PSB_TRACE_END(flag, ...)                                         \
+    do {                                                                 \
+    } while (0)
+#define PSB_TRACE_SET_NOW(cycle)                                         \
+    do {                                                                 \
+    } while (0)
+
+#else
+
+#define PSB_TRACE(flag, ...)                                             \
+    do {                                                                 \
+        if (__builtin_expect(                                            \
+                ::psb::traceEnabled(::psb::TraceFlag::flag), 0)) {       \
+            ::psb::TraceManager::get().instant(::psb::TraceFlag::flag,   \
+                                               __VA_ARGS__);             \
+        }                                                                \
+    } while (0)
+
+#define PSB_TRACE_BEGIN(flag, ...)                                       \
+    do {                                                                 \
+        if (__builtin_expect(                                            \
+                ::psb::traceEnabled(::psb::TraceFlag::flag), 0)) {       \
+            ::psb::TraceManager::get().begin(::psb::TraceFlag::flag,     \
+                                             __VA_ARGS__);               \
+        }                                                                \
+    } while (0)
+
+#define PSB_TRACE_END(flag, ...)                                         \
+    do {                                                                 \
+        if (__builtin_expect(                                            \
+                ::psb::traceEnabled(::psb::TraceFlag::flag), 0)) {       \
+            ::psb::TraceManager::get().end(::psb::TraceFlag::flag,       \
+                                           __VA_ARGS__);                 \
+        }                                                                \
+    } while (0)
+
+/** Advance the manager's cycle stamp; gated so idle cost is one test. */
+#define PSB_TRACE_SET_NOW(cycle)                                         \
+    do {                                                                 \
+        if (__builtin_expect(::psb::traceAnyEnabled(), 0))               \
+            ::psb::TraceManager::get().setNow(cycle);                    \
+    } while (0)
+
+#endif // PSB_TRACE_DISABLED
+
+#endif // PSB_UTIL_TRACE_HH

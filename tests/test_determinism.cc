@@ -9,9 +9,12 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <string>
+#include <utility>
 
 #include "sim/simulator.hh"
+#include "util/trace.hh"
 #include "workloads/workload.hh"
 
 namespace psb
@@ -66,6 +69,47 @@ TEST(DeterminismTest, DifferentSeedsProduceDifferentStats)
     // Sanity check that the byte-compare above is not vacuous: a
     // different workload seed must actually change the numbers.
     EXPECT_NE(runOnce("health", 1), runOnce("health", 2));
+}
+
+/** Run with event tracing on; return (trace bytes, stats JSON). */
+std::pair<std::string, std::string>
+runTraced(const std::string &workload, uint64_t seed)
+{
+    std::string bad;
+    auto mask = TraceManager::parseFlags("psb,sched", bad);
+    EXPECT_TRUE(mask.has_value()) << bad;
+
+    std::ostringstream trace_out;
+    TraceManager::get().configure(*mask, TraceManager::Format::Jsonl,
+                                  trace_out);
+    auto trace = makeWorkload(workload, seed);
+    Simulator sim(smallRegion(), *trace);
+    sim.run();
+    std::string stats = sim.statsJson();
+    TraceManager::get().reset();
+    return {trace_out.str(), stats};
+}
+
+TEST(DeterminismTest, TracedRunsProduceByteIdenticalTraces)
+{
+    auto first = runTraced("health", 1);
+    auto second = runTraced("health", 1);
+    ASSERT_FALSE(first.first.empty())
+        << "traced run emitted no events; tracing is not wired up";
+    EXPECT_EQ(first.first, second.first)
+        << "two identical traced runs diverged — the event trace leaks "
+        << "nondeterministic state (wall clock, pointers, hash order)";
+    EXPECT_EQ(first.second, second.second);
+}
+
+TEST(DeterminismTest, TracingDoesNotPerturbStats)
+{
+    // The zero-observer-effect contract: a traced run must export the
+    // same stats JSON as an untraced run, byte for byte.
+    std::string untraced = runOnce("health", 1);
+    auto traced = runTraced("health", 1);
+    EXPECT_EQ(traced.second, untraced)
+        << "enabling --trace changed simulation statistics";
 }
 
 TEST(DeterminismTest, JsonStableAcrossRepeatedExport)

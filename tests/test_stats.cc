@@ -196,6 +196,69 @@ TEST(CounterWidth, AverageCountsBeyond32Bits)
     EXPECT_DOUBLE_EQ(avg.mean(), 2.0);
 }
 
+// ---------------------------------------------------------------- //
+// Histogram percentiles
+// ---------------------------------------------------------------- //
+
+TEST(HistogramPercentile, EmptyHistogramReturnsZero)
+{
+    Histogram hist(16);
+    EXPECT_EQ(hist.percentile(0.0), 0u);
+    EXPECT_EQ(hist.percentile(0.5), 0u);
+    EXPECT_EQ(hist.percentile(1.0), 0u);
+}
+
+TEST(HistogramPercentile, KnownDistribution)
+{
+    // 100 samples: 50 at value 2, 40 at value 5, 10 at value 9.
+    Histogram hist(16);
+    hist.sampleN(2, 50);
+    hist.sampleN(5, 40);
+    hist.sampleN(9, 10);
+    EXPECT_EQ(hist.percentile(0.50), 2u);
+    EXPECT_EQ(hist.percentile(0.51), 5u);
+    EXPECT_EQ(hist.percentile(0.90), 5u);
+    EXPECT_EQ(hist.percentile(0.91), 9u);
+    EXPECT_EQ(hist.percentile(0.99), 9u);
+    // p == 0 still selects an observed sample (the smallest), and
+    // p == 1 the largest.
+    EXPECT_EQ(hist.percentile(0.0), 2u);
+    EXPECT_EQ(hist.percentile(1.0), 9u);
+}
+
+TEST(HistogramPercentile, ClampsOutOfRangeP)
+{
+    Histogram hist(8);
+    hist.sampleN(3, 10);
+    EXPECT_EQ(hist.percentile(-0.5), 3u);
+    EXPECT_EQ(hist.percentile(2.0), 3u);
+}
+
+TEST(HistogramPercentile, OverflowSamplesResolveToOverflowIndex)
+{
+    // Samples past the bucket range land in the overflow bucket; the
+    // percentile can only say "at least numBuckets()".
+    Histogram hist(4);
+    hist.sampleN(1, 5);
+    hist.sampleN(100, 5); // overflow (>= 4)
+    EXPECT_EQ(hist.percentile(0.5), 1u);
+    EXPECT_EQ(hist.percentile(0.99), hist.numBuckets());
+    EXPECT_EQ(hist.percentile(1.0), hist.numBuckets());
+
+    Histogram only_overflow(4);
+    only_overflow.sampleN(1000, 3);
+    EXPECT_EQ(only_overflow.percentile(0.5), only_overflow.numBuckets());
+}
+
+TEST(HistogramPercentile, SingleSample)
+{
+    Histogram hist(8);
+    hist.sample(6);
+    EXPECT_EQ(hist.percentile(0.0), 6u);
+    EXPECT_EQ(hist.percentile(0.5), 6u);
+    EXPECT_EQ(hist.percentile(1.0), 6u);
+}
+
 TEST(CounterWidth, HistogramTotalsBeyond32Bits)
 {
     Histogram hist(4);

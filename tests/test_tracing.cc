@@ -1,0 +1,407 @@
+/**
+ * @file
+ * Unit tests for the gated event-tracing layer (util/trace.hh) and the
+ * interval-stats writer (sim/interval_stats.hh): flag parsing, the
+ * three sink formats, window filtering, span balancing (including the
+ * synthetic closes finish() emits), the zero-cost-when-off macro
+ * contract, byte-determinism of the sinks, and the telescoping-delta
+ * invariant of interval records.
+ *
+ * Not to be confused with test_trace.cc, which tests src/trace/ — the
+ * MicroOp instruction-trace substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "sim/interval_stats.hh"
+#include "util/stats.hh"
+#include "util/strong_types.hh"
+#include "util/trace.hh"
+
+namespace psb
+{
+namespace
+{
+
+constexpr uint32_t kAllFlags = (uint32_t(1) << kNumTraceFlags) - 1;
+
+uint32_t
+bit(TraceFlag flag)
+{
+    return uint32_t(1) << unsigned(flag);
+}
+
+/**
+ * The TraceManager is process-wide state: every test starts from a
+ * clean slate and leaves the mask cleared so other suites (and the
+ * golden harness run in the same binary tree) are unaffected.
+ */
+class TracingTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { TraceManager::get().reset(); }
+    void TearDown() override { TraceManager::get().reset(); }
+};
+
+TEST_F(TracingTest, ParseFlagsSingleAndMulti)
+{
+    std::string bad;
+    auto mask = TraceManager::parseFlags("psb", bad);
+    ASSERT_TRUE(mask.has_value());
+    EXPECT_EQ(*mask, bit(TraceFlag::Psb));
+
+    mask = TraceManager::parseFlags("psb,sched,mshr", bad);
+    ASSERT_TRUE(mask.has_value());
+    EXPECT_EQ(*mask, bit(TraceFlag::Psb) | bit(TraceFlag::Sched) |
+                         bit(TraceFlag::Mshr));
+}
+
+TEST_F(TracingTest, ParseFlagsAllEnablesEveryFlag)
+{
+    std::string bad;
+    auto mask = TraceManager::parseFlags("all", bad);
+    ASSERT_TRUE(mask.has_value());
+    EXPECT_EQ(*mask, kAllFlags);
+}
+
+TEST_F(TracingTest, ParseFlagsRejectsUnknownToken)
+{
+    std::string bad;
+    auto mask = TraceManager::parseFlags("psb,bogus,bus", bad);
+    EXPECT_FALSE(mask.has_value());
+    EXPECT_EQ(bad, "bogus");
+}
+
+TEST_F(TracingTest, ParseFlagsEmptyAndStrayCommas)
+{
+    std::string bad;
+    auto mask = TraceManager::parseFlags("", bad);
+    ASSERT_TRUE(mask.has_value());
+    EXPECT_EQ(*mask, 0u);
+
+    mask = TraceManager::parseFlags(",psb,,cpu,", bad);
+    ASSERT_TRUE(mask.has_value());
+    EXPECT_EQ(*mask, bit(TraceFlag::Psb) | bit(TraceFlag::Cpu));
+}
+
+TEST_F(TracingTest, FlagNamesRoundTripThroughParse)
+{
+    std::string bad;
+    for (unsigned i = 0; i < kNumTraceFlags; ++i) {
+        auto mask =
+            TraceManager::parseFlags(TraceManager::flagName(TraceFlag(i)),
+                                     bad);
+        ASSERT_TRUE(mask.has_value());
+        EXPECT_EQ(*mask, uint32_t(1) << i);
+    }
+    // The error-message list names every flag exactly once.
+    EXPECT_EQ(TraceManager::validFlagList(),
+              "psb,sched,sfm,markov,bus,cache,mshr,cpu");
+}
+
+TEST_F(TracingTest, ParseFormat)
+{
+    EXPECT_EQ(TraceManager::parseFormat("text"),
+              TraceManager::Format::Text);
+    EXPECT_EQ(TraceManager::parseFormat("jsonl"),
+              TraceManager::Format::Jsonl);
+    EXPECT_EQ(TraceManager::parseFormat("chrome"),
+              TraceManager::Format::Chrome);
+    EXPECT_FALSE(TraceManager::parseFormat("json").has_value());
+    EXPECT_FALSE(TraceManager::parseFormat("").has_value());
+}
+
+TEST_F(TracingTest, MaskGatesMacrosAndConfigureSetsIt)
+{
+    EXPECT_FALSE(traceAnyEnabled());
+    std::ostringstream out;
+    TraceManager::get().configure(bit(TraceFlag::Psb),
+                                  TraceManager::Format::Text, out);
+    EXPECT_TRUE(traceEnabled(TraceFlag::Psb));
+    EXPECT_FALSE(traceEnabled(TraceFlag::Bus));
+    EXPECT_TRUE(traceAnyEnabled());
+
+    // A disabled flag's macro must not evaluate its arguments.
+    int evaluations = 0;
+    auto count = [&evaluations] { return ++evaluations; };
+    PSB_TRACE(Bus, "nope", -1, "n=%d", count());
+    EXPECT_EQ(evaluations, 0);
+    PSB_TRACE(Psb, "yes", -1, "n=%d", count());
+    EXPECT_EQ(evaluations, 1);
+
+    TraceManager::get().finish();
+    EXPECT_FALSE(traceAnyEnabled());
+}
+
+TEST_F(TracingTest, TextFormat)
+{
+    std::ostringstream out;
+    auto &tm = TraceManager::get();
+    tm.configure(kAllFlags, TraceManager::Format::Text, out);
+    tm.setNow(Cycle(42));
+    tm.instant(TraceFlag::Psb, "hit", 3, "block=%d", 7);
+    tm.setNow(Cycle(50));
+    tm.instant(TraceFlag::Cpu, "mispredict", -1, "%s", "");
+    tm.finish();
+    EXPECT_EQ(out.str(), "[42] psb.3 hit block=7\n"
+                         "[50] cpu mispredict\n");
+}
+
+TEST_F(TracingTest, JsonlFormat)
+{
+    std::ostringstream out;
+    auto &tm = TraceManager::get();
+    tm.configure(kAllFlags, TraceManager::Format::Jsonl, out);
+    tm.setNow(Cycle(5));
+    tm.begin(TraceFlag::Psb, "stream", 0, "block=%d", 9);
+    tm.setNow(Cycle(8));
+    tm.end(TraceFlag::Psb, "stream", 0);
+    tm.finish();
+    EXPECT_EQ(out.str(),
+              "{\"cycle\":5,\"flag\":\"psb\",\"kind\":\"B\","
+              "\"name\":\"stream\",\"track\":0,\"args\":\"block=9\"}\n"
+              "{\"cycle\":8,\"flag\":\"psb\",\"kind\":\"E\","
+              "\"name\":\"stream\",\"track\":0,\"args\":\"\"}\n");
+}
+
+TEST_F(TracingTest, JsonlEscapesSpecialCharacters)
+{
+    std::ostringstream out;
+    auto &tm = TraceManager::get();
+    tm.configure(kAllFlags, TraceManager::Format::Jsonl, out);
+    tm.instant(TraceFlag::Psb, "odd", -1, "q=\"%s\"\n", "a\\b");
+    tm.finish();
+    EXPECT_NE(out.str().find("\"args\":\"q=\\\"a\\\\b\\\"\\n\""),
+              std::string::npos);
+}
+
+TEST_F(TracingTest, ChromeFormatIsAWellFormedArray)
+{
+    std::ostringstream out;
+    auto &tm = TraceManager::get();
+    tm.configure(kAllFlags, TraceManager::Format::Chrome, out);
+    tm.setNow(Cycle(10));
+    tm.begin(TraceFlag::Psb, "stream", 2, "block=%d", 4);
+    tm.setNow(Cycle(11));
+    tm.instant(TraceFlag::Bus, "transact", -1, "bytes=%d", 64);
+    tm.setNow(Cycle(20));
+    tm.end(TraceFlag::Psb, "stream", 2);
+    tm.finish();
+
+    const std::string s = out.str();
+    EXPECT_EQ(s.front(), '[');
+    EXPECT_EQ(s.substr(s.size() - 3), "\n]\n");
+    // Process-name metadata for every flag, named up front.
+    for (unsigned i = 0; i < kNumTraceFlags; ++i) {
+        EXPECT_NE(s.find(std::string("\"name\":\"") +
+                         TraceManager::flagName(TraceFlag(i)) + "\""),
+                  std::string::npos);
+    }
+    // The span renders as B/E on pid=flag+1, tid=track+1; the instant
+    // is thread-scoped.
+    EXPECT_NE(s.find("\"ph\":\"B\",\"ts\":10,\"pid\":1,\"tid\":3"),
+              std::string::npos);
+    EXPECT_NE(s.find("\"ph\":\"E\",\"ts\":20,\"pid\":1,\"tid\":3"),
+              std::string::npos);
+    EXPECT_NE(s.find("\"ph\":\"i\",\"ts\":11,\"pid\":5,\"tid\":0,"
+                     "\"s\":\"t\""),
+              std::string::npos);
+    // No trailing comma before the closing bracket.
+    EXPECT_EQ(s.find(",\n]"), std::string::npos);
+}
+
+TEST_F(TracingTest, WindowFiltersEventsOutsideRange)
+{
+    std::ostringstream out;
+    auto &tm = TraceManager::get();
+    tm.configure(kAllFlags, TraceManager::Format::Text, out, Cycle(100),
+                 Cycle(200));
+    tm.setNow(Cycle(50));
+    tm.instant(TraceFlag::Psb, "early", -1, "%s", "");
+    tm.setNow(Cycle(100));
+    tm.instant(TraceFlag::Psb, "in", -1, "%s", "");
+    tm.setNow(Cycle(199));
+    tm.instant(TraceFlag::Psb, "edge", -1, "%s", "");
+    tm.setNow(Cycle(200));
+    tm.instant(TraceFlag::Psb, "late", -1, "%s", "");
+    tm.finish();
+    EXPECT_EQ(out.str(), "[100] psb in\n[199] psb edge\n");
+    EXPECT_EQ(tm.eventCount(), 2u);
+}
+
+TEST_F(TracingTest, EndWithoutBeginIsDropped)
+{
+    // A span opened before the window started: its end must not leak
+    // an unmatched E event into the output.
+    std::ostringstream out;
+    auto &tm = TraceManager::get();
+    tm.configure(kAllFlags, TraceManager::Format::Text, out, Cycle(100),
+                 Cycle::max());
+    tm.setNow(Cycle(10));
+    tm.begin(TraceFlag::Psb, "stream", 0, "%s", "");  // filtered out
+    tm.setNow(Cycle(150));
+    tm.end(TraceFlag::Psb, "stream", 0);        // dropped: no begin
+    tm.finish();
+    EXPECT_EQ(out.str(), "");
+}
+
+TEST_F(TracingTest, FinishClosesOpenSpansSynthetically)
+{
+    std::ostringstream out;
+    auto &tm = TraceManager::get();
+    tm.configure(kAllFlags, TraceManager::Format::Jsonl, out);
+    tm.setNow(Cycle(5));
+    tm.begin(TraceFlag::Psb, "stream", 1, "%s", "");
+    tm.setNow(Cycle(9));
+    tm.instant(TraceFlag::Psb, "hit", 1, "%s", "");
+    tm.finish();
+
+    // The synthetic close lands at the last emitted cycle.
+    EXPECT_NE(out.str().find("{\"cycle\":9,\"flag\":\"psb\",\"kind\":"
+                             "\"E\",\"name\":\"stream\",\"track\":1"),
+              std::string::npos);
+
+    // Begins and ends balance.
+    size_t begins = 0, ends = 0, pos = 0;
+    const std::string s = out.str();
+    while ((pos = s.find("\"kind\":\"B\"", pos)) != std::string::npos) {
+        ++begins;
+        ++pos;
+    }
+    pos = 0;
+    while ((pos = s.find("\"kind\":\"E\"", pos)) != std::string::npos) {
+        ++ends;
+        ++pos;
+    }
+    EXPECT_EQ(begins, 1u);
+    EXPECT_EQ(ends, 1u);
+}
+
+TEST_F(TracingTest, RepeatedSequencesAreByteIdentical)
+{
+    auto run = [] {
+        std::ostringstream out;
+        auto &tm = TraceManager::get();
+        tm.configure(kAllFlags, TraceManager::Format::Jsonl, out);
+        for (int i = 0; i < 100; ++i) {
+            tm.setNow(Cycle(uint64_t(i)));
+            tm.instant(TraceFlag(i % int(kNumTraceFlags)), "ev", i % 8,
+                       "i=%d", i);
+            if (i % 10 == 0)
+                tm.begin(TraceFlag::Psb, "stream", i % 4, "i=%d", i);
+            if (i % 10 == 7)
+                tm.end(TraceFlag::Psb, "stream", i % 4);
+        }
+        tm.finish();
+        return out.str();
+    };
+    std::string first = run();
+    std::string second = run();
+    ASSERT_FALSE(first.empty());
+    EXPECT_EQ(first, second);
+}
+
+TEST_F(TracingTest, FinishIsSafeWhenNeverConfigured)
+{
+    TraceManager::get().finish(); // must not crash or write anywhere
+    EXPECT_FALSE(traceAnyEnabled());
+}
+
+// ------------------------------------------------------------------ //
+// IntervalStatsWriter
+// ------------------------------------------------------------------ //
+
+TEST(IntervalStats, DeltasTelescopeToFinalCounters)
+{
+    StatsRegistry reg;
+    uint64_t hits = 0;
+    uint64_t level = 0; // level-like: goes down as well as up
+    reg.addScalar("x.hits", &hits);
+    reg.addScalar("x.level", &level);
+    reg.addReal("x.ratio", [&] { return double(hits) / 100.0; });
+
+    std::ostringstream out;
+    IntervalStatsWriter writer(reg, 10, out);
+    writer.start(Cycle(0));
+
+    for (uint64_t now = 1; now <= 35; ++now) {
+        hits += 2;
+        level = (now % 7); // rises and falls
+        writer.tick(Cycle(now));
+    }
+    writer.finish(Cycle(35));
+
+    // 3 full intervals + 1 partial.
+    EXPECT_EQ(writer.intervalsEmitted(), 4u);
+
+    // Telescoping: parse the deltas back out and sum them.
+    const std::string s = out.str();
+    int64_t sum_hits = 0, sum_level = 0;
+    size_t pos = 0;
+    while ((pos = s.find("\"x.hits\":", pos)) != std::string::npos) {
+        // Only count occurrences inside a "delta" object — x.hits is a
+        // scalar, so it only ever appears there.
+        sum_hits += std::stoll(s.substr(pos + 9));
+        ++pos;
+    }
+    pos = 0;
+    while ((pos = s.find("\"x.level\":", pos)) != std::string::npos) {
+        sum_level += std::stoll(s.substr(pos + 10));
+        ++pos;
+    }
+    EXPECT_EQ(sum_hits, int64_t(hits));
+    EXPECT_EQ(sum_level, int64_t(level));
+
+    // Reals land in "values", never in "delta".
+    EXPECT_NE(s.find("\"values\":{\"x.ratio\":"), std::string::npos);
+    // Interval indices are sequential from 0.
+    EXPECT_NE(s.find("{\"interval\":0,\"start\":0,\"end\":10,"),
+              std::string::npos);
+    EXPECT_NE(s.find("{\"interval\":3,\"start\":30,\"end\":35,"),
+              std::string::npos);
+}
+
+TEST(IntervalStats, NoPartialRecordWhenFinishingOnBoundary)
+{
+    StatsRegistry reg;
+    uint64_t c = 0;
+    reg.addScalar("c", &c);
+
+    std::ostringstream out;
+    IntervalStatsWriter writer(reg, 10, out);
+    writer.start(Cycle(0));
+    for (uint64_t now = 1; now <= 20; ++now) {
+        ++c;
+        writer.tick(Cycle(now));
+    }
+    writer.finish(Cycle(20));
+    EXPECT_EQ(writer.intervalsEmitted(), 2u);
+}
+
+TEST(IntervalStats, RepeatedRunsAreByteIdentical)
+{
+    auto run = [] {
+        StatsRegistry reg;
+        uint64_t c = 0;
+        reg.addScalar("c", &c);
+        reg.addReal("r", [&] { return double(c) * 0.3; });
+        std::ostringstream out;
+        IntervalStatsWriter writer(reg, 5, out);
+        writer.start(Cycle(0));
+        for (uint64_t now = 1; now <= 23; ++now) {
+            c += now;
+            writer.tick(Cycle(now));
+        }
+        writer.finish(Cycle(23));
+        return out.str();
+    };
+    std::string first = run();
+    ASSERT_FALSE(first.empty());
+    EXPECT_EQ(first, run());
+}
+
+} // namespace
+} // namespace psb

@@ -1,0 +1,55 @@
+#!/bin/sh
+# End-to-end smoke check for the event-tracing layer.
+#
+#   check_trace.sh PSB_SIM PYTHON PSB_TRACE_PY
+#
+# Runs the simulator twice with tracing and interval stats enabled and
+# checks the full observability contract:
+#
+#  1. the JSONL trace passes tools/psb_trace.py validation (schema,
+#     monotonic cycles, balanced stream-buffer lifetimes);
+#  2. the Chrome trace-event export also validates and is well-formed;
+#  3. per-interval stat deltas telescope to the final --stats-json
+#     counters;
+#  4. both runs are byte-identical (trace, intervals, and stats) — the
+#     determinism contract extends to every observability output.
+set -eu
+
+PSB_SIM=$1
+PYTHON=$2
+PSB_TRACE_PY=$3
+
+ARGS="--workload health --seed 1 --insts 20000 --warmup 5000"
+
+DIR=$(mktemp -d "${TMPDIR:-/tmp}/trace_smoke.XXXXXX")
+trap 'rm -rf "$DIR"' EXIT
+
+for run in 1 2; do
+    "$PSB_SIM" $ARGS \
+        --trace all --trace-format jsonl \
+        --trace-out "$DIR/trace$run.jsonl" \
+        --interval-stats 5000 --interval-out "$DIR/intervals$run.jsonl" \
+        --stats-json "$DIR/stats$run.json" > /dev/null
+done
+"$PSB_SIM" $ARGS --trace all --trace-format chrome \
+    --trace-out "$DIR/trace.chrome.json" > /dev/null
+
+"$PYTHON" "$PSB_TRACE_PY" "$DIR/trace1.jsonl" --quiet
+"$PYTHON" "$PSB_TRACE_PY" "$DIR/trace.chrome.json" --format chrome \
+    --quiet
+"$PYTHON" "$PSB_TRACE_PY" --intervals "$DIR/intervals1.jsonl" \
+    --stats "$DIR/stats1.json" --quiet
+
+cmp "$DIR/trace1.jsonl" "$DIR/trace2.jsonl" || {
+    echo "check_trace.sh: traced runs are not byte-identical" >&2
+    exit 1
+}
+cmp "$DIR/intervals1.jsonl" "$DIR/intervals2.jsonl" || {
+    echo "check_trace.sh: interval stats are not byte-identical" >&2
+    exit 1
+}
+cmp "$DIR/stats1.json" "$DIR/stats2.json" || {
+    echo "check_trace.sh: stats JSON diverged across traced runs" >&2
+    exit 1
+}
+echo "check_trace.sh: trace, intervals, and stats all validate"

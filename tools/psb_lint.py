@@ -20,6 +20,12 @@ Three classes of checks, all cheap textual scans:
    pointer-keyed ordered containers, whose iteration order depends on
    the allocator and can leak into stats.
 
+4. Output discipline: raw printf/puts/std::cout/std::cerr are banned in
+   src/ outside util/logging and util/trace. Components report through
+   warn()/inform()/fatal() (rate-limitable, prefixed) or the gated
+   PSB_TRACE layer; ad-hoc prints bypass both and corrupt
+   machine-parsed stdout (stats JSON, report tables).
+
 Usage: psb_lint.py [repo_root]   (exit 0 = clean, 1 = findings)
 """
 
@@ -43,6 +49,20 @@ BANNED_CALLS = [
     (re.compile(r"\bstd::chrono::(system|steady|high_resolution)_clock"),
      "std::chrono clocks"),
 ]
+
+#: Raw output calls banned outside util/logging and util/trace. The
+#: lookbehind keeps fprintf/vfprintf/snprintf/fputs legal: targeted
+#: stream writes (report tables, stats files) are fine, the ban is on
+#: stdout/stderr spew that bypasses the logging/tracing layers.
+RAW_OUTPUT = [
+    (re.compile(r"(?<![\w:>.])(?:std::)?printf\s*\("), "printf()"),
+    (re.compile(r"(?<![\w:>.])(?:std::)?puts\s*\("), "puts()"),
+    (re.compile(r"\bstd::cout\b"), "std::cout"),
+    (re.compile(r"\bstd::cerr\b"), "std::cerr"),
+]
+
+#: Files allowed to talk to stdout/stderr directly.
+RAW_OUTPUT_EXEMPT = re.compile(r"^src/util/(logging|trace)\.(hh|cc)$")
 
 #: map/set keyed by a pointer type: iteration order is allocator noise.
 POINTER_KEYED = re.compile(
@@ -94,6 +114,19 @@ def check_stats_registration(path, text, findings):
         f"would be missing from the StatsRegistry export")
 
 
+def check_raw_output(path, text, findings):
+    if RAW_OUTPUT_EXEMPT.match(str(path)):
+        return
+    stripped = strip_comments(text)
+    for i, line in enumerate(stripped.splitlines(), 1):
+        for pattern, what in RAW_OUTPUT:
+            if pattern.search(line):
+                findings.append(
+                    f"{path}:{i}: raw {what} in src/; use "
+                    f"warn()/inform()/fatal() (util/logging) or "
+                    f"PSB_TRACE (util/trace) instead")
+
+
 def check_determinism(path, text, findings):
     stripped = strip_comments(text)
     for i, line in enumerate(stripped.splitlines(), 1):
@@ -122,9 +155,12 @@ def main():
         check_domain_params(rel, text, findings)
         check_stats_registration(rel, text, findings)
         check_determinism(rel, text, findings)
+        check_raw_output(rel, text, findings)
     for path in sorted(src.rglob("*.cc")):
-        check_determinism(path.relative_to(root), path.read_text(),
-                          findings)
+        rel = path.relative_to(root)
+        text = path.read_text()
+        check_determinism(rel, text, findings)
+        check_raw_output(rel, text, findings)
 
     for finding in findings:
         print(finding)

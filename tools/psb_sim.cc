@@ -27,6 +27,16 @@
  *     --stats-json PATH   write every registered stat as
  *                         deterministic JSON ("-" = stdout)
  *     --stats             print the full stats registry as text
+ *     --trace FLAGS       enable event tracing: comma-separated flag
+ *                         list (psb,sched,sfm,markov,bus,cache,mshr,
+ *                         cpu) or "all"
+ *     --trace-out PATH    trace sink ("-" = stdout; default stderr)
+ *     --trace-format F    text|jsonl|chrome         (default text)
+ *     --trace-start N     first traced cycle        (default 0)
+ *     --trace-end N       first untraced cycle      (default none)
+ *     --interval-stats N  emit a stats-delta JSONL record every N
+ *                         measured cycles (requires --interval-out)
+ *     --interval-out PATH interval time-series sink ("-" = stdout)
  *     --help
  */
 
@@ -36,8 +46,12 @@
 #include <fstream>
 #include <string>
 
+#include <iostream>
+
 #include "sim/report.hh"
 #include "sim/simulator.hh"
+#include "util/logging.hh"
+#include "util/trace.hh"
 #include "workloads/workload.hh"
 
 namespace
@@ -60,7 +74,19 @@ usage(int code)
         "  --l1d-kb N --l1d-assoc N\n"
         "  --buffers N --entries N --markov-entries N --delta-bits N\n"
         "  --order K --nodis --tlb-cache\n"
-        "  --stats-json PATH --stats --help\n",
+        "  --stats-json PATH --stats\n"
+        "  --trace FLAGS       comma list of psb,sched,sfm,markov,bus,"
+        "cache,mshr,cpu or all\n"
+        "  --trace-out PATH    trace sink (\"-\" = stdout; default "
+        "stderr)\n"
+        "  --trace-format F    text|jsonl|chrome (chrome opens in "
+        "chrome://tracing)\n"
+        "  --trace-start N --trace-end N   traced cycle window\n"
+        "  --interval-stats N  stats-delta JSONL record every N "
+        "measured cycles\n"
+        "  --interval-out PATH interval time-series sink (\"-\" = "
+        "stdout)\n"
+        "  --help\n",
         code == 0 ? stdout : stderr);
     std::exit(code);
 }
@@ -85,6 +111,13 @@ main(int argc, char **argv)
 {
     std::string workload = "health";
     std::string statsJsonPath;
+    std::string traceFlags;
+    std::string traceOut;
+    std::string traceFormat = "text";
+    uint64_t traceStart = 0;
+    uint64_t traceEnd = ~uint64_t(0);
+    uint64_t intervalCycles = 0;
+    std::string intervalOut;
     bool printStats = false;
     uint64_t seed = 1;
     SimConfig cfg;
@@ -174,6 +207,22 @@ main(int argc, char **argv)
             statsJsonPath = value();
         } else if (flag == "--stats") {
             printStats = true;
+        } else if (flag == "--trace") {
+            traceFlags = value();
+        } else if (flag == "--trace-out") {
+            traceOut = value();
+        } else if (flag == "--trace-format") {
+            traceFormat = value();
+        } else if (flag == "--trace-start") {
+            traceStart = parseNum(value(), "--trace-start");
+        } else if (flag == "--trace-end") {
+            traceEnd = parseNum(value(), "--trace-end");
+        } else if (flag == "--interval-stats") {
+            intervalCycles = parseNum(value(), "--interval-stats");
+            if (intervalCycles == 0)
+                fatal("--interval-stats period must be positive");
+        } else if (flag == "--interval-out") {
+            intervalOut = value();
         } else if (flag == "--nodis") {
             cfg.core.disambiguation = DisambiguationMode::None;
         } else if (flag == "--tlb-cache") {
@@ -192,9 +241,61 @@ main(int argc, char **argv)
         return 1;
     }
 
+    if (!traceFlags.empty()) {
+        std::string bad;
+        auto mask = TraceManager::parseFlags(traceFlags, bad);
+        if (!mask) {
+            fatal("unknown trace flag '%s' (valid: %s, or 'all')",
+                  bad.c_str(), TraceManager::validFlagList().c_str());
+        }
+        auto format = TraceManager::parseFormat(traceFormat);
+        if (!format) {
+            fatal("unknown trace format '%s' (valid: text, jsonl, "
+                  "chrome)",
+                  traceFormat.c_str());
+        }
+        Cycle window_start{traceStart};
+        Cycle window_end = traceEnd == ~uint64_t(0) ? Cycle::max()
+                                                    : Cycle{traceEnd};
+        if (traceOut.empty()) {
+            TraceManager::get().configure(*mask, *format, std::cerr,
+                                          window_start, window_end);
+        } else if (!TraceManager::get().configureFile(
+                       *mask, *format, traceOut, window_start,
+                       window_end)) {
+            fatal("cannot write trace to '%s'", traceOut.c_str());
+        }
+    } else if (traceOut != "" || traceFormat != "text" ||
+               traceStart != 0 || traceEnd != ~uint64_t(0)) {
+        fatal("--trace-out/--trace-format/--trace-start/--trace-end "
+              "need --trace FLAGS");
+    }
+
+    if (intervalCycles > 0 && intervalOut.empty())
+        fatal("--interval-stats needs --interval-out PATH");
+    if (intervalCycles == 0 && !intervalOut.empty())
+        fatal("--interval-out needs --interval-stats N");
+
     cfg.harmonize();
     psb::Simulator sim(cfg, *trace);
+
+    std::ofstream intervalFile;
+    if (intervalCycles > 0) {
+        if (intervalOut == "-") {
+            sim.setIntervalStats(intervalCycles, std::cout);
+        } else {
+            intervalFile.open(intervalOut,
+                              std::ios::binary | std::ios::trunc);
+            if (!intervalFile) {
+                fatal("cannot write interval stats to '%s'",
+                      intervalOut.c_str());
+            }
+            sim.setIntervalStats(intervalCycles, intervalFile);
+        }
+    }
+
     psb::SimResult r = sim.run();
+    TraceManager::get().finish();
     psb::printReport(workload + " / " + cfg.label(), r);
 
     if (printStats) {

@@ -1,0 +1,238 @@
+#!/usr/bin/env python3
+"""Summarize and validate a psb-sim event trace.
+
+Reads a trace produced by ``psb-sim --trace ... --trace-format
+jsonl|chrome`` and checks it against the schema the simulator promises:
+
+* every record carries the expected fields with the expected types;
+* flag names are drawn from the known set;
+* event cycles are monotonically non-decreasing (the trace is written
+  in simulation order);
+* span (begin/end) events balance: every stream-buffer alloc has a
+  matching dealloc/replace, with no end before a begin — the lifetime
+  accounting the Chrome view depends on.
+
+With ``--intervals FILE --stats STATS.json`` it additionally checks the
+interval-stats invariant: per-interval deltas sum to the final
+``--stats-json`` counter for every scalar stat.
+
+Exit status is 0 when every check passes, 1 otherwise.
+
+Usage:
+  tools/psb_trace.py TRACE [--format jsonl|chrome] [--quiet]
+  tools/psb_trace.py --intervals f.jsonl --stats stats.json [--quiet]
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+VALID_FLAGS = ("psb", "sched", "sfm", "markov", "bus", "cache", "mshr",
+               "cpu")
+
+JSONL_FIELDS = {
+    "cycle": int,
+    "flag": str,
+    "kind": str,
+    "name": str,
+    "track": int,
+    "args": str,
+}
+
+
+class TraceError(Exception):
+    pass
+
+
+def parse_jsonl(path):
+    """Yield (cycle, flag, kind, name, track) tuples from a JSONL trace."""
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceError(f"{path}:{lineno}: bad JSON: {exc}")
+            for field, typ in JSONL_FIELDS.items():
+                if field not in rec:
+                    raise TraceError(
+                        f"{path}:{lineno}: missing field '{field}'")
+                if not isinstance(rec[field], typ):
+                    raise TraceError(
+                        f"{path}:{lineno}: field '{field}' is not "
+                        f"{typ.__name__}")
+            if rec["kind"] not in ("I", "B", "E"):
+                raise TraceError(
+                    f"{path}:{lineno}: bad kind '{rec['kind']}'")
+            yield (rec["cycle"], rec["flag"], rec["kind"], rec["name"],
+                   rec["track"])
+
+
+def parse_chrome(path):
+    """Yield event tuples from a Chrome trace-event JSON array."""
+    with open(path, "r", encoding="utf-8") as fh:
+        try:
+            events = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"{path}: bad JSON: {exc}")
+    if not isinstance(events, list):
+        raise TraceError(f"{path}: top level is not a JSON array")
+    kind_of = {"B": "B", "E": "E", "i": "I"}
+    for n, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise TraceError(f"{path}: event {n} is not an object")
+        ph = ev.get("ph")
+        if ph == "M":  # metadata (process names)
+            continue
+        if ph not in kind_of:
+            raise TraceError(f"{path}: event {n} has bad ph '{ph}'")
+        cat = ev.get("cat")
+        if cat == "meta":
+            continue
+        for field in ("name", "cat", "ts", "pid", "tid"):
+            if field not in ev:
+                raise TraceError(
+                    f"{path}: event {n} missing field '{field}'")
+        yield (int(ev["ts"]), ev["cat"], kind_of[ph], ev["name"],
+               int(ev["tid"]) - 1)
+
+
+def validate_events(events, label):
+    """Run all event-stream checks; return (counts, spans, n_events)."""
+    counts = collections.Counter()
+    kind_counts = collections.Counter()
+    open_spans = collections.Counter()
+    last_cycle = None
+    n = 0
+    for cycle, flag, kind, name, track in events:
+        n += 1
+        if flag not in VALID_FLAGS:
+            raise TraceError(f"{label}: unknown flag '{flag}'")
+        if last_cycle is not None and cycle < last_cycle:
+            raise TraceError(
+                f"{label}: cycle went backwards ({last_cycle} -> "
+                f"{cycle})")
+        last_cycle = cycle
+        counts[flag] += 1
+        kind_counts[kind] += 1
+        key = (flag, name, track)
+        if kind == "B":
+            open_spans[key] += 1
+        elif kind == "E":
+            if open_spans[key] == 0:
+                raise TraceError(
+                    f"{label}: end without begin for {key} at cycle "
+                    f"{cycle}")
+            open_spans[key] -= 1
+    unbalanced = {k: v for k, v in open_spans.items() if v}
+    if unbalanced:
+        raise TraceError(
+            f"{label}: {len(unbalanced)} span(s) never closed "
+            f"(first: {sorted(unbalanced)[0]}) — every alloc needs a "
+            f"matching dealloc/replace")
+    return counts, kind_counts, n
+
+
+def check_intervals(interval_path, stats_path):
+    """Check that per-interval scalar deltas sum to the final stats."""
+    with open(stats_path, "r", encoding="utf-8") as fh:
+        final = json.load(fh)
+
+    sums = collections.defaultdict(int)
+    n_intervals = 0
+    prev_end = None
+    with open(interval_path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            for field in ("interval", "start", "end", "delta", "values"):
+                if field not in rec:
+                    raise TraceError(
+                        f"{interval_path}:{lineno}: missing '{field}'")
+            if rec["interval"] != n_intervals:
+                raise TraceError(
+                    f"{interval_path}:{lineno}: interval index "
+                    f"{rec['interval']}, expected {n_intervals}")
+            if prev_end is not None and rec["start"] != prev_end:
+                raise TraceError(
+                    f"{interval_path}:{lineno}: start {rec['start']} != "
+                    f"previous end {prev_end}")
+            prev_end = rec["end"]
+            n_intervals += 1
+            for path, delta in rec["delta"].items():
+                sums[path] += delta
+
+    # Every counter-kind stat must telescope: the writer only puts
+    # Scalar stats in "delta", so the delta paths *are* the counter
+    # set (JSON types can't tell — integer-valued reals like
+    # percentiles also parse as int).
+    missing = [p for p in sums if p not in final]
+    if missing:
+        raise TraceError(
+            f"interval stats contain unknown paths: {missing[:5]}")
+    mismatches = []
+    n_checked = 0
+    for path, total in sorted(sums.items()):
+        n_checked += 1
+        if total != final[path]:
+            mismatches.append((path, total, final[path]))
+    if mismatches:
+        lines = "\n".join(
+            f"  {p}: sum(deltas)={s} final={f}"
+            for p, s, f in mismatches[:10])
+        raise TraceError(
+            f"{len(mismatches)} counter(s) whose interval deltas do "
+            f"not sum to the final value:\n{lines}")
+    return n_intervals, n_checked
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace", nargs="?", help="trace file to validate")
+    ap.add_argument("--format", choices=("jsonl", "chrome"),
+                    default="jsonl", help="trace format (default jsonl)")
+    ap.add_argument("--intervals", metavar="FILE",
+                    help="interval-stats JSONL to validate")
+    ap.add_argument("--stats", metavar="STATS.json",
+                    help="final --stats-json dump (with --intervals)")
+    ap.add_argument("--quiet", action="store_true",
+                    help="suppress the summary; errors only")
+    args = ap.parse_args()
+
+    if not args.trace and not args.intervals:
+        ap.error("need a trace file and/or --intervals")
+    if bool(args.intervals) != bool(args.stats):
+        ap.error("--intervals and --stats go together")
+
+    try:
+        if args.trace:
+            parse = parse_chrome if args.format == "chrome" else \
+                parse_jsonl
+            counts, kinds, n = validate_events(parse(args.trace),
+                                               args.trace)
+            if not args.quiet:
+                print(f"{args.trace}: {n} events OK")
+                for flag in VALID_FLAGS:
+                    if counts[flag]:
+                        print(f"  {flag:8s} {counts[flag]}")
+                print(f"  kinds: instant={kinds['I']} begin="
+                      f"{kinds['B']} end={kinds['E']}")
+        if args.intervals:
+            n_iv, n_stats = check_intervals(args.intervals, args.stats)
+            if not args.quiet:
+                print(f"{args.intervals}: {n_iv} intervals, "
+                      f"{n_stats} counters telescope to the final "
+                      f"stats")
+    except (TraceError, OSError) as exc:
+        print(f"psb_trace: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
