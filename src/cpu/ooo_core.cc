@@ -567,6 +567,8 @@ OoOCore::registerStats(StatsRegistry &reg) const
     reg.addScalar("l1d.in_flight", &_stats.l1dInFlight);
     reg.addReal("l1d.miss_rate",
                 [this] { return _stats.l1dMissRate(); });
+
+    _storeSets.registerStats(reg, "core.store_sets");
 }
 
 } // namespace psb

@@ -108,7 +108,12 @@ class OoOCore
     const CoreStats &stats() const { return _stats; }
 
     /** Zero the statistics (end-of-warm-up). */
-    void resetStats() { _stats = CoreStats{}; }
+    void
+    resetStats()
+    {
+        _stats = CoreStats{};
+        _storeSets.resetStats();
+    }
 
     /**
      * Register the execution stats under "core." plus the L1D

@@ -2,6 +2,7 @@
 
 #include "util/bitfield.hh"
 #include "util/logging.hh"
+#include "util/stats.hh"
 
 namespace psb
 {
@@ -90,6 +91,13 @@ StoreSetPredictor::recordViolation(Addr load_pc, Addr store_pc)
         if (++_nextSetId == 0)
             _nextSetId = 1;
     }
+}
+
+void
+StoreSetPredictor::registerStats(StatsRegistry &reg,
+                                 const std::string &prefix) const
+{
+    reg.addScalar(prefix + ".violations", &_violations);
 }
 
 } // namespace psb

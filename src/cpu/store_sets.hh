@@ -17,12 +17,15 @@
 #define PSB_CPU_STORE_SETS_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "trace/micro_op.hh"
 
 namespace psb
 {
+
+class StatsRegistry;
 
 /** How loads are ordered against earlier stores. */
 enum class DisambiguationMode
@@ -65,6 +68,14 @@ class StoreSetPredictor
     void recordViolation(Addr load_pc, Addr store_pc);
 
     uint64_t violations() const { return _violations; }
+
+    /** Export the violation counter under @p prefix. */
+    void registerStats(StatsRegistry &reg,
+                       const std::string &prefix) const;
+
+    /** Zero the violation counter (end-of-warm-up); the SSIT/LFST
+     *  contents are learned state and are kept. */
+    void resetStats() { _violations = 0; }
 
   private:
     unsigned ssitIndex(Addr pc) const;

@@ -17,7 +17,7 @@ MemoryHierarchy::MemoryHierarchy(const MemoryConfig &cfg)
       _dataMshrs(cfg.l1dMshrs, "data"),
       _instMshrs(cfg.l1iMshrs, "inst"),
       _dtlb(cfg.tlbEntries, cfg.pageBytes, cfg.tlbMissPenalty),
-      _l2AcceptInterval(cfg.l2Latency.raw() / cfg.l2PipelineDepth)
+      _l2AcceptInterval(cfg.l2Latency / cfg.l2PipelineDepth)
 {
     psb_assert(cfg.l2PipelineDepth > 0, "L2 pipeline depth must be > 0");
     if (_l2AcceptInterval == CycleDelta{})

@@ -57,10 +57,9 @@ DiffMarkovTable::lookup(BlockAddr from) const
     const Entry &entry = _entries[indexOf(from)];
     if (!entry.valid || entry.tag != tagOf(from))
         return std::nullopt;
-    int64_t next_block = int64_t(from.raw()) + entry.delta.raw();
-    if (next_block < 0)
-        return std::nullopt;
-    return BlockAddr(uint64_t(next_block));
+    // A stored negative delta can point below block 0; checkedAdd
+    // keeps the displacement inside the block domain.
+    return checkedAdd(from, entry.delta);
 }
 
 uint64_t

@@ -59,6 +59,18 @@ class DiffMarkovTable
     /** Transitions recorded. */
     uint64_t updates() const { return _updates; }
 
+    /** Zero the update/overflow counters (end-of-warm-up); the table
+     *  contents are state, not statistics, and are kept. The counters
+     *  are exported by the owning SfmPredictor::registerStats() via
+     *  the updates()/overflows()/population() accessors (the cross-TU
+     *  registration psb_analyze verifies). */
+    void
+    resetStats() // psb-analyze: allow(R2)
+    {
+        _overflows = 0;
+        _updates = 0;
+    }
+
     uint64_t population() const;
 
     /** Bytes of delta data storage (entries * deltaBits / 8). */

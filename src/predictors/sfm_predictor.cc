@@ -115,6 +115,12 @@ SfmPredictor::registerStats(StatsRegistry &reg,
     reg.addScalar(prefix + ".correct_predictions", &_correct);
     reg.addReal(prefix + ".coverage",
                 [this] { return ratio(_correct, _trainEvents); });
+    reg.addScalar(prefix + ".markov.updates",
+                  [this] { return _markov.updates(); });
+    reg.addScalar(prefix + ".markov.overflows",
+                  [this] { return _markov.overflows(); });
+    reg.addScalar(prefix + ".markov.population",
+                  [this] { return _markov.population(); });
 }
 
 } // namespace psb

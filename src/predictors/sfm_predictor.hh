@@ -66,7 +66,8 @@ class SfmPredictor : public AddressPredictor
     uint64_t trainEvents() const { return _trainEvents; }
     uint64_t correctPredictions() const { return _correct; }
 
-    /** Export train_events, correct_predictions, and coverage. */
+    /** Export train_events, correct_predictions, coverage, and the
+     *  Markov table's update/overflow/population counters. */
     void registerStats(StatsRegistry &reg,
                        const std::string &prefix) const override;
 
@@ -75,6 +76,7 @@ class SfmPredictor : public AddressPredictor
     {
         _trainEvents = 0;
         _correct = 0;
+        _markov.resetStats();
     }
 
     const StrideTable &strideTable() const { return _stride; }

@@ -163,4 +163,13 @@ MarkovPrefetcher::tick(Cycle now)
     ++_stats.prefetchesIssued;
 }
 
+void
+MarkovPrefetcher::registerStats(StatsRegistry &reg,
+                                const std::string &prefix) const
+{
+    Prefetcher::registerStats(reg, prefix);
+    reg.addScalar(prefix + ".disabled_suppressed",
+                  &_disabledSuppressed);
+}
+
 } // namespace psb

@@ -44,7 +44,18 @@ class MarkovPrefetcher : public Prefetcher
     void demandMiss(Addr pc, Addr addr, Cycle now) override;
     void tick(Cycle now) override;
     const PrefetcherStats &stats() const override { return _stats; }
-    void resetStats() override { _stats = PrefetcherStats{}; }
+
+    void
+    resetStats() override
+    {
+        _stats = PrefetcherStats{};
+        _disabledSuppressed = 0;
+    }
+
+    /** Common prefetcher stats plus the adaptivity suppression
+     *  counter (prefix.disabled_suppressed). */
+    void registerStats(StatsRegistry &reg,
+                       const std::string &prefix) const override;
 
     const MarkovTable &table() const { return _table; }
 

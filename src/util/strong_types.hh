@@ -37,6 +37,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <ostream>
 
 namespace psb
@@ -213,6 +214,20 @@ operator-(BlockAddr a, BlockAddr b)
     return BlockDelta(int64_t(a.raw() - b.raw()));
 }
 
+/**
+ * @p base displaced by @p d, or nullopt when the result would fall
+ * below block 0 — the bounds check tables need before following a
+ * stored (possibly negative) delta off a block number.
+ */
+constexpr std::optional<BlockAddr>
+checkedAdd(BlockAddr base, BlockDelta d)
+{
+    int64_t next = int64_t(base.raw()) + d.raw();
+    if (next < 0)
+        return std::nullopt;
+    return BlockAddr(uint64_t(next));
+}
+
 constexpr BlockAddr
 ByteAddr::toBlock(unsigned line_bits) const
 {
@@ -265,6 +280,14 @@ constexpr CycleDelta
 operator*(uint64_t n, CycleDelta d)
 {
     return CycleDelta(n * d.raw());
+}
+
+/** Dividing a duration (e.g.\ latency / pipeline depth) is meaningful.
+ *  Integer division: the result truncates toward zero. */
+constexpr CycleDelta
+operator/(CycleDelta d, uint64_t n)
+{
+    return CycleDelta(d.raw() / n);
 }
 
 /** An absolute simulation cycle. */

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * psb_analyze fixture: R2 stats completeness (bad). LeakyCounter
+ * bumps a counter that no registerStats() body ever exports — the
+ * count is spent simulation work that silently never reaches the
+ * stats JSON. The self-test requires this file to report exactly
+ * {R2}.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace fixture
+{
+
+class LeakyCounter
+{
+  public:
+    void
+    record()
+    {
+        ++_drops;
+    }
+
+    /** Participates in the stats protocol... */
+    void resetStats() { _drops = 0; }
+
+    // ...but nothing registers _drops anywhere.
+
+  private:
+    uint64_t _drops = 0;
+};
+
+} // namespace fixture

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * psb_analyze fixture: R2 counterpart (clean). Two registration
+ * shapes the analyzer must accept: direct registration of the member,
+ * and the cross-TU shape where an owning component exports another
+ * class's counter through its public accessor. The self-test requires
+ * this file to report no findings.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace fixture
+{
+
+/** Direct shape: the counter's own class registers it. */
+class CountedCounter
+{
+  public:
+    void
+    record()
+    {
+        ++_drops;
+    }
+
+    void resetStats() { _drops = 0; }
+
+    void
+    registerStats(StatsRegistry &reg)
+    {
+        reg.addScalar("fixture.drops", &_drops);
+    }
+
+  private:
+    uint64_t _drops = 0;
+};
+
+/** Accessor shape, inner half: bumps _lost, exposes it read-only. */
+class Inner
+{
+  public:
+    void
+    record()
+    {
+        ++_lost;
+    }
+
+    uint64_t lost() const { return _lost; }
+
+    void resetStats() { _lost = 0; }
+
+  private:
+    uint64_t _lost = 0;
+};
+
+/** Accessor shape, outer half: registers the inner counter. */
+class Owner
+{
+  public:
+    void
+    registerStats(StatsRegistry &reg)
+    {
+        reg.addScalar("fixture.lost", [this] { return _inner.lost(); });
+    }
+
+  private:
+    Inner _inner;
+};
+
+} // namespace fixture

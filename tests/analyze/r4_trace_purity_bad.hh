@@ -1,0 +1,24 @@
+/**
+ * @file
+ * psb_analyze fixture: R4 trace-argument purity (bad). PSB_TRACE
+ * arguments are not evaluated when tracing is compiled out or gated
+ * off, so a side effect inside them makes simulated behavior depend
+ * on the tracing flag. The self-test requires this file to report
+ * exactly {R4}.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace fixture
+{
+
+inline void
+noteFill(uint64_t &fills, int way)
+{
+    // The increment vanishes when tracing is off.
+    PSB_TRACE("sb", "fill way=%d total=%llu", way, ++fills);
+}
+
+} // namespace fixture

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * psb_analyze fixture: R4 counterpart (clean). The state change
+ * happens unconditionally; the trace argument only reads it. The
+ * self-test requires this file to report no findings.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace fixture
+{
+
+inline void
+noteFill(uint64_t &fills, int way)
+{
+    ++fills;
+    PSB_TRACE("sb", "fill way=%d total=%llu", way, fills);
+}
+
+} // namespace fixture

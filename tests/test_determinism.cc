@@ -71,6 +71,24 @@ TEST(DeterminismTest, DifferentSeedsProduceDifferentStats)
     EXPECT_NE(runOnce("health", 1), runOnce("health", 2));
 }
 
+TEST(DeterminismTest, ComponentCountersReachTheStatsExport)
+{
+    // Runtime face of the R2 (stats-completeness) analyzer rule:
+    // counters bumped inside owned components — the store-set
+    // violation count and the differential Markov table's counters,
+    // registered cross-TU through SfmPredictor accessors — must
+    // actually appear in the exported JSON.
+    std::string json = runOnce("health", 1);
+    for (const char *key :
+         {"\"core.store_sets.violations\"",
+          "\"sfm_predictor.markov.updates\"",
+          "\"sfm_predictor.markov.overflows\"",
+          "\"sfm_predictor.markov.population\""}) {
+        EXPECT_NE(json.find(key), std::string::npos)
+            << key << " missing from the stats JSON";
+    }
+}
+
 /** Run with event tracing on; return (trace bytes, stats JSON). */
 std::pair<std::string, std::string>
 runTraced(const std::string &workload, uint64_t seed)

@@ -161,6 +161,40 @@ TEST(StrongTypesTest, CycleArithmeticRoundTrip)
     EXPECT_EQ(minCycle(now, ready), now);
 }
 
+TEST(StrongTypesTest, CheckedAddStaysInDomain)
+{
+    // checkedAdd is the in-domain form of "base + signed delta, or
+    // nothing on underflow" — the pattern the Markov lookup used to
+    // spell with .raw() casts (psb_analyze rule R1).
+    BlockAddr base{0x100};
+    auto fwd = checkedAdd(base, BlockDelta{5});
+    ASSERT_TRUE(fwd.has_value());
+    EXPECT_EQ(*fwd, BlockAddr{0x105});
+
+    auto back = checkedAdd(base, BlockDelta{-0x100});
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, BlockAddr{0});
+
+    // One block below zero underflows: no address, not a wrapped one.
+    EXPECT_FALSE(checkedAdd(base, BlockDelta{-0x101}).has_value());
+    EXPECT_FALSE(checkedAdd(BlockAddr{0}, BlockDelta{-1}).has_value());
+
+    EXPECT_EQ(checkedAdd(base, BlockDelta{0}), base);
+}
+
+TEST(StrongTypesTest, CycleDeltaDivisionTruncates)
+{
+    // CycleDelta / n is the in-domain form of the pipelined-accept
+    // interval computation (latency / depth); integer division
+    // truncates toward zero like the raw math it replaces.
+    EXPECT_EQ(CycleDelta{12} / 4, CycleDelta{3});
+    EXPECT_EQ(CycleDelta{13} / 4, CycleDelta{3});
+    EXPECT_EQ(CycleDelta{3} / 4, CycleDelta{0});
+    EXPECT_EQ(CycleDelta{7} / 1, CycleDelta{7});
+    // Round-trips with the scalar product for exact multiples.
+    EXPECT_EQ((CycleDelta{3} * 4) / 4, CycleDelta{3});
+}
+
 TEST(StrongTypesTest, Sentinels)
 {
     EXPECT_EQ(ByteAddr::max().raw(), ~uint64_t(0));

@@ -1,0 +1,1163 @@
+#!/usr/bin/env python3
+"""Compile-aware AST-level analyzer for the PSB tree (`psb_analyze`).
+
+Where tools/psb_lint.py is a fast regex pre-check, this tool parses the
+whole src/ tree — driven by the build's compile_commands.json — into a
+token/scope model (classes, members, method bodies, aliases) and
+enforces the simulator-specific rules the regex lint cannot see:
+
+  R1 strong-type-escape
+     (a) raw uint64_t address/cycle *parameters*, detected by type+name
+         inside parameter lists in both headers and .cc files;
+     (b) arithmetic that combines two `.raw()` results — address/cycle
+         math that escaped the strong types and will be (or already
+         was) wrapped back, losing the domain checks;
+     (c) a strong-type constructor or strong-typed member initializer
+         whose argument does `.raw()` arithmetic — the classic
+         escape-and-re-enter round trip.
+
+  R2 stats-completeness
+     Cross-TU pass: every uint64_t counter member that component code
+     bumps with a discarded-value `++`/`+=` statement, and that nothing
+     but accessors ever reads, must be registered with the
+     StatsRegistry — either named directly in some registerStats()
+     body, or returned by an accessor that some registerStats() body
+     calls. A bumped-but-unregistered counter silently drops out of
+     the golden-stats JSON.
+
+  R3 determinism
+     Range-for iteration over unordered_map/unordered_set (resolved
+     through members, locals, and using-aliases) whose loop body feeds
+     stats, trace events, or ordered output; plus pointer-keyed
+     associative containers, including ones hidden behind aliases.
+
+  R4 trace-purity
+     PSB_TRACE* argument expressions containing assignments or
+     increments/decrements. Trace arguments are not evaluated when the
+     flag is off, so a side effect there makes behavior differ with
+     tracing on/off.
+
+Rule IDs, exit codes, and the domain-parameter name list are shared
+with psb_lint via tools/psb_rules.py. Inline suppression:
+
+    // psb-analyze: allow(R1)          (same line or the line above)
+
+Backends: the token/scope engine above is self-contained and is what
+runs everywhere. When the clang Python bindings are importable
+(`pip install libclang==14.0.6`, as CI does), an additional
+clang.cindex pass parses every TU in the compile database and deepens
+R1a (true canonical types, catching typedef'd uint64_t) and R3
+(container types resolved by the real compiler); its findings are
+merged and deduplicated. `--backend libclang` makes that pass
+mandatory, `--backend internal` disables it.
+
+Usage:
+    psb_analyze.py [root] [--compile-db build/compile_commands.json]
+                   [--backend auto|internal|libclang]
+                   [--baseline tools/psb_analyze_baseline.json]
+                   [--json findings.json] [--list-rules]
+    psb_analyze.py --self-test [fixture-dir]
+
+Exit codes (shared): 0 clean, 1 findings, 2 usage/environment error.
+"""
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+import psb_rules  # noqa: E402
+from psb_rules import (  # noqa: E402
+    DOMAIN_PARAM_NAMES, EXIT_CLEAN, EXIT_ERROR, EXIT_FINDINGS, RULES,
+    STRONG_TYPES, format_finding)
+
+# --------------------------------------------------------------------
+# Tokenizer
+# --------------------------------------------------------------------
+
+TOKEN_RE = re.compile(
+    r"""
+      (?P<ws>\s+)
+    | (?P<comment>//[^\n]*|/\*.*?\*/)
+    | (?P<str>"(?:[^"\\\n]|\\.)*"|'(?:[^'\\\n]|\\.)*')
+    | (?P<num>\.?\d(?:[\w.']|[eEpP][+-])*)
+    | (?P<id>[A-Za-z_]\w*)
+    | (?P<punc><<=|>>=|<=>|->\*|\.\.\.|::|\+\+|--|<<|>>|<=|>=|==|!=
+               |&&|\|\||\+=|-=|\*=|/=|%=|&=|\|=|\^=|->|.)
+    """,
+    re.VERBOSE | re.DOTALL)
+
+SUPPRESS_RE = re.compile(
+    r"//\s*psb-analyze:\s*allow\(\s*([A-Z0-9,\s]+?)\s*\)")
+
+ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+              "<<=", ">>="}
+ARITH_OPS = {"+", "-", "*", "/", "%"}
+DOMAIN_NAME_RE = re.compile(
+    "^(" + "|".join(DOMAIN_PARAM_NAMES) + r")\w*$", re.IGNORECASE)
+
+
+class Tok:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind, text, line):
+        self.kind = kind
+        self.text = text
+        self.line = line
+
+    def __repr__(self):
+        return f"{self.kind}:{self.text!r}@{self.line}"
+
+
+def tokenize(text):
+    """Token list (comments/whitespace dropped), plus suppressions.
+
+    Returns (tokens, suppressed) where suppressed maps line number ->
+    set of rule ids allowed on that line and the following line.
+    """
+    toks = []
+    suppressed = {}
+    line = 1
+    pos = 0
+    n = len(text)
+    while pos < n:
+        m = TOKEN_RE.match(text, pos)
+        if not m:  # stray byte; skip it
+            pos += 1
+            continue
+        kind = m.lastgroup
+        s = m.group(0)
+        if kind == "comment":
+            sm = SUPPRESS_RE.search(s)
+            if sm:
+                rules = {r.strip() for r in sm.group(1).split(",")}
+                suppressed.setdefault(line, set()).update(rules)
+        elif kind == "id" and s in ("pragma", "include", "define",
+                                    "ifdef", "ifndef", "endif", "if",
+                                    "else", "elif", "undef", "error") \
+                and toks and toks[-1].text == "#" \
+                and toks[-1].line == line:
+            # Preprocessor directive: swallow the logical line.
+            toks.pop()
+            end = pos
+            while True:
+                nl = text.find("\n", end)
+                if nl == -1:
+                    end = n
+                    break
+                if text[nl - 1] == "\\":
+                    end = nl + 1
+                    continue
+                end = nl
+                break
+            line += text.count("\n", pos, end)
+            pos = end
+            continue
+        elif kind != "ws":
+            toks.append(Tok(kind, s, line))
+        line += s.count("\n")
+        pos = m.end()
+    return toks, suppressed
+
+
+# --------------------------------------------------------------------
+# Scope model: classes, members, accessors, method bodies
+# --------------------------------------------------------------------
+
+class ClassInfo:
+    def __init__(self, name):
+        self.name = name
+        self.bases = []          # base class names
+        self.members = {}        # member name -> type string
+        self.accessors = {}      # accessor name -> member returned
+        self.declares = set()    # {"registerStats", "resetStats", ...}
+        self.files = set()
+
+
+class Model:
+    """Cross-TU model of the analyzed tree."""
+
+    def __init__(self):
+        self.classes = {}        # name -> ClassInfo
+        self.aliases = {}        # alias name -> type string
+        # (class, member) -> [(file, line)] discarded-value bumps
+        self.bumps = {}
+        # identifiers appearing inside any registerStats body
+        self.registered_ids = set()
+        # (class, member) -> lines where member is read outside
+        # mutations/accessors/registerStats/resetStats
+        self.other_reads = set()
+
+    def cls(self, name):
+        if name not in self.classes:
+            self.classes[name] = ClassInfo(name)
+        return self.classes[name]
+
+
+def _find_matching(toks, i, open_t, close_t):
+    """Index of the token matching the opener at i, or len(toks)."""
+    depth = 0
+    n = len(toks)
+    while i < n:
+        t = toks[i].text
+        if t == open_t:
+            depth += 1
+        elif t == close_t:
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    return n
+
+
+def _type_str(toks):
+    return " ".join(t.text for t in toks)
+
+
+class FileScan:
+    """Single-file scan: builds scope structure over the token list."""
+
+    def __init__(self, rel, toks):
+        self.rel = rel
+        self.toks = toks
+        # list of (class_name or None, func_name, body_lo, body_hi)
+        self.functions = []
+        # class name -> (body_lo, body_hi) spans at class scope
+        self.class_spans = []
+
+    def scan(self, model):
+        self._scan_aliases(model)
+        self._scan_classes(model)
+        self._scan_out_of_line_functions()
+
+    def _scan_aliases(self, model):
+        toks = self.toks
+        for i, t in enumerate(toks):
+            if t.text == "using" and i + 2 < len(toks) \
+                    and toks[i + 1].kind == "id" \
+                    and toks[i + 2].text == "=":
+                j = i + 3
+                while j < len(toks) and toks[j].text != ";":
+                    j += 1
+                model.aliases[toks[i + 1].text] = \
+                    _type_str(toks[i + 3:j])
+            elif t.text == "typedef":
+                j = i + 1
+                while j < len(toks) and toks[j].text != ";":
+                    j += 1
+                if j - 1 > i + 1 and toks[j - 1].kind == "id":
+                    model.aliases[toks[j - 1].text] = \
+                        _type_str(toks[i + 1:j - 1])
+
+    def _scan_classes(self, model):
+        toks = self.toks
+        i = 0
+        n = len(toks)
+        while i < n:
+            t = toks[i]
+            if t.text in ("class", "struct") and i + 1 < n \
+                    and toks[i + 1].kind == "id":
+                name = toks[i + 1].text
+                j = i + 2
+                bases = []
+                # optional final/base clause up to '{' or ';'
+                while j < n and toks[j].text not in ("{", ";"):
+                    if toks[j].kind == "id" and toks[j].text not in (
+                            "public", "private", "protected", "final",
+                            "virtual"):
+                        bases.append(toks[j].text)
+                    j += 1
+                if j < n and toks[j].text == "{":
+                    body_hi = _find_matching(toks, j, "{", "}")
+                    info = model.cls(name)
+                    info.bases.extend(
+                        b for b in bases if b not in info.bases)
+                    info.files.add(self.rel)
+                    self.class_spans.append((name, j + 1, body_hi))
+                    self._scan_class_body(model, info, j + 1, body_hi)
+                    i = j + 1  # descend: nested classes re-found OK
+                    continue
+            i += 1
+
+    def _scan_class_body(self, model, info, lo, hi):
+        """Members, accessors, inline method bodies at class depth."""
+        toks = self.toks
+        i = lo
+        while i < hi:
+            t = toks[i]
+            if t.text == "{":  # inline body or nested brace: skip over
+                i = _find_matching(toks, i, "{", "}") + 1
+                continue
+            if t.kind == "id" and i + 1 < hi:
+                nxt = toks[i + 1]
+                # method: name ( ... ) [const] { body }  or  decl ;
+                if nxt.text == "(" and t.text not in (
+                        "if", "for", "while", "switch", "return"):
+                    close = _find_matching(toks, i + 1, "(", ")")
+                    k = close + 1
+                    while k < hi and toks[k].text in (
+                            "const", "override", "noexcept", "final"):
+                        k += 1
+                    if k < hi and toks[k].text == "{":
+                        body_hi = _find_matching(toks, k, "{", "}")
+                        self.functions.append(
+                            (info.name, t.text, k + 1, body_hi))
+                        if t.text not in info.declares:
+                            info.declares.add(t.text)
+                        self._maybe_accessor(
+                            info, t.text, k + 1, body_hi)
+                        i = body_hi + 1
+                        continue
+                    # declaration only (';' or '= 0;')
+                    info.declares.add(t.text)
+                    i = k
+                    continue
+                # member: <type tokens> name [= init] ; / {init};
+                if nxt.text in (";", "=", "{") and i - 1 >= lo \
+                        and toks[i - 1].kind == "id":
+                    ty_lo = i - 1
+                    while ty_lo - 1 >= lo and toks[ty_lo - 1].kind in (
+                            "id", "punc") and toks[ty_lo - 1].text in (
+                            "const", "static", "mutable", "unsigned",
+                            "long", "::", "<", ">", ",") :
+                        ty_lo -= 1
+                    ty = _type_str(toks[ty_lo:i])
+                    if ty and ty not in ("return", "public", "private",
+                                         "protected"):
+                        info.members.setdefault(t.text, ty)
+            i += 1
+
+    def _maybe_accessor(self, info, fname, lo, hi):
+        """Record `name() const { return _x; }` style accessors."""
+        toks = self.toks
+        body = toks[lo:hi]
+        if len(body) == 3 and body[0].text == "return" \
+                and body[1].kind == "id" and body[2].text == ";":
+            info.accessors[fname] = body[1].text
+
+    def _scan_out_of_line_functions(self):
+        """`Ret Class::name(...) { ... }` definitions in .cc files."""
+        toks = self.toks
+        n = len(toks)
+        i = 0
+        while i < n - 3:
+            if toks[i].kind == "id" and toks[i + 1].text == "::" \
+                    and toks[i + 2].kind == "id" \
+                    and toks[i + 3].text == "(":
+                close = _find_matching(toks, i + 3, "(", ")")
+                k = close + 1
+                while k < n and toks[k].text in ("const", "noexcept",
+                                                 "override"):
+                    k += 1
+                # skip constructor init lists: ': member(init), ...'
+                if k < n and toks[k].text == ":":
+                    while k < n and toks[k].text != "{":
+                        if toks[k].text == "(":
+                            k = _find_matching(toks, k, "(", ")")
+                        elif toks[k].text == "{":
+                            break
+                        k += 1
+                if k < n and toks[k].text == "{":
+                    body_hi = _find_matching(toks, k, "{", "}")
+                    self.functions.append(
+                        (toks[i].text, toks[i + 2].text, k + 1,
+                         body_hi))
+                    i = body_hi + 1
+                    continue
+            i += 1
+
+
+# --------------------------------------------------------------------
+# Finding bookkeeping
+# --------------------------------------------------------------------
+
+class Findings:
+    def __init__(self):
+        self.items = []  # dicts: file, line, rule, message, key
+
+    def add(self, scan_or_rel, line, rule, message, key,
+            suppressed=None):
+        rel = scan_or_rel.rel if isinstance(scan_or_rel, FileScan) \
+            else scan_or_rel
+        if suppressed:
+            for ln in (line, line - 1):
+                if rule in suppressed.get(ln, ()):
+                    return
+        self.items.append({"file": str(rel), "line": line,
+                           "rule": rule, "message": message,
+                           "key": f"{rule}:{rel}:{key}"})
+
+    def sorted(self):
+        return sorted(self.items,
+                      key=lambda f: (f["file"], f["line"], f["rule"]))
+
+
+# --------------------------------------------------------------------
+# Rule passes (token/scope engine)
+# --------------------------------------------------------------------
+
+CONTROL_KEYWORDS = {"if", "for", "while", "switch", "return", "sizeof",
+                    "alignof", "catch", "case", "throw", "new",
+                    "delete", "assert", "static_assert", "decltype"}
+
+TRACE_MACROS = {"PSB_TRACE", "PSB_TRACE_BEGIN", "PSB_TRACE_END",
+                "PSB_TRACE_SET_NOW"}
+
+OBSERVABLE_IN_LOOP = {"PSB_TRACE", "PSB_TRACE_BEGIN", "PSB_TRACE_END",
+                      "addScalar", "addReal", "addAverage",
+                      "addHistogram", "sample", "sampleN", "<<"}
+
+EXEMPT_FILES = ("util/strong_types.hh",)
+
+STATS_SCOPE_DIRS = ("core/", "cpu/", "memory/", "predictors/",
+                    "prefetch/", "sim/")
+
+
+def _exempt(rel):
+    return str(rel).replace("\\", "/").endswith(EXEMPT_FILES)
+
+
+def pass_r1_params(scan, suppressed, findings):
+    """R1a: raw uint64_t address/cycle parameters (headers and .cc)."""
+    if _exempt(scan.rel):
+        return
+    toks = scan.toks
+    n = len(toks)
+    # paren stack entries: True when the group is a decl/call arg list
+    paren_stack = []
+    for i, t in enumerate(toks):
+        if t.text == "(":
+            prev = toks[i - 1] if i else None
+            arglist = (prev is not None and prev.kind == "id"
+                       and prev.text not in CONTROL_KEYWORDS)
+            paren_stack.append(arglist)
+        elif t.text == ")":
+            if paren_stack:
+                paren_stack.pop()
+        elif t.text == "uint64_t" and paren_stack \
+                and any(paren_stack):
+            j = i + 1
+            while j < n and toks[j].text in ("&", "*", "&&", "const"):
+                j += 1
+            if j < n and toks[j].kind == "id" \
+                    and DOMAIN_NAME_RE.match(toks[j].text):
+                findings.add(
+                    scan, toks[j].line, "R1",
+                    f"raw uint64_t parameter '{toks[j].text}' carries "
+                    f"an address/cycle quantity; use the strong "
+                    f"domain types (ByteAddr/BlockAddr/Cycle...)",
+                    f"param:{toks[j].text}", suppressed)
+
+
+def _statements(toks, lo=0, hi=None):
+    """Yield (start, end) token index ranges split at ; { }."""
+    hi = len(toks) if hi is None else hi
+    start = lo
+    for i in range(lo, hi):
+        if toks[i].text in (";", "{", "}"):
+            if i > start:
+                yield start, i
+            start = i + 1
+    if hi > start:
+        yield start, hi
+
+
+def _raw_call_positions(toks, lo, hi):
+    out = []
+    for i in range(lo, hi - 2):
+        if toks[i].text == "." and toks[i + 1].text == "raw" \
+                and toks[i + 2].text == "(":
+            out.append(i)
+    return out
+
+
+def pass_r1_raw_arith(scan, suppressed, findings):
+    """R1b: two .raw() results combined by +,-,*,/,%."""
+    if _exempt(scan.rel):
+        return
+    toks = scan.toks
+    for lo, hi in _statements(toks):
+        raws = _raw_call_positions(toks, lo, hi)
+        if len(raws) < 2:
+            continue
+        between = toks[raws[0] + 3:raws[-1]]
+        if any(t.text in ARITH_OPS for t in between):
+            findings.add(
+                scan, toks[raws[0]].line, "R1",
+                "arithmetic combines two .raw() escapes; this math "
+                "belongs inside the strong types "
+                "(util/strong_types.hh operators)",
+                "raw-arith", suppressed)
+
+
+def pass_r1_reentry(scan, model, suppressed, findings):
+    """R1c: strong-type ctor / strong member init fed raw arithmetic."""
+    if _exempt(scan.rel):
+        return
+    toks = scan.toks
+    strong_members = {
+        m for info in model.classes.values()
+        for m, ty in info.members.items()
+        if any(ty.split()[-1] == st or ty == st
+               for st in STRONG_TYPES)}
+    n = len(toks)
+    for i in range(n - 1):
+        t = toks[i]
+        if toks[i + 1].text != "(" or t.kind != "id":
+            continue
+        is_strong_ctor = t.text in STRONG_TYPES and (
+            i == 0 or toks[i - 1].text not in ("class", "struct",
+                                               "::", "new"))
+        is_member_init = t.text in strong_members
+        if not (is_strong_ctor or is_member_init):
+            continue
+        close = _find_matching(toks, i + 1, "(", ")")
+        args = toks[i + 2:close]
+        has_raw = any(
+            args[k].text == "." and k + 1 < len(args)
+            and args[k + 1].text == "raw" for k in range(len(args)))
+        if has_raw and any(a.text in ARITH_OPS for a in args):
+            what = ("constructor" if is_strong_ctor
+                    else "member initializer")
+            findings.add(
+                scan, t.line, "R1",
+                f"strong-type {what} '{t.text}(...)' is fed .raw() "
+                f"arithmetic — the value escaped the domain and "
+                f"re-enters unchecked; use the strong-type operators "
+                f"instead",
+                f"reentry:{t.text}", suppressed)
+
+
+def pass_r4_trace_purity(scan, suppressed, findings):
+    """R4: side effects inside PSB_TRACE* argument lists."""
+    rel = str(scan.rel).replace("\\", "/")
+    if rel.endswith(("util/trace.hh", "util/trace.cc")):
+        return  # the macro definitions themselves
+    toks = scan.toks
+    n = len(toks)
+    for i in range(n - 1):
+        if toks[i].kind == "id" and toks[i].text in TRACE_MACROS \
+                and toks[i + 1].text == "(":
+            close = _find_matching(toks, i + 1, "(", ")")
+            for a in toks[i + 2:close]:
+                if a.text in ("++", "--") or a.text in ASSIGN_OPS:
+                    findings.add(
+                        scan, a.line, "R4",
+                        f"side effect ('{a.text}') inside "
+                        f"{toks[i].text} arguments; trace arguments "
+                        f"are skipped when tracing is off, so this "
+                        f"changes behavior with tracing on/off",
+                        f"trace:{toks[i].text}", suppressed)
+                    break
+
+
+def _resolve_type(name, scan_locals, cls_info, model, depth=0):
+    """Resolve an identifier to a declared type string, via aliases."""
+    if depth > 4:
+        return ""
+    ty = scan_locals.get(name, "")
+    if not ty and cls_info is not None:
+        ty = cls_info.members.get(name, "")
+    if not ty:
+        ty = ""
+    out = []
+    for w in ty.split():
+        if w in model.aliases:
+            out.append(model.aliases[w])
+        else:
+            out.append(w)
+    resolved = " ".join(out)
+    if resolved in model.aliases:
+        return model.aliases[resolved]
+    return resolved
+
+
+def _collect_locals(toks, lo, hi):
+    """Very light local-decl harvest: `Type name =|{|;` inside body."""
+    out = {}
+    for s, e in _statements(toks, lo, hi):
+        span = toks[s:e]
+        for k in range(1, len(span)):
+            if span[k].kind == "id" and k + 1 < len(span) \
+                    and span[k + 1].text in ("=", "{", ";", ":") \
+                    and span[k - 1].kind == "id":
+                out.setdefault(span[k].text,
+                               _type_str(span[:k]))
+                break
+    return out
+
+
+def pass_r3_determinism(scan, model, suppressed, findings):
+    """R3: unordered iteration into observable state; pointer keys."""
+    toks = scan.toks
+    n = len(toks)
+
+    # Pointer-keyed associative containers, aliases resolved.
+    for s, e in _statements(toks):
+        ty = _type_str(toks[s:e])
+        expanded = " ".join(
+            model.aliases.get(w, w) for w in ty.split())
+        if re.search(r"\b(?:unordered_)?(?:map|set)\s*<[^,>]*\*",
+                     expanded):
+            findings.add(
+                scan, toks[s].line, "R3",
+                "pointer-keyed associative container (possibly via "
+                "an alias); iteration order is allocator-dependent "
+                "and can leak into stats",
+                "ptr-key", suppressed)
+
+    # Range-for over unordered containers writing observable state.
+    for scan_cls, _fname, lo, hi in scan.functions:
+        cls_info = model.classes.get(scan_cls)
+        locals_ = _collect_locals(toks, lo, hi)
+        i = lo
+        while i < hi:
+            if toks[i].text == "for" and i + 1 < hi \
+                    and toks[i + 1].text == "(":
+                close = _find_matching(toks, i + 1, "(", ")")
+                head = toks[i + 2:close]
+                colon = next((k for k, t in enumerate(head)
+                              if t.text == ":"), None)
+                if colon is not None:
+                    cont = [t for t in head[colon + 1:]
+                            if t.kind == "id"]
+                    ty = ""
+                    for c in cont:
+                        ty = _resolve_type(c.text, locals_, cls_info,
+                                           model)
+                        if ty:
+                            break
+                        if c.text in ("unordered_map",
+                                      "unordered_set"):
+                            ty = c.text
+                            break
+                    if "unordered_map" in ty or "unordered_set" in ty:
+                        body_lo = close + 1
+                        if body_lo < hi and toks[body_lo].text == "{":
+                            body_hi = _find_matching(
+                                toks, body_lo, "{", "}")
+                        else:
+                            body_hi = next(
+                                (k for k in range(body_lo, hi)
+                                 if toks[k].text == ";"), hi)
+                        body = toks[body_lo:body_hi]
+                        writes = any(
+                            t.text in OBSERVABLE_IN_LOOP
+                            or t.text in ("++", "--")
+                            or t.text in ASSIGN_OPS
+                            for t in body)
+                        if writes:
+                            findings.add(
+                                scan, toks[i].line, "R3",
+                                "iteration over an unordered "
+                                "container writes stats/trace/"
+                                "output; the visit order is hash-"
+                                "seed and allocator noise — use an "
+                                "ordered container or sort first",
+                                "unordered-iter", suppressed)
+                i = close + 1
+                continue
+            i += 1
+
+
+# ------------------------- R2: stats completeness -------------------
+
+MUTATION_STMT_PRECEDERS = {";", "{", "}", ")", ":", "else", "do"}
+
+
+def collect_r2_facts(scan, model):
+    """Harvest bumps, registered identifiers, and other reads."""
+    toks = scan.toks
+
+    def member_path(idx):
+        """Parse `_x` or `_s.f` starting at idx; ('' if not id)."""
+        if idx >= len(toks) or toks[idx].kind != "id":
+            return None, idx
+        base = toks[idx].text
+        if idx + 2 < len(toks) and toks[idx + 1].text == "." \
+                and toks[idx + 2].kind == "id":
+            return (base, toks[idx + 2].text), idx + 3
+        return (base, None), idx + 1
+
+    def owns_member(info, name, seen=None):
+        """Member of the class or, transitively, of a base class."""
+        if info is None:
+            return False
+        if name in info.members:
+            return True
+        seen = seen or set()
+        seen.add(info.name)
+        return any(
+            owns_member(model.classes.get(b), name, seen)
+            for b in info.bases
+            if b in model.classes and b not in seen)
+
+    for cls_name, fname, lo, hi in scan.functions:
+        info = model.classes.get(cls_name)
+        in_register = fname == "registerStats"
+        in_reset = fname == "resetStats"
+        # a pure accessor's `return _x;` is not a "real" read
+        is_accessor = (info is not None
+                       and info.accessors.get(fname) is not None)
+        if in_register:
+            for t in toks[lo:hi]:
+                if t.kind == "id":
+                    model.registered_ids.add(t.text)
+            continue
+        i = lo
+        while i < hi:
+            t = toks[i]
+            prev = toks[i - 1] if i > lo else None
+            # prefix:  ++_x;   ++_s.f;
+            if t.text in ("++", "--") and (
+                    prev is None
+                    or prev.text in MUTATION_STMT_PRECEDERS):
+                path, after = member_path(i + 1)
+                if path and owns_member(info, path[0]) \
+                        and after < hi and toks[after].text == ";":
+                    _note_bump(model, info, path, scan.rel,
+                               toks[i].line)
+                    i = after + 1
+                    continue
+            # statement-initial member path: postfix bump, += or read
+            if t.kind == "id" and owns_member(info, t.text) and (
+                    prev is None
+                    or prev.text in MUTATION_STMT_PRECEDERS):
+                path, after = member_path(i)
+                if path and after < hi:
+                    nxt = toks[after].text
+                    if nxt in ("++", "--") and after + 1 < hi \
+                            and toks[after + 1].text == ";":
+                        _note_bump(model, info, path, scan.rel,
+                                   toks[i].line)
+                        i = after + 2
+                        continue
+                    if nxt == "+=":
+                        _note_bump(model, info, path, scan.rel,
+                                   toks[i].line)
+                        i = after + 1
+                        continue
+            # any other appearance of a member id = a "real" read,
+            # unless we are inside resetStats or a pure accessor
+            if t.kind == "id" and info is not None \
+                    and t.text in info.members \
+                    and not in_reset and not is_accessor:
+                nxt = toks[i + 1].text if i + 1 < hi else ""
+                prev_t = prev.text if prev is not None else ""
+                is_bump_ctx = nxt in ("++", "--", "+=") \
+                    or prev_t in ("++", "--")
+                if not is_bump_ctx:
+                    model.other_reads.add((cls_name, t.text))
+            i += 1
+
+    # accessor bodies don't count as reads; they were parsed from the
+    # class body scan and are exactly `return _x;`
+
+
+def _note_bump(model, info, path, rel, line):
+    base, field = path
+    cls_name = info.name if info is not None else ""
+    key = (cls_name, base if field is None else f"{base}.{field}")
+    model.bumps.setdefault(key, []).append((str(rel), line))
+
+
+def _class_in_stats_scope(info, model, rel_files):
+    """True when the class participates in the stats system."""
+    seen = set()
+
+    def walk(ci):
+        if ci.name in seen:
+            return False
+        seen.add(ci.name)
+        if "registerStats" in ci.declares or "resetStats" in \
+                ci.declares:
+            return True
+        return any(walk(model.classes[b]) for b in ci.bases
+                   if b in model.classes)
+
+    if walk(info):
+        return True
+    # directory scope: component code participates even without its
+    # own registerStats (its owner may register through accessors)
+    return any(any(d in str(f) for d in STATS_SCOPE_DIRS)
+               for f in rel_files)
+
+
+def pass_r2_completeness(model, suppressions_by_file, findings):
+    """Cross-TU: every pure counter bump must be registered."""
+    # accessor name -> member, for every class (global indirection)
+    accessor_member = {}
+    for info in model.classes.values():
+        for acc, member in info.accessors.items():
+            accessor_member.setdefault(acc, set()).add(
+                (info.name, member))
+
+    registered_members = set(model.registered_ids)
+    for acc in model.registered_ids:
+        for _cls, member in accessor_member.get(acc, ()):
+            registered_members.add(member)
+
+    for (cls_name, member), sites in sorted(model.bumps.items()):
+        info = model.classes.get(cls_name)
+        if info is None:
+            continue
+        base, _, field = member.partition(".")
+        leaf = field or base
+        # Only uint64_t counters; struct fields (e.g. _stats.hits)
+        # are checked by their leaf name.
+        if not field:
+            ty = info.members.get(base, "")
+            if "uint64_t" not in ty:
+                continue
+            if (cls_name, base) in model.other_reads:
+                continue  # feeds simulation logic; not a pure stat
+        site_file, site_line = sites[0]
+        if not _class_in_stats_scope(info, model, info.files):
+            continue
+        # A class that itself declares the stats protocol is checked
+        # wherever it lives (fixtures included); otherwise require the
+        # bump site to be component code under the stats-scope dirs.
+        declares_protocol = _class_in_stats_scope(info, model, [])
+        if not declares_protocol \
+                and not any(d in site_file for d in STATS_SCOPE_DIRS):
+            continue
+        if leaf in registered_members:
+            continue
+        sup = suppressions_by_file.get(site_file, {})
+        findings.add(
+            site_file, site_line, "R2",
+            f"counter '{member}' of {cls_name} is bumped here but "
+            f"never registered: it appears in no registerStats() "
+            f"body and no accessor returning it is called from one, "
+            f"so it is missing from the stats JSON",
+            f"counter:{cls_name}.{member}", sup)
+
+
+# --------------------------------------------------------------------
+# libclang deepening pass (optional; used by CI)
+# --------------------------------------------------------------------
+
+def load_libclang():
+    try:
+        import clang.cindex as ci
+        ci.Index.create()
+        return ci
+    except Exception:
+        return None
+
+
+def libclang_pass(ci, compile_db_dir, root, src_root, suppressions,
+                  findings, seen_keys):
+    """Deepen R1a and R3 with real types from clang.cindex.
+
+    Findings are merged into `findings`, deduplicated against
+    `seen_keys` (file:line:rule) produced by the token engine. Any
+    parse failure degrades to a warning: the token engine remains the
+    floor, clang only raises it.
+    """
+    import re as _re
+    index = ci.Index.create()
+    try:
+        db = ci.CompilationDatabase.fromDirectory(str(compile_db_dir))
+        cmds = list(db.getAllCompileCommands())
+    except Exception as e:  # pragma: no cover
+        print(f"psb_analyze: libclang: cannot load compile DB: {e}",
+              file=sys.stderr)
+        return False
+
+    uint64_spellings = ("uint64_t", "unsigned long", "uint_fast64_t")
+    ptrkey_re = _re.compile(
+        r"(?:unordered_)?(?:map|set)<[^,>]*\*")
+
+    def rel_of(loc):
+        try:
+            p = pathlib.Path(str(loc.file)).resolve()
+            return p.relative_to(root)
+        except Exception:
+            return None
+
+    def in_scope(loc):
+        if loc.file is None:
+            return False
+        p = pathlib.Path(str(loc.file)).resolve()
+        try:
+            p.relative_to(src_root)
+        except ValueError:
+            return False
+        return not str(p).endswith(EXEMPT_FILES)
+
+    def emit(cursor, rule, message, key):
+        rel = rel_of(cursor.location)
+        if rel is None:
+            return
+        line = cursor.location.line
+        dedup = (str(rel), line, rule)
+        if dedup in seen_keys:
+            return
+        seen_keys.add(dedup)
+        findings.add(str(rel), line, rule, message, key,
+                     suppressions.get(str(rel), {}))
+
+    def walk(cursor):
+        for c in cursor.get_children():
+            try:
+                if c.kind == ci.CursorKind.PARM_DECL \
+                        and in_scope(c.location):
+                    canon = c.type.get_canonical().spelling
+                    if any(s in canon for s in uint64_spellings) \
+                            and "*" not in canon \
+                            and DOMAIN_NAME_RE.match(c.spelling or ""):
+                        emit(c, "R1",
+                             f"raw {canon} parameter '{c.spelling}' "
+                             f"carries an address/cycle quantity; "
+                             f"use the strong domain types",
+                             f"param:{c.spelling}")
+                elif c.kind == ci.CursorKind.CXX_FOR_RANGE_STMT \
+                        and in_scope(c.location):
+                    kids = list(c.get_children())
+                    if kids:
+                        ty = kids[0].type.get_canonical().spelling
+                        if "unordered_map" in ty \
+                                or "unordered_set" in ty:
+                            emit(c, "R3",
+                                 "range-for over an unordered "
+                                 "container (resolved type: "
+                                 f"{ty.split('<')[0]}<...>); if the "
+                                 "body feeds stats or traces the "
+                                 "order is nondeterministic",
+                                 "unordered-iter")
+                elif c.kind in (ci.CursorKind.FIELD_DECL,
+                                ci.CursorKind.VAR_DECL) \
+                        and in_scope(c.location):
+                    canon = c.type.get_canonical().spelling
+                    if ptrkey_re.search(canon.replace(" ", "")):
+                        emit(c, "R3",
+                             f"pointer-keyed container "
+                             f"({canon.split('<')[0]}<...>); "
+                             f"iteration order is allocator noise",
+                             "ptr-key")
+            except Exception:
+                pass
+            walk(c)
+
+    parsed = 0
+    for cmd in cmds:
+        args = [a for a in cmd.arguments][1:]
+        # drop the output/source/compile-mode arguments
+        clean = []
+        skip = False
+        for a in args:
+            if skip:
+                skip = False
+                continue
+            if a in ("-o", "-c"):
+                skip = a == "-o"
+                continue
+            if a == cmd.filename or a.endswith(".cc") \
+                    or a.endswith(".cpp"):
+                continue
+            clean.append(a)
+        try:
+            tu = index.parse(cmd.filename, args=clean)
+            walk(tu.cursor)
+            parsed += 1
+        except Exception as e:
+            print(f"psb_analyze: libclang: failed to parse "
+                  f"{cmd.filename}: {e}", file=sys.stderr)
+    print(f"psb_analyze: libclang pass parsed {parsed}/{len(cmds)} "
+          f"TUs", file=sys.stderr)
+    return parsed > 0
+
+
+# --------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------
+
+def analyze_files(files, root):
+    """Run the token/scope engine over `files` (abs paths)."""
+    model = Model()
+    scans = []
+    suppressions = {}
+    for path in sorted(files):
+        rel = path.relative_to(root) if path.is_absolute() else path
+        toks, sup = tokenize(path.read_text(errors="replace"))
+        scan = FileScan(rel, toks)
+        scan.scan(model)
+        scans.append((scan, sup))
+        suppressions[str(rel)] = sup
+
+    for scan, _sup in scans:
+        collect_r2_facts(scan, model)
+
+    findings = Findings()
+    for scan, sup in scans:
+        pass_r1_params(scan, sup, findings)
+        pass_r1_raw_arith(scan, sup, findings)
+        pass_r1_reentry(scan, model, sup, findings)
+        pass_r3_determinism(scan, model, sup, findings)
+        pass_r4_trace_purity(scan, sup, findings)
+    pass_r2_completeness(model, suppressions, findings)
+    return findings, suppressions
+
+
+def load_baseline(path):
+    if path is None or not path.exists():
+        return set()
+    try:
+        data = json.loads(path.read_text())
+        return {f["key"] for f in data.get("findings", [])}
+    except (ValueError, KeyError) as e:
+        print(f"psb_analyze: bad baseline {path}: {e}",
+              file=sys.stderr)
+        sys.exit(EXIT_ERROR)
+
+
+def run_tree(args):
+    root = pathlib.Path(args.root).resolve()
+    src = root / "src"
+    if not src.is_dir():
+        print(f"psb_analyze: no src/ under {root}", file=sys.stderr)
+        return EXIT_ERROR
+
+    compile_db = None
+    for cand in ([pathlib.Path(args.compile_db)] if args.compile_db
+                 else [root / "build" / "compile_commands.json"]):
+        if cand.exists():
+            compile_db = cand.resolve()
+            break
+    if compile_db is None:
+        msg = ("psb_analyze: no compile_commands.json (configure "
+               "with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)")
+        if args.backend == "libclang":
+            print(msg, file=sys.stderr)
+            return EXIT_ERROR
+        print(msg + "; token engine runs from the source tree alone",
+              file=sys.stderr)
+
+    files = sorted(src.rglob("*.hh")) + sorted(src.rglob("*.cc"))
+    findings, suppressions = analyze_files(files, root)
+
+    backend = "internal"
+    if args.backend in ("auto", "libclang"):
+        ci = load_libclang()
+        if ci is None:
+            if args.backend == "libclang":
+                print("psb_analyze: clang.cindex not importable "
+                      "(pip install libclang)", file=sys.stderr)
+                return EXIT_ERROR
+        elif compile_db is not None:
+            seen = {(f["file"], f["line"], f["rule"])
+                    for f in findings.items}
+            if libclang_pass(ci, compile_db.parent, root, src.resolve(),
+                             suppressions, findings, seen):
+                backend = "internal+libclang"
+            elif args.backend == "libclang":
+                return EXIT_ERROR
+    print(f"psb_analyze: backend={backend}", file=sys.stderr)
+
+    baseline = load_baseline(
+        pathlib.Path(args.baseline) if args.baseline
+        else root / "tools" / "psb_analyze_baseline.json")
+    fresh = [f for f in findings.sorted() if f["key"] not in baseline]
+
+    if args.json:
+        payload = {"backend": backend, "root": str(root),
+                   "findings": fresh}
+        pathlib.Path(args.json).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    for f in fresh:
+        print(format_finding(f["file"], f["line"], f["rule"],
+                             f["message"]))
+    if fresh:
+        print(f"psb_analyze: {len(fresh)} finding(s)",
+              file=sys.stderr)
+        return EXIT_FINDINGS
+    print("psb_analyze: clean")
+    return EXIT_CLEAN
+
+
+def run_self_test(args):
+    fixture_dir = pathlib.Path(
+        args.root if args.root != "." or not args.self_test
+        else ".").resolve()
+    if args.self_test and args.root == ".":
+        # default: tests/analyze next to this script's repo root
+        fixture_dir = (pathlib.Path(__file__).resolve().parent.parent
+                       / "tests" / "analyze")
+    golden_path = fixture_dir / "golden_findings.json"
+    if not golden_path.exists():
+        print(f"psb_analyze: no golden_findings.json in {fixture_dir}",
+              file=sys.stderr)
+        return EXIT_ERROR
+    golden = json.loads(golden_path.read_text())
+
+    failures = []
+    for name, expected_rules in sorted(golden.items()):
+        path = fixture_dir / name
+        if not path.exists():
+            failures.append(f"{name}: fixture missing")
+            continue
+        files = [path]
+        prelude = fixture_dir / "fixture_prelude.hh"
+        if prelude.exists():
+            files.append(prelude)
+        findings, _sup = analyze_files(files, fixture_dir)
+        got = sorted({f["rule"] for f in findings.items
+                      if f["file"] == name})
+        want = sorted(expected_rules)
+        if got != want:
+            detail = "; ".join(
+                format_finding(f['file'], f['line'], f['rule'],
+                               f['message'])
+                for f in findings.sorted() if f["file"] == name)
+            failures.append(
+                f"{name}: expected rules {want}, got {got}"
+                + (f" [{detail}]" if detail else ""))
+    if failures:
+        for f in failures:
+            print(f"psb_analyze --self-test FAIL: {f}")
+        print(f"psb_analyze: self-test {len(failures)} failure(s)",
+              file=sys.stderr)
+        return EXIT_FINDINGS
+    print(f"psb_analyze: self-test ok "
+          f"({len(golden)} fixtures, exact rule match)")
+    return EXIT_CLEAN
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Compile-aware AST-level analyzer for the PSB "
+                    "tree; see tools/psb_rules.py for the rule "
+                    "catalog shared with psb_lint.")
+    ap.add_argument("root", nargs="?", default=".",
+                    help="repo root (default .) or, with "
+                         "--self-test, the fixture directory")
+    ap.add_argument("--compile-db",
+                    help="path to compile_commands.json (default: "
+                         "<root>/build/compile_commands.json)")
+    ap.add_argument("--backend",
+                    choices=("auto", "internal", "libclang"),
+                    default="auto")
+    ap.add_argument("--baseline",
+                    help="findings baseline JSON (default: "
+                         "<root>/tools/psb_analyze_baseline.json)")
+    ap.add_argument("--json", help="write findings JSON here")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the tests/analyze fixture corpus")
+    ap.add_argument("--list-rules", action="store_true")
+    args = ap.parse_args()
+
+    if args.list_rules:
+        for rid, (slug, why) in RULES.items():
+            print(f"{rid}  {slug:22s} {why}")
+        return EXIT_CLEAN
+    if args.self_test:
+        return run_self_test(args)
+    return run_tree(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

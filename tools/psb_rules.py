@@ -1,0 +1,75 @@
+"""Shared rule catalog for the PSB static-analysis tooling.
+
+Both checkers — tools/psb_lint.py (fast textual pre-check, no compile
+database needed) and tools/psb_analyze.py (compile-aware AST-level
+check) — report findings under the rule IDs defined here, and exit
+with the shared exit codes, so CI and humans see one consistent
+vocabulary:
+
+    R1  strong-type-escape   address/cycle values leaving the strong
+                             type domain (raw uint64_t domain params,
+                             .raw() arithmetic re-entering a domain
+                             type)
+    R2  stats-completeness   counters that are bumped but never
+                             registered with the StatsRegistry
+    R3  determinism          nondeterminism sources: banned clock/rand
+                             calls, pointer-keyed containers, unordered
+                             iteration leaking into observable output
+    R4  trace-purity         PSB_TRACE argument expressions with side
+                             effects (behavior would differ with
+                             tracing on/off)
+    R5  output-discipline    raw printf/std::cout in component code,
+                             bypassing util/logging and util/trace
+
+psb_lint implements shallow (regex) versions of R1, R2, R3, R5;
+psb_analyze implements deep (type- and flow-aware) versions of R1-R4.
+A finding line always looks like
+
+    path:line: [R1] message
+
+and an inline `// psb-analyze: allow(R1)` comment on (or immediately
+above) the offending line suppresses it in both tools.
+"""
+
+#: rule id -> (slug, one-line rationale)
+RULES = {
+    "R1": ("strong-type-escape",
+           "address/cycle arithmetic must stay inside the strong "
+           "domain types (util/strong_types.hh)"),
+    "R2": ("stats-completeness",
+           "every counter a component bumps must be registered with "
+           "the StatsRegistry or it silently drops out of the stats "
+           "export"),
+    "R3": ("determinism",
+           "results must be a pure function of config + seed; no "
+           "clocks, rand(), pointer-keyed containers, or unordered "
+           "iteration feeding observable output"),
+    "R4": ("trace-purity",
+           "PSB_TRACE arguments are not evaluated when tracing is "
+           "off, so they must be side-effect free"),
+    "R5": ("output-discipline",
+           "components report through util/logging or util/trace, "
+           "never raw printf/std::cout"),
+}
+
+#: Shared process exit codes.
+EXIT_CLEAN = 0     #: no findings
+EXIT_FINDINGS = 1  #: at least one non-baselined finding
+EXIT_ERROR = 2     #: usage or environment error (missing src/, bad DB)
+
+#: Parameter names that mark a raw integer as an address/cycle
+#: quantity (the name half of R1's type+name test). Shared so the two
+#: tools cannot drift apart on what counts as a domain parameter.
+DOMAIN_PARAM_NAMES = (
+    "addr", "address", "pc", "block", "cycle", "now", "when", "ready",
+    "target", "deadline",
+)
+
+#: The strong domain types of util/strong_types.hh.
+STRONG_TYPES = ("ByteAddr", "Addr", "BlockAddr", "BlockDelta", "Cycle",
+                "CycleDelta")
+
+
+def format_finding(path, line, rule, message):
+    """The one true finding format: path:line: [Rn] message."""
+    return f"{path}:{line}: [{rule}] {message}"
