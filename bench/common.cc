@@ -7,6 +7,7 @@
 #include <map>
 #include <sstream>
 
+#include "sim/sweep.hh"
 #include "util/logging.hh"
 #include "workloads/workload.hh"
 
@@ -108,17 +109,75 @@ cache()
     return instance;
 }
 
+/** The tab-separated %.17g cell list shared by the cache file and
+ *  the sweep-job payloads (deterministic round trip). */
+std::string
+recordCells(const CacheRecord &rec)
+{
+    std::string cells;
+    char buf[32];
+    for (double v : rec.values) {
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        cells += '\t';
+        cells += buf;
+    }
+    return cells;
+}
+
+bool
+parseRecordCells(const std::string &cells, CacheRecord &rec)
+{
+    std::istringstream fields(cells);
+    std::string lead;
+    if (!std::getline(fields, lead, '\t')) // text before first tab
+        return false;
+    for (double &v : rec.values) {
+        std::string cell;
+        if (!std::getline(fields, cell, '\t'))
+            return false;
+        v = std::strtod(cell.c_str(), nullptr);
+    }
+    return true;
+}
+
 void
 appendToCacheFile(const std::string &key, const CacheRecord &rec)
 {
     std::ofstream out(cacheFile, std::ios::app);
-    out << key;
-    char buf[32];
-    for (double v : rec.values) {
-        std::snprintf(buf, sizeof(buf), "%.17g", v);
-        out << '\t' << buf;
+    out << key << recordCells(rec) << '\n';
+}
+
+std::string
+cacheKey(const SimRequest &req, const BenchOptions &opts)
+{
+    std::ostringstream key;
+    key << cacheVersion << '|' << req.workload << '|'
+        << paperConfigName(req.config) << '|' << opts.warmup << '|'
+        << opts.instructions << '|' << req.variant;
+    return key.str();
+}
+
+/** The simulation behind one matrix cell, run on a worker thread:
+ *  fully shared-nothing (own trace, config, simulator, registry). */
+JobOutcome
+simulateCell(const SimRequest &req, const BenchOptions &opts)
+{
+    JobOutcome out;
+    auto trace = makeWorkload(req.workload);
+    if (!trace) {
+        out.error = "unknown workload '" + req.workload + "'";
+        return out;
     }
-    out << '\n';
+    SimConfig cfg = makePaperConfig(req.config);
+    cfg.warmupInstructions = opts.warmup;
+    cfg.maxInstructions = opts.instructions;
+    if (req.tweak)
+        req.tweak(cfg);
+    cfg.harmonize();
+    Simulator sim(cfg, *trace);
+    out.ok = true;
+    out.payload = recordCells(toRecord(sim.run()));
+    return out;
 }
 
 } // namespace
@@ -131,12 +190,18 @@ parseOptions(int argc, char **argv)
         opts.instructions = std::strtoull(env, nullptr, 10);
     if (const char *env = std::getenv("PSB_BENCH_WARMUP"))
         opts.warmup = std::strtoull(env, nullptr, 10);
+    if (const char *env = std::getenv("PSB_BENCH_JOBS"))
+        opts.jobs = unsigned(std::strtoul(env, nullptr, 10));
     for (int i = 1; i + 1 < argc; ++i) {
         if (std::strcmp(argv[i], "--insts") == 0)
             opts.instructions = std::strtoull(argv[i + 1], nullptr, 10);
         if (std::strcmp(argv[i], "--warmup") == 0)
             opts.warmup = std::strtoull(argv[i + 1], nullptr, 10);
+        if (std::strcmp(argv[i], "--jobs") == 0)
+            opts.jobs = unsigned(std::strtoul(argv[i + 1], nullptr, 10));
     }
+    if (opts.jobs == 0)
+        opts.jobs = 1;
     return opts;
 }
 
@@ -145,33 +210,64 @@ runSim(const std::string &workload, PaperConfig config,
        const BenchOptions &opts, const std::string &variant,
        const std::function<void(SimConfig &)> &tweak)
 {
-    std::ostringstream key;
-    key << cacheVersion << '|' << workload << '|'
-        << paperConfigName(config) << '|' << opts.warmup << '|'
-        << opts.instructions << '|' << variant;
+    BenchOptions serial = opts;
+    serial.jobs = 1; // a single cell gains nothing from workers
+    return runSims({{workload, config, variant, tweak}}, serial)[0];
+}
 
-    auto it = cache().find(key.str());
-    if (it != cache().end())
-        return fromRecord(it->second);
+std::vector<SimResult>
+runSims(const std::vector<SimRequest> &requests,
+        const BenchOptions &opts)
+{
+    std::vector<std::string> keys;
+    keys.reserve(requests.size());
+    // Key-sorted and deduplicated: a matrix may name a cell twice
+    // (e.g. the baseline column), but it must simulate once.
+    std::map<std::string, const SimRequest *> missing;
+    for (const SimRequest &req : requests) {
+        keys.push_back(cacheKey(req, opts));
+        if (!cache().count(keys.back()))
+            missing.emplace(keys.back(), &req);
+    }
 
-    auto trace = makeWorkload(workload);
-    if (!trace)
-        fatal("unknown workload '%s'", workload.c_str());
+    if (!missing.empty()) {
+        std::vector<SweepJob> sweepJobs;
+        sweepJobs.reserve(missing.size());
+        for (const auto &[key, req] : missing) {
+            SweepJob job;
+            job.key = key;
+            job.run = [req = *req, opts](const JobContext &) {
+                return simulateCell(req, opts);
+            };
+            sweepJobs.push_back(std::move(job));
+        }
 
-    SimConfig cfg = makePaperConfig(config);
-    cfg.warmupInstructions = opts.warmup;
-    cfg.maxInstructions = opts.instructions;
-    if (tweak)
-        tweak(cfg);
-    cfg.harmonize();
+        SweepOptions sweepOpts;
+        sweepOpts.jobs = opts.jobs;
+        SweepEngine engine(sweepOpts);
+        std::vector<JobResult> done = engine.run(sweepJobs);
 
-    Simulator sim(cfg, *trace);
-    SimResult result = sim.run();
+        // Only this (the calling) thread touches the cache map and
+        // the cache file; `done` is key-sorted so the file order is
+        // independent of completion order.
+        for (const JobResult &r : done) {
+            if (r.status != JobStatus::Ok)
+                fatal("bench job '%s' failed: %s", r.key.c_str(),
+                      r.error.c_str());
+            CacheRecord rec;
+            if (!parseRecordCells(r.payload, rec))
+                fatal("bench job '%s' returned a malformed record",
+                      r.key.c_str());
+            cache()[r.key] = rec;
+            appendToCacheFile(r.key, rec);
+        }
+    }
 
-    CacheRecord rec = toRecord(result);
-    cache()[key.str()] = rec;
-    appendToCacheFile(key.str(), rec);
-    return fromRecord(rec);
+    std::vector<SimResult> results;
+    results.reserve(requests.size());
+    for (const std::string &key : keys)
+        results.push_back(fromRecord(cache().at(key)));
+    return results;
 }
 
 double

@@ -18,6 +18,7 @@
 
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "sim/simulator.hh"
 
@@ -29,10 +30,22 @@ struct BenchOptions
 {
     uint64_t warmup = 250'000;
     uint64_t instructions = 1'000'000;
+    /** Worker threads for runSims() batches (--jobs/PSB_BENCH_JOBS). */
+    unsigned jobs = 1;
 };
 
-/** Parse --insts/--warmup plus the corresponding env variables. */
+/** Parse --insts/--warmup/--jobs plus the corresponding env vars. */
 BenchOptions parseOptions(int argc, char **argv);
+
+/** One cell of a figure's simulation matrix (see runSims). */
+struct SimRequest
+{
+    std::string workload;
+    PaperConfig config;
+    /** Extra cache key naming what @c tweak does; "" for stock. */
+    std::string variant = "";
+    std::function<void(SimConfig &)> tweak = {};
+};
 
 /**
  * Run (or fetch from cache) one simulation.
@@ -48,6 +61,20 @@ SimResult runSim(const std::string &workload, PaperConfig config,
                  const BenchOptions &opts,
                  const std::string &variant = "",
                  const std::function<void(SimConfig &)> &tweak = {});
+
+/**
+ * Run a whole simulation matrix, cache-misses in parallel on the
+ * sweep engine (sim/sweep.hh) with @c opts.jobs worker threads.
+ *
+ * Results come back in request order; duplicate cells are simulated
+ * once. The persistent cache file is only ever written by the calling
+ * thread, and the returned numbers are identical for every jobs
+ * count (each simulation is shared-nothing; see DESIGN.md §10).
+ * A figure driver calls this once with its full matrix to prewarm
+ * the cache, then formats its table through runSim() cache hits.
+ */
+std::vector<SimResult> runSims(const std::vector<SimRequest> &requests,
+                               const BenchOptions &opts);
 
 /** Percent speedup of @p ipc over @p base_ipc. */
 double speedupPct(double ipc, double base_ipc);

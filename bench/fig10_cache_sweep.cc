@@ -33,6 +33,29 @@ main(int argc, char **argv)
         {"32K 4-way", 32 * 1024, 4},
     };
 
+    // Prewarm every (workload, geometry, config) cell in parallel
+    // (--jobs/PSB_BENCH_JOBS) before the serial table loop.
+    const PaperConfig cellConfigs[] = {
+        PaperConfig::Base, PaperConfig::PcStride,
+        PaperConfig::ConfAllocPriority};
+    std::vector<SimRequest> matrix;
+    for (const std::string &name : workloadNames()) {
+        for (const Geometry &g : geoms) {
+            for (PaperConfig cfg : cellConfigs) {
+                SimRequest req;
+                req.workload = name;
+                req.config = cfg;
+                req.variant = std::string("l1d=") + g.label;
+                req.tweak = [g](SimConfig &c) {
+                    c.memory.l1d.sizeBytes = g.size;
+                    c.memory.l1d.assoc = g.assoc;
+                };
+                matrix.push_back(std::move(req));
+            }
+        }
+    }
+    runSims(matrix, opts);
+
     TablePrinter table;
     table.addRow({"program", "L1D", "PCStride", "ConfAlloc-Pri"});
     for (const std::string &name : workloadNames()) {

@@ -26,6 +26,17 @@ main(int argc, char **argv)
         PaperConfig::ConfAllocPriority,
     };
 
+    // Prewarm the whole workload x config matrix in parallel
+    // (--jobs/PSB_BENCH_JOBS); the table loop below then formats
+    // from cache hits.
+    std::vector<SimRequest> matrix;
+    for (const std::string &name : workloadNames()) {
+        matrix.push_back({name, PaperConfig::Base});
+        for (PaperConfig cfg : configs)
+            matrix.push_back({name, cfg});
+    }
+    runSims(matrix, opts);
+
     TablePrinter table;
     table.addRow({"program", "PCStride", "2Miss-RR", "2Miss-Pri",
                   "ConfAlloc-RR", "ConfAlloc-Pri"});

@@ -22,6 +22,14 @@ main(int argc, char **argv)
     std::puts("=== Figure 7: L1D miss rate (in-flight counts as miss) "
               "===\n");
 
+    // Prewarm the workload x config matrix in parallel
+    // (--jobs/PSB_BENCH_JOBS) before the serial table loop.
+    std::vector<SimRequest> matrix;
+    for (const std::string &name : psb::workloadNames())
+        for (PaperConfig cfg : paperConfigs)
+            matrix.push_back({name, cfg});
+    runSims(matrix, opts);
+
     TablePrinter table;
     table.addRow({"program", "Base", "PCStride", "2Miss-RR",
                   "2Miss-Pri", "ConfAlloc-RR", "ConfAlloc-Pri"});

@@ -1,7 +1,156 @@
 #include "sim/config.hh"
 
+#include <cstdlib>
+
 namespace psb
 {
+
+namespace
+{
+
+/** Strict non-negative integer parse; rejects empty/partial tokens. */
+bool
+parseUInt(const std::string &value, uint64_t &out)
+{
+    // Digits only: strtoull would silently wrap "-5" to a huge value.
+    if (value.empty() || value[0] < '0' || value[0] > '9')
+        return false;
+    char *end = nullptr;
+    out = std::strtoull(value.c_str(), &end, 10);
+    return end == value.c_str() + value.size();
+}
+
+bool
+parseBool(const std::string &value, bool &out)
+{
+    if (value == "true") {
+        out = true;
+        return true;
+    }
+    if (value == "false") {
+        out = false;
+        return true;
+    }
+    return false;
+}
+
+bool
+badValue(const std::string &key, const std::string &value,
+         const char *expected, std::string &error)
+{
+    error = "bad value '" + value + "' for config key '" + key +
+            "' (expected " + expected + ")";
+    return false;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+simConfigKeys()
+{
+    static const std::vector<std::string> keys = {
+        "alloc",       "buffers",    "delta-bits", "entries",
+        "insts",       "l1d-assoc",  "l1d-kb",     "markov-entries",
+        "nodis",       "order",      "prefetcher", "sched",
+        "tlb-cache",   "warmup",
+    };
+    return keys;
+}
+
+bool
+applyConfigKey(SimConfig &cfg, const std::string &key,
+               const std::string &value, std::string &error)
+{
+    uint64_t n = 0;
+    bool b = false;
+    if (key == "prefetcher") {
+        if (value == "none")
+            cfg.prefetcher = PrefetcherKind::None;
+        else if (value == "pcstride")
+            cfg.prefetcher = PrefetcherKind::PcStride;
+        else if (value == "psb")
+            cfg.prefetcher = PrefetcherKind::Psb;
+        else if (value == "sequential")
+            cfg.prefetcher = PrefetcherKind::Sequential;
+        else if (value == "nextline")
+            cfg.prefetcher = PrefetcherKind::NextLine;
+        else if (value == "markov")
+            cfg.prefetcher = PrefetcherKind::MarkovDemand;
+        else if (value == "mindelta")
+            cfg.prefetcher = PrefetcherKind::MinDelta;
+        else
+            return badValue(key, value,
+                            "none|pcstride|psb|sequential|nextline|"
+                            "markov|mindelta",
+                            error);
+        return true;
+    }
+    if (key == "alloc") {
+        if (value == "2miss")
+            cfg.psb.alloc = AllocPolicy::TwoMiss;
+        else if (value == "conf")
+            cfg.psb.alloc = AllocPolicy::Confidence;
+        else if (value == "always")
+            cfg.psb.alloc = AllocPolicy::Always;
+        else
+            return badValue(key, value, "2miss|conf|always", error);
+        return true;
+    }
+    if (key == "sched") {
+        if (value == "rr")
+            cfg.psb.sched = SchedPolicy::RoundRobin;
+        else if (value == "priority")
+            cfg.psb.sched = SchedPolicy::Priority;
+        else
+            return badValue(key, value, "rr|priority", error);
+        return true;
+    }
+    if (key == "nodis" || key == "tlb-cache") {
+        if (!parseBool(value, b))
+            return badValue(key, value, "true|false", error);
+        if (key == "nodis") {
+            cfg.core.disambiguation = b ? DisambiguationMode::None
+                                        : DisambiguationMode::Perfect;
+        } else {
+            cfg.psb.buffers.cacheTlbTranslation = b;
+        }
+        return true;
+    }
+    // Every remaining key takes a non-negative integer.
+    if (!parseUInt(value, n)) {
+        bool known = false;
+        for (const std::string &k : simConfigKeys())
+            known = known || k == key;
+        if (!known) {
+            error = "unknown config key '" + key + "'";
+            return false;
+        }
+        return badValue(key, value, "a non-negative integer", error);
+    }
+    if (key == "insts") {
+        cfg.maxInstructions = n;
+    } else if (key == "warmup") {
+        cfg.warmupInstructions = n;
+    } else if (key == "l1d-kb") {
+        cfg.memory.l1d.sizeBytes = n * 1024;
+    } else if (key == "l1d-assoc") {
+        cfg.memory.l1d.assoc = unsigned(n);
+    } else if (key == "buffers") {
+        cfg.psb.buffers.numBuffers = unsigned(n);
+    } else if (key == "entries") {
+        cfg.psb.buffers.entriesPerBuffer = unsigned(n);
+    } else if (key == "markov-entries") {
+        cfg.sfm.markov.entries = unsigned(n);
+    } else if (key == "delta-bits") {
+        cfg.sfm.markov.deltaBits = unsigned(n);
+    } else if (key == "order") {
+        cfg.psbContextOrder = unsigned(n);
+    } else {
+        error = "unknown config key '" + key + "'";
+        return false;
+    }
+    return true;
+}
 
 const char *
 prefetcherKindName(PrefetcherKind kind)

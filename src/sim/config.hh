@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/psb.hh"
 #include "cpu/ooo_core.hh"
@@ -64,6 +65,31 @@ struct SimConfig
     /** A short label like "ConfAlloc-Priority" or "PCStride". */
     std::string label() const;
 };
+
+/**
+ * Every key accepted by applyConfigKey(), sorted, for error messages
+ * and for spec validation (the sweep engine's "base"/"axes" sections
+ * use exactly these names, which mirror the psb-sim flags).
+ */
+const std::vector<std::string> &simConfigKeys();
+
+/**
+ * Apply one "key = value" pair to @p cfg, strictly: an unknown key, a
+ * malformed value, or an out-of-domain enum name is an error, never
+ * silently ignored (a typo'd key in a sweep spec would otherwise run
+ * the wrong machine and report it under the right label).
+ *
+ * Keys mirror the psb-sim flags: prefetcher, alloc, sched, insts,
+ * warmup, l1d-kb, l1d-assoc, buffers, entries, markov-entries,
+ * delta-bits, order, nodis, tlb-cache. Values are flat tokens
+ * ("psb", "32", "true").
+ *
+ * @param error Set to a message naming the key (and the accepted
+ *        grammar where helpful) when returning false.
+ * @retval true when @p cfg was updated.
+ */
+bool applyConfigKey(SimConfig &cfg, const std::string &key,
+                    const std::string &value, std::string &error);
 
 /** The paper's five prefetching configurations plus the baseline. */
 enum class PaperConfig

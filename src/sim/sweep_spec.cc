@@ -1,0 +1,239 @@
+#include "sim/sweep_spec.hh"
+
+#include "sim/simulator.hh"
+#include "util/json.hh"
+#include "workloads/workload.hh"
+
+namespace psb
+{
+
+namespace
+{
+
+bool
+specError(std::string &error, const std::string &msg)
+{
+    error = "sweep spec: " + msg;
+    return false;
+}
+
+bool
+knownConfigKey(const std::string &key)
+{
+    for (const std::string &k : simConfigKeys()) {
+        if (k == key)
+            return true;
+    }
+    return false;
+}
+
+/** Validate a config key name against the strict catalog. */
+bool
+checkConfigKey(const std::string &where, const std::string &key,
+               std::string &error)
+{
+    if (knownConfigKey(key))
+        return true;
+    std::string valid;
+    for (const std::string &k : simConfigKeys())
+        valid += (valid.empty() ? "" : ", ") + k;
+    return specError(error, "unknown config key \"" + key + "\" in \"" +
+                                where + "\" (valid: " + valid + ")");
+}
+
+} // namespace
+
+bool
+parseSweepSpec(const std::string &text, SweepSpec &out,
+               std::string &error)
+{
+    out = SweepSpec{};
+    JsonValue doc;
+    if (!parseJson(text, doc, error)) {
+        error = "sweep spec: " + error;
+        return false;
+    }
+    if (!doc.isObject())
+        return specError(error, "top level must be an object");
+
+    for (const auto &[key, value] : doc.object) {
+        if (key == "jobs") {
+            uint64_t n = 0;
+            if (!value.asUInt(n) || n == 0)
+                return specError(error,
+                                 "\"jobs\" must be a positive integer");
+            out.jobs = unsigned(n);
+        } else if (key == "workloads") {
+            if (!value.isArray() || value.array.empty())
+                return specError(
+                    error, "\"workloads\" must be a non-empty array");
+            for (const JsonValue &w : value.array) {
+                if (!w.isString())
+                    return specError(
+                        error, "\"workloads\" entries must be strings");
+                out.workloads.push_back(w.str);
+            }
+        } else if (key == "seeds") {
+            if (!value.isArray() || value.array.empty())
+                return specError(error,
+                                 "\"seeds\" must be a non-empty array");
+            out.seeds.clear();
+            for (const JsonValue &s : value.array) {
+                uint64_t n = 0;
+                if (!s.asUInt(n))
+                    return specError(error,
+                                     "\"seeds\" entries must be "
+                                     "non-negative integers");
+                out.seeds.push_back(n);
+            }
+        } else if (key == "base") {
+            if (!value.isObject())
+                return specError(error, "\"base\" must be an object");
+            for (const auto &[k, v] : value.object) {
+                if (!checkConfigKey("base", k, error))
+                    return false;
+                std::string token;
+                if (!v.asConfigToken(token))
+                    return specError(error,
+                                     "\"base\" value for \"" + k +
+                                         "\" must be a scalar");
+                out.base.emplace_back(k, token);
+            }
+        } else if (key == "axes") {
+            if (!value.isObject())
+                return specError(error, "\"axes\" must be an object");
+            for (const auto &[k, v] : value.object) {
+                if (!checkConfigKey("axes", k, error))
+                    return false;
+                if (!v.isArray() || v.array.empty())
+                    return specError(error,
+                                     "axis \"" + k +
+                                         "\" must be a non-empty array");
+                std::vector<std::string> tokens;
+                for (const JsonValue &item : v.array) {
+                    std::string token;
+                    if (!item.asConfigToken(token))
+                        return specError(error,
+                                         "axis \"" + k +
+                                             "\" values must be "
+                                             "scalars");
+                    tokens.push_back(token);
+                }
+                out.axes.emplace_back(k, std::move(tokens));
+            }
+        } else {
+            return specError(
+                error,
+                "unknown section \"" + key +
+                    "\" (valid: jobs, workloads, seeds, base, axes)");
+        }
+    }
+
+    if (out.workloads.empty())
+        return specError(error, "\"workloads\" is required");
+
+    // A key both fixed in base and varied by an axis is contradictory.
+    for (const auto &[axis, _values] : out.axes) {
+        for (const auto &[bkey, _v] : out.base) {
+            if (axis == bkey)
+                return specError(error, "key \"" + axis +
+                                            "\" appears in both "
+                                            "\"base\" and \"axes\"");
+        }
+    }
+    return true;
+}
+
+bool
+expandSweepSpec(const SweepSpec &spec, std::vector<SweepRun> &out,
+                std::string &error)
+{
+    out.clear();
+
+    // Validate base once against a scratch config; per-run application
+    // below starts from a fresh default so runs stay independent.
+    {
+        SimConfig scratch;
+        for (const auto &[key, value] : spec.base) {
+            if (!applyConfigKey(scratch, key, value, error)) {
+                error = "sweep spec: " + error;
+                return false;
+            }
+        }
+    }
+
+    // Cartesian product over the axes: decompose a linear index with
+    // the last axis fastest, so the grid order matches nested loops
+    // in spec order.
+    size_t gridSize = 1;
+    for (const auto &[_key, values] : spec.axes)
+        gridSize *= values.size();
+
+    std::vector<size_t> idx(spec.axes.size(), 0);
+    for (const std::string &workload : spec.workloads) {
+        for (uint64_t seed : spec.seeds) {
+            for (size_t cell = 0; cell < gridSize; ++cell) {
+                size_t rem = cell;
+                for (size_t a = spec.axes.size(); a-- > 0;) {
+                    idx[a] = rem % spec.axes[a].second.size();
+                    rem /= spec.axes[a].second.size();
+                }
+                SweepRun run;
+                run.workload = workload;
+                run.seed = seed;
+                std::string axisLabel;
+                for (const auto &[bkey, bvalue] : spec.base) {
+                    if (!applyConfigKey(run.cfg, bkey, bvalue, error)) {
+                        error = "sweep spec: " + error;
+                        return false;
+                    }
+                }
+                for (size_t a = 0; a < spec.axes.size(); ++a) {
+                    const auto &[akey, avalues] = spec.axes[a];
+                    const std::string &avalue = avalues[idx[a]];
+                    if (!applyConfigKey(run.cfg, akey, avalue, error)) {
+                        error = "sweep spec: " + error;
+                        return false;
+                    }
+                    axisLabel += (a ? "," : "") + akey + "=" + avalue;
+                }
+                run.cfg.harmonize();
+                run.key = workload + "/seed=" + std::to_string(seed);
+                if (!axisLabel.empty())
+                    run.key += "/" + axisLabel;
+                out.push_back(std::move(run));
+            }
+        }
+    }
+    return true;
+}
+
+SweepJob
+makeSimJob(const SweepRun &run)
+{
+    SweepJob job;
+    job.key = run.key;
+    // The lambda owns a *copy* of the run: every attempt builds its
+    // workload, Simulator, and StatsRegistry from scratch on the
+    // worker thread — shared-nothing by construction.
+    job.run = [run](const JobContext &ctx) -> JobOutcome {
+        JobOutcome out;
+        if (ctx.cancelled()) {
+            out.error = "cancelled before start";
+            return out;
+        }
+        auto trace = makeWorkload(run.workload, run.seed);
+        if (!trace) {
+            out.error = "unknown workload '" + run.workload + "'";
+            return out;
+        }
+        Simulator sim(run.cfg, *trace);
+        sim.run();
+        out.payload = sim.statsJson();
+        out.ok = true;
+        return out;
+    };
+    return job;
+}
+
+} // namespace psb

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Declarative sweep specifications for the psb-sweep CLI and the
+ * bench harnesses: one JSON document describing a base machine
+ * configuration, the axes to vary, the workloads (and seeds) to run
+ * them over, and the default worker count. Example:
+ *
+ *   {
+ *     "jobs": 8,
+ *     "workloads": ["health", "burg"],
+ *     "seeds": [1],
+ *     "base": {"insts": 60000, "warmup": 20000, "prefetcher": "psb"},
+ *     "axes": {"buffers": [4, 8], "l1d-kb": [16, 32]}
+ *   }
+ *
+ * expandSweepSpec() takes the cartesian product workloads x seeds x
+ * axes (axes in spec order, values in spec order) into a flat job
+ * list. Config keys are the psb-sim flag names (sim/config.hh
+ * applyConfigKey); parsing is strict end to end — unknown top-level
+ * sections, unknown config keys, duplicate JSON keys, and a key
+ * appearing in both "base" and "axes" are all hard errors.
+ *
+ * Job keys are "workload/seed=S/axis1=v1,axis2=v2" — unique by
+ * construction, and the sort order of the merged document.
+ */
+
+#ifndef PSB_SIM_SWEEP_SPEC_HH
+#define PSB_SIM_SWEEP_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/sweep.hh"
+
+namespace psb
+{
+
+/** Parsed but not yet expanded sweep description. */
+struct SweepSpec
+{
+    unsigned jobs = 1; ///< default worker count (CLI --jobs overrides)
+    std::vector<std::string> workloads;
+    std::vector<uint64_t> seeds{1};
+    /** Config key -> value token, in spec order. */
+    std::vector<std::pair<std::string, std::string>> base;
+    /** Axis key -> value tokens, in spec order. */
+    std::vector<std::pair<std::string, std::vector<std::string>>> axes;
+};
+
+/**
+ * Parse @p text as a sweep spec, strictly (see file comment).
+ * @param error Human-readable message when returning false.
+ */
+bool parseSweepSpec(const std::string &text, SweepSpec &out,
+                    std::string &error);
+
+/** One fully resolved simulation the spec asks for. */
+struct SweepRun
+{
+    std::string key; ///< unique job key (see file comment)
+    std::string workload;
+    uint64_t seed = 1;
+    SimConfig cfg; ///< harmonize() already applied
+};
+
+/**
+ * Expand the spec into the full job grid. Validates every config key
+ * and value through applyConfigKey().
+ * @param error Set when a key/value is rejected.
+ */
+bool expandSweepSpec(const SweepSpec &spec, std::vector<SweepRun> &out,
+                     std::string &error);
+
+/**
+ * Wrap one run as an engine job: instantiate the workload and a
+ * fully isolated Simulator + StatsRegistry on the worker thread, run
+ * it, and return the deterministic flat stats JSON as the payload.
+ */
+SweepJob makeSimJob(const SweepRun &run);
+
+} // namespace psb
+
+#endif // PSB_SIM_SWEEP_SPEC_HH

@@ -14,6 +14,7 @@
 #ifndef PSB_UTIL_LOGGING_HH
 #define PSB_UTIL_LOGGING_HH
 
+#include <atomic>
 #include <cstdarg>
 
 namespace psb
@@ -38,12 +39,14 @@ void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
  * approximations (an MSHR-full fill falling back to untracked, say)
  * that would otherwise repeat millions of times and flood stderr on a
  * long run: the first occurrence is reported, the rest are silent.
+ * The flag is atomic: call sites are reachable from sweep-engine
+ * worker threads (sim/sweep.hh), where a plain static would race.
  */
 #define warn_once(...)                                                   \
     do {                                                                 \
-        static bool psb_warned_once_ = false;                            \
-        if (!psb_warned_once_) {                                         \
-            psb_warned_once_ = true;                                     \
+        static std::atomic<bool> psb_warned_once_{false};                \
+        if (!psb_warned_once_.exchange(true,                             \
+                                       std::memory_order_relaxed)) {     \
             ::psb::warn(__VA_ARGS__);                                    \
         }                                                                \
     } while (0)

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * psb_analyze fixture: R6 sweep shared state (bad). The file name
+ * contains "sweep", putting it in R6's scope. Exercises both R6
+ * detectors: a mutable namespace-scope variable and a mutable
+ * function-local static, neither const, atomic, nor mutex-guarded —
+ * every sweep worker would share them. The self-test requires this
+ * file to report exactly {R6}.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fixture
+{
+
+// Namespace-scope mutable state: every worker running a job in this
+// translation unit reads and writes the same object, unsynchronized.
+uint64_t g_completedJobs = 0;
+
+inline std::string
+describeAttempt(int attempt)
+{
+    // Shared by every call from every worker; a classic hidden race.
+    static int s_lastAttempt = 0;
+    s_lastAttempt = attempt;
+    return "attempt " + std::to_string(s_lastAttempt);
+}
+
+} // namespace fixture

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * psb_analyze fixture: R6 sweep shared state (clean). Same scope as
+ * the bad fixture (file name contains "sweep") but every piece of
+ * cross-worker state is legitimate: constants, atomics, a mutex with
+ * the data it guards, and per-instance members owned by one job. The
+ * self-test requires this file to report no findings.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace fixture
+{
+
+// Immutable after load: fine to share.
+constexpr uint64_t kMaxAttempts = 3;
+const std::string kEngineName = "sweep-engine";
+
+// Synchronized by construction.
+std::atomic<uint64_t> g_completedJobs{0};
+std::mutex g_progressMu;
+
+class JobState
+{
+  public:
+    void
+    bump()
+    {
+        // Per-instance member: each job owns its JobState.
+        ++_attempts;
+    }
+
+  private:
+    uint64_t _attempts = 0;
+};
+
+inline uint64_t
+localWork(uint64_t n)
+{
+    // Plain locals are per-invocation, never shared.
+    uint64_t acc = 0;
+    for (uint64_t i = 0; i < n; ++i)
+        acc += i;
+    return acc;
+}
+
+} // namespace fixture

@@ -1,0 +1,33 @@
+#!/bin/sh
+# Thread-count-invariance regression check for the sweep engine.
+#
+#   check_sweep.sh PSB_SWEEP SPEC_FILE
+#
+# Runs the same sweep spec (30 small simulations) at --jobs 1, 2, and
+# 8 and requires the three merged stats documents to be byte-identical
+# — the engine's core determinism contract (DESIGN.md §10). Any
+# difference means job state leaked across workers or the merge became
+# order- or timing-dependent.
+set -eu
+
+PSB_SWEEP=$1
+SPEC=$2
+
+TMP=$(mktemp -d "${TMPDIR:-/tmp}/sweep_invariance.XXXXXX")
+trap 'rm -rf "$TMP"' EXIT
+
+for jobs in 1 2 8; do
+    "$PSB_SWEEP" "$SPEC" --jobs "$jobs" --quiet \
+        --out "$TMP/merged_$jobs.json"
+done
+
+for jobs in 2 8; do
+    if ! cmp -s "$TMP/merged_1.json" "$TMP/merged_$jobs.json"; then
+        echo "check_sweep.sh: merged stats differ between" \
+             "--jobs 1 and --jobs $jobs" >&2
+        diff "$TMP/merged_1.json" "$TMP/merged_$jobs.json" >&2 || true
+        exit 1
+    fi
+done
+
+echo "check_sweep.sh: merged stats byte-identical at --jobs 1/2/8"

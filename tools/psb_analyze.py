@@ -553,6 +553,125 @@ def pass_r4_trace_purity(scan, suppressed, findings):
                     break
 
 
+# --------------------- R6: sweep shared state -----------------------
+
+#: Types that are legitimately shared between sweep workers: they
+#: synchronize by construction.
+R6_SYNC_TYPES = ("atomic", "mutex", "shared_mutex", "condition_variable",
+                 "condition_variable_any", "once_flag", "CancelToken")
+
+R6_CONST_WORDS = ("const", "constexpr", "constinit")
+
+#: Statement-leading tokens that mean "not a variable declaration".
+R6_NON_DECL_LEADERS = {"using", "typedef", "template", "namespace",
+                       "struct", "class", "enum", "union", "extern",
+                       "static_assert", "friend", "return", "if",
+                       "for", "while", "switch", "do", "public",
+                       "private", "protected", "case", "default"}
+
+
+def _r6_statement_is_mutable_decl(span):
+    """True when a token span declares unsynchronized mutable state.
+
+    A declaration for R6's purposes is `Type name` followed by `=`,
+    `{`, or `;` with no intervening `(` (which would make it a
+    function declaration/definition), not marked const/constexpr, and
+    not one of the synchronization types.
+    """
+    if not span or span[0].text in R6_NON_DECL_LEADERS:
+        return False
+    texts = [t.text for t in span]
+    if any(w in texts for w in R6_CONST_WORDS):
+        return False
+    if any(w in texts for w in R6_SYNC_TYPES):
+        return False
+    # `Type name =|{|;` with the name preceded by another identifier
+    # (or `>` closing a template argument list).
+    for k in range(1, len(span)):
+        t = span[k]
+        if t.text == "(":
+            return False  # function declaration / call
+        if t.kind == "id" and k + 1 < len(span) \
+                and span[k + 1].text in ("=", "{", ";") \
+                and (span[k - 1].kind == "id"
+                     or span[k - 1].text in (">", "*", "&")):
+            return True
+    return False
+
+
+def pass_r6_sweep_shared_state(scan, suppressed, findings):
+    """R6: mutable shared state reachable from sweep job paths.
+
+    Scoped to the sweep engine's translation units (any file whose
+    name contains "sweep"): the engine's contract is shared-nothing,
+    so everything reachable by more than one worker — namespace-scope
+    variables and function-local statics — must be const, atomic, or
+    a synchronization primitive. Per-instance members are fine (each
+    job owns its objects).
+    """
+    name = str(scan.rel).replace("\\", "/").rsplit("/", 1)[-1]
+    if "sweep" not in name:
+        return
+    toks = scan.toks
+    n = len(toks)
+
+    # Brace-context walk: a variable declaration is namespace-scope
+    # when every enclosing brace is a namespace brace.
+    stack = []  # "ns" | "other" per open brace
+    stmt_start = 0
+    i = 0
+    while i < n:
+        t = toks[i].text
+        if t == "{":
+            opener = "other"
+            for k in range(max(stmt_start, i - 8), i):
+                if toks[k].text == "namespace":
+                    opener = "ns"
+                    break
+            stack.append(opener)
+            stmt_start = i + 1
+        elif t == "}":
+            if stack:
+                stack.pop()
+            stmt_start = i + 1
+        elif t == ";":
+            span = toks[stmt_start:i]
+            if all(s == "ns" for s in stack) \
+                    and _r6_statement_is_mutable_decl(span):
+                findings.add(
+                    scan, span[0].line, "R6",
+                    "mutable namespace-scope state in a sweep "
+                    "translation unit; sweep jobs are shared-nothing "
+                    "— make it const, atomic, or mutex-guarded, or "
+                    "move it into the job",
+                    f"ns-state:{span[0].line}", suppressed)
+            stmt_start = i + 1
+        i += 1
+
+    # Function-local statics: shared by every call, i.e. every worker.
+    for _cls, fname, lo, hi in scan.functions:
+        j = lo
+        while j < hi:
+            if toks[j].text == "static":
+                end = next((k for k in range(j, hi)
+                            if toks[k].text in (";", "{", "=")), hi)
+                span = toks[j:end]
+                texts = [t.text for t in span]
+                if not any(w in texts for w in R6_CONST_WORDS) \
+                        and not any(w in texts
+                                    for w in R6_SYNC_TYPES):
+                    findings.add(
+                        scan, toks[j].line, "R6",
+                        f"mutable function-local static in "
+                        f"'{fname}' on a sweep job path; every "
+                        f"worker shares it — make it atomic or "
+                        f"mutex-guarded, or hoist it into per-job "
+                        f"state",
+                        f"fn-static:{toks[j].line}", suppressed)
+                j = end
+            j += 1
+
+
 def _resolve_type(name, scan_locals, cls_info, model, depth=0):
     """Resolve an identifier to a declared type string, via aliases."""
     if depth > 4:
@@ -998,6 +1117,7 @@ def analyze_files(files, root):
         pass_r1_reentry(scan, model, sup, findings)
         pass_r3_determinism(scan, model, sup, findings)
         pass_r4_trace_purity(scan, sup, findings)
+        pass_r6_sweep_shared_state(scan, sup, findings)
     pass_r2_completeness(model, suppressions, findings)
     return findings, suppressions
 

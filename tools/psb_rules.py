@@ -20,9 +20,14 @@ vocabulary:
                              tracing on/off)
     R5  output-discipline    raw printf/std::cout in component code,
                              bypassing util/logging and util/trace
+    R6  sweep-shared-state   mutable state at namespace/static scope
+                             reachable from sweep job paths without
+                             synchronization (the sweep engine's
+                             shared-nothing contract)
 
 psb_lint implements shallow (regex) versions of R1, R2, R3, R5;
-psb_analyze implements deep (type- and flow-aware) versions of R1-R4.
+psb_analyze implements deep (type- and flow-aware) versions of R1-R4
+plus R6 (scoped to the sweep engine's translation units).
 A finding line always looks like
 
     path:line: [R1] message
@@ -50,6 +55,10 @@ RULES = {
     "R5": ("output-discipline",
            "components report through util/logging or util/trace, "
            "never raw printf/std::cout"),
+    "R6": ("sweep-shared-state",
+           "sweep jobs are shared-nothing: no mutable namespace-scope "
+           "or function-static state on a job path unless it is "
+           "atomic, mutex-guarded, or const"),
 }
 
 #: Shared process exit codes.
