@@ -20,11 +20,15 @@ namespace
 constexpr const char *cacheFile = "psb_bench_cache.tsv";
 
 /**
- * Bump when simulator or workload behaviour changes so stale cached
+ * Bump when simulator or workload *behaviour* changes so stale cached
  * results are never mixed with fresh ones (or simply delete the cache
- * file).
+ * file). Configuration changes — new defaults, different tweaks, a
+ * resized machine — are caught automatically by the config
+ * fingerprint in every cache key (configFingerprint()); the version
+ * only needs a bump when identical configs start producing different
+ * numbers.
  */
-constexpr const char *cacheVersion = "v3";
+constexpr const char *cacheVersion = "v4";
 
 /** The numbers the harnesses consume, in serialisation order. */
 struct CacheRecord
@@ -147,14 +151,17 @@ appendToCacheFile(const std::string &key, const CacheRecord &rec)
     out << key << recordCells(rec) << '\n';
 }
 
-std::string
-cacheKey(const SimRequest &req, const BenchOptions &opts)
+/** The fully-tweaked, harmonized configuration a request will run. */
+SimConfig
+effectiveConfig(const SimRequest &req, const BenchOptions &opts)
 {
-    std::ostringstream key;
-    key << cacheVersion << '|' << req.workload << '|'
-        << paperConfigName(req.config) << '|' << opts.warmup << '|'
-        << opts.instructions << '|' << req.variant;
-    return key.str();
+    SimConfig cfg = makePaperConfig(req.config);
+    cfg.warmupInstructions = opts.warmup;
+    cfg.maxInstructions = opts.instructions;
+    if (req.tweak)
+        req.tweak(cfg);
+    cfg.harmonize();
+    return cfg;
 }
 
 /** The simulation behind one matrix cell, run on a worker thread:
@@ -168,13 +175,7 @@ simulateCell(const SimRequest &req, const BenchOptions &opts)
         out.error = "unknown workload '" + req.workload + "'";
         return out;
     }
-    SimConfig cfg = makePaperConfig(req.config);
-    cfg.warmupInstructions = opts.warmup;
-    cfg.maxInstructions = opts.instructions;
-    if (req.tweak)
-        req.tweak(cfg);
-    cfg.harmonize();
-    Simulator sim(cfg, *trace);
+    Simulator sim(effectiveConfig(req, opts), *trace);
     out.ok = true;
     out.payload = recordCells(toRecord(sim.run()));
     return out;
@@ -274,6 +275,91 @@ double
 speedupPct(double ipc, double base_ipc)
 {
     return base_ipc > 0.0 ? 100.0 * (ipc / base_ipc - 1.0) : 0.0;
+}
+
+std::string
+configFingerprint(const SimConfig &cfg)
+{
+    // Canonical name=value dump of every field that can change a
+    // simulation's numbers. When a SimConfig field is added it must be
+    // appended here, or two binaries differing only in that field will
+    // share cache rows; the cacheVersion constant remains the backstop
+    // for behaviour changes the configuration cannot express.
+    std::ostringstream dump;
+    const CoreConfig &core = cfg.core;
+    dump << "fw=" << core.fetchWidth << ";iw=" << core.issueWidth
+         << ";cw=" << core.commitWidth
+         << ";bpf=" << core.maxBranchesPerFetch
+         << ";rob=" << core.robEntries << ";lsq=" << core.lsqEntries
+         << ";mp=" << core.mispredictPenalty.raw()
+         << ";sf=" << core.storeForwardLatency.raw()
+         << ";dis=" << int(core.disambiguation)
+         << ";gh=" << core.gshare.historyBits
+         << ";btb=" << core.gshare.btbEntries << '/'
+         << core.gshare.btbAssoc << ";fu=" << core.numIntAlu << '/'
+         << core.numLdSt << '/' << core.numFpAdd << '/'
+         << core.numIntMulDiv << '/' << core.numFpMulDiv;
+    const MemoryConfig &mem = cfg.memory;
+    auto geom = [&dump](const char *name, const CacheGeometry &g) {
+        dump << ';' << name << '=' << g.sizeBytes << '/' << g.assoc
+             << '/' << g.blockBytes;
+    };
+    geom("l1d", mem.l1d);
+    geom("l1i", mem.l1i);
+    geom("l2", mem.l2);
+    dump << ";l1l=" << mem.l1Latency.raw()
+         << ";l2l=" << mem.l2Latency.raw() << '/'
+         << mem.l2PipelineDepth << ";ml=" << mem.memLatency.raw()
+         << '/' << mem.memIssueInterval.raw()
+         << ";bus=" << mem.l1L2BusBytesPerCycle << '/'
+         << mem.l2MemBusBytesPerCycle << ";mshr=" << mem.l1dMshrs
+         << '/' << mem.l1iMshrs << ";tlb=" << mem.tlbEntries << '/'
+         << mem.pageBytes << '/' << mem.tlbMissPenalty.raw();
+    dump << ";pf=" << int(cfg.prefetcher);
+    const StreamBufferConfig &sb = cfg.psb.buffers;
+    dump << ";sb=" << sb.numBuffers << '/' << sb.entriesPerBuffer
+         << '/' << sb.blockBytes << '/' << sb.priorityMax << '/'
+         << sb.priorityHitIncrement << '/' << sb.agingPeriod << '/'
+         << sb.allocConfThreshold << '/' << sb.cacheTlbTranslation
+         << ";alloc=" << int(cfg.psb.alloc)
+         << ";sched=" << int(cfg.psb.sched);
+    auto stride = [&dump](const char *name,
+                          const StrideTableConfig &st) {
+        dump << ';' << name << '=' << st.entries << '/' << st.assoc
+             << '/' << st.blockBytes << '/' << st.confidenceMax;
+    };
+    stride("sfmst", cfg.sfm.stride);
+    stride("st", cfg.stride);
+    const DiffMarkovConfig &markov = cfg.sfm.markov;
+    dump << ";mk=" << markov.entries << '/' << markov.blockBytes << '/'
+         << markov.deltaBits << '/' << markov.tagBits
+         << ";mode=" << int(cfg.sfm.mode)
+         << ";order=" << cfg.psbContextOrder
+         << ";warm=" << cfg.warmupInstructions
+         << ";insts=" << cfg.maxInstructions
+         << ";ff=" << cfg.fastForward;
+
+    // FNV-1a, 64-bit.
+    uint64_t hash = 14695981039346656037ull;
+    for (unsigned char c : dump.str()) {
+        hash ^= c;
+        hash *= 1099511628211ull;
+    }
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  (unsigned long long)hash);
+    return hex;
+}
+
+std::string
+cacheKey(const SimRequest &req, const BenchOptions &opts)
+{
+    std::ostringstream key;
+    key << cacheVersion << '|' << req.workload << '|'
+        << paperConfigName(req.config) << '|' << opts.warmup << '|'
+        << opts.instructions << '|' << req.variant << '|'
+        << configFingerprint(effectiveConfig(req, opts));
+    return key.str();
 }
 
 } // namespace psb::bench

@@ -79,6 +79,26 @@ std::vector<SimResult> runSims(const std::vector<SimRequest> &requests,
 /** Percent speedup of @p ipc over @p base_ipc. */
 double speedupPct(double ipc, double base_ipc);
 
+/**
+ * Stable hex fingerprint of every simulation-relevant SimConfig field
+ * (FNV-1a over a canonical field dump; call after harmonize()). Part
+ * of each persistent-cache key, so a cached row can never be replayed
+ * for a configuration that differs in any machine parameter — the
+ * staleness the old name-only keys ("health|ConfAlloc-Priority|...")
+ * could not detect when a config default or a tweak changed between
+ * binary builds.
+ */
+std::string configFingerprint(const SimConfig &cfg);
+
+/**
+ * The persistent-cache key for one simulation request: cache version,
+ * workload, paper-config name, region lengths, variant label, and the
+ * fingerprint of the request's fully-tweaked, harmonized SimConfig.
+ * Exposed for the cache-staleness regression test
+ * (tests/test_bench_cache.cc).
+ */
+std::string cacheKey(const SimRequest &req, const BenchOptions &opts);
+
 } // namespace psb::bench
 
 #endif // PSB_BENCH_COMMON_HH

@@ -94,9 +94,9 @@ BM_StreamBufferLookup(benchmark::State &state)
     for (unsigned b = 0; b < cfg.numBuffers; ++b) {
         file.buffer(b).allocateStream(StreamState{}, 5);
         for (unsigned e = 0; e < cfg.entriesPerBuffer; ++e) {
-            file.buffer(b).entries()[e].valid = true;
-            file.buffer(b).entries()[e].block =
-                BlockAddr(0x800 + b * 4 + e); // byte 0x10000 + 32 * n
+            file.buffer(b).fillEntry(
+                int(e),
+                BlockAddr(0x800 + b * 4 + e)); // byte 0x10000 + 32 * n
         }
     }
     Xorshift64 rng(3);

@@ -42,7 +42,7 @@ PredictorDirectedStreamBuffers::lookup(Addr addr, Cycle now)
         return result;
 
     StreamBuffer &buf = _file.buffer(hit->buf);
-    SbEntry &entry = buf.entries()[hit->entry];
+    const SbEntry &entry = buf.entries()[hit->entry];
 
     if (!entry.prefetched) {
         // The prediction was right but its prefetch has not issued
@@ -206,10 +206,7 @@ PredictorDirectedStreamBuffers::makePrediction(Cycle now)
 
     int slot = buf.freeEntry();
     psb_assert(slot >= 0, "scheduler picked a buffer with no free entry");
-    SbEntry &entry = buf.entries()[slot];
-    entry.block = block;
-    entry.valid = true;
-    entry.prefetched = false;
+    buf.fillEntry(slot, block);
     (void)now;
 }
 
@@ -236,7 +233,7 @@ PredictorDirectedStreamBuffers::issuePrefetch(Cycle now)
     buf.lastPrefetchStamp = _file.nextStamp();
 
     int slot = buf.pendingPrefetchEntry();
-    SbEntry &entry = buf.entries()[slot];
+    const SbEntry &entry = buf.entries()[slot];
 
     // Paper §4.5 option: a buffer that cached its page translation
     // only consults the TLB when the stream leaves the page.
@@ -254,8 +251,7 @@ PredictorDirectedStreamBuffers::issuePrefetch(Cycle now)
 
     PrefetchOutcome outcome =
         _hierarchy.prefetch(entry.block, now, translate);
-    entry.prefetched = true;
-    entry.ready = outcome.ready;
+    buf.markPrefetched(slot, outcome.ready);
     ++_stats.prefetchesIssued;
     PSB_TRACE(Psb, "prefetch", winner,
               "block=%llu ready=%llu translate=%d",
@@ -268,6 +264,40 @@ PredictorDirectedStreamBuffers::tick(Cycle now)
 {
     makePrediction(now);
     issuePrefetch(now);
+}
+
+bool
+PredictorDirectedStreamBuffers::fastForwardTicks(Cycle from, uint64_t n)
+{
+    bool predict_candidate = false;
+    bool prefetch_candidate = false;
+    for (unsigned b = 0; b < _file.numBuffers(); ++b) {
+        const StreamBuffer &buf = _file.buffer(b);
+        if (!buf.allocated())
+            continue;
+        if (buf.freeEntry() >= 0)
+            predict_candidate = true;
+        if (buf.pendingPrefetchEntry() >= 0)
+            prefetch_candidate = true;
+    }
+
+    // A buffer would win the predictor port and advance its stream.
+    if (predict_candidate)
+        return false;
+
+    // issuePrefetch() consults the scheduler only on bus-free cycles.
+    uint64_t bus_free = _hierarchy.l1L2Bus().freeCyclesIn(from, n);
+
+    // A queued prefetch would issue on the first free bus cycle.
+    if (prefetch_candidate && bus_free > 0)
+        return false;
+
+    // Idle span: every cycle's makePrediction() comes up empty, and
+    // every bus-free cycle's issuePrefetch() does too.
+    _predictSched.addNoCandidatePicks(n);
+    if (!prefetch_candidate)
+        _prefetchSched.addNoCandidatePicks(bus_free);
+    return true;
 }
 
 void

@@ -84,6 +84,17 @@ class PredictorDirectedStreamBuffers : public Prefetcher
                    bool store_forwarded) override;
     void demandMiss(Addr pc, Addr addr, Cycle now) override;
     void tick(Cycle now) override;
+
+    /**
+     * Fast-forward support: a span of ticks is replayable iff no
+     * buffer could win the predictor port (so makePrediction() would
+     * only bump the no-candidate count) and no pending prefetch could
+     * reach a free L1-L2 bus cycle (so issuePrefetch() would either
+     * return on the busy bus or bump its no-candidate count). The
+     * replay applies exactly those counter bumps.
+     */
+    bool fastForwardTicks(Cycle from, uint64_t n) override;
+
     const PrefetcherStats &stats() const override { return _stats; }
     void resetStats() override;
 

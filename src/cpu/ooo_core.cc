@@ -26,9 +26,15 @@ OoOCore::tick(Cycle now)
     if (done())
         return false;
     ++_stats.cycles;
+    _nextWake = Cycle::max();
+    _progress = false;
     commitStage(now);
     issueStage(now);
     fetchStage(now);
+    // Anything committed/issued/fetched can unblock more work next
+    // cycle; and a wake computed for the past means "retry at once".
+    if (_progress || _nextWake <= now)
+        _nextWake = now + CycleDelta(1);
     return true;
 }
 
@@ -138,30 +144,38 @@ OoOCore::consumeFu(OpClass cls, Cycle now)
 // Dependence tracking
 // ---------------------------------------------------------------------
 
-const OoOCore::RobEntry *
-OoOCore::findEntry(uint64_t seq) const
-{
-    if (_rob.empty() || seq < _rob.front().seq || seq > _rob.back().seq)
-        return nullptr;
-    return &_rob[std::size_t(seq - _rob.front().seq)];
-}
-
-bool
-OoOCore::producerReady(uint64_t producer_seq, Cycle now) const
+/**
+ * The cycle @p producer_seq's result is available: Cycle(0) when it
+ * already is, Cycle::max() when the producer has not even issued yet
+ * (its own issue attempt earlier in the ROB supplies the wake-up).
+ *
+ * Readiness is monotonic — doneAt is fixed at issue, committed
+ * producers stay committed — so once a producer is known ready the
+ * seq is cleared to 0 and later cycles skip the ROB walk entirely
+ * (findEntry dominated the issue-stage profile before this).
+ */
+Cycle
+OoOCore::producerReadyAt(uint64_t &producer_seq, Cycle now) const
 {
     if (producer_seq == 0)
-        return true;
+        return Cycle(0);
     const RobEntry *producer = findEntry(producer_seq);
-    if (!producer)
-        return true; // producer already committed
-    return producer->issued && producer->doneAt <= now;
+    if (!producer) {
+        producer_seq = 0; // producer already committed
+        return Cycle(0);
+    }
+    if (!producer->issued)
+        return Cycle::max();
+    if (producer->doneAt <= now)
+        producer_seq = 0;
+    return producer->doneAt;
 }
 
-bool
-OoOCore::operandsReady(const RobEntry &entry, Cycle now) const
+Cycle
+OoOCore::operandsReadyAt(RobEntry &entry, Cycle now) const
 {
-    return producerReady(entry.src1Producer, now) &&
-           producerReady(entry.src2Producer, now);
+    return maxCycle(producerReadyAt(entry.src1Producer, now),
+                    producerReadyAt(entry.src2Producer, now));
 }
 
 // ---------------------------------------------------------------------
@@ -226,19 +240,32 @@ OoOCore::commitStore(RobEntry &entry, Cycle now)
 void
 OoOCore::commitStage(Cycle now)
 {
-    for (unsigned n = 0; n < _cfg.commitWidth && !_rob.empty(); ++n) {
+    unsigned committed = 0;
+    while (committed < _cfg.commitWidth && !_rob.empty()) {
         RobEntry &head = _rob.front();
-        if (!head.issued || head.doneAt > now)
+        if (!head.issued)
+            break; // issue stage supplies the wake-up
+        if (head.doneAt > now) {
+            clampWake(head.doneAt);
             break;
+        }
         if (head.op.isStore()) {
-            if (!commitStore(head, now))
+            if (!commitStore(head, now)) {
+                // MSHR-full: the failed attempt itself counted a
+                // retry, so every stalled cycle must really tick.
+                clampWake(now + CycleDelta(1));
                 break;
+            }
+            --_storesInRob;
         }
         if (head.op.isMem())
             --_memOpsInRob;
         ++_stats.instructions;
         _rob.pop_front();
+        ++committed;
     }
+    if (committed)
+        _progress = true;
 }
 
 // ---------------------------------------------------------------------
@@ -251,19 +278,32 @@ OoOCore::executeLoad(RobEntry &entry, Cycle now)
     const Addr addr = entry.op.effAddr;
     const unsigned size = entry.op.memSize;
 
-    // Memory disambiguation against earlier stores.
+    // Memory disambiguation against earlier stores (skipped outright
+    // when the ROB holds none — the common case for load-heavy code).
+    // The alias is fixed at the first attempt (see RobEntry::aliasSeq),
+    // so MSHR-stall retries skip the ROB walk; only the None policy
+    // re-scans, since it needs the issue status of every prior store.
     const RobEntry *alias = nullptr;
     bool all_prior_stores_issued = true;
-    for (auto it = _rob.begin(); it != _rob.end(); ++it) {
-        if (it->seq >= entry.seq)
-            break;
-        if (!it->op.isStore())
-            continue;
-        if (!it->issued)
-            all_prior_stores_issued = false;
-        Addr s = it->op.effAddr;
-        if (s < addr + size && addr < s + it->op.memSize)
-            alias = &*it; // youngest older aliasing store wins
+    if (_cfg.disambiguation == DisambiguationMode::None ||
+        !entry.aliasKnown) {
+        if (_storesInRob > 0) {
+            for (auto it = _rob.begin(); it != _rob.end(); ++it) {
+                if (it->seq >= entry.seq)
+                    break;
+                if (!it->op.isStore())
+                    continue;
+                if (!it->issued)
+                    all_prior_stores_issued = false;
+                Addr s = it->op.effAddr;
+                if (s < addr + size && addr < s + it->op.memSize)
+                    alias = &*it; // youngest older aliasing store wins
+            }
+        }
+        entry.aliasSeq = alias ? alias->seq : 0;
+        entry.aliasKnown = true;
+    } else if (entry.aliasSeq != 0) {
+        alias = findEntry(entry.aliasSeq); // null once committed
     }
 
     switch (_cfg.disambiguation) {
@@ -297,6 +337,8 @@ OoOCore::executeLoad(RobEntry &entry, Cycle now)
                 if (resume > _fetchResumeAt)
                     _fetchResumeAt = resume;
             }
+            // Every retry cycle repeats this accounting: never skip.
+            clampWake(now + CycleDelta(1));
             return false; // re-issue once the alias has issued
         }
         break;
@@ -370,11 +412,14 @@ OoOCore::executeLoad(RobEntry &entry, Cycle now)
             FillOutcome fill =
                 _hierarchy.missToL2(addr, now, /*is_write=*/false);
             if (fill.mshrStall) {
-                // No MSHR: the load cannot issue this cycle.
+                // No MSHR: the load cannot issue this cycle. The
+                // retry counter advances every stalled cycle, so the
+                // span cannot be skipped.
                 ++_stats.mshrStallRetries;
                 --_stats.loads;
                 --_stats.l1dAccesses;
                 --_stats.l1dMisses;
+                clampWake(now + CycleDelta(1));
                 PSB_TRACE(Cpu, "mshr_stall", -1, "pc=%llu addr=%llu",
                           (unsigned long long)entry.op.pc.raw(),
                           (unsigned long long)addr.raw());
@@ -401,17 +446,43 @@ void
 OoOCore::issueStage(Cycle now)
 {
     unsigned issued = 0;
+    const unsigned unissued_total = _unissuedCount;
+    unsigned unissued_seen = 0;
     for (auto &entry : _rob) {
-        if (issued >= _cfg.issueWidth)
+        if (issued >= _cfg.issueWidth || unissued_seen == unissued_total)
             break;
-        if (entry.issued || entry.dispatchCycle >= now)
+        if (entry.issued)
             continue;
-        if (!operandsReady(entry, now))
+        ++unissued_seen;
+        if (entry.dispatchCycle >= now) {
+            clampWake(entry.dispatchCycle + CycleDelta(1));
             continue;
-        if (!fuAvailable(entry.op.op, now))
+        }
+        // Unready operands wake the entry when the slowest issued
+        // producer finishes; an unissued producer is older in the ROB
+        // and already supplied its own wake-up this pass. An unknown
+        // ready time can only become known after an issue, so the
+        // epoch check skips the producer probes on stall cycles.
+        Cycle ready = entry.opReadyAt;
+        if (ready == Cycle::max() &&
+            entry.readyCheckEpoch != _issueEpoch) {
+            ready = entry.opReadyAt = operandsReadyAt(entry, now);
+            entry.readyCheckEpoch = _issueEpoch;
+        }
+        if (ready > now) {
+            if (ready != Cycle::max())
+                clampWake(ready);
             continue;
+        }
+        if (!fuAvailable(entry.op.op, now)) {
+            clampWake(now + CycleDelta(1));
+            continue;
+        }
 
         if (entry.op.isLoad()) {
+            // A false return without a clamp is a disambiguation wait
+            // on an older, unissued store — that store's own issue
+            // attempt above supplied the wake-up.
             if (!executeLoad(entry, now))
                 continue;
         } else if (entry.op.isStore()) {
@@ -426,6 +497,8 @@ OoOCore::issueStage(Cycle now)
         consumeFu(entry.op.op, now);
         entry.issued = true;
         ++issued;
+        --_unissuedCount;
+        ++_issueEpoch;
 
         if (entry.op.isBranch() && entry.seq == _redirectBranchSeq) {
             // The mispredicted branch resolves; fetch restarts after
@@ -434,6 +507,8 @@ OoOCore::issueStage(Cycle now)
             _redirectBranchSeq = 0;
         }
     }
+    if (issued)
+        _progress = true;
 }
 
 // ---------------------------------------------------------------------
@@ -443,8 +518,12 @@ OoOCore::issueStage(Cycle now)
 void
 OoOCore::fetchStage(Cycle now)
 {
-    if (now < _fetchResumeAt || _fetchResumeAt == waitingForBranch)
+    if (_fetchResumeAt == waitingForBranch)
+        return; // the redirect branch issuing restarts fetch
+    if (now < _fetchResumeAt) {
+        clampWake(_fetchResumeAt);
         return;
+    }
 
     unsigned fetched = 0;
     unsigned branches = 0;
@@ -472,6 +551,7 @@ OoOCore::fetchStage(Cycle now)
             _curFetchBlock = fetch_block;
             if (ready > now + _hierarchy.config().l1Latency) {
                 _fetchResumeAt = ready;
+                clampWake(ready);
                 break;
             }
         }
@@ -492,6 +572,8 @@ OoOCore::fetchStage(Cycle now)
 
         if (entry.op.isMem()) {
             ++_memOpsInRob;
+            if (entry.op.isStore())
+                ++_storesInRob;
             if (_cfg.disambiguation == DisambiguationMode::Learned) {
                 entry.waitStoreSeq = _storeSets.dispatch(
                     entry.op.pc, entry.op.isStore(), entry.seq);
@@ -506,6 +588,7 @@ OoOCore::fetchStage(Cycle now)
 
         _rob.push_back(entry);
         ++fetched;
+        ++_unissuedCount;
 
         if (is_branch) {
             ++_stats.branches;
@@ -526,6 +609,8 @@ OoOCore::fetchStage(Cycle now)
                 break;
         }
     }
+    if (fetched)
+        _progress = true;
 }
 
 void

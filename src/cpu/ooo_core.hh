@@ -102,6 +102,23 @@ class OoOCore
      */
     bool tick(Cycle now);
 
+    /**
+     * The earliest cycle after the last tick() at which this core can
+     * make progress or change any stat, computed from pipeline wake
+     * conditions (head commit time, operand readiness, fetch resume).
+     * Cycle::max() means "no wake known" — callers must then tick
+     * cycle by cycle. Every cycle strictly before the returned wake
+     * is a pure idle tick (only the cycle counter advances), which is
+     * what makes the simulator's fast-forward exact.
+     */
+    Cycle nextWake() const { return _nextWake; }
+
+    /**
+     * Account @p n skipped idle cycles: the only core-side effect of
+     * an idle tick is the cycle counter.
+     */
+    void skipIdleCycles(uint64_t n) { _stats.cycles += n; }
+
     /** True when no more work remains. */
     bool done() const { return _traceDone && _rob.empty(); }
 
@@ -137,15 +154,59 @@ class OoOCore
         uint64_t src1Producer = 0; ///< producing op's seq, 0 = ready
         uint64_t src2Producer = 0;
         uint64_t waitStoreSeq = 0; ///< learned store-set dependence
+        /**
+         * Cached operandsReadyAt() result; Cycle::max() = not yet
+         * known (some producer unissued). A concrete value is final:
+         * producers' doneAt is fixed at issue and committed producers
+         * stay committed, so the issue stage computes it once.
+         */
+        Cycle opReadyAt = Cycle::max();
+        /**
+         * Youngest older aliasing store of a load, fixed at the first
+         * execute attempt: effective addresses are known at dispatch
+         * (trace-driven) and no older store can appear later. 0 = no
+         * alias. Commit order guarantees a committed cached alias
+         * means every older store has left the ROB, matching what a
+         * fresh scan would find.
+         */
+        uint64_t aliasSeq = 0;
+        bool aliasKnown = false;
+        /**
+         * _issueEpoch value at the last operandsReadyAt() attempt that
+         * came back unknown. Readiness only becomes known when a
+         * producer issues, so re-checks are pointless until the epoch
+         * moves (0 = never checked).
+         */
+        uint64_t readyCheckEpoch = 0;
     };
 
     void commitStage(Cycle now);
     void issueStage(Cycle now);
     void fetchStage(Cycle now);
 
-    bool operandsReady(const RobEntry &entry, Cycle now) const;
-    bool producerReady(uint64_t producer_seq, Cycle now) const;
-    const RobEntry *findEntry(uint64_t seq) const;
+    /** Pull _nextWake earlier, to the next cycle work could happen. */
+    void
+    clampWake(Cycle at)
+    {
+        if (at < _nextWake)
+            _nextWake = at;
+    }
+
+    Cycle operandsReadyAt(RobEntry &entry, Cycle now) const;
+    Cycle producerReadyAt(uint64_t &producer_seq, Cycle now) const;
+
+    /** ROB entry with sequence number @p seq, or null once committed.
+     *  Seqs are dense, so this is an index into the deque. Inline:
+     *  called for every producer check and cached alias lookup. */
+    const RobEntry *
+    findEntry(uint64_t seq) const
+    {
+        if (_rob.empty() || seq < _rob.front().seq ||
+            seq > _rob.back().seq)
+            return nullptr;
+        return &_rob[std::size_t(seq - _rob.front().seq)];
+    }
+
     bool fuAvailable(OpClass cls, Cycle now);
     void consumeFu(OpClass cls, Cycle now);
     CycleDelta execLatency(OpClass cls) const;
@@ -165,7 +226,15 @@ class OoOCore
     std::deque<RobEntry> _rob;
     uint64_t _nextSeq = 1;
     unsigned _memOpsInRob = 0;
+    unsigned _storesInRob = 0;   ///< skip the alias scan when zero
+    unsigned _unissuedCount = 0; ///< issue-stage early exit
+    uint64_t _issueEpoch = 1;    ///< bumped per issue (see RobEntry)
     std::array<uint64_t, numArchRegs> _regLastWriter{};
+
+    /** Earliest possible next activity (see nextWake()); recomputed
+     *  by every tick(). Progress in a tick forces now + 1. */
+    Cycle _nextWake{};
+    bool _progress = false;
 
     bool _traceDone = false;
     MicroOp _pendingOp;

@@ -51,6 +51,21 @@ class Bus
     bool freeAt(Cycle now) const { return _busyUntil <= now; }
 
     /**
+     * How many of the @p n cycles starting at @p from the bus is free
+     * for, in closed form. Valid only while no new transaction is
+     * queued during the span; the simulator's fast-forward path uses
+     * it to replay bus-gated idle cycles without ticking each one.
+     */
+    uint64_t
+    freeCyclesIn(Cycle from, uint64_t n) const
+    {
+        if (_busyUntil <= from)
+            return n;
+        uint64_t busy = (_busyUntil - from).raw();
+        return busy >= n ? 0 : n - busy;
+    }
+
+    /**
      * Queue a transaction carrying @p payload_bytes: one request beat
      * plus the payload transfer, starting no earlier than @p earliest
      * and after any transaction already queued.

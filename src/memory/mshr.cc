@@ -16,16 +16,30 @@ MshrFile::MshrFile(unsigned num_entries, const char *name)
 void
 MshrFile::retire(Cycle now)
 {
+    if (_liveCount == 0 || now < _minReady)
+        return; // nothing can have completed yet
+    Cycle next = Cycle::max();
     for (auto &e : _entries) {
-        if (e.valid && e.ready <= now)
+        if (!e.valid)
+            continue;
+        if (e.ready <= now) {
             e.valid = false;
+            --_liveCount;
+        } else if (e.ready < next) {
+            next = e.ready;
+        }
     }
+    _minReady = next;
 }
 
 std::optional<Cycle>
 MshrFile::lookup(BlockAddr block, Cycle now)
 {
     retire(now);
+    if (_liveCount == 0)
+        return std::nullopt;
+    if (_lastMissValid && block == _lastMissBlock)
+        return std::nullopt;
     for (auto &e : _entries) {
         if (e.valid && e.block == block) {
             ++_merges;
@@ -35,6 +49,8 @@ MshrFile::lookup(BlockAddr block, Cycle now)
             return e.ready;
         }
     }
+    _lastMissBlock = block;
+    _lastMissValid = true;
     return std::nullopt;
 }
 
@@ -42,11 +58,7 @@ bool
 MshrFile::full(Cycle now)
 {
     retire(now);
-    for (const auto &e : _entries) {
-        if (!e.valid)
-            return false;
-    }
-    return true;
+    return _liveCount == _capacity;
 }
 
 void
@@ -62,6 +74,10 @@ MshrFile::allocate(BlockAddr block, Cycle ready)
             e.valid = true;
             e.block = block;
             e.ready = ready;
+            ++_liveCount;
+            if (ready < _minReady)
+                _minReady = ready;
+            _lastMissValid = false;
             ++_allocations;
             PSB_TRACE(Mshr, "allocate", -1,
                       "file=%s block=%llu ready=%llu", _name,
@@ -77,10 +93,7 @@ unsigned
 MshrFile::occupancy(Cycle now)
 {
     retire(now);
-    unsigned n = 0;
-    for (const auto &e : _entries)
-        n += e.valid ? 1 : 0;
-    return n;
+    return _liveCount;
 }
 
 void

@@ -84,6 +84,16 @@ class MshrFile
     unsigned _capacity;
     const char *_name;
     std::vector<Entry> _entries;
+    // Live-entry count plus the earliest outstanding ready time, so
+    // retire() is a no-op (and full() is O(1)) until a fill actually
+    // completes — full() is polled every cycle of an MSHR stall.
+    unsigned _liveCount = 0;
+    Cycle _minReady = Cycle::max();
+    // Negative-lookup cache: an MSHR-stalled access polls the same
+    // absent block every cycle. Entries only leave the file between
+    // allocations, so a miss result stays a miss until allocate().
+    BlockAddr _lastMissBlock{};
+    bool _lastMissValid = false;
     uint64_t _allocations = 0;
     uint64_t _merges = 0;
 };

@@ -22,9 +22,18 @@ Tlb::translate(Addr vaddr)
     ++_accesses;
     uint64_t vpn = vpnOf(vaddr);
 
-    for (auto &e : _entries) {
+    if (vpn == _lastVpn && _entries[_lastIdx].valid &&
+        _entries[_lastIdx].vpn == vpn) {
+        _entries[_lastIdx].lastUse = ++_useStamp;
+        return CycleDelta{};
+    }
+
+    for (size_t i = 0; i < _entries.size(); ++i) {
+        Entry &e = _entries[i];
         if (e.valid && e.vpn == vpn) {
             e.lastUse = ++_useStamp;
+            _lastVpn = vpn;
+            _lastIdx = i;
             return CycleDelta{};
         }
     }
@@ -42,6 +51,8 @@ Tlb::translate(Addr vaddr)
     victim->valid = true;
     victim->vpn = vpn;
     victim->lastUse = ++_useStamp;
+    _lastVpn = vpn;
+    _lastIdx = size_t(victim - _entries.data());
     return _missPenalty;
 }
 

@@ -71,6 +71,11 @@ class Tlb
     uint64_t _useStamp = 0;
     uint64_t _accesses = 0;
     uint64_t _misses = 0;
+    // MRU shortcut: consecutive accesses to one page (the common case,
+    // and every cycle of an MSHR-stall retry) skip the associative
+    // scan. _lastIdx is revalidated against the entry before use.
+    uint64_t _lastVpn = ~uint64_t(0);
+    size_t _lastIdx = 0;
 };
 
 } // namespace psb

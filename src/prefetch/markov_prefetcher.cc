@@ -163,6 +163,18 @@ MarkovPrefetcher::tick(Cycle now)
     ++_stats.prefetchesIssued;
 }
 
+bool
+MarkovPrefetcher::fastForwardTicks(Cycle from, uint64_t n)
+{
+    // Same reasoning as NextLinePrefetcher: idle ticks are stat-free,
+    // so quiescence (or a bus busy for the whole span) suffices.
+    for (const auto &e : _buffer) {
+        if (e.valid && !e.prefetched)
+            return _hierarchy.l1L2Bus().freeCyclesIn(from, n) == 0;
+    }
+    return true;
+}
+
 void
 MarkovPrefetcher::registerStats(StatsRegistry &reg,
                                 const std::string &prefix) const

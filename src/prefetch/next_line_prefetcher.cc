@@ -107,4 +107,18 @@ NextLinePrefetcher::tick(Cycle now)
     ++_stats.prefetchesIssued;
 }
 
+bool
+NextLinePrefetcher::fastForwardTicks(Cycle from, uint64_t n)
+{
+    // An idle tick here touches no state at all (the bus gate and the
+    // empty scan both return without counting), so a span is
+    // replayable iff nothing is queued, or something is queued but
+    // the bus stays busy for the whole span.
+    for (const auto &e : _buffer) {
+        if (e.valid && !e.prefetched)
+            return _hierarchy.l1L2Bus().freeCyclesIn(from, n) == 0;
+    }
+    return true;
+}
+
 } // namespace psb

@@ -37,6 +37,7 @@ class NextLinePrefetcher : public Prefetcher
                    bool store_forwarded) override;
     void demandMiss(Addr pc, Addr addr, Cycle now) override;
     void tick(Cycle now) override;
+    bool fastForwardTicks(Cycle from, uint64_t n) override;
     const PrefetcherStats &stats() const override { return _stats; }
     void resetStats() override { _stats = PrefetcherStats{}; }
 

@@ -92,6 +92,28 @@ class Prefetcher
     /** Advance one cycle: predict and/or issue prefetches. */
     virtual void tick(Cycle now) = 0;
 
+    /**
+     * Replay @p n consecutive idle ticks [@p from, @p from + @p n) in
+     * O(1), for the simulator's event-driven fast-forward. An
+     * implementation must return true ONLY when ticking those cycles
+     * one by one would have left its architectural state unchanged,
+     * and must apply any per-idle-cycle stat bumps (e.g. scheduler
+     * no-candidate counts) itself so a fast-forwarded run stays
+     * byte-identical to a cycle-by-cycle run. Returning false makes
+     * the simulator tick through the span normally; the conservative
+     * default is always correct.
+     *
+     * The contract holds because the core is quiescent over a skipped
+     * span: no lookups, training, or demand misses arrive, so the
+     * only inputs that change are the cycle number and bus occupancy.
+     */
+    virtual bool fastForwardTicks(Cycle from, uint64_t n)
+    {
+        (void)from;
+        (void)n;
+        return false;
+    }
+
     virtual const PrefetcherStats &stats() const = 0;
 
     /** Zero the statistics (end-of-warm-up); state is kept. */
@@ -148,6 +170,7 @@ class NullPrefetcher : public Prefetcher
     void trainLoad(Addr, Addr, bool, bool) override {}
     void demandMiss(Addr, Addr, Cycle) override {}
     void tick(Cycle) override {}
+    bool fastForwardTicks(Cycle, uint64_t) override { return true; }
     const PrefetcherStats &stats() const override { return _stats; }
     void resetStats() override { _stats = PrefetcherStats{}; }
 

@@ -24,53 +24,6 @@ BufferScheduler::BufferScheduler(SchedPolicy policy, unsigned num_buffers,
     psb_assert(num_buffers > 0, "scheduler needs at least one buffer");
 }
 
-int
-BufferScheduler::pick(const StreamBufferFile &file,
-                      const std::function<bool(unsigned)> &candidate,
-                      const std::function<uint64_t(unsigned)> &tie_stamp)
-{
-    if (_policy == SchedPolicy::RoundRobin) {
-        for (unsigned i = 1; i <= _numBuffers; ++i) {
-            unsigned b = (_rrPtr + i) % _numBuffers;
-            if (candidate(b)) {
-                _rrPtr = b;
-                ++_grants;
-                PSB_TRACE(Sched, "grant", int(b), "resource=%s policy=rr",
-                          _label);
-                return int(b);
-            }
-        }
-        ++_noCandidate;
-        return -1;
-    }
-
-    // Priority: highest counter first, least-recently-used on ties.
-    int best = -1;
-    for (unsigned b = 0; b < _numBuffers; ++b) {
-        if (!candidate(b))
-            continue;
-        if (best < 0) {
-            best = int(b);
-            continue;
-        }
-        uint32_t pb = file.buffer(b).priority.value();
-        uint32_t pbest = file.buffer(unsigned(best)).priority.value();
-        if (pb > pbest ||
-            (pb == pbest && tie_stamp(b) < tie_stamp(unsigned(best)))) {
-            best = int(b);
-        }
-    }
-    if (best >= 0) {
-        ++_grants;
-        PSB_TRACE(Sched, "grant", best,
-                  "resource=%s policy=priority priority=%u", _label,
-                  file.buffer(unsigned(best)).priority.value());
-    } else {
-        ++_noCandidate;
-    }
-    return best;
-}
-
 void
 BufferScheduler::registerStats(StatsRegistry &reg,
                                const std::string &prefix) const

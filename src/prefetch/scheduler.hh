@@ -11,10 +11,10 @@
 #define PSB_PREFETCH_SCHEDULER_HH
 
 #include <cstdint>
-#include <functional>
 #include <string>
 
 #include "prefetch/stream_buffer.hh"
+#include "util/trace.hh"
 
 namespace psb
 {
@@ -47,15 +47,72 @@ class BufferScheduler
     /**
      * Choose among buffers for which @p candidate returns true.
      *
+     * A template so the per-cycle call binds the caller's lambdas
+     * directly (this is on the simulator's hottest path; going
+     * through std::function showed up in profiles).
+     *
      * @param file The stream-buffer file.
      * @param candidate Whether a buffer can use the resource now.
      * @param tie_stamp Last-use stamp for LRU tie-breaking under the
      *        priority policy (lower = less recently used = wins).
      * @return Winning buffer index, or -1 when no candidate exists.
      */
-    int pick(const StreamBufferFile &file,
-             const std::function<bool(unsigned)> &candidate,
-             const std::function<uint64_t(unsigned)> &tie_stamp);
+    template <typename CandidateFn, typename StampFn>
+    int
+    pick(const StreamBufferFile &file, const CandidateFn &candidate,
+         const StampFn &tie_stamp)
+    {
+        if (_policy == SchedPolicy::RoundRobin) {
+            for (unsigned i = 1; i <= _numBuffers; ++i) {
+                unsigned b = (_rrPtr + i) % _numBuffers;
+                if (candidate(b)) {
+                    _rrPtr = b;
+                    ++_grants;
+                    PSB_TRACE(Sched, "grant", int(b),
+                              "resource=%s policy=rr", _label);
+                    return int(b);
+                }
+            }
+            ++_noCandidate;
+            return -1;
+        }
+
+        // Priority: highest counter first, least-recently-used on
+        // ties.
+        int best = -1;
+        for (unsigned b = 0; b < _numBuffers; ++b) {
+            if (!candidate(b))
+                continue;
+            if (best < 0) {
+                best = int(b);
+                continue;
+            }
+            uint32_t pb = file.buffer(b).priority.value();
+            uint32_t pbest =
+                file.buffer(unsigned(best)).priority.value();
+            if (pb > pbest ||
+                (pb == pbest &&
+                 tie_stamp(b) < tie_stamp(unsigned(best)))) {
+                best = int(b);
+            }
+        }
+        if (best >= 0) {
+            ++_grants;
+            PSB_TRACE(Sched, "grant", best,
+                      "resource=%s policy=priority priority=%u", _label,
+                      file.buffer(unsigned(best)).priority.value());
+        } else {
+            ++_noCandidate;
+        }
+        return best;
+    }
+
+    /**
+     * Replay @p n picks that would each have found no candidate: the
+     * fast-forward path's stand-in for calling pick() once per idle
+     * cycle (round-robin pointers are untouched by empty picks).
+     */
+    void addNoCandidatePicks(uint64_t n) { _noCandidate += n; }
 
     SchedPolicy policy() const { return _policy; }
 

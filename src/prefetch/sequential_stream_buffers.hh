@@ -31,6 +31,13 @@ class SequentialStreamBuffers : public Prefetcher
                    bool store_forwarded) override;
     void demandMiss(Addr pc, Addr addr, Cycle now) override;
     void tick(Cycle now) override;
+
+    bool
+    fastForwardTicks(Cycle from, uint64_t n) override
+    {
+        return _psb.fastForwardTicks(from, n);
+    }
+
     const PrefetcherStats &stats() const override;
     void resetStats() override { _psb.resetStats(); }
 

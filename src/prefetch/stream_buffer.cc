@@ -9,8 +9,11 @@ namespace psb
 
 StreamBuffer::StreamBuffer(unsigned num_entries, uint32_t priority_max,
                            unsigned index)
-    : priority(priority_max), _entries(num_entries), _index(index)
+    : priority(priority_max), _entries(num_entries),
+      _fullMask(mask(num_entries)), _index(index)
 {
+    psb_assert(num_entries <= 64,
+               "entry occupancy masks hold at most 64 entries");
 }
 
 void
@@ -32,6 +35,8 @@ StreamBuffer::allocateStream(const StreamState &new_state,
     translatedPage = ~uint64_t(0);
     for (auto &e : _entries)
         e = SbEntry{};
+    _validMask = 0;
+    _pendingMask = 0;
     _allocated = true;
     ++streamAllocs;
     notePriorityPeak();
@@ -44,31 +49,36 @@ StreamBuffer::allocateStream(const StreamState &new_state,
 int
 StreamBuffer::findEntry(BlockAddr block) const
 {
-    for (size_t i = 0; i < _entries.size(); ++i) {
-        if (_entries[i].valid && _entries[i].block == block)
+    for (uint64_t m = _validMask; m != 0; m &= m - 1) {
+        unsigned i = countTrailingZeros(m);
+        if (_entries[i].block == block)
             return int(i);
     }
     return -1;
 }
 
-int
-StreamBuffer::freeEntry() const
+void
+StreamBuffer::fillEntry(int idx, BlockAddr block)
 {
-    for (size_t i = 0; i < _entries.size(); ++i) {
-        if (!_entries[i].valid)
-            return int(i);
-    }
-    return -1;
+    psb_assert(idx >= 0 && size_t(idx) < _entries.size(),
+               "stream buffer entry index out of range");
+    psb_assert(!_entries[idx].valid, "filling an occupied entry");
+    _entries[idx].block = block;
+    _entries[idx].valid = true;
+    _entries[idx].prefetched = false;
+    _validMask |= uint64_t(1) << idx;
+    _pendingMask |= uint64_t(1) << idx;
 }
 
-int
-StreamBuffer::pendingPrefetchEntry() const
+void
+StreamBuffer::markPrefetched(int idx, Cycle ready)
 {
-    for (size_t i = 0; i < _entries.size(); ++i) {
-        if (_entries[i].valid && !_entries[i].prefetched)
-            return int(i);
-    }
-    return -1;
+    psb_assert(idx >= 0 && size_t(idx) < _entries.size(),
+               "stream buffer entry index out of range");
+    psb_assert(_entries[idx].valid, "prefetching an invalid entry");
+    _entries[idx].prefetched = true;
+    _entries[idx].ready = ready;
+    _pendingMask &= ~(uint64_t(1) << idx);
 }
 
 void
@@ -77,6 +87,8 @@ StreamBuffer::clearEntry(int idx)
     psb_assert(idx >= 0 && size_t(idx) < _entries.size(),
                "stream buffer entry index out of range");
     _entries[idx] = SbEntry{};
+    _validMask &= ~(uint64_t(1) << idx);
+    _pendingMask &= ~(uint64_t(1) << idx);
 }
 
 StreamBufferFile::StreamBufferFile(const StreamBufferConfig &cfg)

@@ -20,6 +20,7 @@
 
 #include "predictors/address_predictor.hh"
 #include "trace/micro_op.hh"
+#include "util/bitfield.hh"
 #include "util/sat_counter.hh"
 
 namespace psb
@@ -69,11 +70,30 @@ class StreamBuffer
     /** Index of the entry holding @p block, or -1. */
     int findEntry(BlockAddr block) const;
 
-    /** Index of an entry free to take a new prediction, or -1. */
-    int freeEntry() const;
+    /**
+     * Index of an entry free to take a new prediction, or -1. The
+     * lowest free index, matching a linear scan — prefetch issue order
+     * depends on it.
+     */
+    int
+    freeEntry() const
+    {
+        uint64_t free = ~_validMask & _fullMask;
+        return free ? int(countTrailingZeros(free)) : -1;
+    }
 
     /** Index of a valid entry whose prefetch has not issued, or -1. */
-    int pendingPrefetchEntry() const;
+    int
+    pendingPrefetchEntry() const
+    {
+        return _pendingMask ? int(countTrailingZeros(_pendingMask)) : -1;
+    }
+
+    /** Install a prediction for @p block into free entry @p idx. */
+    void fillEntry(int idx, BlockAddr block);
+
+    /** Record that entry @p idx's fill was issued, arriving @p ready. */
+    void markPrefetched(int idx, Cycle ready);
 
     /** Invalidate entry @p idx (hit consumed it / late tag hit). */
     void clearEntry(int idx);
@@ -81,7 +101,6 @@ class StreamBuffer
     bool allocated() const { return _allocated; }
     void deallocate() { _allocated = false; }
 
-    std::vector<SbEntry> &entries() { return _entries; }
     const std::vector<SbEntry> &entries() const { return _entries; }
 
     /** Per-stream predictor history (paper Figure 2). */
@@ -123,6 +142,13 @@ class StreamBuffer
 
   private:
     std::vector<SbEntry> _entries;
+    // Occupancy summarised as bitmasks so the per-cycle scheduler
+    // candidate checks (free slot? pending prefetch?) are O(1); every
+    // entry mutation goes through fillEntry/markPrefetched/clearEntry
+    // to keep them in sync with _entries.
+    uint64_t _validMask = 0;   ///< bit i: _entries[i].valid
+    uint64_t _pendingMask = 0; ///< bit i: valid && !prefetched
+    uint64_t _fullMask = 0;    ///< low entriesPerBuffer bits
     unsigned _index = 0;
     bool _allocated = false;
 };

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Deterministic microbenchmark harness behind the psb-bench tool: a
+ * registry of hot-path kernels (cache/TLB/MSHR probes, predictor
+ * table lookups, stream-buffer scheduling, the per-cycle core loop)
+ * plus the Figure 5 whole-simulation throughput matrix, emitted as a
+ * stable JSON document (BENCH_psb.json) that tracks the simulator's
+ * performance trajectory across PRs.
+ *
+ * The determinism contract (pinned by tests/test_bench_harness.cc):
+ *
+ *  - Every kernel runs a *fixed* iteration count and folds its work
+ *    into a checksum plus named counters, all pure functions of the
+ *    kernel's seeded stimulus. Two emissions of the same harness
+ *    differ ONLY in fields whose key starts with "wall_".
+ *  - JSON object keys are emitted in sorted order with fixed integer
+ *    and "%.3f" float formatting, so the document is byte-stable and
+ *    diffs line up across runs and machines.
+ *
+ * Wall times are medians of N repeats of the whole kernel loop. They
+ * are the one intentional nondeterminism in this repository, which is
+ * why this translation unit carries the explicit psb-analyze R3
+ * suppressions at each clock call site — everything the simulator
+ * itself observes stays clock-free (DESIGN.md §11).
+ *
+ * tools/bench_diff compares two documents with compareBenchJson():
+ * non-wall fields must match exactly; wall fields are gated on a
+ * relative-regression threshold.
+ */
+
+#ifndef PSB_SIM_BENCH_HARNESS_HH
+#define PSB_SIM_BENCH_HARNESS_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace psb
+{
+
+/** How psb-bench runs the kernel registry and the fig5 matrix. */
+struct BenchHarnessOptions
+{
+    /** Repeats per kernel (and per fig5 cell); the median wall time
+     *  is reported. Odd values give a true median. */
+    unsigned repeats = 3;
+    /** Reduced iteration counts and a 2x2 fig5 matrix (CI-sized). */
+    bool quick = false;
+    /** Case-sensitive substring filter on kernel names; "" = all. */
+    std::string filter;
+    /** Skip the whole-simulation fig5 section entirely. */
+    bool skipSims = false;
+    /** Measured / warm-up instructions for each fig5 matrix cell. */
+    uint64_t simInstructions = 200'000;
+    uint64_t simWarmup = 50'000;
+};
+
+/** One kernel's measurement: deterministic fields + median wall. */
+struct BenchKernelResult
+{
+    std::string name;
+    uint64_t iterations = 0;
+    /** Folded digest of every iteration's work (deterministic). */
+    uint64_t checksum = 0;
+    /** Extra deterministic counters, emitted key-sorted. */
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    /** Median-of-repeats wall time per iteration (nondeterministic). */
+    double wallNsPerIter = 0.0;
+    /** Fastest repeat, per iteration (nondeterministic). */
+    double wallNsPerIterMin = 0.0;
+};
+
+/** One fig5 whole-simulation cell ("workload/Config"). */
+struct BenchSimResult
+{
+    std::string name;
+    uint64_t cycles = 0;       ///< simulated cycles (deterministic)
+    uint64_t instructions = 0; ///< committed insts (deterministic)
+    double wallMs = 0.0;       ///< median-of-repeats (nondeterministic)
+    double wallCyclesPerSec = 0.0; ///< cycles / median wall
+};
+
+/**
+ * The kernel registry and runner. A kernel is a callable taking its
+ * iteration count and a counter sink, returning a checksum; it must
+ * be a pure function of those iterations (fresh state per call, all
+ * randomness from fixed-seed Xorshift64).
+ */
+class BenchHarness
+{
+  public:
+    using KernelFn = std::function<uint64_t(
+        uint64_t iterations,
+        std::vector<std::pair<std::string, uint64_t>> &counters)>;
+
+    explicit BenchHarness(const BenchHarnessOptions &opts);
+
+    /**
+     * Register a kernel. @p iterations is used in full runs,
+     * @p quick_iterations under --quick; both are part of the
+     * deterministic output (the checksum depends on them).
+     */
+    void addKernel(const std::string &name, uint64_t iterations,
+                   uint64_t quick_iterations, KernelFn fn);
+
+    /** Registered names, in registration order (for --list). */
+    std::vector<std::string> kernelNames() const;
+
+    /** Run every kernel passing the filter; results name-sorted. */
+    std::vector<BenchKernelResult> runKernels() const;
+
+    /**
+     * Run the fig5 whole-simulation matrix (6 workloads x the paper's
+     * 6 configurations; --quick shrinks it to 2x2) and append an
+     * aggregate "total" row. Empty when opts.skipSims.
+     */
+    std::vector<BenchSimResult> runSimMatrix() const;
+
+    const BenchHarnessOptions &options() const { return _opts; }
+
+  private:
+    struct Kernel
+    {
+        std::string name;
+        uint64_t iterations;
+        uint64_t quickIterations;
+        KernelFn fn;
+    };
+
+    BenchHarnessOptions _opts;
+    std::vector<Kernel> _kernels;
+};
+
+/**
+ * Register the standard hot-path kernel set (the paths the profiling
+ * rounds in DESIGN.md §11 identified): cache_lookup, markov_probe,
+ * mshr_search, ooo_core_loop, satcounter_update, sfm_predict,
+ * stream_buffer_sched, stride_probe, tlb_lookup.
+ */
+void registerDefaultKernels(BenchHarness &harness);
+
+/**
+ * Render the full BENCH document: {"fig5": {...}, "kernels": {...},
+ * "meta": {...}} with sorted keys (see file comment for the
+ * byte-stability contract).
+ */
+std::string benchJson(const std::vector<BenchKernelResult> &kernels,
+                      const std::vector<BenchSimResult> &sims,
+                      const BenchHarnessOptions &opts);
+
+/**
+ * Replace the value of every "wall_*" field with 0 so two emissions
+ * of the same harness can be byte-compared; everything else is left
+ * untouched.
+ */
+std::string maskWallFields(const std::string &json);
+
+/** Outcome of comparing two BENCH documents (tools/bench_diff). */
+struct BenchCompareResult
+{
+    /** A deterministic field differs, or the documents' shapes do. */
+    bool mismatch = false;
+    /** A wall field regressed beyond the threshold. */
+    bool regression = false;
+    std::vector<std::string> messages;
+};
+
+/**
+ * Compare @p old_json (baseline) against @p new_json: non-wall leaves
+ * must be identical; "wall_*" leaves may regress by at most
+ * @p max_regress_pct percent (for "*per_sec*" keys lower is worse,
+ * for plain wall times higher is worse). Parse failures are reported
+ * as a mismatch.
+ */
+BenchCompareResult compareBenchJson(const std::string &old_json,
+                                    const std::string &new_json,
+                                    double max_regress_pct);
+
+} // namespace psb
+
+#endif // PSB_SIM_BENCH_HARNESS_HH

@@ -50,9 +50,9 @@ simConfigKeys()
 {
     static const std::vector<std::string> keys = {
         "alloc",       "buffers",    "delta-bits", "entries",
-        "insts",       "l1d-assoc",  "l1d-kb",     "markov-entries",
-        "nodis",       "order",      "prefetcher", "sched",
-        "tlb-cache",   "warmup",
+        "fastforward", "insts",      "l1d-assoc",  "l1d-kb",
+        "markov-entries", "nodis",   "order",      "prefetcher",
+        "sched",       "tlb-cache",  "warmup",
     };
     return keys;
 }
@@ -105,14 +105,16 @@ applyConfigKey(SimConfig &cfg, const std::string &key,
             return badValue(key, value, "rr|priority", error);
         return true;
     }
-    if (key == "nodis" || key == "tlb-cache") {
+    if (key == "nodis" || key == "tlb-cache" || key == "fastforward") {
         if (!parseBool(value, b))
             return badValue(key, value, "true|false", error);
         if (key == "nodis") {
             cfg.core.disambiguation = b ? DisambiguationMode::None
                                         : DisambiguationMode::Perfect;
-        } else {
+        } else if (key == "tlb-cache") {
             cfg.psb.buffers.cacheTlbTranslation = b;
+        } else {
+            cfg.fastForward = b;
         }
         return true;
     }

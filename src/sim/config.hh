@@ -57,6 +57,16 @@ struct SimConfig
     uint64_t maxInstructions = 2'000'000;
 
     /**
+     * Event-driven fast-forward: skip cycles in which provably
+     * nothing can happen (no commit, issue, fetch, or prefetcher
+     * activity), replaying their only side effects (cycle and
+     * idle-arbitration counters) in O(1). Results are byte-identical
+     * with the flag on or off (tested in tests/test_properties.cc);
+     * the off switch exists for A/B timing and for that test.
+     */
+    bool fastForward = true;
+
+    /**
      * Keep derived block sizes consistent: the stream buffers and
      * prediction tables operate at the L1D line granularity.
      */

@@ -67,6 +67,16 @@ class IntervalStatsWriter
     /** Emit the final (possibly partial) interval and flush. */
     void finish(Cycle now);
 
+    /** True between start() and finish(). */
+    bool started() const { return _started; }
+
+    /**
+     * The cycle the next record will be emitted at. Fast-forward must
+     * never jump past this boundary: the record's "end" field carries
+     * the cycle number tick() first crossed the period at.
+     */
+    Cycle nextBoundary() const { return _intervalStart + CycleDelta(_period); }
+
     /** Number of records emitted so far. */
     uint64_t intervalsEmitted() const { return _index; }
 

@@ -49,6 +49,13 @@ class HookedPrefetcher : public Prefetcher
     }
 
     void tick(Cycle now) override { _inner.tick(now); }
+
+    bool
+    fastForwardTicks(Cycle from, uint64_t n) override
+    {
+        return _inner.fastForwardTicks(from, n);
+    }
+
     const PrefetcherStats &stats() const override { return _inner.stats(); }
     void resetStats() override { _inner.resetStats(); }
 
@@ -204,11 +211,44 @@ Simulator::resetAllStats()
         _predictor->resetStats();
 }
 
+void
+Simulator::maybeFastForward()
+{
+    // Skip ahead to the core's next possible activity, provided the
+    // prefetcher agrees the span is idle and replays its idle-cycle
+    // counters (scheduler no-candidate picks). Idle core cycles have
+    // no effect beyond the cycle counter, so the skip is exact: every
+    // stat and every piece of architectural state matches the
+    // cycle-by-cycle run (asserted by tests/test_properties.cc).
+    Cycle wake = _core->nextWake();
+    if (wake == Cycle::max() || wake <= _now)
+        return;
+    uint64_t n = (wake - _now).raw();
+    if (_intervalStats && _intervalStats->started()) {
+        // Land exactly on the interval boundary so the record's
+        // "end" cycle matches the unskipped run.
+        Cycle boundary = _intervalStats->nextBoundary();
+        if (boundary <= _now)
+            return;
+        uint64_t cap = (boundary - _now).raw();
+        if (n > cap)
+            n = cap;
+    }
+    if (n == 0 || !_hookWrapper->fastForwardTicks(_now, n))
+        return;
+    _core->skipIdleCycles(n);
+    _now += CycleDelta(n);
+    if (_intervalStats && _intervalStats->started())
+        _intervalStats->tick(_now);
+}
+
 SimResult
 Simulator::run()
 {
     while (!_core->done() &&
            _core->stats().instructions < _cfg.warmupInstructions) {
+        if (_cfg.fastForward)
+            maybeFastForward();
         PSB_TRACE_SET_NOW(_now);
         _core->tick(_now);
         _hookWrapper->tick(_now);
@@ -221,6 +261,8 @@ Simulator::run()
 
     while (!_core->done() &&
            _core->stats().instructions < _cfg.maxInstructions) {
+        if (_cfg.fastForward)
+            maybeFastForward();
         PSB_TRACE_SET_NOW(_now);
         _core->tick(_now);
         _hookWrapper->tick(_now);

@@ -99,6 +99,7 @@ class Simulator
   private:
     void resetAllStats();
     void buildStatsRegistry();
+    void maybeFastForward();
     SimResult gather() const;
 
     SimConfig _cfg;

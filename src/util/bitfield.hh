@@ -38,6 +38,24 @@ ceilLog2(uint64_t v)
     return isPowerOf2(v) ? floorLog2(v) : floorLog2(v) + 1;
 }
 
+/** Index of the lowest set bit; 64 when @p v == 0. */
+inline unsigned
+countTrailingZeros(uint64_t v)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    return v ? unsigned(__builtin_ctzll(v)) : 64;
+#else
+    if (v == 0)
+        return 64;
+    unsigned n = 0;
+    while ((v & 1) == 0) {
+        v >>= 1;
+        ++n;
+    }
+    return n;
+#endif
+}
+
 /** A mask with the low @p bits set. */
 constexpr uint64_t
 mask(unsigned bits)

@@ -46,15 +46,18 @@ class SatCounter
     /** True when the counter sits at its ceiling. */
     bool saturated() const { return _value == _max; }
 
-    /** Add @p step, clamping at the ceiling. */
+    /** Add @p step, clamping at the ceiling (branchless). */
     void
     increment(uint32_t step = 1)
     {
-        uint32_t headroom = _max - _value;
-        _value += (step < headroom) ? step : headroom;
+        // The 64-bit sum cannot wrap, so min() alone clamps; compiles
+        // to an add + cmov with no data-dependent branch (these
+        // counters are bumped on every buffer hit and aging event).
+        uint64_t sum = uint64_t(_value) + step;
+        _value = uint32_t(sum < _max ? sum : _max);
     }
 
-    /** Subtract @p step, clamping at zero. */
+    /** Subtract @p step, clamping at zero (branchless). */
     void
     decrement(uint32_t step = 1)
     {

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Regression test for the figure-harness persistent cache
+ * (bench/common.cc): cache keys must embed a fingerprint of the fully
+ * tweaked, harmonized configuration, so a cached row can never be
+ * replayed for a request whose machine differs in any parameter. The
+ * pre-fingerprint keys were name-only ("v3|health|ConfAlloc-Priority|
+ * warmup|insts|variant") and went stale whenever a config default or
+ * an unlabelled tweak changed between binary builds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common.hh"
+#include "sim/config.hh"
+
+namespace psb::bench
+{
+namespace
+{
+
+SimConfig
+baseConfig()
+{
+    SimConfig cfg = makePaperConfig(PaperConfig::ConfAllocPriority);
+    cfg.harmonize();
+    return cfg;
+}
+
+TEST(ConfigFingerprintTest, StableForIdenticalConfigs)
+{
+    EXPECT_EQ(configFingerprint(baseConfig()),
+              configFingerprint(baseConfig()));
+    EXPECT_EQ(configFingerprint(baseConfig()).size(), 16u);
+}
+
+TEST(ConfigFingerprintTest, SensitiveToEveryConfigLayer)
+{
+    const std::string base = configFingerprint(baseConfig());
+
+    auto mutated = [&](auto mutate) {
+        SimConfig cfg = baseConfig();
+        mutate(cfg);
+        return configFingerprint(cfg);
+    };
+
+    // One probe per configuration layer: core, memory geometry,
+    // memory timing, prefetcher selection, stream-buffer shape,
+    // predictor tables, region lengths, and the fast-forward switch.
+    EXPECT_NE(base, mutated([](SimConfig &c) {
+                  c.core.robEntries = 64;
+              }));
+    EXPECT_NE(base, mutated([](SimConfig &c) {
+                  c.memory.l1d.sizeBytes = 16 * 1024;
+              }));
+    EXPECT_NE(base, mutated([](SimConfig &c) {
+                  c.memory.memLatency = CycleDelta{200};
+              }));
+    EXPECT_NE(base, mutated([](SimConfig &c) {
+                  c.prefetcher = PrefetcherKind::None;
+              }));
+    EXPECT_NE(base, mutated([](SimConfig &c) {
+                  c.psb.buffers.numBuffers = 4;
+              }));
+    EXPECT_NE(base, mutated([](SimConfig &c) {
+                  c.sfm.markov.deltaBits = 8;
+              }));
+    EXPECT_NE(base, mutated([](SimConfig &c) {
+                  c.warmupInstructions += 1;
+              }));
+    EXPECT_NE(base, mutated([](SimConfig &c) {
+                  c.fastForward = false;
+              }));
+}
+
+TEST(CacheKeyTest, TweakChangesTheKeyEvenWithTheSameVariantLabel)
+{
+    BenchOptions opts;
+    SimRequest stock{"health", PaperConfig::ConfAllocPriority, "", {}};
+    // The staleness bug: a tweak that alters the machine but reuses a
+    // variant label (or forgets to set one) used to collide with the
+    // stock cell's cache row and silently replay its numbers.
+    SimRequest tweaked{"health", PaperConfig::ConfAllocPriority, "",
+                       [](SimConfig &c) {
+                           c.psb.buffers.entriesPerBuffer = 8;
+                       }};
+    EXPECT_NE(cacheKey(stock, opts), cacheKey(tweaked, opts));
+}
+
+TEST(CacheKeyTest, KeySeparatesWorkloadConfigAndRegionLengths)
+{
+    BenchOptions opts;
+    SimRequest req{"health", PaperConfig::Base, "", {}};
+
+    SimRequest otherWorkload = req;
+    otherWorkload.workload = "gs";
+    EXPECT_NE(cacheKey(req, opts), cacheKey(otherWorkload, opts));
+
+    SimRequest otherConfig = req;
+    otherConfig.config = PaperConfig::PcStride;
+    EXPECT_NE(cacheKey(req, opts), cacheKey(otherConfig, opts));
+
+    BenchOptions otherOpts = opts;
+    otherOpts.instructions *= 2;
+    EXPECT_NE(cacheKey(req, opts), cacheKey(req, otherOpts));
+
+    EXPECT_EQ(cacheKey(req, opts), cacheKey(req, opts));
+}
+
+} // namespace
+} // namespace psb::bench

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Pins the psb-bench determinism contract (src/sim/bench_harness.hh):
+ * every non-"wall_" field of the emitted document is a pure function
+ * of the options, JSON object keys are sorted, and two in-process
+ * emissions are byte-identical once the wall fields are masked. Also
+ * covers the bench-diff comparison semantics the CI regression gate
+ * relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/bench_harness.hh"
+#include "util/json.hh"
+
+namespace psb
+{
+namespace
+{
+
+BenchHarnessOptions
+quickOptions()
+{
+    BenchHarnessOptions opts;
+    opts.quick = true;
+    opts.repeats = 1;
+    opts.skipSims = true;
+    return opts;
+}
+
+/** Every object's keys must be emitted in strictly sorted order. */
+void
+expectSortedKeys(const JsonValue &value, const std::string &path)
+{
+    if (value.isObject()) {
+        for (size_t i = 0; i + 1 < value.object.size(); ++i) {
+            EXPECT_LT(value.object[i].first, value.object[i + 1].first)
+                << "unsorted keys in object " << path;
+        }
+        for (const auto &[key, child] : value.object)
+            expectSortedKeys(child, path + "." + key);
+    } else if (value.isArray()) {
+        for (size_t i = 0; i < value.array.size(); ++i)
+            expectSortedKeys(value.array[i],
+                             path + "[" + std::to_string(i) + "]");
+    }
+}
+
+TEST(BenchHarnessTest, DefaultRegistryCoversTheHotPaths)
+{
+    BenchHarness harness(quickOptions());
+    registerDefaultKernels(harness);
+    std::vector<std::string> names = harness.kernelNames();
+    EXPECT_GE(names.size(), 8u);
+    for (const char *expected :
+         {"cache_lookup", "tlb_lookup", "mshr_search", "stride_probe",
+          "markov_probe", "sfm_predict", "stream_buffer_sched",
+          "satcounter_update", "ooo_core_loop"}) {
+        EXPECT_NE(std::find(names.begin(), names.end(), expected),
+                  names.end())
+            << "missing kernel " << expected;
+    }
+}
+
+TEST(BenchHarnessTest, KernelCountersAreDeterministicAcrossRuns)
+{
+    BenchHarness harness(quickOptions());
+    registerDefaultKernels(harness);
+    auto first = harness.runKernels();
+    auto second = harness.runKernels();
+    ASSERT_EQ(first.size(), second.size());
+    for (size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(first[i].name, second[i].name);
+        EXPECT_EQ(first[i].iterations, second[i].iterations);
+        EXPECT_EQ(first[i].checksum, second[i].checksum)
+            << first[i].name;
+        EXPECT_EQ(first[i].counters, second[i].counters)
+            << first[i].name;
+    }
+}
+
+TEST(BenchHarnessTest, FilterSelectsMatchingKernelsOnly)
+{
+    BenchHarnessOptions opts = quickOptions();
+    opts.filter = "mshr";
+    BenchHarness harness(opts);
+    registerDefaultKernels(harness);
+    auto results = harness.runKernels();
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].name, "mshr_search");
+}
+
+TEST(BenchHarnessTest, SimMatrixCellsAreDeterministic)
+{
+    BenchHarnessOptions opts;
+    opts.quick = true;
+    opts.repeats = 1;
+    opts.simInstructions = 5000;
+    opts.simWarmup = 1000;
+    BenchHarness harness(opts);
+    auto first = harness.runSimMatrix();
+    auto second = harness.runSimMatrix();
+    // 2x2 quick matrix plus the aggregate row.
+    ASSERT_EQ(first.size(), 5u);
+    ASSERT_EQ(second.size(), first.size());
+    EXPECT_EQ(first.back().name, "total");
+    for (size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(first[i].name, second[i].name);
+        EXPECT_EQ(first[i].cycles, second[i].cycles) << first[i].name;
+        EXPECT_EQ(first[i].instructions, second[i].instructions)
+            << first[i].name;
+        EXPECT_GT(first[i].cycles, 0u) << first[i].name;
+    }
+}
+
+TEST(BenchHarnessTest, EmittedJsonParsesWithSortedKeys)
+{
+    BenchHarnessOptions opts = quickOptions();
+    BenchHarness harness(opts);
+    registerDefaultKernels(harness);
+    std::string json =
+        benchJson(harness.runKernels(), harness.runSimMatrix(), opts);
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(json, doc, error)) << error;
+    expectSortedKeys(doc, "$");
+
+    const JsonValue *kernels = doc.find("kernels");
+    ASSERT_NE(kernels, nullptr);
+    EXPECT_GE(kernels->object.size(), 8u);
+    const JsonValue *meta = doc.find("meta");
+    ASSERT_NE(meta, nullptr);
+    EXPECT_NE(meta->find("schema_version"), nullptr);
+}
+
+TEST(BenchHarnessTest, TwoEmissionsByteIdenticalAfterWallMasking)
+{
+    BenchHarnessOptions opts = quickOptions();
+    BenchHarness harness(opts);
+    registerDefaultKernels(harness);
+    std::string first =
+        benchJson(harness.runKernels(), harness.runSimMatrix(), opts);
+    std::string second =
+        benchJson(harness.runKernels(), harness.runSimMatrix(), opts);
+    EXPECT_EQ(maskWallFields(first), maskWallFields(second));
+}
+
+TEST(BenchHarnessTest, MaskWallFieldsTouchesOnlyWallValues)
+{
+    std::string json = "{\n"
+                       "  \"checksum\": 42,\n"
+                       "  \"wall_ms\": 12.345,\n"
+                       "  \"wall_ns_per_iter\": 0.5\n"
+                       "}\n";
+    std::string masked = maskWallFields(json);
+    EXPECT_NE(masked.find("\"checksum\": 42"), std::string::npos);
+    EXPECT_NE(masked.find("\"wall_ms\": 0"), std::string::npos);
+    EXPECT_NE(masked.find("\"wall_ns_per_iter\": 0"),
+              std::string::npos);
+    EXPECT_EQ(masked.find("12.345"), std::string::npos);
+    EXPECT_EQ(masked.find("0.5"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- //
+// bench-diff comparison semantics (the CI regression gate)
+// ---------------------------------------------------------------- //
+
+TEST(BenchCompareTest, IdenticalDocumentsCompareClean)
+{
+    std::string doc = "{\"checksum\": 7, \"wall_ms\": 10.0}";
+    BenchCompareResult result = compareBenchJson(doc, doc, 25.0);
+    EXPECT_FALSE(result.mismatch);
+    EXPECT_FALSE(result.regression);
+    EXPECT_TRUE(result.messages.empty());
+}
+
+TEST(BenchCompareTest, DeterministicFieldDriftIsAMismatch)
+{
+    BenchCompareResult result = compareBenchJson(
+        "{\"checksum\": 7, \"wall_ms\": 10.0}",
+        "{\"checksum\": 8, \"wall_ms\": 10.0}", 25.0);
+    EXPECT_TRUE(result.mismatch);
+    EXPECT_FALSE(result.regression);
+}
+
+TEST(BenchCompareTest, MissingAndExtraKeysAreMismatches)
+{
+    BenchCompareResult missing =
+        compareBenchJson("{\"a\": 1, \"b\": 2}", "{\"a\": 1}", 25.0);
+    EXPECT_TRUE(missing.mismatch);
+    BenchCompareResult extra =
+        compareBenchJson("{\"a\": 1}", "{\"a\": 1, \"b\": 2}", 25.0);
+    EXPECT_TRUE(extra.mismatch);
+}
+
+TEST(BenchCompareTest, WallTimeBeyondThresholdIsARegression)
+{
+    BenchCompareResult result = compareBenchJson(
+        "{\"wall_ms\": 10.0}", "{\"wall_ms\": 14.0}", 25.0);
+    EXPECT_FALSE(result.mismatch);
+    EXPECT_TRUE(result.regression);
+}
+
+TEST(BenchCompareTest, WallTimeWithinThresholdIsClean)
+{
+    BenchCompareResult result = compareBenchJson(
+        "{\"wall_ms\": 10.0}", "{\"wall_ms\": 12.0}", 25.0);
+    EXPECT_FALSE(result.mismatch);
+    EXPECT_FALSE(result.regression);
+}
+
+TEST(BenchCompareTest, ThroughputFieldsGateOnTheLowSide)
+{
+    // cycles_per_sec dropping is the regression; rising is fine.
+    BenchCompareResult slower = compareBenchJson(
+        "{\"wall_cycles_per_sec\": 1000.0}",
+        "{\"wall_cycles_per_sec\": 700.0}", 25.0);
+    EXPECT_TRUE(slower.regression);
+    BenchCompareResult faster = compareBenchJson(
+        "{\"wall_cycles_per_sec\": 1000.0}",
+        "{\"wall_cycles_per_sec\": 2000.0}", 25.0);
+    EXPECT_FALSE(faster.regression);
+    EXPECT_FALSE(faster.mismatch);
+}
+
+TEST(BenchCompareTest, WallImprovementsNeverFail)
+{
+    BenchCompareResult result = compareBenchJson(
+        "{\"wall_ms\": 10.0}", "{\"wall_ms\": 1.0}", 25.0);
+    EXPECT_FALSE(result.mismatch);
+    EXPECT_FALSE(result.regression);
+}
+
+TEST(BenchCompareTest, ParseFailureReportsAsMismatch)
+{
+    BenchCompareResult result =
+        compareBenchJson("{not json", "{\"a\": 1}", 25.0);
+    EXPECT_TRUE(result.mismatch);
+    ASSERT_FALSE(result.messages.empty());
+}
+
+} // namespace
+} // namespace psb

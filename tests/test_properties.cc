@@ -9,16 +9,20 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "core/psb.hh"
 #include "cpu/ooo_core.hh"
 #include "memory/hierarchy.hh"
 #include "predictors/sfm_predictor.hh"
+#include "prefetch/stream_buffer.hh"
 #include "sim/simulator.hh"
 #include "trace/trace_source.hh"
 #include "util/random.hh"
+#include "util/sat_counter.hh"
 #include "workloads/workload.hh"
 
 namespace psb
@@ -381,6 +385,168 @@ INSTANTIATE_TEST_SUITE_P(
     [](const auto &pinfo) {
         return std::string(pinfo.param.workload) + "_" +
                std::to_string(pinfo.param.seed);
+    });
+
+// ---------------------------------------------------------------- //
+// Hot-path equivalence: the optimised implementations (branchless
+// saturating counter, bitmask stream-buffer occupancy, event-driven
+// fast-forward) must be indistinguishable from their naive reference
+// models under random stimulus
+// ---------------------------------------------------------------- //
+
+TEST(SatCounterEquivalenceTest, BranchlessClampMatchesReferenceModel)
+{
+    for (uint64_t seed : {11u, 12u, 13u, 14u}) {
+        Xorshift64 rng(seed);
+        uint32_t max = 1 + uint32_t(rng.below(31));
+        uint32_t initial = uint32_t(rng.below(max + 1));
+        SatCounter ctr(max, initial);
+        uint64_t ref = initial;
+        for (int i = 0; i < 100'000; ++i) {
+            uint32_t step = uint32_t(rng.below(5));
+            if (rng.below(2) == 0) {
+                ctr.increment(step);
+                ref = std::min<uint64_t>(ref + step, max);
+            } else {
+                ctr.decrement(step);
+                ref = ref > step ? ref - step : 0;
+            }
+            ASSERT_EQ(ctr.value(), ref)
+                << "seed " << seed << " step " << i;
+        }
+    }
+}
+
+namespace
+{
+
+/** The pre-bitmask reference implementations: linear entry scans. */
+int
+refFreeEntry(const std::vector<SbEntry> &entries)
+{
+    for (size_t i = 0; i < entries.size(); ++i)
+        if (!entries[i].valid)
+            return int(i);
+    return -1;
+}
+
+int
+refPendingEntry(const std::vector<SbEntry> &entries)
+{
+    for (size_t i = 0; i < entries.size(); ++i)
+        if (entries[i].valid && !entries[i].prefetched)
+            return int(i);
+    return -1;
+}
+
+int
+refFindEntry(const std::vector<SbEntry> &entries, BlockAddr block)
+{
+    for (size_t i = 0; i < entries.size(); ++i)
+        if (entries[i].valid && entries[i].block == block)
+            return int(i);
+    return -1;
+}
+
+} // namespace
+
+TEST(StreamBufferEquivalenceTest, BitmaskOccupancyMatchesLinearScan)
+{
+    for (uint64_t seed : {21u, 22u, 23u}) {
+        Xorshift64 rng(seed);
+        StreamBuffer buf(4, 12);
+        StreamState state;
+        state.lastAddr = BlockAddr{rng.below(64)};
+        buf.allocateStream(state, 3);
+        for (int i = 0; i < 50'000; ++i) {
+            switch (rng.below(8)) {
+            case 0: { // fresh stream (resets all entries)
+                state.lastAddr = BlockAddr{rng.below(64)};
+                buf.allocateStream(state, uint32_t(rng.below(13)));
+                break;
+            }
+            case 1:
+            case 2:
+            case 3: { // install a prediction into the free slot
+                int slot = buf.freeEntry();
+                if (slot >= 0)
+                    buf.fillEntry(slot, BlockAddr{rng.below(64)});
+                break;
+            }
+            case 4:
+            case 5: { // issue the pending prefetch
+                int slot = buf.pendingPrefetchEntry();
+                if (slot >= 0)
+                    buf.markPrefetched(slot, Cycle{uint64_t(i)});
+                break;
+            }
+            default: { // consume a random valid entry
+                int slot =
+                    refFindEntry(buf.entries(),
+                                 BlockAddr{rng.below(64)});
+                if (slot >= 0)
+                    buf.clearEntry(slot);
+                break;
+            }
+            }
+            const std::vector<SbEntry> &entries = buf.entries();
+            ASSERT_EQ(buf.freeEntry(), refFreeEntry(entries));
+            ASSERT_EQ(buf.pendingPrefetchEntry(),
+                      refPendingEntry(entries));
+            BlockAddr probe{rng.below(64)};
+            ASSERT_EQ(buf.findEntry(probe),
+                      refFindEntry(entries, probe));
+        }
+    }
+}
+
+// ---------------------------------------------------------------- //
+// Fast-forward exactness: skipping provably idle cycles must leave
+// every exported stat byte-identical (SimConfig::fastForward doc)
+// ---------------------------------------------------------------- //
+
+struct FastForwardParam
+{
+    const char *workload;
+    PaperConfig config;
+};
+
+class FastForwardEquivalenceTest
+    : public ::testing::TestWithParam<FastForwardParam>
+{
+};
+
+TEST_P(FastForwardEquivalenceTest, StatsJsonByteIdenticalOnOff)
+{
+    const FastForwardParam param = GetParam();
+    auto runWith = [&](bool fast_forward) {
+        auto trace = makeWorkload(param.workload);
+        SimConfig cfg = makePaperConfig(param.config);
+        cfg.warmupInstructions = 5000;
+        cfg.maxInstructions = 25000;
+        cfg.fastForward = fast_forward;
+        Simulator sim(cfg, *trace);
+        sim.run();
+        return sim.statsJson();
+    };
+    EXPECT_EQ(runWith(true), runWith(false));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkloadsAndConfigs, FastForwardEquivalenceTest,
+    ::testing::Values(
+        FastForwardParam{"health", PaperConfig::ConfAllocPriority},
+        FastForwardParam{"gs", PaperConfig::Base},
+        FastForwardParam{"turb3d", PaperConfig::PcStride},
+        FastForwardParam{"burg", PaperConfig::TwoMissRR}),
+    [](const auto &pinfo) {
+        // gtest names must be alphanumeric; drop the '-' from labels
+        // like "ConfAlloc-Priority".
+        std::string name = std::string(pinfo.param.workload) + "_" +
+                           paperConfigName(pinfo.param.config);
+        name.erase(std::remove(name.begin(), name.end(), '-'),
+                   name.end());
+        return name;
     });
 
 } // namespace

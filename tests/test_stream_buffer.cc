@@ -23,7 +23,7 @@ TEST(StreamBufferTest, AllocationResetsEntries)
 {
     StreamBuffer buf(4, 12);
     EXPECT_FALSE(buf.allocated());
-    buf.entries()[0].valid = true;
+    buf.fillEntry(0, BlockAddr{0x1000});
     StreamState s;
     s.loadPc = Addr{0x400010};
     buf.allocateStream(s, 5);
@@ -41,15 +41,16 @@ TEST(StreamBufferTest, FindFreeAndPendingEntries)
     EXPECT_EQ(buf.freeEntry(), 0);
     EXPECT_EQ(buf.pendingPrefetchEntry(), -1);
 
-    buf.entries()[0].valid = true;
-    buf.entries()[0].block = BlockAddr{0x1000};
+    buf.fillEntry(0, BlockAddr{0x1000});
     EXPECT_EQ(buf.freeEntry(), 1);
     EXPECT_EQ(buf.pendingPrefetchEntry(), 0);
     EXPECT_EQ(buf.findEntry(BlockAddr{0x1000}), 0);
     EXPECT_EQ(buf.findEntry(BlockAddr{0x2000}), -1);
 
-    buf.entries()[0].prefetched = true;
+    buf.markPrefetched(0, Cycle{10});
     EXPECT_EQ(buf.pendingPrefetchEntry(), -1);
+    EXPECT_TRUE(buf.entries()[0].prefetched);
+    EXPECT_EQ(buf.entries()[0].ready, Cycle{10});
 
     buf.clearEntry(0);
     EXPECT_EQ(buf.findEntry(BlockAddr{0x1000}), -1);
@@ -63,8 +64,7 @@ TEST(StreamBufferFileTest, LookupSearchesAllBuffersAllEntries)
     EXPECT_FALSE(file.findBlock(BlockAddr{0x1000}).has_value());
 
     file.buffer(3).allocateStream(StreamState{}, 0);
-    file.buffer(3).entries()[2].valid = true;
-    file.buffer(3).entries()[2].block = BlockAddr{0x1000};
+    file.buffer(3).fillEntry(2, BlockAddr{0x1000});
     auto hit = file.findBlock(BlockAddr{0x1000});
     ASSERT_TRUE(hit.has_value());
     EXPECT_EQ(hit->buf, 3u);
@@ -76,8 +76,7 @@ TEST(StreamBufferFileTest, LookupSearchesAllBuffersAllEntries)
 TEST(StreamBufferFileTest, UnallocatedBuffersInvisibleToLookup)
 {
     StreamBufferFile file(paperConfig());
-    file.buffer(0).entries()[0].valid = true;
-    file.buffer(0).entries()[0].block = BlockAddr{0x1000};
+    file.buffer(0).fillEntry(0, BlockAddr{0x1000});
     // Buffer 0 not allocated: its stale entries must not hit.
     EXPECT_FALSE(file.findBlock(BlockAddr{0x1000}).has_value());
 }

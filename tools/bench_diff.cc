@@ -1,0 +1,109 @@
+/**
+ * @file
+ * bench-diff: compare two BENCH JSON documents written by psb-bench.
+ *
+ *   bench-diff OLD.json NEW.json [--threshold PCT]
+ *
+ * Every non-"wall_" field must be byte-identical (those are the
+ * deterministic counters the harness contract pins); "wall_" fields
+ * may regress by at most PCT percent (default 25). For throughput
+ * fields ("*per_sec*") lower is worse; for raw wall times higher is
+ * worse. Improvements never fail.
+ *
+ * Exit codes: 0 = comparable within threshold, 1 = deterministic
+ * field mismatch (the two runs measured different work), 2 = wall
+ * regression beyond the threshold, 3 = usage or I/O error.
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "sim/bench_harness.hh"
+
+namespace
+{
+
+bool
+readFile(const char *path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    out = buf.str();
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *oldPath = nullptr;
+    const char *newPath = nullptr;
+    double threshold = 25.0;
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--threshold") == 0) {
+            if (i + 1 >= argc) {
+                std::cerr << "bench-diff: --threshold needs a value\n";
+                return 3;
+            }
+            threshold = std::strtod(argv[++i], nullptr);
+        } else if (std::strcmp(argv[i], "--help") == 0 ||
+                   std::strcmp(argv[i], "-h") == 0) {
+            std::cerr << "usage: bench-diff OLD.json NEW.json "
+                         "[--threshold PCT]\n";
+            return 0;
+        } else if (!oldPath) {
+            oldPath = argv[i];
+        } else if (!newPath) {
+            newPath = argv[i];
+        } else {
+            std::cerr << "bench-diff: unexpected argument '" << argv[i]
+                      << "'\n";
+            return 3;
+        }
+    }
+    if (!oldPath || !newPath) {
+        std::cerr << "usage: bench-diff OLD.json NEW.json "
+                     "[--threshold PCT]\n";
+        return 3;
+    }
+
+    std::string oldJson;
+    std::string newJson;
+    if (!readFile(oldPath, oldJson)) {
+        std::cerr << "bench-diff: cannot read '" << oldPath << "'\n";
+        return 3;
+    }
+    if (!readFile(newPath, newJson)) {
+        std::cerr << "bench-diff: cannot read '" << newPath << "'\n";
+        return 3;
+    }
+
+    psb::BenchCompareResult result =
+        psb::compareBenchJson(oldJson, newJson, threshold);
+    for (const std::string &message : result.messages)
+        std::cerr << "bench-diff: " << message << "\n";
+
+    if (result.mismatch) {
+        std::cerr << "bench-diff: deterministic fields differ — the "
+                     "documents measured different work\n";
+        return 1;
+    }
+    if (result.regression) {
+        std::cerr << "bench-diff: wall-time regression beyond "
+                  << threshold << "%\n";
+        return 2;
+    }
+    std::cerr << "bench-diff: OK (deterministic fields identical, "
+                 "wall times within "
+              << threshold << "%)\n";
+    return 0;
+}

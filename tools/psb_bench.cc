@@ -1,0 +1,143 @@
+/**
+ * @file
+ * psb-bench: the deterministic microbenchmark harness CLI. Runs the
+ * standard hot-path kernel set plus the Figure 5 whole-simulation
+ * throughput matrix and writes the BENCH JSON document (see
+ * src/sim/bench_harness.hh for the determinism contract; every
+ * non-"wall_" field is byte-stable across runs).
+ *
+ *   psb-bench                      # full run, write BENCH_psb.json
+ *   psb-bench --quick              # CI-sized run
+ *   psb-bench --filter mshr        # only kernels matching "mshr"
+ *   psb-bench --repeats 7          # median of 7 repeats
+ *   psb-bench --no-sim             # skip the fig5 matrix
+ *   psb-bench --out out.json       # output path ("-" = stdout)
+ *   psb-bench --list               # print kernel names and exit
+ *
+ * Compare two documents with bench-diff (tools/bench_diff.cc).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "sim/bench_harness.hh"
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::cerr
+        << "usage: " << argv0 << " [options]\n"
+        << "  --quick           reduced iterations and 2x2 fig5 matrix\n"
+        << "  --filter SUBSTR   run only kernels whose name contains "
+           "SUBSTR\n"
+        << "  --repeats N       median-of-N wall times (default 3)\n"
+        << "  --insts N         fig5 measured instructions per cell\n"
+        << "  --warmup N        fig5 warm-up instructions per cell\n"
+        << "  --no-sim          skip the fig5 whole-simulation matrix\n"
+        << "  --out FILE        output path (default BENCH_psb.json; "
+           "- = stdout)\n"
+        << "  --list            print registered kernel names and exit\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    psb::BenchHarnessOptions opts;
+    std::string outPath = "BENCH_psb.json";
+    bool list = false;
+
+    for (int i = 1; i < argc; ++i) {
+        auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << argv[0] << ": " << flag
+                          << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            opts.quick = true;
+            opts.simInstructions = 40'000;
+            opts.simWarmup = 10'000;
+        } else if (std::strcmp(argv[i], "--filter") == 0) {
+            opts.filter = value("--filter");
+        } else if (std::strcmp(argv[i], "--repeats") == 0) {
+            opts.repeats =
+                unsigned(std::strtoul(value("--repeats"), nullptr, 10));
+        } else if (std::strcmp(argv[i], "--insts") == 0) {
+            opts.simInstructions =
+                std::strtoull(value("--insts"), nullptr, 10);
+        } else if (std::strcmp(argv[i], "--warmup") == 0) {
+            opts.simWarmup =
+                std::strtoull(value("--warmup"), nullptr, 10);
+        } else if (std::strcmp(argv[i], "--no-sim") == 0) {
+            opts.skipSims = true;
+        } else if (std::strcmp(argv[i], "--out") == 0) {
+            outPath = value("--out");
+        } else if (std::strcmp(argv[i], "--list") == 0) {
+            list = true;
+        } else if (std::strcmp(argv[i], "--help") == 0 ||
+                   std::strcmp(argv[i], "-h") == 0) {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::cerr << argv[0] << ": unknown option '" << argv[i]
+                      << "'\n";
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (opts.repeats == 0) {
+        std::cerr << argv[0] << ": --repeats must be at least 1\n";
+        return 2;
+    }
+
+    psb::BenchHarness harness(opts);
+    psb::registerDefaultKernels(harness);
+
+    if (list) {
+        for (const std::string &name : harness.kernelNames())
+            std::cout << name << "\n";
+        return 0;
+    }
+
+    std::cerr << "psb-bench: running kernels (repeats=" << opts.repeats
+              << (opts.quick ? ", quick" : "") << ")...\n";
+    auto kernels = harness.runKernels();
+    for (const auto &kernel : kernels)
+        std::cerr << "  " << kernel.name << ": "
+                  << kernel.wallNsPerIter << " ns/iter\n";
+
+    if (!opts.skipSims)
+        std::cerr << "psb-bench: running fig5 whole-sim matrix...\n";
+    auto sims = harness.runSimMatrix();
+    for (const auto &cell : sims)
+        std::cerr << "  " << cell.name << ": "
+                  << (unsigned long long)cell.wallCyclesPerSec
+                  << " cycles/sec\n";
+
+    std::string json = psb::benchJson(kernels, sims, opts);
+    if (outPath == "-") {
+        std::cout << json;
+    } else {
+        std::ofstream out(outPath,
+                          std::ios::binary | std::ios::trunc);
+        if (!out) {
+            std::cerr << argv[0] << ": cannot write '" << outPath
+                      << "'\n";
+            return 2;
+        }
+        out << json;
+        std::cerr << "psb-bench: wrote " << outPath << "\n";
+    }
+    return 0;
+}

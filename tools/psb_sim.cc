@@ -24,6 +24,8 @@
  *     --order K           order-K context predictor instead of SFM
  *     --nodis             disable memory disambiguation
  *     --tlb-cache         cache TLB translations in buffers (§4.5)
+ *     --no-fastforward    tick every cycle (A/B timing; results are
+ *                         identical either way)
  *     --stats-json PATH   write every registered stat as
  *                         deterministic JSON ("-" = stdout)
  *     --stats             print the full stats registry as text
@@ -73,7 +75,7 @@ usage(int code)
         "  --insts N --warmup N --seed N\n"
         "  --l1d-kb N --l1d-assoc N\n"
         "  --buffers N --entries N --markov-entries N --delta-bits N\n"
-        "  --order K --nodis --tlb-cache\n"
+        "  --order K --nodis --tlb-cache --no-fastforward\n"
         "  --stats-json PATH --stats\n"
         "  --trace FLAGS       comma list of psb,sched,sfm,markov,bus,"
         "cache,mshr,cpu or all\n"
@@ -227,6 +229,8 @@ main(int argc, char **argv)
             cfg.core.disambiguation = DisambiguationMode::None;
         } else if (flag == "--tlb-cache") {
             cfg.psb.buffers.cacheTlbTranslation = true;
+        } else if (flag == "--no-fastforward") {
+            cfg.fastForward = false;
         } else {
             std::fprintf(stderr, "psb-sim: unknown flag '%s'\n",
                          flag.c_str());
