@@ -9,6 +9,12 @@
  *            (bad configuration, invalid argument); exits with code 1.
  * warn()   — something is modelled approximately but the run continues.
  * inform() — plain status output.
+ *
+ * Thread safety: call sites are reachable from sweep-engine worker
+ * threads, so every function here emits its whole line under one
+ * internal Mutex (util/thread_annotations.hh) — concurrent reports
+ * never interleave mid-line. The lock discipline is annotated for
+ * clang -Wthread-safety and audited by rule R8 (tools/psb_rules.py).
  */
 
 #ifndef PSB_UTIL_LOGGING_HH

@@ -9,7 +9,7 @@
 namespace psb
 {
 
-uint32_t g_traceMask = 0;
+std::atomic<uint32_t> g_traceMask{0};
 
 namespace
 {
@@ -127,7 +127,8 @@ void
 TraceManager::configure(uint32_t mask, Format format, std::ostream &out,
                         Cycle window_start, Cycle window_end)
 {
-    finish();
+    MutexLock lock(_mu);
+    finishLocked();
     _owned.reset();
     _out = &out;
     _format = format;
@@ -139,7 +140,8 @@ TraceManager::configure(uint32_t mask, Format format, std::ostream &out,
     _chromeFirst = true;
     _openSpans.clear();
     _active = true;
-    g_traceMask = mask & ((uint32_t(1) << kNumTraceFlags) - 1);
+    g_traceMask.store(mask & ((uint32_t(1) << kNumTraceFlags) - 1),
+                      std::memory_order_relaxed);
     if (_format == Format::Chrome)
         writeChromePreamble();
 }
@@ -158,6 +160,7 @@ TraceManager::configureFile(uint32_t mask, Format format,
     if (!*file)
         return false;
     configure(mask, format, *file, window_start, window_end);
+    MutexLock lock(_mu);
     _owned = std::move(file);
     return true;
 }
@@ -232,6 +235,7 @@ void
 TraceManager::emit(TraceFlag flag, char phase, const char *name,
                    int track, const char *fmt, va_list args)
 {
+    // PSB_REQUIRES(_mu): the public entry points below hold the lock.
     if (!_active || !_out)
         return;
     if (_now < _windowStart || _now >= _windowEnd)
@@ -255,7 +259,10 @@ TraceManager::instant(TraceFlag flag, const char *name, int track,
 {
     va_list args;
     va_start(args, fmt);
-    emit(flag, 'I', name, track, fmt, args);
+    {
+        MutexLock lock(_mu);
+        emit(flag, 'I', name, track, fmt, args);
+    }
     va_end(args);
 }
 
@@ -265,13 +272,17 @@ TraceManager::begin(TraceFlag flag, const char *name, int track,
 {
     va_list args;
     va_start(args, fmt);
-    emit(flag, 'B', name, track, fmt, args);
+    {
+        MutexLock lock(_mu);
+        emit(flag, 'B', name, track, fmt, args);
+    }
     va_end(args);
 }
 
 void
 TraceManager::end(TraceFlag flag, const char *name, int track)
 {
+    MutexLock lock(_mu);
     if (!_active || !_out)
         return;
     // An end whose begin was never emitted (span opened before the
@@ -291,8 +302,15 @@ TraceManager::end(TraceFlag flag, const char *name, int track)
 void
 TraceManager::finish()
 {
+    MutexLock lock(_mu);
+    finishLocked();
+}
+
+void
+TraceManager::finishLocked()
+{
     if (!_active) {
-        g_traceMask = 0;
+        g_traceMask.store(0, std::memory_order_relaxed);
         return;
     }
     // Close spans still open (streams live at the end of the run) so
@@ -317,13 +335,14 @@ TraceManager::finish()
     if (_out)
         _out->flush();
     _active = false;
-    g_traceMask = 0;
+    g_traceMask.store(0, std::memory_order_relaxed);
 }
 
 void
 TraceManager::reset()
 {
-    finish();
+    MutexLock lock(_mu);
+    finishLocked();
     _out = nullptr;
     _owned.reset();
     _events = 0;

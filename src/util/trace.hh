@@ -31,11 +31,22 @@
  * spans still open at the end of the run, and an end whose begin fell
  * outside the trace window is dropped, so every emitted begin has
  * exactly one matching end (tools/psb_trace.py validates this).
+ *
+ * Thread safety: the enable mask is an atomic read with relaxed order
+ * on the macro fast path (still one load + test when off), and every
+ * TraceManager member is PSB_GUARDED_BY the manager's internal Mutex
+ * (util/thread_annotations.hh), acquired by each public method — so a
+ * stray traced call from a sweep worker corrupts nothing. Concurrent
+ * *useful* tracing is still unsupported (events would interleave in
+ * one sink), which is why SweepEngine::run refuses jobs > 1 while any
+ * flag is enabled. Rule R8 audits the annotation coverage and clang
+ * -Wthread-safety enforces the locking under PSB_WERROR.
  */
 
 #ifndef PSB_UTIL_TRACE_HH
 #define PSB_UTIL_TRACE_HH
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdint>
 #include <map>
@@ -45,6 +56,7 @@
 #include <string>
 
 #include "util/strong_types.hh"
+#include "util/thread_annotations.hh"
 
 namespace psb
 {
@@ -69,22 +81,25 @@ constexpr unsigned kNumTraceFlags = unsigned(TraceFlag::NumFlags);
  * The global enable mask read by the PSB_TRACE macros. Bit i enables
  * TraceFlag(i). Written only by TraceManager::configure()/reset();
  * components must treat it as read-only (and read it only through
- * traceEnabled()).
+ * traceEnabled()). Atomic because sweep workers read it (through
+ * traceAnyEnabled() gates) while the main thread may configure; the
+ * relaxed load keeps the disabled fast path at one load + test.
  */
-extern uint32_t g_traceMask;
+extern std::atomic<uint32_t> g_traceMask;
 
 /** True iff @p flag is enabled. The macro fast path. */
 inline bool
 traceEnabled(TraceFlag flag)
 {
-    return (g_traceMask & (uint32_t(1) << unsigned(flag))) != 0;
+    return (g_traceMask.load(std::memory_order_relaxed) &
+            (uint32_t(1) << unsigned(flag))) != 0;
 }
 
 /** True iff any flag is enabled (gates per-cycle bookkeeping). */
 inline bool
 traceAnyEnabled()
 {
-    return g_traceMask != 0;
+    return g_traceMask.load(std::memory_order_relaxed) != 0;
 }
 
 /** See file comment. */
@@ -137,8 +152,19 @@ class TraceManager
      * (Simulator::run) via setNow(). Events are stamped with it, so
      * components need no cycle plumbing of their own.
      */
-    Cycle now() const { return _now; }
-    void setNow(Cycle now) { _now = now; }
+    Cycle
+    now() const
+    {
+        MutexLock lock(_mu);
+        return _now;
+    }
+
+    void
+    setNow(Cycle now)
+    {
+        MutexLock lock(_mu);
+        _now = now;
+    }
 
     /** Emit an instant event. Use via PSB_TRACE. */
     void instant(TraceFlag flag, const char *name, int track,
@@ -158,7 +184,12 @@ class TraceManager
     void end(TraceFlag flag, const char *name, int track);
 
     /** Events emitted since configure() (window-filtered). */
-    uint64_t eventCount() const { return _events; }
+    uint64_t
+    eventCount() const
+    {
+        MutexLock lock(_mu);
+        return _events;
+    }
 
     /** Canonical lower-case name of @p flag. */
     static const char *flagName(TraceFlag flag);
@@ -181,23 +212,33 @@ class TraceManager
     TraceManager() = default;
 
     void emit(TraceFlag flag, char phase, const char *name, int track,
-              const char *fmt, va_list args);
+              const char *fmt, va_list args) PSB_REQUIRES(_mu);
     void writeEvent(TraceFlag flag, char phase, Cycle cycle,
-                    const char *name, int track, const char *detail);
-    void writeChromePreamble();
+                    const char *name, int track, const char *detail)
+        PSB_REQUIRES(_mu);
+    void writeChromePreamble() PSB_REQUIRES(_mu);
+    /** finish() body for callers already holding the lock. */
+    void finishLocked() PSB_REQUIRES(_mu);
 
-    std::ostream *_out = nullptr;
-    std::unique_ptr<std::ostream> _owned;
-    Format _format = Format::Text;
-    Cycle _windowStart{};
-    Cycle _windowEnd = Cycle::max();
-    Cycle _now{};
-    Cycle _lastEmitted{};
-    uint64_t _events = 0;
-    bool _chromeFirst = true;
-    bool _active = false;
+    /**
+     * Guards every member below. Public methods acquire it; private
+     * helpers document the expectation with PSB_REQUIRES instead.
+     * mutable so const accessors (now, eventCount) can lock.
+     */
+    mutable Mutex _mu;
+
+    std::ostream *_out PSB_GUARDED_BY(_mu) = nullptr;
+    std::unique_ptr<std::ostream> _owned PSB_GUARDED_BY(_mu);
+    Format _format PSB_GUARDED_BY(_mu) = Format::Text;
+    Cycle _windowStart PSB_GUARDED_BY(_mu) = {};
+    Cycle _windowEnd PSB_GUARDED_BY(_mu) = Cycle::max();
+    Cycle _now PSB_GUARDED_BY(_mu) = {};
+    Cycle _lastEmitted PSB_GUARDED_BY(_mu) = {};
+    uint64_t _events PSB_GUARDED_BY(_mu) = 0;
+    bool _chromeFirst PSB_GUARDED_BY(_mu) = true;
+    bool _active PSB_GUARDED_BY(_mu) = false;
     /** Open begin() spans: key -> nesting depth, for balanced closes. */
-    std::map<std::string, unsigned> _openSpans;
+    std::map<std::string, unsigned> _openSpans PSB_GUARDED_BY(_mu);
 };
 
 } // namespace psb

@@ -1,0 +1,33 @@
+#!/bin/sh
+# Parallel-analysis determinism: psb_analyze --jobs N must produce a
+# byte-identical findings JSON for any job count. Runs in fixture
+# directory mode (nonzero findings, so the comparison is not
+# trivially empty) at jobs 1, 2, and 8.
+#
+# Usage: check_analyze_jobs.sh <python3> <psb_analyze.py> <fixture-dir>
+set -eu
+
+PYTHON=$1
+ANALYZE=$2
+FIXTURES=$3
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+for jobs in 1 2 8; do
+    # Exit code 1 (findings) is expected over the bad fixtures.
+    "$PYTHON" "$ANALYZE" "$FIXTURES" --jobs "$jobs" \
+        --json "$TMP/jobs$jobs.json" >"$TMP/jobs$jobs.out" 2>&1 \
+        || [ $? -eq 1 ]
+done
+
+for jobs in 2 8; do
+    if ! cmp -s "$TMP/jobs1.json" "$TMP/jobs$jobs.json"; then
+        echo "check_analyze_jobs: --jobs $jobs output differs from" \
+             "--jobs 1" >&2
+        diff "$TMP/jobs1.json" "$TMP/jobs$jobs.json" >&2 || true
+        exit 1
+    fi
+done
+
+echo "check_analyze_jobs: byte-identical findings at jobs 1/2/8"

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * psb_analyze fixture: R7 nondeterminism-taint (bad). Two taint
+ * chains must be reported: unordered iteration order feeding a stats
+ * sink directly, and a wall-clock value laundered through a helper
+ * function (exercising the cross-function summary). The self-test
+ * requires this file to report exactly {R7}, with at least two
+ * findings so the suppression round trip asserts N -> N-1.
+ */
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture
+{
+
+/** Minimal stand-in for the StatsRegistry sink surface. */
+class Recorder
+{
+  public:
+    void sample(uint64_t v);
+    void addReal(const char *key, double v);
+};
+
+/** Wall-clock reading hidden behind a helper: the per-function
+ *  summary must carry the taint to the caller. */
+inline double
+elapsedSeconds()
+{
+    return double(std::chrono::steady_clock::now()
+                      .time_since_epoch()
+                      .count());
+}
+
+/** Visit order of `table` is hash-seed noise, and every visit lands
+ *  in the histogram sink unsorted. */
+inline void
+exportCounts(Recorder &rec,
+             const std::unordered_map<uint64_t, uint64_t> &table)
+{
+    for (const auto &kv : table) {
+        rec.sample(kv.second);
+    }
+}
+
+/** The clock taint arrives through the helper's return value. */
+inline void
+exportTiming(Recorder &rec)
+{
+    rec.addReal("wall_seconds", elapsedSeconds());
+}
+
+} // namespace fixture

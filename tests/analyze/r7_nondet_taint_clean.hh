@@ -1,0 +1,65 @@
+/**
+ * @file
+ * psb_analyze fixture: R7 nondeterminism-taint (clean). The same
+ * sinks as the bad twin, but every chain passes a recognized barrier
+ * first: an explicit std::sort before the sink loop, and a
+ * barrier-named helper (sorted*) whose result is order-normalized by
+ * contract. The self-test requires this file to report nothing.
+ */
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture
+{
+
+/** Minimal stand-in for the StatsRegistry sink surface. */
+class Recorder
+{
+  public:
+    void sample(uint64_t v);
+    void addReal(const char *key, double v);
+};
+
+/** Sorted copy: the name marks the result as order-normalized. */
+inline std::vector<uint64_t>
+sortedKeys(const std::unordered_map<uint64_t, uint64_t> &table)
+{
+    std::vector<uint64_t> keys;
+    for (const auto &kv : table) {
+        keys.push_back(kv.first);
+    }
+    std::sort(keys.begin(), keys.end());
+    return keys;
+}
+
+/** Iterating the barrier call's result is deterministic. */
+inline void
+exportKeys(Recorder &rec,
+           const std::unordered_map<uint64_t, uint64_t> &table)
+{
+    for (uint64_t k : sortedKeys(table)) {
+        rec.sample(k);
+    }
+}
+
+/** An explicit sort between the unordered walk and the sink. */
+inline void
+exportCounts(Recorder &rec,
+             const std::unordered_map<uint64_t, uint64_t> &table)
+{
+    std::vector<uint64_t> vals;
+    for (const auto &kv : table) {
+        vals.push_back(kv.second);
+    }
+    std::sort(vals.begin(), vals.end());
+    for (uint64_t v : vals) {
+        rec.sample(v);
+    }
+}
+
+} // namespace fixture

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * psb_analyze fixture: R8 lock discipline (bad). A class that owns a
+ * mutex must annotate every mutable data member with PSB_GUARDED_BY:
+ * clang -Wthread-safety only checks what is annotated, so a
+ * half-annotated class is how stale lock discipline slips through.
+ * Two members here are bare; the self-test requires exactly {R8},
+ * with two findings so the suppression round trip asserts 2 -> 1.
+ *
+ * The include of util/thread_annotations.hh also places this file on
+ * the concurrency surface for the namespace-scope audit.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "util/thread_annotations.hh"
+
+namespace fixture
+{
+
+class WorkQueue
+{
+  public:
+    void push(uint64_t item);
+
+  private:
+    Mutex _mu;
+    /** Annotated: the good form. */
+    std::deque<uint64_t> _queue PSB_GUARDED_BY(_mu);
+    /** Bare mutable member sharing the class with _mu: finding 1. */
+    uint64_t _accepted = 0;
+    /** Bare mutable member sharing the class with _mu: finding 2. */
+    bool _draining = false;
+};
+
+} // namespace fixture

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * psb_analyze fixture: R8 lock discipline (clean). The mutex-owning
+ * class annotates every mutable member (or uses a type that is
+ * synchronized by construction), and a mutex-free single-threaded
+ * class stays out of the audit's scope entirely. The self-test
+ * requires this file to report nothing.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+
+#include "util/thread_annotations.hh"
+
+namespace fixture
+{
+
+class WorkQueue
+{
+  public:
+    void push(uint64_t item);
+
+  private:
+    Mutex _mu;
+    std::deque<uint64_t> _queue PSB_GUARDED_BY(_mu);
+    uint64_t _accepted PSB_GUARDED_BY(_mu) = 0;
+    /** Synchronized by construction: needs no guard. */
+    std::atomic<bool> _draining{false};
+};
+
+/** No mutex, no annotations: single-threaded, out of scope. */
+class Scratch
+{
+  private:
+    uint64_t _cursor = 0;
+    bool _dirty = false;
+};
+
+} // namespace fixture

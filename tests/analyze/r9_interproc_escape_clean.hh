@@ -1,0 +1,36 @@
+/**
+ * @file
+ * psb_analyze fixture: R9 interprocedural strong-type escape
+ * (clean). The same computations as the bad twin with the math kept
+ * inside the strong types: .raw() appears only to extract a final
+ * scalar for reporting — never as an operand of further arithmetic —
+ * and stepping uses the delta types. The self-test requires this
+ * file to report nothing.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace fixture
+{
+
+class Addr;       // strong types, opaque here
+class BlockDelta; // (difference type of Addr)
+
+/** The subtraction stays inside the strong types; .raw() only
+ *  extracts the finished width. */
+inline uint64_t
+spanBytes(const Addr &first, const Addr &last)
+{
+    return (last - first).raw();
+}
+
+/** Strong-typed stepping: no raw detour at all. */
+inline Addr
+nextLine(const Addr &base)
+{
+    return base + BlockDelta(1);
+}
+
+} // namespace fixture

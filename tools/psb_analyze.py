@@ -37,6 +37,35 @@ enforces the simulator-specific rules the regex lint cannot see:
      flag is off, so a side effect there makes behavior differ with
      tracing on/off.
 
+On top of the token/scope model sits a dataflow layer: per-function
+def-use chains (locals, parameters, members) plus a cross-TU call
+summary (does f() return nondeterministic data? raw .raw() values?
+does it pass a parameter through to a sink?), iterated to a fixpoint.
+It powers three rules the per-statement passes cannot express:
+
+  R7 nondeterminism-taint
+     Sources: unordered_map/unordered_set iteration order (including
+     containers typed only through a *parameter*, which R3 cannot
+     resolve), pointer-value casts (reinterpret_cast/uintptr_t),
+     wall-clock reads, uninitialized locals. Sinks: StatsRegistry
+     registration calls, JSON/golden/merge emitters. Taint must pass
+     a recognized barrier (std::sort / a normalize*() helper) before
+     reaching a sink, even across function boundaries.
+
+  R8 lock-discipline
+     Every class that owns a mutex (or already annotates a member)
+     must annotate *all* its mutable shared members with
+     PSB_GUARDED_BY(...) from util/thread_annotations.hh, and
+     translation units on the sweep concurrency surface must not
+     declare bare mutable namespace-scope state. Clang's
+     -Wthread-safety (enabled under PSB_WERROR) then proves the
+     annotations; this rule audits that the annotations exist.
+
+  R9 interprocedural strong-type escape
+     A .raw() value that round-trips through locals or helper returns
+     back into address/cycle arithmetic or a strong-type constructor —
+     the escape R1 sees only when it happens inside one statement.
+
 Rule IDs, exit codes, and the domain-parameter name list are shared
 with psb_lint via tools/psb_rules.py. Inline suppression:
 
@@ -51,14 +80,22 @@ R1a (true canonical types, catching typedef'd uint64_t) and R3
 merged and deduplicated. `--backend libclang` makes that pass
 mandatory, `--backend internal` disables it.
 
+The tree walk covers src/ plus tools/*.cc and bench/ (the analysis
+rules apply to the offline tooling too — a nondeterministic merge key
+in psb-sweep corrupts golden output just as surely as one in the
+simulator). `--jobs N` tokenizes and scope-scans the translation
+units in a worker pool; the per-file models are merged in sorted
+path order, so the findings are byte-identical at any job count.
+
 Usage:
     psb_analyze.py [root] [--compile-db build/compile_commands.json]
-                   [--backend auto|internal|libclang]
+                   [--backend auto|internal|libclang] [--jobs N]
                    [--baseline tools/psb_analyze_baseline.json]
                    [--json findings.json] [--list-rules]
     psb_analyze.py --self-test [fixture-dir]
 
-Exit codes (shared): 0 clean, 1 findings, 2 usage/environment error.
+Exit codes (shared): 0 clean, 1 findings, 2 usage/environment error,
+3 compile_commands.json missing or stale (re-run cmake).
 """
 
 import argparse
@@ -70,8 +107,12 @@ import sys
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 import psb_rules  # noqa: E402
 from psb_rules import (  # noqa: E402
-    DOMAIN_PARAM_NAMES, EXIT_CLEAN, EXIT_ERROR, EXIT_FINDINGS, RULES,
-    STRONG_TYPES, format_finding)
+    DOMAIN_PARAM_NAMES, EXIT_CLEAN, EXIT_ERROR, EXIT_FINDINGS,
+    EXIT_NO_COMPILE_DB, R7_BARRIER_CALLS, R7_BARRIER_FN_PATTERN,
+    R7_CLOCK_SOURCES, R7_POINTER_SOURCES, R7_SINK_CALLS,
+    R7_SINK_FN_PATTERN, R8_ALL_ANNOTATIONS, R8_GUARD_ANNOTATIONS,
+    R8_MUTEX_TYPES, R8_SYNC_TYPES, RULES, STRONG_TYPES,
+    format_finding)
 
 # --------------------------------------------------------------------
 # Tokenizer
@@ -216,14 +257,37 @@ def _type_str(toks):
     return " ".join(t.text for t in toks)
 
 
+class Func:
+    """One function body: enclosing class (None for free functions),
+    name, parameter-list token span, and body token span."""
+
+    __slots__ = ("cls", "name", "sig_lo", "sig_hi", "body_lo",
+                 "body_hi")
+
+    def __init__(self, cls, name, sig_lo, sig_hi, body_lo, body_hi):
+        self.cls = cls
+        self.name = name
+        self.sig_lo = sig_lo
+        self.sig_hi = sig_hi
+        self.body_lo = body_lo
+        self.body_hi = body_hi
+
+    def __repr__(self):
+        owner = f"{self.cls}::" if self.cls else ""
+        return f"<Func {owner}{self.name}>"
+
+
 class FileScan:
     """Single-file scan: builds scope structure over the token list."""
 
-    def __init__(self, rel, toks):
+    def __init__(self, rel, toks, raw=""):
         self.rel = rel
         self.toks = toks
-        # list of (class_name or None, func_name, body_lo, body_hi)
-        self.functions = []
+        #: original file text, kept for raw-text scoping decisions
+        #: (the tokenizer swallows preprocessor lines, so "does this
+        #: TU include thread_annotations.hh" is only answerable here)
+        self.raw = raw
+        self.functions = []  # list of Func
         # class name -> (body_lo, body_hi) spans at class scope
         self.class_spans = []
 
@@ -231,6 +295,7 @@ class FileScan:
         self._scan_aliases(model)
         self._scan_classes(model)
         self._scan_out_of_line_functions()
+        self._scan_free_functions()
 
     def _scan_aliases(self, model):
         toks = self.toks
@@ -302,8 +367,9 @@ class FileScan:
                         k += 1
                     if k < hi and toks[k].text == "{":
                         body_hi = _find_matching(toks, k, "{", "}")
-                        self.functions.append(
-                            (info.name, t.text, k + 1, body_hi))
+                        self.functions.append(Func(
+                            info.name, t.text, i + 2, close, k + 1,
+                            body_hi))
                         if t.text not in info.declares:
                             info.declares.add(t.text)
                         self._maybe_accessor(
@@ -361,9 +427,59 @@ class FileScan:
                         k += 1
                 if k < n and toks[k].text == "{":
                     body_hi = _find_matching(toks, k, "{", "}")
-                    self.functions.append(
-                        (toks[i].text, toks[i + 2].text, k + 1,
-                         body_hi))
+                    self.functions.append(Func(
+                        toks[i].text, toks[i + 2].text, i + 4, close,
+                        k + 1, body_hi))
+                    i = body_hi + 1
+                    continue
+            i += 1
+
+    def _scan_free_functions(self):
+        """Free-function definitions at namespace scope.
+
+        The class and out-of-line scanners above have already claimed
+        their body spans; what remains at namespace scope matching
+        `type name ( params ) [const noexcept] { ... }` is a free (or
+        file-static/inline) function — exactly where helper routines
+        like JSON emitters and merge-key builders live, which the
+        dataflow rules (R7/R9) must see.
+        """
+        toks = self.toks
+        n = len(toks)
+        covered = sorted(
+            [(lo, hi) for _name, lo, hi in self.class_spans]
+            + [(f.body_lo, f.body_hi) for f in self.functions])
+        merged = []
+        for lo, hi in covered:
+            if merged and lo <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+            else:
+                merged.append((lo, hi))
+        ci = 0
+        i = 0
+        while i < n - 1:
+            while ci < len(merged) and merged[ci][1] < i:
+                ci += 1
+            if ci < len(merged) and merged[ci][0] <= i:
+                i = merged[ci][1] + 1
+                continue
+            t = toks[i]
+            prev = toks[i - 1] if i else None
+            if t.kind == "id" and toks[i + 1].text == "(" \
+                    and t.text not in CONTROL_KEYWORDS \
+                    and prev is not None \
+                    and (prev.kind == "id"
+                         or prev.text in (">", "*", "&")) \
+                    and prev.text not in ("class", "struct", "enum",
+                                          "return", "new", "::"):
+                close = _find_matching(toks, i + 1, "(", ")")
+                k = close + 1
+                while k < n and toks[k].text in ("const", "noexcept"):
+                    k += 1
+                if k < n and toks[k].text == "{":
+                    body_hi = _find_matching(toks, k, "{", "}")
+                    self.functions.append(Func(
+                        None, t.text, i + 2, close, k + 1, body_hi))
                     i = body_hi + 1
                     continue
             i += 1
@@ -409,7 +525,7 @@ OBSERVABLE_IN_LOOP = {"PSB_TRACE", "PSB_TRACE_BEGIN", "PSB_TRACE_END",
                       "addScalar", "addReal", "addAverage",
                       "addHistogram", "sample", "sampleN", "<<"}
 
-EXEMPT_FILES = ("util/strong_types.hh",)
+EXEMPT_FILES = ("util/strong_types.hh", "util/thread_annotations.hh")
 
 STATS_SCOPE_DIRS = ("core/", "cpu/", "memory/", "predictors/",
                     "prefetch/", "sim/")
@@ -649,7 +765,8 @@ def pass_r6_sweep_shared_state(scan, suppressed, findings):
         i += 1
 
     # Function-local statics: shared by every call, i.e. every worker.
-    for _cls, fname, lo, hi in scan.functions:
+    for fn in scan.functions:
+        fname, lo, hi = fn.name, fn.body_lo, fn.body_hi
         j = lo
         while j < hi:
             if toks[j].text == "static":
@@ -728,8 +845,9 @@ def pass_r3_determinism(scan, model, suppressed, findings):
                 "ptr-key", suppressed)
 
     # Range-for over unordered containers writing observable state.
-    for scan_cls, _fname, lo, hi in scan.functions:
-        cls_info = model.classes.get(scan_cls)
+    for fn in scan.functions:
+        lo, hi = fn.body_lo, fn.body_hi
+        cls_info = model.classes.get(fn.cls)
         locals_ = _collect_locals(toks, lo, hi)
         i = lo
         while i < hi:
@@ -813,7 +931,9 @@ def collect_r2_facts(scan, model):
             for b in info.bases
             if b in model.classes and b not in seen)
 
-    for cls_name, fname, lo, hi in scan.functions:
+    for fn in scan.functions:
+        cls_name, fname = fn.cls, fn.name
+        lo, hi = fn.body_lo, fn.body_hi
         info = model.classes.get(cls_name)
         in_register = fname == "registerStats"
         in_reset = fname == "resetStats"
@@ -952,6 +1072,749 @@ def pass_r2_completeness(model, suppressions_by_file, findings):
             f"body and no accessor returning it is called from one, "
             f"so it is missing from the stats JSON",
             f"counter:{cls_name}.{member}", sup)
+
+
+# --------------------------------------------------------------------
+# Dataflow layer: def-use chains + cross-TU call summaries (R7, R9)
+# --------------------------------------------------------------------
+
+#: Builtin scalar types whose uninitialized locals R7 tracks. Class
+#: types default-construct, so only these can hold garbage.
+SCALAR_TYPES = {"int", "unsigned", "long", "short", "uint64_t",
+                "uint32_t", "uint16_t", "uint8_t", "int64_t", "int32_t",
+                "size_t", "ssize_t", "double", "float", "bool", "char"}
+
+_SINK_FN_RE = re.compile(R7_SINK_FN_PATTERN)
+_BARRIER_FN_RE = re.compile(R7_BARRIER_FN_PATTERN)
+
+
+def _parse_params(toks, sig_lo, sig_hi):
+    """[(name, type-ish text), ...] for a parameter-list token span."""
+    params = []
+    chunks = []
+    depth = 0
+    start = sig_lo
+    for i in range(sig_lo, sig_hi):
+        t = toks[i].text
+        if t in ("(", "<", "[", "{"):
+            depth += 1
+        elif t in (")", ">", "]", "}"):
+            depth = max(0, depth - 1)
+        elif t == ">>":
+            depth = max(0, depth - 2)
+        elif t == "," and depth == 0:
+            chunks.append((start, i))
+            start = i + 1
+    if sig_hi > start:
+        chunks.append((start, sig_hi))
+    for lo, hi in chunks:
+        span = toks[lo:hi]
+        eq = next((k for k, t in enumerate(span) if t.text == "="),
+                  len(span))
+        span = span[:eq]
+        ids = [t for t in span if t.kind == "id"]
+        if not ids:
+            continue
+        name = ids[-1].text if len(ids) >= 2 else ""
+        params.append((name, _type_str(span)))
+    return params
+
+
+def _split_args(toks, lo, hi):
+    """Top-level comma split of a call-argument token range."""
+    out = []
+    depth = 0
+    start = lo
+    for i in range(lo, hi):
+        t = toks[i].text
+        if t in ("(", "<", "[", "{"):
+            depth += 1
+        elif t in (")", ">", "]", "}"):
+            depth = max(0, depth - 1)
+        elif t == "," and depth == 0:
+            out.append((start, i))
+            start = i + 1
+    if hi > start:
+        out.append((start, hi))
+    return out
+
+
+class FuncSummary:
+    """What a callee does with taint, keyed by bare function name.
+    Overloads and same-named methods are merged (conservative)."""
+
+    __slots__ = ("returns_taint", "returns_raw", "param_sinks")
+
+    def __init__(self):
+        self.returns_taint = None  # reason string, or None
+        self.returns_raw = False   # returns a .raw()-derived value
+        self.param_sinks = {}      # param index -> sink description
+
+
+class Dataflow:
+    """Per-function def-use walk with cross-TU summaries.
+
+    Two summary rounds propagate facts through call chains and member
+    assignments (round one records leaf facts, round two folds them
+    into callers — enough for the helper-into-member-into-sink chains
+    this codebase actually has), then an emission round reports:
+
+      R7: a nondeterministic value (unordered iteration order, clock,
+          pointer cast, uninitialized read — possibly via a callee's
+          return value or a struct member) reaching a stats
+          registration call or a JSON/golden/merge emitter, with no
+          sort/normalize barrier in between.
+      R9: a .raw() value round-tripping through locals/returns into
+          arithmetic or a strong-type constructor — the multi-
+          statement, cross-function version of R1.
+    """
+
+    def __init__(self, scans, model):
+        self.scans = scans      # [(FileScan, suppressions), ...]
+        self.model = model
+        self.summaries = {}     # fname -> FuncSummary
+        self.member_taint = {}  # (class, member) -> reason
+
+    def run(self, findings):
+        for _round in range(2):
+            for scan, sup in self.scans:
+                for fn in scan.functions:
+                    self._walk(scan, fn, None, sup)
+        for scan, sup in self.scans:
+            if _exempt(scan.rel):
+                continue
+            for fn in scan.functions:
+                self._walk(scan, fn, findings, sup)
+
+    # -- helpers ----------------------------------------------------
+
+    def _type_of(self, name, locals_ty, cls_info):
+        ty = locals_ty.get(name, "")
+        if not ty and cls_info is not None:
+            ty = cls_info.members.get(name, "")
+        out = []
+        for w in ty.split():
+            out.append(self.model.aliases.get(w, w))
+        return " ".join(out)
+
+    def _member_reason(self, base, field, locals_ty, cls_info):
+        """Taint of `base.field` via the declared type of `base`."""
+        ty = self._type_of(base, locals_ty, cls_info)
+        for w in ty.split():
+            reason = self.member_taint.get((w, field))
+            if reason:
+                return reason
+        return None
+
+    def _is_barrier(self, name):
+        return name in R7_BARRIER_CALLS or \
+            _BARRIER_FN_RE.search(name) is not None
+
+    #: Operators that end an arithmetic chain: a raw value merely
+    #: *compared* (or selected, or passed alongside) is not escaping.
+    _RESET_OPS = {"==", "!=", "<", ">", "<=", ">=", "&&", "||", "?",
+                  ":", ",", ";", "=", "<<", ">>", "&", "|", "^", "!"}
+
+    def _eval(self, toks, lo, hi, env):
+        """Evaluate an expression span.
+
+        Returns (reason, raw_ids, raw_combo, direct_raw): the first
+        nondeterminism reason found (or None), the set of raw-value
+        carriers read by the span, whether a raw value is an
+        *operand* of +,-,*,/,% here (or already was one, for "arith"
+        carriers) — adjacency matters: `a == b` or arithmetic on
+        unrelated operands in the same statement does not count —
+        and the number of direct .raw() calls.
+        """
+        taint, rawv, uninit, locals_ty, cls_info, own_cls = env
+        reason = None
+        raw_ids = set()
+        raw_combo = False
+        direct_raw = 0
+        last_raw = False      # most recent operand was raw-derived
+        pending_arith = False  # an ARITH op awaits its right operand
+
+        def operand(is_raw):
+            nonlocal last_raw, pending_arith, raw_combo
+            if pending_arith and (is_raw or last_raw):
+                raw_combo = True
+            pending_arith = False
+            last_raw = is_raw
+
+        k = lo
+        while k < hi:
+            t = toks[k]
+            if t.text in ARITH_OPS:
+                if last_raw:
+                    raw_combo = True
+                pending_arith = True
+                k += 1
+                continue
+            if t.text in self._RESET_OPS:
+                last_raw = False
+                pending_arith = False
+                k += 1
+                continue
+            if t.text == "." and k + 2 < hi \
+                    and toks[k + 1].text == "raw" \
+                    and toks[k + 2].text == "(":
+                direct_raw += 1
+                operand(True)
+                k += 3
+                continue
+            if t.kind == "num":
+                operand(False)
+                k += 1
+                continue
+            if t.kind != "id":
+                k += 1
+                continue
+            nxt = toks[k + 1].text if k + 1 < hi else ""
+            if t.text in R7_POINTER_SOURCES:
+                reason = reason or "pointer-value cast " \
+                    f"('{t.text}')"
+            elif t.text in R7_CLOCK_SOURCES:
+                reason = reason or f"wall-clock/time source " \
+                    f"('{t.text}')"
+            elif nxt == "(" and t.text not in CONTROL_KEYWORDS:
+                sm = self.summaries.get(t.text)
+                is_raw_call = False
+                if sm is not None and not self._is_barrier(t.text):
+                    if sm.returns_taint and reason is None:
+                        reason = f"{sm.returns_taint}, via " \
+                            f"{t.text}()"
+                    if sm.returns_raw:
+                        raw_ids.add(t.text + "()")
+                        is_raw_call = True
+                operand(is_raw_call)
+            else:
+                if reason is None and t.text in taint:
+                    reason = taint[t.text]
+                if reason is None and t.text in uninit:
+                    reason = f"read of uninitialized '{t.text}'"
+                if reason is None and own_cls is not None:
+                    reason = self.member_taint.get(
+                        (own_cls, t.text))
+                if reason is None and nxt == "." and k + 2 < hi \
+                        and toks[k + 2].kind == "id":
+                    reason = self._member_reason(
+                        t.text, toks[k + 2].text, locals_ty,
+                        cls_info)
+                is_carrier = t.text in rawv
+                if is_carrier:
+                    raw_ids.add(t.text)
+                    if rawv[t.text] == "arith":
+                        raw_combo = True
+                operand(is_carrier)
+            k += 1
+        return reason, raw_ids, raw_combo, direct_raw
+
+    # -- the walk ---------------------------------------------------
+
+    def _walk(self, scan, fn, findings, sup):
+        toks = scan.toks
+        model = self.model
+        cls_info = model.classes.get(fn.cls) if fn.cls else None
+        params = _parse_params(toks, fn.sig_lo, fn.sig_hi)
+        summary = self.summaries.setdefault(fn.name, FuncSummary())
+        sink_fn = _SINK_FN_RE.search(fn.name) is not None
+
+        taint = {}      # local/loop var -> reason
+        rawv = {}       # var -> "plain" | "arith"
+        uninit = set()  # declared scalars with no initializer yet
+        locals_ty = {}  # name -> declared type text
+        param_names = []
+        for pname, pty in params:
+            if pname:
+                locals_ty[pname] = pty
+                param_names.append(pname)
+        env = (taint, rawv, uninit, locals_ty, cls_info, fn.cls)
+
+        for s, e in _statements(toks, fn.body_lo, fn.body_hi):
+            if s >= e:
+                continue
+
+            # `using clock = std::chrono::steady_clock;` — taint the
+            # alias name so `clock::now()` reads as a clock source.
+            if toks[s].text == "using" and s + 2 < e \
+                    and toks[s + 2].text == "=":
+                if any(toks[k].kind == "id"
+                       and toks[k].text in R7_CLOCK_SOURCES
+                       for k in range(s + 3, e)):
+                    taint[toks[s + 1].text] = \
+                        "wall-clock/time source (aliased)"
+                continue
+
+            # for-heads: bind the loop variable, then process any
+            # trailing single-statement body as part of this span.
+            if toks[s].text == "for" and s + 1 < e \
+                    and toks[s + 1].text == "(":
+                close = _find_matching(toks, s + 1, "(", ")")
+                if close < e:
+                    colon = next(
+                        (k for k in range(s + 2, close)
+                         if toks[k].text == ":"), None)
+                    if colon is not None:
+                        before = [toks[k] for k in range(s + 2, colon)
+                                  if toks[k].kind == "id"]
+                        loopvar = before[-1].text if before else None
+                        creason = None
+                        for k in range(colon + 1, close):
+                            t = toks[k]
+                            if t.kind != "id":
+                                continue
+                            if k + 1 < close \
+                                    and toks[k + 1].text == "(" \
+                                    and self._is_barrier(t.text):
+                                # iterating a barrier call's result:
+                                # the order is normalized by name
+                                break
+                            if t.text in ("unordered_map",
+                                          "unordered_set"):
+                                creason = ("unordered-container "
+                                           "iteration order")
+                                break
+                            ty = self._type_of(t.text, locals_ty,
+                                               cls_info)
+                            if "unordered_map" in ty \
+                                    or "unordered_set" in ty:
+                                creason = (
+                                    f"iteration order of unordered "
+                                    f"container '{t.text}'")
+                                break
+                            if t.text in taint:
+                                creason = taint[t.text]
+                                break
+                        if loopvar and creason:
+                            taint[loopvar] = creason
+                    s = close + 1
+                else:
+                    s = s + 2  # classic for: skip `for (`, keep init
+                if s >= e:
+                    continue
+
+            # Pre-scan: barriers clear their arguments; a scalar
+            # passed to any call (or address-taken) may be written,
+            # so it stops counting as uninitialized.
+            k = s
+            while k < e - 1:
+                t = toks[k]
+                if t.text == "&" and toks[k + 1].kind == "id":
+                    uninit.discard(toks[k + 1].text)
+                if t.kind == "id" and toks[k + 1].text == "(" \
+                        and t.text not in CONTROL_KEYWORDS:
+                    close = _find_matching(toks, k + 1, "(", ")")
+                    for a in range(k + 2, min(close, e)):
+                        if toks[a].kind == "id":
+                            uninit.discard(toks[a].text)
+                    if self._is_barrier(t.text):
+                        for a in range(k + 2, min(close, e)):
+                            if toks[a].kind == "id":
+                                taint.pop(toks[a].text, None)
+                k += 1
+
+            # return: feed the summary.
+            if toks[s].text == "return":
+                reason, raw_ids, _rc, direct = self._eval(
+                    toks, s + 1, e, env)
+                if reason and summary.returns_taint is None:
+                    summary.returns_taint = reason
+                if direct or raw_ids:
+                    summary.returns_raw = True
+
+            # Sink scan. In summary rounds this records param->sink
+            # facts; in the emit round it reports tainted arguments.
+            k = s
+            while k < e - 1:
+                t = toks[k]
+                if t.kind == "id" and toks[k + 1].text == "(" \
+                        and t.text not in CONTROL_KEYWORDS:
+                    close = min(_find_matching(toks, k + 1, "(", ")"),
+                                e)
+                    sink_desc = None
+                    if t.text in R7_SINK_CALLS:
+                        sink_desc = f"stats sink '{t.text}()'"
+                    else:
+                        sm = self.summaries.get(t.text)
+                        if sm is not None and sm.param_sinks \
+                                and not self._is_barrier(t.text):
+                            sink_desc = (
+                                f"'{t.text}()', which passes it to "
+                                + next(iter(sorted(
+                                    sm.param_sinks.values()))))
+                    if sink_desc:
+                        for pi, pname in enumerate(param_names):
+                            if any(toks[a].kind == "id"
+                                   and toks[a].text == pname
+                                   for a in range(k + 2, close)):
+                                summary.param_sinks.setdefault(
+                                    pi, sink_desc)
+                        if findings is not None:
+                            reason, _ri, _rc, _d = self._eval(
+                                toks, k + 2, close, env)
+                            if reason:
+                                findings.add(
+                                    scan, t.line, "R7",
+                                    f"nondeterministic value "
+                                    f"({reason}) reaches "
+                                    f"{sink_desc} without a sort/"
+                                    f"normalize barrier; the golden "
+                                    f"output would differ run to "
+                                    f"run",
+                                    f"taint:{t.text}:{t.line}", sup)
+                k += 1
+
+            # Inside a JSON/golden/merge emitter, appending or
+            # streaming tainted data is itself a sink.
+            if findings is not None and sink_fn:
+                op_pos = next(
+                    (k for k in range(s, e)
+                     if toks[k].text in ("+=", "<<")), None)
+                if op_pos is not None:
+                    reason, _ri, _rc, _d = self._eval(
+                        toks, op_pos + 1, e, env)
+                    if reason:
+                        findings.add(
+                            scan, toks[op_pos].line, "R7",
+                            f"nondeterministic value ({reason}) is "
+                            f"appended to ordered output inside "
+                            f"'{fn.name}()'; sort or normalize it "
+                            f"first",
+                            f"taint:{fn.name}:{toks[op_pos].line}",
+                            sup)
+
+            # R9 whole-statement checks (emit round only).
+            if findings is not None:
+                reason, raw_ids, raw_combo, direct = \
+                    self._eval(toks, s, e, env)
+                if len(raw_ids) + min(direct, 1) >= 2 \
+                        and raw_combo and direct < 2 and raw_ids:
+                    names = ", ".join(sorted(raw_ids))
+                    findings.add(
+                        scan, toks[s].line, "R9",
+                        f"arithmetic combines .raw() escapes that "
+                        f"round-tripped through locals/returns "
+                        f"({names}); keep this math inside the "
+                        f"strong types (util/strong_types.hh)",
+                        f"interproc-arith:{toks[s].line}", sup)
+                k = s
+                while k < e - 1:
+                    t = toks[k]
+                    if t.kind == "id" and t.text in STRONG_TYPES \
+                            and toks[k + 1].text == "(" \
+                            and (k == 0 or toks[k - 1].text not in
+                                 ("class", "struct", "::", "new")):
+                        close = min(
+                            _find_matching(toks, k + 1, "(", ")"), e)
+                        a_reason, a_raw, a_combo, a_direct = \
+                            self._eval(toks, k + 2, close, env)
+                        if a_raw and a_direct == 0 and a_combo:
+                            names = ", ".join(sorted(a_raw))
+                            findings.add(
+                                scan, t.line, "R9",
+                                f"strong-type constructor "
+                                f"'{t.text}(...)' re-wraps .raw() "
+                                f"values that escaped earlier "
+                                f"({names}) after arithmetic — an "
+                                f"interprocedural escape-and-"
+                                f"re-enter round trip",
+                                f"interproc-reentry:{t.line}", sup)
+                    k += 1
+
+            # Assignment / declaration: update the def-use state.
+            depth = 0
+            op_k = None
+            op = None
+            for k in range(s, e):
+                tt = toks[k].text
+                if tt in ("(", "[", "{"):
+                    depth += 1
+                elif tt in (")", "]", "}"):
+                    depth = max(0, depth - 1)
+                elif depth == 0 and tt in ASSIGN_OPS:
+                    op_k = k
+                    op = tt
+                    break
+            if op_k is not None:
+                lhs_ids = []
+                lhs_path = False  # member access / subscript on LHS
+                depth = 0
+                for k in range(s, op_k):
+                    tt = toks[k].text
+                    if tt in ("(", "[", "{"):
+                        lhs_path = lhs_path or tt == "["
+                        depth += 1
+                    elif tt in (")", "]", "}"):
+                        depth = max(0, depth - 1)
+                    elif depth == 0 and tt in (".", "->"):
+                        lhs_path = True
+                    elif depth == 0 and toks[k].kind == "id":
+                        lhs_ids.append(toks[k].text)
+                if not lhs_ids:
+                    continue
+                target = lhs_ids[-1]
+                reason, raw_ids, raw_combo, direct = \
+                    self._eval(toks, op_k + 1, e, env)
+                is_decl = len(lhs_ids) >= 2 and not lhs_path \
+                    and toks[s].text not in ("if", "while")
+                if is_decl:
+                    # `Type name = ...`: record the declared type.
+                    locals_ty.setdefault(
+                        target,
+                        " ".join(lhs_ids[:-1]))
+                uninit.discard(target)
+                # Raw-carrier tracking is restricted to plain scalar
+                # locals: a struct field or strong-typed variable
+                # cannot hold a raw escape, and tracking leaf names
+                # of member paths conflates unrelated state.
+                ty_words = locals_ty.get(target, "").split()
+                scalar_ok = not ty_words or any(
+                    w in SCALAR_TYPES or w == "auto"
+                    for w in ty_words)
+                track_raw = not lhs_path and scalar_ok
+                is_raw = bool(raw_ids) or direct > 0
+                if op == "=":
+                    if not lhs_path:
+                        if reason:
+                            taint[target] = reason
+                        else:
+                            taint.pop(target, None)
+                    if track_raw:
+                        if is_raw:
+                            rawv[target] = \
+                                "arith" if raw_combo else "plain"
+                        else:
+                            rawv.pop(target, None)
+                else:
+                    if reason and not lhs_path:
+                        taint[target] = reason
+                    if track_raw and (is_raw or target in rawv):
+                        rawv[target] = "arith"
+                # Member writes feed the cross-function member map:
+                # `_x = ...` (this-member) or `obj.field = ...` with
+                # a resolvable object type.
+                if reason:
+                    base = lhs_ids[0]
+                    if cls_info is not None \
+                            and base in cls_info.members:
+                        if len(lhs_ids) == 1:
+                            self.member_taint.setdefault(
+                                (fn.cls, base), reason)
+                        else:
+                            for w in self._type_of(
+                                    base, locals_ty,
+                                    cls_info).split():
+                                if w in model.classes:
+                                    self.member_taint.setdefault(
+                                        (w, lhs_ids[1]), reason)
+                    elif len(lhs_ids) >= 2:
+                        for w in self._type_of(
+                                base, locals_ty, cls_info).split():
+                            if w in model.classes:
+                                self.member_taint.setdefault(
+                                    (w, lhs_ids[-1]), reason)
+            else:
+                # Declaration with no initializer: `uint64_t x;`
+                span = toks[s:e]
+                texts = [t.text for t in span]
+                if len(span) >= 2 and span[0].kind == "id" \
+                        and span[0].text not in CONTROL_KEYWORDS \
+                        and "(" not in texts \
+                        and any(w in SCALAR_TYPES for w in texts):
+                    ids = [t.text for t in span if t.kind == "id"
+                           and t.text not in SCALAR_TYPES
+                           and t.text not in ("std", "signed",
+                                              "static")]
+                    if len(ids) == 1:
+                        uninit.add(ids[0])
+                        locals_ty.setdefault(
+                            ids[0], _type_str(span[:-1]))
+
+
+def pass_r7_r9_dataflow(scans, model, findings):
+    """Run the dataflow engine over every scanned file."""
+    Dataflow(scans, model).run(findings)
+
+
+# ------------------------- R8: lock discipline -----------------------
+
+def _r8_member_decls(toks, lo, hi):
+    """Member-declaration spans of a class body (functions skipped)."""
+    out = []
+    i = lo
+    start = lo
+    while i < hi:
+        t = toks[i].text
+        if t == "{":
+            prev = toks[i - 1].text if i > lo else ""
+            close = _find_matching(toks, i, "{", "}")
+            if prev == ")" or prev in ("const", "override",
+                                       "noexcept", "final", "else",
+                                       "try"):
+                # function body: discard the pending statement
+                i = close + 1
+                start = i
+                continue
+            i = close + 1  # brace init: skip it, statement continues
+            continue
+        if t == ";":
+            if i > start:
+                out.append(toks[start:i])
+            start = i + 1
+            i += 1
+            continue
+        if t in ("public", "private", "protected") and i + 1 < hi \
+                and toks[i + 1].text == ":":
+            start = i + 2
+            i += 2
+            continue
+        i += 1
+    return out
+
+
+_R8_SKIP_LEADERS = {"using", "typedef", "friend", "static_assert",
+                    "template", "enum", "class", "struct", "union",
+                    "public", "private", "protected", "operator",
+                    "explicit", "virtual"}
+
+
+def _r8_classify(span):
+    """(member-name or None, annotated) for one member-decl span.
+
+    Returns (None, _) when the span is not a mutable unsynchronized
+    data member (function declarations, constants, sync types, and
+    already-annotated members all come back None).
+    """
+    if span[0].text in _R8_SKIP_LEADERS:
+        return None, False
+    annotated = False
+    core = []
+    k = 0
+    while k < len(span):
+        t = span[k]
+        if t.kind == "id" and t.text in R8_ALL_ANNOTATIONS:
+            if t.text in R8_GUARD_ANNOTATIONS:
+                annotated = True
+            if k + 1 < len(span) and span[k + 1].text == "(":
+                k = _find_matching(span, k + 1, "(", ")") + 1
+            else:
+                k += 1
+            continue
+        core.append(t)
+        k += 1
+    if annotated:
+        return None, True
+    texts = [t.text for t in core]
+    if "(" in texts:
+        return None, False  # function/constructor declaration
+    if any(w in texts for w in R6_CONST_WORDS):
+        return None, False
+    if any(w in texts for w in R8_SYNC_TYPES):
+        return None, False
+    stop = texts.index("=") if "=" in texts else len(core)
+    ids = [t.text for t in core[:stop]
+           if t.kind == "id" and t.text not in ("std", "mutable",
+                                                "static", "unsigned",
+                                                "signed", "long",
+                                                "short")]
+    if len(ids) < 2:
+        return None, False  # need at least `Type name`
+    return ids[-1], False
+
+
+def pass_r8_lock_discipline(scan, suppressed, findings):
+    """R8: annotation coverage for mutex-owning classes and
+    concurrency translation units.
+
+    Two audits:
+      - Any class that owns a mutex (Mutex / std::mutex member) or
+        already annotates at least one member must annotate *every*
+        mutable non-sync data member with PSB_GUARDED_BY /
+        PSB_PT_GUARDED_BY. Half-annotated classes are how stale lock
+        discipline slips past clang (-Wthread-safety only checks
+        what is annotated).
+      - A translation unit that includes util/thread_annotations.hh
+        (detected on the raw text — it is on the sweep concurrency
+        surface by definition) must not declare bare mutable
+        namespace-scope state; it must be const, atomic, a sync
+        primitive, or guarded (and therefore a class member).
+    """
+    if _exempt(scan.rel):
+        return
+    toks = scan.toks
+
+    for cname, lo, hi in scan.class_spans:
+        decls = _r8_member_decls(toks, lo, hi)
+        classified = [(_r8_classify(span), span) for span in decls]
+        in_scope = any(ann for (name, ann), _s in classified) or any(
+            any(t.kind == "id" and t.text in R8_MUTEX_TYPES
+                for t in span)
+            for span in decls)
+        if not in_scope:
+            continue
+        for (name, _ann), span in classified:
+            if name is None:
+                continue
+            findings.add(
+                scan, span[0].line, "R8",
+                f"member '{cname}::{name}' is mutable, shares the "
+                f"class with a mutex, but carries no PSB_GUARDED_BY "
+                f"annotation — clang -Wthread-safety cannot check "
+                f"accesses to it (util/thread_annotations.hh)",
+                f"member:{cname}.{name}", suppressed)
+
+    if "thread_annotations.hh" not in scan.raw:
+        return
+    stack = []
+    stmt_start = 0
+    i = 0
+    n = len(toks)
+    while i < n:
+        t = toks[i].text
+        if t == "{":
+            opener = "other"
+            for k in range(max(stmt_start, i - 8), i):
+                if toks[k].text == "namespace":
+                    opener = "ns"
+                    break
+            if opener == "other" and toks[i - 1].kind == "id" \
+                    and all(s == "ns" for s in stack):
+                # namespace-scope brace initializer: skip the group,
+                # the declaration statement continues to the `;`.
+                i = _find_matching(toks, i, "{", "}") + 1
+                continue
+            stack.append(opener)
+            stmt_start = i + 1
+        elif t == "}":
+            if stack:
+                stack.pop()
+            stmt_start = i + 1
+        elif t == ";":
+            span = toks[stmt_start:i]
+            if span and all(s == "ns" for s in stack) \
+                    and span[0].text not in R6_NON_DECL_LEADERS \
+                    and not any(x.text in R6_CONST_WORDS
+                                for x in span) \
+                    and not any(x.kind == "id"
+                                and x.text in R8_SYNC_TYPES
+                                for x in span):
+                # `Type name [= init]` with no parens = a mutable
+                # namespace-scope variable in a concurrency TU.
+                texts = [x.text for x in span]
+                if "(" not in texts:
+                    ids = [x for x in span if x.kind == "id"]
+                    if len(ids) >= 2:
+                        findings.add(
+                            scan, span[0].line, "R8",
+                            f"mutable namespace-scope variable "
+                            f"'{ids[-1].text}' in a concurrency "
+                            f"translation unit (includes "
+                            f"thread_annotations.hh); make it "
+                            f"const, atomic, or a PSB_GUARDED_BY "
+                            f"class member",
+                            f"ns:{ids[-1].text}", suppressed)
+            stmt_start = i + 1
+        i += 1
 
 
 # --------------------------------------------------------------------
@@ -1094,18 +1957,69 @@ def libclang_pass(ci, compile_db_dir, root, src_root, suppressions,
 # Driver
 # --------------------------------------------------------------------
 
-def analyze_files(files, root):
-    """Run the token/scope engine over `files` (abs paths)."""
+def _scan_one(item):
+    """Tokenize and scope-scan one file into a private Model.
+
+    Top-level so a multiprocessing pool can pickle it. Everything
+    cross-file (R2 facts, rule passes, the dataflow layer) runs
+    after the merge, so the per-file work is embarrassingly
+    parallel and the merged result is independent of worker order.
+    """
+    path_str, rel_str = item
+    text = pathlib.Path(path_str).read_text(errors="replace")
+    toks, sup = tokenize(text)
+    scan = FileScan(pathlib.Path(rel_str), toks, raw=text)
+    local = Model()
+    scan.scan(local)
+    return rel_str, scan, sup, local
+
+
+def _merge_model(dst, src):
+    """Fold one file's Model into the cross-TU model.
+
+    Called in sorted-path order for every job count, with the same
+    first-wins/overwrite policy per field the serial scan had — the
+    merged model (and therefore every finding) is byte-identical
+    whether the scans ran on 1 worker or 8.
+    """
+    for name, ci in src.classes.items():
+        d = dst.cls(name)
+        d.bases.extend(b for b in ci.bases if b not in d.bases)
+        for m, ty in ci.members.items():
+            d.members.setdefault(m, ty)
+        d.accessors.update(ci.accessors)
+        d.declares |= ci.declares
+        d.files |= ci.files
+    dst.aliases.update(src.aliases)
+
+
+def analyze_files(files, root, jobs=1):
+    """Run the token/scope + dataflow engine over `files`."""
+    items = []
+    for path in sorted(files):
+        rel = path.relative_to(root) if path.is_absolute() else path
+        items.append((str(path), str(rel)))
+
+    results = None
+    if jobs > 1 and len(items) > 1:
+        try:
+            import multiprocessing as mp
+            with mp.Pool(min(jobs, len(items))) as pool:
+                results = pool.map(_scan_one, items)
+        except (ImportError, OSError) as e:
+            print(f"psb_analyze: worker pool unavailable ({e}); "
+                  f"falling back to serial scan", file=sys.stderr)
+    if results is None:
+        results = [_scan_one(it) for it in items]
+
+    # Merge in input (= sorted path) order, never completion order.
     model = Model()
     scans = []
     suppressions = {}
-    for path in sorted(files):
-        rel = path.relative_to(root) if path.is_absolute() else path
-        toks, sup = tokenize(path.read_text(errors="replace"))
-        scan = FileScan(rel, toks)
-        scan.scan(model)
+    for rel_str, scan, sup, local in results:
+        _merge_model(model, local)
         scans.append((scan, sup))
-        suppressions[str(rel)] = sup
+        suppressions[rel_str] = sup
 
     for scan, _sup in scans:
         collect_r2_facts(scan, model)
@@ -1118,7 +2032,9 @@ def analyze_files(files, root):
         pass_r3_determinism(scan, model, sup, findings)
         pass_r4_trace_purity(scan, sup, findings)
         pass_r6_sweep_shared_state(scan, sup, findings)
+        pass_r8_lock_discipline(scan, sup, findings)
     pass_r2_completeness(model, suppressions, findings)
+    pass_r7_r9_dataflow(scans, model, findings)
     return findings, suppressions
 
 
@@ -1137,27 +2053,62 @@ def load_baseline(path):
 def run_tree(args):
     root = pathlib.Path(args.root).resolve()
     src = root / "src"
-    if not src.is_dir():
-        print(f"psb_analyze: no src/ under {root}", file=sys.stderr)
-        return EXIT_ERROR
-
-    compile_db = None
-    for cand in ([pathlib.Path(args.compile_db)] if args.compile_db
-                 else [root / "build" / "compile_commands.json"]):
+    dir_mode = not src.is_dir()
+    if dir_mode:
+        # Directory mode: analyze the .hh/.cc files under `root`
+        # directly (fixture corpora, vendored subtrees). No compile
+        # database applies, so the token engine runs alone.
+        files = sorted(root.rglob("*.hh")) + sorted(root.rglob("*.cc"))
+        if not files:
+            print(f"psb_analyze: no src/ and no .hh/.cc files under "
+                  f"{root}", file=sys.stderr)
+            return EXIT_ERROR
+        print(f"psb_analyze: directory mode ({len(files)} files, "
+              f"token engine only)", file=sys.stderr)
+        compile_db = None
+    else:
+        compile_db = None
+        cand = pathlib.Path(args.compile_db) if args.compile_db \
+            else root / "build" / "compile_commands.json"
         if cand.exists():
             compile_db = cand.resolve()
-            break
-    if compile_db is None:
-        msg = ("psb_analyze: no compile_commands.json (configure "
-               "with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)")
-        if args.backend == "libclang":
-            print(msg, file=sys.stderr)
-            return EXIT_ERROR
-        print(msg + "; token engine runs from the source tree alone",
-              file=sys.stderr)
-
-    files = sorted(src.rglob("*.hh")) + sorted(src.rglob("*.cc"))
-    findings, suppressions = analyze_files(files, root)
+            cml = root / "CMakeLists.txt"
+            if cml.exists() \
+                    and compile_db.stat().st_mtime < \
+                    cml.stat().st_mtime:
+                msg = (f"psb_analyze: {cand} is older than "
+                       f"CMakeLists.txt — stale compile database; "
+                       f"re-run: cmake -B build -S {root}")
+                if args.backend == "internal":
+                    print(msg + " (continuing: token engine only)",
+                          file=sys.stderr)
+                    compile_db = None
+                else:
+                    print(msg, file=sys.stderr)
+                    return EXIT_NO_COMPILE_DB
+        else:
+            msg = (f"psb_analyze: {cand} not found — configure "
+                   f"first: cmake -B build -S {root}")
+            if args.backend == "internal":
+                print(msg + " (continuing: token engine only)",
+                      file=sys.stderr)
+            else:
+                print(msg, file=sys.stderr)
+                return EXIT_NO_COMPILE_DB
+        files = sorted(src.rglob("*.hh")) + sorted(src.rglob("*.cc"))
+        # The rules apply to the offline tooling and the benchmark
+        # layer too: a nondeterministic merge key in psb-sweep or a
+        # tainted bench JSON field corrupts golden output the same
+        # way simulator code would.
+        tools_dir = root / "tools"
+        if tools_dir.is_dir():
+            files += sorted(tools_dir.glob("*.cc"))
+        bench_dir = root / "bench"
+        if bench_dir.is_dir():
+            files += sorted(bench_dir.rglob("*.hh"))
+            files += sorted(bench_dir.rglob("*.cc"))
+    findings, suppressions = analyze_files(files, root,
+                                           jobs=args.jobs)
 
     backend = "internal"
     if args.backend in ("auto", "libclang"):
@@ -1236,6 +2187,50 @@ def run_self_test(args):
             failures.append(
                 f"{name}: expected rules {want}, got {got}"
                 + (f" [{detail}]" if detail else ""))
+
+    # Suppression round trip for the dataflow rules: inserting one
+    # `// psb-analyze: allow(Rn)` above the first finding must
+    # silence exactly that finding and nothing else — proving the
+    # suppression plumbing reaches the new passes (the bad fixtures
+    # carry at least two findings each so "exactly one" is a real
+    # assertion, not 1 -> 0).
+    import tempfile
+    for rule in ("R7", "R8", "R9"):
+        name = next((n for n, rules in sorted(golden.items())
+                     if rule in rules), None)
+        if name is None:
+            failures.append(f"roundtrip {rule}: no bad fixture "
+                            f"declares this rule in the golden file")
+            continue
+        path = fixture_dir / name
+        if not path.exists():
+            continue  # already reported missing above
+        findings, _sup = analyze_files([path], fixture_dir)
+        mine = sorted(
+            (f for f in findings.items
+             if f["rule"] == rule and f["file"] == name),
+            key=lambda f: f["line"])
+        if not mine:
+            failures.append(f"roundtrip {rule}: {name} produced no "
+                            f"{rule} findings to suppress")
+            continue
+        before = len(mine)
+        lines = path.read_text().splitlines(keepends=True)
+        lines.insert(mine[0]["line"] - 1,
+                     f"// psb-analyze: allow({rule})\n")
+        with tempfile.TemporaryDirectory() as td:
+            tmp = pathlib.Path(td) / name
+            tmp.write_text("".join(lines))
+            redo, _sup = analyze_files([tmp], pathlib.Path(td))
+            after = len([f for f in redo.items
+                         if f["rule"] == rule and f["file"] == name])
+        if after != before - 1:
+            failures.append(
+                f"roundtrip {rule}: allow() above line "
+                f"{mine[0]['line']} of {name} changed the finding "
+                f"count {before} -> {after}, expected "
+                f"{before - 1}")
+
     if failures:
         for f in failures:
             print(f"psb_analyze --self-test FAIL: {f}")
@@ -1243,7 +2238,8 @@ def run_self_test(args):
               file=sys.stderr)
         return EXIT_FINDINGS
     print(f"psb_analyze: self-test ok "
-          f"({len(golden)} fixtures, exact rule match)")
+          f"({len(golden)} fixtures, exact rule match; suppression "
+          f"round trip for R7-R9)")
     return EXIT_CLEAN
 
 
@@ -1265,6 +2261,9 @@ def main():
                     help="findings baseline JSON (default: "
                          "<root>/tools/psb_analyze_baseline.json)")
     ap.add_argument("--json", help="write findings JSON here")
+    ap.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="tokenize/scan N files in parallel; "
+                         "findings are byte-identical at any N")
     ap.add_argument("--self-test", action="store_true",
                     help="run the tests/analyze fixture corpus")
     ap.add_argument("--list-rules", action="store_true")

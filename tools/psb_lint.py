@@ -36,6 +36,13 @@ R5 (output-discipline): raw printf/puts/std::cout/std::cerr are banned
    ad-hoc prints corrupt machine-parsed stdout (stats JSON, report
    tables).
 
+R8 (lock-discipline): bare std::mutex/std::condition_variable/
+   std::lock_guard etc. are banned in src/ outside
+   util/thread_annotations.hh. The psb::Mutex/MutexLock/CondVar
+   wrappers there carry the capability attributes that let clang
+   -Wthread-safety prove the locking; a raw primitive is invisible to
+   the analysis (and to psb_analyze's deep R8 coverage audit).
+
 Usage: psb_lint.py [repo_root]
 Exit codes (shared): 0 clean, 1 findings, 2 environment error.
 """
@@ -84,6 +91,16 @@ POINTER_KEYED = re.compile(
     r"\b(?:std::)?(?:unordered_)?(?:map|set)\s*<\s*[\w:]+(?:\s*<[^<>]*>)?"
     r"\s*\*"
 )
+
+#: Raw synchronization primitives banned outside the annotated
+#: wrappers of util/thread_annotations.hh (shallow R8).
+RAW_SYNC = re.compile(
+    r"\bstd::(mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"condition_variable(?:_any)?|lock_guard|unique_lock|"
+    r"scoped_lock|shared_lock)\b")
+
+#: The one file allowed to touch the raw primitives: it wraps them.
+RAW_SYNC_EXEMPT = re.compile(r"^src/util/thread_annotations\.hh$")
 
 #: Shared inline suppression marker (same syntax psb_analyze uses).
 SUPPRESS = re.compile(
@@ -172,6 +189,20 @@ def check_raw_output(path, text, sup, findings):
                     f"instead"))
 
 
+def check_lock_discipline(path, text, sup, findings):
+    if RAW_SYNC_EXEMPT.match(str(path)):
+        return
+    stripped = strip_comments(text)
+    for i, line in enumerate(stripped.splitlines(), 1):
+        m = RAW_SYNC.search(line)
+        if m and not allowed(sup, i, "R8"):
+            findings.append(format_finding(
+                path, i, "R8",
+                f"raw std::{m.group(1)} in src/; use psb::Mutex/"
+                f"MutexLock/CondVar (util/thread_annotations.hh) so "
+                f"clang -Wthread-safety can prove the locking"))
+
+
 def check_determinism(path, text, sup, findings):
     stripped = strip_comments(text)
     for i, line in enumerate(stripped.splitlines(), 1):
@@ -204,6 +235,7 @@ def main():
         check_stats_registration(rel, text, sup, findings)
         check_determinism(rel, text, sup, findings)
         check_raw_output(rel, text, sup, findings)
+        check_lock_discipline(rel, text, sup, findings)
     for path in sorted(src.rglob("*.cc")):
         rel = path.relative_to(root)
         text = path.read_text()
@@ -211,6 +243,7 @@ def main():
         check_domain_params(rel, text, sup, findings)
         check_determinism(rel, text, sup, findings)
         check_raw_output(rel, text, sup, findings)
+        check_lock_discipline(rel, text, sup, findings)
 
     for finding in findings:
         print(finding)

@@ -24,10 +24,26 @@ vocabulary:
                              reachable from sweep job paths without
                              synchronization (the sweep engine's
                              shared-nothing contract)
+    R7  nondeterminism-taint dataflow: values derived from unordered
+                             iteration order, pointer casts, clocks,
+                             or uninitialized reads must not reach a
+                             stats/JSON/golden sink without passing a
+                             sort/normalize barrier
+    R8  lock-discipline      mutable state shared across sweep worker
+                             threads must carry PSB_GUARDED_BY /
+                             PSB_REQUIRES annotations
+                             (util/thread_annotations.hh) so clang
+                             -Wthread-safety can prove the locking
+    R9  interproc-escape     .raw() values that round-trip through
+                             helpers or locals back into address or
+                             cycle arithmetic — the strong-type escape
+                             R1 cannot see across statements and
+                             function boundaries
 
-psb_lint implements shallow (regex) versions of R1, R2, R3, R5;
-psb_analyze implements deep (type- and flow-aware) versions of R1-R4
-plus R6 (scoped to the sweep engine's translation units).
+psb_lint implements shallow (regex) versions of R1, R2, R3, R5 and R8
+(raw std::mutex outside the annotated wrapper); psb_analyze implements
+deep (type- and flow-aware) versions of R1-R4 plus R6 (scoped to the
+sweep engine's translation units) and the dataflow rules R7-R9.
 A finding line always looks like
 
     path:line: [R1] message
@@ -59,12 +75,27 @@ RULES = {
            "sweep jobs are shared-nothing: no mutable namespace-scope "
            "or function-static state on a job path unless it is "
            "atomic, mutex-guarded, or const"),
+    "R7": ("nondeterminism-taint",
+           "values derived from unordered iteration order, pointer "
+           "casts, clocks, or uninitialized reads must pass a "
+           "sort/normalize barrier before reaching stats, JSON, or "
+           "golden output"),
+    "R8": ("lock-discipline",
+           "mutable state shared across sweep worker threads must be "
+           "PSB_GUARDED_BY a named mutex "
+           "(util/thread_annotations.hh) so clang -Wthread-safety "
+           "can prove the locking"),
+    "R9": ("interproc-escape",
+           "a .raw() value must not round-trip through helpers or "
+           "locals back into address/cycle arithmetic; keep the math "
+           "inside the strong types"),
 }
 
 #: Shared process exit codes.
 EXIT_CLEAN = 0     #: no findings
 EXIT_FINDINGS = 1  #: at least one non-baselined finding
 EXIT_ERROR = 2     #: usage or environment error (missing src/, bad DB)
+EXIT_NO_COMPILE_DB = 3  #: compile_commands.json missing or stale
 
 #: Parameter names that mark a raw integer as an address/cycle
 #: quantity (the name half of R1's type+name test). Shared so the two
@@ -77,6 +108,69 @@ DOMAIN_PARAM_NAMES = (
 #: The strong domain types of util/strong_types.hh.
 STRONG_TYPES = ("ByteAddr", "Addr", "BlockAddr", "BlockDelta", "Cycle",
                 "CycleDelta")
+
+# ------------------------------------------------------------------
+# R7 nondeterminism-taint vocabulary. Shared here so the analyzer,
+# the docs (DESIGN.md §12), and future tooling agree on what counts
+# as a source, a sink, and a barrier.
+# ------------------------------------------------------------------
+
+#: Identifiers whose appearance in an expression marks the result as
+#: wall-clock derived (nondeterministic across runs).
+R7_CLOCK_SOURCES = (
+    "steady_clock", "system_clock", "high_resolution_clock",
+    "gettimeofday", "clock_gettime", "time_since_epoch",
+    "random_device",
+)
+
+#: Identifiers that turn a pointer's numeric value into data —
+#: allocator noise if it ever reaches observable output.
+R7_POINTER_SOURCES = ("reinterpret_cast", "uintptr_t", "intptr_t")
+
+#: Registration/sampling calls of the StatsRegistry: a tainted
+#: argument here lands in the golden stats JSON.
+R7_SINK_CALLS = ("addScalar", "addReal", "addAverage", "addHistogram",
+                 "sample", "sampleN")
+
+#: Function-name pattern for ordered-output producers (JSON emitters,
+#: golden writers, sweep mergers): appending tainted data inside one
+#: of these is a sink.
+R7_SINK_FN_PATTERN = r"(?i)(json|golden|merge)"
+
+#: Calls that launder taint: sorting or canonicalizing establishes a
+#: deterministic order, so their arguments come out clean.
+R7_BARRIER_CALLS = ("sort", "stable_sort")
+
+#: Function-name pattern treated as a barrier when its result is
+#: assigned (normalizeX(), canonicalKeys(), sortedCopy(), ...).
+R7_BARRIER_FN_PATTERN = r"(?i)(normal|canonic|sorted)"
+
+# ------------------------------------------------------------------
+# R8 lock-discipline vocabulary.
+# ------------------------------------------------------------------
+
+#: The annotation macros of util/thread_annotations.hh that satisfy
+#: the member-coverage audit.
+R8_GUARD_ANNOTATIONS = ("PSB_GUARDED_BY", "PSB_PT_GUARDED_BY")
+
+#: All PSB_* thread-annotation macros (stripped before classifying a
+#: declaration, so a trailing PSB_REQUIRES(...) does not confuse the
+#: member parser).
+R8_ALL_ANNOTATIONS = R8_GUARD_ANNOTATIONS + (
+    "PSB_REQUIRES", "PSB_REQUIRES_SHARED", "PSB_ACQUIRE",
+    "PSB_RELEASE", "PSB_TRY_ACQUIRE", "PSB_EXCLUDES",
+    "PSB_CAPABILITY", "PSB_SCOPED_CAPABILITY",
+    "PSB_NO_THREAD_SAFETY_ANALYSIS",
+)
+
+#: Member/variable types that put a class in R8's audit scope.
+R8_MUTEX_TYPES = ("Mutex", "mutex", "shared_mutex", "recursive_mutex")
+
+#: Types that are synchronized by construction and need no guard.
+R8_SYNC_TYPES = ("atomic", "Mutex", "MutexLock", "CondVar", "mutex",
+                 "shared_mutex", "recursive_mutex",
+                 "condition_variable", "condition_variable_any",
+                 "once_flag", "CancelToken")
 
 
 def format_finding(path, line, rule, message):
