@@ -71,6 +71,7 @@ PredictorDirectedStreamBuffers::lookup(Addr addr, Cycle now)
               result.dataPending ? " pending" : "");
 
     // The entry is freed for a new prediction and prefetch.
+    _attrib.use(entry.lineage, now, entry.ready);
     buf.clearEntry(hit->entry);
     return result;
 }
@@ -86,12 +87,29 @@ PredictorDirectedStreamBuffers::trainLoad(Addr pc, Addr addr, bool l1_miss,
     _predictor.train(pc, addr);
 }
 
+void
+PredictorDirectedStreamBuffers::settleThrashedStream(
+    const StreamBuffer &buf)
+{
+    // Re-allocating a live stream wipes its entries: every prefetched
+    // one dies evicted-unused (the attribution layer reclassifies
+    // issue-time redundancies itself).
+    if (!buf.allocated())
+        return;
+    for (const SbEntry &e : buf.entries()) {
+        if (e.valid && e.prefetched)
+            _attrib.terminal(e.lineage,
+                             PrefetchOutcomeKind::EvictedUnused);
+    }
+}
+
 bool
 PredictorDirectedStreamBuffers::tryAllocate(Addr pc, Addr addr)
 {
     if (_cfg.alloc == AllocPolicy::Always) {
         unsigned victim = _file.lruBuffer();
         StreamBuffer &buf = _file.buffer(victim);
+        settleThrashedStream(buf);
         buf.allocateStream(_predictor.allocateStream(pc, addr),
                            _predictor.confidence(pc));
         buf.allocStamp = buf.lastHitStamp = _file.nextStamp();
@@ -105,6 +123,7 @@ PredictorDirectedStreamBuffers::tryAllocate(Addr pc, Addr addr)
             return false;
         unsigned victim = _file.lruBuffer();
         StreamBuffer &buf = _file.buffer(victim);
+        settleThrashedStream(buf);
         buf.allocateStream(_predictor.allocateStream(pc, addr),
                            _predictor.confidence(pc));
         buf.allocStamp = buf.lastHitStamp = _file.nextStamp();
@@ -122,6 +141,7 @@ PredictorDirectedStreamBuffers::tryAllocate(Addr pc, Addr addr)
     StreamBuffer &buf = _file.buffer(victim);
     if (buf.allocated() && buf.priority.value() > conf)
         return false;
+    settleThrashedStream(buf);
     buf.allocateStream(_predictor.allocateStream(pc, addr), conf);
     buf.allocStamp = buf.lastHitStamp = _file.nextStamp();
     return true;
@@ -206,7 +226,7 @@ PredictorDirectedStreamBuffers::makePrediction(Cycle now)
 
     int slot = buf.freeEntry();
     psb_assert(slot >= 0, "scheduler picked a buffer with no free entry");
-    buf.fillEntry(slot, block);
+    buf.fillEntry(slot, block, buf.state.lastSource);
     (void)now;
 }
 
@@ -251,7 +271,16 @@ PredictorDirectedStreamBuffers::issuePrefetch(Cycle now)
 
     PrefetchOutcome outcome =
         _hierarchy.prefetch(entry.block, now, translate);
-    buf.markPrefetched(slot, outcome.ready);
+    PrefetchOrigin origin;
+    origin.source = entry.source;
+    origin.loadPc = buf.state.loadPc;
+    origin.stride = buf.state.stride;
+    origin.confidence = buf.state.confidence;
+    origin.slot = winner;
+    uint64_t lineage = _attrib.issue(
+        origin, entry.block, now, outcome.ready,
+        _hierarchy.demandHasBlock(entry.block, now));
+    buf.markPrefetched(slot, outcome.ready, lineage);
     ++_stats.prefetchesIssued;
     PSB_TRACE(Psb, "prefetch", winner,
               "block=%llu ready=%llu translate=%d",
@@ -304,6 +333,7 @@ void
 PredictorDirectedStreamBuffers::resetStats()
 {
     _stats = PrefetcherStats{};
+    _attrib.resetStats();
     _predictSched.resetStats();
     _prefetchSched.resetStats();
     for (unsigned b = 0; b < _file.numBuffers(); ++b)

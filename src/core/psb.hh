@@ -114,6 +114,8 @@ class PredictorDirectedStreamBuffers : public Prefetcher
     void makePrediction(Cycle now);
     void issuePrefetch(Cycle now);
     bool tryAllocate(Addr pc, Addr addr);
+    /** Settle evicted-unused terminals before @p buf is re-allocated. */
+    void settleThrashedStream(const StreamBuffer &buf);
 
     PsbConfig _cfg;
     AddressPredictor &_predictor;

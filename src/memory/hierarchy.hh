@@ -138,6 +138,20 @@ class MemoryHierarchy
     /** Paper's prefetch gating condition. */
     bool l1ToL2BusFree(Cycle now) const { return _l1L2Bus.freeAt(now); }
 
+    /**
+     * Read-only redundancy probe for prefetch attribution: is @p block
+     * already covered by the demand path — resident in the L1D (demand
+     * misses insert their line at miss time) or tracked by a data MSHR
+     * whose fill is still in flight? No LRU update, no stat bumps, so
+     * probing never perturbs the modelled state.
+     */
+    bool
+    demandHasBlock(BlockAddr block, Cycle now) const
+    {
+        return _l1d.probe(block.toByte(_l1d.lineBits())) ||
+               _dataMshrs.tracks(block, now);
+    }
+
     /** Stream-buffer hit with data ready: block moves into the L1D. */
     void fillFromStreamBuffer(BlockAddr block, Cycle now);
 

@@ -39,6 +39,24 @@ class MshrFile
      */
     std::optional<Cycle> lookup(BlockAddr block, Cycle now);
 
+    /**
+     * Read-only probe: is @p block in flight at @p now? Unlike
+     * lookup(), this neither retires entries nor counts a merge, so
+     * observers (the prefetch-attribution redundancy check) can probe
+     * without perturbing stats or state. Entries retire lazily, so a
+     * completed fill may still sit in the file — it is only *tracked*
+     * while its data has not arrived (ready > now).
+     */
+    bool
+    tracks(BlockAddr block, Cycle now) const
+    {
+        for (const Entry &e : _entries) {
+            if (e.valid && e.block == block && e.ready > now)
+                return true;
+        }
+        return false;
+    }
+
     /** True iff no entry is free at @p now (after retiring done fills). */
     bool full(Cycle now);
 

@@ -34,6 +34,28 @@ namespace psb
 class StatsRegistry;
 
 /**
+ * Which prediction mechanism produced an address. Every predictNext()
+ * implementation stamps StreamState::lastSource with one of these so
+ * the prefetch attribution layer (prefetch/attribution.hh) can break
+ * accuracy and timeliness down per predictor source.
+ */
+enum class PredictionSource : uint8_t
+{
+    None,        ///< no prediction made yet / untagged
+    Stride,      ///< stride table (SFM stride half, Farkas PC-stride)
+    Markov,      ///< differential Markov table (SFM or demand Markov)
+    Context,     ///< order-k context predictor
+    Sequential,  ///< next-block sequential predictor
+    LastAddress, ///< last-address (stride 0) predictor
+    MinDelta,    ///< Palacharla-Kessler minimum-delta detector
+    NextLine,    ///< tagged next-line prefetcher (no stream state)
+    NumSources,
+};
+
+/** Canonical lower-case name of @p source (stats / trace vocabulary). */
+const char *predictionSourceName(PredictionSource source);
+
+/**
  * Per-stream prediction history, stored with each stream buffer
  * (paper Figure 2: Load PC, History, Stride, Confidence, Last Address).
  */
@@ -51,6 +73,8 @@ struct StreamState
      * The SFM predictor leaves it unused.
      */
     uint64_t historyToken = 0;
+    /** Mechanism behind the most recent predictNext() on this stream. */
+    PredictionSource lastSource = PredictionSource::None;
 };
 
 /** Shared, stateless-at-prediction-time address predictor. */

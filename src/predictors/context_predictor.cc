@@ -148,6 +148,8 @@ ContextPredictor::predictNext(StreamState &state) const
         if (e.valid && e.tag == tagOf(hash))
             next = e.next;
     }
+    state.lastSource =
+        next ? PredictionSource::Context : PredictionSource::Stride;
     if (!next)
         next = state.lastAddr + state.stride;
 

@@ -38,6 +38,7 @@ std::optional<BlockAddr>
 NextBlockPredictor::predictNext(StreamState &state) const
 {
     state.lastAddr += BlockDelta(1);
+    state.lastSource = PredictionSource::Sequential;
     return state.lastAddr;
 }
 
@@ -84,6 +85,7 @@ LastAddressPredictor::train(Addr pc, Addr addr)
 std::optional<BlockAddr>
 LastAddressPredictor::predictNext(StreamState &state) const
 {
+    state.lastSource = PredictionSource::LastAddress;
     return state.lastAddr;
 }
 

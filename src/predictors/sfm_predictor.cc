@@ -81,6 +81,8 @@ SfmPredictor::predictNext(StreamState &state) const
               (unsigned long long)next->raw(),
               from_markov ? "markov" : "stride");
     state.lastAddr = *next;
+    state.lastSource = from_markov ? PredictionSource::Markov
+                                   : PredictionSource::Stride;
     return next;
 }
 

@@ -1,0 +1,266 @@
+/** @file See attribution.hh. */
+
+#include "prefetch/attribution.hh"
+
+#include "util/logging.hh"
+#include "util/trace.hh"
+
+namespace psb
+{
+
+namespace
+{
+
+// Distance/lateness histogram range: one bucket per cycle up to the
+// longest latency chain the modelled hierarchy produces (memory plus
+// queueing); longer samples land in the overflow bucket and resolve to
+// the overflow index in the exported percentiles.
+constexpr size_t kDistanceBuckets = 1024;
+
+} // namespace
+
+const char *
+predictionSourceName(PredictionSource source)
+{
+    switch (source) {
+    case PredictionSource::None:
+        return "none";
+    case PredictionSource::Stride:
+        return "stride";
+    case PredictionSource::Markov:
+        return "markov";
+    case PredictionSource::Context:
+        return "context";
+    case PredictionSource::Sequential:
+        return "sequential";
+    case PredictionSource::LastAddress:
+        return "last_address";
+    case PredictionSource::MinDelta:
+        return "min_delta";
+    case PredictionSource::NextLine:
+        return "next_line";
+    case PredictionSource::NumSources:
+        break;
+    }
+    panic("invalid PredictionSource %u", unsigned(source));
+}
+
+const char *
+prefetchOutcomeName(PrefetchOutcomeKind kind)
+{
+    switch (kind) {
+    case PrefetchOutcomeKind::UsedTimely:
+        return "used_timely";
+    case PrefetchOutcomeKind::UsedLate:
+        return "used_late";
+    case PrefetchOutcomeKind::EvictedUnused:
+        return "evicted_unused";
+    case PrefetchOutcomeKind::Replaced:
+        return "replaced";
+    case PrefetchOutcomeKind::Squashed:
+        return "squashed";
+    case PrefetchOutcomeKind::RedundantDemand:
+        return "redundant_demand";
+    case PrefetchOutcomeKind::NumOutcomes:
+        break;
+    }
+    panic("invalid PrefetchOutcomeKind %u", unsigned(kind));
+}
+
+PrefetchAttribution::PrefetchAttribution()
+    : _useDistance(kDistanceBuckets), _lateness(kDistanceBuckets)
+{
+}
+
+uint64_t
+PrefetchAttribution::issue(const PrefetchOrigin &origin, BlockAddr block,
+                           Cycle now, Cycle ready,
+                           bool redundant_with_demand)
+{
+    uint64_t lineage = ++_nextLineage;
+    ++_issued;
+    ++_sourceIssued[unsigned(origin.source)];
+
+    Live rec;
+    rec.source = origin.source;
+    rec.issueCycle = now;
+    rec.ready = ready;
+    rec.redundant = redundant_with_demand;
+    _live.emplace(lineage, rec);
+
+    PSB_TRACE_BEGIN(
+        Prefetch, "pf", int(lineage & 0x7fffffff),
+        "src=%s block=%llu pc=%llu stride=%lld conf=%u slot=%d "
+        "ready=%llu redundant=%d",
+        predictionSourceName(origin.source),
+        (unsigned long long)block.raw(),
+        (unsigned long long)origin.loadPc.raw(),
+        (long long)origin.stride.raw(), origin.confidence, origin.slot,
+        (unsigned long long)ready.raw(), int(redundant_with_demand));
+    return lineage;
+}
+
+void
+PrefetchAttribution::settle(uint64_t lineage, const Live &rec,
+                            PrefetchOutcomeKind kind)
+{
+    ++_outcomes[unsigned(kind)];
+    ++_sourceOutcome[unsigned(rec.source)][unsigned(kind)];
+    PSB_TRACE(Prefetch, "pf.outcome", int(lineage & 0x7fffffff),
+              "outcome=%s src=%s", prefetchOutcomeName(kind),
+              predictionSourceName(rec.source));
+    PSB_TRACE_END(Prefetch, "pf", int(lineage & 0x7fffffff));
+}
+
+void
+PrefetchAttribution::use(uint64_t lineage, Cycle now, Cycle ready)
+{
+    if (lineage == 0)
+        return;
+    auto it = _live.find(lineage);
+    if (it == _live.end()) {
+        // Pre-reset lineage: count it out of band (see file comment)
+        // but still close the trace span its issue opened.
+        ++_staleTerminals;
+        PSB_TRACE(Prefetch, "pf.outcome", int(lineage & 0x7fffffff),
+                  "outcome=stale src=none");
+        PSB_TRACE_END(Prefetch, "pf", int(lineage & 0x7fffffff));
+        return;
+    }
+    bool timely = ready <= now;
+    _useDistance.sample((now - it->second.issueCycle).raw());
+    if (!timely)
+        _lateness.sample((ready - now).raw());
+    settle(lineage, it->second,
+           timely ? PrefetchOutcomeKind::UsedTimely
+                  : PrefetchOutcomeKind::UsedLate);
+    _live.erase(it);
+}
+
+void
+PrefetchAttribution::terminal(uint64_t lineage, PrefetchOutcomeKind kind)
+{
+    if (lineage == 0)
+        return;
+    auto it = _live.find(lineage);
+    if (it == _live.end()) {
+        ++_staleTerminals;
+        PSB_TRACE(Prefetch, "pf.outcome", int(lineage & 0x7fffffff),
+                  "outcome=stale src=none");
+        PSB_TRACE_END(Prefetch, "pf", int(lineage & 0x7fffffff));
+        return;
+    }
+    // A prefetch that duplicated demand work and was never used is a
+    // redundancy, whatever structural event finally discarded it.
+    if (it->second.redundant)
+        kind = PrefetchOutcomeKind::RedundantDemand;
+    settle(lineage, it->second, kind);
+    _live.erase(it);
+}
+
+void
+PrefetchAttribution::finalize(Cycle now)
+{
+    (void)now;
+    // _live is ordered by lineage id, so squash order — and therefore
+    // trace and counter state — is deterministic.
+    for (const auto &entry : _live) {
+        settle(entry.first, entry.second,
+               entry.second.redundant
+                   ? PrefetchOutcomeKind::RedundantDemand
+                   : PrefetchOutcomeKind::Squashed);
+    }
+    _live.clear();
+    psb_assert(_issued == outcomeTotal(),
+               "prefetch lifecycle conservation violated: "
+               "issued != sum of terminal outcomes");
+}
+
+uint64_t
+PrefetchAttribution::outcomeTotal() const
+{
+    uint64_t total = 0;
+    for (unsigned k = 0; k < kNumOutcomes; ++k)
+        total += _outcomes[k];
+    return total;
+}
+
+void
+PrefetchAttribution::resetStats()
+{
+    // _nextLineage deliberately kept: see file comment.
+    _issued = 0;
+    _staleTerminals = 0;
+    for (unsigned k = 0; k < kNumOutcomes; ++k)
+        _outcomes[k] = 0;
+    for (unsigned s = 0; s < kNumSources; ++s) {
+        _sourceIssued[s] = 0;
+        for (unsigned k = 0; k < kNumOutcomes; ++k)
+            _sourceOutcome[s][k] = 0;
+    }
+    _useDistance.reset();
+    _lateness.reset();
+    _live.clear();
+}
+
+void
+PrefetchAttribution::registerStats(StatsRegistry &reg,
+                                   const std::string &prefix) const
+{
+    reg.addScalar(prefix + ".issued", [this] { return _issued; });
+    reg.addScalar(prefix + ".live",
+                  [this] { return uint64_t(_live.size()); });
+    reg.addScalar(prefix + ".stale_terminals",
+                  [this] { return _staleTerminals; });
+    for (unsigned k = 0; k < kNumOutcomes; ++k) {
+        auto kind = PrefetchOutcomeKind(k);
+        reg.addScalar(prefix + ".outcome." + prefetchOutcomeName(kind),
+                      [this, k] { return _outcomes[k]; });
+    }
+    for (unsigned s = 0; s < kNumSources; ++s) {
+        std::string sp = prefix + ".source." +
+                         predictionSourceName(PredictionSource(s));
+        reg.addScalar(sp + ".issued",
+                      [this, s] { return _sourceIssued[s]; });
+        for (unsigned k = 0; k < kNumOutcomes; ++k) {
+            auto kind = PrefetchOutcomeKind(k);
+            reg.addScalar(sp + "." + prefetchOutcomeName(kind),
+                          [this, s, k] { return _sourceOutcome[s][k]; });
+        }
+    }
+    // Percentiles are exported as scalars rather than the full
+    // per-bucket histogram dump to keep the goldens compact; the
+    // overflow bucket resolves to numBuckets() by Histogram contract.
+    reg.addScalar(prefix + ".use_distance.p50",
+                  [this] { return _useDistance.percentile(0.50); });
+    reg.addScalar(prefix + ".use_distance.p90",
+                  [this] { return _useDistance.percentile(0.90); });
+    reg.addScalar(prefix + ".use_distance.p99",
+                  [this] { return _useDistance.percentile(0.99); });
+    reg.addScalar(prefix + ".use_distance.samples",
+                  [this] { return _useDistance.total(); });
+    reg.addScalar(prefix + ".lateness.p50",
+                  [this] { return _lateness.percentile(0.50); });
+    reg.addScalar(prefix + ".lateness.p90",
+                  [this] { return _lateness.percentile(0.90); });
+    reg.addScalar(prefix + ".lateness.p99",
+                  [this] { return _lateness.percentile(0.99); });
+    reg.addScalar(prefix + ".lateness.samples",
+                  [this] { return _lateness.total(); });
+    reg.addReal(prefix + ".accuracy", [this] {
+        return ratio(_outcomes[unsigned(
+                         PrefetchOutcomeKind::UsedTimely)] +
+                         _outcomes[unsigned(
+                             PrefetchOutcomeKind::UsedLate)],
+                     _issued);
+    });
+    reg.addReal(prefix + ".timeliness", [this] {
+        uint64_t used =
+            _outcomes[unsigned(PrefetchOutcomeKind::UsedTimely)] +
+            _outcomes[unsigned(PrefetchOutcomeKind::UsedLate)];
+        return ratio(
+            _outcomes[unsigned(PrefetchOutcomeKind::UsedTimely)], used);
+    });
+}
+
+} // namespace psb

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Prefetch lifecycle attribution (DESIGN.md §13).
+ *
+ * Every issued prefetch receives a deterministic *lineage id* (a
+ * monotonic counter starting at 1; 0 means "no lineage") tagged with
+ * its origin — the predictor source that produced the address, the
+ * stream's load PC / stride / confidence, and the stream-buffer slot —
+ * and is then tracked to exactly one terminal outcome:
+ *
+ *   used_timely      demand hit and the data had arrived
+ *   used_late        demand hit while the fill was still in flight
+ *                    (cycles of lateness are histogrammed)
+ *   evicted_unused   the owning stream was thrashed before any use
+ *   replaced         FIFO/LRU victim in a non-stream prefetch buffer
+ *   squashed         still live at end-of-sim (finalize())
+ *   redundant_demand the block was already resident or demand-in-
+ *                    flight at issue time and was never used
+ *
+ * The hard conservation invariant — issued == the sum over terminal
+ * outcomes — is asserted fatally by finalize() and re-checked by
+ * tests/test_attribution.cc for every prefetcher backend.
+ *
+ * Determinism rules: lineage ids are assigned in issue order, live
+ * records are kept in a std::map so finalize() squashes in lineage
+ * order (rule R3), and the registered `prefetch.attrib.*` stats export
+ * only counters and percentile scalars — byte-identical across runs
+ * and across psb-sweep --jobs counts.
+ *
+ * Lineage ids survive resetStats() (end-of-warm-up): entries filled
+ * before the reset still carry their old ids, so restarting the
+ * counter would alias two different prefetches. Terminals arriving for
+ * a pre-reset id land in `stale_terminals` instead of an outcome
+ * bucket, keeping the measured-region conservation sum exact.
+ *
+ * Lifecycle trace events (flag `prefetch`): issue opens a "pf" span on
+ * track = lineage id, the terminal emits a "pf.outcome" instant on the
+ * same track and closes the span — one prefetch's whole life is one
+ * row in chrome://tracing. tools/psb_trace.py validates the schema.
+ */
+
+#ifndef PSB_PREFETCH_ATTRIBUTION_HH
+#define PSB_PREFETCH_ATTRIBUTION_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "predictors/address_predictor.hh"
+#include "trace/micro_op.hh"
+#include "util/stats.hh"
+
+namespace psb
+{
+
+/** Terminal lifecycle outcome of one issued prefetch. */
+enum class PrefetchOutcomeKind : uint8_t
+{
+    UsedTimely,
+    UsedLate,
+    EvictedUnused,
+    Replaced,
+    Squashed,
+    RedundantDemand,
+    NumOutcomes,
+};
+
+/** Canonical snake_case name of @p kind (stats / trace vocabulary). */
+const char *prefetchOutcomeName(PrefetchOutcomeKind kind);
+
+/** Where a prefetch came from, captured at issue time. */
+struct PrefetchOrigin
+{
+    PredictionSource source = PredictionSource::None;
+    Addr loadPc{};          ///< PC of the load that owns the stream
+    BlockDelta stride{};    ///< stream stride at issue (blocks)
+    uint32_t confidence = 0;///< SFM accuracy confidence at issue
+    int slot = -1;          ///< stream-buffer index (-1: no stream)
+};
+
+/** See file comment. */
+class PrefetchAttribution
+{
+  public:
+    PrefetchAttribution();
+
+    /**
+     * Record a prefetch leaving for the memory system. Returns its
+     * lineage id (never 0). @p redundant_with_demand is the issue-time
+     * probe result of MemoryHierarchy::demandHasBlock().
+     */
+    uint64_t issue(const PrefetchOrigin &origin, BlockAddr block,
+                   Cycle now, Cycle ready, bool redundant_with_demand);
+
+    /**
+     * A demand access consumed the prefetched block: terminal outcome
+     * used_timely when @p ready <= @p now, used_late otherwise (the
+     * lateness, ready - now, is histogrammed). @p lineage 0 is
+     * ignored; an unknown id counts as a stale terminal.
+     */
+    void use(uint64_t lineage, Cycle now, Cycle ready);
+
+    /**
+     * A non-use terminal outcome for @p lineage (evicted_unused /
+     * replaced). When the record was redundant-with-demand at issue,
+     * the outcome is reclassified as redundant_demand. @p lineage 0 is
+     * ignored; an unknown id counts as a stale terminal.
+     */
+    void terminal(uint64_t lineage, PrefetchOutcomeKind kind);
+
+    /**
+     * End-of-sim: squash every still-live prefetch (in lineage order),
+     * then fatally assert the conservation invariant
+     * issued == sum of terminal outcome counters.
+     */
+    void finalize(Cycle now);
+
+    /**
+     * Zero counters/histograms and drop live records (end-of-warm-up).
+     * The lineage counter is NOT reset — see file comment.
+     */
+    void resetStats();
+
+    /** Register the `<prefix>.*` stats subtree (see DESIGN.md §13). */
+    void registerStats(StatsRegistry &reg,
+                       const std::string &prefix) const;
+
+    uint64_t issued() const { return _issued; }
+    uint64_t outcome(PrefetchOutcomeKind kind) const
+    {
+        return _outcomes[unsigned(kind)];
+    }
+    /** Sum over all terminal outcome counters. */
+    uint64_t outcomeTotal() const;
+    uint64_t staleTerminals() const { return _staleTerminals; }
+    uint64_t liveCount() const { return uint64_t(_live.size()); }
+    const Histogram &useDistance() const { return _useDistance; }
+    const Histogram &lateness() const { return _lateness; }
+
+  private:
+    /** Issue-time facts kept until the terminal outcome arrives. */
+    struct Live
+    {
+        PredictionSource source = PredictionSource::None;
+        Cycle issueCycle{};
+        Cycle ready{};
+        bool redundant = false; ///< demand already had the block
+    };
+
+    static constexpr unsigned kNumSources =
+        unsigned(PredictionSource::NumSources);
+    static constexpr unsigned kNumOutcomes =
+        unsigned(PrefetchOutcomeKind::NumOutcomes);
+
+    /** Count (and trace) the terminal @p kind for a live record. */
+    void settle(uint64_t lineage, const Live &rec,
+                PrefetchOutcomeKind kind);
+
+    uint64_t _nextLineage = 0; ///< last id assigned; survives resets
+    uint64_t _issued = 0;
+    uint64_t _staleTerminals = 0;
+    uint64_t _outcomes[kNumOutcomes] = {};
+    uint64_t _sourceIssued[kNumSources] = {};
+    uint64_t _sourceOutcome[kNumSources][kNumOutcomes] = {};
+    Histogram _useDistance;  ///< issue-to-use distance (cycles)
+    Histogram _lateness;     ///< used_late only: ready - now (cycles)
+    // Ordered by lineage id so finalize() squashes deterministically
+    // (rule R3: no unordered container feeds output).
+    std::map<uint64_t, Live> _live;
+};
+
+} // namespace psb
+
+#endif // PSB_PREFETCH_ATTRIBUTION_HH

@@ -60,6 +60,7 @@ MarkovPrefetcher::lookup(Addr addr, Cycle now)
         if (result.dataPending)
             ++_stats.hitsPending;
         creditSource(e.sourceBlock, /*used=*/true);
+        _attrib.use(e.lineage, now, e.ready);
         e.valid = false;
         return result;
     }
@@ -107,8 +108,10 @@ MarkovPrefetcher::enqueue(BlockAddr block, BlockAddr source)
     }
     // "When a prefetch is discarded from the prefetch buffer without
     // being used, the corresponding counter is incremented."
-    if (victim->valid && victim->prefetched)
+    if (victim->valid && victim->prefetched) {
         creditSource(victim->sourceBlock, /*used=*/false);
+        _attrib.terminal(victim->lineage, PrefetchOutcomeKind::Replaced);
+    }
     *victim = BufEntry{};
     victim->block = block;
     victim->sourceBlock = source;
@@ -160,6 +163,12 @@ MarkovPrefetcher::tick(Cycle now)
     PrefetchOutcome outcome = _hierarchy.prefetch(oldest->block, now);
     oldest->prefetched = true;
     oldest->ready = outcome.ready;
+    PrefetchOrigin origin;
+    origin.source = PredictionSource::Markov;
+    origin.slot = int(oldest - _buffer.data());
+    oldest->lineage = _attrib.issue(
+        origin, oldest->block, now, outcome.ready,
+        _hierarchy.demandHasBlock(oldest->block, now));
     ++_stats.prefetchesIssued;
 }
 

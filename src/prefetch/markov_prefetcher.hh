@@ -51,6 +51,7 @@ class MarkovPrefetcher : public Prefetcher
     {
         _stats = PrefetcherStats{};
         _disabledSuppressed = 0;
+        _attrib.resetStats();
     }
 
     /** Common prefetcher stats plus the adaptivity suppression
@@ -69,6 +70,7 @@ class MarkovPrefetcher : public Prefetcher
         bool prefetched = false;
         Cycle ready{};
         uint64_t fifoStamp = 0;
+        uint64_t lineage = 0; ///< attribution id (0 until issued)
     };
 
     void enqueue(BlockAddr block, BlockAddr source);

@@ -88,6 +88,7 @@ MinDeltaPredictor::predictNext(StreamState &state) const
     if (state.stride == BlockDelta{})
         return std::nullopt;
     state.lastAddr += state.stride;
+    state.lastSource = PredictionSource::MinDelta;
     return state.lastAddr;
 }
 

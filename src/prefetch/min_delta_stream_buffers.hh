@@ -101,6 +101,9 @@ class MinDeltaStreamBuffers : public Prefetcher
     const PrefetcherStats &stats() const override;
     void resetStats() override { _psb.resetStats(); }
 
+    /** The inner PSB owns the live attribution state. */
+    void endOfSim(Cycle now) override { _psb.endOfSim(now); }
+
     /** Delegate to the inner PSB so per-buffer stats are exported. */
     void
     registerStats(StatsRegistry &reg,

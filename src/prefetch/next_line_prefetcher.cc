@@ -32,6 +32,7 @@ NextLinePrefetcher::lookup(Addr addr, Cycle now)
         result.dataPending = e.ready > now;
         if (result.dataPending)
             ++_stats.hitsPending;
+        _attrib.use(e.lineage, now, e.ready);
         e.valid = false;
         return result;
     }
@@ -61,6 +62,8 @@ NextLinePrefetcher::enqueue(BlockAddr block)
         if (e.fifoStamp < victim->fifoStamp)
             victim = &e;
     }
+    if (victim->valid && victim->prefetched)
+        _attrib.terminal(victim->lineage, PrefetchOutcomeKind::Replaced);
     *victim = BufEntry{};
     victim->block = block;
     victim->valid = true;
@@ -104,6 +107,12 @@ NextLinePrefetcher::tick(Cycle now)
     PrefetchOutcome outcome = _hierarchy.prefetch(oldest->block, now);
     oldest->prefetched = true;
     oldest->ready = outcome.ready;
+    PrefetchOrigin origin;
+    origin.source = PredictionSource::NextLine;
+    origin.slot = int(oldest - _buffer.data());
+    oldest->lineage = _attrib.issue(
+        origin, oldest->block, now, outcome.ready,
+        _hierarchy.demandHasBlock(oldest->block, now));
     ++_stats.prefetchesIssued;
 }
 

@@ -39,7 +39,13 @@ class NextLinePrefetcher : public Prefetcher
     void tick(Cycle now) override;
     bool fastForwardTicks(Cycle from, uint64_t n) override;
     const PrefetcherStats &stats() const override { return _stats; }
-    void resetStats() override { _stats = PrefetcherStats{}; }
+
+    void
+    resetStats() override
+    {
+        _stats = PrefetcherStats{};
+        _attrib.resetStats();
+    }
 
   private:
     struct BufEntry
@@ -49,6 +55,7 @@ class NextLinePrefetcher : public Prefetcher
         bool prefetched = false;
         Cycle ready{};
         uint64_t fifoStamp = 0;
+        uint64_t lineage = 0; ///< attribution id (0 until issued)
     };
 
     void enqueue(BlockAddr block);

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <string>
 
+#include "prefetch/attribution.hh"
 #include "trace/micro_op.hh"
 #include "util/stats.hh"
 
@@ -120,14 +121,35 @@ class Prefetcher
     virtual void resetStats() = 0;
 
     /**
+     * End-of-simulation hook: settle every still-live prefetch to its
+     * squashed/redundant terminal outcome and fatally check the
+     * attribution conservation invariant (attribution.hh). Called by
+     * Simulator::run() before the final interval-stats record so the
+     * squash counters land inside the measured region. Wrapper
+     * prefetchers forward to the implementation that owns the live
+     * attribution state.
+     */
+    virtual void
+    endOfSim(Cycle now)
+    {
+        _attrib.finalize(now);
+    }
+
+    /** Lifecycle attribution ledger (read-only; tests and reports). */
+    const PrefetchAttribution &attribution() const { return _attrib; }
+
+    /**
      * Register this prefetcher's stats under @p prefix. The default
      * registers the common PrefetcherStats counters by reading
-     * stats() at snapshot time; implementations with extra internal
-     * state (per-buffer counters, schedulers) extend it.
+     * stats() at snapshot time, plus the prefetch.attrib.* lifecycle
+     * subtree (a fixed path: the simulator owns exactly one prefetcher
+     * per registry); implementations with extra internal state
+     * (per-buffer counters, schedulers) extend it.
      */
     virtual void
     registerStats(StatsRegistry &reg, const std::string &prefix) const
     {
+        _attrib.registerStats(reg, "prefetch.attrib");
         reg.addScalar(prefix + ".lookups",
                       [this] { return stats().lookups; });
         reg.addScalar(prefix + ".hits", [this] { return stats().hits; });
@@ -154,6 +176,10 @@ class Prefetcher
         reg.addReal(prefix + ".accuracy",
                     [this] { return stats().accuracy(); });
     }
+
+  protected:
+    /** Lifecycle ledger shared by every concrete prefetcher. */
+    PrefetchAttribution _attrib;
 };
 
 /** The no-prefetching baseline. */
@@ -172,7 +198,13 @@ class NullPrefetcher : public Prefetcher
     void tick(Cycle) override {}
     bool fastForwardTicks(Cycle, uint64_t) override { return true; }
     const PrefetcherStats &stats() const override { return _stats; }
-    void resetStats() override { _stats = PrefetcherStats{}; }
+
+    void
+    resetStats() override
+    {
+        _stats = PrefetcherStats{};
+        _attrib.resetStats();
+    }
 
   private:
     PrefetcherStats _stats;

@@ -58,7 +58,7 @@ StreamBuffer::findEntry(BlockAddr block) const
 }
 
 void
-StreamBuffer::fillEntry(int idx, BlockAddr block)
+StreamBuffer::fillEntry(int idx, BlockAddr block, PredictionSource source)
 {
     psb_assert(idx >= 0 && size_t(idx) < _entries.size(),
                "stream buffer entry index out of range");
@@ -66,18 +66,21 @@ StreamBuffer::fillEntry(int idx, BlockAddr block)
     _entries[idx].block = block;
     _entries[idx].valid = true;
     _entries[idx].prefetched = false;
+    _entries[idx].lineage = 0;
+    _entries[idx].source = source;
     _validMask |= uint64_t(1) << idx;
     _pendingMask |= uint64_t(1) << idx;
 }
 
 void
-StreamBuffer::markPrefetched(int idx, Cycle ready)
+StreamBuffer::markPrefetched(int idx, Cycle ready, uint64_t lineage)
 {
     psb_assert(idx >= 0 && size_t(idx) < _entries.size(),
                "stream buffer entry index out of range");
     psb_assert(_entries[idx].valid, "prefetching an invalid entry");
     _entries[idx].prefetched = true;
     _entries[idx].ready = ready;
+    _entries[idx].lineage = lineage;
     _pendingMask &= ~(uint64_t(1) << idx);
 }
 

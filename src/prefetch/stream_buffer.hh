@@ -51,6 +51,10 @@ struct SbEntry
     bool valid = false;      ///< holds a prediction
     bool prefetched = false; ///< fill request has been issued
     Cycle ready{};           ///< data-arrival cycle (when prefetched)
+    /** Attribution lineage id assigned at prefetch issue (0: none). */
+    uint64_t lineage = 0;
+    /** Predictor mechanism that produced this entry's address. */
+    PredictionSource source = PredictionSource::None;
 };
 
 /**
@@ -89,11 +93,18 @@ class StreamBuffer
         return _pendingMask ? int(countTrailingZeros(_pendingMask)) : -1;
     }
 
-    /** Install a prediction for @p block into free entry @p idx. */
-    void fillEntry(int idx, BlockAddr block);
+    /**
+     * Install a prediction for @p block into free entry @p idx,
+     * tagged with the predictor @p source that produced it.
+     */
+    void fillEntry(int idx, BlockAddr block,
+                   PredictionSource source = PredictionSource::None);
 
-    /** Record that entry @p idx's fill was issued, arriving @p ready. */
-    void markPrefetched(int idx, Cycle ready);
+    /**
+     * Record that entry @p idx's fill was issued, arriving @p ready,
+     * carrying attribution @p lineage (0 when untracked).
+     */
+    void markPrefetched(int idx, Cycle ready, uint64_t lineage = 0);
 
     /** Invalidate entry @p idx (hit consumed it / late tag hit). */
     void clearEntry(int idx);

@@ -20,6 +20,7 @@ std::optional<BlockAddr>
 FarkasStridePredictor::predictNext(StreamState &state) const
 {
     state.lastAddr += state.stride;
+    state.lastSource = PredictionSource::Stride;
     return state.lastAddr;
 }
 

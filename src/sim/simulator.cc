@@ -58,6 +58,7 @@ class HookedPrefetcher : public Prefetcher
 
     const PrefetcherStats &stats() const override { return _inner.stats(); }
     void resetStats() override { _inner.resetStats(); }
+    void endOfSim(Cycle now) override { _inner.endOfSim(now); }
 
     void
     registerStats(StatsRegistry &reg,
@@ -270,6 +271,13 @@ Simulator::run()
         if (_intervalStats)
             _intervalStats->tick(_now);
     }
+
+    // Settle prefetch attribution (squash still-live prefetches and
+    // check the conservation invariant) BEFORE the final interval
+    // record, so the squash counters land inside the measured region
+    // and the interval deltas still telescope to the final document.
+    PSB_TRACE_SET_NOW(_now);
+    _hookWrapper->endOfSim(_now);
 
     if (_intervalStats)
         _intervalStats->finish(_now);

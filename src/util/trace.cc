@@ -16,7 +16,8 @@ namespace
 
 /** Canonical flag names, indexed by TraceFlag value. */
 const char *const kFlagNames[kNumTraceFlags] = {
-    "psb", "sched", "sfm", "markov", "bus", "cache", "mshr", "cpu",
+    "psb",  "sched", "sfm", "markov",   "bus",
+    "cache", "mshr", "cpu", "prefetch",
 };
 
 /** Escape a detail string for embedding in a JSON string literal. */

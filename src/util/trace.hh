@@ -72,6 +72,7 @@ enum class TraceFlag : unsigned
     Cache,  ///< cache insertions, evictions, L2 outcomes
     Mshr,   ///< MSHR allocations, merges
     Cpu,    ///< core events: mispredicts, stalls, load misses
+    Prefetch, ///< prefetch lifecycle: issue span + terminal outcome
     NumFlags,
 };
 

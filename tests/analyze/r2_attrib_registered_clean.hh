@@ -1,0 +1,66 @@
+/**
+ * @file
+ * psb_analyze fixture: R2 over the attribution shape (clean). The two
+ * registration idioms prefetch/attribution.cc actually uses: outcome
+ * counters exported through lambda captures inside registerStats(),
+ * and a derived ratio that reads several counters from one lambda.
+ * The self-test requires this file to report no findings.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace fixture
+{
+
+class CountedAttribution
+{
+  public:
+    void
+    issue()
+    {
+        ++_issued;
+    }
+
+    void
+    useTimely()
+    {
+        ++_usedTimely;
+    }
+
+    void
+    squash()
+    {
+        ++_squashed;
+    }
+
+    void
+    resetStats()
+    {
+        _issued = 0;
+        _usedTimely = 0;
+        _squashed = 0;
+    }
+
+    void
+    registerStats(StatsRegistry &reg)
+    {
+        reg.addScalar("attrib.issued", &_issued);
+        reg.addScalar("attrib.outcome.used_timely",
+                      [this] { return _usedTimely; });
+        reg.addScalar("attrib.outcome.squashed",
+                      [this] { return _squashed; });
+        reg.addReal("attrib.accuracy", [this] {
+            return _issued ? double(_usedTimely) / double(_issued)
+                           : 0.0;
+        });
+    }
+
+  private:
+    uint64_t _issued = 0;
+    uint64_t _usedTimely = 0;
+    uint64_t _squashed = 0;
+};
+
+} // namespace fixture

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * psb_analyze fixture: R2 over the attribution shape (bad). The
+ * lifecycle tracker bumps a terminal-outcome counter that its
+ * registerStats() body never exports — a settled prefetch whose
+ * outcome silently vanishes from prefetch.attrib.*, which would also
+ * unbalance the issued == settled conservation sum as observed from
+ * the stats JSON. The self-test requires this file to report exactly
+ * {R2}.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace fixture
+{
+
+class LeakyAttribution
+{
+  public:
+    void
+    issue()
+    {
+        ++_issued;
+    }
+
+    void
+    squash()
+    {
+        ++_squashed;
+    }
+
+    void
+    resetStats()
+    {
+        _issued = 0;
+        _squashed = 0;
+    }
+
+    void
+    registerStats(StatsRegistry &reg)
+    {
+        // _squashed is missing: the outcome bucket never reaches the
+        // exported subtree.
+        reg.addScalar("attrib.issued", &_issued);
+    }
+
+  private:
+    uint64_t _issued = 0;
+    uint64_t _squashed = 0;
+};
+
+} // namespace fixture

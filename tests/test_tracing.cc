@@ -17,9 +17,13 @@
 #include <string>
 
 #include "sim/interval_stats.hh"
+#include "sim/simulator.hh"
+#include "util/json.hh"
 #include "util/stats.hh"
+#include "util/stats_json.hh"
 #include "util/strong_types.hh"
 #include "util/trace.hh"
+#include "workloads/workload.hh"
 
 namespace psb
 {
@@ -99,7 +103,7 @@ TEST_F(TracingTest, FlagNamesRoundTripThroughParse)
     }
     // The error-message list names every flag exactly once.
     EXPECT_EQ(TraceManager::validFlagList(),
-              "psb,sched,sfm,markov,bus,cache,mshr,cpu");
+              "psb,sched,sfm,markov,bus,cache,mshr,cpu,prefetch");
 }
 
 TEST_F(TracingTest, ParseFormat)
@@ -379,6 +383,70 @@ TEST(IntervalStats, NoPartialRecordWhenFinishingOnBoundary)
     }
     writer.finish(Cycle(20));
     EXPECT_EQ(writer.intervalsEmitted(), 2u);
+}
+
+TEST(IntervalStats, SimulatorEmitsFinalPartialInterval)
+{
+    // End-to-end regression for the trailing-partial-record contract:
+    // a full simulation whose measured length does not divide the
+    // interval period must still account for every cycle — the last
+    // record is a partial one ending at the final cycle, and every
+    // scalar's deltas telescope to the final stats document (including
+    // the attribution squash counters settled at end-of-sim).
+    constexpr uint64_t kPeriod = 997; // prime: never divides the run
+    SimConfig cfg = makePaperConfig(PaperConfig::ConfAllocPriority);
+    cfg.warmupInstructions = 2000;
+    cfg.maxInstructions = 12000;
+
+    auto trace = makeWorkload("health", 1);
+    Simulator sim(cfg, *trace);
+    std::ostringstream intervals;
+    sim.setIntervalStats(kPeriod, intervals);
+    sim.run();
+
+    std::map<std::string, ParsedStat> final_stats;
+    std::string error;
+    ASSERT_TRUE(parseStatsJson(sim.statsJson(), final_stats, error))
+        << error;
+    uint64_t measured = uint64_t(final_stats.at("core.cycles").value);
+    ASSERT_NE(measured % kPeriod, 0u)
+        << "degenerate run length; pick another period";
+
+    // Walk the JSONL records: contiguous coverage, partial tail.
+    uint64_t records = 0, covered = 0, last_span = 0;
+    std::map<std::string, int64_t> delta_sums;
+    std::istringstream lines(intervals.str());
+    std::string line;
+    while (std::getline(lines, line)) {
+        if (line.empty())
+            continue;
+        JsonValue rec;
+        ASSERT_TRUE(parseJson(line, rec, error)) << error;
+        uint64_t start = 0, end = 0;
+        ASSERT_TRUE(rec.find("start")->asUInt(start));
+        ASSERT_TRUE(rec.find("end")->asUInt(end));
+        last_span = end - start;
+        covered += last_span;
+        for (const auto &[path, value] : rec.find("delta")->object)
+            delta_sums[path] += int64_t(value.number);
+        ++records;
+    }
+    EXPECT_EQ(records, measured / kPeriod + 1);
+    EXPECT_EQ(covered, measured);
+    EXPECT_EQ(last_span, measured % kPeriod)
+        << "final partial interval missing or mis-sized";
+
+    // Telescoping across the whole scalar set, squash counters
+    // included (Simulator::run() settles attribution before the final
+    // record so end-of-sim outcomes land inside the measured region).
+    for (const auto &[path, sum] : delta_sums) {
+        auto it = final_stats.find(path);
+        ASSERT_NE(it, final_stats.end()) << path;
+        EXPECT_EQ(sum, int64_t(it->second.value)) << path;
+    }
+    ASSERT_NE(delta_sums.find("prefetch.attrib.outcome.squashed"),
+              delta_sums.end())
+        << "attribution counters missing from interval deltas";
 }
 
 TEST(IntervalStats, RepeatedRunsAreByteIdentical)

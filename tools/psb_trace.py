@@ -29,7 +29,7 @@ import json
 import sys
 
 VALID_FLAGS = ("psb", "sched", "sfm", "markov", "bus", "cache", "mshr",
-               "cpu")
+               "cpu", "prefetch")
 
 JSONL_FIELDS = {
     "cycle": int,
@@ -68,7 +68,7 @@ def parse_jsonl(path):
                 raise TraceError(
                     f"{path}:{lineno}: bad kind '{rec['kind']}'")
             yield (rec["cycle"], rec["flag"], rec["kind"], rec["name"],
-                   rec["track"])
+                   rec["track"], rec["args"])
 
 
 def parse_chrome(path):
@@ -97,7 +97,74 @@ def parse_chrome(path):
                 raise TraceError(
                     f"{path}: event {n} missing field '{field}'")
         yield (int(ev["ts"]), ev["cat"], kind_of[ph], ev["name"],
-               int(ev["tid"]) - 1)
+               int(ev["tid"]) - 1,
+               ev.get("args", {}).get("detail", ""))
+
+
+class PrefetchLifecycle:
+    """Per-lineage-track state for the prefetch lifecycle check.
+
+    The attribution layer promises: each track opens at most one "pf"
+    span (issue), closes it exactly once, and reports its terminal
+    outcome ("pf.outcome" instant) exactly once.  Tracks whose span is
+    still open when the trace window closes get a synthetic end at the
+    final emitted cycle, with no outcome — those are exempted; an
+    outcome without a begin means the issue fell before the window
+    opened, which is also legal.
+    """
+
+    __slots__ = ("begins", "outcomes", "end_cycle", "has_end")
+
+    def __init__(self):
+        self.begins = 0
+        self.outcomes = 0
+        self.end_cycle = None
+        self.has_end = False
+
+
+def check_prefetch_event(pf_tracks, label, cycle, kind, name, track):
+    if kind in ("B", "E") and name != "pf":
+        raise TraceError(
+            f"{label}: prefetch span event named '{name}' at cycle "
+            f"{cycle}; lifecycle spans must be named 'pf'")
+    if kind == "I" and name != "pf.outcome":
+        raise TraceError(
+            f"{label}: prefetch instant named '{name}' at cycle "
+            f"{cycle}; terminal outcomes must be named 'pf.outcome'")
+    state = pf_tracks.setdefault(track, PrefetchLifecycle())
+    if kind == "B":
+        state.begins += 1
+        if state.begins > 1:
+            raise TraceError(
+                f"{label}: track {track} issued twice (second 'pf' "
+                f"begin at cycle {cycle}); lineage ids are unique")
+    elif kind == "E":
+        state.has_end = True
+        state.end_cycle = cycle
+    else:
+        state.outcomes += 1
+        if state.outcomes > 1:
+            raise TraceError(
+                f"{label}: track {track} has a second terminal "
+                f"outcome at cycle {cycle}; outcomes are "
+                f"exactly-once per lineage")
+
+
+def check_prefetch_lifecycles(pf_tracks, label, last_cycle):
+    """Post-stream check: every opened lineage settled exactly once."""
+    for track, state in sorted(pf_tracks.items()):
+        if state.begins == 0:
+            continue  # outcome/end only: issue predates the window
+        if state.outcomes == 1:
+            continue
+        # A span force-closed at the trace's final emitted cycle is
+        # the writer's synthetic end for a window-clipped lifetime.
+        if state.has_end and state.end_cycle == last_cycle:
+            continue
+        raise TraceError(
+            f"{label}: prefetch track {track} was issued but never "
+            f"reported a terminal outcome — the conservation "
+            f"invariant (issued == settled) is broken in the trace")
 
 
 def validate_events(events, label):
@@ -105,9 +172,10 @@ def validate_events(events, label):
     counts = collections.Counter()
     kind_counts = collections.Counter()
     open_spans = collections.Counter()
+    pf_tracks = {}
     last_cycle = None
     n = 0
-    for cycle, flag, kind, name, track in events:
+    for cycle, flag, kind, name, track, _args in events:
         n += 1
         if flag not in VALID_FLAGS:
             raise TraceError(f"{label}: unknown flag '{flag}'")
@@ -118,6 +186,9 @@ def validate_events(events, label):
         last_cycle = cycle
         counts[flag] += 1
         kind_counts[kind] += 1
+        if flag == "prefetch":
+            check_prefetch_event(pf_tracks, label, cycle, kind, name,
+                                 track)
         key = (flag, name, track)
         if kind == "B":
             open_spans[key] += 1
@@ -133,6 +204,7 @@ def validate_events(events, label):
             f"{label}: {len(unbalanced)} span(s) never closed "
             f"(first: {sorted(unbalanced)[0]}) — every alloc needs a "
             f"matching dealloc/replace")
+    check_prefetch_lifecycles(pf_tracks, label, last_cycle)
     return counts, kind_counts, n
 
 
