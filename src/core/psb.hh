@@ -43,6 +43,7 @@
 #include "prefetch/prefetcher.hh"
 #include "prefetch/scheduler.hh"
 #include "prefetch/stream_buffer.hh"
+#include "util/hot_path.hh"
 
 namespace psb
 {
@@ -79,11 +80,11 @@ class PredictorDirectedStreamBuffers : public Prefetcher
                                    AddressPredictor &predictor,
                                    MemoryHierarchy &hierarchy);
 
-    PrefetchLookup lookup(Addr addr, Cycle now) override;
-    void trainLoad(Addr pc, Addr addr, bool l1_miss,
-                   bool store_forwarded) override;
-    void demandMiss(Addr pc, Addr addr, Cycle now) override;
-    void tick(Cycle now) override;
+    PSB_HOT_PATH PrefetchLookup lookup(Addr addr, Cycle now) override;
+    PSB_HOT_PATH void trainLoad(Addr pc, Addr addr, bool l1_miss,
+                                bool store_forwarded) override;
+    PSB_HOT_PATH void demandMiss(Addr pc, Addr addr, Cycle now) override;
+    PSB_HOT_PATH void tick(Cycle now) override;
 
     /**
      * Fast-forward support: a span of ticks is replayable iff no
@@ -111,8 +112,8 @@ class PredictorDirectedStreamBuffers : public Prefetcher
     const PsbConfig &config() const { return _cfg; }
 
   private:
-    void makePrediction(Cycle now);
-    void issuePrefetch(Cycle now);
+    PSB_HOT_PATH void makePrediction(Cycle now);
+    PSB_HOT_PATH void issuePrefetch(Cycle now);
     bool tryAllocate(Addr pc, Addr addr);
     /** Settle evicted-unused terminals before @p buf is re-allocated. */
     void settleThrashedStream(const StreamBuffer &buf);

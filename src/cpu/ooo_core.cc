@@ -1,5 +1,6 @@
 #include "cpu/ooo_core.hh"
 
+#include "util/alloc_guard.hh"
 #include "util/logging.hh"
 #include "util/trace.hh"
 
@@ -13,6 +14,7 @@ OoOCore::OoOCore(const CoreConfig &cfg, MemoryHierarchy &hierarchy,
       _prefetcher(prefetcher),
       _trace(trace),
       _gshare(cfg.gshare),
+      _rob(cfg.robEntries),
       _intDivFreeAt(cfg.numIntMulDiv, Cycle{}),
       _fpDivFreeAt(cfg.numFpMulDiv, Cycle{})
 {
@@ -533,6 +535,13 @@ OoOCore::fetchStage(Cycle now)
             break;
 
         if (!_havePending) {
+            // Workload trace generation runs real allocating
+            // algorithms by design; it is the one sanctioned heap
+            // user inside the steady-state no-alloc scope. The
+            // allow() is the static counterpart of the pause: it
+            // prunes the generator subtree out of the R10 graph.
+            PSB_ALLOC_GUARD_PAUSE();
+            // psb-analyze: allow(R10)
             if (!_trace.next(_pendingOp)) {
                 _traceDone = true;
                 break;

@@ -27,7 +27,6 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "cpu/branch_predictor.hh"
@@ -35,6 +34,8 @@
 #include "memory/hierarchy.hh"
 #include "prefetch/prefetcher.hh"
 #include "trace/trace_source.hh"
+#include "util/fixed_ring.hh"
+#include "util/hot_path.hh"
 #include "util/stats.hh"
 
 namespace psb
@@ -100,7 +101,7 @@ class OoOCore
      * so a result is visible to dependants one cycle later).
      * @retval false when the trace is exhausted and the pipeline empty.
      */
-    bool tick(Cycle now);
+    PSB_HOT_PATH bool tick(Cycle now);
 
     /**
      * The earliest cycle after the last tick() at which this core can
@@ -180,8 +181,8 @@ class OoOCore
         uint64_t readyCheckEpoch = 0;
     };
 
-    void commitStage(Cycle now);
-    void issueStage(Cycle now);
+    PSB_HOT_PATH void commitStage(Cycle now);
+    PSB_HOT_PATH void issueStage(Cycle now);
     void fetchStage(Cycle now);
 
     /** Pull _nextWake earlier, to the next cycle work could happen. */
@@ -196,7 +197,7 @@ class OoOCore
     Cycle producerReadyAt(uint64_t &producer_seq, Cycle now) const;
 
     /** ROB entry with sequence number @p seq, or null once committed.
-     *  Seqs are dense, so this is an index into the deque. Inline:
+     *  Seqs are dense, so this is an index into the ring. Inline:
      *  called for every producer check and cached alias lookup. */
     const RobEntry *
     findEntry(uint64_t seq) const
@@ -223,7 +224,10 @@ class OoOCore
     GsharePredictor _gshare;
     StoreSetPredictor _storeSets;
 
-    std::deque<RobEntry> _rob;
+    /** Preallocated at robEntries capacity: the ROB is a fixed
+     *  hardware structure, and push/pop on the per-cycle hot path
+     *  must not allocate (rule R10). */
+    FixedRing<RobEntry> _rob;
     uint64_t _nextSeq = 1;
     unsigned _memOpsInRob = 0;
     unsigned _storesInRob = 0;   ///< skip the alias scan when zero

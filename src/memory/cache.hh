@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "trace/micro_op.hh"
+#include "util/hot_path.hh"
 
 namespace psb
 {
@@ -55,21 +56,22 @@ class SetAssocCache
                            const char *name = "cache");
 
     /** True iff the block containing @p addr is resident. No LRU update. */
-    bool probe(Addr addr) const;
+    PSB_HOT_PATH bool probe(Addr addr) const;
 
     /**
      * Reference the block containing @p addr: updates LRU and, for
      * writes, the dirty bit.
      * @retval true on hit.
      */
-    bool touch(Addr addr, bool is_write = false);
+    PSB_HOT_PATH bool touch(Addr addr, bool is_write = false);
 
     /**
      * Install the block containing @p addr, evicting the set's LRU
      * block if the set is full.
      * @return The eviction, if a valid block was displaced.
      */
-    std::optional<Eviction> insert(Addr addr, bool dirty = false);
+    PSB_HOT_PATH std::optional<Eviction> insert(Addr addr,
+                                                bool dirty = false);
 
     /** Remove the block containing @p addr if present. */
     void invalidate(Addr addr);

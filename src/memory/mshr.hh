@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "trace/micro_op.hh"
+#include "util/hot_path.hh"
 
 namespace psb
 {
@@ -37,7 +38,7 @@ class MshrFile
      * If the block is in flight at @p now, return the cycle its data
      * arrives. Entries whose fill has completed are retired lazily.
      */
-    std::optional<Cycle> lookup(BlockAddr block, Cycle now);
+    PSB_HOT_PATH std::optional<Cycle> lookup(BlockAddr block, Cycle now);
 
     /**
      * Read-only probe: is @p block in flight at @p now? Unlike
@@ -65,7 +66,7 @@ class MshrFile
      * Allocating a block that is already tracked extends nothing and is
      * a modelling bug.
      */
-    void allocate(BlockAddr block, Cycle ready);
+    PSB_HOT_PATH void allocate(BlockAddr block, Cycle ready);
 
     /** Number of live entries at @p now. */
     unsigned occupancy(Cycle now);

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "trace/micro_op.hh"
+#include "util/hot_path.hh"
 
 namespace psb
 {
@@ -36,7 +37,7 @@ class Tlb
      * Translate the page of @p vaddr, filling the entry on a miss.
      * @return Extra latency cycles (0 on a hit, missPenalty on a miss).
      */
-    CycleDelta translate(Addr vaddr);
+    PSB_HOT_PATH CycleDelta translate(Addr vaddr);
 
     /** True iff the page of @p vaddr is currently mapped (no update). */
     bool probe(Addr vaddr) const;

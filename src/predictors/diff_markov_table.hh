@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "trace/micro_op.hh"
+#include "util/hot_path.hh"
 
 namespace psb
 {
@@ -51,7 +52,7 @@ class DiffMarkovTable
      * last missing address to the signed offset contained in the
      * table").
      */
-    std::optional<BlockAddr> lookup(BlockAddr from) const;
+    PSB_HOT_PATH std::optional<BlockAddr> lookup(BlockAddr from) const;
 
     /** Transitions rejected because the delta overflowed deltaBits. */
     uint64_t overflows() const { return _overflows; }

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "trace/micro_op.hh"
+#include "util/hot_path.hh"
 
 namespace psb
 {
@@ -43,7 +44,7 @@ class MarkovTable
      * Predict the block that followed @p from last time.
      * @return nullopt when the entry is absent or the tag mismatches.
      */
-    std::optional<BlockAddr> lookup(BlockAddr from) const;
+    PSB_HOT_PATH std::optional<BlockAddr> lookup(BlockAddr from) const;
 
     /** Number of live entries (test/debug aid). */
     uint64_t population() const;

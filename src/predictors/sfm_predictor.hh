@@ -29,6 +29,7 @@
 #include "predictors/address_predictor.hh"
 #include "predictors/diff_markov_table.hh"
 #include "predictors/stride_table.hh"
+#include "util/hot_path.hh"
 
 namespace psb
 {
@@ -55,8 +56,8 @@ class SfmPredictor : public AddressPredictor
   public:
     explicit SfmPredictor(const SfmConfig &cfg = {});
 
-    void train(Addr pc, Addr addr) override;
-    std::optional<BlockAddr>
+    PSB_HOT_PATH void train(Addr pc, Addr addr) override;
+    PSB_HOT_PATH std::optional<BlockAddr>
     predictNext(StreamState &state) const override;
     StreamState allocateStream(Addr pc, Addr addr) const override;
     uint32_t confidence(Addr pc) const override;

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "trace/micro_op.hh"
+#include "util/hot_path.hh"
 #include "util/sat_counter.hh"
 
 namespace psb
@@ -89,7 +90,7 @@ class StrideTable
     void recordOutcome(Addr pc, bool correct);
 
     /** Read-only lookup. @return nullptr when @p pc is not tracked. */
-    const StrideEntry *lookup(Addr pc) const;
+    PSB_HOT_PATH const StrideEntry *lookup(Addr pc) const;
 
     /** Predicted (two-delta) stride for @p pc, 0 when untracked. */
     BlockDelta predictedStride(Addr pc) const;

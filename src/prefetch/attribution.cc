@@ -17,6 +17,12 @@ namespace
 // the overflow index in the exported percentiles.
 constexpr size_t kDistanceBuckets = 1024;
 
+// Initial live-pool capacity. Live records mirror entries of bounded
+// hardware structures (stream-buffer entries, prefetch-buffer slots),
+// so a few hundred is already generous; the pool only grows on the
+// explicitly-allowed overflow path in issue().
+constexpr size_t kLiveReserve = 1024;
+
 } // namespace
 
 const char *
@@ -70,6 +76,34 @@ prefetchOutcomeName(PrefetchOutcomeKind kind)
 PrefetchAttribution::PrefetchAttribution()
     : _useDistance(kDistanceBuckets), _lateness(kDistanceBuckets)
 {
+    _live.resize(kLiveReserve);
+}
+
+PrefetchAttribution::Live *
+PrefetchAttribution::findLive(uint64_t lineage)
+{
+    // Binary search over the lineage-sorted used prefix.
+    size_t lo = 0;
+    size_t hi = _liveCount;
+    while (lo < hi) {
+        size_t mid = lo + (hi - lo) / 2;
+        if (_live[mid].lineage < lineage)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    if (lo < _liveCount && _live[lo].lineage == lineage)
+        return &_live[lo];
+    return nullptr;
+}
+
+void
+PrefetchAttribution::eraseLive(Live *rec)
+{
+    size_t idx = size_t(rec - _live.data());
+    for (size_t i = idx + 1; i < _liveCount; ++i)
+        _live[i - 1] = _live[i];
+    --_liveCount;
 }
 
 uint64_t
@@ -81,12 +115,19 @@ PrefetchAttribution::issue(const PrefetchOrigin &origin, BlockAddr block,
     ++_issued;
     ++_sourceIssued[unsigned(origin.source)];
 
-    Live rec;
+    if (_liveCount == _live.size()) {
+        // Pool overflow: never expected (the live set is bounded by
+        // hardware capacity), so the growth sits outside the
+        // steady-state no-alloc guarantee — an armed AllocGuard turns
+        // it into a hard failure rather than hiding it.
+        _live.resize(_live.size() * 2); // psb-analyze: allow(R10)
+    }
+    Live &rec = _live[_liveCount++];
+    rec.lineage = lineage;
     rec.source = origin.source;
     rec.issueCycle = now;
     rec.ready = ready;
     rec.redundant = redundant_with_demand;
-    _live.emplace(lineage, rec);
 
     PSB_TRACE_BEGIN(
         Prefetch, "pf", int(lineage & 0x7fffffff),
@@ -117,8 +158,8 @@ PrefetchAttribution::use(uint64_t lineage, Cycle now, Cycle ready)
 {
     if (lineage == 0)
         return;
-    auto it = _live.find(lineage);
-    if (it == _live.end()) {
+    Live *rec = findLive(lineage);
+    if (rec == nullptr) {
         // Pre-reset lineage: count it out of band (see file comment)
         // but still close the trace span its issue opened.
         ++_staleTerminals;
@@ -128,13 +169,13 @@ PrefetchAttribution::use(uint64_t lineage, Cycle now, Cycle ready)
         return;
     }
     bool timely = ready <= now;
-    _useDistance.sample((now - it->second.issueCycle).raw());
+    _useDistance.sample((now - rec->issueCycle).raw());
     if (!timely)
         _lateness.sample((ready - now).raw());
-    settle(lineage, it->second,
+    settle(lineage, *rec,
            timely ? PrefetchOutcomeKind::UsedTimely
                   : PrefetchOutcomeKind::UsedLate);
-    _live.erase(it);
+    eraseLive(rec);
 }
 
 void
@@ -142,8 +183,8 @@ PrefetchAttribution::terminal(uint64_t lineage, PrefetchOutcomeKind kind)
 {
     if (lineage == 0)
         return;
-    auto it = _live.find(lineage);
-    if (it == _live.end()) {
+    Live *rec = findLive(lineage);
+    if (rec == nullptr) {
         ++_staleTerminals;
         PSB_TRACE(Prefetch, "pf.outcome", int(lineage & 0x7fffffff),
                   "outcome=stale src=none");
@@ -152,25 +193,25 @@ PrefetchAttribution::terminal(uint64_t lineage, PrefetchOutcomeKind kind)
     }
     // A prefetch that duplicated demand work and was never used is a
     // redundancy, whatever structural event finally discarded it.
-    if (it->second.redundant)
+    if (rec->redundant)
         kind = PrefetchOutcomeKind::RedundantDemand;
-    settle(lineage, it->second, kind);
-    _live.erase(it);
+    settle(lineage, *rec, kind);
+    eraseLive(rec);
 }
 
 void
 PrefetchAttribution::finalize(Cycle now)
 {
     (void)now;
-    // _live is ordered by lineage id, so squash order — and therefore
-    // trace and counter state — is deterministic.
-    for (const auto &entry : _live) {
-        settle(entry.first, entry.second,
-               entry.second.redundant
-                   ? PrefetchOutcomeKind::RedundantDemand
-                   : PrefetchOutcomeKind::Squashed);
+    // The live prefix is ordered by lineage id, so squash order — and
+    // therefore trace and counter state — is deterministic.
+    for (size_t i = 0; i < _liveCount; ++i) {
+        const Live &rec = _live[i];
+        settle(rec.lineage, rec,
+               rec.redundant ? PrefetchOutcomeKind::RedundantDemand
+                             : PrefetchOutcomeKind::Squashed);
     }
-    _live.clear();
+    _liveCount = 0;
     psb_assert(_issued == outcomeTotal(),
                "prefetch lifecycle conservation violated: "
                "issued != sum of terminal outcomes");
@@ -200,7 +241,7 @@ PrefetchAttribution::resetStats()
     }
     _useDistance.reset();
     _lateness.reset();
-    _live.clear();
+    _liveCount = 0;
 }
 
 void
@@ -209,7 +250,7 @@ PrefetchAttribution::registerStats(StatsRegistry &reg,
 {
     reg.addScalar(prefix + ".issued", [this] { return _issued; });
     reg.addScalar(prefix + ".live",
-                  [this] { return uint64_t(_live.size()); });
+                  [this] { return uint64_t(_liveCount); });
     reg.addScalar(prefix + ".stale_terminals",
                   [this] { return _staleTerminals; });
     for (unsigned k = 0; k < kNumOutcomes; ++k) {

@@ -22,10 +22,11 @@
  * tests/test_attribution.cc for every prefetcher backend.
  *
  * Determinism rules: lineage ids are assigned in issue order, live
- * records are kept in a std::map so finalize() squashes in lineage
- * order (rule R3), and the registered `prefetch.attrib.*` stats export
- * only counters and percentile scalars — byte-identical across runs
- * and across psb-sweep --jobs counts.
+ * records are kept in a lineage-sorted flat vector so finalize()
+ * squashes in lineage order (rule R3), and the registered
+ * `prefetch.attrib.*` stats export only counters and percentile
+ * scalars — byte-identical across runs and across psb-sweep --jobs
+ * counts.
  *
  * Lineage ids survive resetStats() (end-of-warm-up): entries filled
  * before the reset still carry their old ids, so restarting the
@@ -42,12 +43,14 @@
 #ifndef PSB_PREFETCH_ATTRIBUTION_HH
 #define PSB_PREFETCH_ATTRIBUTION_HH
 
+#include <cstddef>
 #include <cstdint>
-#include <map>
 #include <string>
+#include <vector>
 
 #include "predictors/address_predictor.hh"
 #include "trace/micro_op.hh"
+#include "util/hot_path.hh"
 #include "util/stats.hh"
 
 namespace psb
@@ -89,8 +92,9 @@ class PrefetchAttribution
      * lineage id (never 0). @p redundant_with_demand is the issue-time
      * probe result of MemoryHierarchy::demandHasBlock().
      */
-    uint64_t issue(const PrefetchOrigin &origin, BlockAddr block,
-                   Cycle now, Cycle ready, bool redundant_with_demand);
+    PSB_HOT_PATH uint64_t issue(const PrefetchOrigin &origin,
+                                BlockAddr block, Cycle now, Cycle ready,
+                                bool redundant_with_demand);
 
     /**
      * A demand access consumed the prefetched block: terminal outcome
@@ -98,7 +102,7 @@ class PrefetchAttribution
      * lateness, ready - now, is histogrammed). @p lineage 0 is
      * ignored; an unknown id counts as a stale terminal.
      */
-    void use(uint64_t lineage, Cycle now, Cycle ready);
+    PSB_HOT_PATH void use(uint64_t lineage, Cycle now, Cycle ready);
 
     /**
      * A non-use terminal outcome for @p lineage (evicted_unused /
@@ -106,14 +110,15 @@ class PrefetchAttribution
      * the outcome is reclassified as redundant_demand. @p lineage 0 is
      * ignored; an unknown id counts as a stale terminal.
      */
-    void terminal(uint64_t lineage, PrefetchOutcomeKind kind);
+    PSB_HOT_PATH void terminal(uint64_t lineage,
+                               PrefetchOutcomeKind kind);
 
     /**
      * End-of-sim: squash every still-live prefetch (in lineage order),
      * then fatally assert the conservation invariant
      * issued == sum of terminal outcome counters.
      */
-    void finalize(Cycle now);
+    PSB_HOT_PATH void finalize(Cycle now);
 
     /**
      * Zero counters/histograms and drop live records (end-of-warm-up).
@@ -133,7 +138,7 @@ class PrefetchAttribution
     /** Sum over all terminal outcome counters. */
     uint64_t outcomeTotal() const;
     uint64_t staleTerminals() const { return _staleTerminals; }
-    uint64_t liveCount() const { return uint64_t(_live.size()); }
+    uint64_t liveCount() const { return uint64_t(_liveCount); }
     const Histogram &useDistance() const { return _useDistance; }
     const Histogram &lateness() const { return _lateness; }
 
@@ -141,6 +146,7 @@ class PrefetchAttribution
     /** Issue-time facts kept until the terminal outcome arrives. */
     struct Live
     {
+        uint64_t lineage = 0;
         PredictionSource source = PredictionSource::None;
         Cycle issueCycle{};
         Cycle ready{};
@@ -156,6 +162,11 @@ class PrefetchAttribution
     void settle(uint64_t lineage, const Live &rec,
                 PrefetchOutcomeKind kind);
 
+    /** Live record with @p lineage (binary search), or nullptr. */
+    Live *findLive(uint64_t lineage);
+    /** Remove @p rec from the live prefix, preserving the order. */
+    void eraseLive(Live *rec);
+
     uint64_t _nextLineage = 0; ///< last id assigned; survives resets
     uint64_t _issued = 0;
     uint64_t _staleTerminals = 0;
@@ -164,9 +175,16 @@ class PrefetchAttribution
     uint64_t _sourceOutcome[kNumSources][kNumOutcomes] = {};
     Histogram _useDistance;  ///< issue-to-use distance (cycles)
     Histogram _lateness;     ///< used_late only: ready - now (cycles)
-    // Ordered by lineage id so finalize() squashes deterministically
-    // (rule R3: no unordered container feeds output).
-    std::map<uint64_t, Live> _live;
+    // Live records as a lineage-sorted flat pool: ids are assigned
+    // monotonically so appending keeps the order, eraseLive() shifts
+    // the tail left, and finalize() squashes by walking the used
+    // prefix in lineage order (rule R3: deterministic output). The
+    // pool is preallocated at construction so the per-issue path
+    // never touches the heap (rule R10) — every live record mirrors
+    // an entry in a bounded hardware structure, so the used prefix
+    // cannot outgrow the pool in any in-tree configuration.
+    std::vector<Live> _live;
+    std::size_t _liveCount = 0;
 };
 
 } // namespace psb

@@ -10,7 +10,8 @@ namespace psb
 
 MinDeltaPredictor::MinDeltaPredictor(const MinDeltaConfig &cfg)
     : _cfg(cfg), _lineBits(floorLog2(cfg.blockBytes)),
-      _chunks(cfg.chunkTableEntries)
+      _chunks(cfg.chunkTableEntries),
+      _history(std::size_t(cfg.chunkTableEntries) * cfg.historyDepth)
 {
     psb_assert(isPowerOf2(cfg.chunkBytes), "chunk size must be 2^n");
     psb_assert(isPowerOf2(cfg.chunkTableEntries),
@@ -33,7 +34,9 @@ MinDeltaPredictor::indexOf(Addr addr) const
 void
 MinDeltaPredictor::train(Addr, Addr addr)
 {
-    ChunkEntry &entry = _chunks[indexOf(addr)];
+    unsigned idx = indexOf(addr);
+    ChunkEntry &entry = _chunks[idx];
+    Addr *ring = &_history[std::size_t(idx) * _cfg.historyDepth];
     uint64_t chunk = chunkOf(addr);
 
     if (!entry.valid || entry.chunk != chunk) {
@@ -52,10 +55,17 @@ MinDeltaPredictor::train(Addr, Addr addr)
     // Minimum signed delta against the past N miss addresses of this
     // chunk; sub-block deltas round to one block with the delta's sign
     // (Palacharla & Kessler's rule).
-    if (!entry.recent.empty()) {
+    if (entry.recentCount > 0) {
         int64_t best = 0;
         bool have = false;
-        for (Addr past : entry.recent) {
+        for (unsigned i = 0; i < entry.recentCount; ++i) {
+            // Oldest-first walk of the ring, so ties on |delta| keep
+            // resolving to the oldest miss exactly as the previous
+            // grow-and-trim vector did.
+            unsigned slot = (entry.recentHead + _cfg.historyDepth -
+                             entry.recentCount + i) %
+                            _cfg.historyDepth;
+            Addr past = ring[slot];
             int64_t delta = addr - past;
             if (delta == 0)
                 continue;
@@ -74,9 +84,10 @@ MinDeltaPredictor::train(Addr, Addr addr)
         }
     }
 
-    entry.recent.push_back(addr);
-    if (entry.recent.size() > _cfg.historyDepth)
-        entry.recent.erase(entry.recent.begin());
+    ring[entry.recentHead] = addr;
+    entry.recentHead = (entry.recentHead + 1) % _cfg.historyDepth;
+    if (entry.recentCount < _cfg.historyDepth)
+        ++entry.recentCount;
 
     _lastMissAddr = addr;
     _haveLastMiss = true;

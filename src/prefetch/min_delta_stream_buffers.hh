@@ -60,7 +60,8 @@ class MinDeltaPredictor : public AddressPredictor
     struct ChunkEntry
     {
         uint64_t chunk = 0;
-        std::vector<Addr> recent; ///< last N miss addresses
+        unsigned recentHead = 0;  ///< next write slot in the ring
+        unsigned recentCount = 0; ///< valid ring entries (<= depth)
         unsigned consecutiveMisses = 0;
         int64_t stride = 0;
         bool valid = false;
@@ -72,6 +73,10 @@ class MinDeltaPredictor : public AddressPredictor
     MinDeltaConfig _cfg;
     unsigned _lineBits;
     std::vector<ChunkEntry> _chunks;
+    /** Per-chunk miss-history rings, historyDepth slots each, laid
+     *  out flat and sized once at construction so training (which
+     *  runs on the per-cycle hot path) never touches the heap. */
+    std::vector<Addr> _history;
     Addr _lastMissAddr{};
     bool _haveLastMiss = false;
     /** Chunk of the most recent trained miss (for the filter). */

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "prefetch/stream_buffer.hh"
+#include "util/hot_path.hh"
 #include "util/trace.hh"
 
 namespace psb
@@ -58,7 +59,7 @@ class BufferScheduler
      * @return Winning buffer index, or -1 when no candidate exists.
      */
     template <typename CandidateFn, typename StampFn>
-    int
+    PSB_HOT_PATH int
     pick(const StreamBufferFile &file, const CandidateFn &candidate,
          const StampFn &tie_stamp)
     {

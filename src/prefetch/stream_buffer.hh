@@ -21,6 +21,7 @@
 #include "predictors/address_predictor.hh"
 #include "trace/micro_op.hh"
 #include "util/bitfield.hh"
+#include "util/hot_path.hh"
 #include "util/sat_counter.hh"
 
 namespace psb
@@ -72,7 +73,7 @@ class StreamBuffer
     void allocateStream(const StreamState &state, uint32_t priority_init);
 
     /** Index of the entry holding @p block, or -1. */
-    int findEntry(BlockAddr block) const;
+    PSB_HOT_PATH int findEntry(BlockAddr block) const;
 
     /**
      * Index of an entry free to take a new prediction, or -1. The
@@ -181,10 +182,10 @@ class StreamBufferFile
     };
 
     /** Search every entry of every buffer for @p block. */
-    std::optional<TagHit> findBlock(BlockAddr block) const;
+    PSB_HOT_PATH std::optional<TagHit> findBlock(BlockAddr block) const;
 
     /** True iff some buffer already holds a prediction for @p block. */
-    bool contains(BlockAddr block) const;
+    PSB_HOT_PATH bool contains(BlockAddr block) const;
 
     /**
      * The buffer to replace on a filter-based allocation (two-miss /
@@ -201,8 +202,10 @@ class StreamBufferFile
      *  then least-recently-hit), used by confidence allocation. */
     unsigned minPriorityBuffer() const;
 
-    StreamBuffer &buffer(unsigned i) { return _buffers.at(i); }
-    const StreamBuffer &buffer(unsigned i) const { return _buffers.at(i); }
+    // Indexing is unchecked: every caller iterates i < numBuffers(),
+    // and .at()'s throw path is banned on the hot path (rule R11).
+    StreamBuffer &buffer(unsigned i) { return _buffers[i]; }
+    const StreamBuffer &buffer(unsigned i) const { return _buffers[i]; }
     unsigned numBuffers() const { return unsigned(_buffers.size()); }
 
     /** The block number of @p addr at this file's block size. */

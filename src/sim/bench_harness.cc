@@ -16,6 +16,7 @@
 #include "prefetch/stream_buffer.hh"
 #include "sim/config.hh"
 #include "sim/simulator.hh"
+#include "util/alloc_guard.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
 #include "util/random.hh"
@@ -397,6 +398,8 @@ emitSimCell(std::string &out, const BenchSimResult &cell,
     out += indent +
            "  \"instructions\": " + std::to_string(cell.instructions) +
            ",\n";
+    out += indent + "  \"steady_state_allocs\": " +
+           std::to_string(cell.steadyStateAllocs) + ",\n";
     out += indent + "  \"wall_cycles_per_sec\": " +
            formatWall(cell.wallCyclesPerSec) + ",\n";
     out += indent + "  \"wall_ms\": " + formatWall(cell.wallMs) + "\n";
@@ -502,6 +505,7 @@ BenchHarness::runSimMatrix() const
                 cfg.warmupInstructions = _opts.simWarmup;
                 cfg.maxInstructions = _opts.simInstructions;
                 SimResult res;
+                uint64_t allocs0 = AllocGuard::scopedAllocs();
                 double ns = elapsedNs([&] {
                     Simulator sim(cfg, *trace);
                     res = sim.run();
@@ -509,6 +513,8 @@ BenchHarness::runSimMatrix() const
                 samples.push_back(ns / 1e6);
                 cell.cycles = res.core.cycles;
                 cell.instructions = res.core.instructions;
+                cell.steadyStateAllocs =
+                    AllocGuard::scopedAllocs() - allocs0;
             }
             cell.wallMs = medianOf(samples);
             cell.wallCyclesPerSec =
@@ -528,6 +534,7 @@ BenchHarness::runSimMatrix() const
     for (const BenchSimResult &cell : cells) {
         total.cycles += cell.cycles;
         total.instructions += cell.instructions;
+        total.steadyStateAllocs += cell.steadyStateAllocs;
         total.wallMs += cell.wallMs;
     }
     total.wallCyclesPerSec =
@@ -621,6 +628,12 @@ benchJson(const std::vector<BenchKernelResult> &kernels,
     out += kernelMap.empty() ? "},\n" : "\n  },\n";
 
     out += "  \"meta\": {\n";
+    out += "    \"hot_callgraph_edges\": " +
+           std::to_string(opts.hotCallgraphEdges) + ",\n";
+    out += "    \"hot_callgraph_reachable\": " +
+           std::to_string(opts.hotCallgraphReachable) + ",\n";
+    out += "    \"hot_callgraph_roots\": " +
+           std::to_string(opts.hotCallgraphRoots) + ",\n";
     out += std::string("    \"quick\": ") +
            (opts.quick ? "true" : "false") + ",\n";
     out += "    \"repeats\": " + std::to_string(opts.repeats) + ",\n";

@@ -55,6 +55,14 @@ struct BenchHarnessOptions
     /** Measured / warm-up instructions for each fig5 matrix cell. */
     uint64_t simInstructions = 200'000;
     uint64_t simWarmup = 50'000;
+    /** Hot-path call-graph size (tools/psb_analyze.py
+     *  --callgraph-json, loaded via `psb-bench --callgraph`); zeros
+     *  when not supplied. Deterministic meta fields: a grown graph in
+     *  the trajectory flags a discipline change alongside the wall
+     *  numbers. */
+    uint64_t hotCallgraphRoots = 0;
+    uint64_t hotCallgraphReachable = 0;
+    uint64_t hotCallgraphEdges = 0;
 };
 
 /** One kernel's measurement: deterministic fields + median wall. */
@@ -78,6 +86,12 @@ struct BenchSimResult
     std::string name;
     uint64_t cycles = 0;       ///< simulated cycles (deterministic)
     uint64_t instructions = 0; ///< committed insts (deterministic)
+    /** Heap allocations observed inside the steady-state no-alloc
+     *  scope (util/alloc_guard.hh). Deterministic and expected 0:
+     *  guarded debug builds count them for real, release builds
+     *  report 0 by construction — the alloc_guard ctest is the
+     *  enforcing gate, this field keeps the trajectory honest. */
+    uint64_t steadyStateAllocs = 0;
     double wallMs = 0.0;       ///< median-of-repeats (nondeterministic)
     double wallCyclesPerSec = 0.0; ///< cycles / median wall
 };

@@ -6,6 +6,7 @@
 #include "prefetch/next_line_prefetcher.hh"
 #include "prefetch/sequential_stream_buffers.hh"
 #include "prefetch/stride_stream_buffers.hh"
+#include "util/alloc_guard.hh"
 #include "util/logging.hh"
 #include "util/trace.hh"
 
@@ -37,8 +38,11 @@ class HookedPrefetcher : public Prefetcher
     trainLoad(Addr pc, Addr addr, bool l1_miss,
               bool store_forwarded) override
     {
+        // The observer hook is a measurement-harness callback, not
+        // modelled hardware; its dispatch is sanctioned on the hot
+        // path (and a null/empty hook short-circuits above).
         if (l1_miss && !store_forwarded && *_hook)
-            (*_hook)(pc, addr);
+            (*_hook)(pc, addr); // psb-analyze: allow(R12)
         _inner.trainLoad(pc, addr, l1_miss, store_forwarded);
     }
 
@@ -239,45 +243,66 @@ Simulator::maybeFastForward()
         return;
     _core->skipIdleCycles(n);
     _now += CycleDelta(n);
-    if (_intervalStats && _intervalStats->started())
-        _intervalStats->tick(_now);
+    if (_intervalStats && _intervalStats->started()) {
+        // Interval snapshots are an observability side-channel: they
+        // allocate by design and pause the guard (static counterpart:
+        // the allow() below keeps the writer out of the hot graph).
+        PSB_ALLOC_GUARD_PAUSE();
+        _intervalStats->tick(_now); // psb-analyze: allow(R10)
+    }
+}
+
+void
+Simulator::stepCycle()
+{
+    if (_cfg.fastForward)
+        maybeFastForward();
+    PSB_TRACE_SET_NOW(_now);
+    _core->tick(_now);
+    _hookWrapper->tick(_now);
+    ++_now;
 }
 
 SimResult
 Simulator::run()
 {
     while (!_core->done() &&
-           _core->stats().instructions < _cfg.warmupInstructions) {
-        if (_cfg.fastForward)
-            maybeFastForward();
-        PSB_TRACE_SET_NOW(_now);
-        _core->tick(_now);
-        _hookWrapper->tick(_now);
-        ++_now;
-    }
+           _core->stats().instructions < _cfg.warmupInstructions)
+        stepCycle();
 
     resetAllStats();
     if (_intervalStats)
         _intervalStats->start(_now);
 
-    while (!_core->done() &&
-           _core->stats().instructions < _cfg.maxInstructions) {
-        if (_cfg.fastForward)
-            maybeFastForward();
-        PSB_TRACE_SET_NOW(_now);
-        _core->tick(_now);
-        _hookWrapper->tick(_now);
-        ++_now;
-        if (_intervalStats)
-            _intervalStats->tick(_now);
-    }
+    {
+        // Steady state: the per-cycle hot path must not touch the
+        // heap (rule R10). Under a PSB_ALLOC_GUARD build this scope
+        // counts — and, armed via --assert-no-alloc, forbids — every
+        // allocation; the observability side-channels that
+        // legitimately allocate (workload trace generation in
+        // OoOCore::fetchStage, interval stats snapshots) sit inside
+        // PSB_ALLOC_GUARD_PAUSE blocks. The scope closes before the
+        // interval writer's final record and gather(), which are
+        // teardown, not per-cycle work.
+        PSB_NO_ALLOC_SCOPE("steady-state cycle loop");
+        while (!_core->done() &&
+               _core->stats().instructions < _cfg.maxInstructions) {
+            stepCycle();
+            if (_intervalStats) {
+                PSB_ALLOC_GUARD_PAUSE();
+                _intervalStats->tick(_now);
+            }
+        }
 
-    // Settle prefetch attribution (squash still-live prefetches and
-    // check the conservation invariant) BEFORE the final interval
-    // record, so the squash counters land inside the measured region
-    // and the interval deltas still telescope to the final document.
-    PSB_TRACE_SET_NOW(_now);
-    _hookWrapper->endOfSim(_now);
+        // Settle prefetch attribution (squash still-live prefetches
+        // and check the conservation invariant) BEFORE the final
+        // interval record, so the squash counters land inside the
+        // measured region and the interval deltas still telescope to
+        // the final document. The settle path is per-cycle-class
+        // work and stays inside the no-alloc scope.
+        PSB_TRACE_SET_NOW(_now);
+        _hookWrapper->endOfSim(_now);
+    }
 
     if (_intervalStats)
         _intervalStats->finish(_now);

@@ -16,6 +16,7 @@
 #include "sim/config.hh"
 #include "sim/interval_stats.hh"
 #include "trace/trace_source.hh"
+#include "util/hot_path.hh"
 #include "util/stats.hh"
 
 namespace psb
@@ -99,6 +100,15 @@ class Simulator
   private:
     void resetAllStats();
     void buildStatsRegistry();
+
+    /**
+     * One simulated cycle: optional exact fast-forward, core tick,
+     * prefetcher tick, clock advance. This is the per-cycle hot-path
+     * root — everything reachable from here must satisfy R10–R12
+     * (no allocation, no throw, devirtualizable dispatch).
+     */
+    PSB_HOT_PATH void stepCycle();
+
     void maybeFastForward();
     SimResult gather() const;
 

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * psb_analyze fixture: declaration-site suppression (clean). The
+ * allow(R10) sits on the method *declaration*; the allocation lives
+ * in the matching out-of-line *definition*. The suppression contract
+ * says a declaration-site allow() covers the definition too, so this
+ * file must report nothing — and the self-test additionally strips
+ * the allow comment and asserts the R10 finding surfaces, proving
+ * the suppression (not the fixture) is what keeps this clean.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace fixture
+{
+
+struct Scratch
+{
+    int payload = 0;
+};
+
+class SanctionedAllocator
+{
+  public:
+    /** Cold-start refill sanctioned by review: the allocation is
+     *  intentional and audited (the runtime guard pauses here). */
+    // psb-analyze: allow(R10)
+    PSB_HOT_PATH void step();
+
+  private:
+    Scratch *_scratch = nullptr;
+};
+
+inline void
+SanctionedAllocator::step()
+{
+    _scratch = new Scratch();
+}
+
+} // namespace fixture

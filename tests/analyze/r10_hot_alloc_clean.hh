@@ -1,0 +1,48 @@
+/**
+ * @file
+ * psb_analyze fixture: R10 hot-path allocation (clean). The same
+ * shape as the bad twin with the storage preallocated at
+ * construction: the constructor (not reachable from the hot root)
+ * sizes the buffer once, and the per-cycle path only indexes into
+ * it. The self-test requires this file to report nothing.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace fixture
+{
+
+class PreallocatedRing
+{
+  public:
+    PreallocatedRing() { _ring.resize(kCapacity); }
+
+    /** Per-cycle root: writes into preallocated storage only. */
+    PSB_HOT_PATH void step(int v);
+
+  private:
+    void record(int v);
+
+    static constexpr std::size_t kCapacity = 64;
+    std::vector<int> _ring;
+    std::size_t _head = 0;
+};
+
+inline void
+PreallocatedRing::step(int v)
+{
+    record(v);
+}
+
+inline void
+PreallocatedRing::record(int v)
+{
+    _ring[_head] = v;
+    _head = (_head + 1) % kCapacity;
+}
+
+} // namespace fixture

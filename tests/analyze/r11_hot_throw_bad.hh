@@ -1,0 +1,52 @@
+/**
+ * @file
+ * psb_analyze fixture: R11 hot-path throw (bad). Three findings must
+ * be reported from the PSB_HOT_PATH root: a throw statement, a
+ * throwing stdlib call (std::vector::at), and an unbounded recursion
+ * cycle (drain calling itself) — recursion cannot be proven
+ * stack- and allocation-safe on the per-cycle path. The self-test
+ * requires this file to report exactly {R11}, with at least two
+ * findings so the suppression round trip asserts N -> N-1.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace fixture
+{
+
+class ThrowingPath
+{
+  public:
+    /** Per-cycle root: everything reachable must be throw-free. */
+    PSB_HOT_PATH int step(std::size_t i);
+
+  private:
+    int drain(int budget);
+
+    std::vector<int> _vals;
+    int _bad = -1;
+};
+
+inline int
+ThrowingPath::step(std::size_t i)
+{
+    if (i >= _vals.size())
+        throw _bad;
+    int v = _vals.at(i);
+    return v + drain(v);
+}
+
+/** Self-recursion: a cycle in the hot call graph. */
+inline int
+ThrowingPath::drain(int budget)
+{
+    if (budget <= 0)
+        return 0;
+    return 1 + drain(budget - 1);
+}
+
+} // namespace fixture

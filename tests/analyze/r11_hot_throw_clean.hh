@@ -1,0 +1,51 @@
+/**
+ * @file
+ * psb_analyze fixture: R11 hot-path throw (clean). The same
+ * computation as the bad twin with the failure modes designed out:
+ * bounds are checked and reported through the return value instead
+ * of a throw, indexing uses operator[] after the explicit check, and
+ * the drain loop is iterative. The self-test requires this file to
+ * report nothing.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace fixture
+{
+
+class CheckedPath
+{
+  public:
+    /** Per-cycle root: total, bounded, throw-free. */
+    PSB_HOT_PATH int step(std::size_t i);
+
+  private:
+    int drain(int budget);
+
+    std::vector<int> _vals;
+};
+
+inline int
+CheckedPath::step(std::size_t i)
+{
+    if (i >= _vals.size())
+        return -1;
+    int v = _vals[i];
+    return v + drain(v);
+}
+
+/** Iterative drain: no recursion on the hot path. */
+inline int
+CheckedPath::drain(int budget)
+{
+    int total = 0;
+    while (budget-- > 0)
+        ++total;
+    return total;
+}
+
+} // namespace fixture

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * psb_analyze fixture: R12 hot-path dispatch (bad). Three dispatch
+ * sites must be reported from the PSB_HOT_PATH root: a std::function
+ * member invocation, a function-pointer call through (*fp)(...), and
+ * a virtual call whose callee set cannot be resolved in-tree (the
+ * interface declares step() but no implementation exists anywhere in
+ * the analyzed set, so devirtualization is impossible). The
+ * self-test requires this file to report exactly {R12}, with at
+ * least two findings so the suppression round trip asserts
+ * N -> N-1.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace fixture
+{
+
+/** Interface with no in-tree implementation: a call through it can
+ *  land anywhere. */
+class OpaqueStage
+{
+  public:
+    virtual ~OpaqueStage() = default;
+    virtual void step(int v);
+};
+
+class DispatchingPath
+{
+  public:
+    /** Per-cycle root: all dispatch must be devirtualizable. */
+    PSB_HOT_PATH void step(OpaqueStage &stage, int v);
+
+  private:
+    std::function<void(int)> _callback;
+    void (*_rawHook)(int) = nullptr;
+};
+
+inline void
+DispatchingPath::step(OpaqueStage &stage, int v)
+{
+    _callback(v);
+    (*_rawHook)(v);
+    stage.step(v);
+}
+
+} // namespace fixture

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * psb_analyze fixture: R12 hot-path dispatch (clean). The virtual
+ * call is fully resolvable in-tree: the interface's only
+ * implementations are in the analyzed set, so the callee set is
+ * complete and every implementation is itself audited as hot. The
+ * callback of the bad twin is replaced by a direct call. The
+ * self-test requires this file to report nothing.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace fixture
+{
+
+/** Interface whose complete override set is in-tree. */
+class Stage
+{
+  public:
+    virtual ~Stage() = default;
+    virtual int step(int v) = 0;
+};
+
+class DoublerStage : public Stage
+{
+  public:
+    int step(int v) override { return v + v; }
+};
+
+class IdentityStage : public Stage
+{
+  public:
+    int step(int v) override { return v; }
+};
+
+class ResolvedPath
+{
+  public:
+    /** Per-cycle root: dispatch resolves to {DoublerStage,
+     *  IdentityStage}::step, both audited transitively. */
+    PSB_HOT_PATH int step(Stage &stage, int v);
+};
+
+inline int
+ResolvedPath::step(Stage &stage, int v)
+{
+    return stage.step(v);
+}
+
+} // namespace fixture

@@ -108,10 +108,12 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 import psb_rules  # noqa: E402
 from psb_rules import (  # noqa: E402
     DOMAIN_PARAM_NAMES, EXIT_CLEAN, EXIT_ERROR, EXIT_FINDINGS,
-    EXIT_NO_COMPILE_DB, R7_BARRIER_CALLS, R7_BARRIER_FN_PATTERN,
-    R7_CLOCK_SOURCES, R7_POINTER_SOURCES, R7_SINK_CALLS,
-    R7_SINK_FN_PATTERN, R8_ALL_ANNOTATIONS, R8_GUARD_ANNOTATIONS,
-    R8_MUTEX_TYPES, R8_SYNC_TYPES, RULES, STRONG_TYPES,
+    EXIT_NO_COMPILE_DB, HOT_PATH_MARKER, R7_BARRIER_CALLS,
+    R7_BARRIER_FN_PATTERN, R7_CLOCK_SOURCES, R7_POINTER_SOURCES,
+    R7_SINK_CALLS, R7_SINK_FN_PATTERN, R8_ALL_ANNOTATIONS,
+    R8_GUARD_ANNOTATIONS, R8_MUTEX_TYPES, R8_SYNC_TYPES,
+    R10_ALLOC_CALLS, R10_ALLOC_CONTAINERS, R10_GROWTH_METHODS,
+    R11_THROWING_CALLS, R12_INDIRECT_TYPES, RULES, STRONG_TYPES,
     format_finding)
 
 # --------------------------------------------------------------------
@@ -230,6 +232,13 @@ class Model:
         # (class, member) -> lines where member is read outside
         # mutations/accessors/registerStats/resetStats
         self.other_reads = set()
+        # PSB_HOT_PATH-annotated roots: set of (class-or-"", name)
+        self.hot_roots = set()
+        # methods declared `virtual`: set of (class, name)
+        self.virtuals = set()
+        # allow() on a declaration: (class-or-"", name) -> rule set,
+        # also suppressing the matching out-of-line definition
+        self.decl_allows = {}
 
     def cls(self, name):
         if name not in self.classes:
@@ -259,18 +268,22 @@ def _type_str(toks):
 
 class Func:
     """One function body: enclosing class (None for free functions),
-    name, parameter-list token span, and body token span."""
+    name, parameter-list token span, body token span, and return-type
+    text (used by the call-graph layer to resolve method calls on a
+    call's result, `buffer(i).fill(...)`)."""
 
     __slots__ = ("cls", "name", "sig_lo", "sig_hi", "body_lo",
-                 "body_hi")
+                 "body_hi", "ret")
 
-    def __init__(self, cls, name, sig_lo, sig_hi, body_lo, body_hi):
+    def __init__(self, cls, name, sig_lo, sig_hi, body_lo, body_hi,
+                 ret=""):
         self.cls = cls
         self.name = name
         self.sig_lo = sig_lo
         self.sig_hi = sig_hi
         self.body_lo = body_lo
         self.body_hi = body_hi
+        self.ret = ret
 
     def __repr__(self):
         owner = f"{self.cls}::" if self.cls else ""
@@ -280,13 +293,15 @@ class Func:
 class FileScan:
     """Single-file scan: builds scope structure over the token list."""
 
-    def __init__(self, rel, toks, raw=""):
+    def __init__(self, rel, toks, raw="", sup=None):
         self.rel = rel
         self.toks = toks
         #: original file text, kept for raw-text scoping decisions
         #: (the tokenizer swallows preprocessor lines, so "does this
         #: TU include thread_annotations.hh" is only answerable here)
         self.raw = raw
+        #: line -> suppressed rule set (for declaration-site allow())
+        self.sup = sup or {}
         self.functions = []  # list of Func
         # class name -> (body_lo, body_hi) spans at class scope
         self.class_spans = []
@@ -296,6 +311,78 @@ class FileScan:
         self._scan_classes(model)
         self._scan_out_of_line_functions()
         self._scan_free_functions()
+        self._scan_hot_facts(model)
+
+    #: Tokens at class scope that end a backward walk from a method
+    #: name to the start of its declaration.
+    _DECL_BOUNDARY = (";", "}", "{", "public", "private", "protected")
+
+    def _ret_text(self, i, lo=0):
+        """Return-type-ish text preceding the name token at `i`."""
+        toks = self.toks
+        j = i - 1
+        while j >= lo and toks[j].text not in self._DECL_BOUNDARY \
+                and toks[j].text != ":":
+            j -= 1
+        words = [t.text for t in toks[j + 1:i]
+                 if t.text not in ("virtual", "static", "inline",
+                                   "constexpr", "explicit", "friend",
+                                   HOT_PATH_MARKER)]
+        return " ".join(words)
+
+    def _scan_hot_facts(self, model):
+        """PSB_HOT_PATH roots, virtual-method decls, and allow() on
+        declarations (which must also suppress the out-of-line
+        definition — see Model.decl_allows)."""
+        toks = self.toks
+        n = len(toks)
+
+        def owner(idx):
+            best = ""
+            for cname, lo, hi in self.class_spans:
+                if lo <= idx < hi:
+                    best = cname  # innermost wins (spans nest)
+            return best
+
+        # Hot roots: PSB_HOT_PATH ... name ( — the first identifier
+        # followed by '(' after the marker is the function name.
+        for i, t in enumerate(toks):
+            if t.kind == "id" and t.text == HOT_PATH_MARKER:
+                k = i + 1
+                while k + 1 < n and not (toks[k].kind == "id"
+                                         and toks[k + 1].text == "("):
+                    k += 1
+                if k + 1 < n:
+                    model.hot_roots.add((owner(k), toks[k].text))
+
+        # Class-depth walk: virtual markers and declaration-site
+        # suppressions for every method of every class.
+        for cname, lo, hi in self.class_spans:
+            i = lo
+            while i < hi:
+                t = toks[i]
+                if t.text == "{":
+                    i = _find_matching(toks, i, "{", "}") + 1
+                    continue
+                if t.kind == "id" and i + 1 < hi \
+                        and toks[i + 1].text == "(" \
+                        and t.text not in CONTROL_KEYWORDS:
+                    j = i - 1
+                    while j >= lo and toks[j].text not in \
+                            self._DECL_BOUNDARY:
+                        if toks[j].text == "virtual":
+                            model.virtuals.add((cname, t.text))
+                            break
+                        j -= 1
+                    rules = set()
+                    for ln in (t.line, t.line - 1):
+                        rules |= self.sup.get(ln, set())
+                    if rules:
+                        model.decl_allows.setdefault(
+                            (cname, t.text), set()).update(rules)
+                    i = _find_matching(toks, i + 1, "(", ")") + 1
+                    continue
+                i += 1
 
     def _scan_aliases(self, model):
         toks = self.toks
@@ -369,7 +456,7 @@ class FileScan:
                         body_hi = _find_matching(toks, k, "{", "}")
                         self.functions.append(Func(
                             info.name, t.text, i + 2, close, k + 1,
-                            body_hi))
+                            body_hi, ret=self._ret_text(i, lo)))
                         if t.text not in info.declares:
                             info.declares.add(t.text)
                         self._maybe_accessor(
@@ -381,18 +468,33 @@ class FileScan:
                     i = k
                     continue
                 # member: <type tokens> name [= init] ; / {init};
-                if nxt.text in (";", "=", "{") and i - 1 >= lo \
-                        and toks[i - 1].kind == "id":
-                    ty_lo = i - 1
-                    while ty_lo - 1 >= lo and toks[ty_lo - 1].kind in (
-                            "id", "punc") and toks[ty_lo - 1].text in (
-                            "const", "static", "mutable", "unsigned",
-                            "long", "::", "<", ">", ",") :
-                        ty_lo -= 1
-                    ty = _type_str(toks[ty_lo:i])
-                    if ty and ty not in ("return", "public", "private",
-                                         "protected"):
-                        info.members.setdefault(t.text, ty)
+                if nxt.text in (";", "=", "{") and i - 1 >= lo:
+                    j = i - 1
+                    while j >= lo and toks[j].text in ("*", "&"):
+                        j -= 1
+                    if j >= lo and toks[j].text == ">":
+                        depth = 0
+                        while j >= lo:
+                            if toks[j].text == ">":
+                                depth += 1
+                            elif toks[j].text == "<":
+                                depth -= 1
+                                if depth == 0:
+                                    j -= 1
+                                    break
+                            j -= 1
+                    if j >= lo and toks[j].kind == "id":
+                        ty_lo = j
+                        while ty_lo - 1 >= lo and toks[ty_lo - 1].kind \
+                                in ("id", "punc") and \
+                                toks[ty_lo - 1].text in (
+                                "const", "static", "mutable", "unsigned",
+                                "long", "std", "::", "<", ">", ","):
+                            ty_lo -= 1
+                        ty = _type_str(toks[ty_lo:i])
+                        if ty and ty not in ("return", "public",
+                                             "private", "protected"):
+                            info.members.setdefault(t.text, ty)
             i += 1
 
     def _maybe_accessor(self, info, fname, lo, hi):
@@ -429,7 +531,7 @@ class FileScan:
                     body_hi = _find_matching(toks, k, "{", "}")
                     self.functions.append(Func(
                         toks[i].text, toks[i + 2].text, i + 4, close,
-                        k + 1, body_hi))
+                        k + 1, body_hi, ret=self._ret_text(i)))
                     i = body_hi + 1
                     continue
             i += 1
@@ -479,7 +581,8 @@ class FileScan:
                 if k < n and toks[k].text == "{":
                     body_hi = _find_matching(toks, k, "{", "}")
                     self.functions.append(Func(
-                        None, t.text, i + 2, close, k + 1, body_hi))
+                        None, t.text, i + 2, close, k + 1, body_hi,
+                        ret=self._ret_text(i)))
                     i = body_hi + 1
                     continue
             i += 1
@@ -492,6 +595,9 @@ class FileScan:
 class Findings:
     def __init__(self):
         self.items = []  # dicts: file, line, rule, message, key
+        # filled by analyze_files: hot-path call-graph size metrics
+        self.callgraph = {"hot_roots": 0, "hot_reachable": 0,
+                          "hot_edges": 0}
 
     def add(self, scan_or_rel, line, rule, message, key,
             suppressed=None):
@@ -811,14 +917,18 @@ def _resolve_type(name, scan_locals, cls_info, model, depth=0):
 
 
 def _collect_locals(toks, lo, hi):
-    """Very light local-decl harvest: `Type name =|{|;` inside body."""
+    """Very light local-decl harvest: `Type [&|*] name =|{|;` inside a
+    body (the `:` alternative catches range-for bindings)."""
     out = {}
     for s, e in _statements(toks, lo, hi):
         span = toks[s:e]
         for k in range(1, len(span)):
+            prev_is_type = span[k - 1].kind == "id" or (
+                span[k - 1].text in ("&", "*") and k >= 2
+                and span[k - 2].kind == "id")
             if span[k].kind == "id" and k + 1 < len(span) \
                     and span[k + 1].text in ("=", "{", ";", ":") \
-                    and span[k - 1].kind == "id":
+                    and prev_is_type:
                 out.setdefault(span[k].text,
                                _type_str(span[:k]))
                 break
@@ -1818,6 +1928,609 @@ def pass_r8_lock_discipline(scan, suppressed, findings):
 
 
 # --------------------------------------------------------------------
+# Hot-path call-graph layer (R10, R11, R12)
+# --------------------------------------------------------------------
+
+#: Bare (receiver-less) stdlib calls that throw — the sto* family.
+#: The rest of R11_THROWING_CALLS (.at(), .value(), .substr()) only
+#: means "throwing" as a method call on a receiver.
+_R11_BARE_THROWING = frozenset(
+    c for c in R11_THROWING_CALLS if c.startswith("sto"))
+
+#: Rules enforced over the hot-path call graph.
+HOT_RULES = ("R10", "R11", "R12")
+
+
+class HotPathGraph:
+    """Interprocedural call graph rooted at PSB_HOT_PATH functions.
+
+    Built once over the merged cross-TU model (deterministic: scans
+    arrive in sorted path order and every walk below iterates sorted
+    keys), then queried per rule:
+
+      R10  any reachable heap allocation: operator new, malloc-family
+           or make_* calls, growth methods on std containers, sized
+           container/string construction.
+      R11  any reachable throw statement, throwing stdlib call
+           (.at(), sto*, optional::value, substr), or recursion cycle
+           inside the hot subgraph.
+      R12  virtual or indirect dispatch that cannot be resolved to a
+           complete in-tree callee set: std::function invocation,
+           `(*fp)(...)` calls, virtual calls with no in-tree
+           implementation or an unresolvable receiver.
+
+    Call edges: bare calls resolve through the caller's own class
+    hierarchy and the free-function table; `recv.m()` / `recv->m()`
+    resolve the receiver's declared type through locals, parameters,
+    members (including inherited ones), smart-pointer/container
+    element types, and call-result return types. A virtual call on an
+    in-tree class fans out to every in-tree override in the subtree —
+    the whole override set becomes hot, which is exactly the
+    devirtualization contract R12 audits.
+
+    Suppression prunes the graph per rule: `allow(Rn)` on a call-site
+    line cuts that edge (the sanctioned-subtree escape hatch — e.g.
+    workload trace generation under PSB_ALLOC_GUARD_PAUSE), and
+    `allow(Rn)` on a function's declaration removes the function from
+    rule Rn's graph entirely (matching Model.decl_allows semantics).
+    """
+
+    def __init__(self, scans, model):
+        self.scans = scans
+        self.model = model
+        self.funcs = {}     # (cls-or-"", name) -> [(scan, fn, sup)]
+        self.children = {}  # class -> set of direct derived classes
+        self.edges = {}     # key -> [ {callee, scan, line, allows} ]
+        self.prims = {}     # key -> [(rule, scan, line, msg, ukey, sup)]
+        self.hot_keys = []  # resolved root keys, sorted
+        self._subtree_cache = {}
+        self._build()
+
+    # -- construction ------------------------------------------------
+
+    def _build(self):
+        model = self.model
+        for scan, sup in self.scans:
+            for fn in scan.functions:
+                key = (fn.cls or "", fn.name)
+                self.funcs.setdefault(key, []).append((scan, fn, sup))
+        for name, info in model.classes.items():
+            for b in info.bases:
+                self.children.setdefault(b, set()).add(name)
+
+        roots = set()
+        for cls, name in sorted(model.hot_roots):
+            key = self._impl(cls, name) if cls else (
+                ("", name) if ("", name) in self.funcs else None)
+            if key is not None:
+                roots.add(key)
+            # a virtual root pulls in its in-tree overrides too: the
+            # annotation on the interface makes every implementation
+            # hot (Prefetcher::tick -> all prefetchers' tick).
+            if cls and self._is_virtual(cls, name):
+                for t in self._virtual_targets(cls, name):
+                    roots.add(t)
+        self.hot_keys = sorted(roots)
+
+        for key in sorted(self.funcs):
+            for scan, fn, sup in self.funcs[key]:
+                self._extract(key, scan, fn, sup)
+
+    # -- hierarchy helpers -------------------------------------------
+
+    def _bases(self, cls):
+        info = self.model.classes.get(cls)
+        return info.bases if info else ()
+
+    def _is_virtual(self, cls, name, seen=None):
+        seen = seen if seen is not None else set()
+        if cls in seen:
+            return False
+        seen.add(cls)
+        if (cls, name) in self.model.virtuals:
+            return True
+        return any(self._is_virtual(b, name, seen)
+                   for b in self._bases(cls))
+
+    def _impl(self, cls, name, seen=None):
+        """Nearest implementation of `name` at or above `cls`."""
+        seen = seen if seen is not None else set()
+        if cls in seen:
+            return None
+        seen.add(cls)
+        if (cls, name) in self.funcs:
+            return (cls, name)
+        for b in self._bases(cls):
+            found = self._impl(b, name, seen)
+            if found:
+                return found
+        return None
+
+    def _subtree(self, cls):
+        """`cls` plus every in-tree class transitively derived."""
+        if cls in self._subtree_cache:
+            return self._subtree_cache[cls]
+        out = {cls}
+        work = [cls]
+        while work:
+            c = work.pop()
+            for d in sorted(self.children.get(c, ())):
+                if d not in out:
+                    out.add(d)
+                    work.append(d)
+        self._subtree_cache[cls] = out
+        return out
+
+    def _virtual_targets(self, cls, name):
+        """Every in-tree implementation a virtual call can reach."""
+        targets = {(d, name) for d in self._subtree(cls)
+                   if (d, name) in self.funcs}
+        up = self._impl(cls, name)
+        if up:
+            targets.add(up)
+        return sorted(targets)
+
+    def _member_type(self, cls, name, seen=None):
+        seen = seen if seen is not None else set()
+        if not cls or cls in seen:
+            return ""
+        seen.add(cls)
+        info = self.model.classes.get(cls)
+        if info is None:
+            return ""
+        if name in info.members:
+            return info.members[name]
+        for b in info.bases:
+            ty = self._member_type(b, name, seen)
+            if ty:
+                return ty
+        return ""
+
+    def _type_words(self, ty):
+        out = []
+        for w in ty.split():
+            for w2 in self.model.aliases.get(w, w).split():
+                out.append(self.model.aliases.get(w2, w2))
+        return out
+
+    # -- extraction ---------------------------------------------------
+
+    def _allows_at(self, sup, line):
+        out = set()
+        for ln in (line, line - 1):
+            out |= sup.get(ln, set())
+        return out
+
+    def _edge(self, key, callee, scan, line, sup):
+        allows = self._allows_at(sup, line) | \
+            self.model.decl_allows.get(callee, set())
+        self.edges.setdefault(key, []).append(
+            {"callee": callee, "scan": scan, "line": line,
+             "allows": allows})
+
+    def _prim(self, key, rule, scan, line, msg, ukey, sup):
+        self.prims.setdefault(key, []).append(
+            (rule, scan, line, msg, ukey, sup))
+
+    def _recv_words(self, key, scan, fn, locals_ty, i):
+        """Declared-type words of the receiver ending at token i
+        (the token before `.`/`->`). Empty list = unresolvable."""
+        toks = scan.toks
+        r = toks[i]
+        if r.kind == "id":
+            if r.text == "this":
+                return [fn.cls] if fn.cls else []
+            ty = locals_ty.get(r.text, "") or \
+                self._member_type(fn.cls or "", r.text)
+            if not ty and r.text in self.model.classes:
+                return [r.text]  # static-ish `Class.m` — unusual
+            if not ty and i - 1 > fn.body_lo \
+                    and toks[i - 1].text in (".", "->"):
+                # chained member access: `base.member.m(...)` — type
+                # the member through the base's resolved class
+                for w in self._recv_words(key, scan, fn,
+                                          locals_ty, i - 2):
+                    if w in self.model.classes:
+                        ty = self._member_type(w, r.text)
+                        if ty:
+                            break
+            if not ty:
+                # last resort: the name is a member of in-tree classes
+                # with one unambiguous type (e.g. a public `priority`
+                # reached through an unresolved receiver)
+                cand = {
+                    info.members[r.text]
+                    for info in self.model.classes.values()
+                    if r.text in info.members
+                }
+                if len(cand) == 1:
+                    ty = next(iter(cand))
+            return self._type_words(ty)
+        if r.text == "]":
+            # container element access: `base[i].m(...)`
+            j = i
+            depth = 0
+            while j > fn.body_lo:
+                if toks[j].text == "]":
+                    depth += 1
+                elif toks[j].text == "[":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                j -= 1
+            if j > fn.body_lo and toks[j - 1].kind == "id":
+                base = toks[j - 1].text
+                ty = locals_ty.get(base, "") or \
+                    self._member_type(fn.cls or "", base)
+                words = self._type_words(ty)
+                # Indexing a container yields the *element* type:
+                # `_pht[i].value()` dispatches on SatCounter, not on
+                # the std::vector holding it.
+                if any(w in R10_ALLOC_CONTAINERS for w in words):
+                    words = [w for w in words
+                             if w != "std"
+                             and w not in R10_ALLOC_CONTAINERS]
+                return words
+            return []
+        if r.text == ")":
+            # call result: `g(...).m(...)` — use g's return type
+            j = i
+            depth = 0
+            while j > fn.body_lo:
+                if toks[j].text == ")":
+                    depth += 1
+                elif toks[j].text == "(":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                j -= 1
+            if j > fn.body_lo and toks[j - 1].kind == "id":
+                g = toks[j - 1].text
+                tkey = None
+                if fn.cls:
+                    tkey = self._impl(fn.cls, g)
+                if tkey is None and ("", g) in self.funcs:
+                    tkey = ("", g)
+                if tkey is not None:
+                    ret = self.funcs[tkey][0][1].ret
+                    return self._type_words(ret)
+            return []
+        return []
+
+    def _extract(self, key, scan, fn, sup):
+        toks = scan.toks
+        lo, hi = fn.body_lo, fn.body_hi
+        locals_ty = {}
+        for pname, pty in _parse_params(toks, fn.sig_lo, fn.sig_hi):
+            if pname:
+                locals_ty[pname] = pty
+        locals_ty.update(_collect_locals(toks, lo, hi))
+
+        i = lo
+        while i < hi:
+            t = toks[i]
+            nxt = toks[i + 1].text if i + 1 < hi else ""
+            if t.kind == "id" and t.text == "throw":
+                self._prim(key, "R11", scan, t.line,
+                           "throw statement",
+                           f"throw:{t.line}", sup)
+            elif t.kind == "id" and t.text == "new" \
+                    and (i == lo or toks[i - 1].text not in
+                         ("operator", "delete")):
+                self._prim(key, "R10", scan, t.line,
+                           "operator new",
+                           f"new:{t.line}", sup)
+            elif t.text == "(" and i + 4 < hi \
+                    and toks[i + 1].text == "*" \
+                    and toks[i + 2].kind == "id" \
+                    and toks[i + 3].text == ")" \
+                    and toks[i + 4].text == "(":
+                self._prim(key, "R12", scan, t.line,
+                           f"indirect call through "
+                           f"'(*{toks[i + 2].text})'",
+                           f"indirect:{t.line}", sup)
+            elif t.kind == "id" and nxt == "<" \
+                    and t.text in R10_ALLOC_CALLS:
+                # template-call syntax: make_unique<T>(...)
+                self._prim(key, "R10", scan, t.line,
+                           f"allocating call '{t.text}<...>()'",
+                           f"alloc:{t.text}:{t.line}", sup)
+            elif t.kind == "id" and nxt == "(" \
+                    and t.text not in CONTROL_KEYWORDS:
+                self._call_site(key, scan, fn, sup, locals_ty, i)
+            i += 1
+
+    def _call_site(self, key, scan, fn, sup, locals_ty, i):
+        toks = scan.toks
+        name = toks[i].text
+        line = toks[i].line
+        prev = toks[i - 1] if i > 0 else None
+
+        if prev is not None and prev.text in (".", "->"):
+            self._method_call(key, scan, fn, sup, locals_ty, i)
+            return
+        # `Type name(...)` constructor-style declaration
+        if prev is not None and prev.kind == "id":
+            if prev.text in R10_ALLOC_CONTAINERS:
+                self._prim(key, "R10", scan, line,
+                           f"construction of allocating "
+                           f"'std::{prev.text}'",
+                           f"ctor:{line}", sup)
+                return
+            if prev.text in self.model.classes:
+                ctor = (prev.text, prev.text)
+                if ctor in self.funcs:
+                    self._edge(key, ctor, scan, line, sup)
+                return
+        # sized construction of a templated container:
+        # `std::vector<X> v(n)` — prev token is the closing '>'
+        if prev is not None and prev.text == ">":
+            j = i - 1
+            depth = 0
+            while j > fn.body_lo:
+                if toks[j].text == ">":
+                    depth += 1
+                elif toks[j].text == "<":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                j -= 1
+            if j > fn.body_lo and toks[j - 1].kind == "id" \
+                    and toks[j - 1].text in R10_ALLOC_CONTAINERS:
+                self._prim(key, "R10", scan, line,
+                           f"construction of allocating "
+                           f"'std::{toks[j - 1].text}<...>'",
+                           f"ctor:{line}", sup)
+            return
+        if name in self.model.classes:
+            ctor = (name, name)
+            if ctor in self.funcs:
+                self._edge(key, ctor, scan, line, sup)
+            return
+        if name in R10_ALLOC_CALLS:
+            self._prim(key, "R10", scan, line,
+                       f"allocating call '{name}()'",
+                       f"alloc:{name}:{line}", sup)
+            return
+        if name in _R11_BARE_THROWING:
+            self._prim(key, "R11", scan, line,
+                       f"throwing call '{name}()'",
+                       f"throwcall:{name}:{line}", sup)
+            return
+        # indirect call through a std::function-typed local/member
+        ty = locals_ty.get(name, "") or \
+            self._member_type(fn.cls or "", name)
+        words = self._type_words(ty)
+        if any(w in R12_INDIRECT_TYPES for w in words):
+            self._prim(key, "R12", scan, line,
+                       f"indirect call through std::function "
+                       f"'{name}'",
+                       f"indirect:{name}:{line}", sup)
+            return
+        # own-class method (virtual-aware: a bare call is `this->`)
+        if fn.cls:
+            if self._is_virtual(fn.cls, name):
+                for tkey in self._virtual_targets(fn.cls, name):
+                    self._edge(key, tkey, scan, line, sup)
+                return
+            impl = self._impl(fn.cls, name)
+            if impl is not None:
+                self._edge(key, impl, scan, line, sup)
+                return
+        if ("", name) in self.funcs:
+            self._edge(key, ("", name), scan, line, sup)
+
+    def _method_call(self, key, scan, fn, sup, locals_ty, i):
+        toks = scan.toks
+        name = toks[i].text
+        line = toks[i].line
+        if i < 2:
+            return
+        words = self._recv_words(key, scan, fn, locals_ty, i - 2)
+        # The receiver's *principal* type word decides the dispatch:
+        # for `std::deque<RobEntry>` that is the container (deque),
+        # not the element class, so container growth on a class-typed
+        # element is still caught. Smart-pointer and cv words are
+        # transparent (`std::unique_ptr<OoOCore>` dispatches on
+        # OoOCore).
+        principal = next(
+            (w for w in words
+             if w not in ("std", "const", "mutable", "unique_ptr",
+                          "shared_ptr", "::", "<", ">", ",", "*",
+                          "&")),
+            None)
+        if principal in R10_ALLOC_CONTAINERS:
+            if name in R10_GROWTH_METHODS:
+                self._prim(key, "R10", scan, line,
+                           f"'.{name}()' grows 'std::{principal}'",
+                           f"grow:{name}:{line}", sup)
+            elif name in R11_THROWING_CALLS:
+                self._prim(key, "R11", scan, line,
+                           f"throwing call '.{name}()'",
+                           f"throwcall:{name}:{line}", sup)
+            # other container methods (size/begin/operator[]) are fine
+            return
+        if principal in self.model.classes:
+            recv_cls = principal
+            if self._is_virtual(recv_cls, name):
+                targets = self._virtual_targets(recv_cls, name)
+                if targets:
+                    for tkey in targets:
+                        # A fan-out edge from an override back onto
+                        # itself through an explicit receiver is the
+                        # decorator-forwarding pattern (wrapper calls
+                        # inner.f() and the wrapper's own override is
+                        # in the callee set) — not provable recursion.
+                        # Bare self-calls still form cycles.
+                        if tkey == key:
+                            continue
+                        self._edge(key, tkey, scan, line, sup)
+                else:
+                    self._prim(
+                        key, "R12", scan, line,
+                        f"virtual call '.{name}()' on "
+                        f"'{recv_cls}' has no in-tree "
+                        f"implementation to devirtualize to",
+                        f"virt:{name}:{line}", sup)
+            else:
+                impl = self._impl(recv_cls, name)
+                if impl is not None:
+                    self._edge(key, impl, scan, line, sup)
+            return
+        if any(w in R12_INDIRECT_TYPES for w in words):
+            self._prim(key, "R12", scan, line,
+                       f"indirect call '.{name}()' through a "
+                       f"std::function object",
+                       f"indirect:{name}:{line}", sup)
+            return
+        if any(w in R10_ALLOC_CONTAINERS for w in words) \
+                and name in R10_GROWTH_METHODS:
+            cont = next(w for w in words
+                        if w in R10_ALLOC_CONTAINERS)
+            self._prim(key, "R10", scan, line,
+                       f"'.{name}()' grows 'std::{cont}'",
+                       f"grow:{name}:{line}", sup)
+            return
+        if name in R11_THROWING_CALLS:
+            self._prim(key, "R11", scan, line,
+                       f"throwing call '.{name}()'",
+                       f"throwcall:{name}:{line}", sup)
+            return
+        if not words and any(k[1] == name
+                             for k in self.model.virtuals):
+            self._prim(key, "R12", scan, line,
+                       f"cannot resolve the receiver of virtual "
+                       f"call '.{name}()' — the callee set is "
+                       f"unknown",
+                       f"virt:{name}:{line}", sup)
+
+    # -- reachability and reporting ----------------------------------
+
+    def _label(self, key):
+        cls, name = key
+        return f"{cls}::{name}" if cls else name
+
+    def _reach(self, rule):
+        """BFS from the hot roots; returns {key: parent-or-None}.
+
+        With a rule, `allow(rule)` on a call-site line cuts that edge
+        and `allow(rule)` on a declaration removes the function; with
+        rule=None the graph is unpruned (size metrics).
+        """
+        def banned(k):
+            return rule is not None and \
+                rule in self.model.decl_allows.get(k, ())
+
+        parent = {}
+        queue = []
+        for r in self.hot_keys:
+            if r not in parent and not banned(r):
+                parent[r] = None
+                queue.append(r)
+        qi = 0
+        while qi < len(queue):
+            k = queue[qi]
+            qi += 1
+            for e in self.edges.get(k, ()):
+                if rule is not None and rule in e["allows"]:
+                    continue
+                c = e["callee"]
+                if c not in parent and not banned(c):
+                    parent[c] = k
+                    queue.append(c)
+        return parent
+
+    def _path(self, parent, key):
+        chain = []
+        k = key
+        while k is not None:
+            chain.append(self._label(k))
+            k = parent.get(k)
+        chain.reverse()
+        if len(chain) > 5:
+            chain = chain[:2] + ["..."] + chain[-2:]
+        return " -> ".join(chain)
+
+    def _report_cycles(self, rule, parent, findings):
+        """Recursion cycles inside the rule's hot subgraph (R11)."""
+        color = {}  # 0 absent, 1 on stack, 2 done
+        reported = set()
+
+        def edges_of(k):
+            out = []
+            for e in self.edges.get(k, ()):
+                if rule in e["allows"]:
+                    continue
+                if e["callee"] in parent:
+                    out.append(e)
+            return out
+
+        for root in sorted(parent):
+            if color.get(root):
+                continue
+            stack = [(root, iter(edges_of(root)))]
+            color[root] = 1
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for e in it:
+                    c = e["callee"]
+                    if color.get(c) == 1:
+                        pair = (node, c)
+                        if pair not in reported:
+                            reported.add(pair)
+                            findings.add(
+                                e["scan"], e["line"], rule,
+                                f"recursion cycle on the per-cycle "
+                                f"hot path: '{self._label(node)}' "
+                                f"calls '{self._label(c)}' which is "
+                                f"already on the call stack — "
+                                f"unbounded recursion cannot be "
+                                f"proven allocation- and "
+                                f"overflow-free",
+                                f"recursion:{self._label(node)}:"
+                                f"{e['line']}",
+                                self._sup_of(e["scan"]))
+                    elif not color.get(c):
+                        color[c] = 1
+                        stack.append((c, iter(edges_of(c))))
+                        advanced = True
+                        break
+                if not advanced:
+                    color[node] = 2
+                    stack.pop()
+
+    def _sup_of(self, scan):
+        return scan.sup
+
+    def run(self, findings):
+        for rule in HOT_RULES:
+            parent = self._reach(rule)
+            for fkey in sorted(parent):
+                for (r, scan, line, msg, ukey, sup) in \
+                        self.prims.get(fkey, ()):
+                    if r != rule:
+                        continue
+                    findings.add(
+                        scan, line, rule,
+                        f"{msg} in '{self._label(fkey)}' on the "
+                        f"per-cycle hot path (reachable as "
+                        f"{self._path(parent, fkey)}); "
+                        f"{RULES[rule][1]}",
+                        f"hot:{ukey}", sup)
+            if rule == "R11":
+                self._report_cycles(rule, parent, findings)
+
+    def stats(self):
+        """Deterministic size metrics for psb-bench / bench-diff."""
+        parent = self._reach(None)
+        n_edges = sum(len(self.edges.get(k, ())) for k in parent)
+        return {"hot_roots": len(self.hot_keys),
+                "hot_reachable": len(parent),
+                "hot_edges": n_edges}
+
+
+# --------------------------------------------------------------------
 # libclang deepening pass (optional; used by CI)
 # --------------------------------------------------------------------
 
@@ -1968,7 +2681,7 @@ def _scan_one(item):
     path_str, rel_str = item
     text = pathlib.Path(path_str).read_text(errors="replace")
     toks, sup = tokenize(text)
-    scan = FileScan(pathlib.Path(rel_str), toks, raw=text)
+    scan = FileScan(pathlib.Path(rel_str), toks, raw=text, sup=sup)
     local = Model()
     scan.scan(local)
     return rel_str, scan, sup, local
@@ -1991,6 +2704,10 @@ def _merge_model(dst, src):
         d.declares |= ci.declares
         d.files |= ci.files
     dst.aliases.update(src.aliases)
+    dst.hot_roots |= src.hot_roots
+    dst.virtuals |= src.virtuals
+    for k, rules in src.decl_allows.items():
+        dst.decl_allows.setdefault(k, set()).update(rules)
 
 
 def analyze_files(files, root, jobs=1):
@@ -2035,7 +2752,40 @@ def analyze_files(files, root, jobs=1):
         pass_r8_lock_discipline(scan, sup, findings)
     pass_r2_completeness(model, suppressions, findings)
     pass_r7_r9_dataflow(scans, model, findings)
+    graph = HotPathGraph(scans, model)
+    graph.run(findings)
+    findings.callgraph = graph.stats()
+    _apply_decl_allows(scans, model, findings)
     return findings, suppressions
+
+
+def _apply_decl_allows(scans, model, findings):
+    """Satellite of the allow() contract: a suppression on a
+    function's *declaration* (header) also suppresses findings inside
+    the matching out-of-line *definition* — for every rule, not just
+    the call-graph ones (which already prune their graph on it)."""
+    if not model.decl_allows:
+        return
+    spans = []  # (file, line_lo, line_hi, rules)
+    for scan, _sup in scans:
+        toks = scan.toks
+        for fn in scan.functions:
+            rules = model.decl_allows.get((fn.cls or "", fn.name))
+            if not rules or fn.body_lo >= len(toks):
+                continue
+            lo_line = toks[max(fn.body_lo - 1, 0)].line
+            hi_line = toks[min(fn.body_hi, len(toks) - 1)].line
+            spans.append((str(scan.rel), lo_line, hi_line, rules))
+    if not spans:
+        return
+    kept = []
+    for f in findings.items:
+        drop = any(f["file"] == file and lo <= f["line"] <= hi
+                   and f["rule"] in rules
+                   for file, lo, hi, rules in spans)
+        if not drop:
+            kept.append(f)
+    findings.items = kept
 
 
 def load_baseline(path):
@@ -2138,6 +2888,10 @@ def run_tree(args):
                    "findings": fresh}
         pathlib.Path(args.json).write_text(
             json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    if args.callgraph_json:
+        pathlib.Path(args.callgraph_json).write_text(
+            json.dumps(findings.callgraph, indent=2, sort_keys=True)
+            + "\n")
 
     for f in fresh:
         print(format_finding(f["file"], f["line"], f["rule"],
@@ -2195,7 +2949,7 @@ def run_self_test(args):
     # carry at least two findings each so "exactly one" is a real
     # assertion, not 1 -> 0).
     import tempfile
-    for rule in ("R7", "R8", "R9"):
+    for rule in ("R7", "R8", "R9", "R10", "R11", "R12"):
         name = next((n for n, rules in sorted(golden.items())
                      if rule in rules), None)
         if name is None:
@@ -2231,6 +2985,39 @@ def run_self_test(args):
                 f"count {before} -> {after}, expected "
                 f"{before - 1}")
 
+    # Declaration-site suppression round trip: an allow() on a method
+    # *declaration* must also silence the matching out-of-line
+    # *definition*. The clean fixture carries exactly that shape;
+    # stripping the allow comment must surface the finding again —
+    # proving the suppression is doing the work, not the fixture
+    # being accidentally clean.
+    decl_fixture = fixture_dir / "r10_decl_allow_clean.hh"
+    if decl_fixture.exists():
+        text = decl_fixture.read_text()
+        stripped_lines = [
+            ln for ln in text.splitlines(keepends=True)
+            if "psb-analyze:" not in ln]
+        if len(stripped_lines) == len(text.splitlines(keepends=True)):
+            failures.append("decl-allow: r10_decl_allow_clean.hh has "
+                            "no psb-analyze: allow() comment to "
+                            "strip")
+        else:
+            with tempfile.TemporaryDirectory() as td:
+                tmp = pathlib.Path(td) / decl_fixture.name
+                tmp.write_text("".join(stripped_lines))
+                redo, _sup = analyze_files([tmp], pathlib.Path(td))
+                surfaced = [f for f in redo.items
+                            if f["rule"] == "R10"]
+            if not surfaced:
+                failures.append(
+                    "decl-allow: stripping the declaration-site "
+                    "allow() from r10_decl_allow_clean.hh surfaced "
+                    "no R10 finding — the clean fixture is not "
+                    "exercising declaration-site suppression")
+    else:
+        failures.append("decl-allow: fixture r10_decl_allow_clean.hh "
+                        "missing")
+
     if failures:
         for f in failures:
             print(f"psb_analyze --self-test FAIL: {f}")
@@ -2239,7 +3026,8 @@ def run_self_test(args):
         return EXIT_FINDINGS
     print(f"psb_analyze: self-test ok "
           f"({len(golden)} fixtures, exact rule match; suppression "
-          f"round trip for R7-R9)")
+          f"round trip for R7-R12; declaration-site allow() round "
+          f"trip)")
     return EXIT_CLEAN
 
 
@@ -2261,6 +3049,12 @@ def main():
                     help="findings baseline JSON (default: "
                          "<root>/tools/psb_analyze_baseline.json)")
     ap.add_argument("--json", help="write findings JSON here")
+    ap.add_argument("--callgraph-json",
+                    help="write hot-path call-graph size metrics "
+                         "(hot_roots/hot_reachable/hot_edges) here; "
+                         "psb-bench embeds them as deterministic "
+                         "fields so bench-diff catches discipline "
+                         "regressions")
     ap.add_argument("--jobs", type=int, default=1, metavar="N",
                     help="tokenize/scan N files in parallel; "
                          "findings are byte-identical at any N")

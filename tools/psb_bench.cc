@@ -13,6 +13,8 @@
  *   psb-bench --no-sim             # skip the fig5 matrix
  *   psb-bench --out out.json       # output path ("-" = stdout)
  *   psb-bench --list               # print kernel names and exit
+ *   psb-bench --callgraph cg.json  # fold psb_analyze call-graph
+ *                                  # stats into the meta section
  *
  * Compare two documents with bench-diff (tools/bench_diff.cc).
  */
@@ -22,9 +24,11 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "sim/bench_harness.hh"
+#include "util/json.hh"
 
 namespace
 {
@@ -43,7 +47,36 @@ usage(const char *argv0)
         << "  --no-sim          skip the fig5 whole-simulation matrix\n"
         << "  --out FILE        output path (default BENCH_psb.json; "
            "- = stdout)\n"
-        << "  --list            print registered kernel names and exit\n";
+        << "  --list            print registered kernel names and exit\n"
+        << "  --callgraph FILE  psb_analyze --callgraph-json output; "
+           "its hot_roots/hot_reachable/hot_edges become "
+           "deterministic meta fields\n";
+}
+
+/** Load hot-path call-graph stats into the harness options. */
+bool
+loadCallgraphStats(const std::string &path,
+                   psb::BenchHarnessOptions &opts)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    psb::JsonValue doc;
+    std::string error;
+    if (!psb::parseJson(buf.str(), doc, error))
+        return false;
+    const psb::JsonValue *roots = doc.find("hot_roots");
+    const psb::JsonValue *reach = doc.find("hot_reachable");
+    const psb::JsonValue *edges = doc.find("hot_edges");
+    if (!roots || !reach || !edges || !roots->isNumber() ||
+        !reach->isNumber() || !edges->isNumber())
+        return false;
+    opts.hotCallgraphRoots = uint64_t(roots->number);
+    opts.hotCallgraphReachable = uint64_t(reach->number);
+    opts.hotCallgraphEdges = uint64_t(edges->number);
+    return true;
 }
 
 } // namespace
@@ -83,6 +116,13 @@ main(int argc, char **argv)
             opts.skipSims = true;
         } else if (std::strcmp(argv[i], "--out") == 0) {
             outPath = value("--out");
+        } else if (std::strcmp(argv[i], "--callgraph") == 0) {
+            const char *path = value("--callgraph");
+            if (!loadCallgraphStats(path, opts)) {
+                std::cerr << argv[0] << ": cannot load call-graph "
+                          << "stats from '" << path << "'\n";
+                return 2;
+            }
         } else if (std::strcmp(argv[i], "--list") == 0) {
             list = true;
         } else if (std::strcmp(argv[i], "--help") == 0 ||

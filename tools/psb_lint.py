@@ -43,6 +43,17 @@ R8 (lock-discipline): bare std::mutex/std::condition_variable/
    -Wthread-safety prove the locking; a raw primitive is invisible to
    the analysis (and to psb_analyze's deep R8 coverage audit).
 
+R10 (hot-path-alloc): PSB_HOT_PATH (util/hot_path.hh) may only
+    appear on function declarations in src/ — it roots psb_analyze's
+    hot-path call graph, so a marker in tests/ or tools/ (outside the
+    analyzer's own fixture corpus under tests/analyze/) or on a
+    non-function line is a placement error. A bare `new` or
+    make_unique in a src/ file that contains a PSB_HOT_PATH marker is
+    flagged as a hint: only the full analyzer can prove whether the
+    allocation is reachable from a hot root, so run psb_analyze and
+    either move the allocation off the per-cycle path or suppress
+    with allow(R10) at the sanctioned site.
+
 Usage: psb_lint.py [repo_root]
 Exit codes (shared): 0 clean, 1 findings, 2 environment error.
 """
@@ -101,6 +112,17 @@ RAW_SYNC = re.compile(
 
 #: The one file allowed to touch the raw primitives: it wraps them.
 RAW_SYNC_EXEMPT = re.compile(r"^src/util/thread_annotations\.hh$")
+
+#: The hot-path root annotation (shallow R10; psb_analyze walks the
+#: call graph it roots).
+HOT_MARKER = re.compile(r"\bPSB_HOT_PATH\b")
+
+#: The file that defines the marker.
+HOT_MARKER_EXEMPT = re.compile(r"^src/util/hot_path\.hh$")
+
+#: Allocation tokens that warrant running the full analyzer when they
+#: share a file with a PSB_HOT_PATH marker.
+BARE_ALLOC = re.compile(r"\bnew\s+[A-Za-z_(]|\bmake_unique\s*<")
 
 #: Shared inline suppression marker (same syntax psb_analyze uses).
 SUPPRESS = re.compile(
@@ -219,6 +241,53 @@ def check_determinism(path, text, sup, findings):
                 "allocator-dependent and can leak into stats"))
 
 
+def check_hot_path_marker(path, text, sup, findings):
+    """Shallow R10: marker placement plus the run-the-analyzer hint."""
+    if HOT_MARKER_EXEMPT.match(str(path)):
+        return
+    stripped = strip_comments(text)
+    lines = stripped.splitlines()
+    has_marker = False
+    for i, line in enumerate(lines, 1):
+        m = HOT_MARKER.search(line)
+        if not m:
+            continue
+        has_marker = True
+        # A function declaration opens a parameter list within a
+        # couple of lines of the marker (return type and name may
+        # wrap). Anything else — a variable, a stray token — is a
+        # placement error: it would not root the call graph.
+        window = " ".join(lines[i - 1:i + 2])
+        if "(" not in window[m.start():] and \
+                not allowed(sup, i, "R10"):
+            findings.append(format_finding(
+                path, i, "R10",
+                "PSB_HOT_PATH must annotate a function declaration "
+                "(it roots psb_analyze's hot-path call graph)"))
+    if not has_marker:
+        return
+    for i, line in enumerate(lines, 1):
+        if BARE_ALLOC.search(line) and not allowed(sup, i, "R10"):
+            findings.append(format_finding(
+                path, i, "R10",
+                "allocation token in a PSB_HOT_PATH-annotated file; "
+                "run tools/psb_analyze.py to prove it is not "
+                "reachable from a hot root, then move it off the "
+                "per-cycle path or allow(R10) the sanctioned site"))
+
+
+def check_hot_marker_outside_src(path, text, sup, findings):
+    """Shallow R10: the marker is a src/ annotation only."""
+    stripped = strip_comments(text)
+    for i, line in enumerate(stripped.splitlines(), 1):
+        if HOT_MARKER.search(line) and not allowed(sup, i, "R10"):
+            findings.append(format_finding(
+                path, i, "R10",
+                "PSB_HOT_PATH outside src/; the hot-path annotation "
+                "belongs on the simulator's per-cycle roots, not in "
+                "tests or tools"))
+
+
 def main():
     root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".")
     src = root / "src"
@@ -236,6 +305,7 @@ def main():
         check_determinism(rel, text, sup, findings)
         check_raw_output(rel, text, sup, findings)
         check_lock_discipline(rel, text, sup, findings)
+        check_hot_path_marker(rel, text, sup, findings)
     for path in sorted(src.rglob("*.cc")):
         rel = path.relative_to(root)
         text = path.read_text()
@@ -244,6 +314,21 @@ def main():
         check_determinism(rel, text, sup, findings)
         check_raw_output(rel, text, sup, findings)
         check_lock_discipline(rel, text, sup, findings)
+        check_hot_path_marker(rel, text, sup, findings)
+
+    # The marker roots src/'s call graph only; tests/analyze/ is the
+    # analyzer's own fixture corpus and deliberately exercises it.
+    for sub in ("tests", "tools"):
+        d = root / sub
+        if not d.is_dir():
+            continue
+        for path in sorted(d.rglob("*.hh")) + sorted(d.rglob("*.cc")):
+            rel = path.relative_to(root)
+            if str(rel).startswith("tests/analyze/"):
+                continue
+            text = path.read_text()
+            sup = suppressions(text)
+            check_hot_marker_outside_src(rel, text, sup, findings)
 
     for finding in findings:
         print(finding)

@@ -39,11 +39,25 @@ vocabulary:
                              cycle arithmetic — the strong-type escape
                              R1 cannot see across statements and
                              function boundaries
+    R10 hot-path-alloc       no heap allocation reachable from a
+                             PSB_HOT_PATH root (util/hot_path.hh):
+                             operator new, malloc, growing std
+                             containers, string construction
+    R11 hot-path-throw       no throw, throwing stdlib call (.at(),
+                             stoi, optional::value), or recursion
+                             cycle reachable from a PSB_HOT_PATH root
+    R12 hot-path-dispatch    virtual or indirect calls inside
+                             hot-path code must resolve to a complete
+                             in-tree callee set (devirtualizable), or
+                             carry an explicit allow(R12)
 
-psb_lint implements shallow (regex) versions of R1, R2, R3, R5 and R8
-(raw std::mutex outside the annotated wrapper); psb_analyze implements
-deep (type- and flow-aware) versions of R1-R4 plus R6 (scoped to the
-sweep engine's translation units) and the dataflow rules R7-R9.
+psb_lint implements shallow (regex) versions of R1, R2, R3, R5, R8
+(raw std::mutex outside the annotated wrapper) and R10 (PSB_HOT_PATH
+placement, bare new/make_unique in hot-path files); psb_analyze
+implements deep (type- and flow-aware) versions of R1-R4 plus R6
+(scoped to the sweep engine's translation units), the dataflow rules
+R7-R9, and the hot-path call-graph rules R10-R12 over the
+PSB_HOT_PATH-annotated per-cycle roots.
 A finding line always looks like
 
     path:line: [R1] message
@@ -89,6 +103,21 @@ RULES = {
            "a .raw() value must not round-trip through helpers or "
            "locals back into address/cycle arithmetic; keep the math "
            "inside the strong types"),
+    "R10": ("hot-path-alloc",
+            "the per-cycle hot path (every function reachable from a "
+            "PSB_HOT_PATH root) must not allocate: no operator new, "
+            "malloc, growing std containers, or string construction "
+            "— preallocate at construction instead"),
+    "R11": ("hot-path-throw",
+            "the per-cycle hot path must not throw: no throw "
+            "statements, throwing stdlib calls (.at(), stoi, "
+            "optional::value), or recursion cycles reachable from a "
+            "PSB_HOT_PATH root"),
+    "R12": ("hot-path-dispatch",
+            "dispatch inside hot-path code must be devirtualizable: "
+            "virtual calls need a complete in-tree override set and "
+            "std::function/function-pointer calls are flagged unless "
+            "explicitly allowed"),
 }
 
 #: Shared process exit codes.
@@ -171,6 +200,50 @@ R8_SYNC_TYPES = ("atomic", "Mutex", "MutexLock", "CondVar", "mutex",
                  "shared_mutex", "recursive_mutex",
                  "condition_variable", "condition_variable_any",
                  "once_flag", "CancelToken")
+
+
+# ------------------------------------------------------------------
+# R10-R12 hot-path vocabulary. The call-graph layer of psb_analyze
+# walks every function reachable from a PSB_HOT_PATH annotation
+# (src/util/hot_path.hh) and reports these facts; psb_lint's shallow
+# R10 check and the docs (DESIGN.md §14) share the same lists.
+# ------------------------------------------------------------------
+
+#: The function annotation that roots the hot-path call graph.
+HOT_PATH_MARKER = "PSB_HOT_PATH"
+
+#: Free functions that always allocate.
+R10_ALLOC_CALLS = (
+    "malloc", "calloc", "realloc", "strdup", "aligned_alloc",
+    "make_unique", "make_shared", "to_string",
+)
+
+#: Methods that can grow an allocating std container. Only flagged
+#: when the receiver's declared type resolves to one of
+#: R10_ALLOC_CONTAINERS — SetAssocCache::insert() is not an
+#: allocation, std::map::insert() is.
+R10_GROWTH_METHODS = (
+    "push_back", "emplace_back", "push_front", "emplace_front",
+    "emplace", "insert", "resize", "reserve", "assign", "append",
+    "push", "emplace_hint", "try_emplace", "insert_or_assign",
+)
+
+#: std container/type names whose growth methods allocate.
+R10_ALLOC_CONTAINERS = (
+    "vector", "deque", "map", "set", "unordered_map", "unordered_set",
+    "multimap", "multiset", "list", "forward_list", "string",
+    "basic_string", "queue", "priority_queue", "stack",
+)
+
+#: stdlib calls that throw on failure — banned on the hot path (R11).
+R11_THROWING_CALLS = (
+    "at", "stoi", "stol", "stoll", "stoul", "stoull", "stof", "stod",
+    "value", "substr",
+)
+
+#: Types whose call operator is an indirect dispatch the compiler
+#: cannot devirtualize (R12).
+R12_INDIRECT_TYPES = ("function",)
 
 
 def format_finding(path, line, rule, message):

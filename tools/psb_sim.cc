@@ -26,6 +26,9 @@
  *     --tlb-cache         cache TLB translations in buffers (§4.5)
  *     --no-fastforward    tick every cycle (A/B timing; results are
  *                         identical either way)
+ *     --assert-no-alloc   abort on any heap allocation inside the
+ *                         steady-state cycle loop (needs a
+ *                         PSB_ALLOC_GUARD build; rule R10)
  *     --stats-json PATH   write every registered stat as
  *                         deterministic JSON ("-" = stdout)
  *     --stats             print the full stats registry as text
@@ -52,6 +55,7 @@
 
 #include "sim/report.hh"
 #include "sim/simulator.hh"
+#include "util/alloc_guard.hh"
 #include "util/logging.hh"
 #include "util/trace.hh"
 #include "workloads/workload.hh"
@@ -76,6 +80,8 @@ usage(int code)
         "  --l1d-kb N --l1d-assoc N\n"
         "  --buffers N --entries N --markov-entries N --delta-bits N\n"
         "  --order K --nodis --tlb-cache --no-fastforward\n"
+        "  --assert-no-alloc   fatal heap use in the steady-state "
+        "loop (PSB_ALLOC_GUARD builds)\n"
         "  --stats-json PATH --stats\n"
         "  --trace FLAGS       comma list of psb,sched,sfm,markov,bus,"
         "cache,mshr,cpu or all\n"
@@ -231,6 +237,12 @@ main(int argc, char **argv)
             cfg.psb.buffers.cacheTlbTranslation = true;
         } else if (flag == "--no-fastforward") {
             cfg.fastForward = false;
+        } else if (flag == "--assert-no-alloc") {
+            if (!AllocGuard::compiledIn()) {
+                fatal("--assert-no-alloc needs a PSB_ALLOC_GUARD "
+                      "build (cmake --preset alloc-guard)");
+            }
+            AllocGuard::arm();
         } else {
             std::fprintf(stderr, "psb-sim: unknown flag '%s'\n",
                          flag.c_str());
