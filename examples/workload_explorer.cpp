@@ -5,7 +5,8 @@
  *
  * Usage: workload_explorer [instructions] [workload...]
  *   instructions  per-simulation measurement length (default 300000)
- *   workload...   subset of workloads (default: all six)
+ *   workload...   subset of the registry (default: the full registry,
+ *                 paper six plus graph/hashjoin/logscan/fuzz)
  */
 
 #include <cstdio>
@@ -27,7 +28,7 @@ main(int argc, char **argv)
     for (int i = 2; i < argc; ++i)
         names.push_back(argv[i]);
     if (names.empty())
-        names = psb::workloadNames();
+        names = psb::allWorkloadNames();
 
     psb::TablePrinter table;
     table.addRow({"workload", "config", "IPC", "L1D MR", "load lat",

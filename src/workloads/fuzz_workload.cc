@@ -1,0 +1,346 @@
+#include "workloads/fuzz_workload.hh"
+
+#include <algorithm>
+
+#include "util/json.hh"
+
+namespace psb
+{
+
+// ------------------------------------------------------------------ //
+// Spec: derivation, canonical emission, strict parsing
+// ------------------------------------------------------------------ //
+
+FuzzSpec
+FuzzSpec::fromSeed(uint64_t seed)
+{
+    // A distinct stream from the workload's own PRNG, so spec shape
+    // and access randomness cannot cancel each other out.
+    Xorshift64 rng(seed * 0x9e3779b97f4a7c15ull + 0x5eed);
+    FuzzSpec spec;
+    spec.seed = seed;
+    spec.footprintKb = 128u << rng.below(3); // 128 / 256 / 512
+    spec.phaseLen = 1024u << rng.below(3);   // 1024 / 2048 / 4096
+    spec.phases.clear();
+    unsigned nPhases = 1 + unsigned(rng.below(3));
+    for (unsigned p = 0; p < nPhases; ++p) {
+        // Every pattern stays live (weight >= 1): derived scenarios
+        // always exercise all four generators, so the structural
+        // workload tests hold for any seed.
+        FuzzPhase phase;
+        phase.stride = 1 + uint32_t(rng.below(7));
+        phase.chase = 1 + uint32_t(rng.below(7));
+        phase.markov = 1 + uint32_t(rng.below(7));
+        phase.scatter = 1 + uint32_t(rng.below(7));
+        spec.phases.push_back(phase);
+    }
+    return spec;
+}
+
+std::string
+FuzzSpec::toJson() const
+{
+    // One canonical spelling: fixed key order, two-space indent,
+    // phases one object per line. parseFuzzSpec(toJson()) == *this and
+    // re-emitting parses byte-identically (tested).
+    std::string out;
+    out += "{\n";
+    out += "  \"seed\": " + std::to_string(seed) + ",\n";
+    out += "  \"footprint-kb\": " + std::to_string(footprintKb) + ",\n";
+    out += "  \"phase-len\": " + std::to_string(phaseLen) + ",\n";
+    out += "  \"phases\": [\n";
+    for (size_t p = 0; p < phases.size(); ++p) {
+        const FuzzPhase &ph = phases[p];
+        out += "    {\"stride\": " + std::to_string(ph.stride) +
+               ", \"chase\": " + std::to_string(ph.chase) +
+               ", \"markov\": " + std::to_string(ph.markov) +
+               ", \"scatter\": " + std::to_string(ph.scatter) + "}";
+        out += p + 1 < phases.size() ? ",\n" : "\n";
+    }
+    out += "  ]\n";
+    out += "}\n";
+    return out;
+}
+
+namespace
+{
+
+bool
+specError(std::string &error, const std::string &msg)
+{
+    error = "fuzz spec: " + msg;
+    return false;
+}
+
+bool
+parseWeight(const JsonValue &value, const std::string &key,
+            uint32_t &out, std::string &error)
+{
+    uint64_t n = 0;
+    if (!value.asUInt(n) || n > FuzzSpec::maxWeight) {
+        return specError(error, "\"" + key +
+                                    "\" must be an integer in [0, " +
+                                    std::to_string(FuzzSpec::maxWeight) +
+                                    "]");
+    }
+    out = uint32_t(n);
+    return true;
+}
+
+bool
+parsePhase(const JsonValue &value, FuzzPhase &out, std::string &error)
+{
+    if (!value.isObject())
+        return specError(error, "\"phases\" entries must be objects");
+    // Unlisted patterns are off: a written phase names exactly the
+    // generators it wants (the in-code default is all-on instead).
+    out = FuzzPhase{0, 0, 0, 0};
+    for (const auto &[key, member] : value.object) {
+        if (key == "stride") {
+            if (!parseWeight(member, key, out.stride, error))
+                return false;
+        } else if (key == "chase") {
+            if (!parseWeight(member, key, out.chase, error))
+                return false;
+        } else if (key == "markov") {
+            if (!parseWeight(member, key, out.markov, error))
+                return false;
+        } else if (key == "scatter") {
+            if (!parseWeight(member, key, out.scatter, error))
+                return false;
+        } else {
+            return specError(error,
+                             "unknown phase key \"" + key +
+                                 "\" (valid: stride, chase, markov, "
+                                 "scatter)");
+        }
+    }
+    if (out.stride + out.chase + out.markov + out.scatter == 0)
+        return specError(error, "phase has no positive weight");
+    return true;
+}
+
+} // namespace
+
+bool
+parseFuzzSpec(const std::string &text, FuzzSpec &out, std::string &error)
+{
+    out = FuzzSpec{};
+    JsonValue doc;
+    if (!parseJson(text, doc, error)) {
+        error = "fuzz spec: " + error;
+        return false;
+    }
+    if (!doc.isObject())
+        return specError(error, "top level must be an object");
+
+    for (const auto &[key, value] : doc.object) {
+        if (key == "seed") {
+            if (!value.asUInt(out.seed))
+                return specError(error,
+                                 "\"seed\" must be a non-negative "
+                                 "integer");
+        } else if (key == "footprint-kb") {
+            uint64_t n = 0;
+            if (!value.asUInt(n) || n < FuzzSpec::minFootprintKb ||
+                n > FuzzSpec::maxFootprintKb) {
+                return specError(
+                    error,
+                    "\"footprint-kb\" must be an integer in [" +
+                        std::to_string(FuzzSpec::minFootprintKb) + ", " +
+                        std::to_string(FuzzSpec::maxFootprintKb) + "]");
+            }
+            out.footprintKb = uint32_t(n);
+        } else if (key == "phase-len") {
+            uint64_t n = 0;
+            if (!value.asUInt(n) || n == 0 || n > (1u << 24)) {
+                return specError(error,
+                                 "\"phase-len\" must be an integer in "
+                                 "[1, 16777216]");
+            }
+            out.phaseLen = uint32_t(n);
+        } else if (key == "phases") {
+            if (!value.isArray() || value.array.empty())
+                return specError(
+                    error, "\"phases\" must be a non-empty array");
+            out.phases.clear();
+            for (const JsonValue &entry : value.array) {
+                FuzzPhase phase;
+                if (!parsePhase(entry, phase, error))
+                    return false;
+                out.phases.push_back(phase);
+            }
+        } else {
+            return specError(error,
+                             "unknown section \"" + key +
+                                 "\" (valid: seed, footprint-kb, "
+                                 "phase-len, phases)");
+        }
+    }
+    return true;
+}
+
+// ------------------------------------------------------------------ //
+// The generator workload
+// ------------------------------------------------------------------ //
+
+FuzzWorkload::FuzzWorkload(const FuzzSpec &spec)
+    : _spec(spec),
+      _heap(Addr{0x20000000}),
+      _rng(spec.seed * 0x9e37 + 0xf022)
+{
+    _blocks = uint64_t(_spec.footprintKb) * 1024 / blockBytes;
+    _base = _heap.alloc(uint64_t(_spec.footprintKb) * 1024, blockBytes);
+    _frame = _heap.alloc(256, blockBytes);
+
+    // Stride generators: four concurrent runs with distinct strides,
+    // spread across the arena so they do not shadow one another.
+    for (unsigned s = 0; s < 4; ++s) {
+        StrideStream run;
+        run.pos = _rng.below(_blocks);
+        int64_t magnitude = int64_t(1 + _rng.below(8));
+        run.stride = _rng.percentChance(25) ? -magnitude : magnitude;
+        _strideStreams.push_back(run);
+    }
+
+    // Chase generator: a fixed random permutation ring. The walk
+    // repeats the same node order every lap — the recurrent miss
+    // stream a Markov table can learn, with no usable stride.
+    uint64_t ringSize = std::min<uint64_t>(_blocks, 16384);
+    _chaseRing.resize(size_t(ringSize));
+    for (size_t i = 0; i < _chaseRing.size(); ++i)
+        _chaseRing[i] = uint32_t(i);
+    for (size_t i = _chaseRing.size(); i-- > 1;)
+        std::swap(_chaseRing[i], _chaseRing[_rng.below(i + 1)]);
+
+    // Markov-correlated delta chain: a small transition table where
+    // each state picks between two successors 75/25 — irregular but
+    // statistically repetitive deltas (the Pangloss stress shape).
+    for (unsigned s = 0; s < kMarkovStates; ++s) {
+        int32_t magnitude = int32_t(1 + _rng.below(31));
+        _markovDelta[s] = _rng.percentChance(50) ? -magnitude
+                                                 : magnitude;
+        _markovNext[s][0] = uint8_t(_rng.below(kMarkovStates));
+        _markovNext[s][1] = uint8_t(_rng.below(kMarkovStates));
+    }
+    _markovPos = _rng.below(_blocks);
+}
+
+Addr
+FuzzWorkload::blockAddr(uint64_t index) const
+{
+    return _base + blockOf(index) * blockBytes;
+}
+
+void
+FuzzWorkload::burstStride()
+{
+    constexpr uint8_t r_ptr = 1;
+    constexpr uint8_t r_val = 2;
+    constexpr uint8_t r_acc = 3;
+
+    StrideStream &run = _strideStreams[_strideNext];
+    Addr pc = pcBase + 0x000 + _strideNext * 0x40;
+    for (unsigned k = 0; k < 4; ++k) {
+        emitLoad(pc + k * 8, r_val, blockAddr(run.pos), r_ptr);
+        emitAlu(pc + k * 8 + 4, r_acc, r_acc, r_val);
+        // Advance modulo the arena; the unsigned wrap keeps negative
+        // strides walking the ring in the other direction.
+        run.pos = blockOf(run.pos + uint64_t(run.stride) + _blocks);
+    }
+    emitStore(pc + 0x20, _frame + 8 * (run.pos & 7), r_acc, r_acc);
+    emitBranch(pc + 0x24, true, pc, r_acc);
+    emitBranch(pc + 0x28, false, pc, r_acc);
+    _strideNext = (_strideNext + 1) % unsigned(_strideStreams.size());
+}
+
+void
+FuzzWorkload::burstChase()
+{
+    constexpr uint8_t r_node = 4;
+    constexpr uint8_t r_acc = 5;
+
+    Addr pc = pcBase + 0x200;
+    for (unsigned k = 0; k < 5; ++k) {
+        uint64_t block = _chaseRing[size_t(_chaseCursor)];
+        // Serialised through one register: each address depends on
+        // the previous node's next pointer, like a real list walk.
+        emitLoad(pc + k * 12, r_node, blockAddr(block), r_node);
+        emitAlu(pc + k * 12 + 4, r_acc, r_acc, r_node);
+        emitAlu(pc + k * 12 + 8, r_acc, r_acc);
+        _chaseCursor = (_chaseCursor + 1) % _chaseRing.size();
+    }
+    emitStore(pc + 0x40, _frame + 8 * (_chaseCursor & 7), r_acc, r_acc);
+    emitBranch(pc + 0x44, true, pc, r_node);
+    emitBranch(pc + 0x48, _chaseCursor != 0, pc, r_node);
+}
+
+void
+FuzzWorkload::burstMarkov()
+{
+    constexpr uint8_t r_ptr = 6;
+    constexpr uint8_t r_val = 7;
+    constexpr uint8_t r_acc = 8;
+
+    Addr pc = pcBase + 0x300;
+    for (unsigned k = 0; k < 4; ++k) {
+        emitLoad(pc + k * 8, r_val, blockAddr(_markovPos), r_ptr);
+        emitAlu(pc + k * 8 + 4, r_acc, r_acc, r_val);
+        int32_t delta = _markovDelta[_markovState];
+        _markovPos = blockOf(_markovPos + uint64_t(int64_t(delta)) +
+                             _blocks);
+        _markovState =
+            _markovNext[_markovState][_rng.percentChance(75) ? 0 : 1];
+    }
+    emitStore(pc + 0x20, _frame + 8 * (_markovPos & 7), r_acc, r_acc);
+    emitBranch(pc + 0x24, true, pc, r_val);
+    emitBranch(pc + 0x28, (_markovPos & 1) != 0, pc, r_val);
+}
+
+void
+FuzzWorkload::burstScatter()
+{
+    constexpr uint8_t r_idx = 9;
+    constexpr uint8_t r_val = 10;
+    constexpr uint8_t r_acc = 11;
+
+    Addr pc = pcBase + 0x400;
+    for (unsigned k = 0; k < 3; ++k) {
+        emitLoad(pc + k * 12, r_val, blockAddr(_rng.below(_blocks)),
+                 r_idx);
+        emitAlu(pc + k * 12 + 4, r_acc, r_acc, r_val);
+        emitAlu(pc + k * 12 + 8, r_idx, r_idx, r_val);
+    }
+    emitAlu(pc + 0x24, r_acc, r_acc);
+    emitStore(pc + 0x28, _frame + 8 * (_stepsInPhase & 7), r_acc,
+              r_acc);
+    emitBranch(pc + 0x2c, true, pc, r_acc);
+    emitBranch(pc + 0x30, (_stepsInPhase & 3) != 0, pc, r_acc);
+}
+
+bool
+FuzzWorkload::step()
+{
+    const FuzzPhase &phase = _spec.phases[_phase];
+    uint64_t total = uint64_t(phase.stride) + phase.chase +
+                     phase.markov + phase.scatter;
+    uint64_t pick = _rng.below(total);
+    if (pick < phase.stride) {
+        burstStride();
+    } else if (pick < uint64_t(phase.stride) + phase.chase) {
+        burstChase();
+    } else if (pick < uint64_t(phase.stride) + phase.chase +
+                          phase.markov) {
+        burstMarkov();
+    } else {
+        burstScatter();
+    }
+
+    if (++_stepsInPhase >= _spec.phaseLen) {
+        _stepsInPhase = 0;
+        _phase = (_phase + 1) % _spec.phases.size();
+    }
+    return true;
+}
+
+} // namespace psb

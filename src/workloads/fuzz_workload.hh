@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Seeded workload fuzzer (DESIGN.md §15): a fully deterministic
+ * generator of composable access-pattern mixes for property-style
+ * testing of every prefetcher backend.
+ *
+ * A FuzzSpec declares the scenario: the PRNG seed, the data footprint,
+ * and a phase schedule where each phase weights four pattern
+ * generators against each other:
+ *
+ *   stride   sequential runs with per-stream constant strides — the
+ *            bread and butter of the stride table;
+ *   chase    a pointer chase over a fixed random permutation ring,
+ *            the recurrent no-stride miss stream a Markov predictor
+ *            captures;
+ *   markov   a correlated delta chain driven by a small seeded
+ *            transition table (Pangloss-style irregular deltas);
+ *   scatter  uniform random blocks — irreducible noise no predictor
+ *            should chase.
+ *
+ * Specs round-trip through the strict JSON grammar (util/json.hh):
+ * parseFuzzSpec() rejects unknown keys, non-integer weights, and
+ * degenerate phases; FuzzSpec::toJson() emits the one canonical
+ * spelling, so emit(parse(emit(s))) == emit(s) byte for byte. A spec
+ * printed into a CI log is therefore directly replayable with
+ * `psb-sim --workload fuzz --fuzz-spec FILE` (EXPERIMENTS.md,
+ * "Fuzzing workloads").
+ *
+ * FuzzSpec::fromSeed() derives a spec deterministically from a bare
+ * seed — the registry workload "fuzz" uses it, so psb-sweep sweeps
+ * generated scenario grids by just listing seeds.
+ */
+
+#ifndef PSB_WORKLOADS_FUZZ_WORKLOAD_HH
+#define PSB_WORKLOADS_FUZZ_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace psb
+{
+
+/** Pattern-mix weights for one phase; at least one must be > 0. */
+struct FuzzPhase
+{
+    uint32_t stride = 1;
+    uint32_t chase = 1;
+    uint32_t markov = 1;
+    uint32_t scatter = 1;
+
+    bool operator==(const FuzzPhase &) const = default;
+};
+
+/** Declarative fuzz scenario (see file comment). */
+struct FuzzSpec
+{
+    /** Weights above this are certainly typos, not scenarios. */
+    static constexpr uint32_t maxWeight = 65536;
+    /** Footprint bounds: below 64 KB nothing misses; above 64 MB the
+     *  permutation/index tables stop being construction-cheap. */
+    static constexpr uint32_t minFootprintKb = 64;
+    static constexpr uint32_t maxFootprintKb = 64 * 1024;
+
+    uint64_t seed = 1;
+    uint32_t footprintKb = 256;
+    /** Workload steps per phase before rotating to the next. */
+    uint32_t phaseLen = 4096;
+    std::vector<FuzzPhase> phases{FuzzPhase{}};
+
+    /** Derive a random-but-deterministic scenario from a bare seed. */
+    static FuzzSpec fromSeed(uint64_t seed);
+
+    /** The canonical JSON spelling (stable key order, one format). */
+    std::string toJson() const;
+
+    bool operator==(const FuzzSpec &) const = default;
+};
+
+/**
+ * Parse @p text as a fuzz spec, strictly: unknown keys (top-level or
+ * per phase), negative/fractional/oversized numbers, an empty phase
+ * list, or an all-zero-weight phase are all hard errors.
+ * @param error Human-readable message when returning false.
+ */
+bool parseFuzzSpec(const std::string &text, FuzzSpec &out,
+                   std::string &error);
+
+/** The generator workload driven by a FuzzSpec. */
+class FuzzWorkload : public Workload
+{
+  public:
+    explicit FuzzWorkload(const FuzzSpec &spec);
+
+    const char *name() const override { return "fuzz"; }
+
+    const FuzzSpec &spec() const { return _spec; }
+
+  protected:
+    bool step() override;
+
+  private:
+    /** One concurrently live stride run. */
+    struct StrideStream
+    {
+        uint64_t pos = 0;   ///< current block index
+        int64_t stride = 1; ///< blocks per advance
+    };
+
+    void burstStride();
+    void burstChase();
+    void burstMarkov();
+    void burstScatter();
+
+    uint64_t blockOf(uint64_t index) const { return index % _blocks; }
+    Addr blockAddr(uint64_t index) const;
+
+    FuzzSpec _spec;
+    SyntheticHeap _heap;
+    Xorshift64 _rng;
+    Addr _base{};  ///< the footprint arena
+    Addr _frame{}; ///< hot activation record, L1-resident
+    uint64_t _blocks = 0;
+
+    std::vector<StrideStream> _strideStreams;
+    unsigned _strideNext = 0;
+
+    std::vector<uint32_t> _chaseRing; ///< block-index permutation
+    uint64_t _chaseCursor = 0;
+
+    static constexpr unsigned kMarkovStates = 8;
+    int32_t _markovDelta[kMarkovStates] = {};
+    uint8_t _markovNext[kMarkovStates][2] = {};
+    unsigned _markovState = 0;
+    uint64_t _markovPos = 0;
+
+    size_t _phase = 0;
+    uint64_t _stepsInPhase = 0;
+
+    static constexpr Addr pcBase{0x00bc0000};
+    static constexpr unsigned blockBytes = 64;
+};
+
+} // namespace psb
+
+#endif // PSB_WORKLOADS_FUZZ_WORKLOAD_HH

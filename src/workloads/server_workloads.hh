@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Server-workload family (ROADMAP item 4): three synthetic analogs of
+ * the server-side access patterns catalogued in the prefetching
+ * survey (Shakerinava et al., PAPERS.md) that the six paper analogs
+ * do not cover. Each is a real algorithm over a SyntheticHeap, built
+ * and registered exactly like the paper six (workload.cc), so stats,
+ * attribution, tracing, sweeps, and the property harness see them as
+ * ordinary workloads.
+ *
+ *   graph     breadth-first traversal over a seeded CSR graph:
+ *             sequential adjacency-row scans (stride) feeding
+ *             data-dependent vertex gathers (scatter) through an
+ *             in-memory work queue;
+ *   hashjoin  hash-join probe loop: a sequential probe-relation scan
+ *             hashing into a bucket array and walking short
+ *             scatter-allocated chains (the recurrent pointer chase);
+ *   logscan   log-structured append + scan: sequential appends at the
+ *             log head, per-record index updates (scatter), and a
+ *             lagging sequential segment scan.
+ */
+
+#ifndef PSB_WORKLOADS_SERVER_WORKLOADS_HH
+#define PSB_WORKLOADS_SERVER_WORKLOADS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace psb
+{
+
+/** BFS over a seeded CSR graph (see file comment). */
+class GraphTraversal : public Workload
+{
+  public:
+    /** Sizing knobs (defaults give a ~600 KB working set). */
+    struct Params
+    {
+        unsigned vertices = 4096;
+        unsigned minDegree = 4;
+        unsigned maxDegree = 12;
+        uint64_t seed = 1;
+    };
+
+    GraphTraversal();
+    explicit GraphTraversal(const Params &params);
+
+    const char *name() const override { return "graph"; }
+
+  protected:
+    bool step() override;
+
+  private:
+    void enqueue(unsigned v);
+    void startPass();
+
+    Params _params;
+    SyntheticHeap _heap;
+    Xorshift64 _rng;
+
+    std::vector<unsigned> _rowPtr; ///< CSR row offsets, V+1 entries
+    std::vector<unsigned> _colIdx; ///< CSR adjacency, E entries
+    std::vector<uint32_t> _visitedPass; ///< pass id that visited v
+
+    Addr _rowPtrAddr{};
+    Addr _colIdxAddr{};
+    Addr _vdataAddr{};
+    Addr _visitedAddr{};
+    Addr _queueAddr{};
+
+    std::vector<unsigned> _queue;
+    size_t _head = 0;
+    uint32_t _pass = 0;
+    unsigned _nextRoot = 0; ///< restart scan cursor for new components
+
+    static constexpr Addr pcBase{0x00b00000};
+    static constexpr unsigned vdataBytes = 64;
+};
+
+/** Hash-join probe loop (see file comment). */
+class HashJoin : public Workload
+{
+  public:
+    /** Sizing knobs (defaults give a ~550 KB working set). */
+    struct Params
+    {
+        unsigned buildRows = 4096;
+        unsigned buckets = 2048;
+        unsigned probeRows = 8192;
+        uint64_t seed = 1;
+    };
+
+    HashJoin();
+    explicit HashJoin(const Params &params);
+
+    const char *name() const override { return "hashjoin"; }
+
+  protected:
+    bool step() override;
+
+  private:
+    struct Node
+    {
+        Addr addr{};
+        uint64_t key = 0;
+        int next = -1; ///< index into _nodes, -1 = end of chain
+    };
+
+    Params _params;
+    SyntheticHeap _heap;
+    Xorshift64 _rng;
+
+    std::vector<Node> _nodes;
+    std::vector<int> _bucketHead;
+
+    Addr _bucketAddr{};
+    Addr _probeAddr{};
+    Addr _outputAddr{};
+
+    uint64_t _probeCursor = 0;
+    uint64_t _outputCursor = 0;
+
+    static constexpr Addr pcBase{0x00b40000};
+    static constexpr unsigned probeRowBytes = 32;
+    static constexpr unsigned nodeBytes = 64;
+    static constexpr unsigned outputRingBytes = 64 * 1024;
+};
+
+/** Log-structured append + scan (see file comment). */
+class LogStructured : public Workload
+{
+  public:
+    /** Sizing knobs (defaults give a ~560 KB working set). */
+    struct Params
+    {
+        unsigned logKb = 512;       ///< record ring capacity
+        unsigned indexBuckets = 4096;
+        unsigned scanLag = 2048;    ///< records the scan trails by
+        uint64_t seed = 1;
+    };
+
+    LogStructured();
+    explicit LogStructured(const Params &params);
+
+    const char *name() const override { return "logscan"; }
+
+  protected:
+    bool step() override;
+
+  private:
+    Addr recordAddr(uint64_t record) const;
+
+    Params _params;
+    SyntheticHeap _heap;
+    Xorshift64 _rng;
+
+    Addr _logAddr{};
+    Addr _indexAddr{};
+    Addr _frameAddr{};
+
+    uint64_t _logRecords = 0; ///< ring capacity in records
+    uint64_t _appendCursor = 0;
+    uint64_t _scanCursor = 0;
+
+    static constexpr Addr pcBase{0x00b80000};
+    static constexpr unsigned recordBytes = 64;
+};
+
+} // namespace psb
+
+#endif // PSB_WORKLOADS_SERVER_WORKLOADS_HH

@@ -2,8 +2,10 @@
 
 #include "workloads/circuit_synth.hh"
 #include "workloads/constraint_solver.hh"
+#include "workloads/fuzz_workload.hh"
 #include "workloads/health_sim.hh"
 #include "workloads/interpreter.hh"
+#include "workloads/server_workloads.hh"
 #include "workloads/tree_parser.hh"
 #include "workloads/turbulence.hh"
 
@@ -16,6 +18,17 @@ workloadNames()
     static const std::vector<std::string> names = {
         "health", "burg", "deltablue", "gs", "sis", "turb3d",
     };
+    return names;
+}
+
+const std::vector<std::string> &
+allWorkloadNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> all = workloadNames();
+        all.insert(all.end(), {"graph", "hashjoin", "logscan", "fuzz"});
+        return all;
+    }();
     return names;
 }
 
@@ -52,6 +65,23 @@ makeWorkload(const std::string &name, uint64_t seed)
         p.seed = seed;
         return std::make_unique<Turbulence>(p);
     }
+    if (name == "graph") {
+        GraphTraversal::Params p;
+        p.seed = seed;
+        return std::make_unique<GraphTraversal>(p);
+    }
+    if (name == "hashjoin") {
+        HashJoin::Params p;
+        p.seed = seed;
+        return std::make_unique<HashJoin>(p);
+    }
+    if (name == "logscan") {
+        LogStructured::Params p;
+        p.seed = seed;
+        return std::make_unique<LogStructured>(p);
+    }
+    if (name == "fuzz")
+        return std::make_unique<FuzzWorkload>(FuzzSpec::fromSeed(seed));
     return nullptr;
 }
 

@@ -43,8 +43,17 @@ class Workload : public TraceBuilder
 const std::vector<std::string> &workloadNames();
 
 /**
- * Instantiate a workload by its paper name ("health", "burg",
- * "deltablue", "gs", "sis", "turb3d").
+ * The full registry: the paper six first (in workloadNames() order),
+ * then the server family ("graph", "hashjoin", "logscan") and the
+ * seeded fuzzer ("fuzz"). The figure-5 benchmark matrix and the
+ * golden corpus iterate workloadNames() and must not grow when a
+ * workload is added here.
+ */
+const std::vector<std::string> &allWorkloadNames();
+
+/**
+ * Instantiate a workload by registry name (allWorkloadNames()). For
+ * "fuzz" the scenario is derived from @p seed via FuzzSpec::fromSeed.
  * @param seed Seed for the workload's deterministic PRNG.
  * @return The workload, or nullptr for an unknown name.
  */

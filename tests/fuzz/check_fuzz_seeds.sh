@@ -1,0 +1,61 @@
+#!/bin/sh
+# Seed-stability check for the fuzz workload (DESIGN.md §15).
+#
+#   check_fuzz_seeds.sh PSB_SWEEP PSB_SIM SPEC_FILE
+#
+# Two determinism contracts, end to end through the shipped binaries:
+#
+#  1. psb-sweep over a grid of fuzz seeds must merge to byte-identical
+#     stats documents at --jobs 1, 2, and 8 — the generated workloads
+#     may not leak state across worker threads.
+#  2. psb-sim --workload fuzz --fuzz-spec must be a pure function of
+#     the spec file: two runs of the same spec (one derived from a
+#     seed and re-emitted via the canonical grammar) byte-compare.
+set -eu
+
+PSB_SWEEP=$1
+PSB_SIM=$2
+SPEC=$3
+
+TMP=$(mktemp -d "${TMPDIR:-/tmp}/fuzz_seeds.XXXXXX")
+trap 'rm -rf "$TMP"' EXIT
+
+for jobs in 1 2 8; do
+    "$PSB_SWEEP" "$SPEC" --jobs "$jobs" --quiet \
+        --out "$TMP/merged_$jobs.json"
+done
+
+for jobs in 2 8; do
+    if ! cmp -s "$TMP/merged_1.json" "$TMP/merged_$jobs.json"; then
+        echo "check_fuzz_seeds.sh: fuzz sweep differs between" \
+             "--jobs 1 and --jobs $jobs" >&2
+        diff "$TMP/merged_1.json" "$TMP/merged_$jobs.json" >&2 || true
+        exit 1
+    fi
+done
+
+cat > "$TMP/spec.json" <<'EOF'
+{
+  "seed": 19,
+  "footprint-kb": 256,
+  "phase-len": 2048,
+  "phases": [
+    {"stride": 5, "chase": 2},
+    {"markov": 3, "scatter": 1}
+  ]
+}
+EOF
+
+for run in 1 2; do
+    "$PSB_SIM" --workload fuzz --fuzz-spec "$TMP/spec.json" \
+        --insts 8000 --warmup 1500 \
+        --stats-json "$TMP/spec_run$run.json" > /dev/null
+done
+
+if ! cmp -s "$TMP/spec_run1.json" "$TMP/spec_run2.json"; then
+    echo "check_fuzz_seeds.sh: --fuzz-spec reruns differ" >&2
+    diff "$TMP/spec_run1.json" "$TMP/spec_run2.json" >&2 || true
+    exit 1
+fi
+
+echo "check_fuzz_seeds.sh: fuzz sweeps and spec replays byte-identical"

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Differential regression suite over the workload fuzzer: 32 fixed
+ * fuzz seeds, each run under every prefetcher backend, and the
+ * (accuracy, coverage, buffer-hit) triple compared token-for-token
+ * against the checked-in tests/fuzz/expected.json. Any behavioural
+ * drift in any backend shows up as a precise (seed, backend, metric)
+ * diff instead of a vague golden mismatch.
+ *
+ * After an intentional behaviour change regenerate with:
+ *   cmake --build build --target update-fuzz-expected
+ * (which re-runs this binary with PSB_UPDATE_FUZZ_EXPECTED=1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "util/json.hh"
+#include "util/stats_json.hh"
+#include "workloads/fuzz_workload.hh"
+
+namespace psb
+{
+namespace
+{
+
+#ifndef PSB_FUZZ_EXPECTED_PATH
+#error "build must define PSB_FUZZ_EXPECTED_PATH"
+#endif
+
+/** Fixed regardless of PSB_FUZZ_SEEDS: the corpus is checked in. */
+constexpr uint64_t kDifferentialSeeds = 32;
+
+const PrefetcherKind kAllKinds[] = {
+    PrefetcherKind::None,       PrefetcherKind::PcStride,
+    PrefetcherKind::Psb,        PrefetcherKind::Sequential,
+    PrefetcherKind::NextLine,   PrefetcherKind::MarkovDemand,
+    PrefetcherKind::MinDelta,
+};
+
+/** The per-(seed, backend) regression triple, as exact tokens. */
+struct Triple
+{
+    std::string accuracy;
+    std::string coverage;
+    std::string bufferHits;
+};
+
+Triple
+measure(PrefetcherKind kind, uint64_t seed)
+{
+    SimConfig cfg = makePaperConfig(PaperConfig::ConfAllocPriority);
+    cfg.prefetcher = kind;
+    cfg.warmupInstructions = 1500;
+    cfg.maxInstructions = 8000;
+    FuzzWorkload trace(FuzzSpec::fromSeed(seed));
+    Simulator sim(cfg, trace);
+    sim.run();
+
+    std::map<std::string, ParsedStat> stats;
+    std::string error;
+    EXPECT_TRUE(parseStatsJson(sim.statsJson(), stats, error)) << error;
+
+    auto raw = [&](const std::string &key) {
+        auto it = stats.find(key);
+        EXPECT_NE(it, stats.end()) << key;
+        return it == stats.end() ? std::string("0") : it->second.raw;
+    };
+    auto value = [&](const std::string &key) {
+        auto it = stats.find(key);
+        return it == stats.end() ? 0.0 : it->second.value;
+    };
+
+    Triple t;
+    t.accuracy = raw("prefetch.attrib.accuracy");
+    double used = value("prefetch.attrib.outcome.used_timely") +
+                  value("prefetch.attrib.outcome.used_late");
+    double denom = used + value("l1d.misses");
+    t.coverage = formatStatReal(denom > 0 ? used / denom : 0.0);
+    t.bufferHits = raw("core.sb_serviced");
+    return t;
+}
+
+std::string
+tableKey(uint64_t seed, PrefetcherKind kind)
+{
+    return "seed=" + std::to_string(seed) + "/" +
+           prefetcherKindName(kind);
+}
+
+/** Deterministic emission: seeds ascending, backends in kind order. */
+std::string
+emitTable(const std::map<std::string, Triple> &table)
+{
+    std::string out = "{\n";
+    bool first = true;
+    for (uint64_t seed = 1; seed <= kDifferentialSeeds; ++seed) {
+        for (PrefetcherKind kind : kAllKinds) {
+            auto it = table.find(tableKey(seed, kind));
+            if (it == table.end())
+                continue;
+            if (!first)
+                out += ",\n";
+            first = false;
+            out += "  \"" + it->first + "\": {\"accuracy\": " +
+                   it->second.accuracy + ", \"coverage\": " +
+                   it->second.coverage + ", \"buffer-hits\": " +
+                   it->second.bufferHits + "}";
+        }
+    }
+    out += "\n}\n";
+    return out;
+}
+
+TEST(FuzzDifferential, TriplesMatchCheckedInExpectations)
+{
+    std::map<std::string, Triple> actual;
+    for (uint64_t seed = 1; seed <= kDifferentialSeeds; ++seed)
+        for (PrefetcherKind kind : kAllKinds)
+            actual[tableKey(seed, kind)] = measure(kind, seed);
+    ASSERT_FALSE(::testing::Test::HasNonfatalFailure())
+        << "stats collection itself failed; not comparing triples";
+
+    const std::string path = PSB_FUZZ_EXPECTED_PATH;
+    if (std::getenv("PSB_UPDATE_FUZZ_EXPECTED")) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << emitTable(actual);
+        GTEST_SKIP() << "regenerated " << path;
+    }
+
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << path << " missing; run the update-fuzz-expected target";
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(text.str(), doc, error)) << error;
+    ASSERT_TRUE(doc.isObject());
+
+    // Exact cell-by-cell comparison, both directions: a changed
+    // value, a vanished cell, and a stale expected row all fail.
+    std::map<std::string, Triple> expected;
+    for (const auto &[key, cell] : doc.object) {
+        ASSERT_TRUE(cell.isObject()) << key;
+        Triple t;
+        for (const auto &[metric, member] : cell.object) {
+            ASSERT_TRUE(member.isNumber()) << key << "." << metric;
+            if (metric == "accuracy")
+                t.accuracy = member.raw;
+            else if (metric == "coverage")
+                t.coverage = member.raw;
+            else if (metric == "buffer-hits")
+                t.bufferHits = member.raw;
+            else
+                FAIL() << "unknown metric " << metric << " in " << key;
+        }
+        expected[key] = t;
+    }
+
+    for (const auto &[key, want] : expected)
+        EXPECT_TRUE(actual.count(key)) << "stale expected row " << key;
+    for (const auto &[key, got] : actual) {
+        auto it = expected.find(key);
+        if (it == expected.end()) {
+            ADD_FAILURE() << "no expected row for " << key
+                          << "; run update-fuzz-expected";
+            continue;
+        }
+        EXPECT_EQ(got.accuracy, it->second.accuracy)
+            << key << " accuracy";
+        EXPECT_EQ(got.coverage, it->second.coverage)
+            << key << " coverage";
+        EXPECT_EQ(got.bufferHits, it->second.bufferHits)
+            << key << " buffer-hits";
+    }
+
+    // Regenerating must be byte-stable too: the emitter and the
+    // checked-in file share one canonical spelling.
+    if (!::testing::Test::HasNonfatalFailure()) {
+        EXPECT_EQ(emitTable(actual), text.str());
+    }
+}
+
+} // namespace
+} // namespace psb

@@ -6,8 +6,11 @@
  *
  * Usage:
  *   psb-sim [options]
- *     --workload NAME     health|burg|deltablue|gs|sis|turb3d
+ *     --workload NAME     health|burg|deltablue|gs|sis|turb3d|
+ *                         graph|hashjoin|logscan|fuzz
  *                         (default health)
+ *     --fuzz-spec PATH    fuzz scenario JSON ("-" = stdin); implies
+ *                         and requires --workload fuzz
  *     --prefetcher NAME   none|pcstride|psb|sequential|nextline|
  *                         markov|mindelta          (default psb)
  *     --alloc NAME        2miss|conf|always        (default conf)
@@ -49,6 +52,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include <iostream>
@@ -58,6 +62,7 @@
 #include "util/alloc_guard.hh"
 #include "util/logging.hh"
 #include "util/trace.hh"
+#include "workloads/fuzz_workload.hh"
 #include "workloads/workload.hh"
 
 namespace
@@ -71,7 +76,10 @@ usage(int code)
     std::fputs(
         "psb-sim: run one predictor-directed stream buffer "
         "simulation\n"
-        "  --workload NAME     health|burg|deltablue|gs|sis|turb3d\n"
+        "  --workload NAME     health|burg|deltablue|gs|sis|turb3d|"
+        "graph|hashjoin|logscan|fuzz\n"
+        "  --fuzz-spec PATH    fuzz scenario JSON (\"-\" = stdin); "
+        "requires --workload fuzz\n"
         "  --prefetcher NAME   none|pcstride|psb|sequential|nextline|"
         "markov|mindelta\n"
         "  --alloc NAME        2miss|conf|always\n"
@@ -118,6 +126,7 @@ int
 main(int argc, char **argv)
 {
     std::string workload = "health";
+    std::string fuzzSpecPath;
     std::string statsJsonPath;
     std::string traceFlags;
     std::string traceOut;
@@ -149,6 +158,8 @@ main(int argc, char **argv)
             usage(0);
         } else if (flag == "--workload") {
             workload = value();
+        } else if (flag == "--fuzz-spec") {
+            fuzzSpecPath = value();
         } else if (flag == "--prefetcher") {
             std::string v = value();
             if (v == "none")
@@ -250,7 +261,28 @@ main(int argc, char **argv)
         }
     }
 
-    auto trace = psb::makeWorkload(workload, seed);
+    std::unique_ptr<Workload> trace;
+    if (!fuzzSpecPath.empty()) {
+        if (workload != "fuzz")
+            fatal("--fuzz-spec requires --workload fuzz");
+        std::ostringstream text;
+        if (fuzzSpecPath == "-") {
+            text << std::cin.rdbuf();
+        } else {
+            std::ifstream in(fuzzSpecPath, std::ios::binary);
+            if (!in)
+                fatal("cannot read fuzz spec '%s'",
+                      fuzzSpecPath.c_str());
+            text << in.rdbuf();
+        }
+        FuzzSpec spec;
+        std::string error;
+        if (!parseFuzzSpec(text.str(), spec, error))
+            fatal("%s: %s", fuzzSpecPath.c_str(), error.c_str());
+        trace = std::make_unique<FuzzWorkload>(spec);
+    } else {
+        trace = psb::makeWorkload(workload, seed);
+    }
     if (!trace) {
         std::fprintf(stderr, "psb-sim: unknown workload '%s'\n",
                      workload.c_str());
